@@ -1,0 +1,188 @@
+//! Criterion wall-time benches over the real code paths, one group per
+//! experiment family. (The simulated cost units of each experiment come
+//! from the `src/bin/*` harnesses; these benches confirm the *wall-time*
+//! behaviour of the implementation itself.)
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rdb_bench::fixtures::JscanFixture;
+use rdb_btree::KeyRange;
+use rdb_competition::{direct_competition_cost, simultaneous_cost, CostDist};
+use rdb_core::baseline::{estimate_all, StaticJscan, StaticJscanConfig};
+use rdb_core::{
+    DynamicOptimizer, IndexChoice, OptimizeGoal, RecordPred, RetrievalRequest, RidListBuilder,
+    RidTierConfig, StaticOptimizer, StaticPlan,
+};
+use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId, Record, Rid, Value};
+
+fn bench_competition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("competition");
+    let a1 = CostDist::l_shape(1.0, 200.0);
+    let a2 = CostDist::l_shape(1.0, 240.0);
+    group.bench_function("direct_analytic", |b| {
+        b.iter(|| direct_competition_cost(&a1, &a2, 1.0))
+    });
+    group.bench_function("simultaneous_mc_10k", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| simultaneous_cost(&a1, &a2, 1.0, None, &mut rng, 10_000))
+    });
+    group.finish();
+}
+
+fn host_var_request(f: &JscanFixture, a1: i64) -> RetrievalRequest<'_> {
+    let residual: RecordPred = Rc::new(move |r: &Record| r[0].as_i64().unwrap() >= a1);
+    RetrievalRequest {
+        table: &f.table,
+        indexes: vec![IndexChoice::fetch_needed(
+            &f.indexes[0],
+            KeyRange::at_least(a1),
+        )],
+        residual,
+        goal: OptimizeGoal::TotalTime,
+        order_required: false,
+        limit: None,
+    }
+}
+
+fn bench_host_variable(c: &mut Criterion) {
+    let f = JscanFixture::build(10_000, &[100], 100_000);
+    let dynamic = DynamicOptimizer::default();
+    let static_opt = StaticOptimizer::default();
+    let mut group = c.benchmark_group("host_variable");
+    for a1 in [0i64, 99] {
+        group.bench_with_input(BenchmarkId::new("dynamic", a1), &a1, |b, &a1| {
+            b.iter(|| {
+                f.cold();
+                dynamic.run(&host_var_request(&f, a1))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("static_fscan", a1), &a1, |b, &a1| {
+            b.iter(|| {
+                f.cold();
+                static_opt.execute(StaticPlan::Fscan { pos: 0 }, &host_var_request(&f, a1))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("static_tscan", a1), &a1, |b, &a1| {
+            b.iter(|| {
+                f.cold();
+                static_opt.execute(StaticPlan::Tscan, &host_var_request(&f, a1))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn jscan_request(f: &JscanFixture) -> RetrievalRequest<'_> {
+    let residual: RecordPred =
+        Rc::new(move |r: &Record| r[0] == Value::Int(1) && r[1] == Value::Int(1));
+    RetrievalRequest {
+        table: &f.table,
+        indexes: vec![
+            IndexChoice::fetch_needed(&f.indexes[0], KeyRange::eq(1)),
+            IndexChoice::fetch_needed(&f.indexes[1], KeyRange::eq(1)),
+        ],
+        residual,
+        goal: OptimizeGoal::TotalTime,
+        order_required: false,
+        limit: None,
+    }
+}
+
+fn bench_jscan(c: &mut Criterion) {
+    let f = JscanFixture::build(20_000, &[200, 80], 200_000);
+    let dynamic = DynamicOptimizer::default();
+    let static_jscan = StaticJscan::new(StaticJscanConfig::default());
+    let mut group = c.benchmark_group("jscan");
+    group.bench_function("dynamic", |b| {
+        b.iter(|| {
+            f.cold();
+            dynamic.run(&jscan_request(&f))
+        })
+    });
+    group.bench_function("static_moha90", |b| {
+        b.iter(|| {
+            f.cold();
+            let req = jscan_request(&f);
+            let est = estimate_all(&req);
+            static_jscan.run(&req, &est)
+        })
+    });
+    group.finish();
+}
+
+fn bench_rid_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rid_tiers");
+    for n in [10usize, 1000, 50_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let pool = shared_pool(64, shared_meter(CostConfig::default()));
+                let mut builder =
+                    RidListBuilder::new(RidTierConfig::default(), pool, FileId(9));
+                for i in 0..n {
+                    builder.push(Rid::new(i as u32, 0));
+                }
+                builder.finish().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimation(c: &mut Criterion) {
+    let f = JscanFixture::build(100_000, &[1000], 200_000);
+    let idx = &f.indexes[1];
+    let mut group = c.benchmark_group("estimation");
+    group.bench_function("descent_to_split", |b| {
+        b.iter(|| idx.estimate_range(&KeyRange::closed(5_000, 8_000)))
+    });
+    group.bench_function("exact_count_scan", |b| {
+        b.iter(|| idx.count_range(KeyRange::closed(5_000, 8_000)))
+    });
+    let hist = rdb_btree::Histogram::equi_depth(idx, 100).expect("numeric keys");
+    group.bench_function("stored_histogram_probe", |b| {
+        b.iter(|| hist.estimate_range(&KeyRange::closed(5_000, 8_000)))
+    });
+    group.bench_function("stored_histogram_build", |b| {
+        b.iter(|| rdb_btree::Histogram::equi_depth(idx, 100))
+    });
+    group.finish();
+}
+
+fn bench_union(c: &mut Criterion) {
+    let f = JscanFixture::build(20_000, &[100, 150], 200_000);
+    let dynamic = DynamicOptimizer::default();
+    let mut group = c.benchmark_group("union_scan");
+    group.bench_function("or_two_arms", |b| {
+        b.iter(|| {
+            f.cold();
+            let residual: RecordPred = Rc::new(move |r: &Record| {
+                r[0] == Value::Int(1) || r[1] == Value::Int(2)
+            });
+            dynamic.run_union(
+                &f.table,
+                vec![
+                    (&f.indexes[0], KeyRange::eq(1)),
+                    (&f.indexes[1], KeyRange::eq(2)),
+                ],
+                &residual,
+                None,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_competition,
+    bench_host_variable,
+    bench_jscan,
+    bench_rid_tiers,
+    bench_estimation,
+    bench_union
+);
+criterion_main!(benches);

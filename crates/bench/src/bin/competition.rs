@@ -1,0 +1,171 @@
+//! E4/E5 — Section 3 competition model.
+//!
+//! Direct competition: with both plan costs L-shaped (knee c ≪ tail), run
+//! the risky plan to its knee and switch. The paper's headline:
+//! expected cost ≈ (m₂+c₂+M₁)/2, "about twice smaller than the
+//! traditional M₁". Also: the simultaneous proportional-speed variant for
+//! hyperbolic shapes, and the two-stage competition (pass `--two-stage`).
+//!
+//! Run: `cargo run --release -p rdb-bench --bin competition [-- --two-stage]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdb_bench::report::{fmt, print_table};
+use rdb_competition::{
+    direct_competition_cost, optimal_switch_point, simultaneous_cost, simultaneous_cost_n,
+    two_stage_cost, CostDist, TwoStageConfig,
+};
+
+fn direct() {
+    println!("== Direct competition (paper Section 3) ==\n");
+    println!("A1, A2 two-piece L-shapes: 50% of mass below the knee, tail beyond.\n");
+    let mut rows = Vec::new();
+    for (knee, tail1, tail2) in [
+        (1.0, 200.0, 240.0),
+        (1.0, 100.0, 100.0),
+        (2.0, 400.0, 2000.0),
+        (5.0, 50.0, 80.0),
+    ] {
+        let a1 = CostDist::l_shape(knee, tail1);
+        let a2 = CostDist::l_shape(knee, tail2);
+        let m1 = a1.mean();
+        let m2_below = a2.mean_below(knee).unwrap_or(0.0);
+        let formula = (m2_below + knee + m1) / 2.0;
+        let out = direct_competition_cost(&a1, &a2, knee);
+        let (s_opt, best) = optimal_switch_point(&a1, &a2);
+        rows.push(vec![
+            format!("c={knee} M1={}", fmt(m1)),
+            fmt(m1),
+            fmt(formula),
+            fmt(out.expected_cost),
+            fmt(out.speedup()),
+            fmt(s_opt),
+            fmt(best.expected_cost),
+        ]);
+    }
+    print_table(
+        &[
+            "scenario",
+            "traditional M1",
+            "(m2+c2+M1)/2",
+            "switch@knee",
+            "speedup",
+            "opt.switch",
+            "opt.cost",
+        ],
+        &rows,
+    );
+
+    println!("\n== Simultaneous proportional-speed run (hyperbolic shapes) ==\n");
+    let mut rng = StdRng::seed_from_u64(20_260_705);
+    let mut rows = Vec::new();
+    for b in [0.005, 0.02, 0.1] {
+        let a1 = CostDist::Hyperbolic { b, max: 200.0 };
+        let a2 = CostDist::Hyperbolic { b, max: 240.0 };
+        let seq = direct_competition_cost(&a1, &a2, a2.quantile(0.5));
+        let sim = simultaneous_cost(&a1, &a2, 1.0, None, &mut rng, 200_000);
+        let capped = simultaneous_cost(
+            &a1,
+            &a2,
+            1.0,
+            Some(a2.quantile(0.6)),
+            &mut rng,
+            200_000,
+        );
+        rows.push(vec![
+            format!("b={b}"),
+            fmt(a1.mean()),
+            fmt(seq.expected_cost),
+            fmt(sim.expected_cost),
+            fmt(capped.expected_cost),
+            fmt(a1.mean() / capped.expected_cost),
+        ]);
+    }
+    print_table(
+        &[
+            "shape",
+            "traditional",
+            "sequential@median",
+            "simultaneous",
+            "simult.+cap",
+            "best speedup",
+        ],
+        &rows,
+    );
+}
+
+fn n_way() {
+    println!("\n== N-way simultaneous races (sharp vs flat cost shapes) ==\n");
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut rows = Vec::new();
+    for (label, plan) in [
+        ("sharp L (b=0.001)", CostDist::Hyperbolic { b: 0.001, max: 1000.0 }),
+        ("medium (b=0.02)", CostDist::Hyperbolic { b: 0.02, max: 1000.0 }),
+        ("flat (uniform)", CostDist::Uniform { lo: 400.0, hi: 600.0 }),
+    ] {
+        let mut cells = vec![label.to_string(), fmt(plan.mean())];
+        for n in [1usize, 2, 3, 4] {
+            let plans = vec![plan; n];
+            let speeds = vec![1.0; n];
+            let out = simultaneous_cost_n(&plans, &speeds, &mut rng, 100_000);
+            cells.push(fmt(out.expected_cost));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        &["shape", "single mean", "1 racer", "2 racers", "3 racers", "4 racers"],
+        &rows,
+    );
+    println!(
+        "\nSharp L-shapes reward extra independent racers (each is another shot\n\
+         at a near-free run); flat shapes make every extra racer pure overhead\n\
+         — competition exploits uncertainty, it does not create value without it."
+    );
+}
+
+fn two_stage() {
+    println!("\n== Two-stage competition (paper Section 3) ==\n");
+    println!("A2 = cheap stage A' + expensive A''; A' continuously refines the A'' estimate.\n");
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut rows = Vec::new();
+    for (label, a1, a2) in [
+        ("L-shaped A2", CostDist::Fixed(50.0), CostDist::l_shape(2.0, 400.0)),
+        (
+            "uniform A2 (no L-shape needed)",
+            CostDist::Fixed(50.0),
+            CostDist::Uniform { lo: 0.0, hi: 150.0 },
+        ),
+        (
+            "hyperbolic A2",
+            CostDist::Fixed(30.0),
+            CostDist::Hyperbolic { b: 0.02, max: 300.0 },
+        ),
+    ] {
+        let out = two_stage_cost(&a1, &a2, &TwoStageConfig::default(), &mut rng, 200_000);
+        rows.push(vec![
+            label.to_string(),
+            fmt(out.commit_a1_cost),
+            fmt(out.commit_a2_cost),
+            fmt(out.expected_cost),
+            fmt(out.speedup()),
+            format!("{:.0}%", out.abandon_rate * 100.0),
+        ]);
+    }
+    print_table(
+        &[
+            "scenario",
+            "commit A1",
+            "commit A2",
+            "two-stage",
+            "speedup vs best static",
+            "abandon rate",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    direct();
+    n_way();
+    two_stage();
+}

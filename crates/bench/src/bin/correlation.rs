@@ -1,0 +1,83 @@
+//! E18 (supporting claim) — cross-column correlation wrecks independence
+//! estimates on *actual data*, the way Section 2 predicts.
+//!
+//! FAMILIES.INCOME_BAND copies AGE with 80% probability. An optimizer
+//! assuming independence estimates `AGE = x AND INCOME_BAND = x` at
+//! `sel(AGE=x) · sel(IB=x)` ≈ 0.01%, while the true selectivity is ~0.8%
+//! — an ~80× cardinality error from correlation alone, matching the
+//! `+1`-leaning correlation curves of Figure 2.1. The dynamic optimizer
+//! doesn't care: it observes the actual RID lists.
+//!
+//! Run: `cargo run --release -p rdb-bench --bin correlation`
+
+use std::collections::HashMap;
+
+use rdb_bench::report::{fmt, print_table};
+use rdb_dist::ops::and_selectivity;
+use rdb_storage::Value;
+use rdb_workload::{families_db, FamiliesConfig};
+
+fn main() {
+    let rows = 30_000usize;
+    let db = families_db(&FamiliesConfig {
+        rows,
+        ..FamiliesConfig::default()
+    });
+    let none: HashMap<String, Value> = HashMap::new();
+    let n = rows as f64;
+
+    let mut out = Vec::new();
+    for x in [5i64, 30, 70] {
+        let age = db
+            .query(&format!("select ID from FAMILIES where AGE = {x}"), &none)
+            .expect("query")
+            .rows
+            .len() as f64;
+        let band = db
+            .query(
+                &format!("select ID from FAMILIES where INCOME_BAND = {x}"),
+                &none,
+            )
+            .expect("query")
+            .rows
+            .len() as f64;
+        let both = db
+            .query(
+                &format!("select ID from FAMILIES where AGE = {x} and INCOME_BAND = {x}"),
+                &none,
+            )
+            .expect("query")
+            .rows
+            .len() as f64;
+        let (sa, sb, st) = (age / n, band / n, both / n);
+        let independent = and_selectivity(sa, sb, 0.0);
+        let plus_one = and_selectivity(sa, sb, 1.0);
+        out.push(vec![
+            format!("x = {x}"),
+            fmt(sa * 100.0),
+            fmt(sb * 100.0),
+            fmt(st * 100.0),
+            fmt(independent * 100.0),
+            fmt(plus_one * 100.0),
+            format!("x{:.0}", st / independent.max(1e-12)),
+        ]);
+    }
+    print_table(
+        &[
+            "binding",
+            "sel(AGE)%",
+            "sel(IB)%",
+            "true AND%",
+            "indep. AND%",
+            "c=+1 AND%",
+            "indep. error",
+        ],
+        &out,
+    );
+    println!(
+        "\nTrue AND selectivity sits near the c=+1 anchor, tens of times above\n\
+         the independence estimate — the compile-time number a [SACL79]-style\n\
+         optimizer would multiply its plan costs with. The paper's answer is\n\
+         not a better guess but abandoning the single-point guess entirely."
+    );
+}

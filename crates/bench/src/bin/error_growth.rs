@@ -1,0 +1,63 @@
+//! E17 (supporting claim) — error propagation à la Ioannidis &
+//! Christodoulakis \[IoCh91\], which the paper leans on: "the cardinality
+//! error of n-way join grows exponentially with n even if we have good
+//! estimates of the number of records delivered by the table scans."
+//!
+//! Using the Section 2 machinery: start from a *good* estimate (a tight
+//! bell) and apply n JOIN-like (AND) steps under unknown correlation;
+//! track how the relative spread and the high-probability-near-zero mass
+//! grow with n, and how the distribution's shape class degenerates.
+//!
+//! Run: `cargo run --release -p rdb-bench --bin error_growth`
+
+use rdb_bench::report::{fmt, print_table, sparkline};
+use rdb_dist::{join_unique, Correlation, Pdf, ShapeSummary};
+
+fn main() {
+    println!("== Error growth with join chain length [IoCh91 via Section 2] ==\n");
+    println!("start: selectivity estimate bell m=0.3, e=0.01; each step joins an");
+    println!("equally-estimated relation under unknown correlation.\n");
+
+    let base = Pdf::bell(0.3, 0.01);
+    let mut current = base.clone();
+    let mut rows = Vec::new();
+    let mut prev_rel_spread: f64 = 0.0;
+    for n in 0..=5 {
+        let s = ShapeSummary::of(&current);
+        let rel_spread = if s.mean > 1e-9 { s.std_dev / s.mean } else { f64::INFINITY };
+        let growth = if n == 0 {
+            "-".to_string()
+        } else {
+            format!("x{:.1}", rel_spread / prev_rel_spread.max(1e-12))
+        };
+        rows.push(vec![
+            format!("{n} joins"),
+            sparkline(&current, 24),
+            fmt(s.mean),
+            fmt(s.std_dev),
+            fmt(rel_spread),
+            growth,
+            if s.is_l_shaped_at_zero() {
+                "L-shape (Zipf-like)"
+            } else if s.std_dev < 0.02 {
+                "precise"
+            } else {
+                "spread"
+            }
+            .to_string(),
+        ]);
+        prev_rel_spread = rel_spread;
+        current = join_unique(&current, &base, Correlation::Unknown);
+    }
+    print_table(
+        &[
+            "chain", "density", "mean", "sd", "sd/mean", "spread growth", "shape",
+        ],
+        &rows,
+    );
+    println!(
+        "\nThe relative error multiplies with every join — the exponential\n\
+         growth [IoCh91] proved, and the reason the paper abandons single-\n\
+         plan compile-time optimization altogether."
+    );
+}

@@ -1,0 +1,200 @@
+//! E7/E8 — Figure 5: range estimation by descent to a split node,
+//! RangeRIDs ≈ k·f^(l−1), and the Section 5 OLTP shortcuts.
+//!
+//! Accuracy across range sizes (including the tiny/empty ranges that
+//! stored histograms miss), the counted ablation, the \[Ant92\] sampling
+//! estimator, and the estimation-cost-vs-scan-cost ratio. Pass
+//! `--shortcut` for the shortcut-path cost table.
+//!
+//! Run: `cargo run --release -p rdb-bench --bin estimation [-- --shortcut]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rdb_bench::fixtures::JscanFixture;
+use rdb_bench::report::{fmt, print_table};
+use rdb_btree::{Histogram, KeyRange, SampleMethod, Sampler};
+use rdb_core::Tscan;
+use rdb_storage::Value;
+
+fn main() {
+    let f = JscanFixture::build(100_000, &[1000], 200_000);
+    let idx = &f.indexes[1]; // unique id index
+    println!(
+        "index: {} entries, height {}, avg fanout {:.1}\n",
+        idx.len(),
+        idx.height(),
+        idx.avg_fanout()
+    );
+
+    println!("== Descent-to-split-node estimates vs truth (Figure 5) ==\n");
+    let mut rows = Vec::new();
+    for (lo, hi) in [
+        (50_000, 49_999), // empty (lo > hi)
+        (200_000, 300_000), // empty (outside domain)
+        (5_000, 5_000),
+        (5_000, 5_002),
+        (5_000, 5_030),
+        (5_000, 5_300),
+        (5_000, 8_000),
+        (5_000, 35_000),
+        (0, 99_999),
+    ] {
+        let range = KeyRange::closed(lo, hi);
+        let truth = ((hi.min(99_999) - lo.max(0) + 1).max(0)) as f64;
+        let est = idx.estimate_range(&range);
+        let counted = idx.estimate_range_counted(&range);
+        let ratio = if truth > 0.0 {
+            fmt(est.estimate / truth)
+        } else if est.estimate == 0.0 {
+            "exact".into()
+        } else {
+            "inf".into()
+        };
+        rows.push(vec![
+            format!("[{lo},{hi}]"),
+            fmt(truth),
+            fmt(est.estimate),
+            ratio,
+            format!("l={} k={}", est.split_level, est.k),
+            if est.exact { "yes" } else { "no" }.into(),
+            fmt(counted.estimate),
+            format!("{}", est.nodes_visited),
+        ]);
+    }
+    print_table(
+        &[
+            "range", "truth", "k*f^(l-1)", "est/truth", "split", "exact", "counted", "nodes",
+        ],
+        &rows,
+    );
+
+    println!("\n== Stored histograms vs descent to split node (the Section 5 argument) ==\n");
+    // Build a table with a hole so small/empty ranges are interesting:
+    // ids 0..40k and 60k..100k (hole at [40k, 60k)).
+    {
+        use rdb_storage::{
+            shared_meter, shared_pool, CostConfig, FileId, Rid,
+        };
+        let pool = shared_pool(200_000, shared_meter(CostConfig::default()));
+        let mut holed = rdb_btree::BTree::new("idx_holed", FileId(40), pool, vec![0], 64);
+        for i in (0..40_000i64).chain(60_000..100_000) {
+            holed.insert(vec![Value::Int(i)], Rid::new((i % 1_000_000) as u32, 0));
+        }
+        let hist = Histogram::equi_width(&holed, 50).expect("numeric keys");
+        let histd = Histogram::equi_depth(&holed, 50).expect("numeric keys");
+        let mut rows = Vec::new();
+        for (label, lo, hi, truth) in [
+            ("wide live range", 0i64, 29_999i64, 30_000.0),
+            ("range in the hole (empty)", 45_000, 45_999, 0.0),
+            ("tiny range (3 keys)", 70_000, 70_002, 3.0),
+            ("tiny range in hole (empty)", 50_000, 50_002, 0.0),
+        ] {
+            let r = KeyRange::closed(lo, hi);
+            let d = holed.estimate_range(&r);
+            rows.push(vec![
+                label.into(),
+                fmt(truth),
+                fmt(hist.estimate_range(&r)),
+                fmt(histd.estimate_range(&r)),
+                fmt(d.estimate),
+                if d.exact { "exact" } else { "est" }.into(),
+            ]);
+        }
+        print_table(
+            &[
+                "range",
+                "truth",
+                "equi-width(50)",
+                "equi-depth(50)",
+                "descent",
+                "descent kind",
+            ],
+            &rows,
+        );
+        println!(
+            "\nHistograms estimate wide ranges well but cannot *detect* tiny or\n\
+             empty ranges below bucket granularity — the exact cases the paper\n\
+             says 'must be detected and scanned first'. The descent is exact on\n\
+             them and always up to date (no rescan maintenance)."
+        );
+    }
+
+    println!("\n== Sampling estimator [Ant92] vs acceptance/rejection [OlRo89] ==\n");
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut rows = Vec::new();
+    for samples in [100, 400, 1600] {
+        let mut ranked = Sampler::new(idx, SampleMethod::Ranked);
+        let est_r = ranked
+            .estimate_selectivity(samples, &mut rng, |k, _| {
+                let v = k[0].as_i64().unwrap();
+                (5_000..=8_000).contains(&v)
+            })
+            .unwrap()
+            * 100_000.0;
+        let d_r = ranked.descents();
+        let mut ar = Sampler::new(idx, SampleMethod::AcceptReject);
+        let est_a = ar
+            .estimate_selectivity(samples, &mut rng, |k, _| {
+                let v = k[0].as_i64().unwrap();
+                (5_000..=8_000).contains(&v)
+            })
+            .unwrap()
+            * 100_000.0;
+        let d_a = ar.descents();
+        rows.push(vec![
+            format!("{samples} samples"),
+            "3001".into(),
+            fmt(est_r),
+            format!("{d_r}"),
+            fmt(est_a),
+            format!("{d_a}"),
+            fmt(d_a as f64 / d_r as f64),
+        ]);
+    }
+    print_table(
+        &[
+            "budget",
+            "truth",
+            "ranked est",
+            "descents",
+            "A/R est",
+            "A/R descents",
+            "A/R waste factor",
+        ],
+        &rows,
+    );
+
+    if std::env::args().any(|a| a == "--shortcut") {
+        println!("\n== Section 5 shortcuts: estimation cost vs productive scan cost ==\n");
+        let tscan = Tscan::full_cost(&f.table);
+        let mut rows = Vec::new();
+        for (label, lo, hi) in [
+            ("empty range", 500_000i64, 600_000i64),
+            ("tiny range (3)", 42, 44),
+            ("small range (300)", 42, 341),
+        ] {
+            f.cold();
+            let before = f.cost.total();
+            let est = idx.estimate_range(&KeyRange {
+                lo: rdb_btree::KeyBound::Inclusive(vec![Value::Int(lo)]),
+                hi: rdb_btree::KeyBound::Inclusive(vec![Value::Int(hi)]),
+            });
+            let est_cost = f.cost.total() - before;
+            rows.push(vec![
+                label.into(),
+                fmt(est.estimate),
+                fmt(est_cost),
+                fmt(tscan),
+                format!("{:.4}%", est_cost / tscan * 100.0),
+            ]);
+        }
+        print_table(
+            &["case", "estimate", "estimation cost", "Tscan cost", "ratio"],
+            &rows,
+        );
+        println!(
+            "\nThe estimation phase costs a root-to-split-node descent — orders of\n\
+             magnitude below any productive phase, as Section 5 requires."
+        );
+    }
+}

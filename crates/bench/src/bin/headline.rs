@@ -1,0 +1,155 @@
+//! E16 — the headline end-to-end experiment: a mixed workload with skew,
+//! clustering, correlation, and host variables, run through
+//!
+//! * the dynamic optimizer (this paper),
+//! * the Selinger-style static optimizer committed per query shape,
+//! * the per-run oracle (best single static plan for each binding).
+//!
+//! The paper's claim to reproduce: "The problem of incorrect strategy
+//! selection is largely gone, and part of it is transformed into a smaller
+//! problem of reducing the overhead of parallel strategy runs and of
+//! unsuccessful (abandoned) runs."
+//!
+//! Run: `cargo run --release -p rdb-bench --bin headline`
+
+use std::rc::Rc;
+
+use rdb_bench::report::{fmt, print_table};
+use rdb_btree::KeyRange;
+use rdb_core::baseline::{PredShape, StaticIndexInfo};
+use rdb_core::{
+    DynamicOptimizer, IndexChoice, OptimizeGoal, RecordPred, RetrievalRequest, StaticOptimizer,
+    StaticPlan,
+};
+use rdb_storage::{Record, Value};
+use rdb_workload::{families_db, FamiliesConfig};
+
+struct QueryCase {
+    label: String,
+    /// Index position (0=AGE,1=CITY,2=REGION,3=INCOME) and bound range.
+    index: usize,
+    range: KeyRange,
+    residual: RecordPred,
+    shape: PredShape,
+}
+
+fn main() {
+    let db = families_db(&FamiliesConfig {
+        rows: 30_000,
+        ..FamiliesConfig::default()
+    });
+    let table = db.heap("FAMILIES").expect("fixture");
+    let indexes = db.indexes("FAMILIES").expect("fixture");
+    let col = |name: &str| -> usize {
+        table
+            .schema()
+            .column_index(name)
+            .expect("fixture column")
+    };
+    let (age_c, city_c, region_c) = (col("AGE"), col("CITY"), col("REGION"));
+
+    // A workload mixing the paper's uncertainty sources.
+    let mut cases: Vec<QueryCase> = Vec::new();
+    for a1 in [0i64, 50, 90, 99] {
+        cases.push(QueryCase {
+            label: format!("AGE >= {a1} (host var sweep)"),
+            index: 0,
+            range: KeyRange::at_least(a1),
+            residual: Rc::new(move |r: &Record| r[1].as_i64().unwrap() >= a1),
+            shape: PredShape::Range,
+        });
+    }
+    for city in [0i64, 5, 300] {
+        cases.push(QueryCase {
+            label: format!("CITY = {city} (zipf skew)"),
+            index: 1,
+            range: KeyRange::eq(city),
+            residual: Rc::new(move |r: &Record| r[2] == Value::Int(city)),
+            shape: PredShape::Eq,
+        });
+    }
+    cases.push(QueryCase {
+        label: "REGION = 3 (clustered)".into(),
+        index: 2,
+        range: KeyRange::eq(3),
+        residual: Rc::new(move |r: &Record| r[3] == Value::Int(3)),
+        shape: PredShape::Eq,
+    });
+    let _ = (age_c, city_c, region_c);
+
+    let dynamic = DynamicOptimizer::default();
+    let static_opt = StaticOptimizer::default();
+
+    let mut rows = Vec::new();
+    let (mut sum_dyn, mut sum_static, mut sum_oracle) = (0.0, 0.0, 0.0);
+    for case in &cases {
+        let tree = &indexes[case.index];
+        let stats = tree.stats();
+        let committed = static_opt.plan(
+            table,
+            &[StaticIndexInfo {
+                entries: stats.entries,
+                distinct_keys: stats.distinct_keys,
+                avg_fanout: stats.avg_fanout,
+                shape: case.shape,
+                self_sufficient: false,
+            }],
+        );
+        let request = || RetrievalRequest {
+            table,
+            indexes: vec![IndexChoice::fetch_needed(tree, case.range.clone())],
+            residual: case.residual.clone(),
+            goal: OptimizeGoal::TotalTime,
+            order_required: false,
+            limit: None,
+        };
+        db.clear_cache();
+        let dyn_run = dynamic.run(&request());
+        db.clear_cache();
+        let stat_run = static_opt.execute(committed, &request());
+        db.clear_cache();
+        let t = static_opt.execute(StaticPlan::Tscan, &request());
+        db.clear_cache();
+        let fs = static_opt.execute(StaticPlan::Fscan { pos: 0 }, &request());
+        let oracle = t.cost.min(fs.cost);
+        assert_eq!(dyn_run.deliveries.len(), stat_run.deliveries.len());
+        sum_dyn += dyn_run.cost;
+        sum_static += stat_run.cost;
+        sum_oracle += oracle;
+        rows.push(vec![
+            case.label.clone(),
+            format!("{}", dyn_run.deliveries.len()),
+            fmt(dyn_run.cost),
+            fmt(stat_run.cost),
+            fmt(oracle),
+            fmt(dyn_run.cost / oracle.max(1e-9)),
+            fmt(stat_run.cost / oracle.max(1e-9)),
+        ]);
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        String::new(),
+        fmt(sum_dyn),
+        fmt(sum_static),
+        fmt(sum_oracle),
+        fmt(sum_dyn / sum_oracle),
+        fmt(sum_static / sum_oracle),
+    ]);
+    print_table(
+        &[
+            "query",
+            "rows",
+            "dynamic",
+            "static(committed)",
+            "oracle",
+            "dyn/oracle",
+            "static/oracle",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape to check: dyn/oracle stays within a small constant everywhere\n\
+         (the residual overhead of abandoned competitors), while static/oracle\n\
+         explodes wherever the compile-time selectivity guess was wrong."
+    );
+}

@@ -1,0 +1,299 @@
+//! Range-size estimation by descent to a split node (paper Section 5,
+//! Figure 5).
+//!
+//! > "We first descend the tree from the root along the path containing
+//! > only those nodes which branches include all range keys. The lowest
+//! > node of the path is a 'split' node. Its level is a 'split' level *l*.
+//! > The number of its neighboring children containing the range is *k+1*
+//! > if *l*>1, and the number of range-satisfying RIDs is *k* if *l*=1.
+//! > Assuming that the left- and rightmost children of the split node range
+//! > contain 50% of range-satisfying keys (and thus counting those two
+//! > nodes as one) and assuming the average tree fanout be *f*, we can now
+//! > estimate the number of range RIDs as RangeRIDs ≈ k·f^(l−1)."
+//!
+//! The descent touches one node per level, so the estimate costs a handful
+//! of (usually cached) page accesses; when the range is empty or falls
+//! entirely inside one leaf the count is **exact** — the property the
+//! paper's OLTP shortcut path relies on.
+
+use crate::key::KeyRange;
+use crate::node::Node;
+use crate::tree::BTree;
+
+/// Result of a descent-to-split-node estimation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeEstimate {
+    /// Estimated number of entries (RIDs) in the range.
+    pub estimate: f64,
+    /// The paper's split level `l` (leaves are level 1).
+    pub split_level: u32,
+    /// The paper's `k` (exact match count when `split_level == 1`).
+    pub k: u64,
+    /// True when the estimate is exact (empty range, or split at a leaf).
+    pub exact: bool,
+    /// Nodes touched during the descent (the estimation cost in pages).
+    pub nodes_visited: u32,
+}
+
+impl RangeEstimate {
+    fn exact_count(k: u64, nodes_visited: u32) -> Self {
+        RangeEstimate {
+            estimate: k as f64,
+            split_level: 1,
+            k,
+            exact: true,
+            nodes_visited,
+        }
+    }
+}
+
+impl BTree {
+    /// Estimates the number of entries in `range` using the paper's
+    /// descent-to-split-node method. Charges the descent path.
+    pub fn estimate_range(&self, range: &KeyRange) -> RangeEstimate {
+        self.estimate_with(range, false)
+    }
+
+    /// Variant of [`BTree::estimate_range`] that uses the maintained
+    /// subtree counts instead of `k·f^(l−1)`: the middle children
+    /// contribute their exact counts and the two edge children half each.
+    /// Same descent, same cost, better precision — an ablation of how much
+    /// of the estimation error comes from the average-fanout assumption.
+    pub fn estimate_range_counted(&self, range: &KeyRange) -> RangeEstimate {
+        self.estimate_with(range, true)
+    }
+
+    fn estimate_with(&self, range: &KeyRange, use_counts: bool) -> RangeEstimate {
+        if range.is_trivially_empty() || self.is_empty() {
+            return RangeEstimate::exact_count(0, 0);
+        }
+        let f = self.avg_fanout();
+        let mut id = self.root;
+        let mut level = self.height();
+        let mut visited = 0u32;
+        loop {
+            self.touch(id);
+            visited += 1;
+            match self.node(id) {
+                Node::Leaf(leaf) => {
+                    // Split level 1: k is the exact number of matching RIDs.
+                    let lo = leaf
+                        .entries
+                        .partition_point(|e| !range.satisfies_lo(&e.key));
+                    let hi = leaf.entries.partition_point(|e| range.satisfies_hi(&e.key));
+                    let k = hi.saturating_sub(lo) as u64;
+                    return RangeEstimate::exact_count(k, visited);
+                }
+                Node::Internal(node) => {
+                    let first = node
+                        .seps
+                        .partition_point(|s| !range.satisfies_lo(&s.key));
+                    let last = node.seps.partition_point(|s| range.satisfies_hi(&s.key));
+                    if first > last {
+                        // No child can contain the range: provably empty.
+                        return RangeEstimate::exact_count(0, visited);
+                    }
+                    if first == last {
+                        // Range confined to a single branch: keep descending.
+                        id = node.children[first];
+                        level -= 1;
+                        continue;
+                    }
+                    // Split node found: children first..=last contain the
+                    // range, i.e. k+1 children with k = last - first.
+                    let k = (last - first) as u64;
+                    let estimate = if use_counts {
+                        let mut sum = 0.5 * (node.counts[first] + node.counts[last]) as f64;
+                        for c in first + 1..last {
+                            sum += node.counts[c] as f64;
+                        }
+                        sum
+                    } else {
+                        // Children of the split node sit at level l-1; a
+                        // subtree at level m holds ~f^m entries (a leaf holds
+                        // ~f), giving the paper's RangeRIDs ≈ k·f^(l−1).
+                        k as f64 * f.powi(level as i32 - 1)
+                    };
+                    return RangeEstimate {
+                        estimate,
+                        split_level: level,
+                        k,
+                        exact: false,
+                        nodes_visited: visited,
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl BTree {
+    /// Sampling-refined range estimate (paper Section 5: "More precise
+    /// estimation would require a good inexpensive random sampling on
+    /// range children of a split node"). Draws `samples` ranked samples
+    /// (\[Ant92\]) and scales the in-range fraction by the entry count;
+    /// falls back to the descent estimate when it is already exact.
+    pub fn estimate_range_sampled<R: rand::Rng>(
+        &self,
+        range: &crate::key::KeyRange,
+        samples: usize,
+        rng: &mut R,
+    ) -> RangeEstimate {
+        let descent = self.estimate_range(range);
+        if descent.exact || samples == 0 {
+            return descent;
+        }
+        let mut sampler = crate::sample::Sampler::new(self, crate::sample::SampleMethod::Ranked);
+        let Some(fraction) = sampler.estimate_selectivity(samples, rng, |key, _| {
+            range.contains(key)
+        }) else {
+            return descent;
+        };
+        RangeEstimate {
+            estimate: fraction * self.len() as f64,
+            split_level: descent.split_level,
+            k: descent.k,
+            exact: false,
+            nodes_visited: descent.nodes_visited + (samples as u32) * self.height(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId, Rid, Value};
+
+    fn tree(fanout: usize, n: i64) -> BTree {
+        let pool = shared_pool(10_000, shared_meter(CostConfig::default()));
+        let mut t = BTree::new("idx", FileId(1), pool, vec![0], fanout);
+        for i in 0..n {
+            t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
+        }
+        t
+    }
+
+    #[test]
+    fn empty_range_detected_exactly() {
+        let t = tree(4, 1000);
+        let est = t.estimate_range(&KeyRange::closed(5000, 6000));
+        assert!(est.exact);
+        assert_eq!(est.estimate, 0.0);
+        let est2 = t.estimate_range(&KeyRange::closed(10, 5));
+        assert!(est2.exact);
+        assert_eq!(est2.estimate, 0.0);
+        assert_eq!(est2.nodes_visited, 0, "trivially empty costs nothing");
+    }
+
+    #[test]
+    fn tiny_range_exact_when_inside_one_leaf() {
+        let t = tree(8, 10_000);
+        // A 1-key range almost always sits inside a single leaf.
+        let est = t.estimate_range(&KeyRange::eq(1234));
+        assert!(est.estimate >= 1.0);
+        if est.exact {
+            assert_eq!(est.estimate, 1.0);
+        }
+    }
+
+    #[test]
+    fn estimate_tracks_true_count_within_factor() {
+        let t = tree(8, 50_000);
+        for (lo, hi) in [(0, 499), (1000, 8999), (20_000, 49_999), (100, 120)] {
+            let r = KeyRange::closed(lo, hi);
+            let truth = (hi - lo + 1) as f64;
+            let est = t.estimate_range(&r).estimate.max(1.0);
+            let ratio = est / truth;
+            assert!(
+                (0.2..=5.0).contains(&ratio),
+                "range [{lo},{hi}]: estimate {est} vs truth {truth} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn counted_estimate_near_exact_on_wide_ranges() {
+        // On a range spanning many children of the split node, the counted
+        // variant sums real subtree counts and lands within ~1 child of the
+        // truth; the plain k·f^(l−1) formula can drift much further.
+        let t = tree(8, 50_000);
+        for (lo, hi) in [(0, 49_999), (5000, 44_999), (1000, 30_000)] {
+            let truth = (hi - lo + 1) as f64;
+            let counted = t
+                .estimate_range_counted(&KeyRange::closed(lo, hi))
+                .estimate;
+            let rel = (counted - truth).abs() / truth;
+            assert!(
+                rel < 0.35,
+                "counted estimate for [{lo},{hi}] off by {rel}: {counted} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn descent_cost_is_at_most_height() {
+        let t = tree(4, 10_000);
+        let est = t.estimate_range(&KeyRange::closed(100, 5000));
+        assert!(est.nodes_visited <= t.height());
+    }
+
+    #[test]
+    fn paper_worked_example_shape() {
+        // Figure 5's example: split at level 2 with k=1 and f=3 estimates 3.
+        // We verify the formula structurally: any estimate from an internal
+        // split node at level l must equal k · f^(l−1).
+        let t = tree(4, 10_000);
+        let r = KeyRange::closed(3000, 3100);
+        let est = t.estimate_range(&r);
+        if !est.exact {
+            let f = t.avg_fanout();
+            let expect = est.k as f64 * f.powi(est.split_level as i32 - 1);
+            assert!((est.estimate - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampled_estimate_fixes_descent_bias() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // The full-range case: the descent formula underestimates when the
+        // root has few children; sampling recovers the truth.
+        let t = tree(8, 50_000);
+        let r = KeyRange::closed(0, 49_999);
+        let descent = t.estimate_range(&r);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sampled = t.estimate_range_sampled(&r, 400, &mut rng);
+        let truth = 50_000.0;
+        let descent_err = (descent.estimate - truth).abs() / truth;
+        let sampled_err = (sampled.estimate - truth).abs() / truth;
+        assert!(
+            sampled_err < descent_err.min(0.1),
+            "sampled {} vs descent {} vs truth {truth}",
+            sampled.estimate,
+            descent.estimate
+        );
+    }
+
+    #[test]
+    fn sampled_estimate_keeps_exact_results() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let t = tree(8, 1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let est = t.estimate_range_sampled(&KeyRange::closed(5000, 6000), 100, &mut rng);
+        assert!(est.exact);
+        assert_eq!(est.estimate, 0.0);
+    }
+
+    #[test]
+    fn full_range_estimates_near_cardinality() {
+        let t = tree(16, 100_000);
+        let est = t.estimate_range(&KeyRange::all());
+        let ratio = est.estimate / 100_000.0;
+        assert!(
+            (0.3..=3.0).contains(&ratio),
+            "full-range estimate off: {}",
+            est.estimate
+        );
+    }
+}

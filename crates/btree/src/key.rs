@@ -1,0 +1,213 @@
+//! Index keys and range bounds with prefix semantics.
+//!
+//! An index entry's key is the full list of indexed column values; range
+//! bounds may specify only a *prefix* of those columns (e.g. a bound on the
+//! first column of a two-column index). A shorter bound compares equal to
+//! any entry that matches it column-for-column, and the bound kind then
+//! decides inclusion: `Inclusive(prefix)` admits every entry with that
+//! prefix, `Exclusive(prefix)` rejects them all.
+
+use std::cmp::Ordering;
+
+use rdb_storage::Value;
+
+/// Compares an entry key against a bound prefix: only the first
+/// `prefix.len()` columns participate; equality means "entry matches the
+/// prefix".
+pub fn cmp_key_prefix(entry: &[Value], prefix: &[Value]) -> Ordering {
+    for (e, p) in entry.iter().zip(prefix.iter()) {
+        match e.cmp(p) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    // Entry exhausted before prefix: the entry is a strict prefix of the
+    // bound, which orders it before any full-length key with that prefix.
+    if entry.len() < prefix.len() {
+        Ordering::Less
+    } else {
+        Ordering::Equal
+    }
+}
+
+/// One end of a key range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyBound {
+    /// No bound on this end.
+    Unbounded,
+    /// Entries matching the prefix are inside the range.
+    Inclusive(Vec<Value>),
+    /// Entries matching the prefix are outside the range.
+    Exclusive(Vec<Value>),
+}
+
+impl KeyBound {
+    /// Convenience: an inclusive single-column bound.
+    pub fn inclusive(v: impl Into<Value>) -> Self {
+        KeyBound::Inclusive(vec![v.into()])
+    }
+
+    /// Convenience: an exclusive single-column bound.
+    pub fn exclusive(v: impl Into<Value>) -> Self {
+        KeyBound::Exclusive(vec![v.into()])
+    }
+}
+
+/// A (possibly half-open) range of index keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyRange {
+    /// Lower end.
+    pub lo: KeyBound,
+    /// Upper end.
+    pub hi: KeyBound,
+}
+
+impl KeyRange {
+    /// The full index: no bounds.
+    pub fn all() -> Self {
+        KeyRange {
+            lo: KeyBound::Unbounded,
+            hi: KeyBound::Unbounded,
+        }
+    }
+
+    /// Closed range `[lo, hi]` on the first column.
+    pub fn closed(lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
+        KeyRange {
+            lo: KeyBound::inclusive(lo),
+            hi: KeyBound::inclusive(hi),
+        }
+    }
+
+    /// Exact-match range on the first column.
+    pub fn eq(v: impl Into<Value>) -> Self {
+        let v = v.into();
+        KeyRange {
+            lo: KeyBound::Inclusive(vec![v.clone()]),
+            hi: KeyBound::Inclusive(vec![v]),
+        }
+    }
+
+    /// `key >= lo` half-open range.
+    pub fn at_least(lo: impl Into<Value>) -> Self {
+        KeyRange {
+            lo: KeyBound::inclusive(lo),
+            hi: KeyBound::Unbounded,
+        }
+    }
+
+    /// `key <= hi` half-open range.
+    pub fn at_most(hi: impl Into<Value>) -> Self {
+        KeyRange {
+            lo: KeyBound::Unbounded,
+            hi: KeyBound::inclusive(hi),
+        }
+    }
+
+    /// True iff `key` satisfies the lower bound.
+    pub fn satisfies_lo(&self, key: &[Value]) -> bool {
+        match &self.lo {
+            KeyBound::Unbounded => true,
+            KeyBound::Inclusive(p) => cmp_key_prefix(key, p) != Ordering::Less,
+            KeyBound::Exclusive(p) => cmp_key_prefix(key, p) == Ordering::Greater,
+        }
+    }
+
+    /// True iff `key` satisfies the upper bound.
+    pub fn satisfies_hi(&self, key: &[Value]) -> bool {
+        match &self.hi {
+            KeyBound::Unbounded => true,
+            KeyBound::Inclusive(p) => cmp_key_prefix(key, p) != Ordering::Greater,
+            KeyBound::Exclusive(p) => cmp_key_prefix(key, p) == Ordering::Less,
+        }
+    }
+
+    /// True iff `key` lies inside the range.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.satisfies_lo(key) && self.satisfies_hi(key)
+    }
+
+    /// True if the range is syntactically empty on single-column bounds
+    /// (lo > hi, or lo == hi with either end exclusive). A conservative
+    /// check — `false` does not guarantee the range matches anything.
+    pub fn is_trivially_empty(&self) -> bool {
+        let (lo, lo_excl) = match &self.lo {
+            KeyBound::Unbounded => return false,
+            KeyBound::Inclusive(p) => (p, false),
+            KeyBound::Exclusive(p) => (p, true),
+        };
+        let (hi, hi_excl) = match &self.hi {
+            KeyBound::Unbounded => return false,
+            KeyBound::Inclusive(p) => (p, false),
+            KeyBound::Exclusive(p) => (p, true),
+        };
+        let n = lo.len().min(hi.len());
+        match lo[..n].cmp(&hi[..n]) {
+            Ordering::Greater => true,
+            Ordering::Equal => (lo_excl || hi_excl) && lo.len() == hi.len(),
+            Ordering::Less => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn prefix_compare_ignores_extra_entry_columns() {
+        assert_eq!(cmp_key_prefix(&k(&[5, 99]), &k(&[5])), Ordering::Equal);
+        assert_eq!(cmp_key_prefix(&k(&[4, 99]), &k(&[5])), Ordering::Less);
+        assert_eq!(cmp_key_prefix(&k(&[6, 0]), &k(&[5])), Ordering::Greater);
+    }
+
+    #[test]
+    fn short_entry_orders_before_longer_prefix() {
+        assert_eq!(cmp_key_prefix(&k(&[5]), &k(&[5, 0])), Ordering::Less);
+    }
+
+    #[test]
+    fn closed_range_contains_endpoints() {
+        let r = KeyRange::closed(10, 20);
+        assert!(r.contains(&k(&[10])));
+        assert!(r.contains(&k(&[20])));
+        assert!(r.contains(&k(&[15, 7])));
+        assert!(!r.contains(&k(&[9])));
+        assert!(!r.contains(&k(&[21])));
+    }
+
+    #[test]
+    fn exclusive_prefix_rejects_whole_prefix_group() {
+        let r = KeyRange {
+            lo: KeyBound::Exclusive(k(&[10])),
+            hi: KeyBound::Unbounded,
+        };
+        assert!(!r.contains(&k(&[10, 999])));
+        assert!(r.contains(&k(&[11])));
+    }
+
+    #[test]
+    fn eq_range_matches_prefix_group() {
+        let r = KeyRange::eq(7);
+        assert!(r.contains(&k(&[7])));
+        assert!(r.contains(&k(&[7, 3])));
+        assert!(!r.contains(&k(&[8])));
+    }
+
+    #[test]
+    fn trivially_empty_detection() {
+        assert!(KeyRange::closed(20, 10).is_trivially_empty());
+        assert!(!KeyRange::closed(10, 20).is_trivially_empty());
+        assert!(!KeyRange::eq(5).is_trivially_empty());
+        let half_open_empty = KeyRange {
+            lo: KeyBound::inclusive(5),
+            hi: KeyBound::exclusive(5),
+        };
+        assert!(half_open_empty.is_trivially_empty());
+        assert!(!KeyRange::all().is_trivially_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests: the B+-tree agrees with a sorted-vector model.
+
+use proptest::prelude::*;
+use rdb_btree::{BTree, KeyBound, KeyRange};
+use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId, Rid, Value};
+
+fn build(keys: &[i64], fanout: usize) -> BTree {
+    let pool = shared_pool(100_000, shared_meter(CostConfig::default()));
+    let mut tree = BTree::new("idx", FileId(1), pool, vec![0], fanout);
+    for (i, &k) in keys.iter().enumerate() {
+        tree.insert(vec![Value::Int(k)], Rid::new(i as u32, 0));
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_matches_sorted_model(
+        keys in prop::collection::vec(-100i64..100, 0..400),
+        fanout in 4usize..12,
+        lo in -120i64..120,
+        len in 0i64..120,
+    ) {
+        let tree = build(&keys, fanout);
+        tree.check_invariants();
+        let hi = lo + len;
+        let got: Vec<i64> = tree
+            .range_to_vec(KeyRange::closed(lo, hi))
+            .into_iter()
+            .map(|(k, _)| k[0].as_i64().unwrap())
+            .collect();
+        let mut expect: Vec<i64> = keys.iter().copied().filter(|&k| lo <= k && k <= hi).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn estimate_exactness_contract(
+        keys in prop::collection::vec(0i64..1000, 1..500),
+        lo in 0i64..1000,
+        len in 0i64..200,
+    ) {
+        let tree = build(&keys, 6);
+        let hi = lo + len;
+        let range = KeyRange::closed(lo, hi);
+        let est = tree.estimate_range(&range);
+        let truth = keys.iter().filter(|&&k| lo <= k && k <= hi).count() as f64;
+        if est.exact {
+            prop_assert_eq!(est.estimate, truth, "exact estimates must be the truth");
+        } else {
+            prop_assert!(est.estimate > 0.0);
+        }
+        // Counted variant is exact whenever the plain one is, and its
+        // estimate is never negative.
+        let counted = tree.estimate_range_counted(&range);
+        prop_assert!(counted.estimate >= 0.0);
+        if counted.exact {
+            prop_assert_eq!(counted.estimate, truth);
+        }
+    }
+
+    #[test]
+    fn delete_then_scan_consistent(
+        keys in prop::collection::vec(0i64..50, 1..200),
+        delete_mask in prop::collection::vec(any::<bool>(), 200),
+    ) {
+        let mut tree = build(&keys, 5);
+        let mut model: Vec<(i64, u32)> = keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            if delete_mask[i % delete_mask.len()] {
+                prop_assert!(tree.delete(&[Value::Int(k)], Rid::new(i as u32, 0)));
+                model.retain(|&(_, idx)| idx != i as u32);
+            }
+        }
+        tree.check_invariants();
+        let got: Vec<(i64, u32)> = tree
+            .range_to_vec(KeyRange::all())
+            .into_iter()
+            .map(|(k, rid)| (k[0].as_i64().unwrap(), rid.page))
+            .collect();
+        model.sort_unstable();
+        prop_assert_eq!(got, model);
+    }
+
+    #[test]
+    fn bulk_load_equals_incremental(
+        keys in prop::collection::vec(-50i64..50, 0..300),
+        fanout in 4usize..16,
+    ) {
+        let pool = shared_pool(100_000, shared_meter(CostConfig::default()));
+        let entries: Vec<(Vec<Value>, Rid)> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (vec![Value::Int(k)], Rid::new(i as u32, 0)))
+            .collect();
+        let bulk = rdb_btree::BTree::bulk_load(
+            "bulk",
+            FileId(7),
+            pool,
+            vec![0],
+            fanout,
+            entries.clone(),
+        );
+        bulk.check_invariants();
+        let incremental = build(&keys, fanout);
+        prop_assert_eq!(
+            bulk.range_to_vec(KeyRange::all()),
+            incremental.range_to_vec(KeyRange::all())
+        );
+        prop_assert_eq!(bulk.len(), incremental.len());
+    }
+
+    #[test]
+    fn exclusive_bounds_match_model(
+        keys in prop::collection::vec(0i64..100, 0..200),
+        lo in 0i64..100,
+        hi in 0i64..100,
+    ) {
+        let tree = build(&keys, 5);
+        let range = KeyRange {
+            lo: KeyBound::exclusive(lo),
+            hi: KeyBound::exclusive(hi),
+        };
+        let got: Vec<i64> = tree
+            .range_to_vec(range)
+            .into_iter()
+            .map(|(k, _)| k[0].as_i64().unwrap())
+            .collect();
+        let mut expect: Vec<i64> = keys.iter().copied().filter(|&k| lo < k && k < hi).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,358 @@
+//! Direct competition between two alternative plans (paper Section 3).
+//!
+//! Plans `A₁` (safe, mean `M₁`) and `A₂` (risky, L-shaped with knee `c₂`)
+//! aim at the same goal. The traditional optimizer runs `A₁` to the end
+//! for expected cost `M₁`. The paper's arrangement: run `A₂` until its
+//! spend reaches a switch point; if it completed, we paid its (usually
+//! tiny) real cost; if not, abandon it and run `A₁`, having wasted only
+//! the switch budget. With the switch at the knee:
+//!
+//! > "Putting together the weighted costs of the two scenarios, we come up
+//! > with an average cost (m₂ + c₂ + M₁)/2, about twice smaller than the
+//! > traditional M₁ because m₂ ≤ c₂ ≪ M₁."
+//!
+//! [`simultaneous_cost`] evaluates the refinement for hyperbolic shapes:
+//! advancing both plans at proportional speeds until the first completes.
+
+use rand::Rng;
+
+use crate::dist::CostDist;
+
+/// Analytic/Monte-Carlo results of one competition arrangement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectOutcome {
+    /// Expected total cost of the arrangement.
+    pub expected_cost: f64,
+    /// Expected cost of the traditional choice (run `a1` to the end).
+    pub traditional_cost: f64,
+    /// Probability that the risky plan finished before the switch point.
+    pub risky_win_prob: f64,
+}
+
+impl DirectOutcome {
+    /// `traditional / competition` — >1 means competition wins.
+    pub fn speedup(&self) -> f64 {
+        self.traditional_cost / self.expected_cost
+    }
+}
+
+/// Expected cost of "run `a2` until spend `switch_at`, then switch to a
+/// full `a1` run", computed analytically from the distributions.
+///
+/// `E = P(w₂ ≤ s)·E[w₂ | w₂ ≤ s] + (1 − P(w₂ ≤ s))·(s + M₁)`.
+pub fn direct_competition_cost(a1: &CostDist, a2: &CostDist, switch_at: f64) -> DirectOutcome {
+    let p_win = a2.cdf(switch_at);
+    let m2 = a2.mean_below(switch_at).unwrap_or(0.0);
+    let expected = p_win * m2 + (1.0 - p_win) * (switch_at + a1.mean());
+    DirectOutcome {
+        expected_cost: expected,
+        traditional_cost: a1.mean(),
+        risky_win_prob: p_win,
+    }
+}
+
+/// Finds the switch point minimizing [`direct_competition_cost`] by grid
+/// search over `[0, a2.max()]`.
+pub fn optimal_switch_point(a1: &CostDist, a2: &CostDist) -> (f64, DirectOutcome) {
+    let mut best_s = 0.0;
+    let mut best = direct_competition_cost(a1, a2, 0.0);
+    let consider = |s: f64, best_s: &mut f64, best: &mut DirectOutcome| {
+        let out = direct_competition_cost(a1, a2, s);
+        if out.expected_cost < best.expected_cost {
+            *best = out;
+            *best_s = s;
+        }
+    };
+    // Coarse pass over the full support, then two refinement passes around
+    // the running winner.
+    let n = 400;
+    for i in 1..=n {
+        consider(a2.max() * i as f64 / n as f64, &mut best_s, &mut best);
+    }
+    for _ in 0..2 {
+        let width = a2.max() / n as f64;
+        let centre = best_s;
+        for i in 0..=100 {
+            let s = (centre - width + 2.0 * width * i as f64 / 100.0).max(0.0);
+            consider(s, &mut best_s, &mut best);
+        }
+    }
+    (best_s, best)
+}
+
+/// Monte-Carlo expected cost of running both plans **simultaneously with
+/// proportional speeds** until the first completes (`speed₁ : speed₂` =
+/// `speed_ratio : 1`), optionally capping `a2`'s spend at `a2_budget`
+/// after which only `a1` continues.
+///
+/// Total spend when a plan with remaining work `w` finishes first is
+/// `w · (1 + other_speed/own_speed)` — both plans burn cost while racing,
+/// which is exactly the overhead the paper trades for the chance of an
+/// early `A₂` win.
+pub fn simultaneous_cost<R: Rng>(
+    a1: &CostDist,
+    a2: &CostDist,
+    speed_ratio: f64,
+    a2_budget: Option<f64>,
+    rng: &mut R,
+    trials: u32,
+) -> DirectOutcome {
+    assert!(speed_ratio > 0.0);
+    let mut total = 0.0;
+    let mut wins = 0u32;
+    for _ in 0..trials {
+        let w1 = a1.sample(rng);
+        let w2 = a2.sample(rng);
+        // Times at unit wall-clock speed scale: t1 = w1/speed1, t2 = w2/speed2
+        // with speed1 = speed_ratio, speed2 = 1.
+        let t1 = w1 / speed_ratio;
+        let t2 = w2;
+        let budget = a2_budget.unwrap_or(f64::INFINITY);
+        let cost = if t2 <= t1 && w2 <= budget {
+            // A2 completes first (within its budget): both spent until t2.
+            wins += 1;
+            w2 + t2 * speed_ratio
+        } else {
+            // A2 abandoned: either A1 finished first, or A2 hit its budget
+            // and A1 continued alone to completion.
+            let a2_spend = w2.min(budget).min(t1);
+            w1 + a2_spend
+        };
+        total += cost;
+    }
+    DirectOutcome {
+        expected_cost: total / trials as f64,
+        traditional_cost: a1.mean(),
+        risky_win_prob: wins as f64 / trials as f64,
+    }
+}
+
+/// Monte-Carlo expected cost of racing **N** plans simultaneously with
+/// the given speed weights until the first completes — the paper's
+/// "run several local plans simultaneously with the proportional speed
+/// for a short time, and then select one 'best' plan".
+///
+/// Total spend when plan `w` finishes first at wall-time `t` is
+/// `Σᵢ min(tᵢ_spent, t)·speedᵢ` — every racer burns cost until the
+/// winner crosses the line.
+pub fn simultaneous_cost_n<R: Rng>(
+    plans: &[CostDist],
+    speeds: &[f64],
+    rng: &mut R,
+    trials: u32,
+) -> DirectOutcome {
+    assert_eq!(plans.len(), speeds.len());
+    assert!(!plans.is_empty());
+    assert!(speeds.iter().all(|&s| s > 0.0));
+    let best_mean = plans
+        .iter()
+        .map(|p| p.mean())
+        .fold(f64::INFINITY, f64::min);
+    let mut total = 0.0;
+    let mut risky_wins = 0u32;
+    for _ in 0..trials {
+        // Finish times under proportional speeds.
+        let mut t_win = f64::INFINITY;
+        let mut winner = 0usize;
+        let works: Vec<f64> = plans.iter().map(|p| p.sample(rng)).collect();
+        for (i, (&w, &s)) in works.iter().zip(speeds).enumerate() {
+            let t = w / s;
+            if t < t_win {
+                t_win = t;
+                winner = i;
+            }
+        }
+        if winner != 0 {
+            risky_wins += 1;
+        }
+        // Everyone spends until the winner finishes.
+        let cost: f64 = speeds.iter().map(|&s| s * t_win).sum();
+        total += cost;
+    }
+    DirectOutcome {
+        expected_cost: total / trials as f64,
+        traditional_cost: best_mean,
+        risky_win_prob: risky_wins as f64 / trials as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The paper's scenario: both plans L-shaped, c₂ ≪ M₁ ≤ M₂.
+    fn paper_scenario() -> (CostDist, CostDist) {
+        let a1 = CostDist::l_shape(1.0, 200.0); // M1 ≈ 50.5
+        let a2 = CostDist::l_shape(1.0, 240.0); // M2 ≈ 60.5 ≥ M1
+        (a1, a2)
+    }
+
+    #[test]
+    fn switching_at_knee_halves_the_cost() {
+        let (a1, a2) = paper_scenario();
+        let knee2 = 1.0;
+        let out = direct_competition_cost(&a1, &a2, knee2);
+        // Paper formula: (m2 + c2 + M1)/2 with m2 = 0.5, c2 = 1, M1 = 50.5.
+        let formula = (0.5 + knee2 + a1.mean()) / 2.0;
+        assert!(
+            (out.expected_cost - formula).abs() < 0.05,
+            "analytic {} vs formula {}",
+            out.expected_cost,
+            formula
+        );
+        assert!(
+            out.speedup() > 1.8,
+            "competition must ~halve the cost, speedup {}",
+            out.speedup()
+        );
+        assert!((out.risky_win_prob - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analytic_matches_monte_carlo() {
+        let (a1, a2) = paper_scenario();
+        let analytic = direct_competition_cost(&a1, &a2, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        // Monte Carlo of the same sequential arrangement.
+        let trials = 200_000;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let w2 = a2.sample(&mut rng);
+            total += if w2 <= 1.0 { w2 } else { 1.0 + a1.sample(&mut rng) };
+        }
+        let mc = total / trials as f64;
+        assert!(
+            (mc - analytic.expected_cost).abs() < 0.5,
+            "mc {mc} vs analytic {}",
+            analytic.expected_cost
+        );
+    }
+
+    #[test]
+    fn optimal_switch_is_no_worse_than_knee() {
+        let (a1, a2) = paper_scenario();
+        let at_knee = direct_competition_cost(&a1, &a2, 1.0);
+        let (s, best) = optimal_switch_point(&a1, &a2);
+        // Grid search may land a fraction of a cost unit off the true
+        // optimum (which for a TwoPiece shape sits exactly at the knee).
+        assert!(
+            best.expected_cost <= at_knee.expected_cost + 0.01,
+            "optimal {} vs knee {}",
+            best.expected_cost,
+            at_knee.expected_cost
+        );
+        assert!(s > 0.0, "some competition must be worthwhile");
+        assert!((s - 1.0).abs() < 0.1, "optimum should sit near the knee: {s}");
+    }
+
+    #[test]
+    fn competition_useless_against_fixed_cheap_plan() {
+        // If A1 is deterministic and cheap, the best switch point is ~0:
+        // don't gamble.
+        let a1 = CostDist::Fixed(1.0);
+        let a2 = CostDist::l_shape(5.0, 500.0);
+        let (s, best) = optimal_switch_point(&a1, &a2);
+        assert!(s < 0.5, "switch point should be ~0, got {s}");
+        assert!(best.expected_cost <= a1.mean() * 1.3);
+    }
+
+    #[test]
+    fn simultaneous_hyperbolic_beats_traditional() {
+        // Paper: "If both L-shapes are truncated hyperbolas, a still better
+        // approach is to run both plans simultaneously with some
+        // proportional speeds."
+        let a1 = CostDist::Hyperbolic { b: 0.02, max: 200.0 };
+        let a2 = CostDist::Hyperbolic { b: 0.02, max: 240.0 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = simultaneous_cost(&a1, &a2, 1.0, None, &mut rng, 100_000);
+        assert!(
+            out.speedup() > 1.05,
+            "simultaneous hyperbolic race must win: speedup {}",
+            out.speedup()
+        );
+        // Capping the risky plan's spend at its cheap-half quantile, as the
+        // paper's "switch to plan A1 at some optimal point", does better.
+        let capped = simultaneous_cost(&a1, &a2, 1.0, Some(a2.quantile(0.6)), &mut rng, 100_000);
+        assert!(
+            capped.expected_cost < out.expected_cost,
+            "capped {} vs uncapped {}",
+            capped.expected_cost,
+            out.expected_cost
+        );
+    }
+
+    #[test]
+    fn budgeted_simultaneous_race_bounds_risky_overhead() {
+        let a1 = CostDist::l_shape(1.0, 200.0);
+        let a2 = CostDist::l_shape(1.0, 10_000.0); // horrid tail
+        let mut rng = StdRng::seed_from_u64(9);
+        let unbounded = simultaneous_cost(&a1, &a2, 1.0, None, &mut rng, 50_000);
+        let bounded = simultaneous_cost(&a1, &a2, 1.0, Some(1.0), &mut rng, 50_000);
+        assert!(
+            bounded.expected_cost <= unbounded.expected_cost + 0.5,
+            "budget must not hurt: {} vs {}",
+            bounded.expected_cost,
+            unbounded.expected_cost
+        );
+    }
+
+    #[test]
+    fn n_way_race_reduces_to_two_way() {
+        let a1 = CostDist::Hyperbolic { b: 0.02, max: 200.0 };
+        let a2 = CostDist::Hyperbolic { b: 0.02, max: 240.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let two = simultaneous_cost(&a1, &a2, 1.0, None, &mut rng, 100_000);
+        let n = simultaneous_cost_n(&[a1, a2], &[1.0, 1.0], &mut rng, 100_000);
+        assert!(
+            (two.expected_cost - n.expected_cost).abs() < 0.05 * two.expected_cost,
+            "two-way {} vs n-way {}",
+            two.expected_cost,
+            n.expected_cost
+        );
+    }
+
+    #[test]
+    fn more_sharp_l_shapes_race_better() {
+        // With very sharp L-shapes (huge tails, tiny knees), adding a third
+        // independent competitor buys another chance at a near-zero run;
+        // the per-quantum overhead of the extra racer is small next to it.
+        let plan = CostDist::Hyperbolic { b: 0.001, max: 1000.0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let two = simultaneous_cost_n(&[plan, plan], &[1.0, 1.0], &mut rng, 200_000);
+        let three =
+            simultaneous_cost_n(&[plan, plan, plan], &[1.0, 1.0, 1.0], &mut rng, 200_000);
+        assert!(
+            three.expected_cost < two.expected_cost,
+            "3-way {} vs 2-way {} (both vs traditional {})",
+            three.expected_cost,
+            two.expected_cost,
+            two.traditional_cost
+        );
+        assert!(two.expected_cost < two.traditional_cost);
+    }
+
+    #[test]
+    fn flat_distributions_punish_extra_racers() {
+        // Deterministic plans gain nothing from competition: every extra
+        // racer is pure overhead.
+        let plan = CostDist::Uniform { lo: 90.0, hi: 110.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let two = simultaneous_cost_n(&[plan, plan], &[1.0, 1.0], &mut rng, 50_000);
+        let three =
+            simultaneous_cost_n(&[plan, plan, plan], &[1.0, 1.0, 1.0], &mut rng, 50_000);
+        assert!(three.expected_cost > two.expected_cost);
+        assert!(two.expected_cost > plan.mean());
+    }
+
+    #[test]
+    fn speedup_accessor() {
+        let out = DirectOutcome {
+            expected_cost: 10.0,
+            traditional_cost: 25.0,
+            risky_win_prob: 0.5,
+        };
+        assert!((out.speedup() - 2.5).abs() < 1e-12);
+    }
+}

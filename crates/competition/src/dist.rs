@@ -1,0 +1,254 @@
+//! Cost-distribution families for competition analysis.
+//!
+//! Execution costs live on `[0, ∞)`; the families here parameterize the
+//! shapes the paper reasons about — most importantly the **L-shape**: 50%
+//! of probability in a small region `[0, c]` ("the knee") and 50% spread
+//! over an expensive tail, and its continuous idealization, the
+//! **truncated hyperbola**.
+
+use rand::Rng;
+
+/// A parametric cost distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostDist {
+    /// Deterministic cost (a perfectly predictable plan).
+    Fixed(f64),
+    /// Uniform on `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// The paper's schematic L-shape: with probability `low_mass` the cost
+    /// is uniform on `[0, knee]`; otherwise uniform on `[knee, tail_max]`.
+    TwoPiece {
+        /// End of the cheap region (the paper's `c`).
+        knee: f64,
+        /// Probability of landing in the cheap region (the paper uses 50%).
+        low_mass: f64,
+        /// Maximum tail cost.
+        tail_max: f64,
+    },
+    /// Truncated hyperbola on `[0, max]`: density ∝ `1/(x + b·max)`.
+    /// Smaller `b` = sharper L-shape.
+    Hyperbolic {
+        /// Shape parameter (relative offset), `b > 0`.
+        b: f64,
+        /// Maximum cost.
+        max: f64,
+    },
+}
+
+impl CostDist {
+    /// Expected cost.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            CostDist::Fixed(c) => c,
+            CostDist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            CostDist::TwoPiece {
+                knee,
+                low_mass,
+                tail_max,
+            } => low_mass * 0.5 * knee + (1.0 - low_mass) * 0.5 * (knee + tail_max),
+            CostDist::Hyperbolic { b, max } => {
+                // E[X] for density 1/((x+bm)·ln((1+b)/b)) on [0,m]:
+                // ∫ x/(x+bm) dx = m − bm·ln((1+b)/b); divide by the log norm.
+                let ln = ((1.0 + b) / b).ln();
+                max * (1.0 / ln - b)
+            }
+        }
+    }
+
+    /// `P(X <= x)`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        match *self {
+            CostDist::Fixed(c) => {
+                if x >= c {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            CostDist::Uniform { lo, hi } => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+            CostDist::TwoPiece {
+                knee,
+                low_mass,
+                tail_max,
+            } => {
+                if x <= 0.0 {
+                    0.0
+                } else if x <= knee {
+                    low_mass * x / knee
+                } else if x <= tail_max {
+                    low_mass + (1.0 - low_mass) * (x - knee) / (tail_max - knee)
+                } else {
+                    1.0
+                }
+            }
+            CostDist::Hyperbolic { b, max } => {
+                if x <= 0.0 {
+                    0.0
+                } else if x >= max {
+                    1.0
+                } else {
+                    let ln = ((1.0 + b) / b).ln();
+                    ((x / max + b) / b).ln() / ln
+                }
+            }
+        }
+    }
+
+    /// Smallest `x` with `cdf(x) >= p` (numeric inversion).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        match *self {
+            CostDist::Fixed(c) => c,
+            CostDist::Uniform { lo, hi } => lo + p * (hi - lo),
+            CostDist::TwoPiece {
+                knee,
+                low_mass,
+                tail_max,
+            } => {
+                if p <= low_mass {
+                    knee * p / low_mass
+                } else {
+                    knee + (tail_max - knee) * (p - low_mass) / (1.0 - low_mass)
+                }
+            }
+            CostDist::Hyperbolic { b, max } => {
+                let ln = ((1.0 + b) / b).ln();
+                max * b * ((p * ln).exp() - 1.0)
+            }
+        }
+    }
+
+    /// Conditional mean `E[X | X <= cutoff]` (the paper's `m₂`), or `None`
+    /// if `P(X <= cutoff) = 0`.
+    pub fn mean_below(&self, cutoff: f64) -> Option<f64> {
+        let mass = self.cdf(cutoff);
+        if mass <= 0.0 {
+            return None;
+        }
+        // Numeric integration is exact enough for every family here.
+        let n = 4000;
+        let mut acc = 0.0;
+        let mut prev_cdf = 0.0;
+        for i in 1..=n {
+            let x = cutoff * i as f64 / n as f64;
+            let c = self.cdf(x);
+            acc += (x - cutoff / (2.0 * n as f64)) * (c - prev_cdf);
+            prev_cdf = c;
+        }
+        Some(acc / mass)
+    }
+
+    /// Maximum possible cost.
+    pub fn max(&self) -> f64 {
+        match *self {
+            CostDist::Fixed(c) => c,
+            CostDist::Uniform { hi, .. } => hi,
+            CostDist::TwoPiece { tail_max, .. } => tail_max,
+            CostDist::Hyperbolic { max, .. } => max,
+        }
+    }
+
+    /// Draws one cost.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        self.quantile(rng.gen::<f64>())
+    }
+
+    /// The paper's canonical L-shape: 50% of mass below `knee`, tail up to
+    /// `tail_max`.
+    pub fn l_shape(knee: f64, tail_max: f64) -> CostDist {
+        CostDist::TwoPiece {
+            knee,
+            low_mass: 0.5,
+            tail_max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_sampling_matches_mean(d: CostDist) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 60_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let emp = sum / n as f64;
+        let m = d.mean();
+        let tol = 0.03 * d.max().max(1.0);
+        assert!(
+            (emp - m).abs() < tol,
+            "{d:?}: empirical {emp} vs analytic {m}"
+        );
+    }
+
+    #[test]
+    fn means_match_sampling() {
+        check_sampling_matches_mean(CostDist::Fixed(5.0));
+        check_sampling_matches_mean(CostDist::Uniform { lo: 1.0, hi: 9.0 });
+        check_sampling_matches_mean(CostDist::l_shape(2.0, 100.0));
+        check_sampling_matches_mean(CostDist::Hyperbolic { b: 0.02, max: 100.0 });
+    }
+
+    #[test]
+    fn cdf_quantile_are_inverse() {
+        for d in [
+            CostDist::Uniform { lo: 0.0, hi: 10.0 },
+            CostDist::l_shape(1.0, 50.0),
+            CostDist::Hyperbolic { b: 0.05, max: 20.0 },
+        ] {
+            for p in [0.05, 0.25, 0.5, 0.75, 0.95] {
+                let x = d.quantile(p);
+                assert!((d.cdf(x) - p).abs() < 1e-6, "{d:?} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn l_shape_has_half_mass_at_knee() {
+        let d = CostDist::l_shape(2.0, 100.0);
+        assert!((d.cdf(2.0) - 0.5).abs() < 1e-12);
+        // And its mean is dominated by the tail.
+        assert!(d.mean() > 20.0);
+    }
+
+    #[test]
+    fn hyperbolic_concentrates_near_zero() {
+        let d = CostDist::Hyperbolic { b: 0.01, max: 100.0 };
+        assert!(
+            d.cdf(10.0) > 0.5,
+            "sharp hyperbola: >50% of mass in the cheapest 10% ({})",
+            d.cdf(10.0)
+        );
+        assert!(d.mean() > 10.0, "...but the tail dominates the mean");
+    }
+
+    #[test]
+    fn mean_below_is_conditional() {
+        let d = CostDist::Uniform { lo: 0.0, hi: 10.0 };
+        let m = d.mean_below(4.0).unwrap();
+        assert!((m - 2.0).abs() < 0.01, "E[U(0,10) | <=4] = 2, got {m}");
+        assert!(d.mean_below(-1.0).is_none());
+        let l = CostDist::l_shape(2.0, 100.0);
+        let m2 = l.mean_below(2.0).unwrap();
+        assert!((m2 - 1.0).abs() < 0.01, "cheap-half mean, got {m2}");
+    }
+
+    #[test]
+    fn hyperbolic_mean_formula_against_numeric() {
+        let d = CostDist::Hyperbolic { b: 0.1, max: 50.0 };
+        // Numeric mean via quantile sampling on a fine grid.
+        let n = 200_000;
+        let num: f64 = (0..n)
+            .map(|i| d.quantile((i as f64 + 0.5) / n as f64))
+            .sum::<f64>()
+            / n as f64;
+        assert!((num - d.mean()).abs() < 0.05, "{} vs {}", num, d.mean());
+    }
+}

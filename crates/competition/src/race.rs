@@ -1,0 +1,342 @@
+//! A generic race controller for competing resumable strategies.
+//!
+//! [`Race`] drives any set of [`Competitor`]s with the proportional
+//! scheduler and applies the paper's two switch criteria:
+//!
+//! 1. **Projection criterion** (two-stage competition, Section 6): a
+//!    competitor is terminated "when the projected retrieval cost
+//!    approaches (e.g. becomes 95% of) the guaranteed best retrieval
+//!    cost".
+//! 2. **Spend criterion** (direct competition): "we handle this case by
+//!    extending the strategy switch criterion with an index scan cost
+//!    limit set to some proportion of the guaranteed best cost" — a
+//!    competitor whose own spend exceeds that proportion is cut off even
+//!    if its projection still looks fine.
+//!
+//! The race ends when a competitor completes (it becomes the winner) or
+//! when all competitors are abandoned (the caller falls back to the
+//! guaranteed-best alternative).
+
+use crate::sched::ProportionalScheduler;
+
+/// What a competitor reports after one quantum of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Still running.
+    Progress,
+    /// Finished its goal; the race is over.
+    Complete,
+    /// Failed / cannot continue (distinct from being abandoned by policy).
+    Dead,
+}
+
+/// A resumable strategy participating in a race.
+pub trait Competitor {
+    /// Human-readable label for reports.
+    fn label(&self) -> &str;
+
+    /// Performs one quantum of work.
+    fn step(&mut self) -> StepOutcome;
+
+    /// Own cost spent so far, in cost units.
+    fn cost_spent(&self) -> f64;
+
+    /// Freshest projection of the *total* cost of finishing the job via
+    /// this competitor (spent + projected remaining + any follow-up stage).
+    fn projected_total(&self) -> f64;
+}
+
+/// Switch-criterion configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaceConfig {
+    /// Abandon a competitor when `projected_total >= switch_threshold ×
+    /// guaranteed_best`. The paper's example value is 0.95.
+    pub switch_threshold: f64,
+    /// Abandon a competitor when its own spend exceeds `spend_limit_ratio ×
+    /// guaranteed_best` (the direct-competition scan-cost limit).
+    pub spend_limit_ratio: f64,
+}
+
+impl Default for RaceConfig {
+    fn default() -> Self {
+        RaceConfig {
+            switch_threshold: 0.95,
+            spend_limit_ratio: 0.5,
+        }
+    }
+}
+
+/// Why the race ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RaceOutcome {
+    /// Competitor `winner` completed; the rest were abandoned.
+    Won {
+        /// Index of the winning competitor.
+        winner: usize,
+        /// Total cost spent by all competitors during the race.
+        total_spend: f64,
+    },
+    /// Every competitor was abandoned (policy cut-offs or death); fall
+    /// back to the guaranteed-best plan.
+    AllAbandoned {
+        /// Total cost sunk into the failed race.
+        total_spend: f64,
+    },
+}
+
+/// Drives a set of competitors to a decision.
+#[derive(Debug)]
+pub struct Race<C> {
+    competitors: Vec<C>,
+    scheduler: ProportionalScheduler,
+    config: RaceConfig,
+    guaranteed_best: f64,
+    abandoned: Vec<bool>,
+}
+
+impl<C: Competitor> Race<C> {
+    /// Creates a race. `guaranteed_best` is the cost of the fallback plan
+    /// the competitors must beat; `speeds` weight the interleaving.
+    pub fn new(
+        competitors: Vec<C>,
+        speeds: Vec<f64>,
+        guaranteed_best: f64,
+        config: RaceConfig,
+    ) -> Self {
+        assert_eq!(competitors.len(), speeds.len());
+        assert!(!competitors.is_empty());
+        let n = competitors.len();
+        Race {
+            competitors,
+            scheduler: ProportionalScheduler::new(speeds),
+            config,
+            guaranteed_best,
+            abandoned: vec![false; n],
+        }
+    }
+
+    /// The current guaranteed-best cost (callers may tighten it as the
+    /// race reveals better complete plans).
+    pub fn guaranteed_best(&self) -> f64 {
+        self.guaranteed_best
+    }
+
+    /// Lowers the guaranteed-best cost (it can only improve).
+    pub fn tighten_guaranteed_best(&mut self, cost: f64) {
+        if cost < self.guaranteed_best {
+            self.guaranteed_best = cost;
+        }
+    }
+
+    /// Access to a competitor (e.g. to harvest results after the race).
+    pub fn competitor(&self, idx: usize) -> &C {
+        &self.competitors[idx]
+    }
+
+    /// Consumes the race, returning the competitors.
+    pub fn into_competitors(self) -> Vec<C> {
+        self.competitors
+    }
+
+    /// True if `idx` was abandoned by policy or death.
+    pub fn is_abandoned(&self, idx: usize) -> bool {
+        self.abandoned[idx]
+    }
+
+    /// Runs one scheduling quantum. Returns `Some(outcome)` when the race
+    /// has been decided, `None` while it is still in progress.
+    pub fn step(&mut self) -> Option<RaceOutcome> {
+        let idx = match self.scheduler.next() {
+            Some(i) => i,
+            None => {
+                return Some(RaceOutcome::AllAbandoned {
+                    total_spend: self.total_spend(),
+                })
+            }
+        };
+        match self.competitors[idx].step() {
+            StepOutcome::Complete => {
+                return Some(RaceOutcome::Won {
+                    winner: idx,
+                    total_spend: self.total_spend(),
+                });
+            }
+            StepOutcome::Dead => {
+                self.abandon(idx);
+            }
+            StepOutcome::Progress => {
+                let c = &self.competitors[idx];
+                let projection_bad = c.projected_total()
+                    >= self.config.switch_threshold * self.guaranteed_best;
+                let spend_bad =
+                    c.cost_spent() >= self.config.spend_limit_ratio * self.guaranteed_best;
+                if projection_bad || spend_bad {
+                    self.abandon(idx);
+                }
+            }
+        }
+        if self.scheduler.is_empty() {
+            Some(RaceOutcome::AllAbandoned {
+                total_spend: self.total_spend(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Runs quanta until the race is decided.
+    pub fn run(&mut self) -> RaceOutcome {
+        loop {
+            if let Some(outcome) = self.step() {
+                return outcome;
+            }
+        }
+    }
+
+    fn abandon(&mut self, idx: usize) {
+        self.abandoned[idx] = true;
+        self.scheduler.deactivate(idx);
+    }
+
+    fn total_spend(&self) -> f64 {
+        self.competitors.iter().map(|c| c.cost_spent()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted competitor: costs `per_step` per quantum, completes after
+    /// `steps_needed` quanta, projects `projected`.
+    struct Scripted {
+        label: String,
+        per_step: f64,
+        steps_needed: u32,
+        steps_done: u32,
+        projected: f64,
+        dies: bool,
+    }
+
+    impl Scripted {
+        fn new(label: &str, per_step: f64, steps_needed: u32, projected: f64) -> Self {
+            Scripted {
+                label: label.into(),
+                per_step,
+                steps_needed,
+                steps_done: 0,
+                projected,
+                dies: false,
+            }
+        }
+    }
+
+    impl Competitor for Scripted {
+        fn label(&self) -> &str {
+            &self.label
+        }
+        fn step(&mut self) -> StepOutcome {
+            self.steps_done += 1;
+            if self.dies {
+                StepOutcome::Dead
+            } else if self.steps_done >= self.steps_needed {
+                StepOutcome::Complete
+            } else {
+                StepOutcome::Progress
+            }
+        }
+        fn cost_spent(&self) -> f64 {
+            self.per_step * self.steps_done as f64
+        }
+        fn projected_total(&self) -> f64 {
+            self.projected
+        }
+    }
+
+    #[test]
+    fn fastest_promising_competitor_wins() {
+        let a = Scripted::new("slow", 1.0, 100, 10.0);
+        let b = Scripted::new("fast", 1.0, 5, 10.0);
+        let mut race = Race::new(vec![a, b], vec![1.0, 1.0], 1000.0, RaceConfig::default());
+        match race.run() {
+            RaceOutcome::Won { winner, .. } => assert_eq!(winner, 1),
+            other => panic!("expected a win, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_projection_gets_abandoned() {
+        // Competitor 0 projects above 95% of guaranteed best: killed at its
+        // first step; competitor 1 then wins.
+        let a = Scripted::new("doomed", 1.0, 3, 99.0);
+        let b = Scripted::new("ok", 1.0, 5, 10.0);
+        let mut race = Race::new(vec![a, b], vec![1.0, 1.0], 100.0, RaceConfig::default());
+        let outcome = race.run();
+        assert!(race.is_abandoned(0));
+        match outcome {
+            RaceOutcome::Won { winner, .. } => assert_eq!(winner, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spend_limit_cuts_off_expensive_scans() {
+        // Projection looks great but per-quantum spend is huge: the direct-
+        // competition spend criterion must fire.
+        let a = Scripted::new("expensive", 30.0, 100, 1.0);
+        let mut race = Race::new(vec![a], vec![1.0], 100.0, RaceConfig::default());
+        match race.run() {
+            RaceOutcome::AllAbandoned { total_spend } => {
+                assert!(total_spend >= 30.0);
+                assert!(total_spend <= 60.0 + 1e-9, "cut off promptly: {total_spend}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_competitors_abandon_and_race_reports_all_abandoned() {
+        let mut a = Scripted::new("dies", 1.0, 100, 1.0);
+        a.dies = true;
+        let mut race = Race::new(vec![a], vec![1.0], 1000.0, RaceConfig::default());
+        assert!(matches!(race.run(), RaceOutcome::AllAbandoned { .. }));
+    }
+
+    #[test]
+    fn tightened_guaranteed_best_kills_marginal_competitors() {
+        let a = Scripted::new("marginal", 0.1, 1000, 90.0);
+        let mut race = Race::new(vec![a], vec![1.0], 1000.0, RaceConfig::default());
+        // Initially fine (90 < 0.95*1000); after tightening to 80, the
+        // projection criterion fires on the next quantum.
+        assert!(race.step().is_none());
+        race.tighten_guaranteed_best(80.0);
+        let mut decided = None;
+        for _ in 0..5 {
+            decided = race.step();
+            if decided.is_some() {
+                break;
+            }
+        }
+        assert!(matches!(decided, Some(RaceOutcome::AllAbandoned { .. })));
+    }
+
+    #[test]
+    fn speeds_bias_the_interleave() {
+        // The fast-lane competitor needs more quanta but gets 3x the speed,
+        // so it still finishes first.
+        let a = Scripted::new("priority", 1.0, 30, 10.0);
+        let b = Scripted::new("background", 1.0, 15, 10.0);
+        let mut race = Race::new(vec![a, b], vec![3.0, 1.0], 1e9, RaceConfig::default());
+        match race.run() {
+            RaceOutcome::Won { winner, .. } => assert_eq!(winner, 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn labels_accessible() {
+        let a = Scripted::new("alpha", 1.0, 1, 0.0);
+        let race = Race::new(vec![a], vec![1.0], 1.0, RaceConfig::default());
+        assert_eq!(race.competitor(0).label(), "alpha");
+    }
+}

@@ -1,0 +1,350 @@
+//! The baselines the paper argues against.
+//!
+//! * [`StaticOptimizer`] — a Selinger-style \[SACL79\] compile-time
+//!   optimizer: it picks **one** plan from catalog statistics and default
+//!   selectivity guesses (host-variable values are unknown at compile
+//!   time), then executes that plan for every binding. This is the
+//!   strawman of the paper's `AGE >= :A1` example: whichever plan it
+//!   picks is badly wrong for one end of the parameter space.
+//! * [`StaticJscan`] — the statically-thresholded multi-index access of
+//!   Mohan et al. \[MoHa90\]: index subset and order are fixed up front
+//!   from estimates; scans are never abandoned mid-run and the
+//!   guaranteed-best bound is never re-tightened. "But one ill-predicted
+//!   alternative execution cost, when not corrected dynamically, can put
+//!   further execution off-balance and make it suboptimal."
+
+use rdb_btree::KeyRange;
+use rdb_storage::{HeapTable, Rid};
+
+use crate::fscan::Fscan;
+use crate::jscan::Jscan;
+use crate::request::{RetrievalRequest, RetrievalResult, Sink};
+use crate::sscan::Sscan;
+use crate::tactics::final_stage;
+use crate::tscan::{StrategyStep, Tscan};
+
+/// Predicate shape visible at compile time (values are host variables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredShape {
+    /// `col = :x`.
+    Eq,
+    /// `col >= :x`, `col BETWEEN :a AND :b`, …
+    Range,
+    /// No usable restriction on this index.
+    None,
+}
+
+/// Compile-time view of one index.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticIndexInfo {
+    /// Total index entries.
+    pub entries: u64,
+    /// Distinct leading-key values.
+    pub distinct_keys: u64,
+    /// Average fanout (for leaf-page estimates).
+    pub avg_fanout: f64,
+    /// Restriction shape on this index.
+    pub shape: PredShape,
+    /// Whether the index could run self-sufficiently.
+    pub self_sufficient: bool,
+}
+
+/// The plan a static optimizer commits to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticPlan {
+    /// Sequential scan.
+    Tscan,
+    /// Indexed retrieval through index `pos`.
+    Fscan {
+        /// Position in the request's index list.
+        pos: usize,
+    },
+    /// Self-sufficient scan of index `pos`.
+    Sscan {
+        /// Position in the request's index list.
+        pos: usize,
+    },
+}
+
+/// Selinger-style mean-point cost optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticOptimizer {
+    /// Default selectivity assumed for range predicates with unknown
+    /// host-variable values (System R's classic magic number is 1/3).
+    pub default_range_selectivity: f64,
+    /// Default selectivity for equality with unknown values when distinct
+    /// counts are unavailable.
+    pub default_eq_selectivity: f64,
+}
+
+impl Default for StaticOptimizer {
+    fn default() -> Self {
+        StaticOptimizer {
+            default_range_selectivity: 1.0 / 3.0,
+            default_eq_selectivity: 0.1,
+        }
+    }
+}
+
+impl StaticOptimizer {
+    /// Guessed selectivity of an index's restriction at compile time.
+    pub fn guess_selectivity(&self, info: &StaticIndexInfo) -> f64 {
+        match info.shape {
+            PredShape::Eq => {
+                if info.distinct_keys > 0 {
+                    1.0 / info.distinct_keys as f64
+                } else {
+                    self.default_eq_selectivity
+                }
+            }
+            PredShape::Range => self.default_range_selectivity,
+            PredShape::None => 1.0,
+        }
+    }
+
+    /// Picks one plan from catalog statistics (no data access, no
+    /// host-variable values — exactly the information a compile-time
+    /// optimizer has).
+    pub fn plan(&self, table: &HeapTable, indexes: &[StaticIndexInfo]) -> StaticPlan {
+        let cfg = table.pool().borrow().cost().config();
+        let tscan_cost =
+            table.page_count() as f64 * cfg.io_read + table.cardinality() as f64 * cfg.cpu_record;
+        let mut best = (StaticPlan::Tscan, tscan_cost);
+        for (pos, info) in indexes.iter().enumerate() {
+            if info.shape == PredShape::None {
+                continue;
+            }
+            let sel = self.guess_selectivity(info);
+            let matches = sel * info.entries as f64;
+            let leaf_pages = (matches / info.avg_fanout.max(1.0)).ceil();
+            let scan_cost = leaf_pages * cfg.io_read + matches * cfg.index_entry;
+            if info.self_sufficient {
+                let cost = scan_cost;
+                if cost < best.1 {
+                    best = (StaticPlan::Sscan { pos }, cost);
+                }
+            }
+            // Fscan: scan + one random fetch per match.
+            let cost = scan_cost + matches * (cfg.io_read + cfg.cpu_record);
+            if cost < best.1 {
+                best = (StaticPlan::Fscan { pos }, cost);
+            }
+        }
+        best.0
+    }
+
+    /// Executes the committed plan against a bound request. The plan does
+    /// not change with the binding — that is the point of this baseline.
+    pub fn execute(&self, plan: StaticPlan, request: &RetrievalRequest<'_>) -> RetrievalResult {
+        let cost_before = request.table.pool().borrow().cost().total();
+        let mut sink = Sink::new(request.limit);
+        let deliver = |step: StrategyStep, sink: &mut Sink| match step {
+            StrategyStep::Deliver(rid, record) => sink.deliver(rid, record),
+            StrategyStep::Progress => true,
+            StrategyStep::Done => false,
+        };
+        match plan {
+            StaticPlan::Tscan => {
+                let mut s = Tscan::new(request.table, request.residual.clone());
+                loop {
+                    let step = s.step();
+                    let done = matches!(step, StrategyStep::Done);
+                    if !deliver(step, &mut sink) || done {
+                        break;
+                    }
+                }
+            }
+            StaticPlan::Fscan { pos } => {
+                let c = &request.indexes[pos];
+                let mut s = Fscan::new(
+                    request.table,
+                    c.tree,
+                    c.range.clone(),
+                    request.residual.clone(),
+                );
+                loop {
+                    let step = s.step();
+                    let done = matches!(step, StrategyStep::Done);
+                    if !deliver(step, &mut sink) || done {
+                        break;
+                    }
+                }
+            }
+            StaticPlan::Sscan { pos } => {
+                let c = &request.indexes[pos];
+                let pred = c
+                    .self_sufficient
+                    .clone()
+                    .expect("static Sscan plan for non-self-sufficient index");
+                let mut s = Sscan::new(c.tree, c.range.clone(), pred);
+                loop {
+                    match s.step() {
+                        StrategyStep::Deliver(rid, record) => {
+                            if !sink.deliver_from_index(rid, record) {
+                                break;
+                            }
+                        }
+                        StrategyStep::Progress => {}
+                        StrategyStep::Done => break,
+                    }
+                }
+            }
+        }
+        let cost = request.table.pool().borrow().cost().total() - cost_before;
+        RetrievalResult {
+            deliveries: sink.into_deliveries(),
+            cost,
+            strategy: format!("static {plan:?}"),
+            events: vec![format!("static plan {plan:?} executed as committed")],
+            sscan_index: match plan {
+                StaticPlan::Sscan { pos } => Some(pos),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Configuration of the statically-thresholded multi-index scan.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticJscanConfig {
+    /// An index participates only if its estimated match count is at most
+    /// this fraction of the table cardinality (fixed up front).
+    pub selectivity_threshold: f64,
+    /// RID-list buffer sizing (same tiers as dynamic Jscan, for parity).
+    pub tiers: crate::ridlist::RidTierConfig,
+}
+
+impl Default for StaticJscanConfig {
+    fn default() -> Self {
+        StaticJscanConfig {
+            selectivity_threshold: 0.25,
+            tiers: crate::ridlist::RidTierConfig::default(),
+        }
+    }
+}
+
+/// Statically-controlled joint scan \[MoHa90\]: the index subset and order
+/// are fixed from the initial estimates; every selected index is scanned
+/// to completion; no scan is ever abandoned.
+#[derive(Debug, Default)]
+pub struct StaticJscan {
+    config: StaticJscanConfig,
+}
+
+impl StaticJscan {
+    /// Creates the baseline with the given thresholds.
+    pub fn new(config: StaticJscanConfig) -> Self {
+        StaticJscan { config }
+    }
+
+    /// Runs the static multi-index plan: select indexes by threshold,
+    /// scan each fully (intersecting), then fetch.
+    pub fn run<'a>(
+        &self,
+        request: &RetrievalRequest<'a>,
+        estimates: &[(usize, KeyRange, f64)],
+    ) -> RetrievalResult {
+        let table = request.table;
+        let cost_before = table.pool().borrow().cost().total();
+        let mut sink = Sink::new(request.limit);
+        let mut events: Vec<String> = Vec::new();
+
+        let card = table.cardinality() as f64;
+        let selected: Vec<&(usize, KeyRange, f64)> = estimates
+            .iter()
+            .filter(|(_, _, est)| *est <= self.config.selectivity_threshold * card)
+            .collect();
+        events.push(format!(
+            "static selection: {} of {} indexes pass the threshold",
+            selected.len(),
+            estimates.len()
+        ));
+
+        if selected.is_empty() {
+            // Below-threshold indexes only: sequential scan, committed.
+            let mut s = Tscan::new(table, request.residual.clone());
+            events.push("static plan: Tscan".into());
+            loop {
+                match s.step() {
+                    StrategyStep::Deliver(rid, record) => {
+                        if !sink.deliver(rid, record) {
+                            break;
+                        }
+                    }
+                    StrategyStep::Progress => {}
+                    StrategyStep::Done => break,
+                }
+            }
+        } else {
+            // Scan every selected index to completion; intersect as we go;
+            // never abandon (the defining limitation of this baseline).
+            let mut current: Option<Vec<Rid>> = None;
+            for (pos, range, est) in selected {
+                let tree = request.indexes[*pos].tree;
+                let mut rids: Vec<Rid> = Vec::new();
+                let mut scan = tree.range_scan(range.clone());
+                while let Some((_, rid)) = scan.next(tree) {
+                    rids.push(rid);
+                }
+                table
+                    .pool()
+                    .borrow()
+                    .cost()
+                    .charge_rid_ops(rids.len() as u64);
+                events.push(format!(
+                    "scanned {} fully: {} RIDs (estimate was {est:.0})",
+                    tree.name(),
+                    rids.len()
+                ));
+                current = Some(match current {
+                    None => rids,
+                    Some(mut prev) => {
+                        prev.sort_unstable();
+                        rids.retain(|r| prev.binary_search(r).is_ok());
+                        rids
+                    }
+                });
+            }
+            let list = current.unwrap_or_default();
+            let rid_list = crate::ridlist::RidList::Buffer(list);
+            final_stage(
+                table,
+                &rid_list,
+                &request.residual,
+                &[],
+                &mut sink,
+                &mut events,
+            );
+        }
+
+        let cost = table.pool().borrow().cost().total() - cost_before;
+        RetrievalResult {
+            deliveries: sink.into_deliveries(),
+            cost,
+            strategy: "static-jscan [MoHa90]".into(),
+            events,
+            sscan_index: None,
+        }
+    }
+}
+
+/// Convenience used by experiments: the same estimates the dynamic initial
+/// stage would compute, for feeding [`StaticJscan::run`].
+pub fn estimate_all<'a>(request: &RetrievalRequest<'a>) -> Vec<(usize, KeyRange, f64)> {
+    let mut v: Vec<(usize, KeyRange, f64)> = request
+        .indexes
+        .iter()
+        .enumerate()
+        .map(|(pos, c)| {
+            let est = c.tree.estimate_range(&c.range);
+            (pos, c.range.clone(), est.estimate)
+        })
+        .collect();
+    v.sort_by(|a, b| a.2.total_cmp(&b.2));
+    v
+}
+
+// Re-exports for the experiments' use.
+pub use crate::jscan::JscanConfig as DynamicJscanConfig;
+/// Alias pairing the dynamic Jscan with its static counterpart above.
+pub type DynamicJscan<'a> = Jscan<'a>;

@@ -1,0 +1,363 @@
+//! The dynamic optimizer: per-run tactic selection and execution
+//! (paper Sections 4, 5, 7).
+//!
+//! "For a given optimization goal, a single scan strategy or a combination
+//! of strategies is determined either statically or dynamically at start
+//! retrieval time. Static optimization covers such clear cases as
+//! selection of Tscan with absence of indexes or selection of Sscan if
+//! only one useful index is available and this index is self-sufficient.
+//! When the choice of scan is not clear, the dynamic optimizer tries to
+//! resolve it by doing inexpensive estimates of scan costs based on
+//! parameter values and the current state of data distribution."
+//!
+//! Because selection happens *after host-variable binding*, the same query
+//! naturally gets different strategies on different runs — the paper's
+//! `AGE >= :A1` example resolves to Tscan for `:A1 = 0` and to an index
+//! strategy for `:A1 = 200`, per run.
+
+use rdb_btree::KeyRange;
+
+use crate::fscan::Fscan;
+use crate::initial::{InitialPlan, InitialStage, ShortcutKind};
+use crate::jscan::{Jscan, JscanConfig, JscanIndex};
+use crate::request::{OptimizeGoal, RetrievalRequest, RetrievalResult, Sink};
+use crate::sscan::Sscan;
+use crate::tactics::{self, FgrConfig};
+use crate::tscan::{StrategyStep, Tscan};
+
+/// Configuration of the dynamic optimizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynamicConfig {
+    /// Joint-scan tuning.
+    pub jscan: JscanConfig,
+    /// Foreground-process tuning for the competitive tactics.
+    pub fgr: FgrConfig,
+    /// Initial-stage tuning.
+    pub initial: InitialStage,
+}
+
+/// Which tactic the optimizer chose for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TacticChoice {
+    /// No indexes: classical sequential retrieval.
+    TscanOnly,
+    /// An index range is provably empty: deliver end-of-data at once.
+    EndOfData,
+    /// A tiny range resolves the whole retrieval: direct indexed fetch.
+    TinyRangeFetch,
+    /// Single useful self-sufficient index: static Sscan.
+    SscanStatic,
+    /// Total-time, fetch-needed only: Jscan + final stage.
+    BackgroundOnly,
+    /// Fast-first, fetch-needed only: borrowing foreground vs Jscan.
+    FastFirst,
+    /// Order requested and an order-needed index exists: Fscan + filter-
+    /// producing Jscan.
+    Sorted,
+    /// Self-sufficient index present: Sscan vs Jscan.
+    IndexOnly,
+}
+
+/// The single-table dynamic optimizer.
+#[derive(Debug, Default)]
+pub struct DynamicOptimizer {
+    config: DynamicConfig,
+}
+
+impl DynamicOptimizer {
+    /// Creates an optimizer with the given tuning.
+    pub fn new(config: DynamicConfig) -> Self {
+        DynamicOptimizer { config }
+    }
+
+    /// Selects the tactic for a bound request. Runs the initial stage
+    /// (cheap estimation); the returned plan is reused by [`Self::run`].
+    pub fn choose(&self, request: &RetrievalRequest<'_>) -> (TacticChoice, InitialPlan) {
+        if request.indexes.is_empty() {
+            return (
+                TacticChoice::TscanOnly,
+                InitialPlan {
+                    shortcut: None,
+                    jscan_order: Vec::new(),
+                    jscan_estimates: Vec::new(),
+                    best_self_sufficient: None,
+                    best_order_index: None,
+                    estimation_nodes: 0,
+                },
+            );
+        }
+        let plan = self.config.initial.run(request);
+        let choice = match &plan.shortcut {
+            Some(ShortcutKind::EmptyResult { .. }) => TacticChoice::EndOfData,
+            Some(ShortcutKind::TinyRange { .. }) => TacticChoice::TinyRangeFetch,
+            None => {
+                let has_order = request.order_required && plan.best_order_index.is_some();
+                if has_order {
+                    TacticChoice::Sorted
+                } else if let Some((_pos, _)) = plan.best_self_sufficient {
+                    if request.indexes.len() == 1 {
+                        TacticChoice::SscanStatic
+                    } else {
+                        TacticChoice::IndexOnly
+                    }
+                } else {
+                    match request.goal {
+                        OptimizeGoal::TotalTime => TacticChoice::BackgroundOnly,
+                        OptimizeGoal::FastFirst => TacticChoice::FastFirst,
+                    }
+                }
+            }
+        };
+        (choice, plan)
+    }
+
+    /// Builds the Jscan over the plan's ordered fetch-needed indexes,
+    /// excluding `skip` (the index claimed by the foreground strategy).
+    fn build_jscan<'a>(
+        &self,
+        request: &RetrievalRequest<'a>,
+        plan: &InitialPlan,
+        skip: Option<usize>,
+    ) -> Option<Jscan<'a>> {
+        let indexes: Vec<JscanIndex<'a>> = plan
+            .jscan_order
+            .iter()
+            .zip(&plan.jscan_estimates)
+            .filter(|(pos, _)| Some(**pos) != skip)
+            .map(|(&pos, &estimate)| JscanIndex {
+                tree: request.indexes[pos].tree,
+                range: request.indexes[pos].range.clone(),
+                estimate,
+            })
+            .collect();
+        if indexes.is_empty() {
+            None
+        } else {
+            Some(Jscan::new(request.table, indexes, self.config.jscan))
+        }
+    }
+
+    /// Chooses a tactic and executes the retrieval.
+    pub fn run(&self, request: &RetrievalRequest<'_>) -> RetrievalResult {
+        self.run_with_observer(request, None)
+    }
+
+    /// [`DynamicOptimizer::run`] with a streaming observer: every delivery
+    /// is pushed to the callback the moment a strategy produces it —
+    /// giving fast-first consumers their rows before the run completes,
+    /// and experiments a handle on time-to-first-row.
+    pub fn run_with_observer(
+        &self,
+        request: &RetrievalRequest<'_>,
+        observer: Option<crate::request::DeliveryObserver<'_>>,
+    ) -> RetrievalResult {
+        let cost_before = request.table.pool().borrow().cost().total();
+        let (choice, plan) = self.choose(request);
+        let mut sink = match observer {
+            Some(obs) => Sink::with_observer(request.limit, obs),
+            None => Sink::new(request.limit),
+        };
+        let mut events = vec![format!("tactic: {choice:?}")];
+        let mut sscan_index = None;
+
+        match choice {
+            TacticChoice::EndOfData => {
+                events.push("empty range detected during estimation".into());
+            }
+            TacticChoice::TscanOnly => {
+                let mut scan = Tscan::new(request.table, request.residual.clone());
+                loop {
+                    match scan.step() {
+                        StrategyStep::Deliver(rid, record) => {
+                            if !sink.deliver(rid, record) {
+                                break;
+                            }
+                        }
+                        StrategyStep::Progress => {}
+                        StrategyStep::Done => break,
+                    }
+                }
+            }
+            TacticChoice::TinyRangeFetch => {
+                let Some(ShortcutKind::TinyRange { index_pos, count }) = &plan.shortcut else {
+                    unreachable!("tiny fetch without tiny shortcut")
+                };
+                events.push(format!("tiny range of {count} RIDs on index {index_pos}"));
+                let choice_ref = &request.indexes[*index_pos];
+                let mut f = Fscan::new(
+                    request.table,
+                    choice_ref.tree,
+                    choice_ref.range.clone(),
+                    request.residual.clone(),
+                );
+                loop {
+                    match f.step() {
+                        StrategyStep::Deliver(rid, record) => {
+                            if !sink.deliver(rid, record) {
+                                break;
+                            }
+                        }
+                        StrategyStep::Progress => {}
+                        StrategyStep::Done => break,
+                    }
+                }
+            }
+            TacticChoice::SscanStatic => {
+                let (pos, _) = plan.best_self_sufficient.expect("sscan without index");
+                sscan_index = Some(pos);
+                let c = &request.indexes[pos];
+                let pred = c.self_sufficient.clone().expect("self-sufficient pred");
+                let mut s = Sscan::new(c.tree, c.range.clone(), pred);
+                loop {
+                    match s.step() {
+                        StrategyStep::Deliver(rid, record) => {
+                            if !sink.deliver_from_index(rid, record) {
+                                break;
+                            }
+                        }
+                        StrategyStep::Progress => {}
+                        StrategyStep::Done => break,
+                    }
+                }
+            }
+            TacticChoice::BackgroundOnly => {
+                let jscan = self
+                    .build_jscan(request, &plan, None)
+                    .expect("background-only requires indexes");
+                let report =
+                    tactics::background_only(request.table, jscan, &request.residual, &mut sink);
+                events.push(report.strategy);
+                events.extend(report.events);
+            }
+            TacticChoice::FastFirst => {
+                let jscan = self
+                    .build_jscan(request, &plan, None)
+                    .expect("fast-first requires indexes");
+                let report = tactics::fast_first(
+                    request.table,
+                    jscan,
+                    &request.residual,
+                    self.config.fgr,
+                    &mut sink,
+                );
+                events.push(report.strategy);
+                events.extend(report.events);
+            }
+            TacticChoice::Sorted => {
+                let pos = plan.best_order_index.expect("sorted without order index");
+                let c = &request.indexes[pos];
+                let fscan = Fscan::with_direction(
+                    request.table,
+                    c.tree,
+                    c.range.clone(),
+                    request.residual.clone(),
+                    c.descending,
+                );
+                let jscan = self.build_jscan(request, &plan, Some(pos));
+                let report =
+                    tactics::sorted(request.table, fscan, jscan, self.config.fgr, &mut sink);
+                events.push(report.strategy);
+                events.extend(report.events);
+            }
+            TacticChoice::IndexOnly => {
+                let (pos, _) = plan.best_self_sufficient.expect("index-only without sscan");
+                sscan_index = Some(pos);
+                let c = &request.indexes[pos];
+                let pred = c.self_sufficient.clone().expect("self-sufficient pred");
+                let sscan = Sscan::new(c.tree, c.range.clone(), pred);
+                let jscan = self.build_jscan(request, &plan, Some(pos));
+                let report = tactics::index_only(
+                    request.table,
+                    sscan,
+                    jscan,
+                    &request.residual,
+                    self.config.fgr,
+                    &mut sink,
+                );
+                events.push(report.strategy);
+                events.extend(report.events);
+            }
+        }
+
+        let cost = request.table.pool().borrow().cost().total() - cost_before;
+        RetrievalResult {
+            deliveries: sink.into_deliveries(),
+            cost,
+            strategy: format!("{choice:?}"),
+            events,
+            sscan_index,
+        }
+    }
+}
+
+impl DynamicOptimizer {
+    /// Executes an **OR-connected** retrieval: each `(tree, range)` pair is
+    /// one disjunct's index arm; the result is the union of the arms,
+    /// final-stage fetched with the total restriction, or a Tscan if the
+    /// union prices out (see [`crate::union`]).
+    pub fn run_union(
+        &self,
+        table: &rdb_storage::HeapTable,
+        arms: Vec<(&'_ rdb_btree::BTree, KeyRange)>,
+        residual: &crate::request::RecordPred,
+        limit: Option<usize>,
+    ) -> crate::request::RetrievalResult {
+        use crate::ridlist::RidList;
+        use crate::union::{UnionArm, UnionOutcome, UnionScan};
+
+        let cost_before = table.pool().borrow().cost().total();
+        let mut sink = Sink::new(limit);
+        let mut events = vec!["tactic: UnionScan (OR-connected restriction)".to_string()];
+
+        // Estimate each arm; provably empty arms drop out for free.
+        let mut union_arms: Vec<UnionArm<'_>> = Vec::new();
+        for (tree, range) in arms {
+            let est = tree.estimate_range(&range);
+            if est.exact && est.estimate == 0.0 {
+                events.push(format!("arm {} provably empty: dropped", tree.name()));
+                continue;
+            }
+            union_arms.push(UnionArm {
+                tree,
+                range,
+                estimate: est.estimate,
+            });
+        }
+
+        let strategy;
+        if union_arms.is_empty() {
+            events.push("every arm empty: end of data".into());
+            strategy = "UnionScan (empty)".to_string();
+        } else {
+            let mut scan = UnionScan::new(table, union_arms, self.config.jscan);
+            let outcome = scan.run();
+            events.extend(scan.events().iter().cloned());
+            match outcome {
+                UnionOutcome::Rids(rids) => {
+                    let list = RidList::Buffer(rids);
+                    tactics::final_stage(table, &list, residual, &[], &mut sink, &mut events);
+                    strategy = "UnionScan".to_string();
+                }
+                UnionOutcome::UseTscan => {
+                    tactics::run_tscan(table, residual, &[], &mut sink, &mut events);
+                    strategy = "UnionScan -> Tscan".to_string();
+                }
+            }
+        }
+
+        let cost = table.pool().borrow().cost().total() - cost_before;
+        crate::request::RetrievalResult {
+            deliveries: sink.into_deliveries(),
+            cost,
+            strategy,
+            events,
+            sscan_index: None,
+        }
+    }
+}
+
+/// Builds the key range for a one-column comparison, shared by callers
+/// constructing [`crate::IndexChoice`]s from predicates.
+pub fn range_for_ge(v: impl Into<rdb_storage::Value>) -> KeyRange {
+    KeyRange::at_least(v)
+}

@@ -1,0 +1,164 @@
+//! RID membership filters for Jscan intersection.
+//!
+//! Section 6: "Each non-last index scan also produces a filter to assist a
+//! RID list intersection: an in-buffer sorted RID list or a hashed
+//! in-memory bitmap \[Babb79\] for temporary tables."
+//!
+//! The sorted filter is exact; the bitmap is approximate with **no false
+//! negatives** (a member is never rejected), so intersecting through it
+//! can only let extra RIDs through — which the final-stage total
+//! restriction evaluation removes anyway.
+
+use rdb_storage::Rid;
+
+/// A membership filter over a RID set.
+#[derive(Debug, Clone)]
+pub enum Filter {
+    /// Exact: binary search in a sorted RID array (in-buffer lists).
+    Sorted(Vec<Rid>),
+    /// Approximate: hashed bitmap (spilled lists). One-sided error only.
+    Bitmap {
+        /// Bit array, `bits.len() * 64` bits total.
+        bits: Vec<u64>,
+        /// Number of RIDs inserted.
+        inserted: usize,
+    },
+}
+
+impl Filter {
+    /// Builds an exact filter from RIDs (sorted internally).
+    pub fn sorted(mut rids: Vec<Rid>) -> Filter {
+        rids.sort_unstable();
+        rids.dedup();
+        Filter::Sorted(rids)
+    }
+
+    /// Creates an empty bitmap filter with `bits` bits (rounded up to 64).
+    pub fn bitmap(bits: usize) -> Filter {
+        let words = bits.div_ceil(64).max(1);
+        Filter::Bitmap {
+            bits: vec![0; words],
+            inserted: 0,
+        }
+    }
+
+    fn hash(rid: Rid, nbits: usize) -> usize {
+        // Fibonacci hashing over the packed RID.
+        let h = rid.to_u64().wrapping_mul(0x9E3779B97F4A7C15);
+        (h >> 32) as usize % nbits
+    }
+
+    /// Inserts a RID (no-op for the sorted variant — build it sorted).
+    pub fn insert(&mut self, rid: Rid) {
+        match self {
+            Filter::Sorted(_) => panic!("sorted filters are built, not inserted into"),
+            Filter::Bitmap { bits, inserted } => {
+                let nbits = bits.len() * 64;
+                let b = Self::hash(rid, nbits);
+                bits[b / 64] |= 1 << (b % 64);
+                *inserted += 1;
+            }
+        }
+    }
+
+    /// Membership test. Exact for `Sorted`; may return false positives
+    /// (never false negatives) for `Bitmap`.
+    pub fn contains(&self, rid: Rid) -> bool {
+        match self {
+            Filter::Sorted(rids) => rids.binary_search(&rid).is_ok(),
+            Filter::Bitmap { bits, .. } => {
+                let nbits = bits.len() * 64;
+                let b = Self::hash(rid, nbits);
+                bits[b / 64] & (1 << (b % 64)) != 0
+            }
+        }
+    }
+
+    /// Number of RIDs this filter was built from.
+    pub fn source_len(&self) -> usize {
+        match self {
+            Filter::Sorted(rids) => rids.len(),
+            Filter::Bitmap { inserted, .. } => *inserted,
+        }
+    }
+
+    /// True for the exact variant.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Filter::Sorted(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rids(n: u32) -> Vec<Rid> {
+        (0..n).map(|i| Rid::new(i, (i % 7) as u16)).collect()
+    }
+
+    #[test]
+    fn sorted_filter_is_exact() {
+        let f = Filter::sorted(rids(100));
+        for r in rids(100) {
+            assert!(f.contains(r));
+        }
+        assert!(!f.contains(Rid::new(1000, 0)));
+        assert!(f.is_exact());
+        assert_eq!(f.source_len(), 100);
+    }
+
+    #[test]
+    fn sorted_filter_handles_unsorted_duplicated_input() {
+        let mut input = rids(10);
+        input.reverse();
+        input.push(Rid::new(3, 3));
+        let f = Filter::sorted(input);
+        assert!(f.contains(Rid::new(3, 3)));
+        assert_eq!(f.source_len(), 10, "duplicates collapse");
+    }
+
+    #[test]
+    fn bitmap_has_no_false_negatives() {
+        let mut f = Filter::bitmap(1 << 12);
+        for r in rids(3000) {
+            f.insert(r);
+        }
+        for r in rids(3000) {
+            assert!(f.contains(r));
+        }
+        assert!(!f.is_exact());
+        assert_eq!(f.source_len(), 3000);
+    }
+
+    #[test]
+    fn bitmap_false_positive_rate_is_bounded() {
+        let mut f = Filter::bitmap(1 << 14); // 16384 bits
+        for r in rids(1000) {
+            f.insert(r);
+        }
+        // Probe RIDs far outside the inserted set.
+        let mut fp = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            if f.contains(Rid::new(1_000_000 + i, 0)) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        assert!(rate < 0.12, "false positive rate {rate} too high");
+    }
+
+    #[test]
+    fn tiny_bitmap_still_works() {
+        let mut f = Filter::bitmap(1);
+        f.insert(Rid::new(1, 1));
+        assert!(f.contains(Rid::new(1, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "built, not inserted")]
+    fn inserting_into_sorted_panics() {
+        let mut f = Filter::sorted(vec![]);
+        f.insert(Rid::new(0, 0));
+    }
+}

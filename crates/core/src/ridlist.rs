@@ -1,0 +1,386 @@
+//! Tiered RID lists (paper Section 6).
+//!
+//! > "The RID list size quantity is split into several monotonically
+//! > increasing regions. A zero-long RID list causes an immediate shortcut
+//! > action. Lists up to 20 RIDs are stored in a small statically-allocated
+//! > buffer, avoiding any run-time allocation and memory usage overhead.
+//! > Bigger lists are stored in the allocated buffer. Even bigger lists
+//! > flow into a temporary table and set the bits in a bitmap … Despite its
+//! > simplicity, this 'hybrid' scan arrangement is quite advantageous due
+//! > to the underlying L-shaped distribution."
+//!
+//! Because result sizes are L-shaped, the common case is tiny and must pay
+//! nothing; the rare huge case pays page I/O but gets a compact bitmap for
+//! filtering. [`RidListBuilder`] grows through the tiers automatically.
+
+use rdb_storage::{FileId, Rid, SharedPool, TempTable};
+
+use crate::filter::Filter;
+
+/// Tier sizing for [`RidListBuilder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RidTierConfig {
+    /// Maximum RIDs held in the static inline tier (the paper's 20).
+    pub inline_max: usize,
+    /// Maximum RIDs held in the allocated buffer tier before spilling to a
+    /// temporary table.
+    pub buffer_max: usize,
+    /// Bits in the spill-tier bitmap filter.
+    pub bitmap_bits: usize,
+}
+
+impl Default for RidTierConfig {
+    fn default() -> Self {
+        RidTierConfig {
+            inline_max: 20,
+            buffer_max: 4096,
+            bitmap_bits: 1 << 16,
+        }
+    }
+}
+
+/// Static inline capacity (the paper's "small statically-allocated
+/// buffer"). `RidTierConfig::inline_max` may be smaller but not larger.
+pub const INLINE_CAPACITY: usize = 20;
+
+/// A completed RID list in whichever tier it ended up.
+#[derive(Debug)]
+pub enum RidList {
+    /// No qualifying RIDs — triggers the shortcut action.
+    Empty,
+    /// Up to [`INLINE_CAPACITY`] RIDs in a fixed-size array: no allocation.
+    Inline {
+        /// Storage; only the first `len` entries are meaningful.
+        rids: [Rid; INLINE_CAPACITY],
+        /// Number of valid entries.
+        len: usize,
+    },
+    /// Heap-allocated buffer.
+    Buffer(Vec<Rid>),
+    /// Spilled to a temporary table, with a bitmap for membership tests.
+    Spilled {
+        /// The RIDs, in a cost-charging temp table.
+        temp: TempTable,
+        /// Approximate membership filter over the list.
+        bitmap: Filter,
+        /// Exact number of RIDs.
+        count: usize,
+    },
+}
+
+impl RidList {
+    /// Number of RIDs in the list.
+    pub fn len(&self) -> usize {
+        match self {
+            RidList::Empty => 0,
+            RidList::Inline { len, .. } => *len,
+            RidList::Buffer(v) => v.len(),
+            RidList::Spilled { count, .. } => *count,
+        }
+    }
+
+    /// True when the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tier name for logs and experiments.
+    pub fn tier(&self) -> &'static str {
+        match self {
+            RidList::Empty => "empty",
+            RidList::Inline { .. } => "inline",
+            RidList::Buffer(_) => "buffer",
+            RidList::Spilled { .. } => "spilled",
+        }
+    }
+
+    /// Materializes the RIDs in insertion order (charges temp-table page
+    /// reads for the spilled tier).
+    pub fn to_vec(&self) -> Vec<Rid> {
+        match self {
+            RidList::Empty => Vec::new(),
+            RidList::Inline { rids, len } => rids[..*len].to_vec(),
+            RidList::Buffer(v) => v.clone(),
+            RidList::Spilled { temp, .. } => temp.scan_all(),
+        }
+    }
+
+    /// Builds a membership filter over the list. In-memory tiers produce
+    /// an exact sorted filter; the spilled tier reuses its bitmap (the
+    /// paper's design: only within main memory is exact refiltering cheap).
+    pub fn filter(&self) -> Filter {
+        match self {
+            RidList::Empty => Filter::sorted(Vec::new()),
+            RidList::Inline { rids, len } => Filter::sorted(rids[..*len].to_vec()),
+            RidList::Buffer(v) => Filter::sorted(v.clone()),
+            RidList::Spilled { bitmap, .. } => bitmap.clone(),
+        }
+    }
+}
+
+/// Accumulates RIDs, promoting through the tiers and charging the spill
+/// costs as the paper's Jscan does.
+#[derive(Debug)]
+pub struct RidListBuilder {
+    config: RidTierConfig,
+    pool: SharedPool,
+    temp_file: FileId,
+    state: BuilderState,
+}
+
+#[derive(Debug)]
+enum BuilderState {
+    Inline {
+        rids: [Rid; INLINE_CAPACITY],
+        len: usize,
+    },
+    Buffer(Vec<Rid>),
+    Spilled {
+        temp: TempTable,
+        bitmap: Filter,
+        count: usize,
+        /// In-memory staging batch, flushed to the temp table when full.
+        pending: Vec<Rid>,
+    },
+}
+
+impl RidListBuilder {
+    /// Creates a builder; `temp_file` is the file id used if the list
+    /// spills.
+    pub fn new(config: RidTierConfig, pool: SharedPool, temp_file: FileId) -> Self {
+        assert!(config.inline_max <= INLINE_CAPACITY);
+        assert!(config.buffer_max >= config.inline_max);
+        RidListBuilder {
+            config,
+            pool,
+            temp_file,
+            state: BuilderState::Inline {
+                rids: [Rid::new(0, 0); INLINE_CAPACITY],
+                len: 0,
+            },
+        }
+    }
+
+    /// Number of RIDs added so far.
+    pub fn len(&self) -> usize {
+        match &self.state {
+            BuilderState::Inline { len, .. } => *len,
+            BuilderState::Buffer(v) => v.len(),
+            BuilderState::Spilled { count, .. } => *count,
+        }
+    }
+
+    /// True if no RIDs were added.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True once the list has left main memory.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.state, BuilderState::Spilled { .. })
+    }
+
+    /// Appends one RID, promoting tiers as needed.
+    pub fn push(&mut self, rid: Rid) {
+        match &mut self.state {
+            BuilderState::Inline { rids, len } => {
+                if *len < self.config.inline_max {
+                    rids[*len] = rid;
+                    *len += 1;
+                    return;
+                }
+                // Promote to the allocated buffer.
+                let mut v = Vec::with_capacity(self.config.inline_max * 2);
+                v.extend_from_slice(&rids[..*len]);
+                v.push(rid);
+                self.pool.borrow().cost().charge_rid_ops(v.len() as u64);
+                self.state = BuilderState::Buffer(v);
+            }
+            BuilderState::Buffer(v) => {
+                if v.len() < self.config.buffer_max {
+                    v.push(rid);
+                    self.pool.borrow().cost().charge_rid_ops(1);
+                    return;
+                }
+                // Promote to the spilled tier: everything buffered flows to
+                // the temp table and into the bitmap.
+                let mut temp = TempTable::new(self.temp_file, self.pool.clone());
+                let mut bitmap = Filter::bitmap(self.config.bitmap_bits);
+                temp.append(v);
+                for r in v.iter() {
+                    bitmap.insert(*r);
+                }
+                bitmap.insert(rid);
+                let count = v.len() + 1;
+                self.state = BuilderState::Spilled {
+                    temp,
+                    bitmap,
+                    count,
+                    pending: vec![rid],
+                };
+            }
+            BuilderState::Spilled {
+                temp,
+                bitmap,
+                count,
+                pending,
+            } => {
+                bitmap.insert(rid);
+                pending.push(rid);
+                *count += 1;
+                if pending.len() >= 256 {
+                    temp.append(pending);
+                    pending.clear();
+                }
+            }
+        }
+    }
+
+    /// Finishes the list, flushing any pending spill batch.
+    pub fn finish(self) -> RidList {
+        match self.state {
+            BuilderState::Inline { rids, len } => {
+                if len == 0 {
+                    RidList::Empty
+                } else {
+                    RidList::Inline { rids, len }
+                }
+            }
+            BuilderState::Buffer(v) => RidList::Buffer(v),
+            BuilderState::Spilled {
+                mut temp,
+                bitmap,
+                count,
+                mut pending,
+            } => {
+                temp.append(&pending);
+                pending.clear();
+                RidList::Spilled {
+                    temp,
+                    bitmap,
+                    count,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_storage::{shared_meter, shared_pool, CostConfig};
+
+    fn builder(inline: usize, buffer: usize) -> (RidListBuilder, rdb_storage::SharedCost) {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(64, cost.clone());
+        (
+            RidListBuilder::new(
+                RidTierConfig {
+                    inline_max: inline,
+                    buffer_max: buffer,
+                    bitmap_bits: 1 << 10,
+                },
+                pool,
+                FileId(99),
+            ),
+            cost,
+        )
+    }
+
+    fn rids(n: usize) -> Vec<Rid> {
+        (0..n).map(|i| Rid::new(i as u32, 0)).collect()
+    }
+
+    #[test]
+    fn empty_list_shortcut() {
+        let (b, _) = builder(4, 8);
+        let list = b.finish();
+        assert!(matches!(list, RidList::Empty));
+        assert_eq!(list.tier(), "empty");
+        assert!(list.to_vec().is_empty());
+    }
+
+    #[test]
+    fn inline_tier_is_free() {
+        let (mut b, cost) = builder(4, 8);
+        for r in rids(4) {
+            b.push(r);
+        }
+        assert_eq!(cost.total(), 0.0, "inline tier must not charge anything");
+        let list = b.finish();
+        assert_eq!(list.tier(), "inline");
+        assert_eq!(list.to_vec(), rids(4));
+    }
+
+    #[test]
+    fn buffer_tier_preserves_order() {
+        let (mut b, _) = builder(4, 100);
+        for r in rids(50) {
+            b.push(r);
+        }
+        let list = b.finish();
+        assert_eq!(list.tier(), "buffer");
+        assert_eq!(list.to_vec(), rids(50));
+        assert_eq!(list.len(), 50);
+    }
+
+    #[test]
+    fn spill_tier_charges_page_writes_and_keeps_all_rids() {
+        let (mut b, cost) = builder(4, 16);
+        let input = rids(5000);
+        for &r in &input {
+            b.push(r);
+        }
+        assert!(b.is_spilled());
+        let writes_during_build = cost.snapshot().page_writes;
+        assert!(writes_during_build > 0, "spill must write temp pages");
+        let list = b.finish();
+        assert_eq!(list.tier(), "spilled");
+        assert_eq!(list.len(), 5000);
+        assert_eq!(list.to_vec(), input);
+    }
+
+    #[test]
+    fn filters_match_contents() {
+        let (mut b, _) = builder(4, 8);
+        for r in rids(6) {
+            b.push(r);
+        }
+        let list = b.finish();
+        let f = list.filter();
+        for r in rids(6) {
+            assert!(f.contains(r));
+        }
+        assert!(!f.contains(Rid::new(999, 0)));
+    }
+
+    #[test]
+    fn spilled_filter_is_bitmap_with_no_false_negatives() {
+        let (mut b, _) = builder(4, 16);
+        let input = rids(2000);
+        for &r in &input {
+            b.push(r);
+        }
+        let list = b.finish();
+        let f = list.filter();
+        for &r in &input {
+            assert!(f.contains(r), "bitmap must never reject a member");
+        }
+    }
+
+    #[test]
+    fn tier_boundaries_are_exact() {
+        let (mut b, _) = builder(3, 5);
+        for r in rids(3) {
+            b.push(r);
+        }
+        assert!(!b.is_spilled());
+        assert_eq!(b.len(), 3);
+        b.push(Rid::new(100, 0)); // 4th: buffer tier
+        assert_eq!(b.len(), 4);
+        b.push(Rid::new(101, 0)); // 5th: still buffer (max 5)
+        b.push(Rid::new(102, 0)); // 6th: spills
+        assert!(b.is_spilled());
+        assert_eq!(b.finish().len(), 6);
+    }
+}

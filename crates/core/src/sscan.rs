@@ -1,0 +1,163 @@
+//! Sscan — self-sufficient index scan (paper Section 4).
+//!
+//! When an index "contains all attributes needed for table restriction
+//! evaluation and for retrieval result delivery, the index scan alone can
+//! select and deliver all result records" — no data-record fetches at all,
+//! which is what makes Sscan the "much safer" strategy of the index-only
+//! tactic (Section 7): its worst case is one full index scan.
+
+use rdb_btree::{BTree, KeyRange, RangeScan};
+
+use crate::request::KeyPred;
+use crate::tscan::StrategyStep;
+
+/// Resumable self-sufficient index scan.
+pub struct Sscan<'a> {
+    tree: &'a BTree,
+    scan: RangeScan,
+    key_pred: KeyPred,
+    examined: u64,
+    delivered: u64,
+}
+
+impl<'a> Sscan<'a> {
+    /// Opens an Sscan over `range`, evaluating `key_pred` on index keys.
+    pub fn new(tree: &'a BTree, range: KeyRange, key_pred: KeyPred) -> Self {
+        Sscan {
+            tree,
+            scan: tree.range_scan(range),
+            key_pred,
+            examined: 0,
+            delivered: 0,
+        }
+    }
+
+    /// Estimated total cost of scanning `entries` index entries: leaf pages
+    /// plus per-entry CPU.
+    pub fn scan_cost(tree: &BTree, entries: f64) -> f64 {
+        let cfg = tree.pool().borrow().cost().config();
+        let leaf_pages = (entries / tree.avg_fanout().max(1.0)).ceil();
+        leaf_pages * cfg.io_read + entries * cfg.index_entry
+    }
+
+    /// Entries examined so far.
+    pub fn examined(&self) -> u64 {
+        self.examined
+    }
+
+    /// Rows delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Advances by one index entry. Deliveries carry the **index key
+    /// tuple** as their record (no heap fetch) — callers route them via
+    /// [`crate::Sink::deliver_from_index`] and project output columns
+    /// through the index's `key_columns`.
+    pub fn step(&mut self) -> StrategyStep {
+        match self.scan.next(self.tree) {
+            None => StrategyStep::Done,
+            Some((key, rid)) => {
+                self.examined += 1;
+                if (self.key_pred)(&key) {
+                    self.delivered += 1;
+                    StrategyStep::Deliver(rid, Some(rdb_storage::Record::new(key)))
+                } else {
+                    StrategyStep::Progress
+                }
+            }
+        }
+    }
+}
+
+/// Picks the cheapest self-sufficient index by estimated range size — the
+/// paper's "the only optimization task to be resolved is to pick the one
+/// whose scan is the cheapest".
+pub fn cheapest_sscan<'a>(
+    candidates: &[(&'a BTree, KeyRange, KeyPred)],
+) -> Option<(usize, f64)> {
+    candidates
+        .iter()
+        .enumerate()
+        .map(|(i, (tree, range, _))| {
+            let est = tree.estimate_range(range);
+            (i, Sscan::scan_cost(tree, est.estimate))
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId, Rid, Value};
+
+    fn tree(n: i64) -> BTree {
+        let pool = shared_pool(10_000, shared_meter(CostConfig::default()));
+        let mut t = BTree::new("idx", FileId(1), pool, vec![0], 8);
+        for i in 0..n {
+            t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
+        }
+        t
+    }
+
+    fn all_pred() -> KeyPred {
+        Rc::new(|_: &[Value]| true)
+    }
+
+    #[test]
+    fn delivers_range_rids_without_fetches() {
+        let t = tree(1000);
+        let mut scan = Sscan::new(&t, KeyRange::closed(10, 19), all_pred());
+        let mut rids = Vec::new();
+        loop {
+            match scan.step() {
+                StrategyStep::Deliver(rid, rec) => {
+                    let rec = rec.expect("sscan delivers the index key tuple");
+                    assert_eq!(rec.len(), 1, "one key column");
+                    rids.push(rid);
+                }
+                StrategyStep::Progress => {}
+                StrategyStep::Done => break,
+            }
+        }
+        assert_eq!(rids.len(), 10);
+        assert_eq!(scan.delivered(), 10);
+    }
+
+    #[test]
+    fn key_pred_filters_within_range() {
+        let t = tree(100);
+        let pred: KeyPred = Rc::new(|k: &[Value]| k[0].as_i64().unwrap() % 2 == 0);
+        let mut scan = Sscan::new(&t, KeyRange::closed(0, 9), pred);
+        let mut n = 0;
+        loop {
+            match scan.step() {
+                StrategyStep::Deliver(..) => n += 1,
+                StrategyStep::Progress => {}
+                StrategyStep::Done => break,
+            }
+        }
+        assert_eq!(n, 5);
+        assert_eq!(scan.examined(), 10);
+    }
+
+    #[test]
+    fn cheapest_picks_smallest_range() {
+        let t1 = tree(1000);
+        let t2 = tree(1000);
+        let candidates = vec![
+            (&t1, KeyRange::closed(0, 500), all_pred()),
+            (&t2, KeyRange::closed(0, 10), all_pred()),
+        ];
+        let (winner, cost) = cheapest_sscan(&candidates).unwrap();
+        assert_eq!(winner, 1);
+        assert!(cost < Sscan::scan_cost(&t1, 500.0));
+    }
+
+    #[test]
+    fn no_candidates_no_winner() {
+        assert!(cheapest_sscan(&[]).is_none());
+    }
+}

@@ -1,0 +1,459 @@
+//! The four retrieval tactics of paper Section 7, built on the
+//! foreground/background/final-stage structure of Figure 4.
+//!
+//! * [`background_only`] — total-time goal, fetch-needed indexes only:
+//!   Jscan, then a final stage that sorts the RID list so "several records
+//!   on a single page [are accessed] only once".
+//! * [`fast_first`] — same index situation, fast-first goal: a foreground
+//!   process *borrows* RIDs from the background Jscan, fetches and
+//!   delivers immediately, and is killed by direct competition once
+//!   fast-first satisfaction "becomes less realistic".
+//! * [`sorted`] — fast-first with a requested order: a foreground Fscan on
+//!   the order-needed index runs in parallel with a background Jscan whose
+//!   complete filter then rejects Fscan RIDs *before* fetching.
+//! * [`index_only`] — self-sufficient indexes available: the best Sscan
+//!   (foreground, "much safer") races Jscan (background); foreground
+//!   buffer overflow kills Jscan, a small complete RID list kills Sscan.
+
+use rdb_competition::ProportionalScheduler;
+use rdb_storage::{HeapTable, Rid};
+
+use crate::fscan::Fscan;
+use crate::jscan::{Jscan, JscanOutcome, JscanStatus};
+use crate::request::{RecordPred, Sink};
+use crate::ridlist::RidList;
+use crate::sscan::Sscan;
+use crate::tscan::{StrategyStep, Tscan};
+
+/// Foreground-process tuning shared by the competitive tactics.
+#[derive(Debug, Clone, Copy)]
+pub struct FgrConfig {
+    /// Capacity of the foreground buffer of delivered RIDs; overflow
+    /// terminates the foreground (fast-first) or the background
+    /// (index-only, where the foreground is the safer side).
+    pub buffer_capacity: usize,
+    /// Kill the foreground when its spend exceeds this fraction of the
+    /// background's guaranteed-best cost (direct competition).
+    pub spend_limit_ratio: f64,
+    /// Scheduler speed of the foreground relative to the background's 1.0.
+    pub speed: f64,
+}
+
+impl Default for FgrConfig {
+    fn default() -> Self {
+        FgrConfig {
+            buffer_capacity: 1024,
+            spend_limit_ratio: 0.5,
+            speed: 1.0,
+        }
+    }
+}
+
+/// Outcome report of one tactic run (deliveries land in the sink).
+#[derive(Debug)]
+pub struct TacticReport {
+    /// Human-readable strategy description.
+    pub strategy: String,
+    /// Chronological decision log.
+    pub events: Vec<String>,
+}
+
+fn meter_total(table: &HeapTable) -> f64 {
+    table.pool().borrow().cost().total()
+}
+
+/// Final retrieval stage: fetch the listed RIDs in **sorted order** (one
+/// page touch per page), evaluate the total restriction, and deliver —
+/// excluding RIDs the foreground already delivered.
+pub fn final_stage(
+    table: &HeapTable,
+    list: &RidList,
+    residual: &RecordPred,
+    exclude: &[Rid],
+    sink: &mut Sink,
+    events: &mut Vec<String>,
+) {
+    let mut rids = list.to_vec();
+    rids.sort_unstable();
+    rids.dedup();
+    let mut excluded: Vec<Rid> = exclude.to_vec();
+    excluded.sort_unstable();
+    events.push(format!(
+        "final stage: {} RIDs ({} tier), {} already delivered",
+        rids.len(),
+        list.tier(),
+        excluded.len()
+    ));
+    for rid in rids {
+        if excluded.binary_search(&rid).is_ok() {
+            continue;
+        }
+        if let Ok(record) = table.fetch(rid) {
+            if residual(&record) && !sink.deliver(rid, Some(record)) {
+                events.push("limit reached during final stage".into());
+                return;
+            }
+        }
+    }
+}
+
+/// Full-table fallback scan, excluding already-delivered RIDs.
+pub(crate) fn run_tscan(
+    table: &HeapTable,
+    residual: &RecordPred,
+    exclude: &[Rid],
+    sink: &mut Sink,
+    events: &mut Vec<String>,
+) {
+    let mut excluded: Vec<Rid> = exclude.to_vec();
+    excluded.sort_unstable();
+    let mut scan = Tscan::new(table, residual.clone());
+    events.push("running Tscan".into());
+    loop {
+        match scan.step() {
+            StrategyStep::Deliver(rid, record) => {
+                if excluded.binary_search(&rid).is_ok() {
+                    continue;
+                }
+                if !sink.deliver(rid, record) {
+                    events.push("limit reached during Tscan".into());
+                    return;
+                }
+            }
+            StrategyStep::Progress => {}
+            StrategyStep::Done => return,
+        }
+    }
+}
+
+/// **Background-only tactic** (Section 7): total-time optimization with
+/// fetch-needed indexes. Runs Jscan to completion, then the final stage
+/// (or Tscan if Jscan recommends it).
+pub fn background_only(
+    table: &HeapTable,
+    mut jscan: Jscan<'_>,
+    residual: &RecordPred,
+    sink: &mut Sink,
+) -> TacticReport {
+    let outcome = jscan.run();
+    let mut events: Vec<String> = jscan.events().iter().map(|e| e.to_string()).collect();
+    match outcome {
+        JscanOutcome::Empty => {
+            events.push("end of data (empty intersection)".into());
+            TacticReport {
+                strategy: "background-only (empty)".into(),
+                events,
+            }
+        }
+        JscanOutcome::FinalList(list) => {
+            final_stage(table, &list, residual, &[], sink, &mut events);
+            TacticReport {
+                strategy: "background-only (Jscan + final stage)".into(),
+                events,
+            }
+        }
+        JscanOutcome::UseTscan => {
+            run_tscan(table, residual, &[], sink, &mut events);
+            TacticReport {
+                strategy: "background-only (Jscan -> Tscan)".into(),
+                events,
+            }
+        }
+    }
+}
+
+/// **Fast-first tactic** (Section 7): the foreground borrows RIDs from the
+/// background Jscan, fetches and delivers immediately; a direct
+/// foreground/background competition decides when immediate delivery stops
+/// paying.
+pub fn fast_first(
+    table: &HeapTable,
+    mut jscan: Jscan<'_>,
+    residual: &RecordPred,
+    config: FgrConfig,
+    sink: &mut Sink,
+) -> TacticReport {
+    let mut events: Vec<String> = Vec::new();
+    let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
+    const FGR: usize = 0;
+    const BGR: usize = 1;
+
+    let mut borrow_cursor = 0usize;
+    let mut pending: std::collections::VecDeque<Rid> = std::collections::VecDeque::new();
+    let mut fgr_buffer: Vec<Rid> = Vec::new();
+    let mut fgr_spend = 0.0;
+    let mut fgr_alive = true;
+    let mut outcome: Option<JscanOutcome> = None;
+
+    while outcome.is_none() {
+        let who = match sched.next() {
+            Some(w) => w,
+            None => break,
+        };
+        match who {
+            FGR => {
+                // Refill the borrow queue from the background's stream.
+                let (next, fresh) = jscan.borrow_rids(borrow_cursor);
+                borrow_cursor = next;
+                pending.extend(fresh.iter().copied());
+                let Some(rid) = pending.pop_front() else {
+                    if !jscan.borrow_stream_open() {
+                        // Nothing left to borrow, ever: the foreground has
+                        // done all it can.
+                        sched.deactivate(FGR);
+                        fgr_alive = false;
+                        events.push("foreground idle: borrow stream closed".into());
+                    }
+                    continue;
+                };
+                let before = meter_total(table);
+                if let Ok(record) = table.fetch(rid) {
+                    if residual(&record) {
+                        fgr_buffer.push(rid);
+                        if !sink.deliver(rid, Some(record)) {
+                            events.push("limit reached by foreground".into());
+                            return TacticReport {
+                                strategy: "fast-first (foreground satisfied)".into(),
+                                events,
+                            };
+                        }
+                    }
+                }
+                fgr_spend += meter_total(table) - before;
+                // Direct competition: overflow or overspend kills Fgr.
+                if fgr_buffer.len() >= config.buffer_capacity {
+                    events.push("foreground buffer overflow: switching to background-only".into());
+                    sched.deactivate(FGR);
+                    fgr_alive = false;
+                } else if fgr_spend >= config.spend_limit_ratio * jscan.guaranteed_best() {
+                    events.push(format!(
+                        "foreground spend {fgr_spend:.1} hit its competition limit: switching to background-only"
+                    ));
+                    sched.deactivate(FGR);
+                    fgr_alive = false;
+                }
+            }
+            BGR => {
+                if jscan.step() == JscanStatus::Finished {
+                    outcome = Some(jscan.take_outcome());
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    for e in jscan.events() {
+        events.push(e.to_string());
+    }
+    let strategy = if fgr_alive {
+        "fast-first (foreground + background)"
+    } else {
+        "fast-first (degraded to background-only)"
+    };
+    match outcome {
+        Some(JscanOutcome::Empty) | None => {}
+        Some(JscanOutcome::FinalList(list)) => {
+            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events);
+        }
+        Some(JscanOutcome::UseTscan) => {
+            run_tscan(table, residual, &fgr_buffer, sink, &mut events);
+        }
+    }
+    TacticReport {
+        strategy: strategy.into(),
+        events,
+    }
+}
+
+/// **Sorted tactic** (Section 7): foreground Fscan on the order-needed
+/// index delivers in order; background Jscan over the other indexes
+/// produces a filter that, once complete, rejects Fscan RIDs before
+/// fetching.
+pub fn sorted(
+    _table: &HeapTable,
+    mut fscan: Fscan<'_>,
+    mut jscan: Option<Jscan<'_>>,
+    config: FgrConfig,
+    sink: &mut Sink,
+) -> TacticReport {
+    let mut events: Vec<String> = Vec::new();
+    let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
+    const FGR: usize = 0;
+    const BGR: usize = 1;
+    if jscan.is_none() {
+        sched.deactivate(BGR);
+    }
+
+    loop {
+        let Some(who) = sched.next() else {
+            break;
+        };
+        match who {
+            FGR => match fscan.step() {
+                StrategyStep::Deliver(rid, record) => {
+                    if !sink.deliver(rid, record) {
+                        events.push("limit reached by ordered foreground".into());
+                        return TacticReport {
+                            strategy: "sorted (Fscan satisfied)".into(),
+                            events,
+                        };
+                    }
+                }
+                StrategyStep::Progress => {}
+                StrategyStep::Done => {
+                    events.push("ordered Fscan completed; background abandoned".into());
+                    break;
+                }
+            },
+            BGR => {
+                let j = jscan.as_mut().expect("background scheduled without jscan");
+                if j.step() == JscanStatus::Finished {
+                    for e in j.events() {
+                        events.push(e.to_string());
+                    }
+                    match j.take_outcome() {
+                        JscanOutcome::Empty => {
+                            events.push("background proved empty result".into());
+                            return TacticReport {
+                                strategy: "sorted (background empty shortcut)".into(),
+                                events,
+                            };
+                        }
+                        JscanOutcome::FinalList(list) => {
+                            events.push(format!(
+                                "background filter of {} RIDs installed into Fscan",
+                                list.len()
+                            ));
+                            fscan.set_filter(list.filter());
+                        }
+                        JscanOutcome::UseTscan => {
+                            events.push("background unselective: Fscan continues unfiltered".into());
+                        }
+                    }
+                    jscan = None;
+                    sched.deactivate(BGR);
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    let strategy = if fscan.has_filter() {
+        "sorted (Fscan + Jscan filter)"
+    } else {
+        "sorted (Fscan alone)"
+    };
+    TacticReport {
+        strategy: strategy.into(),
+        events,
+    }
+}
+
+/// **Index-only tactic** (Section 7): the best Sscan runs in the
+/// foreground, collecting delivered RIDs; Jscan competes in the
+/// background. Foreground buffer overflow kills Jscan ("Sscan continues
+/// because it is a safer strategy"); a small complete Jscan list kills
+/// Sscan in favour of the sure final-stage retrieval.
+pub fn index_only(
+    table: &HeapTable,
+    mut sscan: Sscan<'_>,
+    mut jscan: Option<Jscan<'_>>,
+    residual: &RecordPred,
+    config: FgrConfig,
+    sink: &mut Sink,
+) -> TacticReport {
+    let mut events: Vec<String> = Vec::new();
+    let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
+    const FGR: usize = 0;
+    const BGR: usize = 1;
+    if jscan.is_none() {
+        sched.deactivate(BGR);
+    }
+    let mut fgr_buffer: Vec<Rid> = Vec::new();
+    // One foreground quantum advances a batch of index entries so that the
+    // race against Jscan (which also works in entry batches) compares like
+    // with like — the paper's proportional speeds are in work done, not in
+    // scheduler slots.
+    const FGR_BATCH: usize = 16;
+
+    loop {
+        let Some(who) = sched.next() else {
+            break;
+        };
+        match who {
+            FGR => {
+                for _ in 0..FGR_BATCH {
+                    match sscan.step() {
+                        StrategyStep::Deliver(rid, record) => {
+                            fgr_buffer.push(rid);
+                            if !sink.deliver_from_index(rid, record) {
+                                events.push("limit reached by index-only foreground".into());
+                                return TacticReport {
+                                    strategy: "index-only (Sscan satisfied)".into(),
+                                    events,
+                                };
+                            }
+                            if fgr_buffer.len() >= config.buffer_capacity && jscan.is_some() {
+                                events.push(
+                                    "foreground buffer overflow: Jscan terminated, Sscan continues (safer)"
+                                        .into(),
+                                );
+                                jscan = None;
+                                sched.deactivate(BGR);
+                            }
+                        }
+                        StrategyStep::Progress => {}
+                        StrategyStep::Done => {
+                            events.push("Sscan completed; background abandoned".into());
+                            return TacticReport {
+                                strategy: "index-only (Sscan won)".into(),
+                                events,
+                            };
+                        }
+                    }
+                }
+            }
+            BGR => {
+                let j = jscan.as_mut().expect("background scheduled without jscan");
+                if j.step() == JscanStatus::Finished {
+                    for e in j.events() {
+                        events.push(e.to_string());
+                    }
+                    match j.take_outcome() {
+                        JscanOutcome::Empty => {
+                            events.push("background proved empty result".into());
+                            return TacticReport {
+                                strategy: "index-only (background empty shortcut)".into(),
+                                events,
+                            };
+                        }
+                        JscanOutcome::FinalList(list) => {
+                            // Jscan finished with a sure list: abandon Sscan.
+                            events.push(format!(
+                                "Jscan won with {} RIDs: Sscan abandoned",
+                                list.len()
+                            ));
+                            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events);
+                            return TacticReport {
+                                strategy: "index-only (Jscan won)".into(),
+                                events,
+                            };
+                        }
+                        JscanOutcome::UseTscan => {
+                            events.push(
+                                "background unselective: Sscan continues alone".into(),
+                            );
+                            jscan = None;
+                            sched.deactivate(BGR);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    TacticReport {
+        strategy: "index-only (Sscan completed)".into(),
+        events,
+    }
+}

@@ -1,0 +1,240 @@
+//! Union scan — OR-connected index restrictions.
+//!
+//! The paper lists OR coverage as the main direction for extending Jscan:
+//! "Covering ORs and between-index subexpressions of table-wide Boolean
+//! expressions is a rich source for extending the tactics and the
+//! architecture" (Section 7), and Section 4 already frames the RID list
+//! as "built by intersecting/unionizing individual index RID lists
+//! according to the restriction AND/OR operations."
+//!
+//! [`UnionScan`] implements the unionizing half: each OR **arm** is an
+//! index range; arm scans accumulate RIDs into one list that is
+//! deduplicated, sorted, and fetched by the usual final stage. The same
+//! two-stage competition applies — here the projection is *easier* than
+//! for intersections because the union size is bounded below by the
+//! largest arm and above by the sum of arm estimates, so an unproductive
+//! union (≈ whole table) is detected early and handed to Tscan.
+
+use rdb_btree::{BTree, KeyRange};
+use rdb_storage::{HeapTable, Rid};
+
+use crate::jscan::JscanConfig;
+use crate::tscan::Tscan;
+
+/// One OR arm: an index with the range its disjunct implies.
+pub struct UnionArm<'a> {
+    /// The index.
+    pub tree: &'a BTree,
+    /// Range implied by this arm's disjunct.
+    pub range: KeyRange,
+    /// Estimated entries (from the initial estimation pass).
+    pub estimate: f64,
+}
+
+/// Outcome of the union scan.
+#[derive(Debug)]
+pub enum UnionOutcome {
+    /// The deduplicated, sorted RID union — feed it to the final stage.
+    Rids(Vec<Rid>),
+    /// The union would approach the whole table: sequential scan instead.
+    UseTscan,
+}
+
+/// Scans OR-connected index ranges into one RID union, with a two-stage
+/// competition against Tscan.
+pub struct UnionScan<'a> {
+    table: &'a HeapTable,
+    arms: Vec<UnionArm<'a>>,
+    config: JscanConfig,
+    events: Vec<String>,
+}
+
+impl<'a> UnionScan<'a> {
+    /// Creates the union scan. Arms with provably empty ranges may be
+    /// passed; they cost nothing.
+    pub fn new(table: &'a HeapTable, arms: Vec<UnionArm<'a>>, config: JscanConfig) -> Self {
+        UnionScan {
+            table,
+            arms,
+            config,
+            events: Vec::new(),
+        }
+    }
+
+    /// Decision log.
+    pub fn events(&self) -> &[String] {
+        &self.events
+    }
+
+    /// Runs the union to an outcome.
+    pub fn run(&mut self) -> UnionOutcome {
+        let tscan_cost = Tscan::full_cost(self.table);
+        // Upfront screen: the union is at least as big as its biggest arm
+        // and we will pay every arm's scan; if even the optimistic total
+        // (sum of estimates, all distinct) prices out, go sequential now.
+        let estimate_sum: f64 = self.arms.iter().map(|a| a.estimate).sum();
+        let projected = crate::jscan::Jscan::fetch_cost(self.table, estimate_sum);
+        if projected >= self.config.switch_threshold * tscan_cost {
+            self.events.push(format!(
+                "union estimate {estimate_sum:.0} RIDs prices out (fetch ~{projected:.0} vs Tscan {tscan_cost:.0})"
+            ));
+            return UnionOutcome::UseTscan;
+        }
+
+        let mut rids: Vec<Rid> = Vec::new();
+        // Scan arms in ascending-estimate order (cheap uncertainty first).
+        let mut order: Vec<usize> = (0..self.arms.len()).collect();
+        order.sort_by(|&x, &y| self.arms[x].estimate.total_cmp(&self.arms[y].estimate));
+        for idx in order {
+            let arm = &self.arms[idx];
+            let mut scan = arm.tree.range_scan(arm.range.clone());
+            let mut collected = 0usize;
+            while let Some((_, rid)) = scan.next(arm.tree) {
+                rids.push(rid);
+                collected += 1;
+                // Refresh the projection as evidence accumulates: what we
+                // hold plus the remaining arms' estimates.
+                if collected % 256 == 0 {
+                    let remaining: f64 = self
+                        .arms
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != idx)
+                        .map(|(_, a)| a.estimate)
+                        .sum();
+                    let projected = crate::jscan::Jscan::fetch_cost(
+                        self.table,
+                        rids.len() as f64 + remaining,
+                    );
+                    if projected >= self.config.switch_threshold * tscan_cost {
+                        self.events.push(format!(
+                            "union grew past the competition threshold after {} RIDs: Tscan",
+                            rids.len()
+                        ));
+                        return UnionOutcome::UseTscan;
+                    }
+                }
+            }
+            self.events
+                .push(format!("arm {} delivered {collected} RIDs", arm.tree.name()));
+        }
+        let before = rids.len();
+        rids.sort_unstable();
+        rids.dedup();
+        self.table
+            .pool()
+            .borrow()
+            .cost()
+            .charge_rid_ops(before as u64);
+        self.events.push(format!(
+            "union of {} RIDs ({} after dedup)",
+            before,
+            rids.len()
+        ));
+        UnionOutcome::Rids(rids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_storage::{
+        shared_meter, shared_pool, Column, CostConfig, FileId, Record, Schema, Value, ValueType,
+    };
+
+    fn setup(n: i64, ma: i64, mb: i64) -> (HeapTable, BTree, BTree) {
+        let pool = shared_pool(100_000, shared_meter(CostConfig::default()));
+        let schema = Schema::new(vec![
+            Column::new("a", ValueType::Int),
+            Column::new("b", ValueType::Int),
+        ]);
+        let mut table = HeapTable::with_page_bytes("t", FileId(0), schema, pool.clone(), 1024);
+        let mut ia = BTree::new("idx_a", FileId(1), pool.clone(), vec![0], 32);
+        let mut ib = BTree::new("idx_b", FileId(2), pool, vec![1], 32);
+        for i in 0..n {
+            let rid = table
+                .insert(Record::new(vec![Value::Int(i % ma), Value::Int(i % mb)]))
+                .unwrap();
+            ia.insert(vec![Value::Int(i % ma)], rid);
+            ib.insert(vec![Value::Int(i % mb)], rid);
+        }
+        (table, ia, ib)
+    }
+
+    fn arm<'a>(tree: &'a BTree, range: KeyRange) -> UnionArm<'a> {
+        let estimate = tree.estimate_range(&range).estimate;
+        UnionArm {
+            tree,
+            range,
+            estimate,
+        }
+    }
+
+    #[test]
+    fn union_of_two_selective_arms() {
+        let (table, ia, ib) = setup(3000, 100, 150);
+        // a == 1 (30 rids) OR b == 2 (20 rids); overlap: i ≡ 1 (mod 100) &
+        // i ≡ 2 (mod 150) → impossible (1 ≢ 2 mod 50) → 50 total.
+        let mut u = UnionScan::new(
+            &table,
+            vec![arm(&ia, KeyRange::eq(1)), arm(&ib, KeyRange::eq(2))],
+            JscanConfig::default(),
+        );
+        match u.run() {
+            UnionOutcome::Rids(rids) => assert_eq!(rids.len(), 50, "{:?}", u.events()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overlapping_arms_dedup() {
+        let (table, ia, ib) = setup(3000, 100, 100);
+        // a == 1 OR b == 1 with ma == mb: identical 30-rid sets.
+        let mut u = UnionScan::new(
+            &table,
+            vec![arm(&ia, KeyRange::eq(1)), arm(&ib, KeyRange::eq(1))],
+            JscanConfig::default(),
+        );
+        match u.run() {
+            UnionOutcome::Rids(rids) => {
+                assert_eq!(rids.len(), 30);
+                let mut sorted = rids.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, rids, "result is sorted");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unproductive_union_goes_to_tscan() {
+        let (table, ia, ib) = setup(3000, 3, 4);
+        // a <= 1 (2/3 of table) OR b == 0 (1/4): sum prices out.
+        let mut u = UnionScan::new(
+            &table,
+            vec![
+                arm(&ia, KeyRange::at_most(1)),
+                arm(&ib, KeyRange::eq(0)),
+            ],
+            JscanConfig::default(),
+        );
+        assert!(matches!(u.run(), UnionOutcome::UseTscan));
+    }
+
+    #[test]
+    fn empty_arms_cost_nothing() {
+        let (table, ia, ib) = setup(10_000, 100, 100);
+        let mut u = UnionScan::new(
+            &table,
+            vec![
+                arm(&ia, KeyRange::eq(3)),
+                arm(&ib, KeyRange::closed(500, 900)), // outside the domain
+            ],
+            JscanConfig::default(),
+        );
+        match u.run() {
+            UnionOutcome::Rids(rids) => assert_eq!(rids.len(), 100, "{:?}", u.events()),
+            other => panic!("{other:?}"),
+        }
+    }
+}

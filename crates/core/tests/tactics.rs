@@ -1,0 +1,496 @@
+//! Integration tests: every tactic must deliver exactly the records the
+//! restriction selects, and the dynamic decisions must go the way the
+//! paper claims.
+
+use std::rc::Rc;
+
+use rdb_btree::{BTree, KeyRange};
+use rdb_core::{
+    DynamicOptimizer, IndexChoice, KeyPred, OptimizeGoal, RecordPred, RetrievalRequest,
+    TacticChoice,
+};
+use rdb_storage::{
+    shared_meter, shared_pool, Column, CostConfig, FileId, HeapTable, Record, Rid, Schema,
+    SharedCost, Value, ValueType,
+};
+
+/// Test fixture: table(a, b, c) with a = i % ma, b = i % mb, c = i (unique),
+/// indexes on a, b, c.
+struct Fixture {
+    table: HeapTable,
+    idx_a: BTree,
+    idx_b: BTree,
+    idx_c: BTree,
+    cost: SharedCost,
+    n: i64,
+    ma: i64,
+    mb: i64,
+}
+
+fn fixture(n: i64, ma: i64, mb: i64) -> Fixture {
+    let cost = shared_meter(CostConfig::default());
+    let pool = shared_pool(100_000, cost.clone());
+    let schema = Schema::new(vec![
+        Column::new("a", ValueType::Int),
+        Column::new("b", ValueType::Int),
+        Column::new("c", ValueType::Int),
+    ]);
+    let mut table = HeapTable::with_page_bytes("t", FileId(0), schema, pool.clone(), 1024);
+    let mut idx_a = BTree::new("idx_a", FileId(1), pool.clone(), vec![0], 64);
+    let mut idx_b = BTree::new("idx_b", FileId(2), pool.clone(), vec![1], 64);
+    let mut idx_c = BTree::new("idx_c", FileId(3), pool, vec![2], 64);
+    for i in 0..n {
+        let (a, b) = (i % ma, i % mb);
+        let rid = table
+            .insert(Record::new(vec![Value::Int(a), Value::Int(b), Value::Int(i)]))
+            .unwrap();
+        idx_a.insert(vec![Value::Int(a)], rid);
+        idx_b.insert(vec![Value::Int(b)], rid);
+        idx_c.insert(vec![Value::Int(i)], rid);
+    }
+    Fixture {
+        table,
+        idx_a,
+        idx_b,
+        idx_c,
+        cost,
+        n,
+        ma,
+        mb,
+    }
+}
+
+impl Fixture {
+    /// Ground truth via direct enumeration (no cost charged).
+    fn truth(&self, pred: impl Fn(i64, i64, i64) -> bool) -> Vec<i64> {
+        (0..self.n)
+            .filter(|&i| pred(i % self.ma, i % self.mb, i))
+            .collect()
+    }
+
+    fn residual_ab(&self, va: i64, vb: i64) -> RecordPred {
+        Rc::new(move |r: &Record| {
+            r[0] == Value::Int(va) && r[1] == Value::Int(vb)
+        })
+    }
+}
+
+fn delivered_c_values(table: &HeapTable, rids: &[Rid]) -> Vec<i64> {
+    let mut out: Vec<i64> = rids
+        .iter()
+        .map(|&rid| table.fetch(rid).unwrap()[2].as_i64().unwrap())
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn background_only_matches_truth() {
+    let f = fixture(3000, 50, 30);
+    let req = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![
+            IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(7)),
+            IndexChoice::fetch_needed(&f.idx_b, KeyRange::eq(7)),
+        ],
+        residual: f.residual_ab(7, 7),
+        goal: OptimizeGoal::TotalTime,
+        order_required: false,
+        limit: None,
+    };
+    let opt = DynamicOptimizer::default();
+    let (choice, _) = opt.choose(&req);
+    assert_eq!(choice, TacticChoice::BackgroundOnly);
+    let result = opt.run(&req);
+    let got = delivered_c_values(&f.table, &result.rids());
+    let want = f.truth(|a, b, _| a == 7 && b == 7);
+    assert_eq!(got, want, "events: {:?}", result.events);
+}
+
+#[test]
+fn fast_first_matches_truth_and_respects_limit() {
+    let f = fixture(3000, 50, 30);
+    let residual = f.residual_ab(7, 7);
+    let mut req = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![
+            IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(7)),
+            IndexChoice::fetch_needed(&f.idx_b, KeyRange::eq(7)),
+        ],
+        residual,
+        goal: OptimizeGoal::FastFirst,
+        order_required: false,
+        limit: None,
+    };
+    let opt = DynamicOptimizer::default();
+    let (choice, _) = opt.choose(&req);
+    assert_eq!(choice, TacticChoice::FastFirst);
+    // Unlimited run: full truth, no duplicates.
+    let result = opt.run(&req);
+    let got = delivered_c_values(&f.table, &result.rids());
+    let want = f.truth(|a, b, _| a == 7 && b == 7);
+    assert_eq!(got, want, "events: {:?}", result.events);
+    // Limited run: delivers exactly `limit` records (or fewer if truth is
+    // smaller) at a fraction of the cost.
+    let full_cost = result.cost;
+    req.limit = Some(2);
+    let limited = opt.run(&req);
+    assert_eq!(limited.deliveries.len(), 2.min(want.len()));
+    assert!(
+        limited.cost < full_cost,
+        "early termination {} must beat full {}",
+        limited.cost,
+        full_cost
+    );
+}
+
+#[test]
+fn index_only_tactic_matches_truth() {
+    let f = fixture(2000, 40, 25);
+    let key_pred: KeyPred = Rc::new(|k: &[Value]| k[0] == Value::Int(3));
+    // The self-sufficient index answers "a == 3" alone; idx_b's range is a
+    // broad non-binding range so the background Jscan has work to do.
+    let residual: RecordPred = Rc::new(|r: &Record| r[0] == Value::Int(3));
+    let req = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![
+            IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(3)).with_self_sufficient(key_pred),
+            IndexChoice::fetch_needed(&f.idx_b, KeyRange::closed(0, 24)),
+        ],
+        residual,
+        goal: OptimizeGoal::TotalTime,
+        order_required: false,
+        limit: None,
+    };
+    let opt = DynamicOptimizer::default();
+    let (choice, _) = opt.choose(&req);
+    assert_eq!(choice, TacticChoice::IndexOnly);
+    let result = opt.run(&req);
+    let got = delivered_c_values(&f.table, &result.rids());
+    let want = f.truth(|a, _, _| a == 3);
+    assert_eq!(got, want, "events: {:?}", result.events);
+}
+
+#[test]
+fn sorted_tactic_delivers_in_order_and_matches_truth() {
+    let f = fixture(2000, 10, 40);
+    // Order by c (unique index on c provides it); restriction: b == 5.
+    let residual: RecordPred = Rc::new(|r: &Record| r[1] == Value::Int(5));
+    let req = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![
+            IndexChoice::fetch_needed(&f.idx_c, KeyRange::all()).with_order(),
+            IndexChoice::fetch_needed(&f.idx_b, KeyRange::eq(5)),
+        ],
+        residual,
+        goal: OptimizeGoal::FastFirst,
+        order_required: true,
+        limit: None,
+    };
+    let opt = DynamicOptimizer::default();
+    let (choice, _) = opt.choose(&req);
+    assert_eq!(choice, TacticChoice::Sorted);
+    let result = opt.run(&req);
+    // In-order delivery: c values strictly increasing as delivered.
+    let cs: Vec<i64> = result
+        .deliveries
+        .iter()
+        .map(|d| d.record.as_ref().unwrap()[2].as_i64().unwrap())
+        .collect();
+    assert!(cs.windows(2).all(|w| w[0] < w[1]), "must deliver ordered");
+    let want = f.truth(|_, b, _| b == 5);
+    assert_eq!(cs, want, "events: {:?}", result.events);
+}
+
+#[test]
+fn sorted_tactic_filter_saves_fetches() {
+    // With a highly selective background index, the Jscan filter must cut
+    // the ordered Fscan's fetch count far below the unfiltered run.
+    let f = fixture(4000, 400, 40);
+    let residual: RecordPred = Rc::new(|r: &Record| r[0] == Value::Int(3));
+    let make_req = |with_bgr: bool| {
+        let mut indexes = vec![IndexChoice::fetch_needed(&f.idx_c, KeyRange::all()).with_order()];
+        if with_bgr {
+            indexes.push(IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(3)));
+        }
+        RetrievalRequest {
+            table: &f.table,
+            indexes,
+            residual: residual.clone(),
+            goal: OptimizeGoal::FastFirst,
+            order_required: true,
+            limit: None,
+        }
+    };
+    let opt = DynamicOptimizer::default();
+    // Cold cache for each run so the comparison is fair.
+    f.table.pool().borrow_mut().clear();
+    let with_filter = opt.run(&make_req(true));
+    f.table.pool().borrow_mut().clear();
+    let baseline = opt.run(&make_req(false));
+    let want = f.truth(|a, _, _| a == 3);
+    assert_eq!(
+        delivered_c_values(&f.table, &with_filter.rids()),
+        want,
+        "events: {:?}",
+        with_filter.events
+    );
+    assert_eq!(delivered_c_values(&f.table, &baseline.rids()), want);
+    assert!(
+        with_filter.cost < 0.7 * baseline.cost,
+        "filtered {} vs unfiltered {}",
+        with_filter.cost,
+        baseline.cost
+    );
+}
+
+#[test]
+fn fast_first_observer_sees_first_row_early() {
+    // The whole point of the fast-first goal: the first delivery must
+    // arrive at a small fraction of the total run cost, and the observer
+    // streams it out while the run is still going.
+    use std::cell::Cell;
+    let f = fixture(4000, 50, 30);
+    let residual: RecordPred = Rc::new(|r: &Record| {
+        r[0] == Value::Int(7) && r[1] == Value::Int(7)
+    });
+    let make_req = |goal| RetrievalRequest {
+        table: &f.table,
+        indexes: vec![
+            IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(7)),
+            IndexChoice::fetch_needed(&f.idx_b, KeyRange::eq(7)),
+        ],
+        residual: residual.clone(),
+        goal,
+        order_required: false,
+        limit: None,
+    };
+    let opt = DynamicOptimizer::default();
+    let measure = |goal| -> (f64, f64, usize) {
+        f.table.pool().borrow_mut().clear();
+        let cost = { f.table.pool().borrow().cost().clone() };
+        let start = cost.total();
+        let first_at = Cell::new(f64::NAN);
+        let observer: rdb_core::DeliveryObserver<'_> = Box::new(|_d| {
+            if first_at.get().is_nan() {
+                first_at.set(cost.total() - start);
+            }
+        });
+        let result = opt.run_with_observer(&make_req(goal), Some(observer));
+        (first_at.get(), result.cost, result.deliveries.len())
+    };
+    let (ff_first, ff_total, n1) = measure(OptimizeGoal::FastFirst);
+    let (bg_first, bg_total, n2) = measure(OptimizeGoal::TotalTime);
+    assert_eq!(n1, n2, "same rows either way");
+    assert!(ff_first.is_finite() && bg_first.is_finite());
+    assert!(
+        ff_first < 0.25 * ff_total,
+        "fast-first first row at {ff_first} of {ff_total}"
+    );
+    assert!(
+        ff_first < 0.5 * bg_first,
+        "fast-first first row ({ff_first}) must beat background-only ({bg_first})"
+    );
+    let _ = bg_total;
+}
+
+#[test]
+fn sorted_tactic_correct_with_bitmap_filter() {
+    // Force the background Jscan list into the spilled tier so the filter
+    // handed to the ordered Fscan is an approximate bitmap: false
+    // positives cause extra fetches, but the residual must keep the
+    // result exact.
+    use rdb_core::{DynamicConfig, JscanConfig, RidTierConfig};
+    let f = fixture(4000, 8, 40);
+    let residual: RecordPred = Rc::new(|r: &Record| r[0] == Value::Int(3));
+    let req = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![
+            IndexChoice::fetch_needed(&f.idx_c, KeyRange::all()).with_order(),
+            IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(3)),
+        ],
+        residual,
+        goal: OptimizeGoal::FastFirst,
+        order_required: true,
+        limit: None,
+    };
+    let opt = DynamicOptimizer::new(DynamicConfig {
+        jscan: JscanConfig {
+            tiers: RidTierConfig {
+                inline_max: 8,
+                buffer_max: 16, // 500 background RIDs must spill
+                bitmap_bits: 1 << 10,
+            },
+            tiny_list_shortcut: 0,
+            switch_threshold: 100.0, // keep the background alive
+            scan_spend_limit: 1e9,
+            ..JscanConfig::default()
+        },
+        ..DynamicConfig::default()
+    });
+    let result = opt.run(&req);
+    let want = f.truth(|a, _, _| a == 3);
+    let cs: Vec<i64> = result
+        .deliveries
+        .iter()
+        .map(|d| d.record.as_ref().unwrap()[2].as_i64().unwrap())
+        .collect();
+    assert_eq!(cs, want, "bitmap false positives must not alter results");
+}
+
+#[test]
+fn empty_range_ends_instantly() {
+    let f = fixture(2000, 10, 10);
+    let req = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![IndexChoice::fetch_needed(&f.idx_c, KeyRange::closed(90_000, 99_000))],
+        residual: Rc::new(|_: &Record| false),
+        goal: OptimizeGoal::TotalTime,
+        order_required: false,
+        limit: None,
+    };
+    let opt = DynamicOptimizer::default();
+    let before = f.cost.total();
+    let result = opt.run(&req);
+    assert_eq!(result.strategy, "EndOfData");
+    assert!(result.deliveries.is_empty());
+    let spent = f.cost.total() - before;
+    assert!(
+        spent < 0.1 * rdb_core::Tscan::full_cost(&f.table),
+        "empty detection must cost a descent, not a scan ({spent})"
+    );
+}
+
+#[test]
+fn tiny_range_shortcut_fetches_directly() {
+    let f = fixture(5000, 10, 10);
+    let residual: RecordPred = Rc::new(|r: &Record| {
+        let c = r[2].as_i64().unwrap();
+        (100..=102).contains(&c)
+    });
+    let req = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![
+            IndexChoice::fetch_needed(&f.idx_c, KeyRange::closed(100, 102)),
+            IndexChoice::fetch_needed(&f.idx_a, KeyRange::closed(0, 9)),
+        ],
+        residual,
+        goal: OptimizeGoal::TotalTime,
+        order_required: false,
+        limit: None,
+    };
+    let opt = DynamicOptimizer::default();
+    let result = opt.run(&req);
+    assert_eq!(result.strategy, "TinyRangeFetch");
+    assert_eq!(delivered_c_values(&f.table, &result.rids()), vec![100, 101, 102]);
+    assert!(
+        result.cost < 0.05 * rdb_core::Tscan::full_cost(&f.table),
+        "OLTP shortcut must be near-free (cost {})",
+        result.cost
+    );
+}
+
+#[test]
+fn no_indexes_means_tscan() {
+    let f = fixture(500, 10, 10);
+    let req = RetrievalRequest::table_only(
+        &f.table,
+        Rc::new(|r: &Record| r[0] == Value::Int(1)),
+        OptimizeGoal::TotalTime,
+    );
+    let opt = DynamicOptimizer::default();
+    let (choice, _) = opt.choose(&req);
+    assert_eq!(choice, TacticChoice::TscanOnly);
+    let result = opt.run(&req);
+    let want = f.truth(|a, _, _| a == 1);
+    assert_eq!(delivered_c_values(&f.table, &result.rids()), want);
+}
+
+#[test]
+fn unselective_index_degrades_to_tscan_not_catastrophe() {
+    // The whole-table range: dynamic Jscan must notice and fall back to
+    // Tscan at bounded extra cost.
+    let f = fixture(3000, 10, 10);
+    let req = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![IndexChoice::fetch_needed(&f.idx_a, KeyRange::closed(0, 9))],
+        residual: Rc::new(|r: &Record| r[2].as_i64().unwrap() % 2 == 0),
+        goal: OptimizeGoal::TotalTime,
+        order_required: false,
+        limit: None,
+    };
+    let opt = DynamicOptimizer::default();
+    let result = opt.run(&req);
+    let want = f.truth(|_, _, c| c % 2 == 0);
+    assert_eq!(delivered_c_values(&f.table, &result.rids()), want);
+    let tscan_cost = rdb_core::Tscan::full_cost(&f.table);
+    assert!(
+        result.cost < 2.0 * tscan_cost,
+        "abandoned-competition overhead must stay bounded: {} vs tscan {}",
+        result.cost,
+        tscan_cost
+    );
+}
+
+#[test]
+fn dynamic_choice_tracks_host_variable() {
+    // The paper's `AGE >= :A1` example on a FAMILIES-like table.
+    let f = fixture(5000, 10, 10);
+    let opt = DynamicOptimizer::default();
+    // :A1 = 0 → everything qualifies → Jscan discards the index, Tscan runs.
+    let req_all = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![IndexChoice::fetch_needed(&f.idx_c, KeyRange::at_least(0))],
+        residual: Rc::new(|_: &Record| true),
+        goal: OptimizeGoal::TotalTime,
+        order_required: false,
+        limit: None,
+    };
+    let all = opt.run(&req_all);
+    assert_eq!(all.deliveries.len(), 5000);
+    // :A1 = 4997 → three records → near-free indexed path.
+    let req_few = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![IndexChoice::fetch_needed(&f.idx_c, KeyRange::at_least(4997))],
+        residual: Rc::new(|r: &Record| r[2].as_i64().unwrap() >= 4997),
+        goal: OptimizeGoal::TotalTime,
+        order_required: false,
+        limit: None,
+    };
+    let few = opt.run(&req_few);
+    assert_eq!(few.deliveries.len(), 3);
+    assert!(
+        few.cost < 0.05 * all.cost,
+        "selective binding {} must be far cheaper than full binding {}",
+        few.cost,
+        all.cost
+    );
+}
+
+#[test]
+fn sscan_static_when_single_self_sufficient_index() {
+    // The range must be big enough not to trip the tiny-range shortcut
+    // (which would — correctly — preempt the static Sscan decision).
+    let f = fixture(1000, 10, 10);
+    let key_pred: KeyPred = Rc::new(|k: &[Value]| k[0].as_i64().unwrap() >= 500);
+    let req = RetrievalRequest {
+        table: &f.table,
+        indexes: vec![
+            IndexChoice::fetch_needed(&f.idx_c, KeyRange::at_least(500))
+                .with_self_sufficient(key_pred),
+        ],
+        residual: Rc::new(|r: &Record| r[2].as_i64().unwrap() >= 500),
+        goal: OptimizeGoal::TotalTime,
+        order_required: false,
+        limit: None,
+    };
+    let opt = DynamicOptimizer::default();
+    let (choice, _) = opt.choose(&req);
+    assert_eq!(choice, TacticChoice::SscanStatic);
+    let result = opt.run(&req);
+    assert_eq!(result.deliveries.len(), 500);
+    assert!(
+        result.deliveries.iter().all(|d| d.from_index),
+        "sscan delivers from index keys without fetching records"
+    );
+}

@@ -1,0 +1,150 @@
+//! Truncated-hyperbola approximation of skewed selectivity distributions.
+//!
+//! Paper, Section 2: "All asymmetrical transformations of uniform
+//! distribution are well approximated (but not fully matched) by truncated
+//! hyperbolas. For instance, truncated hyperbolas fit &X with relative
+//! error 1/4, &&X with error 1/7, &&&X with error 1/23. Here relative
+//! error of hyperbola h_X(s) fitted to p_X(s) is
+//! max_s|p_X(s)−h_X(s)| / (max_s p_X(s) − min_s p_X(s))."
+//!
+//! The family fitted here is `h(s) = a / (s + b)` on `[0,1]`, mass-
+//! normalized (so `a = 1 / ln((1+b)/b)`), optionally mirrored for
+//! OR-dominated shapes whose legs hug `s = 1`.
+
+use crate::pdf::Pdf;
+
+/// A fitted truncated hyperbola.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperbolaFit {
+    /// Scale `a` (determined by mass normalization).
+    pub a: f64,
+    /// Offset `b > 0`; smaller `b` = more skewed hyperbola.
+    pub b: f64,
+    /// True if the fit is against the mirrored axis (legs at `s = 1`).
+    pub mirrored: bool,
+    /// The paper's relative error metric.
+    pub rel_error: f64,
+}
+
+impl HyperbolaFit {
+    /// Density of the fitted hyperbola at selectivity `s`.
+    pub fn density(&self, s: f64) -> f64 {
+        let x = if self.mirrored { 1.0 - s } else { s };
+        self.a / (x + self.b)
+    }
+}
+
+/// The paper's relative error between a distribution and a candidate
+/// hyperbola: `max|p−h| / (max p − min p)` over the grid, with `p` taken
+/// as density.
+fn relative_error(pdf: &Pdf, a: f64, b: f64, mirrored: bool) -> f64 {
+    let n = pdf.bins();
+    let mut max_p = f64::MIN;
+    let mut min_p = f64::MAX;
+    let mut max_diff = 0.0f64;
+    for i in 0..n {
+        let p = pdf.density(i);
+        max_p = max_p.max(p);
+        min_p = min_p.min(p);
+        let s = pdf.s_at(i);
+        let x = if mirrored { 1.0 - s } else { s };
+        let h = a / (x + b);
+        max_diff = max_diff.max((p - h).abs());
+    }
+    if max_p - min_p < 1e-12 {
+        return max_diff; // flat target: degenerate, report absolute diff
+    }
+    max_diff / (max_p - min_p)
+}
+
+/// Fits a mass-normalized truncated hyperbola to `pdf` by golden-section-
+/// refined grid search over `b`, trying both orientations. Returns the
+/// better fit.
+pub fn fit_hyperbola(pdf: &Pdf) -> HyperbolaFit {
+    let mut best = HyperbolaFit {
+        a: 1.0,
+        b: 1.0,
+        mirrored: false,
+        rel_error: f64::MAX,
+    };
+    for mirrored in [false, true] {
+        // Log-spaced coarse grid over b, then local refinement.
+        let mut candidates: Vec<f64> = (0..60)
+            .map(|i| 10f64.powf(-4.0 + 6.0 * i as f64 / 59.0))
+            .collect();
+        for _round in 0..3 {
+            let mut best_b = candidates[0];
+            let mut best_err = f64::MAX;
+            for &b in &candidates {
+                let a = 1.0 / ((1.0 + b) / b).ln();
+                let err = relative_error(pdf, a * (pdf.bins() - 1) as f64 / pdf.bins() as f64, b, mirrored);
+                if err < best_err {
+                    best_err = err;
+                    best_b = b;
+                }
+            }
+            if best_err < best.rel_error {
+                let a = 1.0 / ((1.0 + best_b) / best_b).ln();
+                best = HyperbolaFit {
+                    a: a * (pdf.bins() - 1) as f64 / pdf.bins() as f64,
+                    b: best_b,
+                    mirrored,
+                    rel_error: best_err,
+                };
+            }
+            // Refine around the winner.
+            candidates = (0..40)
+                .map(|i| best_b * 10f64.powf(-0.5 + 1.0 * i as f64 / 39.0))
+                .collect();
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{and, or, Correlation};
+    use crate::spec::apply_spec;
+
+    #[test]
+    fn fit_error_decreases_with_more_ands() {
+        // Paper: errors 1/4, 1/7, 1/23 for &X, &&X, &&&X — strictly
+        // improving fits as the hyperbola sharpens.
+        let u = Pdf::uniform();
+        let e1 = fit_hyperbola(&apply_spec("&X", &u, Correlation::Unknown)).rel_error;
+        let e2 = fit_hyperbola(&apply_spec("&&X", &u, Correlation::Unknown)).rel_error;
+        let e3 = fit_hyperbola(&apply_spec("&&&X", &u, Correlation::Unknown)).rel_error;
+        assert!(e1 > e2 && e2 > e3, "errors must decrease: {e1} {e2} {e3}");
+        assert!(e1 < 0.5, "&X should already be hyperbola-like: {e1}");
+        assert!(e3 < 0.12, "&&&X should fit closely: {e3}");
+    }
+
+    #[test]
+    fn or_shapes_fit_with_mirrored_hyperbola() {
+        let u = Pdf::uniform();
+        let x = or(&or(&u, &u, Correlation::Unknown), &or(&u, &u, Correlation::Unknown), Correlation::Unknown);
+        let fit = fit_hyperbola(&x);
+        assert!(fit.mirrored, "OR-dominated shape hugs s=1");
+    }
+
+    #[test]
+    fn and_shapes_fit_unmirrored() {
+        let u = Pdf::uniform();
+        let x = and(&and(&u, &u, Correlation::Unknown), &and(&u, &u, Correlation::Unknown), Correlation::Unknown);
+        let fit = fit_hyperbola(&x);
+        assert!(!fit.mirrored);
+    }
+
+    #[test]
+    fn fitted_density_is_positive_and_decreasing() {
+        let u = Pdf::uniform();
+        let x = and(&u, &u, Correlation::Unknown);
+        let fit = fit_hyperbola(&x);
+        let d0 = fit.density(0.0);
+        let d5 = fit.density(0.5);
+        let d1 = fit.density(1.0);
+        assert!(d0 > d5 && d5 > d1, "AND hyperbola decreases: {d0} {d5} {d1}");
+        assert!(d1 > 0.0);
+    }
+}

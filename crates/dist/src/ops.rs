@@ -1,0 +1,220 @@
+//! The paper's operator transforms on selectivity distributions.
+//!
+//! For predicates `X`, `Y` with selectivities `s_X`, `s_Y` and an assumed
+//! correlation `c ∈ [−1, +1]`, the combined selectivity is linearly
+//! interpolated between three anchor formulas (paper Section 2):
+//!
+//! | c  | `s_{X&Y}` |
+//! |----|-----------|
+//! | −1 | `max(0, s_X + s_Y − 1)` (smallest possible intersection) |
+//! |  0 | `s_X · s_Y` (independence) |
+//! | +1 | `min(s_X, s_Y)` (largest possible intersection) |
+//!
+//! OR is reduced to AND through De Morgan: `X|Y = ~(~X & ~Y)`, making
+//! `p_{X|Y}` the mirror image of the AND of mirrored operands. The
+//! **unknown correlation** assumption (notated `X&̄Y` in the paper) is a
+//! uniform mixture of all correlations in `[−1, +1]`.
+
+use crate::pdf::Pdf;
+
+/// Correlation assumption between two operand predicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Correlation {
+    /// A specific assumed correlation in `[−1, +1]`.
+    Exact(f64),
+    /// Uniform mixture over `[−1, +1]` — the paper's "unknown correlation".
+    Unknown,
+}
+
+/// Number of correlation points used to integrate the Unknown mixture.
+const MIXTURE_POINTS: usize = 21;
+
+/// Combined selectivity of `X AND Y` for given operand selectivities under
+/// correlation `c`.
+pub fn and_selectivity(sx: f64, sy: f64, c: f64) -> f64 {
+    debug_assert!((-1.0..=1.0).contains(&c));
+    let independent = sx * sy;
+    if c >= 0.0 {
+        let pos = sx.min(sy);
+        independent + c * (pos - independent)
+    } else {
+        let neg = (sx + sy - 1.0).max(0.0);
+        independent + (-c) * (neg - independent)
+    }
+}
+
+/// NOT transform: the mirror image `p(1−s)`.
+pub fn not(x: &Pdf) -> Pdf {
+    x.mirrored()
+}
+
+/// AND transform of two independent *estimates* under a correlation
+/// assumption. (The operands' estimate distributions are independent even
+/// when the predicates themselves are assumed correlated — the correlation
+/// enters through the selectivity combination formula.)
+pub fn and(x: &Pdf, y: &Pdf, corr: Correlation) -> Pdf {
+    match corr {
+        Correlation::Exact(c) => and_exact(x, y, c),
+        Correlation::Unknown => {
+            let mut acc = x.zero_like();
+            for k in 0..MIXTURE_POINTS {
+                let c = -1.0 + 2.0 * k as f64 / (MIXTURE_POINTS - 1) as f64;
+                let part = and_exact(x, y, c);
+                let share = 1.0 / MIXTURE_POINTS as f64;
+                for (i, w) in part.weights().iter().enumerate() {
+                    acc.weights_mut()[i] += w * share;
+                }
+            }
+            acc.normalize();
+            acc
+        }
+    }
+}
+
+fn and_exact(x: &Pdf, y: &Pdf, c: f64) -> Pdf {
+    assert_eq!(x.bins(), y.bins(), "operand grids must match");
+    let mut out = x.zero_like();
+    for i in 0..x.bins() {
+        let wx = x.weight(i);
+        if wx == 0.0 {
+            continue;
+        }
+        let sx = x.s_at(i);
+        for j in 0..y.bins() {
+            let wy = y.weight(j);
+            if wy == 0.0 {
+                continue;
+            }
+            let sy = y.s_at(j);
+            out.deposit(and_selectivity(sx, sy, c), wx * wy);
+        }
+    }
+    out.normalize();
+    out
+}
+
+/// OR transform via De Morgan: `p_{X|Y}` is mirror-symmetrical to
+/// `p_{~X & ~Y}`.
+pub fn or(x: &Pdf, y: &Pdf, corr: Correlation) -> Pdf {
+    not(&and(&not(x), &not(y), corr))
+}
+
+/// JOIN on a key unique in all underlying tables "behaves almost
+/// identically to the AND operator" (paper Section 2) once selectivity is
+/// defined over the key domain; this alias documents that equivalence.
+pub fn join_unique(x: &Pdf, y: &Pdf, corr: Correlation) -> Pdf {
+    and(x, y, corr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNKNOWN: Correlation = Correlation::Unknown;
+    const INDEP: Correlation = Correlation::Exact(0.0);
+
+    #[test]
+    fn and_selectivity_anchors() {
+        assert_eq!(and_selectivity(0.5, 0.5, 0.0), 0.25);
+        assert_eq!(and_selectivity(0.5, 0.5, 1.0), 0.5);
+        assert_eq!(and_selectivity(0.5, 0.5, -1.0), 0.0);
+        assert_eq!(and_selectivity(0.8, 0.7, -1.0), 0.5);
+        // Interpolation is monotone in c.
+        let lo = and_selectivity(0.6, 0.4, -0.5);
+        let mid = and_selectivity(0.6, 0.4, 0.0);
+        let hi = and_selectivity(0.6, 0.4, 0.5);
+        assert!(lo < mid && mid < hi);
+    }
+
+    #[test]
+    fn and_of_points_is_point_product_under_independence() {
+        let x = Pdf::point(0.4);
+        let y = Pdf::point(0.5);
+        let z = and(&x, &y, INDEP);
+        assert!((z.mean() - 0.2).abs() < 0.01);
+        assert!(z.std_dev() < 0.02);
+    }
+
+    #[test]
+    fn and_plus_one_correlation_of_identical_points_is_identity() {
+        let x = Pdf::point(0.3);
+        let z = and(&x, &x, Correlation::Exact(1.0));
+        assert!((z.mean() - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn or_of_points_independence_matches_formula() {
+        // s_{X|Y} = 1 - (1-sx)(1-sy) = 0.7 + 0.2 - 0.14 = 0.76
+        let x = Pdf::point(0.7);
+        let y = Pdf::point(0.2);
+        let z = or(&x, &y, INDEP);
+        assert!((z.mean() - 0.76).abs() < 0.01, "mean {}", z.mean());
+    }
+
+    #[test]
+    fn de_morgan_symmetry() {
+        // p_{X|Y} must be the mirror of p_{~X & ~Y}.
+        let x = Pdf::uniform();
+        let or_xy = or(&x, &x, UNKNOWN);
+        let and_mirror = not(&and(&not(&x), &not(&x), UNKNOWN));
+        for i in 0..x.bins() {
+            assert!((or_xy.weight(i) - and_mirror.weight(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn and_of_uniforms_shifts_mass_to_zero() {
+        let u = Pdf::uniform();
+        let z = and(&u, &u, UNKNOWN);
+        assert!(z.mean() < u.mean(), "AND lowers mean selectivity");
+        assert!(
+            z.mass_below(0.25) > 0.5,
+            "paper: ANDs concentrate ~50% near zero (got {})",
+            z.mass_below(0.25)
+        );
+    }
+
+    #[test]
+    fn or_of_uniforms_shifts_mass_to_one() {
+        let u = Pdf::uniform();
+        let z = or(&u, &u, UNKNOWN);
+        assert!(z.mean() > u.mean());
+        assert!(z.mass_below(0.75) < 0.5, "ORs mirror the AND concentration");
+    }
+
+    #[test]
+    fn negative_correlation_pushes_and_lower() {
+        let u = Pdf::uniform();
+        let pos = and(&u, &u, Correlation::Exact(0.9));
+        let neg = and(&u, &u, Correlation::Exact(-0.9));
+        assert!(neg.mean() < pos.mean());
+    }
+
+    #[test]
+    fn results_remain_normalized() {
+        let u = Pdf::uniform();
+        let b = Pdf::bell(0.2, 0.01);
+        for z in [
+            and(&u, &b, UNKNOWN),
+            or(&u, &b, UNKNOWN),
+            and(&b, &b, Correlation::Exact(-1.0)),
+            join_unique(&u, &u, INDEP),
+        ] {
+            assert!((z.total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn balanced_and_or_restores_symmetry() {
+        // Paper: "A mixture of equal numbers of ANDs/ORs restores the
+        // original symmetry" — &|X should have mean near 0.5 again.
+        let u = Pdf::uniform();
+        let or1 = or(&u, &u, UNKNOWN);
+        let balanced = and(&or1, &or1, UNKNOWN);
+        assert!(
+            (balanced.mean() - 0.5).abs() < 0.1,
+            "balanced mean {}",
+            balanced.mean()
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Discretized probability densities over the selectivity interval `[0,1]`.
+//!
+//! The paper's numeric procedure: "we first transform pX, pY into two
+//! groups of single weighted point estimates, then calculate points and
+//! weights for all combinations … and then convert a 'point/weight' version
+//! into an approximate probability density function." A [`Pdf`] is exactly
+//! that point/weight representation: probability mass on an even grid of
+//! `n` points `sᵢ = i/(n−1)` including both endpoints — the endpoints
+//! matter because L-shaped results concentrate half their mass hard against
+//! `s = 0` or `s = 1`.
+
+/// Default grid resolution.
+pub const DEFAULT_BINS: usize = 201;
+
+/// A probability mass function on the grid `i/(n−1)`, `i = 0..n`,
+/// normalized to total mass 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pdf {
+    weights: Vec<f64>,
+}
+
+impl Pdf {
+    /// Uniform distribution (total ignorance of selectivity).
+    pub fn uniform() -> Self {
+        Self::uniform_with_bins(DEFAULT_BINS)
+    }
+
+    /// Uniform distribution on a custom grid size.
+    pub fn uniform_with_bins(n: usize) -> Self {
+        assert!(n >= 2);
+        Pdf {
+            weights: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// All mass at one selectivity point (a fully trusted estimate).
+    pub fn point(s: f64) -> Self {
+        Self::point_with_bins(s, DEFAULT_BINS)
+    }
+
+    /// Point mass on a custom grid.
+    pub fn point_with_bins(s: f64, n: usize) -> Self {
+        let mut pdf = Pdf {
+            weights: vec![0.0; n],
+        };
+        pdf.deposit(s, 1.0);
+        pdf
+    }
+
+    /// Truncated-normal bell: an estimate with mean `m` and standard error
+    /// `e` (the paper's Figure 2.2 uses `m = 0.2`, `e = 0.005`).
+    pub fn bell(m: f64, e: f64) -> Self {
+        Self::bell_with_bins(m, e, DEFAULT_BINS)
+    }
+
+    /// Bell on a custom grid.
+    pub fn bell_with_bins(m: f64, e: f64, n: usize) -> Self {
+        assert!(e > 0.0);
+        let mut weights = vec![0.0; n];
+        for (i, w) in weights.iter_mut().enumerate() {
+            let s = i as f64 / (n - 1) as f64;
+            let z = (s - m) / e;
+            *w = (-0.5 * z * z).exp();
+        }
+        let mut pdf = Pdf { weights };
+        pdf.normalize();
+        pdf
+    }
+
+    /// Builds a Pdf from observed samples in `[0,1]` (used to model the
+    /// empirical cost distributions of strategy runs).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        Self::from_samples_with_bins(samples, DEFAULT_BINS)
+    }
+
+    /// Sample histogram on a custom grid.
+    pub fn from_samples_with_bins(samples: &[f64], n: usize) -> Self {
+        assert!(!samples.is_empty());
+        let mut pdf = Pdf {
+            weights: vec![0.0; n],
+        };
+        let w = 1.0 / samples.len() as f64;
+        for &s in samples {
+            pdf.deposit(s, w);
+        }
+        pdf
+    }
+
+    /// Grid size.
+    pub fn bins(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Selectivity of grid point `i`.
+    pub fn s_at(&self, i: usize) -> f64 {
+        i as f64 / (self.bins() - 1) as f64
+    }
+
+    /// Probability mass at grid point `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// The raw weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Density view: mass × (n−1), comparable to a continuous pdf.
+    pub fn density(&self, i: usize) -> f64 {
+        self.weights[i] * (self.bins() - 1) as f64
+    }
+
+    /// Deposits probability mass `w` at selectivity `s`, linearly split
+    /// between the two neighbouring grid points.
+    pub fn deposit(&mut self, s: f64, w: f64) {
+        let n = self.bins();
+        let x = s.clamp(0.0, 1.0) * (n - 1) as f64;
+        let lo = x.floor() as usize;
+        let frac = x - lo as f64;
+        if lo + 1 < n {
+            self.weights[lo] += w * (1.0 - frac);
+            self.weights[lo + 1] += w * frac;
+        } else {
+            self.weights[n - 1] += w;
+        }
+    }
+
+    /// Rescales to total mass 1.
+    pub fn normalize(&mut self) {
+        let total: f64 = self.weights.iter().sum();
+        assert!(total > 0.0, "cannot normalize zero distribution");
+        for w in &mut self.weights {
+            *w /= total;
+        }
+    }
+
+    /// Total mass (1.0 up to rounding for any constructed Pdf).
+    pub fn total_mass(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Mean selectivity.
+    pub fn mean(&self) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| self.s_at(i) * w)
+            .sum()
+    }
+
+    /// Variance of selectivity.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.weights
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let d = self.s_at(i) - m;
+                d * d * w
+            })
+            .sum()
+    }
+
+    /// Standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Probability that selectivity ≤ `s`.
+    pub fn mass_below(&self, s: f64) -> f64 {
+        self.weights
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.s_at(*i) <= s)
+            .map(|(_, w)| w)
+            .sum()
+    }
+
+    /// Smallest grid selectivity `q` with `mass_below(q) >= p` — the
+    /// quantile function. `quantile(0.5)` is the knee `c` of the paper's
+    /// L-shape reasoning (Section 3).
+    pub fn quantile(&self, p: f64) -> f64 {
+        let mut acc = 0.0;
+        for (i, w) in self.weights.iter().enumerate() {
+            acc += w;
+            if acc >= p - 1e-12 {
+                return self.s_at(i);
+            }
+        }
+        1.0
+    }
+
+    /// Mirror-image distribution: `p(1−s)` — the paper's NOT transform.
+    pub fn mirrored(&self) -> Pdf {
+        let mut weights = self.weights.clone();
+        weights.reverse();
+        Pdf { weights }
+    }
+
+    /// Conditional mean of selectivity given `s <= cutoff` (the paper's
+    /// `m₂`: mean cost of the cheap half of an L-shape). Returns `None` if
+    /// no mass lies at or below `cutoff`.
+    pub fn mean_below(&self, cutoff: f64) -> Option<f64> {
+        let mut mass = 0.0;
+        let mut acc = 0.0;
+        for (i, w) in self.weights.iter().enumerate() {
+            let s = self.s_at(i);
+            if s <= cutoff {
+                mass += w;
+                acc += s * w;
+            }
+        }
+        (mass > 1e-12).then(|| acc / mass)
+    }
+
+    /// Conditional mean of selectivity given `s > cutoff`.
+    pub fn mean_above(&self, cutoff: f64) -> Option<f64> {
+        let mut mass = 0.0;
+        let mut acc = 0.0;
+        for (i, w) in self.weights.iter().enumerate() {
+            let s = self.s_at(i);
+            if s > cutoff {
+                mass += w;
+                acc += s * w;
+            }
+        }
+        (mass > 1e-12).then(|| acc / mass)
+    }
+
+    pub(crate) fn zero_like(&self) -> Pdf {
+        Pdf {
+            weights: vec![0.0; self.bins()],
+        }
+    }
+
+    pub(crate) fn weights_mut(&mut self) -> &mut Vec<f64> {
+        &mut self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_has_mass_one_and_mean_half() {
+        let u = Pdf::uniform();
+        assert!((u.total_mass() - 1.0).abs() < 1e-9);
+        assert!((u.mean() - 0.5).abs() < 1e-9);
+        // Uniform variance is 1/12.
+        assert!((u.variance() - 1.0 / 12.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn point_mass_concentrates() {
+        let p = Pdf::point(0.3);
+        assert!((p.mean() - 0.3).abs() < 1e-9);
+        assert!(p.std_dev() < 0.01);
+        assert!((p.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bell_matches_parameters() {
+        let b = Pdf::bell(0.2, 0.02);
+        assert!((b.mean() - 0.2).abs() < 1e-3);
+        assert!((b.std_dev() - 0.02).abs() < 5e-3);
+    }
+
+    #[test]
+    fn mirror_is_involution_and_flips_mean() {
+        let b = Pdf::bell(0.2, 0.05);
+        let m = b.mirrored();
+        assert!((m.mean() - 0.8).abs() < 1e-3);
+        assert_eq!(m.mirrored(), b);
+    }
+
+    #[test]
+    fn quantile_and_mass_below_agree() {
+        let u = Pdf::uniform();
+        let med = u.quantile(0.5);
+        assert!((med - 0.5).abs() < 0.01);
+        assert!(u.mass_below(med) >= 0.5);
+    }
+
+    #[test]
+    fn deposit_splits_mass_linearly() {
+        let mut p = Pdf::uniform_with_bins(11).zero_like();
+        p.deposit(0.25, 1.0); // between grid points 2 (0.2) and 3 (0.3)
+        assert!((p.weight(2) - 0.5).abs() < 1e-9);
+        assert!((p.weight(3) - 0.5).abs() < 1e-9);
+        assert!((p.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_samples_histogram() {
+        let p = Pdf::from_samples(&[0.1, 0.1, 0.9, 0.1]);
+        assert!(p.mass_below(0.2) > 0.7);
+        assert!((p.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_means_bracket_cutoff() {
+        let u = Pdf::uniform();
+        let below = u.mean_below(0.5).unwrap();
+        let above = u.mean_above(0.5).unwrap();
+        assert!((below - 0.25).abs() < 0.01);
+        assert!((above - 0.75).abs() < 0.01);
+        assert!(u.mean_below(-0.1).is_none());
+    }
+
+    #[test]
+    fn endpoint_deposits_stay_in_range() {
+        let mut p = Pdf::point(0.0);
+        p.deposit(1.0, 1.0);
+        p.normalize();
+        assert!((p.total_mass() - 1.0).abs() < 1e-9);
+        assert!(p.weight(0) > 0.4 && p.weight(p.bins() - 1) > 0.4);
+    }
+}

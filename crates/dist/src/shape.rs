@@ -1,0 +1,118 @@
+//! Shape metrics for selectivity/cost distributions.
+//!
+//! The paper's dynamic optimizer is "engineering around the L-shape
+//! distribution": half the probability hugs one end of the interval while
+//! the rest spreads over a long tail. [`ShapeSummary`] quantifies that —
+//! the knee (median), the mass concentrated near each end, and a skewness
+//! measure — and [`ShapeSummary::is_l_shaped_at_zero`] implements the
+//! detector the competition tactics reason with.
+
+use crate::pdf::Pdf;
+
+/// Descriptive statistics of a distribution's shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShapeSummary {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Third standardized moment (0 for symmetric shapes).
+    pub skewness: f64,
+    /// Median — the paper's L-shape knee `c` with 50% of mass below it.
+    pub median: f64,
+    /// Probability mass at or below selectivity 0.1.
+    pub mass_low: f64,
+    /// Probability mass above selectivity 0.9.
+    pub mass_high: f64,
+}
+
+impl ShapeSummary {
+    /// Computes the summary of `pdf`.
+    pub fn of(pdf: &Pdf) -> ShapeSummary {
+        let mean = pdf.mean();
+        let std_dev = pdf.std_dev();
+        let skewness = if std_dev > 1e-12 {
+            (0..pdf.bins())
+                .map(|i| {
+                    let z = (pdf.s_at(i) - mean) / std_dev;
+                    z * z * z * pdf.weight(i)
+                })
+                .sum()
+        } else {
+            0.0
+        };
+        ShapeSummary {
+            mean,
+            std_dev,
+            skewness,
+            median: pdf.quantile(0.5),
+            mass_low: pdf.mass_below(0.1),
+            mass_high: 1.0 - pdf.mass_below(0.9),
+        }
+    }
+
+    /// The paper's dominant case: ≥ ~50% of mass concentrated in a small
+    /// region near zero with the rest spread broadly to the right.
+    pub fn is_l_shaped_at_zero(&self) -> bool {
+        self.median <= 0.15 && self.mass_low >= 0.45 && self.skewness > 0.5
+    }
+
+    /// The OR-dominated mirror case: concentration at the highest point.
+    pub fn is_l_shaped_at_one(&self) -> bool {
+        self.median >= 0.85 && self.mass_high >= 0.45 && self.skewness < -0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{and, or, Correlation};
+
+    #[test]
+    fn uniform_is_symmetric_not_l_shaped() {
+        let s = ShapeSummary::of(&Pdf::uniform());
+        assert!(s.skewness.abs() < 0.05);
+        assert!(!s.is_l_shaped_at_zero());
+        assert!(!s.is_l_shaped_at_one());
+    }
+
+    #[test]
+    fn repeated_ands_produce_l_shape_at_zero() {
+        let u = Pdf::uniform();
+        let mut x = u.clone();
+        for _ in 0..3 {
+            x = and(&x, &x, Correlation::Unknown);
+        }
+        let s = ShapeSummary::of(&x);
+        assert!(s.is_l_shaped_at_zero(), "shape: {s:?}");
+    }
+
+    #[test]
+    fn repeated_ors_produce_l_shape_at_one() {
+        let u = Pdf::uniform();
+        let mut x = u.clone();
+        for _ in 0..3 {
+            x = or(&x, &x, Correlation::Unknown);
+        }
+        let s = ShapeSummary::of(&x);
+        assert!(s.is_l_shaped_at_one(), "shape: {s:?}");
+    }
+
+    #[test]
+    fn mirror_flips_l_shape_side() {
+        let u = Pdf::uniform();
+        let mut x = u.clone();
+        for _ in 0..3 {
+            x = and(&x, &x, Correlation::Unknown);
+        }
+        let m = ShapeSummary::of(&x.mirrored());
+        assert!(m.is_l_shaped_at_one());
+    }
+
+    #[test]
+    fn bell_has_tiny_spread() {
+        let s = ShapeSummary::of(&Pdf::bell(0.2, 0.005));
+        assert!(s.std_dev < 0.01);
+        assert!((s.median - 0.2).abs() < 0.01);
+    }
+}

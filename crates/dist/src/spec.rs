@@ -1,0 +1,70 @@
+//! Operator-chain notation from the paper's figures.
+//!
+//! Figure 2.1/2.2 label distributions with chains like `&X`, `&&X`, `|X`,
+//! `&|X`, `|||||&X`: the unary operators `&` and `|` are "a shorthand for
+//! X&Y, X|Y in cases when p_X ≡ p_Y", applied right to left (innermost op
+//! is adjacent to `X`). `~` is NOT.
+
+use crate::ops::{and, not, or, Correlation};
+use crate::pdf::Pdf;
+
+/// Applies a chain spec such as `"&&X"` or `"|&X"` to a base distribution.
+///
+/// Each `&` replaces the current distribution `p` with `AND(p, p')` where
+/// `p'` is an independent predicate with the same distribution; `|`
+/// likewise with OR; `~` mirrors. Operators apply right to left.
+///
+/// # Panics
+/// On characters other than `&`, `|`, `~`, and a trailing `X`.
+pub fn apply_spec(spec: &str, base: &Pdf, corr: Correlation) -> Pdf {
+    let body = spec.strip_suffix('X').unwrap_or(spec);
+    let mut current = base.clone();
+    for op in body.chars().rev() {
+        current = match op {
+            '&' => and(&current, &current, corr),
+            '|' => or(&current, &current, corr),
+            '~' => not(&current),
+            other => panic!("unknown operator {other:?} in spec {spec:?}"),
+        };
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_spec_is_identity() {
+        let u = Pdf::uniform();
+        assert_eq!(apply_spec("X", &u, Correlation::Unknown), u);
+    }
+
+    #[test]
+    fn single_ops_match_direct_calls() {
+        let u = Pdf::uniform();
+        assert_eq!(
+            apply_spec("&X", &u, Correlation::Unknown),
+            and(&u, &u, Correlation::Unknown)
+        );
+        assert_eq!(
+            apply_spec("|X", &u, Correlation::Unknown),
+            or(&u, &u, Correlation::Unknown)
+        );
+        assert_eq!(apply_spec("~X", &u, Correlation::Unknown), not(&u));
+    }
+
+    #[test]
+    fn chain_applies_right_to_left() {
+        let u = Pdf::uniform();
+        let inner = or(&u, &u, Correlation::Unknown);
+        let expect = and(&inner, &inner, Correlation::Unknown);
+        assert_eq!(apply_spec("&|X", &u, Correlation::Unknown), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown operator")]
+    fn bad_spec_panics() {
+        apply_spec("?X", &Pdf::uniform(), Correlation::Unknown);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the selectivity-distribution algebra: the
+//! invariants of Section 2 must hold for *arbitrary* operand shapes and
+//! correlation assumptions, not just the figures' inputs.
+
+use proptest::prelude::*;
+use rdb_dist::ops::and_selectivity;
+use rdb_dist::{and, not, or, Correlation, Pdf};
+
+fn arb_pdf() -> impl Strategy<Value = Pdf> {
+    prop_oneof![
+        Just(Pdf::uniform()),
+        (0.02f64..0.98, 0.003f64..0.2).prop_map(|(m, e)| Pdf::bell(m, e)),
+        (0.0f64..1.0).prop_map(Pdf::point),
+        prop::collection::vec(0.0f64..1.0, 1..40).prop_map(|s| Pdf::from_samples(&s)),
+    ]
+}
+
+fn arb_corr() -> impl Strategy<Value = Correlation> {
+    prop_oneof![
+        Just(Correlation::Unknown),
+        (-1.0f64..=1.0).prop_map(Correlation::Exact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The combination formula stays inside its Fréchet bounds for every
+    /// correlation: max(0, sx+sy−1) ≤ s ≤ min(sx, sy).
+    #[test]
+    fn and_selectivity_respects_frechet_bounds(
+        sx in 0.0f64..=1.0,
+        sy in 0.0f64..=1.0,
+        c in -1.0f64..=1.0,
+    ) {
+        let s = and_selectivity(sx, sy, c);
+        let lower = (sx + sy - 1.0).max(0.0);
+        let upper = sx.min(sy);
+        prop_assert!(s >= lower - 1e-12 && s <= upper + 1e-12, "{s} outside [{lower},{upper}]");
+    }
+
+    /// Every operator output is a normalized distribution.
+    #[test]
+    fn operators_preserve_mass(x in arb_pdf(), y in arb_pdf(), corr in arb_corr()) {
+        for z in [and(&x, &y, corr), or(&x, &y, corr), not(&x)] {
+            prop_assert!((z.total_mass() - 1.0).abs() < 1e-9);
+            prop_assert!((0..z.bins()).all(|i| z.weight(i) >= -1e-12));
+        }
+    }
+
+    /// AND can only shrink the mean below min of the operand means' upper
+    /// bound; OR can only grow it symmetrically (De Morgan).
+    #[test]
+    fn and_or_move_means_the_right_way(x in arb_pdf(), y in arb_pdf(), corr in arb_corr()) {
+        let a = and(&x, &y, corr);
+        let o = or(&x, &y, corr);
+        prop_assert!(a.mean() <= x.mean().min(y.mean()) + 0.02, "AND mean too high");
+        prop_assert!(o.mean() >= x.mean().max(y.mean()) - 0.02, "OR mean too low");
+    }
+
+    /// De Morgan duality holds pointwise for every shape and correlation.
+    #[test]
+    fn de_morgan_holds(x in arb_pdf(), y in arb_pdf(), corr in arb_corr()) {
+        let lhs = or(&x, &y, corr);
+        let rhs = not(&and(&not(&x), &not(&y), corr));
+        for i in 0..lhs.bins() {
+            prop_assert!((lhs.weight(i) - rhs.weight(i)).abs() < 1e-9);
+        }
+    }
+
+    /// NOT is a mean-flipping involution.
+    #[test]
+    fn not_is_involution(x in arb_pdf()) {
+        let back = not(&not(&x));
+        for i in 0..x.bins() {
+            prop_assert!((back.weight(i) - x.weight(i)).abs() < 1e-12);
+        }
+        prop_assert!((not(&x).mean() - (1.0 - x.mean())).abs() < 1e-9);
+    }
+
+    /// Monotonicity in the correlation parameter: higher assumed
+    /// correlation never lowers the AND mean.
+    #[test]
+    fn and_mean_monotone_in_correlation(x in arb_pdf(), y in arb_pdf()) {
+        let mut prev = f64::NEG_INFINITY;
+        for c in [-1.0, -0.5, 0.0, 0.5, 1.0] {
+            let m = and(&x, &y, Correlation::Exact(c)).mean();
+            prop_assert!(m >= prev - 1e-9, "mean decreased at c={c}");
+            prev = m;
+        }
+    }
+
+    /// Quantiles are monotone and consistent with mass_below.
+    #[test]
+    fn quantiles_consistent(x in arb_pdf(), p in 0.05f64..0.95) {
+        let q = x.quantile(p);
+        prop_assert!((0.0..=1.0).contains(&q));
+        prop_assert!(x.mass_below(q) >= p - 1e-9);
+        let q2 = x.quantile((p + 0.04).min(1.0));
+        prop_assert!(q2 >= q);
+    }
+}

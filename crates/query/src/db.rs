@@ -1,0 +1,1120 @@
+//! The top-level `Database`: tables, indexes, and query execution through
+//! the dynamic optimizer.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rdb_btree::BTree;
+use rdb_core::{DynamicConfig, DynamicOptimizer, IndexChoice, OptimizeGoal, RetrievalRequest};
+use rdb_storage::{
+    shared_meter, shared_pool, CostConfig, FileId, HeapTable, Record, Schema, SharedCost,
+    SharedPool, Value,
+};
+
+use crate::expr::Expr;
+use crate::parser::{parse_query, QuerySpec};
+use crate::sort::SortConfig;
+
+/// Database-wide configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct DbConfig {
+    /// Buffer-pool capacity in pages.
+    pub pool_pages: usize,
+    /// Cost-unit weights.
+    pub cost: CostConfig,
+    /// Heap-page payload bytes.
+    pub page_bytes: usize,
+    /// B-tree fanout for new indexes.
+    pub index_fanout: usize,
+    /// Dynamic-optimizer tuning.
+    pub optimizer: DynamicConfig,
+    /// ORDER BY sort tuning (memory threshold, spill page size).
+    pub sort: SortConfig,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            pool_pages: 10_000,
+            cost: CostConfig::default(),
+            page_bytes: 8192,
+            index_fanout: 64,
+            optimizer: DynamicConfig::default(),
+            sort: SortConfig::default(),
+        }
+    }
+}
+
+struct TableEntry {
+    heap: HeapTable,
+    indexes: Vec<BTree>,
+}
+
+/// Result of one query run.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Simulated cost units spent (estimation + retrieval).
+    pub cost: f64,
+    /// The tactic/strategy that ran.
+    pub strategy: String,
+    /// Dynamic-decision log.
+    pub events: Vec<String>,
+}
+
+/// An embedded single-user database with Rdb/VMS-style dynamic single-
+/// table optimization.
+///
+/// ```
+/// use std::collections::HashMap;
+/// use rdb_query::{Database, DbConfig};
+/// use rdb_storage::{Column, Schema, Value, ValueType};
+///
+/// let mut db = Database::new(DbConfig::default());
+/// db.create_table("FAMILIES", Schema::new(vec![
+///     Column::new("ID", ValueType::Int),
+///     Column::new("AGE", ValueType::Int),
+/// ]))?;
+/// for i in 0..1000 {
+///     db.insert("FAMILIES", vec![Value::Int(i), Value::Int(i % 100)])?;
+/// }
+/// db.create_index("IDX_AGE", "FAMILIES", &["AGE"])?;
+///
+/// // The paper's query: the strategy is chosen per binding.
+/// let mut params = HashMap::new();
+/// params.insert("A1".to_string(), Value::Int(95));
+/// let result = db.query("select * from FAMILIES where AGE >= :A1", &params)?;
+/// assert_eq!(result.rows.len(), 50);
+/// # Ok::<(), String>(())
+/// ```
+pub struct Database {
+    config: DbConfig,
+    cost: SharedCost,
+    pool: SharedPool,
+    tables: BTreeMap<String, TableEntry>,
+    next_file: u32,
+    optimizer: DynamicOptimizer,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new(config: DbConfig) -> Self {
+        let cost = shared_meter(config.cost);
+        let pool = shared_pool(config.pool_pages, cost.clone());
+        Database {
+            cost,
+            pool,
+            tables: BTreeMap::new(),
+            next_file: 0,
+            optimizer: DynamicOptimizer::new(config.optimizer),
+            config,
+        }
+    }
+
+    /// Shared cost meter (for experiments).
+    pub fn cost(&self) -> &SharedCost {
+        &self.cost
+    }
+
+    /// Shared buffer pool (for cache-perturbation experiments).
+    pub fn pool(&self) -> &SharedPool {
+        &self.pool
+    }
+
+    fn alloc_file(&mut self) -> FileId {
+        let f = FileId(self.next_file);
+        self.next_file += 1;
+        f
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<(), String> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(format!("table {name} already exists"));
+        }
+        let file = self.alloc_file();
+        let heap = HeapTable::with_page_bytes(
+            name.clone(),
+            file,
+            schema,
+            self.pool.clone(),
+            self.config.page_bytes,
+        );
+        self.tables.insert(
+            name,
+            TableEntry {
+                heap,
+                indexes: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Creates a B-tree index on `columns` of `table` and backfills it.
+    pub fn create_index(
+        &mut self,
+        index_name: impl Into<String>,
+        table: &str,
+        columns: &[&str],
+    ) -> Result<(), String> {
+        let file = self.alloc_file();
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| format!("no such table {table}"))?;
+        let key_columns: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                entry
+                    .heap
+                    .schema()
+                    .column_index(c)
+                    .ok_or_else(|| format!("no such column {c} in {table}"))
+            })
+            .collect::<Result<_, _>>()?;
+        // Backfill from existing rows through the bulk loader (one sorted
+        // bottom-up pass instead of per-entry inserts).
+        let mut entries: Vec<(Vec<Value>, rdb_storage::Rid)> = Vec::new();
+        let mut scan = entry.heap.scan();
+        while let Some((rid, record)) = scan.next(&entry.heap) {
+            let key: Vec<Value> = key_columns
+                .iter()
+                .map(|&c| record[c].clone())
+                .collect();
+            entries.push((key, rid));
+        }
+        let tree = BTree::bulk_load(
+            index_name,
+            file,
+            self.pool.clone(),
+            key_columns,
+            self.config.index_fanout,
+            entries,
+        );
+        entry.indexes.push(tree);
+        Ok(())
+    }
+
+    /// Inserts a row, maintaining all indexes.
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<(), String> {
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| format!("no such table {table}"))?;
+        let record = Record::new(values);
+        let rid = entry
+            .heap
+            .insert(record.clone())
+            .map_err(|e| e.to_string())?;
+        for index in &mut entry.indexes {
+            let key: Vec<Value> = index
+                .key_columns()
+                .iter()
+                .map(|&c| record[c].clone())
+                .collect();
+            index.insert(key, rid);
+        }
+        Ok(())
+    }
+
+    /// Number of rows in `table`.
+    pub fn row_count(&self, table: &str) -> Option<u64> {
+        self.tables.get(table).map(|t| t.heap.cardinality())
+    }
+
+    /// Deletes every row of `table` matching the bound predicate,
+    /// maintaining all indexes. Returns the number of rows deleted.
+    ///
+    /// Victims are located by a sequential scan (maintenance favours
+    /// simplicity over retrieval optimization here); the heap delete and
+    /// per-index entry removals then run as load-time operations.
+    pub fn delete_where(
+        &mut self,
+        table: &str,
+        predicate: &Expr,
+        params: &HashMap<String, Value>,
+    ) -> Result<usize, String> {
+        let bound = predicate.bind(params)?;
+        // Locate victims through the read path.
+        let spec = QuerySpec {
+            count_star: false,
+            projection: None,
+            table: table.to_string(),
+            predicate: bound.clone(),
+            order_by: None,
+            order_desc: false,
+            limit: None,
+            goal: None,
+        };
+        let victims: Vec<rdb_storage::Rid> = {
+            let entry = self
+                .tables
+                .get(table)
+                .ok_or_else(|| format!("no such table {table}"))?;
+            let schema = entry.heap.schema();
+            for c in bound.columns() {
+                if schema.column_index(&c).is_none() {
+                    return Err(format!("no such column {c}"));
+                }
+            }
+            let _ = &spec; // the read path below re-derives everything it needs
+            let request = RetrievalRequest {
+                table: &entry.heap,
+                indexes: Vec::new(), // deletes scan; index choice matters less than correctness
+                residual: bound.record_pred(schema),
+                goal: OptimizeGoal::TotalTime,
+                order_required: false,
+                limit: None,
+            };
+            self.optimizer.run(&request).rids()
+        };
+        // Maintain heap and indexes.
+        let entry = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| format!("no such table {table}"))?;
+        for &rid in &victims {
+            let record = entry.heap.fetch(rid).map_err(|e| e.to_string())?;
+            for index in &mut entry.indexes {
+                let key: Vec<Value> = index
+                    .key_columns()
+                    .iter()
+                    .map(|&c| record[c].clone())
+                    .collect();
+                index.delete(&key, rid);
+            }
+            entry.heap.delete(rid).map_err(|e| e.to_string())?;
+        }
+        Ok(victims.len())
+    }
+
+    /// Updates column `set_column` to `set_value` on every row matching
+    /// the bound predicate (delete + reinsert, the classic index-safe
+    /// implementation). Returns the number of rows updated.
+    pub fn update_where(
+        &mut self,
+        table: &str,
+        set_column: &str,
+        set_value: Value,
+        predicate: &Expr,
+        params: &HashMap<String, Value>,
+    ) -> Result<usize, String> {
+        {
+            let entry = self
+                .tables
+                .get(table)
+                .ok_or_else(|| format!("no such table {table}"))?;
+            if entry.heap.schema().column_index(set_column).is_none() {
+                return Err(format!("no such column {set_column}"));
+            }
+        }
+        let bound = predicate.bind(params)?;
+        let victims: Vec<(rdb_storage::Rid, Record)> = {
+            let entry = self.tables.get(table).expect("checked above");
+            let schema = entry.heap.schema();
+            let request = RetrievalRequest {
+                table: &entry.heap,
+                indexes: Vec::new(),
+                residual: bound.record_pred(schema),
+                goal: OptimizeGoal::TotalTime,
+                order_required: false,
+                limit: None,
+            };
+            let rids = self.optimizer.run(&request).rids();
+            rids.into_iter()
+                .map(|rid| entry.heap.fetch(rid).map(|r| (rid, r)))
+                .collect::<Result<_, _>>()
+                .map_err(|e| e.to_string())?
+        };
+        let count = victims.len();
+        let col_idx = {
+            let entry = self.tables.get(table).expect("checked above");
+            entry
+                .heap
+                .schema()
+                .column_index(set_column)
+                .expect("checked above")
+        };
+        let entry = self.tables.get_mut(table).expect("checked above");
+        for (rid, record) in victims {
+            for index in &mut entry.indexes {
+                let key: Vec<Value> = index
+                    .key_columns()
+                    .iter()
+                    .map(|&c| record[c].clone())
+                    .collect();
+                index.delete(&key, rid);
+            }
+            entry.heap.delete(rid).map_err(|e| e.to_string())?;
+            let mut values = record.into_values();
+            values[col_idx] = set_value.clone();
+            let new_record = Record::new(values);
+            let new_rid = entry
+                .heap
+                .insert(new_record.clone())
+                .map_err(|e| e.to_string())?;
+            for index in &mut entry.indexes {
+                let key: Vec<Value> = index
+                    .key_columns()
+                    .iter()
+                    .map(|&c| new_record[c].clone())
+                    .collect();
+                index.insert(key, new_rid);
+            }
+        }
+        Ok(count)
+    }
+
+    /// Explains a query: parses, binds, and reports the tactic the
+    /// dynamic optimizer would choose for this binding — without
+    /// executing the productive phases. (Estimation runs, as it would in
+    /// a real prepare/describe, so the answer is binding-specific.)
+    pub fn explain(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<String, String> {
+        use rdb_core::ShortcutKind;
+        let spec = parse_query(sql)?;
+        let entry = self
+            .tables
+            .get(&spec.table)
+            .ok_or_else(|| format!("no such table {}", spec.table))?;
+        let schema = entry.heap.schema();
+        let bound = spec.predicate.bind(params)?;
+        for c in bound.columns() {
+            if schema.column_index(&c).is_none() {
+                return Err(format!("no such column {c}"));
+            }
+        }
+        if let Expr::Or(_) = &bound {
+            return Ok("UnionScan (OR-connected restriction) or Tscan".to_string());
+        }
+        let mut indexes: Vec<IndexChoice<'_>> = Vec::new();
+        for tree in &entry.indexes {
+            let names: Vec<String> = tree
+                .key_columns()
+                .iter()
+                .map(|&c| schema.column(c).expect("valid column").name.clone())
+                .collect();
+            let range = bound.range_for_composite(&names);
+            if range != rdb_btree::KeyRange::all() {
+                indexes.push(IndexChoice::fetch_needed(tree, range));
+            }
+        }
+        let goal = spec.goal.unwrap_or(if spec.limit.is_some() {
+            OptimizeGoal::FastFirst
+        } else {
+            OptimizeGoal::TotalTime
+        });
+        let request = RetrievalRequest {
+            table: &entry.heap,
+            indexes,
+            residual: bound.record_pred(schema),
+            goal,
+            order_required: false,
+            limit: spec.limit,
+        };
+        let (choice, plan) = self.optimizer.choose(&request);
+        let detail = match &plan.shortcut {
+            Some(ShortcutKind::EmptyResult { index }) => {
+                format!(" (index {index} proves the result empty)")
+            }
+            Some(ShortcutKind::TinyRange { count, .. }) => {
+                format!(" (tiny range of ~{count} RIDs)")
+            }
+            None if !plan.jscan_order.is_empty() => format!(
+                " (scan order by ascending estimate: {})",
+                plan.jscan_order
+                    .iter()
+                    .zip(&plan.jscan_estimates)
+                    .map(|(pos, est)| format!(
+                        "{}~{est:.0}",
+                        request.indexes[*pos].tree.name()
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            None => String::new(),
+        };
+        Ok(format!("{choice:?}{detail}"))
+    }
+
+    /// Runs a SQL-ish query with host-variable bindings.
+    pub fn query(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult, String> {
+        let spec = parse_query(sql)?;
+        self.query_spec(&spec, params)
+    }
+
+    /// Runs a pre-parsed query.
+    pub fn query_spec(
+        &self,
+        spec: &QuerySpec,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult, String> {
+        let entry = self
+            .tables
+            .get(&spec.table)
+            .ok_or_else(|| format!("no such table {}", spec.table))?;
+        let schema = entry.heap.schema();
+        let bound = spec.predicate.bind(params)?;
+
+        // Output columns.
+        let out_columns: Vec<String> = match &spec.projection {
+            Some(cols) => {
+                for c in cols {
+                    if schema.column_index(c).is_none() {
+                        return Err(format!("no such column {c}"));
+                    }
+                }
+                cols.clone()
+            }
+            None => schema.columns().iter().map(|c| c.name.clone()).collect(),
+        };
+        for c in bound.columns() {
+            if schema.column_index(&c).is_none() {
+                return Err(format!("no such column {c}"));
+            }
+        }
+        if let Some(ob) = &spec.order_by {
+            if schema.column_index(ob).is_none() {
+                return Err(format!("no such column {ob}"));
+            }
+        }
+
+        // Columns the retrieval must cover for self-sufficiency.
+        let mut needed: Vec<String> = out_columns.clone();
+        for c in bound.columns() {
+            if !needed.contains(&c) {
+                needed.push(c);
+            }
+        }
+        if let Some(ob) = &spec.order_by {
+            if !needed.contains(ob) {
+                needed.push(ob.clone());
+            }
+        }
+
+        // OR-connected restriction: when every top-level disjunct binds to
+        // an index range, run the union scan (the paper's "unionizing"
+        // RID-list combination) instead of the conjunctive machinery.
+        if let Expr::Or(disjuncts) = &bound {
+            let mut arms: Vec<(&BTree, rdb_btree::KeyRange)> = Vec::new();
+            let mut decomposable = true;
+            'disjuncts: for d in disjuncts {
+                for tree in &entry.indexes {
+                    let leading = entry
+                        .heap
+                        .schema()
+                        .column(tree.key_columns()[0])
+                        .expect("valid column")
+                        .name
+                        .clone();
+                    let range = d.range_for(&leading);
+                    if range != rdb_btree::KeyRange::all() {
+                        arms.push((tree, range));
+                        continue 'disjuncts;
+                    }
+                }
+                decomposable = false;
+                break;
+            }
+            if decomposable {
+                let needs_post_sort = spec.order_by.is_some();
+                let result = self.optimizer.run_union(
+                    &entry.heap,
+                    arms,
+                    &bound.record_pred(schema),
+                    if needs_post_sort || spec.count_star {
+                        None
+                    } else {
+                        spec.limit
+                    },
+                );
+                if spec.count_star {
+                    return Ok(QueryResult {
+                        columns: vec!["COUNT".to_string()],
+                        rows: vec![vec![Value::Int(result.deliveries.len() as i64)]],
+                        cost: result.cost,
+                        strategy: result.strategy,
+                        events: result.events,
+                    });
+                }
+                let order_idx = spec.order_by.as_ref().and_then(|c| schema.column_index(c));
+                let mut rows: Vec<Vec<Value>> = Vec::with_capacity(result.deliveries.len());
+                let mut sort_keys: Vec<Value> = Vec::new();
+                for d in &result.deliveries {
+                    let record = match &d.record {
+                        Some(r) => r.clone(),
+                        None => entry.heap.fetch(d.rid).map_err(|e| e.to_string())?,
+                    };
+                    if let Some(i) = order_idx {
+                        sort_keys.push(record[i].clone());
+                    }
+                    rows.push(
+                        out_columns
+                            .iter()
+                            .map(|c| record[schema.column_index(c).expect("checked")].clone())
+                            .collect(),
+                    );
+                }
+                if needs_post_sort {
+                    let paired: Vec<(Value, Vec<Value>)> =
+                        sort_keys.into_iter().zip(rows).collect();
+                    let (sorted, _) = crate::sort::sort_rows_dir(
+                        paired,
+                        &self.pool,
+                        &self.config.sort,
+                        spec.order_desc,
+                    );
+                    rows = sorted;
+                    if let Some(limit) = spec.limit {
+                        rows.truncate(limit);
+                    }
+                }
+                return Ok(QueryResult {
+                    columns: out_columns,
+                    rows,
+                    cost: result.cost,
+                    strategy: result.strategy,
+                    events: result.events,
+                });
+            }
+        }
+
+        // Build index choices.
+        let mut indexes: Vec<IndexChoice<'_>> = Vec::new();
+        let mut choice_index_pos: Vec<usize> = Vec::new();
+        for (ti, tree) in entry.indexes.iter().enumerate() {
+            let key_names: Vec<(String, usize)> = tree
+                .key_columns()
+                .iter()
+                .enumerate()
+                .map(|(kpos, &c)| (schema.column(c).expect("valid column").name.clone(), kpos))
+                .collect();
+            let leading = &key_names[0].0;
+            let name_list: Vec<String> = key_names.iter().map(|(n, _)| n.clone()).collect();
+            let range = bound.range_for_composite(&name_list);
+            let provides_order = spec.order_by.as_deref() == Some(leading.as_str());
+            let covered = needed
+                .iter()
+                .all(|c| key_names.iter().any(|(n, _)| n == c));
+            let self_sufficient = if covered {
+                bound.key_pred(&key_names)
+            } else {
+                None
+            };
+            let constrained = range != rdb_btree::KeyRange::all();
+            if !(constrained || provides_order || self_sufficient.is_some()) {
+                continue; // useless index for this query
+            }
+            let mut choice = IndexChoice::fetch_needed(tree, range);
+            if provides_order {
+                choice = choice.with_order();
+                if spec.order_desc {
+                    choice = choice.with_descending();
+                }
+            }
+            if let Some(kp) = self_sufficient {
+                choice = choice.with_self_sufficient(kp);
+            }
+            indexes.push(choice);
+            choice_index_pos.push(ti);
+        }
+
+        // ASC is served by forward index scans, DESC by reverse scans.
+        let order_possible = indexes.iter().any(|c| c.provides_order);
+        let order_required = spec.order_by.is_some() && order_possible;
+        let needs_post_sort = spec.order_by.is_some() && !order_possible;
+        // Section 4 goal derivation: an aggregate (COUNT) controls the
+        // retrieval and sets total-time; LIMIT sets fast-first; otherwise
+        // the user's explicit or default goal.
+        let goal = if spec.count_star {
+            OptimizeGoal::TotalTime
+        } else {
+            spec.goal.unwrap_or(if spec.limit.is_some() {
+                OptimizeGoal::FastFirst
+            } else {
+                OptimizeGoal::TotalTime
+            })
+        };
+
+        let request = RetrievalRequest {
+            table: &entry.heap,
+            indexes,
+            residual: bound.record_pred(schema),
+            goal,
+            order_required,
+            // With a post-sort or count pending, every row must be
+            // retrieved before the limit applies.
+            limit: if needs_post_sort || spec.count_star {
+                None
+            } else {
+                spec.limit
+            },
+        };
+        let result = self.optimizer.run(&request);
+
+        if spec.count_star {
+            return Ok(QueryResult {
+                columns: vec!["COUNT".to_string()],
+                rows: vec![vec![Value::Int(result.deliveries.len() as i64)]],
+                cost: result.cost,
+                strategy: result.strategy,
+                events: result.events,
+            });
+        }
+
+        // Project deliveries into output rows.
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(result.deliveries.len());
+        let mut sort_keys: Vec<Value> = Vec::new();
+        let order_idx = spec.order_by.as_ref().and_then(|c| schema.column_index(c));
+        for d in &result.deliveries {
+            let (row, sort_key) = if d.from_index {
+                let pos = result
+                    .sscan_index
+                    .expect("index-only delivery without sscan index");
+                let tree = request.indexes[pos].tree;
+                let key_record = d.record.as_ref().expect("sscan key tuple");
+                let map = |col: &str| -> Value {
+                    let kpos = tree
+                        .key_columns()
+                        .iter()
+                        .position(|&c| schema.column(c).expect("valid").name == col)
+                        .expect("self-sufficiency guarantees coverage");
+                    key_record[kpos].clone()
+                };
+                let row: Vec<Value> = out_columns.iter().map(|c| map(c)).collect();
+                let sk = spec.order_by.as_ref().map(|c| map(c));
+                (row, sk)
+            } else {
+                let record = match &d.record {
+                    Some(r) => r.clone(),
+                    None => entry.heap.fetch(d.rid).map_err(|e| e.to_string())?,
+                };
+                let row: Vec<Value> = out_columns
+                    .iter()
+                    .map(|c| record[schema.column_index(c).expect("checked")].clone())
+                    .collect();
+                let sk = order_idx.map(|i| record[i].clone());
+                (row, sk)
+            };
+            if let Some(sk) = sort_key {
+                sort_keys.push(sk);
+            }
+            rows.push(row);
+        }
+
+        if needs_post_sort {
+            let paired: Vec<(Value, Vec<Value>)> = sort_keys.into_iter().zip(rows).collect();
+            let (sorted, _) =
+                crate::sort::sort_rows_dir(paired, &self.pool, &self.config.sort, spec.order_desc);
+            rows = sorted;
+            if let Some(limit) = spec.limit {
+                rows.truncate(limit);
+            }
+        }
+
+        Ok(QueryResult {
+            columns: out_columns,
+            rows,
+            cost: result.cost,
+            strategy: result.strategy,
+            events: result.events,
+        })
+    }
+
+    /// Evicts every cached page (cold restart) — used by experiments.
+    pub fn clear_cache(&self) {
+        self.pool.borrow_mut().clear();
+    }
+
+    /// Direct access to a table's heap (experiments and tests).
+    pub fn heap(&self, table: &str) -> Option<&HeapTable> {
+        self.tables.get(table).map(|t| &t.heap)
+    }
+
+    /// Direct access to a table's indexes (experiments and tests).
+    pub fn indexes(&self, table: &str) -> Option<&[BTree]> {
+        self.tables.get(table).map(|t| t.indexes.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_storage::{Column, ValueType};
+
+    fn db_with_families(n: i64) -> Database {
+        let mut db = Database::new(DbConfig {
+            page_bytes: 1024,
+            ..DbConfig::default()
+        });
+        db.create_table(
+            "FAMILIES",
+            Schema::new(vec![
+                Column::new("AGE", ValueType::Int),
+                Column::new("SIZE", ValueType::Int),
+                Column::new("ID", ValueType::Int),
+            ]),
+        )
+        .unwrap();
+        let mut state = 7u64;
+        for i in 0..n {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let age = (state >> 33) as i64 % 100;
+            db.insert(
+                "FAMILIES",
+                vec![Value::Int(age), Value::Int(i % 7), Value::Int(i)],
+            )
+            .unwrap();
+        }
+        db.create_index("IDX_AGE", "FAMILIES", &["AGE"]).unwrap();
+        db.create_index("IDX_SIZE", "FAMILIES", &["SIZE"]).unwrap();
+        db
+    }
+
+    fn params(pairs: &[(&str, i64)]) -> HashMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::Int(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn the_papers_query_both_bindings() {
+        let db = db_with_families(2000);
+        let sql = "select * from FAMILIES where AGE >= :A1";
+        db.clear_cache();
+        let all = db.query(sql, &params(&[("A1", 0)])).unwrap();
+        assert_eq!(all.rows.len(), 2000);
+        db.clear_cache();
+        let none = db.query(sql, &params(&[("A1", 200)])).unwrap();
+        assert_eq!(none.rows.len(), 0);
+        assert!(
+            none.cost < 0.1 * all.cost,
+            "empty binding {} vs full binding {}",
+            none.cost,
+            all.cost
+        );
+    }
+
+    #[test]
+    fn projection_and_predicate() {
+        let db = db_with_families(500);
+        let r = db
+            .query(
+                "select ID from FAMILIES where SIZE = 3 and AGE >= 0",
+                &HashMap::new(),
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["ID"]);
+        // SIZE == 3 ⇔ i % 7 == 3.
+        let expect: Vec<i64> = (0..500).filter(|i| i % 7 == 3).collect();
+        let mut got: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn order_by_without_index_sorts_after_retrieval() {
+        let db = db_with_families(300);
+        let r = db
+            .query(
+                "select ID, AGE from FAMILIES where SIZE = 1 order by ID limit 5",
+                &HashMap::new(),
+            )
+            .unwrap();
+        // ORDER BY ID has no index (only AGE/SIZE indexed): post-sort, then
+        // limit. i % 7 == 1 → 1, 8, 15, 22, 29.
+        let ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![1, 8, 15, 22, 29]);
+    }
+
+    #[test]
+    fn order_by_indexed_column_uses_sorted_tactic() {
+        let db = db_with_families(800);
+        let r = db
+            .query(
+                "select AGE, ID from FAMILIES where SIZE = 2 order by AGE",
+                &HashMap::new(),
+            )
+            .unwrap();
+        let ages: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        assert!(ages.windows(2).all(|w| w[0] <= w[1]), "sorted delivery");
+        assert_eq!(ages.len(), (0..800).filter(|i| i % 7 == 2).count());
+    }
+
+    #[test]
+    fn index_only_query_projects_from_keys() {
+        let db = db_with_families(1000);
+        // Query touching only AGE: IDX_AGE is self-sufficient.
+        let r = db
+            .query(
+                "select AGE from FAMILIES where AGE between 90 and 99",
+                &HashMap::new(),
+            )
+            .unwrap();
+        assert!(r.rows.iter().all(|row| {
+            let v = row[0].as_i64().unwrap();
+            (90..=99).contains(&v)
+        }));
+        // Count against ground truth via a star query.
+        let truth = db
+            .query("select * from FAMILIES where AGE >= 90", &HashMap::new())
+            .unwrap();
+        assert_eq!(r.rows.len(), truth.rows.len());
+    }
+
+    #[test]
+    fn limit_respected_without_order() {
+        let db = db_with_families(1000);
+        let r = db
+            .query(
+                "select * from FAMILIES where SIZE = 4 limit to 3 rows",
+                &HashMap::new(),
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn errors_for_unknown_entities() {
+        let db = db_with_families(10);
+        assert!(db.query("select * from NOPE", &HashMap::new()).is_err());
+        assert!(db
+            .query("select MISSING from FAMILIES", &HashMap::new())
+            .is_err());
+        assert!(db
+            .query("select * from FAMILIES where NOPE = 1", &HashMap::new())
+            .is_err());
+        assert!(db
+            .query(
+                "select * from FAMILIES where AGE >= :unbound",
+                &HashMap::new()
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn create_index_backfills_existing_rows() {
+        let mut db = Database::new(DbConfig::default());
+        db.create_table(
+            "T",
+            Schema::new(vec![Column::new("x", ValueType::Int)]),
+        )
+        .unwrap();
+        for i in 0..100 {
+            db.insert("T", vec![Value::Int(i)]).unwrap();
+        }
+        db.create_index("IDX_X", "T", &["x"]).unwrap();
+        let r = db
+            .query("select x from T where x between 10 and 12", &HashMap::new())
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+    }
+
+    #[test]
+    fn order_by_desc_with_limit() {
+        let db = db_with_families(400);
+        let r = db
+            .query(
+                "select ID from FAMILIES where SIZE = 1 order by ID desc limit to 4 rows",
+                &HashMap::new(),
+            )
+            .unwrap();
+        let mut expect: Vec<i64> = (0..400).filter(|i| i % 7 == 1).collect();
+        expect.reverse();
+        expect.truncate(4);
+        let got: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        assert_eq!(got, expect);
+        // DESC on an indexed column is served by a reverse index scan
+        // through the Sorted tactic.
+        let ages = db
+            .query(
+                "select AGE from FAMILIES where SIZE = 1 order by AGE desc",
+                &HashMap::new(),
+            )
+            .unwrap();
+        let vals: Vec<i64> = ages.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        assert!(vals.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn count_star_returns_single_row_and_total_time_goal() {
+        let db = db_with_families(1500);
+        let r = db
+            .query("select count(*) from FAMILIES where SIZE = 4", &HashMap::new())
+            .unwrap();
+        assert_eq!(r.columns, vec!["COUNT"]);
+        let expect = (0..1500).filter(|i| i % 7 == 4).count() as i64;
+        assert_eq!(r.rows, vec![vec![Value::Int(expect)]]);
+        // COUNT with LIMIT still counts everything (aggregate controls the
+        // retrieval; the limit would apply to the single output row).
+        let limited = db
+            .query(
+                "select count(*) from FAMILIES where SIZE = 4 limit to 1 rows",
+                &HashMap::new(),
+            )
+            .unwrap();
+        assert_eq!(limited.rows, vec![vec![Value::Int(expect)]]);
+        // COUNT over an OR restriction goes through the union scan.
+        let or = db
+            .query(
+                "select count(*) from FAMILIES where SIZE = 1 or SIZE = 2",
+                &HashMap::new(),
+            )
+            .unwrap();
+        let expect_or =
+            (0..1500).filter(|i| i % 7 == 1 || i % 7 == 2).count() as i64;
+        assert_eq!(or.rows, vec![vec![Value::Int(expect_or)]]);
+    }
+
+    #[test]
+    fn composite_index_prefix_range_used() {
+        let mut db = Database::new(DbConfig {
+            page_bytes: 1024,
+            ..DbConfig::default()
+        });
+        db.create_table(
+            "T",
+            Schema::new(vec![
+                Column::new("region", ValueType::Int),
+                Column::new("age", ValueType::Int),
+                Column::new("id", ValueType::Int),
+            ]),
+        )
+        .unwrap();
+        for i in 0..6000i64 {
+            db.insert(
+                "T",
+                vec![Value::Int(i % 6), Value::Int(i % 100), Value::Int(i)],
+            )
+            .unwrap();
+        }
+        db.create_index("IDX_RA", "T", &["region", "age"]).unwrap();
+        db.clear_cache();
+        let narrow = db
+            .query(
+                "select id from T where region = 3 and age between 30 and 32",
+                &HashMap::new(),
+            )
+            .unwrap();
+        let expect = (0..6000)
+            .filter(|i| i % 6 == 3 && (30..=32).contains(&(i % 100)))
+            .count();
+        assert_eq!(narrow.rows.len(), expect);
+        // The composite range must make this far cheaper than the
+        // region-only prefix.
+        db.clear_cache();
+        let broad = db
+            .query("select id from T where region = 3", &HashMap::new())
+            .unwrap();
+        assert!(
+            narrow.cost < 0.4 * broad.cost,
+            "composite range {} vs prefix-only {}",
+            narrow.cost,
+            broad.cost
+        );
+    }
+
+    #[test]
+    fn delete_where_maintains_indexes() {
+        let mut db = db_with_families(1000);
+        let deleted = db
+            .delete_where(
+                "FAMILIES",
+                &crate::expr::Expr::cmp("SIZE", crate::expr::CmpOp::Eq, 3),
+                &HashMap::new(),
+            )
+            .unwrap();
+        assert_eq!(deleted, (0..1000).filter(|i| i % 7 == 3).count());
+        // Neither the heap nor the index sees the victims any more.
+        let via_index = db
+            .query("select ID from FAMILIES where SIZE = 3", &HashMap::new())
+            .unwrap();
+        assert!(via_index.rows.is_empty());
+        let all = db
+            .query("select ID from FAMILIES where SIZE >= 0", &HashMap::new())
+            .unwrap();
+        assert_eq!(all.rows.len(), 1000 - deleted);
+    }
+
+    #[test]
+    fn update_where_moves_index_entries() {
+        let mut db = db_with_families(700);
+        let updated = db
+            .update_where(
+                "FAMILIES",
+                "SIZE",
+                Value::Int(99),
+                &crate::expr::Expr::cmp("SIZE", crate::expr::CmpOp::Eq, 2),
+                &HashMap::new(),
+            )
+            .unwrap();
+        assert_eq!(updated, (0..700).filter(|i| i % 7 == 2).count());
+        let old = db
+            .query("select ID from FAMILIES where SIZE = 2", &HashMap::new())
+            .unwrap();
+        assert!(old.rows.is_empty());
+        let new = db
+            .query("select ID from FAMILIES where SIZE = 99", &HashMap::new())
+            .unwrap();
+        assert_eq!(new.rows.len(), updated);
+        assert_eq!(db.row_count("FAMILIES"), Some(700));
+    }
+
+    #[test]
+    fn explain_reports_binding_specific_tactic() {
+        let db = db_with_families(3000);
+        let sql = "select * from FAMILIES where AGE >= :A1";
+        let empty = db.explain(sql, &params(&[("A1", 500)])).unwrap();
+        assert!(empty.contains("EndOfData"), "{empty}");
+        let selective = db.explain(sql, &params(&[("A1", 99)])).unwrap();
+        assert!(
+            selective.contains("BackgroundOnly") || selective.contains("TinyRangeFetch"),
+            "{selective}"
+        );
+        let all = db.explain(sql, &params(&[("A1", 0)])).unwrap();
+        assert!(all.contains("BackgroundOnly"), "{all}");
+        // OR queries route to the union machinery.
+        let or = db
+            .explain(
+                "select * from FAMILIES where AGE = 1 or SIZE = 2",
+                &HashMap::new(),
+            )
+            .unwrap();
+        assert!(or.contains("Union"), "{or}");
+    }
+
+    #[test]
+    fn or_query_matches_union_semantics() {
+        let db = db_with_families(2100);
+        let r = db
+            .query(
+                "select ID from FAMILIES where SIZE = 1 or SIZE = 3",
+                &HashMap::new(),
+            )
+            .unwrap();
+        let expect = (0..2100).filter(|i| i % 7 == 1 || i % 7 == 3).count();
+        assert_eq!(r.rows.len(), expect);
+        assert!(r.strategy.contains("Union"), "{}", r.strategy);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = Database::new(DbConfig::default());
+        db.create_table("T", Schema::new(vec![Column::new("x", ValueType::Int)]))
+            .unwrap();
+        assert!(db
+            .create_table("T", Schema::new(vec![Column::new("x", ValueType::Int)]))
+            .is_err());
+    }
+}

@@ -1,0 +1,601 @@
+//! Boolean restriction trees with host variables.
+//!
+//! An [`Expr`] is built at "compile time" with unbound host variables;
+//! [`Expr::bind`] substitutes the run's parameter values. Because binding
+//! precedes optimizer invocation, every run re-derives index ranges from
+//! the *actual* values — the prerequisite for the paper's per-run dynamic
+//! strategy choice (`AGE >= :A1` resolving differently for 0 and 200).
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::rc::Rc;
+
+use rdb_btree::{KeyBound, KeyRange};
+use rdb_core::{KeyPred, RecordPred};
+use rdb_storage::{Record, Schema, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        if lhs.is_null() || rhs.is_null() {
+            return false; // SQL-style: comparisons with NULL are not TRUE
+        }
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// Right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// A literal value.
+    Literal(Value),
+    /// A named host variable, bound per run.
+    HostVar(String),
+}
+
+impl Scalar {
+    fn bound(&self, params: &HashMap<String, Value>) -> Result<Value, String> {
+        match self {
+            Scalar::Literal(v) => Ok(v.clone()),
+            Scalar::HostVar(name) => params
+                .get(name)
+                .cloned()
+                .ok_or_else(|| format!("unbound host variable :{name}")),
+        }
+    }
+}
+
+/// A Boolean restriction over one table's columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Always true (empty WHERE clause).
+    True,
+    /// `column op scalar`.
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal or host variable.
+        rhs: Scalar,
+    },
+    /// `column BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column name.
+        column: String,
+        /// Lower bound.
+        lo: Scalar,
+        /// Upper bound.
+        hi: Scalar,
+    },
+    /// Conjunction.
+    And(Vec<Expr>),
+    /// Disjunction.
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// `column op value` with a literal.
+    pub fn cmp(column: impl Into<String>, op: CmpOp, value: impl Into<Value>) -> Expr {
+        Expr::Cmp {
+            column: column.into(),
+            op,
+            rhs: Scalar::Literal(value.into()),
+        }
+    }
+
+    /// `column op :var` with a host variable.
+    pub fn cmp_var(column: impl Into<String>, op: CmpOp, var: impl Into<String>) -> Expr {
+        Expr::Cmp {
+            column: column.into(),
+            op,
+            rhs: Scalar::HostVar(var.into()),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(exprs: Vec<Expr>) -> Expr {
+        Expr::And(exprs)
+    }
+
+    /// True if the expression references no host variables.
+    pub fn is_bound(&self) -> bool {
+        match self {
+            Expr::True => true,
+            Expr::Cmp { rhs, .. } => matches!(rhs, Scalar::Literal(_)),
+            Expr::Between { lo, hi, .. } => {
+                matches!(lo, Scalar::Literal(_)) && matches!(hi, Scalar::Literal(_))
+            }
+            Expr::And(es) | Expr::Or(es) => es.iter().all(Expr::is_bound),
+            Expr::Not(e) => e.is_bound(),
+        }
+    }
+
+    /// Substitutes host variables with this run's parameter values.
+    pub fn bind(&self, params: &HashMap<String, Value>) -> Result<Expr, String> {
+        Ok(match self {
+            Expr::True => Expr::True,
+            Expr::Cmp { column, op, rhs } => Expr::Cmp {
+                column: column.clone(),
+                op: *op,
+                rhs: Scalar::Literal(rhs.bound(params)?),
+            },
+            Expr::Between { column, lo, hi } => Expr::Between {
+                column: column.clone(),
+                lo: Scalar::Literal(lo.bound(params)?),
+                hi: Scalar::Literal(hi.bound(params)?),
+            },
+            Expr::And(es) => Expr::And(
+                es.iter()
+                    .map(|e| e.bind(params))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Or(es) => Expr::Or(
+                es.iter()
+                    .map(|e| e.bind(params))
+                    .collect::<Result<_, _>>()?,
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.bind(params)?)),
+        })
+    }
+
+    /// All column names referenced.
+    pub fn columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::True => {}
+            Expr::Cmp { column, .. } | Expr::Between { column, .. } => {
+                out.insert(column.clone());
+            }
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_columns(out);
+                }
+            }
+            Expr::Not(e) => e.collect_columns(out),
+        }
+    }
+
+    /// Evaluates a **bound** expression against a record.
+    ///
+    /// # Panics
+    /// If the expression still contains host variables or references a
+    /// column missing from the schema.
+    pub fn eval(&self, schema: &Schema, record: &Record) -> bool {
+        match self {
+            Expr::True => true,
+            Expr::Cmp { column, op, rhs } => {
+                let idx = schema
+                    .column_index(column)
+                    .unwrap_or_else(|| panic!("unknown column {column}"));
+                let Scalar::Literal(v) = rhs else {
+                    panic!("eval of unbound expression")
+                };
+                op.eval(&record[idx], v)
+            }
+            Expr::Between { column, lo, hi } => {
+                let idx = schema
+                    .column_index(column)
+                    .unwrap_or_else(|| panic!("unknown column {column}"));
+                let (Scalar::Literal(lo), Scalar::Literal(hi)) = (lo, hi) else {
+                    panic!("eval of unbound expression")
+                };
+                let v = &record[idx];
+                !v.is_null() && v >= lo && v <= hi
+            }
+            Expr::And(es) => es.iter().all(|e| e.eval(schema, record)),
+            Expr::Or(es) => es.iter().any(|e| e.eval(schema, record)),
+            Expr::Not(e) => !e.eval(schema, record),
+        }
+    }
+
+    /// Extracts the key range this bound expression implies for an index
+    /// whose leading key column is `column`: top-level conjuncts (and the
+    /// expression itself) constrain the range; OR/NOT subtrees contribute
+    /// nothing (conservatively `all`).
+    pub fn range_for(&self, column: &str) -> KeyRange {
+        let mut range = KeyRange::all();
+        self.tighten_range(column, &mut range);
+        range
+    }
+
+    fn tighten_range(&self, column: &str, range: &mut KeyRange) {
+        match self {
+            Expr::Cmp {
+                column: c,
+                op,
+                rhs: Scalar::Literal(v),
+            } if c == column => match op {
+                CmpOp::Eq => {
+                    tighten_lo(range, KeyBound::Inclusive(vec![v.clone()]));
+                    tighten_hi(range, KeyBound::Inclusive(vec![v.clone()]));
+                }
+                CmpOp::Ge => tighten_lo(range, KeyBound::Inclusive(vec![v.clone()])),
+                CmpOp::Gt => tighten_lo(range, KeyBound::Exclusive(vec![v.clone()])),
+                CmpOp::Le => tighten_hi(range, KeyBound::Inclusive(vec![v.clone()])),
+                CmpOp::Lt => tighten_hi(range, KeyBound::Exclusive(vec![v.clone()])),
+                CmpOp::Ne => {}
+            },
+            Expr::Between {
+                column: c,
+                lo: Scalar::Literal(lo),
+                hi: Scalar::Literal(hi),
+            } if c == column => {
+                tighten_lo(range, KeyBound::Inclusive(vec![lo.clone()]));
+                tighten_hi(range, KeyBound::Inclusive(vec![hi.clone()]));
+            }
+            Expr::And(es) => {
+                for e in es {
+                    e.tighten_range(column, range);
+                }
+            }
+            // OR / NOT / other columns: no safe tightening.
+            _ => {}
+        }
+    }
+
+    /// Extracts the key range a bound expression implies for a
+    /// **multi-column** index with the given key columns, in key order:
+    /// equality constraints on a leading prefix extend the bound, then one
+    /// range constraint on the next column closes it. For example, with an
+    /// index on `(region, age)`, `region = 3 AND age >= 30` yields the
+    /// range `[(3, 30) .. (3, +inf))` — i.e. lo `(3, 30)`, hi prefix `(3)`.
+    pub fn range_for_composite(&self, columns: &[String]) -> KeyRange {
+        let mut prefix: Vec<Value> = Vec::new();
+        let mut range = KeyRange::all();
+        for column in columns {
+            let col_range = self.range_for(column);
+            // Equality pins the column: both bounds inclusive on one value.
+            let eq_value = match (&col_range.lo, &col_range.hi) {
+                (KeyBound::Inclusive(lo), KeyBound::Inclusive(hi))
+                    if lo.len() == 1 && lo == hi =>
+                {
+                    Some(lo[0].clone())
+                }
+                _ => None,
+            };
+            if let Some(v) = eq_value {
+                prefix.push(v);
+                // Fully pinned so far: the whole prefix is the range.
+                range = KeyRange {
+                    lo: KeyBound::Inclusive(prefix.clone()),
+                    hi: KeyBound::Inclusive(prefix.clone()),
+                };
+                continue;
+            }
+            // First non-equality column: extend the prefix with its bounds
+            // and stop — later columns cannot tighten a B-tree range.
+            let extend = |bound: &KeyBound| -> KeyBound {
+                match bound {
+                    KeyBound::Unbounded if prefix.is_empty() => KeyBound::Unbounded,
+                    KeyBound::Unbounded => KeyBound::Inclusive(prefix.clone()),
+                    KeyBound::Inclusive(vs) => {
+                        let mut full = prefix.clone();
+                        full.extend(vs.iter().cloned());
+                        KeyBound::Inclusive(full)
+                    }
+                    KeyBound::Exclusive(vs) => {
+                        let mut full = prefix.clone();
+                        full.extend(vs.iter().cloned());
+                        KeyBound::Exclusive(full)
+                    }
+                }
+            };
+            range = KeyRange {
+                lo: extend(&col_range.lo),
+                hi: extend(&col_range.hi),
+            };
+            break;
+        }
+        range
+    }
+
+    /// Compiles a bound expression into a record predicate for `schema`.
+    pub fn record_pred(&self, schema: &Schema) -> RecordPred {
+        let expr = self.clone();
+        let schema = schema.clone();
+        Rc::new(move |record: &Record| expr.eval(&schema, record))
+    }
+
+    /// Compiles a bound expression into an index-key predicate, given the
+    /// index's key columns as `(name, key position)` pairs. Returns `None`
+    /// unless every referenced column is covered by the key.
+    pub fn key_pred(&self, key_columns: &[(String, usize)]) -> Option<KeyPred> {
+        let needed = self.columns();
+        if !needed
+            .iter()
+            .all(|c| key_columns.iter().any(|(name, _)| name == c))
+        {
+            return None;
+        }
+        // Build a synthetic schema over the key columns so eval works
+        // unchanged on key tuples.
+        let expr = self.clone();
+        let names: Vec<String> = key_columns.iter().map(|(n, _)| n.clone()).collect();
+        Some(Rc::new(move |key: &[Value]| {
+            eval_on_named_values(&expr, &names, key)
+        }))
+    }
+}
+
+fn eval_on_named_values(expr: &Expr, names: &[String], values: &[Value]) -> bool {
+    match expr {
+        Expr::True => true,
+        Expr::Cmp { column, op, rhs } => {
+            let idx = names
+                .iter()
+                .position(|n| n == column)
+                .expect("key pred covers all columns");
+            let Scalar::Literal(v) = rhs else {
+                panic!("eval of unbound expression")
+            };
+            op.eval(&values[idx], v)
+        }
+        Expr::Between { column, lo, hi } => {
+            let idx = names
+                .iter()
+                .position(|n| n == column)
+                .expect("key pred covers all columns");
+            let (Scalar::Literal(lo), Scalar::Literal(hi)) = (lo, hi) else {
+                panic!("eval of unbound expression")
+            };
+            let v = &values[idx];
+            !v.is_null() && v >= lo && v <= hi
+        }
+        Expr::And(es) => es.iter().all(|e| eval_on_named_values(e, names, values)),
+        Expr::Or(es) => es.iter().any(|e| eval_on_named_values(e, names, values)),
+        Expr::Not(e) => !eval_on_named_values(e, names, values),
+    }
+}
+
+fn tighten_lo(range: &mut KeyRange, candidate: KeyBound) {
+    let better = match (&range.lo, &candidate) {
+        (KeyBound::Unbounded, _) => true,
+        (KeyBound::Inclusive(a) | KeyBound::Exclusive(a), KeyBound::Inclusive(b)) => b > a,
+        (KeyBound::Inclusive(a), KeyBound::Exclusive(b)) => b >= a,
+        (KeyBound::Exclusive(a), KeyBound::Exclusive(b)) => b > a,
+        (_, KeyBound::Unbounded) => false,
+    };
+    if better {
+        range.lo = candidate;
+    }
+}
+
+fn tighten_hi(range: &mut KeyRange, candidate: KeyBound) {
+    let better = match (&range.hi, &candidate) {
+        (KeyBound::Unbounded, _) => true,
+        (KeyBound::Inclusive(a) | KeyBound::Exclusive(a), KeyBound::Inclusive(b)) => b < a,
+        (KeyBound::Inclusive(a), KeyBound::Exclusive(b)) => b <= a,
+        (KeyBound::Exclusive(a), KeyBound::Exclusive(b)) => b < a,
+        (_, KeyBound::Unbounded) => false,
+    };
+    if better {
+        range.hi = candidate;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_storage::{Column, ValueType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", ValueType::Int),
+            Column::new("b", ValueType::Int),
+        ])
+    }
+
+    fn rec(a: i64, b: i64) -> Record {
+        Record::new(vec![Value::Int(a), Value::Int(b)])
+    }
+
+    #[test]
+    fn bind_substitutes_host_vars() {
+        let e = Expr::cmp_var("a", CmpOp::Ge, "x");
+        assert!(!e.is_bound());
+        let mut params = HashMap::new();
+        params.insert("x".to_string(), Value::Int(5));
+        let bound = e.bind(&params).unwrap();
+        assert!(bound.is_bound());
+        assert!(bound.eval(&schema(), &rec(7, 0)));
+        assert!(!bound.eval(&schema(), &rec(3, 0)));
+    }
+
+    #[test]
+    fn bind_fails_on_missing_var() {
+        let e = Expr::cmp_var("a", CmpOp::Eq, "missing");
+        assert!(e.bind(&HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn eval_logical_operators() {
+        let s = schema();
+        let e = Expr::And(vec![
+            Expr::cmp("a", CmpOp::Ge, 5),
+            Expr::Or(vec![
+                Expr::cmp("b", CmpOp::Eq, 1),
+                Expr::cmp("b", CmpOp::Eq, 2),
+            ]),
+        ]);
+        assert!(e.eval(&s, &rec(5, 2)));
+        assert!(!e.eval(&s, &rec(5, 3)));
+        assert!(!e.eval(&s, &rec(4, 1)));
+        let n = Expr::Not(Box::new(e));
+        assert!(n.eval(&s, &rec(4, 1)));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let s = Schema::new(vec![Column::nullable("a", ValueType::Int)]);
+        let r = Record::new(vec![Value::Null]);
+        assert!(!Expr::cmp("a", CmpOp::Eq, 0).eval(&s, &r));
+        assert!(!Expr::cmp("a", CmpOp::Ne, 0).eval(&s, &r));
+        assert!(!Expr::Between {
+            column: "a".into(),
+            lo: Scalar::Literal(Value::Int(0)),
+            hi: Scalar::Literal(Value::Int(9)),
+        }
+        .eval(&s, &r));
+    }
+
+    #[test]
+    fn range_extraction_from_conjuncts() {
+        let e = Expr::And(vec![
+            Expr::cmp("a", CmpOp::Ge, 10),
+            Expr::cmp("a", CmpOp::Lt, 20),
+            Expr::cmp("b", CmpOp::Eq, 5),
+        ]);
+        let r = e.range_for("a");
+        assert!(r.contains(&[Value::Int(10)]));
+        assert!(r.contains(&[Value::Int(19)]));
+        assert!(!r.contains(&[Value::Int(20)]));
+        assert!(!r.contains(&[Value::Int(9)]));
+        let rb = e.range_for("b");
+        assert!(rb.contains(&[Value::Int(5)]));
+        assert!(!rb.contains(&[Value::Int(6)]));
+    }
+
+    #[test]
+    fn tighter_of_two_bounds_wins() {
+        let e = Expr::And(vec![
+            Expr::cmp("a", CmpOp::Ge, 10),
+            Expr::cmp("a", CmpOp::Gt, 10),
+        ]);
+        let r = e.range_for("a");
+        assert!(!r.contains(&[Value::Int(10)]), "Gt 10 is tighter than Ge 10");
+        assert!(r.contains(&[Value::Int(11)]));
+    }
+
+    #[test]
+    fn or_contributes_no_range() {
+        let e = Expr::Or(vec![
+            Expr::cmp("a", CmpOp::Eq, 1),
+            Expr::cmp("a", CmpOp::Eq, 100),
+        ]);
+        assert_eq!(e.range_for("a"), KeyRange::all());
+    }
+
+    #[test]
+    fn between_sets_closed_range() {
+        let e = Expr::Between {
+            column: "a".into(),
+            lo: Scalar::Literal(Value::Int(3)),
+            hi: Scalar::Literal(Value::Int(7)),
+        };
+        let r = e.range_for("a");
+        assert!(r.contains(&[Value::Int(3)]) && r.contains(&[Value::Int(7)]));
+        assert!(!r.contains(&[Value::Int(2)]) && !r.contains(&[Value::Int(8)]));
+    }
+
+    #[test]
+    fn composite_range_eq_prefix_plus_range() {
+        let e = Expr::And(vec![
+            Expr::cmp("a", CmpOp::Eq, 3),
+            Expr::cmp("b", CmpOp::Ge, 30),
+            Expr::cmp("b", CmpOp::Le, 32),
+        ]);
+        let r = e.range_for_composite(&["a".into(), "b".into()]);
+        assert!(r.contains(&[Value::Int(3), Value::Int(30)]));
+        assert!(r.contains(&[Value::Int(3), Value::Int(32)]));
+        assert!(!r.contains(&[Value::Int(3), Value::Int(33)]));
+        assert!(!r.contains(&[Value::Int(2), Value::Int(31)]));
+        assert!(!r.contains(&[Value::Int(4), Value::Int(31)]));
+    }
+
+    #[test]
+    fn composite_range_eq_prefix_only() {
+        let e = Expr::cmp("a", CmpOp::Eq, 7);
+        let r = e.range_for_composite(&["a".into(), "b".into()]);
+        assert!(r.contains(&[Value::Int(7), Value::Int(0)]));
+        assert!(r.contains(&[Value::Int(7), Value::Int(999)]));
+        assert!(!r.contains(&[Value::Int(8), Value::Int(0)]));
+    }
+
+    #[test]
+    fn composite_range_half_open_second_column() {
+        let e = Expr::And(vec![
+            Expr::cmp("a", CmpOp::Eq, 1),
+            Expr::cmp("b", CmpOp::Gt, 10),
+        ]);
+        let r = e.range_for_composite(&["a".into(), "b".into()]);
+        assert!(!r.contains(&[Value::Int(1), Value::Int(10)]));
+        assert!(r.contains(&[Value::Int(1), Value::Int(11)]));
+        assert!(!r.contains(&[Value::Int(2), Value::Int(11)]));
+    }
+
+    #[test]
+    fn composite_range_unconstrained_leading_gives_first_column_range() {
+        // Only the second column is constrained: a B-tree on (a, b) cannot
+        // use it; the range falls back to the first column's (here: all).
+        let e = Expr::cmp("b", CmpOp::Eq, 5);
+        let r = e.range_for_composite(&["a".into(), "b".into()]);
+        assert_eq!(r, KeyRange::all());
+    }
+
+    #[test]
+    fn key_pred_requires_coverage() {
+        let e = Expr::And(vec![
+            Expr::cmp("a", CmpOp::Ge, 1),
+            Expr::cmp("b", CmpOp::Eq, 2),
+        ]);
+        assert!(e.key_pred(&[("a".into(), 0)]).is_none());
+        let kp = e
+            .key_pred(&[("a".into(), 0), ("b".into(), 1)])
+            .expect("covered");
+        assert!(kp(&[Value::Int(5), Value::Int(2)]));
+        assert!(!kp(&[Value::Int(5), Value::Int(3)]));
+    }
+
+    #[test]
+    fn record_pred_matches_eval() {
+        let s = schema();
+        let e = Expr::cmp("b", CmpOp::Le, 4);
+        let p = e.record_pred(&s);
+        assert!(p(&rec(0, 4)));
+        assert!(!p(&rec(0, 5)));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # rdb-query
+//!
+//! The query-layer substrate around the dynamic optimizer of Antoshenkov
+//! (ICDE 1993):
+//!
+//! * [`expr`] — Boolean restriction trees over table columns with **host
+//!   variables** (`:A1`), the paper's prime source of compile-time
+//!   uncertainty; binding happens per run, so the executor below re-decides
+//!   strategy per run.
+//! * [`plan`] — query-plan nodes and the Section 4 **optimization-goal
+//!   derivation**: EXISTS and LIMIT TO n ROWS set fast-first for the
+//!   retrieval they control; SORT/DISTINCT/aggregates set total-time;
+//!   otherwise the user's explicit or default goal applies.
+//! * [`parser`] — a small SQL-ish front end (`SELECT … WHERE … ORDER BY …
+//!   LIMIT … OPTIMIZE FOR …`) so the examples read like the paper's.
+//! * [`db`] — the top-level [`Database`]: tables + indexes over one shared
+//!   buffer pool, query execution through [`rdb_core::DynamicOptimizer`],
+//!   and row projection (including index-only deliveries).
+
+pub mod db;
+pub mod expr;
+pub mod parser;
+pub mod plan;
+pub mod sort;
+
+pub use db::{Database, DbConfig, QueryResult};
+pub use expr::{CmpOp, Expr, Scalar};
+pub use parser::{parse_query, QuerySpec};
+pub use plan::{derive_goals, PlanNode, RetrieveId};
+pub use sort::{sort_rows, sort_rows_dir, SortConfig, SortStats};

@@ -1,0 +1,495 @@
+//! A small SQL-ish parser, enough for the paper's examples:
+//!
+//! ```sql
+//! select * from FAMILIES where AGE >= :A1;
+//! select NAME, AGE from T where AGE between 30 and 32 and CITY = 'NH'
+//!   order by AGE limit to 5 rows optimize for fast first;
+//! ```
+//!
+//! Keywords are case-insensitive; identifiers are case-sensitive.
+
+use rdb_core::OptimizeGoal;
+use rdb_storage::Value;
+
+use crate::expr::{CmpOp, Expr, Scalar};
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// True for `select count(*)`: the result is a single count row, and
+    /// the retrieval is controlled by an aggregate (total-time goal per
+    /// Section 4).
+    pub count_star: bool,
+    /// Projected column names; `None` for `*`.
+    pub projection: Option<Vec<String>>,
+    /// Table name.
+    pub table: String,
+    /// WHERE restriction ([`Expr::True`] when absent).
+    pub predicate: Expr,
+    /// ORDER BY column.
+    pub order_by: Option<String>,
+    /// True for ORDER BY ... DESC.
+    pub order_desc: bool,
+    /// LIMIT TO n ROWS.
+    pub limit: Option<usize>,
+    /// Explicit OPTIMIZE FOR request.
+    pub goal: Option<OptimizeGoal>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    HostVar(String),
+    Star,
+    Comma,
+    LParen,
+    RParen,
+    Op(CmpOp),
+    Semicolon,
+}
+
+fn keyword(t: &Tok, kw: &str) -> bool {
+    matches!(t, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ';' => {
+                toks.push(Tok::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Op(CmpOp::Le));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    toks.push(Tok::Op(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    toks.push(Tok::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err("unterminated string literal".into()),
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            ':' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err("':' must be followed by a host variable name".into());
+                }
+                toks.push(Tok::HostVar(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            c if c.is_ascii_digit() || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) => {
+                let start = i;
+                let mut j = i + 1;
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == '.') {
+                    if bytes[j] == '.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text: String = bytes[start..j].iter().collect();
+                if is_float {
+                    toks.push(Tok::Float(text.parse().map_err(|e| format!("{e}"))?));
+                } else {
+                    toks.push(Tok::Int(text.parse().map_err(|e| format!("{e}"))?));
+                }
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                toks.push(Tok::Ident(bytes[start..j].iter().collect()));
+                i = j;
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), String> {
+        match self.next() {
+            Some(t) if keyword(&t, kw) => Ok(()),
+            other => Err(format!("expected {kw}, got {other:?}")),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| keyword(t, kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    fn scalar(&mut self) -> Result<Scalar, String> {
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(Scalar::Literal(Value::Int(v))),
+            Some(Tok::Float(v)) => Ok(Scalar::Literal(Value::Float(v))),
+            Some(Tok::Str(s)) => Ok(Scalar::Literal(Value::Str(s))),
+            Some(Tok::HostVar(name)) => Ok(Scalar::HostVar(name)),
+            other => Err(format!("expected literal or :var, got {other:?}")),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, String> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, String> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat_kw("or") {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Expr::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, String> {
+        let mut parts = vec![self.not_expr()?];
+        while self.eat_kw("and") {
+            parts.push(self.not_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Expr::And(parts)
+        })
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, String> {
+        if self.eat_kw("not") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, String> {
+        if matches!(self.peek(), Some(Tok::LParen)) {
+            self.pos += 1;
+            let e = self.expr()?;
+            match self.next() {
+                Some(Tok::RParen) => Ok(e),
+                other => Err(format!("expected ')', got {other:?}")),
+            }
+        } else {
+            let column = self.ident()?;
+            if self.eat_kw("between") {
+                let lo = self.scalar()?;
+                self.expect_kw("and")?;
+                let hi = self.scalar()?;
+                return Ok(Expr::Between { column, lo, hi });
+            }
+            match self.next() {
+                Some(Tok::Op(op)) => Ok(Expr::Cmp {
+                    column,
+                    op,
+                    rhs: self.scalar()?,
+                }),
+                other => Err(format!("expected comparison operator, got {other:?}")),
+            }
+        }
+    }
+}
+
+/// Parses one query.
+pub fn parse_query(input: &str) -> Result<QuerySpec, String> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.expect_kw("select")?;
+
+    let mut count_star = false;
+    let projection = if matches!(p.peek(), Some(Tok::Star)) {
+        p.pos += 1;
+        None
+    } else if p.peek().is_some_and(|t| keyword(t, "count")) {
+        // count ( * )
+        p.pos += 1;
+        match (p.next(), p.next(), p.next()) {
+            (Some(Tok::LParen), Some(Tok::Star), Some(Tok::RParen)) => {
+                count_star = true;
+                None
+            }
+            other => return Err(format!("expected count(*), got {other:?}")),
+        }
+    } else {
+        let mut cols = vec![p.ident()?];
+        while matches!(p.peek(), Some(Tok::Comma)) {
+            p.pos += 1;
+            cols.push(p.ident()?);
+        }
+        Some(cols)
+    };
+
+    p.expect_kw("from")?;
+    let table = p.ident()?;
+
+    let predicate = if p.eat_kw("where") {
+        p.expr()?
+    } else {
+        Expr::True
+    };
+
+    let mut order_by = None;
+    let mut order_desc = false;
+    if p.eat_kw("order") {
+        p.expect_kw("by")?;
+        order_by = Some(p.ident()?);
+        if p.eat_kw("desc") {
+            order_desc = true;
+        } else {
+            let _ = p.eat_kw("asc");
+        }
+    }
+
+    let mut limit = None;
+    if p.eat_kw("limit") {
+        let _ = p.eat_kw("to");
+        match p.next() {
+            Some(Tok::Int(n)) if n >= 0 => limit = Some(n as usize),
+            other => return Err(format!("expected row count after LIMIT, got {other:?}")),
+        }
+        let _ = p.eat_kw("rows");
+        let _ = p.eat_kw("row");
+    }
+
+    let mut goal = None;
+    if p.eat_kw("optimize") {
+        p.expect_kw("for")?;
+        if p.eat_kw("fast") {
+            p.expect_kw("first")?;
+            goal = Some(OptimizeGoal::FastFirst);
+        } else if p.eat_kw("total") {
+            p.expect_kw("time")?;
+            goal = Some(OptimizeGoal::TotalTime);
+        } else {
+            return Err("expected FAST FIRST or TOTAL TIME".into());
+        }
+    }
+
+    let _ = matches!(p.peek(), Some(Tok::Semicolon)) && {
+        p.pos += 1;
+        true
+    };
+    if let Some(t) = p.peek() {
+        return Err(format!("trailing input at {t:?}"));
+    }
+
+    Ok(QuerySpec {
+        count_star,
+        projection,
+        table,
+        predicate,
+        order_by,
+        order_desc,
+        limit,
+        goal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_query() {
+        let q = parse_query("select * from FAMILIES where AGE >= :A1;").unwrap();
+        assert_eq!(q.table, "FAMILIES");
+        assert!(q.projection.is_none());
+        assert_eq!(
+            q.predicate,
+            Expr::Cmp {
+                column: "AGE".into(),
+                op: CmpOp::Ge,
+                rhs: Scalar::HostVar("A1".into()),
+            }
+        );
+        assert!(q.goal.is_none());
+    }
+
+    #[test]
+    fn parses_full_clause_set() {
+        let q = parse_query(
+            "select NAME, AGE from T where AGE between 30 and 32 and CITY = 'NH' \
+             order by AGE limit to 5 rows optimize for fast first",
+        )
+        .unwrap();
+        assert_eq!(q.projection, Some(vec!["NAME".into(), "AGE".into()]));
+        assert_eq!(q.order_by.as_deref(), Some("AGE"));
+        assert_eq!(q.limit, Some(5));
+        assert_eq!(q.goal, Some(OptimizeGoal::FastFirst));
+        match &q.predicate {
+            Expr::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_or_not_parens_precedence() {
+        let q = parse_query("select * from T where not (a = 1 or b = 2) and c > 0").unwrap();
+        match &q.predicate {
+            Expr::And(parts) => {
+                assert!(matches!(parts[0], Expr::Not(_)));
+                assert!(matches!(parts[1], Expr::Cmp { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = parse_query("select * from T where a = 1 or b = 2 and c = 3").unwrap();
+        match &q.predicate {
+            Expr::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Expr::And(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_negative_numbers_floats_strings() {
+        let q = parse_query("select * from T where a >= -5 and b < 2.5 and c = 'x y'").unwrap();
+        match &q.predicate {
+            Expr::And(parts) => {
+                assert_eq!(
+                    parts[0],
+                    Expr::cmp("a", CmpOp::Ge, -5i64)
+                );
+                assert_eq!(parts[1], Expr::cmp("b", CmpOp::Lt, 2.5));
+                assert_eq!(parts[2], Expr::cmp("c", CmpOp::Eq, "x y"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse_query("select from T").is_err());
+        assert!(parse_query("select * from T where a ==").is_err());
+        assert!(parse_query("select * from T where a = 'unterminated").is_err());
+        assert!(parse_query("select * from T optimize for slow").is_err());
+        assert!(parse_query("select * from T where a = 1 garbage").is_err());
+    }
+
+    #[test]
+    fn optimize_for_total_time() {
+        let q = parse_query("select * from T optimize for total time").unwrap();
+        assert_eq!(q.goal, Some(OptimizeGoal::TotalTime));
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let q = parse_query("select count(*) from T where a >= 5").unwrap();
+        assert!(q.count_star);
+        assert!(q.projection.is_none());
+        assert!(parse_query("select count(a) from T").is_err());
+    }
+
+    #[test]
+    fn between_accepts_host_variables() {
+        let q = parse_query("select * from T where a between :lo and :hi").unwrap();
+        match &q.predicate {
+            Expr::Between { lo, hi, .. } => {
+                assert_eq!(lo, &Scalar::HostVar("lo".into()));
+                assert_eq!(hi, &Scalar::HostVar("hi".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

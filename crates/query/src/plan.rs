@@ -1,0 +1,202 @@
+//! Plan nodes and optimization-goal derivation (paper Section 4).
+//!
+//! > "Suppose that a query execution plan contains any of EXISTS, LIMIT TO
+//! > n ROWS, SORT, COUNT or other aggregate nodes. For a given retrieval
+//! > node, the static optimizer searches the plan to see what node from
+//! > the above list immediately controls the retrieval node. If EXISTS or
+//! > LIMIT TO node controls the retrieval node, the fast-first retrieval
+//! > optimization is requested. A detection of the SORT or aggregate
+//! > control sets the total-time optimization request. Otherwise, the
+//! > user-defined or default optimization goal is used."
+
+use std::collections::HashMap;
+
+use rdb_core::OptimizeGoal;
+
+/// Identifier of a retrieval node within one plan.
+pub type RetrieveId = usize;
+
+/// A query-plan node. Subqueries hang off the retrieval that correlates
+/// them (an `IN (select …)` nests under the outer retrieve).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Single-table retrieval (leaf), with any correlated subqueries.
+    Retrieve {
+        /// Unique id used to report the derived goal.
+        id: RetrieveId,
+        /// Table name (for display).
+        table: String,
+        /// Correlated subquery plans.
+        subqueries: Vec<PlanNode>,
+    },
+    /// `LIMIT TO n ROWS`.
+    Limit {
+        /// Row limit.
+        n: usize,
+        /// Controlled subplan.
+        child: Box<PlanNode>,
+    },
+    /// `EXISTS (…)`.
+    Exists {
+        /// Controlled subplan.
+        child: Box<PlanNode>,
+    },
+    /// An explicit sort (ORDER BY without a supporting index).
+    Sort {
+        /// Controlled subplan.
+        child: Box<PlanNode>,
+    },
+    /// `SELECT DISTINCT` (implemented through a sort).
+    Distinct {
+        /// Controlled subplan.
+        child: Box<PlanNode>,
+    },
+    /// COUNT/SUM/AVG/… aggregate.
+    Aggregate {
+        /// Controlled subplan.
+        child: Box<PlanNode>,
+    },
+    /// An explicit user cursor (resets control to the user/default goal).
+    Cursor {
+        /// Controlled subplan.
+        child: Box<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// Leaf constructor.
+    pub fn retrieve(id: RetrieveId, table: impl Into<String>) -> PlanNode {
+        PlanNode::Retrieve {
+            id,
+            table: table.into(),
+            subqueries: Vec::new(),
+        }
+    }
+
+    /// Attaches a subquery to a retrieval leaf.
+    ///
+    /// # Panics
+    /// If `self` is not a `Retrieve` node.
+    pub fn with_subquery(mut self, sub: PlanNode) -> PlanNode {
+        match &mut self {
+            PlanNode::Retrieve { subqueries, .. } => subqueries.push(sub),
+            _ => panic!("subqueries attach to Retrieve nodes"),
+        }
+        self
+    }
+}
+
+/// Derives the optimization goal of every retrieval node: the nearest
+/// controlling ancestor wins; subqueries restart from the user/default
+/// goal (their own controlling nodes are inside the subplan).
+pub fn derive_goals(
+    root: &PlanNode,
+    default_goal: OptimizeGoal,
+) -> HashMap<RetrieveId, OptimizeGoal> {
+    let mut out = HashMap::new();
+    walk(root, None, default_goal, &mut out);
+    out
+}
+
+fn walk(
+    node: &PlanNode,
+    control: Option<OptimizeGoal>,
+    default_goal: OptimizeGoal,
+    out: &mut HashMap<RetrieveId, OptimizeGoal>,
+) {
+    match node {
+        PlanNode::Retrieve { id, subqueries, .. } => {
+            out.insert(*id, control.unwrap_or(default_goal));
+            for sub in subqueries {
+                // A subquery's retrievals answer to the subquery's own
+                // controlling nodes, not the outer ones.
+                walk(sub, None, default_goal, out);
+            }
+        }
+        PlanNode::Limit { child, .. } | PlanNode::Exists { child } => {
+            walk(child, Some(OptimizeGoal::FastFirst), default_goal, out);
+        }
+        PlanNode::Sort { child } | PlanNode::Distinct { child } | PlanNode::Aggregate { child } => {
+            walk(child, Some(OptimizeGoal::TotalTime), default_goal, out);
+        }
+        PlanNode::Cursor { child } => {
+            walk(child, None, default_goal, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's worked example:
+    /// ```sql
+    /// select * from A where A.X in (
+    ///   select distinct Y from B where B.Y in (
+    ///     select Z from C limit to 2 rows))
+    /// optimize for total time;
+    /// ```
+    /// → fast-first for C (LIMIT TO), total-time for B (DISTINCT's sort),
+    ///   total-time for A (explicit cursor request).
+    #[test]
+    fn paper_goal_derivation_example() {
+        let c = PlanNode::Limit {
+            n: 2,
+            child: Box::new(PlanNode::retrieve(2, "C")),
+        };
+        let b = PlanNode::Distinct {
+            child: Box::new(PlanNode::retrieve(1, "B").with_subquery(c)),
+        };
+        let a = PlanNode::Cursor {
+            child: Box::new(PlanNode::retrieve(0, "A").with_subquery(b)),
+        };
+        let goals = derive_goals(&a, OptimizeGoal::TotalTime);
+        assert_eq!(goals[&0], OptimizeGoal::TotalTime, "A: explicit request");
+        assert_eq!(goals[&1], OptimizeGoal::TotalTime, "B: distinct's sort");
+        assert_eq!(goals[&2], OptimizeGoal::FastFirst, "C: limit to 2 rows");
+    }
+
+    #[test]
+    fn exists_sets_fast_first() {
+        let plan = PlanNode::Exists {
+            child: Box::new(PlanNode::retrieve(0, "T")),
+        };
+        let goals = derive_goals(&plan, OptimizeGoal::TotalTime);
+        assert_eq!(goals[&0], OptimizeGoal::FastFirst);
+    }
+
+    #[test]
+    fn aggregate_sets_total_time_even_with_fast_first_default() {
+        let plan = PlanNode::Aggregate {
+            child: Box::new(PlanNode::retrieve(0, "T")),
+        };
+        let goals = derive_goals(&plan, OptimizeGoal::FastFirst);
+        assert_eq!(goals[&0], OptimizeGoal::TotalTime);
+    }
+
+    #[test]
+    fn nearest_controlling_node_wins() {
+        // Sort above, Limit below: the Limit is nearer to the retrieval.
+        let plan = PlanNode::Sort {
+            child: Box::new(PlanNode::Limit {
+                n: 10,
+                child: Box::new(PlanNode::retrieve(0, "T")),
+            }),
+        };
+        let goals = derive_goals(&plan, OptimizeGoal::TotalTime);
+        assert_eq!(goals[&0], OptimizeGoal::FastFirst);
+    }
+
+    #[test]
+    fn bare_retrieve_uses_default() {
+        let plan = PlanNode::retrieve(0, "T");
+        assert_eq!(
+            derive_goals(&plan, OptimizeGoal::FastFirst)[&0],
+            OptimizeGoal::FastFirst
+        );
+        assert_eq!(
+            derive_goals(&plan, OptimizeGoal::TotalTime)[&0],
+            OptimizeGoal::TotalTime
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Cost-charged sorting for ORDER BY without a supporting index.
+//!
+//! Section 4 ties the total-time goal to SORT nodes: a sort consumes the
+//! whole input before producing anything, so fast-first retrieval below it
+//! is pointless. For the costs to be honest, sorting must *pay* like a
+//! real external sort: results that fit the sort memory are ordered for
+//! CPU-only cost; larger results spill — one pass writing sorted runs and
+//! one merge pass reading them back, charged to the shared buffer pool at
+//! page granularity.
+
+use rdb_storage::{FileId, PageId, SharedPool, Value};
+
+/// Sorting configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SortConfig {
+    /// Rows that fit in sort memory before spilling.
+    pub memory_rows: usize,
+    /// Rows per spill page (drives the I/O charge).
+    pub rows_per_page: usize,
+    /// File id used for spill pages.
+    pub temp_file: FileId,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        SortConfig {
+            memory_rows: 10_000,
+            rows_per_page: 64,
+            temp_file: FileId(u32::MAX - 1),
+        }
+    }
+}
+
+/// Statistics of one sort execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortStats {
+    /// Rows sorted.
+    pub rows: usize,
+    /// Sorted runs written (1 means the sort stayed in memory).
+    pub runs: usize,
+    /// Spill pages written (and read back during the merge).
+    pub spill_pages: u32,
+}
+
+/// Sorts `(key, row)` pairs by key, charging the pool per the external-
+/// sort cost model. Returns the rows in key order plus statistics.
+pub fn sort_rows(
+    pairs: Vec<(Value, Vec<Value>)>,
+    pool: &SharedPool,
+    config: &SortConfig,
+) -> (Vec<Vec<Value>>, SortStats) {
+    sort_rows_dir(pairs, pool, config, false)
+}
+
+/// [`sort_rows`] with an explicit direction (`descending = true` for
+/// `ORDER BY ... DESC`). The sort stays stable in either direction.
+pub fn sort_rows_dir(
+    mut pairs: Vec<(Value, Vec<Value>)>,
+    pool: &SharedPool,
+    config: &SortConfig,
+    descending: bool,
+) -> (Vec<Vec<Value>>, SortStats) {
+    let rows = pairs.len();
+    // CPU charge: ~n log n comparisons, priced as RID-level operations.
+    let comparisons = if rows > 1 {
+        (rows as f64 * (rows as f64).log2()).ceil() as u64
+    } else {
+        0
+    };
+    pool.borrow().cost().charge_rid_ops(comparisons);
+    // The actual ordering (correctness) is a plain stable sort.
+    if descending {
+        pairs.sort_by(|a, b| b.0.cmp(&a.0));
+    } else {
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    let mut stats = SortStats {
+        rows,
+        runs: 1,
+        spill_pages: 0,
+    };
+    if rows > config.memory_rows {
+        // External: every row is written once in runs and read once in the
+        // merge. Runs ≤ memory each; a single merge pass suffices for any
+        // realistic fan-in here.
+        stats.runs = rows.div_ceil(config.memory_rows);
+        stats.spill_pages = rows.div_ceil(config.rows_per_page) as u32;
+        let mut pool = pool.borrow_mut();
+        for p in 0..stats.spill_pages {
+            pool.write(PageId::new(config.temp_file, p));
+        }
+        for p in 0..stats.spill_pages {
+            pool.access(PageId::new(config.temp_file, p));
+        }
+    }
+    (pairs.into_iter().map(|(_, row)| row).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_storage::{shared_meter, shared_pool, CostConfig};
+
+    fn pairs(n: i64) -> Vec<(Value, Vec<Value>)> {
+        // Reverse order input.
+        (0..n)
+            .rev()
+            .map(|i| (Value::Int(i), vec![Value::Int(i), Value::Int(i * 2)]))
+            .collect()
+    }
+
+    #[test]
+    fn orders_correctly() {
+        let pool = shared_pool(64, shared_meter(CostConfig::default()));
+        let (rows, stats) = sort_rows(pairs(100), &pool, &SortConfig::default());
+        assert_eq!(stats.rows, 100);
+        assert_eq!(stats.runs, 1, "fits in memory");
+        let keys: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spills_charge_page_io() {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(4, cost.clone());
+        let config = SortConfig {
+            memory_rows: 100,
+            rows_per_page: 50,
+            ..SortConfig::default()
+        };
+        let before = cost.snapshot();
+        let (rows, stats) = sort_rows(pairs(1000), &pool, &config);
+        let delta = cost.snapshot().since(&before);
+        assert_eq!(rows.len(), 1000);
+        assert_eq!(stats.runs, 10);
+        assert_eq!(stats.spill_pages, 20);
+        assert_eq!(delta.page_writes, 20, "one write pass");
+        assert_eq!(
+            delta.page_reads + delta.cache_hits,
+            20,
+            "one merge-read pass"
+        );
+        // Ordering still holds after the spill accounting.
+        assert!(rows
+            .windows(2)
+            .all(|w| w[0][0].as_i64() <= w[1][0].as_i64()));
+    }
+
+    #[test]
+    fn empty_and_single_row_are_free_of_io() {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(4, cost.clone());
+        let (rows, _) = sort_rows(Vec::new(), &pool, &SortConfig::default());
+        assert!(rows.is_empty());
+        let (rows, _) = sort_rows(pairs(1), &pool, &SortConfig::default());
+        assert_eq!(rows.len(), 1);
+        assert_eq!(cost.snapshot().page_writes, 0);
+    }
+
+    #[test]
+    fn descending_direction() {
+        let pool = shared_pool(4, shared_meter(CostConfig::default()));
+        let (rows, _) = sort_rows_dir(pairs(20), &pool, &SortConfig::default(), true);
+        let keys: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, (0..20).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stable_for_duplicate_keys() {
+        let pool = shared_pool(4, shared_meter(CostConfig::default()));
+        let input: Vec<(Value, Vec<Value>)> = (0..50)
+            .map(|i| (Value::Int(i % 5), vec![Value::Int(i)]))
+            .collect();
+        let (rows, _) = sort_rows(input, &pool, &SortConfig::default());
+        // Within each key group, original order (ascending i) is preserved.
+        for group in rows.chunks(10) {
+            let ids: Vec<i64> = group.iter().map(|r| r[0].as_i64().unwrap()).collect();
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "{ids:?}");
+        }
+    }
+}

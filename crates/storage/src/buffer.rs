@@ -1,0 +1,347 @@
+//! Buffer-pool cache simulator.
+//!
+//! Section 3(c) of the paper singles out disk-page caching as a major source
+//! of cost uncertainty: "the pattern of caching the disk pages is influenced
+//! by many asynchronous processes totally unrelated to a given retrieval."
+//! This module reproduces exactly that phenomenon. Data structures
+//! (heap tables, B-trees, temp tables) route every logical page touch
+//! through [`BufferPool::access`], which classifies it as hit or miss
+//! against a true-LRU cache and charges the shared [`crate::CostMeter`]
+//! accordingly. [`BufferPool::perturb`] injects the "asynchronous
+//! interference" the paper describes.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::cost::SharedCost;
+
+/// Shared handle to one [`BufferPool`]. All storage structures of one
+/// database instance (heap tables, indexes, temp tables) share a pool so
+/// they compete for the same simulated memory, as in the paper.
+pub type SharedPool = Rc<RefCell<BufferPool>>;
+
+/// Creates a fresh shared pool.
+pub fn shared_pool(capacity: usize, cost: SharedCost) -> SharedPool {
+    Rc::new(RefCell::new(BufferPool::new(capacity, cost)))
+}
+
+/// Identifies one storage file (a heap table, one index, a temp area).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// Identifies one page across all files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId {
+    /// Owning file.
+    pub file: FileId,
+    /// Page number within the file.
+    pub page: u32,
+}
+
+impl PageId {
+    /// Creates a page id.
+    pub fn new(file: FileId, page: u32) -> Self {
+        PageId { file, page }
+    }
+}
+
+/// Outcome of a page access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Page was resident; charged [`crate::CostConfig::cache_hit`].
+    Hit,
+    /// Page was faulted in; charged [`crate::CostConfig::io_read`].
+    Miss,
+}
+
+const NIL: usize = usize::MAX;
+
+/// Intrusive doubly-linked LRU node stored in a slab.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    page: PageId,
+    prev: usize,
+    next: usize,
+}
+
+/// A capacity-bounded true-LRU page cache that charges a [`crate::CostMeter`].
+///
+/// The pool stores no page bytes — the in-memory data structures own their
+/// data. What the pool simulates is the *cost* of residency: which logical
+/// pages would have been in memory, and therefore whether an access is a
+/// physical I/O. This keeps the experiments faithful to the paper's
+/// I/O-dominated cost model while remaining deterministic.
+#[derive(Debug)]
+pub struct BufferPool {
+    cost: SharedCost,
+    capacity: usize,
+    map: HashMap<PageId, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// Creates a pool that can hold `capacity` pages (`capacity >= 1`).
+    pub fn new(capacity: usize, cost: SharedCost) -> Self {
+        assert!(capacity >= 1, "buffer pool capacity must be at least 1");
+        BufferPool {
+            cost,
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of pages the pool can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of pages currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Shared cost meter this pool charges.
+    pub fn cost(&self) -> &SharedCost {
+        &self.cost
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Touches `page`, classifying the access and charging the meter.
+    pub fn access(&mut self, page: PageId) -> Access {
+        if let Some(&idx) = self.map.get(&page) {
+            self.unlink(idx);
+            self.push_front(idx);
+            self.hits += 1;
+            self.cost.charge_cache_hit();
+            return Access::Hit;
+        }
+        self.misses += 1;
+        self.cost.charge_page_read();
+        if self.map.len() == self.capacity {
+            self.evict_lru();
+        }
+        let idx = self.alloc(page);
+        self.push_front(idx);
+        self.map.insert(page, idx);
+        Access::Miss
+    }
+
+    /// Records a page *write* access (temp-table spill). Writes always cost
+    /// an I/O and do not pollute the read cache.
+    pub fn write(&mut self, _page: PageId) {
+        self.cost.charge_page_write();
+    }
+
+    /// True if `page` is currently resident (no cost charged, no LRU touch).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Evicts every resident page — a cold restart.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Simulates interference from unrelated queries (paper Section 3(c)):
+    /// touches `foreign_pages` synthetic pages belonging to `foreign_file`,
+    /// evicting that much of this query's working set, without charging the
+    /// meter (the cost belongs to the "other" query).
+    pub fn perturb(&mut self, foreign_file: FileId, foreign_pages: u32) {
+        for p in 0..foreign_pages {
+            let page = PageId::new(foreign_file, p);
+            if self.map.contains_key(&page) {
+                continue;
+            }
+            if self.map.len() == self.capacity {
+                self.evict_lru();
+            }
+            let idx = self.alloc(page);
+            self.push_front(idx);
+            self.map.insert(page, idx);
+        }
+    }
+
+    fn alloc(&mut self, page: PageId) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.slab[idx] = Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.slab.push(Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let idx = self.tail;
+        debug_assert_ne!(idx, NIL, "evict from empty pool");
+        let page = self.slab[idx].page;
+        self.unlink(idx);
+        self.map.remove(&page);
+        self.free.push(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let Node { prev, next, .. } = self.slab[idx];
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{shared_meter, CostConfig};
+
+    fn pool(capacity: usize) -> BufferPool {
+        BufferPool::new(capacity, shared_meter(CostConfig::default()))
+    }
+
+    fn pid(file: u32, page: u32) -> PageId {
+        PageId::new(FileId(file), page)
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut p = pool(4);
+        assert_eq!(p.access(pid(0, 0)), Access::Miss);
+        assert_eq!(p.access(pid(0, 0)), Access::Hit);
+        assert_eq!(p.hits(), 1);
+        assert_eq!(p.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut p = pool(2);
+        p.access(pid(0, 0));
+        p.access(pid(0, 1));
+        p.access(pid(0, 0)); // 1 becomes LRU
+        p.access(pid(0, 2)); // evicts 1
+        assert!(p.contains(pid(0, 0)));
+        assert!(!p.contains(pid(0, 1)));
+        assert!(p.contains(pid(0, 2)));
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let mut p = pool(3);
+        for i in 0..100 {
+            p.access(pid(0, i));
+        }
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn costs_match_access_classes() {
+        let cost = shared_meter(CostConfig::default());
+        let mut p = BufferPool::new(2, cost.clone());
+        p.access(pid(0, 0)); // miss: 1.0
+        p.access(pid(0, 0)); // hit: 0.01
+        assert!((cost.total() - 1.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturb_evicts_working_set_without_cost() {
+        let cost = shared_meter(CostConfig::default());
+        let mut p = BufferPool::new(4, cost.clone());
+        p.access(pid(0, 0));
+        p.access(pid(0, 1));
+        let before = cost.total();
+        p.perturb(FileId(99), 4);
+        assert_eq!(cost.total(), before, "interference must be free");
+        assert!(!p.contains(pid(0, 0)));
+        assert!(!p.contains(pid(0, 1)));
+    }
+
+    #[test]
+    fn clear_makes_everything_cold() {
+        let mut p = pool(4);
+        p.access(pid(0, 0));
+        p.clear();
+        assert_eq!(p.access(pid(0, 0)), Access::Miss);
+    }
+
+    #[test]
+    fn different_files_do_not_collide() {
+        let mut p = pool(4);
+        p.access(pid(0, 7));
+        assert_eq!(p.access(pid(1, 7)), Access::Miss);
+    }
+
+    #[test]
+    fn heavy_mixed_workload_is_consistent() {
+        // Cross-check against a naive reference LRU implementation.
+        let mut p = pool(8);
+        let mut reference: Vec<PageId> = Vec::new(); // front = MRU
+        let mut x: u64 = 12345;
+        for _ in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let page = pid((x >> 33) as u32 % 3, (x >> 17) as u32 % 20);
+            let expect_hit = reference.contains(&page);
+            let got = p.access(page);
+            assert_eq!(got == Access::Hit, expect_hit);
+            reference.retain(|&q| q != page);
+            reference.insert(0, page);
+            reference.truncate(8);
+        }
+    }
+}

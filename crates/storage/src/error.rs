@@ -1,0 +1,54 @@
+//! Storage-layer error type.
+
+use std::fmt;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A serialized page or record failed to decode; the payload names the
+    /// structure that was being decoded.
+    Corrupt(&'static str),
+    /// A RID referenced a page that does not exist in the table.
+    PageOutOfRange {
+        /// Requested page number.
+        page: u32,
+        /// Number of pages the table actually has.
+        pages: u32,
+    },
+    /// A RID referenced a slot that does not exist or was deleted.
+    InvalidSlot {
+        /// Page the slot was looked up on.
+        page: u32,
+        /// The invalid slot index.
+        slot: u16,
+    },
+    /// A record did not match the table schema.
+    SchemaMismatch(String),
+    /// A record was too large to fit in an empty page.
+    RecordTooLarge {
+        /// Record size in bytes.
+        size: usize,
+        /// Largest size that would have fit.
+        max: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Corrupt(what) => write!(f, "corrupt {what}"),
+            StorageError::PageOutOfRange { page, pages } => {
+                write!(f, "page {page} out of range (table has {pages} pages)")
+            }
+            StorageError::InvalidSlot { page, slot } => {
+                write!(f, "invalid slot {slot} on page {page}")
+            }
+            StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # rdb-storage
+//!
+//! Storage substrate for the reproduction of *Dynamic Query Optimization in
+//! Rdb/VMS* (Antoshenkov, ICDE 1993).
+//!
+//! The paper's dynamic optimizer makes all of its decisions from **observed
+//! and projected I/O costs**. This crate provides the pieces that generate
+//! those costs deterministically:
+//!
+//! * [`Value`], [`Schema`], [`Record`] — the tuple model.
+//! * [`Rid`] — record identifiers (`page`, `slot`), the currency of the
+//!   paper's Jscan RID lists.
+//! * Slotted [`page::Page`]s and the [`HeapTable`] built from them.
+//! * A [`BufferPool`] cache simulator with true LRU behaviour: every logical
+//!   page touch is classified hit/miss and charged to a shared [`CostMeter`].
+//! * [`TempTable`] — the spill target for RID lists that overflow main
+//!   memory during Jscan (Section 6 of the paper).
+//!
+//! Costs are *simulated units*, not wall time: a miss costs one I/O unit, a
+//! hit a small fraction, CPU work smaller still (see [`CostConfig`]). This
+//! mirrors the I/O-dominated cost reasoning of the paper while keeping every
+//! experiment reproducible.
+
+pub mod buffer;
+pub mod cost;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod record;
+pub mod rid;
+pub mod schema;
+pub mod temp;
+pub mod value;
+
+pub use buffer::{shared_pool, Access, BufferPool, FileId, PageId, SharedPool};
+pub use cost::shared_meter;
+pub use cost::{CostConfig, CostMeter, CostSnapshot, SharedCost};
+pub use error::StorageError;
+pub use heap::{HeapScan, HeapTable};
+pub use record::Record;
+pub use rid::Rid;
+pub use schema::{Column, Schema};
+pub use temp::TempTable;
+pub use value::{Value, ValueType};

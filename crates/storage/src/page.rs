@@ -1,0 +1,185 @@
+//! Slotted data pages.
+//!
+//! Records live in fixed-capacity slotted pages. The slot array gives each
+//! record a stable [`crate::Rid`] `(page, slot)` even as other records on
+//! the page are deleted; byte accounting enforces the page capacity so page
+//! counts — and therefore simulated I/O costs — track record sizes the way
+//! they would on disk.
+
+use crate::error::StorageError;
+use crate::record::Record;
+
+/// Default page capacity in bytes (payload area).
+pub const DEFAULT_PAGE_BYTES: usize = 8192;
+
+/// Per-slot bookkeeping overhead, in bytes, counted against the capacity.
+const SLOT_OVERHEAD: usize = 4;
+
+/// One slotted page of serialized records.
+#[derive(Debug, Clone)]
+pub struct Page {
+    capacity: usize,
+    used: usize,
+    slots: Vec<Option<Vec<u8>>>,
+    live: u16,
+}
+
+impl Page {
+    /// Creates an empty page with `capacity` payload bytes.
+    pub fn new(capacity: usize) -> Self {
+        Page {
+            capacity,
+            used: 0,
+            slots: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Payload capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes used (record payloads + slot overhead).
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Number of live (non-deleted) records.
+    pub fn live_records(&self) -> u16 {
+        self.live
+    }
+
+    /// Number of slots ever allocated (live + deleted).
+    pub fn slot_count(&self) -> u16 {
+        self.slots.len() as u16
+    }
+
+    /// True if a record of `record_bytes` payload bytes fits.
+    pub fn fits(&self, record_bytes: usize) -> bool {
+        self.used + record_bytes + SLOT_OVERHEAD <= self.capacity
+            && self.slots.len() < u16::MAX as usize
+    }
+
+    /// Inserts an encoded record, returning its slot.
+    ///
+    /// Callers must check [`Page::fits`] first; inserting into a full page
+    /// returns `RecordTooLarge`.
+    pub fn insert(&mut self, bytes: Vec<u8>) -> Result<u16, StorageError> {
+        if !self.fits(bytes.len()) {
+            return Err(StorageError::RecordTooLarge {
+                size: bytes.len(),
+                max: self.capacity.saturating_sub(self.used + SLOT_OVERHEAD),
+            });
+        }
+        self.used += bytes.len() + SLOT_OVERHEAD;
+        self.slots.push(Some(bytes));
+        self.live += 1;
+        Ok((self.slots.len() - 1) as u16)
+    }
+
+    /// Raw bytes of the record in `slot`, if live.
+    pub fn slot_bytes(&self, slot: u16) -> Option<&[u8]> {
+        self.slots.get(slot as usize)?.as_deref()
+    }
+
+    /// Decodes the record in `slot`.
+    pub fn record(&self, slot: u16) -> Result<Record, StorageError> {
+        let bytes = self.slot_bytes(slot).ok_or(StorageError::InvalidSlot {
+            page: 0,
+            slot,
+        })?;
+        Record::decode(bytes)
+    }
+
+    /// Deletes the record in `slot`; the slot number is never reused.
+    pub fn delete(&mut self, slot: u16) -> Result<(), StorageError> {
+        let entry = self
+            .slots
+            .get_mut(slot as usize)
+            .ok_or(StorageError::InvalidSlot { page: 0, slot })?;
+        match entry.take() {
+            Some(bytes) => {
+                self.used -= bytes.len() + SLOT_OVERHEAD;
+                self.live -= 1;
+                Ok(())
+            }
+            None => Err(StorageError::InvalidSlot { page: 0, slot }),
+        }
+    }
+
+    /// Iterates `(slot, bytes)` over live records.
+    pub fn iter_live(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_deref().map(|b| (i as u16, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn encoded(rec: &Record) -> Vec<u8> {
+        let mut buf = Vec::new();
+        rec.encode(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut page = Page::new(DEFAULT_PAGE_BYTES);
+        let rec = Record::new(vec![Value::Int(7), Value::Str("x".into())]);
+        let slot = page.insert(encoded(&rec)).unwrap();
+        assert_eq!(page.record(slot).unwrap(), rec);
+        assert_eq!(page.live_records(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut page = Page::new(64);
+        let rec = Record::new(vec![Value::Str("0123456789012345678901234".into())]);
+        let bytes = encoded(&rec);
+        assert!(page.insert(bytes.clone()).is_ok());
+        assert!(!page.fits(bytes.len()));
+        assert!(page.insert(bytes).is_err());
+    }
+
+    #[test]
+    fn delete_frees_space_but_not_slot_numbers() {
+        let mut page = Page::new(DEFAULT_PAGE_BYTES);
+        let rec = Record::new(vec![Value::Int(1)]);
+        let s0 = page.insert(encoded(&rec)).unwrap();
+        let s1 = page.insert(encoded(&rec)).unwrap();
+        page.delete(s0).unwrap();
+        assert!(page.slot_bytes(s0).is_none());
+        assert!(page.slot_bytes(s1).is_some());
+        let s2 = page.insert(encoded(&rec)).unwrap();
+        assert_ne!(s2, s0, "slots are never reused");
+        assert_eq!(page.live_records(), 2);
+    }
+
+    #[test]
+    fn double_delete_is_an_error() {
+        let mut page = Page::new(DEFAULT_PAGE_BYTES);
+        let slot = page
+            .insert(encoded(&Record::new(vec![Value::Int(1)])))
+            .unwrap();
+        page.delete(slot).unwrap();
+        assert!(page.delete(slot).is_err());
+    }
+
+    #[test]
+    fn iter_live_skips_deleted() {
+        let mut page = Page::new(DEFAULT_PAGE_BYTES);
+        for i in 0..5 {
+            page.insert(encoded(&Record::new(vec![Value::Int(i)])))
+                .unwrap();
+        }
+        page.delete(2).unwrap();
+        let slots: Vec<u16> = page.iter_live().map(|(s, _)| s).collect();
+        assert_eq!(slots, vec![0, 1, 3, 4]);
+    }
+}

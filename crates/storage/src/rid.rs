@@ -1,0 +1,72 @@
+//! Record identifiers.
+//!
+//! RIDs are the currency of the paper's Jscan: index scans produce RID
+//! lists, filters intersect them, and the final stage fetches data records
+//! by RID. The ordering (page-major) matters — Section 7's background-only
+//! tactic sorts the final RID list so that all records on one page are
+//! fetched with a single page read.
+
+use std::fmt;
+
+/// Identifier of a record within one table: `(page, slot)`.
+///
+/// The derived ordering is page-major, so sorting a RID list groups records
+/// that share a physical page — the property the paper exploits when the
+/// Jscan final stage fetches records in sorted-RID order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Rid {
+    /// Page number within the table's file.
+    pub page: u32,
+    /// Slot index within the page.
+    pub slot: u16,
+}
+
+impl Rid {
+    /// Creates a RID.
+    pub fn new(page: u32, slot: u16) -> Self {
+        Rid { page, slot }
+    }
+
+    /// Packs the RID into a single `u64` (for hashing into bitmap filters).
+    pub fn to_u64(self) -> u64 {
+        ((self.page as u64) << 16) | self.slot as u64
+    }
+
+    /// Inverse of [`Rid::to_u64`].
+    pub fn from_u64(v: u64) -> Self {
+        Rid {
+            page: (v >> 16) as u32,
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+impl fmt::Display for Rid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip() {
+        let rid = Rid::new(123_456, 789);
+        assert_eq!(Rid::from_u64(rid.to_u64()), rid);
+    }
+
+    #[test]
+    fn ordering_is_page_major() {
+        assert!(Rid::new(1, 500) < Rid::new(2, 0));
+        assert!(Rid::new(1, 2) < Rid::new(1, 3));
+    }
+
+    #[test]
+    fn u64_order_matches_rid_order() {
+        let a = Rid::new(1, 500);
+        let b = Rid::new(2, 0);
+        assert!(a.to_u64() < b.to_u64());
+    }
+}

@@ -1,0 +1,176 @@
+//! Table schemas.
+
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::record::Record;
+use crate::value::ValueType;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Column type.
+    pub ty: ValueType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// Creates a non-nullable column.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// Creates a nullable column.
+    pub fn nullable(name: impl Into<String>, ty: ValueType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema; column names must be unique.
+    pub fn new(columns: Vec<Column>) -> Self {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate column name {:?}", a.name);
+            }
+        }
+        Schema { columns }
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column at position `idx`.
+    pub fn column(&self, idx: usize) -> Option<&Column> {
+        self.columns.get(idx)
+    }
+
+    /// Validates `record` against this schema (arity, types, nullability).
+    pub fn validate(&self, record: &Record) -> Result<(), StorageError> {
+        if record.len() != self.columns.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "expected {} columns, got {}",
+                self.columns.len(),
+                record.len()
+            )));
+        }
+        for (col, value) in self.columns.iter().zip(record.values()) {
+            match value.value_type() {
+                None if !col.nullable => {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "NULL in non-nullable column {:?}",
+                        col.name
+                    )));
+                }
+                Some(ty) if ty != col.ty => {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "column {:?} expects {}, got {}",
+                        col.name, col.ty, ty
+                    )));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+            if c.nullable {
+                write!(f, " NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", ValueType::Int),
+            Column::nullable("name", ValueType::Str),
+        ])
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema();
+        assert_eq!(s.column_index("name"), Some(1));
+        assert_eq!(s.column_index("missing"), None);
+    }
+
+    #[test]
+    fn validate_accepts_conforming_record() {
+        let s = schema();
+        assert!(s
+            .validate(&Record::new(vec![Value::Int(1), Value::Str("a".into())]))
+            .is_ok());
+        assert!(s.validate(&Record::new(vec![Value::Int(1), Value::Null])).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_arity_type_null() {
+        let s = schema();
+        assert!(s.validate(&Record::new(vec![Value::Int(1)])).is_err());
+        assert!(s
+            .validate(&Record::new(vec![Value::Str("x".into()), Value::Null]))
+            .is_err());
+        assert!(s
+            .validate(&Record::new(vec![Value::Null, Value::Null]))
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        Schema::new(vec![
+            Column::new("x", ValueType::Int),
+            Column::new("x", ValueType::Int),
+        ]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Temporary tables for spilled RID lists.
+//!
+//! Section 6: "Each index scan produces a RID list, stores it into a main
+//! memory buffer, and writes it into a temporary table upon buffer
+//! overflow." This is that temporary table: an append-only RID store with
+//! page-granular write cost on spill and read cost on scan-back.
+
+use crate::buffer::{FileId, PageId, SharedPool};
+use crate::rid::Rid;
+
+/// How many RIDs fit on one temp-table page (a RID is 6 bytes; an 8 KiB
+/// page holds ~1300; we round to a clean number).
+pub const RIDS_PER_PAGE: usize = 1024;
+
+/// Append-only spill store for RIDs, charging page writes as it grows and
+/// page reads as it is scanned back.
+#[derive(Debug)]
+pub struct TempTable {
+    file: FileId,
+    pool: SharedPool,
+    rids: Vec<Rid>,
+    pages_written: u32,
+    rids_per_page: usize,
+}
+
+impl TempTable {
+    /// Creates an empty temp table in file `file`.
+    pub fn new(file: FileId, pool: SharedPool) -> Self {
+        Self::with_rids_per_page(file, pool, RIDS_PER_PAGE)
+    }
+
+    /// Creates a temp table with custom page granularity (for tests).
+    pub fn with_rids_per_page(file: FileId, pool: SharedPool, rids_per_page: usize) -> Self {
+        assert!(rids_per_page >= 1);
+        TempTable {
+            file,
+            pool,
+            rids: Vec::new(),
+            pages_written: 0,
+            rids_per_page,
+        }
+    }
+
+    /// Number of RIDs stored.
+    pub fn len(&self) -> usize {
+        self.rids.len()
+    }
+
+    /// True if no RIDs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rids.is_empty()
+    }
+
+    /// Pages written so far.
+    pub fn pages_written(&self) -> u32 {
+        self.pages_written
+    }
+
+    /// Appends a batch of RIDs, charging one page write each time a page
+    /// boundary is crossed.
+    pub fn append(&mut self, batch: &[Rid]) {
+        if batch.is_empty() {
+            return;
+        }
+        let before_pages = self.page_count_for(self.rids.len());
+        self.rids.extend_from_slice(batch);
+        let after_pages = self.page_count_for(self.rids.len());
+        let mut pool = self.pool.borrow_mut();
+        for p in before_pages..after_pages {
+            pool.write(PageId::new(self.file, p));
+            self.pages_written = self.pages_written.max(p + 1);
+        }
+        pool.cost().charge_rid_ops(batch.len() as u64);
+    }
+
+    fn page_count_for(&self, n: usize) -> u32 {
+        n.div_ceil(self.rids_per_page) as u32
+    }
+
+    /// Reads the whole list back in insertion order, charging one page read
+    /// per page, and returns it.
+    pub fn scan_all(&self) -> Vec<Rid> {
+        let pages = self.page_count_for(self.rids.len());
+        let mut pool = self.pool.borrow_mut();
+        for p in 0..pages {
+            pool.access(PageId::new(self.file, p));
+        }
+        drop(pool);
+        self.rids.clone()
+    }
+
+    /// Discards the contents (cheap; temp pages are simply dropped).
+    pub fn clear(&mut self) {
+        self.rids.clear();
+        self.pages_written = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::shared_pool;
+    use crate::cost::{shared_meter, CostConfig};
+
+    fn temp(rpp: usize) -> (TempTable, crate::cost::SharedCost) {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(64, cost.clone());
+        (
+            TempTable::with_rids_per_page(FileId(9), pool, rpp),
+            cost,
+        )
+    }
+
+    fn rids(n: usize) -> Vec<Rid> {
+        (0..n).map(|i| Rid::new(i as u32, 0)).collect()
+    }
+
+    #[test]
+    fn append_charges_page_writes_on_boundaries() {
+        let (mut t, cost) = temp(10);
+        t.append(&rids(5));
+        assert_eq!(cost.snapshot().page_writes, 1, "first page started");
+        t.append(&rids(4));
+        assert_eq!(cost.snapshot().page_writes, 1, "still within page");
+        t.append(&rids(2));
+        assert_eq!(cost.snapshot().page_writes, 2, "crossed into page 2");
+        assert_eq!(t.len(), 11);
+    }
+
+    #[test]
+    fn scan_all_returns_in_order_and_charges_reads() {
+        let (mut t, cost) = temp(10);
+        let input = rids(25);
+        t.append(&input);
+        let before = cost.snapshot();
+        let out = t.scan_all();
+        assert_eq!(out, input);
+        assert_eq!(cost.snapshot().since(&before).page_reads + cost.snapshot().since(&before).cache_hits, 3);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let (mut t, _) = temp(10);
+        t.append(&rids(15));
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.pages_written(), 0);
+    }
+
+    #[test]
+    fn empty_append_is_free() {
+        let (mut t, cost) = temp(10);
+        t.append(&[]);
+        assert_eq!(cost.total(), 0.0);
+    }
+}

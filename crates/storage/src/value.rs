@@ -1,0 +1,348 @@
+//! Typed column values with a total order and a compact binary codec.
+//!
+//! The paper's restrictions (`AGE >= :A1`, range predicates on index keys)
+//! compare values constantly — both during B-tree descent and during record
+//! restriction evaluation — so the comparison here is the single hottest
+//! non-I/O operation in the system.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::StorageError;
+
+/// The type of a [`Value`]. Used by [`crate::Schema`] for validation and by
+/// the binary codec for decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (ordered via `total_cmp`).
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => f.write_str("INT"),
+            ValueType::Float => f.write_str("FLOAT"),
+            ValueType::Str => f.write_str("STR"),
+        }
+    }
+}
+
+/// A single column value.
+///
+/// `Null` sorts before every non-null value, mirroring the index ordering
+/// used by Rdb-style B-trees. Cross-type comparisons between `Int` and
+/// `Float` compare numerically so mixed-type range bounds behave intuitively;
+/// any other cross-type comparison orders by type tag (total order, never
+/// panics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Returns the type of this value, or `None` for `Null` (which is
+    /// compatible with every type).
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Str(_) => Some(ValueType::Str),
+        }
+    }
+
+    /// True iff this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) => 1,
+            Value::Str(_) => 2,
+        }
+    }
+
+    /// Serialized size in bytes under the codec used by [`Value::encode`].
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) | Value::Float(_) => 9,
+            Value::Str(s) => 1 + 4 + s.len(),
+        }
+    }
+
+    /// Appends the binary encoding of this value to `out`.
+    ///
+    /// Layout: 1 tag byte (0=Null, 1=Int, 2=Float, 3=Str), then for Int/Float
+    /// 8 little-endian bytes, for Str a little-endian u32 length + UTF-8
+    /// bytes.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(1);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(2);
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+        }
+    }
+
+    /// Decodes one value from `buf` starting at `*pos`, advancing `*pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<Value, StorageError> {
+        let tag = *buf.get(*pos).ok_or(StorageError::Corrupt("value tag"))?;
+        *pos += 1;
+        match tag {
+            0 => Ok(Value::Null),
+            1 => {
+                let bytes = read_array::<8>(buf, pos)?;
+                Ok(Value::Int(i64::from_le_bytes(bytes)))
+            }
+            2 => {
+                let bytes = read_array::<8>(buf, pos)?;
+                Ok(Value::Float(f64::from_le_bytes(bytes)))
+            }
+            3 => {
+                let len_bytes = read_array::<4>(buf, pos)?;
+                let len = u32::from_le_bytes(len_bytes) as usize;
+                let end = pos
+                    .checked_add(len)
+                    .filter(|&e| e <= buf.len())
+                    .ok_or(StorageError::Corrupt("string length"))?;
+                let s = std::str::from_utf8(&buf[*pos..end])
+                    .map_err(|_| StorageError::Corrupt("string utf8"))?;
+                *pos = end;
+                Ok(Value::Str(s.to_owned()))
+            }
+            _ => Err(StorageError::Corrupt("value tag")),
+        }
+    }
+}
+
+fn read_array<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N], StorageError> {
+    let end = pos
+        .checked_add(N)
+        .filter(|&e| e <= buf.len())
+        .ok_or(StorageError::Corrupt("value payload"))?;
+    let mut arr = [0u8; N];
+    arr.copy_from_slice(&buf[*pos..end]);
+    *pos = end;
+    Ok(arr)
+}
+
+impl Eq for Value {}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Hash ints and floats identically when they compare equal.
+            Value::Int(i) => {
+                1u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                1u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::Str(String::new()));
+        assert!(Value::Null < Value::Float(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(3).cmp(&Value::Float(3.0)), Ordering::Equal);
+        assert!(Value::Int(3) < Value::Float(3.5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn strings_sort_after_numbers() {
+        assert!(Value::Int(i64::MAX) < Value::Str("a".into()));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let values = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(3.25),
+            Value::Str("héllo".into()),
+            Value::Str(String::new()),
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            let before = buf.len();
+            v.encode(&mut buf);
+            assert_eq!(buf.len() - before, v.encoded_len());
+        }
+        let mut pos = 0;
+        for v in &values {
+            let decoded = Value::decode(&buf, &mut pos).unwrap();
+            assert_eq!(&decoded, v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let mut buf = Vec::new();
+        Value::Str("hello".into()).encode(&mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(Value::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let buf = [9u8];
+        let mut pos = 0;
+        assert!(Value::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_overflowing_length() {
+        // Str with a length that would overflow usize addition.
+        let mut buf = vec![3u8];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut pos = 0;
+        assert!(Value::decode(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn equal_int_float_hash_identically() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Int(7)), h(&Value::Float(7.0)));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+use rdb_storage::{
+    shared_meter, shared_pool, Column, CostConfig, FileId, HeapTable, Record, Rid, Schema, Value,
+    ValueType,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,40}".prop_map(Value::Str),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    prop::collection::vec(arb_value(), 0..8).prop_map(Record::new)
+}
+
+proptest! {
+    #[test]
+    fn value_codec_roundtrips(v in arb_value()) {
+        let mut buf = Vec::new();
+        v.encode(&mut buf);
+        prop_assert_eq!(buf.len(), v.encoded_len());
+        let mut pos = 0;
+        let decoded = Value::decode(&buf, &mut pos).unwrap();
+        prop_assert_eq!(pos, buf.len());
+        // NaN != NaN under PartialEq; compare via total order instead.
+        prop_assert!(decoded.cmp(&v) == std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn record_codec_roundtrips(r in arb_record()) {
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let decoded = Record::decode(&buf).unwrap();
+        prop_assert_eq!(decoded.len(), r.len());
+        for (a, b) in decoded.values().iter().zip(r.values()) {
+            prop_assert!(a.cmp(b) == std::cmp::Ordering::Equal);
+        }
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity (spot-check one chain direction).
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert!(a.cmp(&c) != Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn rid_u64_roundtrip_preserves_order(
+        p1 in 0u32..1_000_000, s1 in 0u16..1000,
+        p2 in 0u32..1_000_000, s2 in 0u16..1000,
+    ) {
+        let a = Rid::new(p1, s1);
+        let b = Rid::new(p2, s2);
+        prop_assert_eq!(Rid::from_u64(a.to_u64()), a);
+        prop_assert_eq!(a.cmp(&b), a.to_u64().cmp(&b.to_u64()));
+    }
+
+    #[test]
+    fn heap_preserves_all_inserted_records(xs in prop::collection::vec(any::<i64>(), 1..200)) {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(1024, cost);
+        let schema = Schema::new(vec![Column::new("x", ValueType::Int)]);
+        let mut table = HeapTable::with_page_bytes("t", FileId(0), schema, pool, 128);
+        let mut rids = Vec::new();
+        for &x in &xs {
+            rids.push(table.insert(Record::new(vec![Value::Int(x)])).unwrap());
+        }
+        // Every RID fetches back its own record.
+        for (rid, &x) in rids.iter().zip(&xs) {
+            let rec = table.fetch(*rid).unwrap();
+            prop_assert_eq!(rec[0].as_i64().unwrap(), x);
+        }
+        // Scan sees exactly the inserted multiset, in insertion order.
+        let mut scan = table.scan();
+        let mut seen = Vec::new();
+        while let Some((_, rec)) = scan.next(&table) {
+            seen.push(rec[0].as_i64().unwrap());
+        }
+        prop_assert_eq!(seen, xs);
+    }
+
+    #[test]
+    fn heap_scan_cost_is_pages_plus_records(n in 1usize..300) {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(4096, cost.clone());
+        let schema = Schema::new(vec![Column::new("x", ValueType::Int)]);
+        let mut table = HeapTable::with_page_bytes("t", FileId(0), schema, pool, 256);
+        for i in 0..n {
+            table.insert(Record::new(vec![Value::Int(i as i64)])).unwrap();
+        }
+        let before = cost.snapshot();
+        let mut scan = table.scan();
+        let mut count = 0;
+        while scan.next(&table).is_some() { count += 1; }
+        let d = cost.snapshot().since(&before);
+        prop_assert_eq!(count, n);
+        prop_assert_eq!(d.records_examined as usize, n);
+        prop_assert_eq!(d.page_reads as u32, table.page_count());
+    }
+}

@@ -1,0 +1,225 @@
+//! Column-value generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdb_storage::Value;
+
+/// Zipf(θ) sampler over `1..=n` via the classical inverse-CDF table.
+///
+/// θ = 0 degenerates to uniform; θ ≈ 1 is the paper's "Zipf-like"
+/// skew \[Zipf49\].
+#[derive(Debug, Clone)]
+pub struct ZipfGen {
+    cdf: Vec<f64>,
+}
+
+impl ZipfGen {
+    /// Builds the sampler for `n` distinct values with exponent `theta`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfGen { cdf }
+    }
+
+    /// Draws a rank in `1..=n` (rank 1 is the most frequent).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+}
+
+/// How one generated column's values are produced.
+#[derive(Debug, Clone)]
+pub enum ColumnSpec {
+    /// Sequential row number (clustered, unique).
+    Serial,
+    /// Uniform integer in `[0, n)`, independent of row order.
+    Uniform {
+        /// Number of distinct values.
+        n: i64,
+    },
+    /// Zipf-skewed integer rank in `[0, n)` (0 is the hot value).
+    Zipf {
+        /// Number of distinct values.
+        n: usize,
+        /// Skew exponent.
+        theta: f64,
+    },
+    /// `row / run_length` — long runs of equal values in physical order
+    /// (a perfectly clustered low-cardinality column).
+    Clustered {
+        /// Rows per value.
+        run_length: i64,
+    },
+    /// A noisy copy of another column: with probability `agreement` the
+    /// value of column `of` (by position in the spec list), otherwise
+    /// uniform in `[0, n)` — a tunable cross-column correlation.
+    CorrelatedWith {
+        /// Position of the source column in the spec list (must be lower).
+        of: usize,
+        /// Probability of copying the source value.
+        agreement: f64,
+        /// Fallback domain size.
+        n: i64,
+    },
+}
+
+/// Deterministic row generator for a list of column specs.
+#[derive(Debug)]
+pub struct TableGen {
+    specs: Vec<ColumnSpec>,
+    zipfs: Vec<Option<ZipfGen>>,
+    rng: StdRng,
+    row: i64,
+}
+
+impl TableGen {
+    /// Creates a generator with a fixed seed.
+    pub fn new(specs: Vec<ColumnSpec>, seed: u64) -> Self {
+        let zipfs = specs
+            .iter()
+            .map(|s| match s {
+                ColumnSpec::Zipf { n, theta } => Some(ZipfGen::new(*n, *theta)),
+                _ => None,
+            })
+            .collect();
+        TableGen {
+            specs,
+            zipfs,
+            rng: StdRng::seed_from_u64(seed),
+            row: 0,
+        }
+    }
+
+    /// Produces the next row.
+    pub fn next_row(&mut self) -> Vec<Value> {
+        let row = self.row;
+        self.row += 1;
+        let mut values: Vec<Value> = Vec::with_capacity(self.specs.len());
+        for (i, spec) in self.specs.iter().enumerate() {
+            let v = match spec {
+                ColumnSpec::Serial => Value::Int(row),
+                ColumnSpec::Uniform { n } => Value::Int(self.rng.gen_range(0..*n)),
+                ColumnSpec::Zipf { .. } => {
+                    let z = self.zipfs[i].as_ref().expect("zipf table built");
+                    Value::Int(z.sample(&mut self.rng) as i64 - 1)
+                }
+                ColumnSpec::Clustered { run_length } => Value::Int(row / run_length),
+                ColumnSpec::CorrelatedWith { of, agreement, n } => {
+                    assert!(*of < i, "correlation source must precede the column");
+                    if self.rng.gen::<f64>() < *agreement {
+                        values[*of].clone()
+                    } else {
+                        Value::Int(self.rng.gen_range(0..*n))
+                    }
+                }
+            };
+            values.push(v);
+        }
+        values
+    }
+
+    /// Produces `n` rows.
+    pub fn rows(&mut self, n: usize) -> Vec<Vec<Value>> {
+        (0..n).map(|_| self.next_row()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = ZipfGen::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        for &c in &counts {
+            assert!((1600..=2400).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_low_ranks() {
+        let z = ZipfGen::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut head = 0;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if z.sample(&mut rng) <= 10 {
+                head += 1;
+            }
+        }
+        // With θ=1 over 100 values, the top-10 hold ~56% of the mass.
+        let frac = head as f64 / trials as f64;
+        assert!((0.5..0.65).contains(&frac), "top-10 fraction {frac}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let specs = vec![
+            ColumnSpec::Serial,
+            ColumnSpec::Uniform { n: 100 },
+            ColumnSpec::Zipf { n: 50, theta: 0.8 },
+        ];
+        let mut a = TableGen::new(specs.clone(), 42);
+        let mut b = TableGen::new(specs, 42);
+        assert_eq!(a.rows(500), b.rows(500));
+    }
+
+    #[test]
+    fn clustered_column_runs() {
+        let mut g = TableGen::new(vec![ColumnSpec::Clustered { run_length: 10 }], 0);
+        let rows = g.rows(25);
+        assert_eq!(rows[0][0], Value::Int(0));
+        assert_eq!(rows[9][0], Value::Int(0));
+        assert_eq!(rows[10][0], Value::Int(1));
+        assert_eq!(rows[24][0], Value::Int(2));
+    }
+
+    #[test]
+    fn correlated_column_tracks_source() {
+        let mut g = TableGen::new(
+            vec![
+                ColumnSpec::Uniform { n: 10 },
+                ColumnSpec::CorrelatedWith {
+                    of: 0,
+                    agreement: 0.9,
+                    n: 10,
+                },
+            ],
+            3,
+        );
+        let rows = g.rows(5000);
+        let agree = rows.iter().filter(|r| r[0] == r[1]).count();
+        let frac = agree as f64 / rows.len() as f64;
+        // 0.9 + 0.1·(1/10) = 0.91 expected agreement.
+        assert!((0.88..0.94).contains(&frac), "agreement {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "precede")]
+    fn forward_correlation_rejected() {
+        let mut g = TableGen::new(
+            vec![ColumnSpec::CorrelatedWith {
+                of: 0,
+                agreement: 0.5,
+                n: 10,
+            }],
+            0,
+        );
+        g.next_row();
+    }
+}

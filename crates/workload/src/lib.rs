@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # rdb-workload
+//!
+//! Deterministic data and workload generators for the Rdb/VMS
+//! dynamic-optimization experiments.
+//!
+//! The paper's uncertainty sources are reproduced as explicit knobs:
+//!
+//! * **skew** — Zipf-distributed column values ([`ZipfGen`], \[Zipf49\]), the
+//!   distribution the paper says intermediate result sizes degenerate to;
+//! * **clustering** — whether a column's values correlate with physical
+//!   row order (drives the index-clustering uncertainty of Section 3(b));
+//! * **correlation** — cross-column dependence, the reason AND-selectivity
+//!   estimates collapse (Section 2).
+//!
+//! All randomness flows from seeded [`rand::rngs::StdRng`]s, so every
+//! experiment is exactly repeatable.
+
+pub mod gen;
+pub mod tables;
+
+pub use gen::{ColumnSpec, TableGen, ZipfGen};
+pub use tables::{families_db, orders_db, FamiliesConfig, OrdersConfig};

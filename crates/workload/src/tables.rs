@@ -1,0 +1,278 @@
+//! Standard experiment tables.
+
+use rdb_query::{Database, DbConfig};
+use rdb_storage::{Column, Schema, ValueType};
+
+use crate::gen::{ColumnSpec, TableGen};
+
+/// Parameters of the FAMILIES table used throughout the experiments — the
+/// table of the paper's `AGE >= :A1` example, extended with columns that
+/// exercise skew, clustering, and correlation.
+#[derive(Debug, Clone, Copy)]
+pub struct FamiliesConfig {
+    /// Row count.
+    pub rows: usize,
+    /// Distinct AGE values (uniform).
+    pub age_domain: i64,
+    /// Distinct CITY values (Zipf-skewed).
+    pub city_domain: usize,
+    /// CITY Zipf exponent.
+    pub city_theta: f64,
+    /// Rows per REGION value (clustered column).
+    pub region_run: i64,
+    /// Probability that INCOME_BAND copies AGE (cross-column correlation).
+    pub income_agreement: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Database configuration.
+    pub db: DbConfig,
+}
+
+impl Default for FamiliesConfig {
+    fn default() -> Self {
+        FamiliesConfig {
+            rows: 10_000,
+            age_domain: 100,
+            city_domain: 500,
+            city_theta: 1.0,
+            region_run: 500,
+            income_agreement: 0.8,
+            seed: 20_260_705,
+            db: DbConfig {
+                page_bytes: 1024,
+                ..DbConfig::default()
+            },
+        }
+    }
+}
+
+/// Builds the FAMILIES database:
+/// `FAMILIES(ID serial, AGE uniform, CITY zipf, REGION clustered,
+/// INCOME_BAND correlated-with-AGE)` with indexes on AGE, CITY, REGION,
+/// and INCOME_BAND.
+pub fn families_db(config: &FamiliesConfig) -> Database {
+    let mut db = Database::new(config.db);
+    db.create_table(
+        "FAMILIES",
+        Schema::new(vec![
+            Column::new("ID", ValueType::Int),
+            Column::new("AGE", ValueType::Int),
+            Column::new("CITY", ValueType::Int),
+            Column::new("REGION", ValueType::Int),
+            Column::new("INCOME_BAND", ValueType::Int),
+        ]),
+    )
+    .expect("fresh database");
+    let mut generator = TableGen::new(
+        vec![
+            ColumnSpec::Serial,
+            ColumnSpec::Uniform {
+                n: config.age_domain,
+            },
+            ColumnSpec::Zipf {
+                n: config.city_domain,
+                theta: config.city_theta,
+            },
+            ColumnSpec::Clustered {
+                run_length: config.region_run,
+            },
+            ColumnSpec::CorrelatedWith {
+                of: 1,
+                agreement: config.income_agreement,
+                n: config.age_domain,
+            },
+        ],
+        config.seed,
+    );
+    for _ in 0..config.rows {
+        db.insert("FAMILIES", generator.next_row())
+            .expect("generated row matches schema");
+    }
+    db.create_index("IDX_AGE", "FAMILIES", &["AGE"]).expect("index");
+    db.create_index("IDX_CITY", "FAMILIES", &["CITY"]).expect("index");
+    db.create_index("IDX_REGION", "FAMILIES", &["REGION"])
+        .expect("index");
+    db.create_index("IDX_INCOME", "FAMILIES", &["INCOME_BAND"])
+        .expect("index");
+    db
+}
+
+/// Parameters of the ORDERS table: a second experiment domain with a
+/// composite index, string status column, and heavier row counts.
+#[derive(Debug, Clone, Copy)]
+pub struct OrdersConfig {
+    /// Row count.
+    pub rows: usize,
+    /// Distinct regions (clustered-ish via modulo).
+    pub regions: i64,
+    /// Days in the calendar.
+    pub days: i64,
+    /// Amount domain.
+    pub amounts: i64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Database configuration.
+    pub db: DbConfig,
+}
+
+impl Default for OrdersConfig {
+    fn default() -> Self {
+        OrdersConfig {
+            rows: 50_000,
+            regions: 8,
+            days: 365,
+            amounts: 5000,
+            seed: 7_301_993,
+            db: DbConfig {
+                page_bytes: 1024,
+                ..DbConfig::default()
+            },
+        }
+    }
+}
+
+/// Builds `ORDERS(ORDER_ID serial, REGION, DAY, AMOUNT uniform, STATUS
+/// zipf-of-3)` with a composite index on `(REGION, DAY)` and single-column
+/// indexes on `AMOUNT` and `DAY`.
+pub fn orders_db(config: &OrdersConfig) -> Database {
+    let mut db = Database::new(config.db);
+    db.create_table(
+        "ORDERS",
+        Schema::new(vec![
+            Column::new("ORDER_ID", ValueType::Int),
+            Column::new("REGION", ValueType::Int),
+            Column::new("DAY", ValueType::Int),
+            Column::new("AMOUNT", ValueType::Int),
+            Column::new("STATUS", ValueType::Str),
+        ]),
+    )
+    .expect("fresh database");
+    let statuses = ["open", "shipped", "returned"];
+    let mut generator = TableGen::new(
+        vec![
+            ColumnSpec::Serial,
+            ColumnSpec::Uniform { n: config.regions },
+            ColumnSpec::Clustered {
+                run_length: (config.rows as i64 / config.days).max(1),
+            },
+            ColumnSpec::Uniform { n: config.amounts },
+            ColumnSpec::Zipf { n: 3, theta: 1.0 },
+        ],
+        config.seed,
+    );
+    for _ in 0..config.rows {
+        let mut row = generator.next_row();
+        // Map the Zipf rank onto the status string.
+        let rank = row[4].as_i64().expect("zipf rank") as usize;
+        row[4] = rdb_storage::Value::Str(statuses[rank.min(2)].to_string());
+        db.insert("ORDERS", row).expect("generated row");
+    }
+    db.create_index("IDX_RD", "ORDERS", &["REGION", "DAY"]).expect("index");
+    db.create_index("IDX_AMOUNT", "ORDERS", &["AMOUNT"]).expect("index");
+    db.create_index("IDX_DAY", "ORDERS", &["DAY"]).expect("index");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn families_db_builds_and_queries() {
+        let db = families_db(&FamiliesConfig {
+            rows: 2000,
+            ..FamiliesConfig::default()
+        });
+        assert_eq!(db.row_count("FAMILIES"), Some(2000));
+        let r = db
+            .query("select * from FAMILIES where AGE >= 95", &HashMap::new())
+            .unwrap();
+        // Uniform ages in [0,100): ~5% of rows.
+        let frac = r.rows.len() as f64 / 2000.0;
+        assert!((0.02..0.09).contains(&frac), "AGE>=95 fraction {frac}");
+    }
+
+    #[test]
+    fn city_is_skewed_region_is_clustered() {
+        let db = families_db(&FamiliesConfig {
+            rows: 3000,
+            ..FamiliesConfig::default()
+        });
+        let hot = db
+            .query("select * from FAMILIES where CITY = 0", &HashMap::new())
+            .unwrap();
+        let cold = db
+            .query("select * from FAMILIES where CITY = 400", &HashMap::new())
+            .unwrap();
+        assert!(
+            hot.rows.len() > 10 * cold.rows.len().max(1),
+            "zipf skew: hot {} vs cold {}",
+            hot.rows.len(),
+            cold.rows.len()
+        );
+        // REGION == 2 selects one contiguous run of 500 rows.
+        let region = db
+            .query("select ID from FAMILIES where REGION = 2", &HashMap::new())
+            .unwrap();
+        assert_eq!(region.rows.len(), 500);
+        let ids: Vec<i64> = region
+            .rows
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        assert!(ids.iter().all(|&i| (1000..1500).contains(&i)));
+    }
+
+    #[test]
+    fn orders_db_builds_and_uses_composite_index() {
+        let db = orders_db(&OrdersConfig {
+            rows: 8000,
+            ..OrdersConfig::default()
+        });
+        assert_eq!(db.row_count("ORDERS"), Some(8000));
+        db.clear_cache();
+        let narrow = db
+            .query(
+                "select ORDER_ID from ORDERS where REGION = 3 and DAY between 100 and 102",
+                &HashMap::new(),
+            )
+            .unwrap();
+        assert!(!narrow.rows.is_empty());
+        // Statuses are Zipf-skewed: "open" (rank 0) dominates.
+        let open = db
+            .query(
+                "select count(*) from ORDERS where STATUS = 'open'",
+                &HashMap::new(),
+            )
+            .unwrap();
+        let returned = db
+            .query(
+                "select count(*) from ORDERS where STATUS = 'returned'",
+                &HashMap::new(),
+            )
+            .unwrap();
+        let (o, r) = (
+            open.rows[0][0].as_i64().unwrap(),
+            returned.rows[0][0].as_i64().unwrap(),
+        );
+        assert!(o > 2 * r, "zipf skew on status: open {o} vs returned {r}");
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let cfg = FamiliesConfig {
+            rows: 500,
+            ..FamiliesConfig::default()
+        };
+        let a = families_db(&cfg);
+        let b = families_db(&cfg);
+        let qa = a
+            .query("select * from FAMILIES where AGE = 7", &HashMap::new())
+            .unwrap();
+        let qb = b
+            .query("select * from FAMILIES where AGE = 7", &HashMap::new())
+            .unwrap();
+        assert_eq!(qa.rows, qb.rows);
+    }
+}

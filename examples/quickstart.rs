@@ -1,0 +1,64 @@
+//! Quickstart: create a database, load a table, and watch the dynamic
+//! optimizer pick a different strategy for each host-variable binding —
+//! the paper's `select * from FAMILIES where AGE >= :A1` example.
+//!
+//! Run: `cargo run --release -p rdb-bench --example quickstart`
+
+use std::collections::HashMap;
+
+use rdb_query::{Database, DbConfig};
+use rdb_storage::{Column, Schema, Value, ValueType};
+
+fn main() {
+    // 1. A database with a simulated buffer pool and cost meter. Small
+    //    pages give the table a realistic page count at this row count.
+    let mut db = Database::new(DbConfig {
+        page_bytes: 1024,
+        ..DbConfig::default()
+    });
+
+    // 2. The FAMILIES table of the paper's Section 4 example.
+    db.create_table(
+        "FAMILIES",
+        Schema::new(vec![
+            Column::new("ID", ValueType::Int),
+            Column::new("AGE", ValueType::Int),
+            Column::new("NAME", ValueType::Str),
+        ]),
+    )
+    .expect("create table");
+    for i in 0..10_000i64 {
+        // AGE is a pseudo-random value in 0..1000.
+        db.insert(
+            "FAMILIES",
+            vec![
+                Value::Int(i),
+                Value::Int((i * 37) % 1000),
+                Value::Str(format!("family-{i}")),
+            ],
+        )
+        .expect("insert");
+    }
+    db.create_index("IDX_AGE", "FAMILIES", &["AGE"]).expect("index");
+
+    // 3. One prepared query, three very different bindings.
+    let sql = "select * from FAMILIES where AGE >= :A1";
+    for a1 in [0i64, 995, 2000] {
+        db.clear_cache(); // cold start so costs are comparable
+        let mut params = HashMap::new();
+        params.insert("A1".to_string(), Value::Int(a1));
+        let result = db.query(sql, &params).expect("query");
+        println!(
+            ":A1 = {a1:>3}  ->  {:>5} rows, cost {:>8.1} units, tactic {}",
+            result.rows.len(),
+            result.cost,
+            result.strategy
+        );
+    }
+
+    println!(
+        "\nThe optimizer decided per run, after binding: sequential-style\n\
+         retrieval when everything qualifies, an index strategy when few\n\
+         rows qualify, and instant end-of-data when the range is empty."
+    );
+}

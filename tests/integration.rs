@@ -1,0 +1,279 @@
+//! Workspace-level integration: the full pipeline from SQL text through
+//! parsing, binding, dynamic optimization, tiered execution, and row
+//! projection — cross-checked against brute-force ground truth.
+
+use std::collections::HashMap;
+
+use rdb_query::{Database, DbConfig};
+use rdb_storage::{Column, Schema, Value, ValueType};
+use rdb_workload::{families_db, FamiliesConfig};
+
+fn none() -> HashMap<String, Value> {
+    HashMap::new()
+}
+
+fn ids(rows: &[Vec<Value>], col: usize) -> Vec<i64> {
+    let mut v: Vec<i64> = rows.iter().map(|r| r[col].as_i64().unwrap()).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Every query result must equal the result of a brute-force full scan of
+/// the same predicate, whatever tactic ran.
+#[test]
+fn all_tactics_agree_with_brute_force() {
+    let db = families_db(&FamiliesConfig {
+        rows: 8000,
+        ..FamiliesConfig::default()
+    });
+    let cases = [
+        "select ID from FAMILIES where AGE >= 97",
+        "select ID from FAMILIES where AGE >= 97 and CITY = 0",
+        "select ID from FAMILIES where CITY = 3 and REGION = 2",
+        "select ID from FAMILIES where AGE between 10 and 12 and INCOME_BAND >= 50",
+        "select ID from FAMILIES where REGION = 5",
+        "select ID from FAMILIES where AGE >= 20 and AGE <= 25 and CITY = 1",
+        "select ID from FAMILIES where not (AGE >= 5)",
+        "select ID from FAMILIES where AGE = 3 or AGE = 97",
+    ];
+    for sql in cases {
+        db.clear_cache();
+        let got = db.query(sql, &none()).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        // Brute force: same predicate, but deny the optimizer any index by
+        // querying through a fresh database without indexes.
+        let brute = brute_force(&db, sql);
+        assert_eq!(
+            ids(&got.rows, 0),
+            brute,
+            "{sql} via {} disagreed with brute force",
+            got.strategy
+        );
+    }
+}
+
+/// Brute-force evaluation through an index-free copy of the data.
+fn brute_force(db: &Database, sql: &str) -> Vec<i64> {
+    let heap = db.heap("FAMILIES").expect("fixture");
+    let mut copy = Database::new(DbConfig::default());
+    copy.create_table("FAMILIES", heap.schema().clone()).expect("copy");
+    let mut scan = heap.scan();
+    while let Some((_, record)) = scan.next(heap) {
+        copy.insert("FAMILIES", record.into_values()).expect("copy row");
+    }
+    let r = copy.query(sql, &none()).expect("brute-force query");
+    assert!(r.strategy.contains("Tscan"), "brute force must be a Tscan");
+    ids(&r.rows, 0)
+}
+
+#[test]
+fn results_are_deterministic_across_runs() {
+    let db = families_db(&FamiliesConfig {
+        rows: 5000,
+        ..FamiliesConfig::default()
+    });
+    let sql = "select ID, AGE from FAMILIES where AGE >= 90 and CITY = 0 order by AGE";
+    db.clear_cache();
+    let a = db.query(sql, &none()).expect("first run");
+    db.clear_cache();
+    let b = db.query(sql, &none()).expect("second run");
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.strategy, b.strategy);
+    assert!((a.cost - b.cost).abs() < 1e-9, "costs must be identical too");
+}
+
+#[test]
+fn warm_cache_makes_second_run_cheaper() {
+    let db = families_db(&FamiliesConfig {
+        rows: 8000,
+        ..FamiliesConfig::default()
+    });
+    let sql = "select ID from FAMILIES where AGE >= 95";
+    db.clear_cache();
+    let cold = db.query(sql, &none()).expect("cold run");
+    let warm = db.query(sql, &none()).expect("warm run");
+    assert_eq!(ids(&cold.rows, 0), ids(&warm.rows, 0));
+    assert!(
+        warm.cost < 0.3 * cold.cost,
+        "warm {} vs cold {}",
+        warm.cost,
+        cold.cost
+    );
+}
+
+#[test]
+fn cache_perturbation_degrades_but_preserves_results() {
+    // Section 3(c): asynchronous interference evicts the working set.
+    let db = families_db(&FamiliesConfig {
+        rows: 8000,
+        ..FamiliesConfig::default()
+    });
+    let sql = "select ID from FAMILIES where AGE >= 95";
+    db.clear_cache();
+    let cold = db.query(sql, &none()).expect("cold run");
+    // Warm up, then let "another query" trample the pool.
+    let _ = db.query(sql, &none());
+    db.pool()
+        .borrow_mut()
+        .perturb(rdb_storage::FileId(999), 20_000);
+    let trampled = db.query(sql, &none()).expect("post-perturbation run");
+    assert_eq!(ids(&cold.rows, 0), ids(&trampled.rows, 0));
+    assert!(
+        trampled.cost > 0.5 * cold.cost,
+        "perturbation must re-cool the cache ({} vs cold {})",
+        trampled.cost,
+        cold.cost
+    );
+}
+
+#[test]
+fn mixed_type_table_roundtrip() {
+    let mut db = Database::new(DbConfig::default());
+    db.create_table(
+        "EMP",
+        Schema::new(vec![
+            Column::new("ID", ValueType::Int),
+            Column::new("NAME", ValueType::Str),
+            Column::new("SALARY", ValueType::Float),
+            Column::nullable("MANAGER", ValueType::Int),
+        ]),
+    )
+    .expect("create");
+    for i in 0..500i64 {
+        db.insert(
+            "EMP",
+            vec![
+                Value::Int(i),
+                Value::Str(format!("emp{i}")),
+                Value::Float(1000.0 + i as f64),
+                if i % 10 == 0 { Value::Null } else { Value::Int(i / 10) },
+            ],
+        )
+        .expect("insert");
+    }
+    db.create_index("IDX_SAL", "EMP", &["SALARY"]).expect("index");
+    let r = db
+        .query("select NAME, SALARY from EMP where SALARY >= 1495.5", &none())
+        .expect("query");
+    assert_eq!(r.rows.len(), 4, "salaries 1496..1499");
+    assert!(r.rows.iter().all(|row| row[1].as_f64().unwrap() >= 1495.5));
+    // NULL managers never satisfy comparisons.
+    let m = db
+        .query("select ID from EMP where MANAGER >= 0", &none())
+        .expect("query");
+    assert_eq!(m.rows.len(), 450);
+}
+
+#[test]
+fn string_keyed_index_retrieval() {
+    let mut db = Database::new(DbConfig::default());
+    db.create_table(
+        "CITIES",
+        Schema::new(vec![
+            Column::new("NAME", ValueType::Str),
+            Column::new("POP", ValueType::Int),
+        ]),
+    )
+    .expect("create");
+    let names = ["amsterdam", "boston", "chicago", "dallas", "edinburgh", "nashua"];
+    for (i, n) in names.iter().enumerate() {
+        for k in 0..50i64 {
+            db.insert(
+                "CITIES",
+                vec![Value::Str(format!("{n}-{k:02}")), Value::Int(i as i64 * 50 + k)],
+            )
+            .expect("insert");
+        }
+    }
+    db.create_index("IDX_NAME", "CITIES", &["NAME"]).expect("index");
+    // Range over string keys through the parser.
+    let r = db
+        .query(
+            "select NAME from CITIES where NAME >= 'boston' and NAME < 'chicago'",
+            &none(),
+        )
+        .expect("query");
+    assert_eq!(r.rows.len(), 50);
+    assert!(r.rows.iter().all(|row| row[0]
+        .as_str()
+        .expect("string column")
+        .starts_with("boston")));
+    // Equality on a specific string key.
+    let one = db
+        .query("select POP from CITIES where NAME = 'nashua-07'", &none())
+        .expect("query");
+    assert_eq!(one.rows.len(), 1);
+    assert_eq!(one.rows[0][0], Value::Int(5 * 50 + 7));
+}
+
+#[test]
+fn dml_and_query_interleave() {
+    use rdb_query::{CmpOp, Expr};
+    let mut db = Database::new(DbConfig::default());
+    db.create_table(
+        "ACCOUNTS",
+        Schema::new(vec![
+            Column::new("ID", ValueType::Int),
+            Column::new("BALANCE", ValueType::Int),
+        ]),
+    )
+    .expect("create");
+    for i in 0..2000i64 {
+        db.insert("ACCOUNTS", vec![Value::Int(i), Value::Int(i % 100)])
+            .expect("insert");
+    }
+    db.create_index("IDX_BAL", "ACCOUNTS", &["BALANCE"]).expect("index");
+    // Delete the broke accounts, bump one band, re-query.
+    let deleted = db
+        .delete_where(
+            "ACCOUNTS",
+            &Expr::cmp("BALANCE", CmpOp::Eq, 0),
+            &none(),
+        )
+        .expect("delete");
+    assert_eq!(deleted, 20);
+    let updated = db
+        .update_where(
+            "ACCOUNTS",
+            "BALANCE",
+            Value::Int(500),
+            &Expr::cmp("BALANCE", CmpOp::Eq, 99),
+            &none(),
+        )
+        .expect("update");
+    assert_eq!(updated, 20);
+    let rich = db
+        .query("select ID from ACCOUNTS where BALANCE = 500", &none())
+        .expect("query");
+    assert_eq!(rich.rows.len(), 20);
+    assert_eq!(db.row_count("ACCOUNTS"), Some(1980));
+    // The index no longer returns any 0- or 99-balance rows.
+    for dead in ["BALANCE = 0", "BALANCE = 99"] {
+        let r = db
+            .query(&format!("select ID from ACCOUNTS where {dead}"), &none())
+            .expect("query");
+        assert!(r.rows.is_empty(), "{dead}");
+    }
+}
+
+#[test]
+fn limit_with_order_by_returns_global_top() {
+    let db = families_db(&FamiliesConfig {
+        rows: 4000,
+        ..FamiliesConfig::default()
+    });
+    // ID is not indexed: post-sort must happen before the limit applies.
+    let r = db
+        .query(
+            "select ID from FAMILIES where CITY = 0 order by ID limit to 4 rows",
+            &none(),
+        )
+        .expect("query");
+    let full = db
+        .query("select ID from FAMILIES where CITY = 0 order by ID", &none())
+        .expect("query");
+    assert_eq!(
+        r.rows,
+        full.rows[..4.min(full.rows.len())].to_vec(),
+        "limit must apply to the globally sorted result"
+    );
+}
