@@ -1,0 +1,194 @@
+//! Microbenchmarks for the engine's hot paths: buffer-pool page
+//! classification, RID-filter probing, and tiered RID-list building.
+//!
+//! The `pool` group doubles as the regression gate for the open-addressed
+//! pool rewrite: on the hit-dominated (`*_hot_100k`) and sequential-run
+//! (`*_seq*`) regimes the new pool must stay >=2x pages/sec ahead of the
+//! seed `HashMap`+slab implementation ([`rdb_storage::ReferencePool`]),
+//! which runs the identical workload. The eviction-bound `*_mixed_100k`
+//! pair is reported too (both sides are memory-bound there, so the gap is
+//! smaller). Results are recorded in `BENCH_hotpath.json` at the repository
+//! root; regenerate it with
+//! `CRITERION_MEASURE_MS=1200 CRITERION_JSON=/tmp/hotpath.json cargo bench --bench hotpath`.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdb_core::filter::Filter;
+use rdb_core::ridlist::{RidListBuilder, RidTierConfig};
+use rdb_storage::{
+    shared_meter, shared_pool, BufferPool, CostConfig, FileId, PageId, ReferencePool, Rid,
+};
+
+/// Accesses per pool-benchmark iteration (pages/sec = this / seconds).
+const WORKLOAD: usize = 100_000;
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x
+}
+
+/// Deterministic eviction-heavy workload: three files, 24576 distinct hot
+/// pages against a 4096-page pool — ~83% misses, stressing the probe +
+/// evict + backward-shift path.
+fn mixed_pages() -> Vec<PageId> {
+    let mut x = 42u64;
+    (0..WORKLOAD)
+        .map(|_| {
+            let r = lcg(&mut x);
+            PageId::new(FileId((r >> 60) as u32 % 3), (r >> 33) as u32 % 8192)
+        })
+        .collect()
+}
+
+/// Deterministic hit-heavy workload: 3072 distinct hot pages, which fit in
+/// the 4096-page pool — after warmup every access is a hit. This is the
+/// engine's common regime (B-tree upper levels and RID-sorted fetches
+/// re-touch a resident working set) and isolates pure lookup + LRU-splice
+/// speed.
+fn hot_pages() -> Vec<PageId> {
+    let mut x = 7u64;
+    (0..WORKLOAD)
+        .map(|_| {
+            let r = lcg(&mut x);
+            PageId::new(FileId((r >> 60) as u32 % 3), (r >> 33) as u32 % 1024)
+        })
+        .collect()
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let pages = mixed_pages();
+    let hot = hot_pages();
+    let mut group = c.benchmark_group("pool");
+    group.bench_function("open_addressed_mixed_100k", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
+            for &p in &pages {
+                pool.access(p);
+            }
+            pool.hits()
+        })
+    });
+    group.bench_function("reference_mixed_100k", |b| {
+        b.iter(|| {
+            let mut pool = ReferencePool::new(4096, shared_meter(CostConfig::default()));
+            for &p in &pages {
+                pool.access(p);
+            }
+            pool.hits()
+        })
+    });
+    group.bench_function("open_addressed_hot_100k", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
+            for &p in &hot {
+                pool.access(p);
+            }
+            pool.hits()
+        })
+    });
+    group.bench_function("reference_hot_100k", |b| {
+        b.iter(|| {
+            let mut pool = ReferencePool::new(4096, shared_meter(CostConfig::default()));
+            for &p in &hot {
+                pool.access(p);
+            }
+            pool.hits()
+        })
+    });
+    group.bench_function("open_addressed_seq_runs_100k", |b| {
+        b.iter(|| {
+            let mut pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
+            let mut touched = 0u64;
+            for chunk in 0..(WORKLOAD as u32 / 512) {
+                let (h, m) = pool.access_run(FileId(0), (chunk * 512) % 16384, 512);
+                touched += h + m;
+            }
+            touched
+        })
+    });
+    group.bench_function("reference_seq_100k", |b| {
+        b.iter(|| {
+            let mut pool = ReferencePool::new(4096, shared_meter(CostConfig::default()));
+            let mut touched = 0u64;
+            for chunk in 0..(WORKLOAD as u32 / 512) {
+                let first = (chunk * 512) % 16384;
+                for p in first..first + 512 {
+                    pool.access(PageId::new(FileId(0), p));
+                    touched += 1;
+                }
+            }
+            touched
+        })
+    });
+    group.finish();
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let rids: Vec<Rid> = (0..20_000).map(|i| Rid::new(i * 3, 0)).collect();
+    let filter = Filter::sorted(rids.clone());
+    // Ascending probe stream over the filter's whole range, 1-in-3 members:
+    // the pattern an index scan feeds the intersection filter.
+    let probes: Vec<Rid> = (0..60_000).map(|i| Rid::new(i, 0)).collect();
+    let mut group = c.benchmark_group("filter");
+    group.bench_function("binary_probe_60k", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for &r in &probes {
+                if filter.contains(r) {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    group.bench_function("galloping_probe_60k", |b| {
+        b.iter(|| {
+            let mut cursor = 0;
+            let mut n = 0u32;
+            for &r in &probes {
+                if filter.contains_seq(&mut cursor, r) {
+                    n += 1;
+                }
+            }
+            n
+        })
+    });
+    let shared: Rc<[Rid]> = rids.into();
+    group.bench_function("build_shared_20k", |b| {
+        b.iter(|| Filter::from_shared(shared.clone()).source_len())
+    });
+    group.bench_function("build_copied_20k", |b| {
+        b.iter(|| Filter::sorted(shared.to_vec()).source_len())
+    });
+    group.finish();
+}
+
+fn bench_ridlist(c: &mut Criterion) {
+    let pool = shared_pool(64, shared_meter(CostConfig::default()));
+    let mut group = c.benchmark_group("ridlist");
+    group.bench_function("inline_build_20", |b| {
+        b.iter(|| {
+            let mut bld = RidListBuilder::new(RidTierConfig::default(), pool.clone(), FileId(9));
+            for i in 0..20u32 {
+                bld.push(Rid::new(i, 0));
+            }
+            bld.finish().len()
+        })
+    });
+    group.bench_function("buffer_build_4096", |b| {
+        b.iter(|| {
+            let mut bld = RidListBuilder::new(RidTierConfig::default(), pool.clone(), FileId(9));
+            for i in 0..4096u32 {
+                bld.push(Rid::new(i, 0));
+            }
+            bld.finish().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(hotpath, bench_pool, bench_filter, bench_ridlist);
+criterion_main!(hotpath);

@@ -153,7 +153,5 @@ fn tiers() {
 
 fn main() {
     sweep();
-    if std::env::args().any(|a| a == "--tiers") || true {
-        tiers();
-    }
+    tiers();
 }

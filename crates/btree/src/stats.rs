@@ -45,11 +45,8 @@ impl IndexStats {
 
         // Walk leaves left to right via the sibling chain.
         let mut id = tree.root;
-        loop {
-            match tree.node(id) {
-                Node::Internal(i) => id = i.children[0],
-                Node::Leaf(_) => break,
-            }
+        while let Node::Internal(i) = tree.node(id) {
+            id = i.children[0];
         }
         let mut leaf = Some(id);
         while let Some(l) = leaf {

@@ -1,7 +1,7 @@
 //! The B+‑tree proper: construction, maintenance, and node access
 //! accounting.
 
-use rdb_storage::{FileId, PageId, Rid, SharedPool, Value};
+use rdb_storage::{FileId, PageId, Rid, SharedCost, SharedPool, Value};
 
 use crate::key::KeyRange;
 use crate::node::{Entry, InternalNode, LeafNode, Node, NodeId};
@@ -26,6 +26,9 @@ pub struct BTree {
     name: String,
     file: FileId,
     pool: SharedPool,
+    /// The pool's meter, cached so entry-granular charges skip the
+    /// `RefCell` borrow of the pool.
+    cost: SharedCost,
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: NodeId,
     max_fanout: usize,
@@ -48,10 +51,12 @@ impl BTree {
     ) -> Self {
         assert!(max_fanout >= 4, "max_fanout must be at least 4");
         assert!(!key_columns.is_empty(), "index needs at least one key column");
+        let cost = pool.borrow().cost().clone();
         BTree {
             name: name.into(),
             file,
             pool,
+            cost,
             nodes: vec![Node::Leaf(LeafNode {
                 entries: Vec::new(),
                 next: None,
@@ -114,7 +119,7 @@ impl BTree {
 
     /// Charges `n` index-entry visits.
     pub(crate) fn charge_entries(&self, n: u64) {
-        self.pool.borrow().cost().charge_index_entries(n);
+        self.cost.charge_index_entries(n);
     }
 
     pub(crate) fn node(&self, id: NodeId) -> &Node {

@@ -67,6 +67,9 @@ impl ProportionalScheduler {
     /// runs the highest-credit competitor and debits it by the total active
     /// speed — guaranteeing long-run proportionality with bounded
     /// short-term deviation.
+    // Not an `Iterator`: the yielded sequence depends on `deactivate`
+    // calls interleaved between polls.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<usize> {
         let total: f64 = self
             .speeds

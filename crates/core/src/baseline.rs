@@ -306,7 +306,7 @@ impl StaticJscan {
                 });
             }
             let list = current.unwrap_or_default();
-            let rid_list = crate::ridlist::RidList::Buffer(list);
+            let rid_list = crate::ridlist::RidList::from_vec(list);
             final_stage(
                 table,
                 &rid_list,

@@ -334,7 +334,7 @@ impl DynamicOptimizer {
             events.extend(scan.events().iter().cloned());
             match outcome {
                 UnionOutcome::Rids(rids) => {
-                    let list = RidList::Buffer(rids);
+                    let list = RidList::from_vec(rids);
                     tactics::final_stage(table, &list, residual, &[], &mut sink, &mut events);
                     strategy = "UnionScan".to_string();
                 }

@@ -8,54 +8,90 @@
 //! negatives** (a member is never rejected), so intersecting through it
 //! can only let extra RIDs through — which the final-stage total
 //! restriction evaluation removes anyway.
+//!
+//! Both variants store their payload behind `Rc`, so building a filter
+//! from an already-sorted RID list ([`Filter::from_shared`]) and cloning a
+//! spilled list's bitmap are reference-count bumps, not array copies.
+//! Probing in (mostly) RID order can use [`Filter::contains_seq`], which
+//! replaces the per-probe binary search with a galloping search from a
+//! caller-held cursor — O(log gap) per probe, O(1) for adjacent members.
+
+use std::rc::Rc;
 
 use rdb_storage::Rid;
 
 /// A membership filter over a RID set.
 #[derive(Debug, Clone)]
 pub enum Filter {
-    /// Exact: binary search in a sorted RID array (in-buffer lists).
-    Sorted(Vec<Rid>),
+    /// Exact: search in a strictly ascending RID array (in-buffer lists).
+    Sorted(Rc<[Rid]>),
     /// Approximate: hashed bitmap (spilled lists). One-sided error only.
     Bitmap {
-        /// Bit array, `bits.len() * 64` bits total.
-        bits: Vec<u64>,
+        /// Bit array; `bits.len()` is a power of two, so the hash reduces
+        /// by shift instead of modulo.
+        bits: Rc<[u64]>,
         /// Number of RIDs inserted.
         inserted: usize,
     },
 }
 
 impl Filter {
-    /// Builds an exact filter from RIDs (sorted internally).
+    /// Builds an exact filter from RIDs. Already strictly ascending input
+    /// (the common case: index scans emit RIDs in key-then-RID order) is
+    /// used as-is; anything else is sorted and deduplicated first.
     pub fn sorted(mut rids: Vec<Rid>) -> Filter {
-        rids.sort_unstable();
-        rids.dedup();
+        if !is_strictly_ascending(&rids) {
+            rids.sort_unstable();
+            rids.dedup();
+        }
+        Filter::Sorted(rids.into())
+    }
+
+    /// Builds an exact filter sharing an existing strictly ascending RID
+    /// array — no copy, just a reference-count bump.
+    ///
+    /// # Panics
+    /// In debug builds, if `rids` is not strictly ascending.
+    pub fn from_shared(rids: Rc<[Rid]>) -> Filter {
+        debug_assert!(
+            is_strictly_ascending(&rids),
+            "shared filter input must be strictly ascending"
+        );
         Filter::Sorted(rids)
     }
 
-    /// Creates an empty bitmap filter with `bits` bits (rounded up to 64).
+    /// Creates an empty bitmap filter with at least `bits` bits (rounded up
+    /// to a power of two of whole words).
     pub fn bitmap(bits: usize) -> Filter {
-        let words = bits.div_ceil(64).max(1);
+        let words = bits.div_ceil(64).next_power_of_two().max(1);
         Filter::Bitmap {
-            bits: vec![0; words],
+            bits: vec![0u64; words].into(),
             inserted: 0,
         }
     }
 
+    /// Bit index of `rid` in a table of `nbits` bits (`nbits` a power of
+    /// two): Fibonacci hashing, reduced by taking the top bits.
+    #[inline]
     fn hash(rid: Rid, nbits: usize) -> usize {
-        // Fibonacci hashing over the packed RID.
         let h = rid.to_u64().wrapping_mul(0x9E3779B97F4A7C15);
-        (h >> 32) as usize % nbits
+        (h >> (64 - nbits.trailing_zeros())) as usize
     }
 
     /// Inserts a RID (no-op for the sorted variant — build it sorted).
+    ///
+    /// # Panics
+    /// For the sorted variant, or for a bitmap whose storage is already
+    /// shared by a clone (filters are built first, shared after).
     pub fn insert(&mut self, rid: Rid) {
         match self {
             Filter::Sorted(_) => panic!("sorted filters are built, not inserted into"),
             Filter::Bitmap { bits, inserted } => {
                 let nbits = bits.len() * 64;
                 let b = Self::hash(rid, nbits);
-                bits[b / 64] |= 1 << (b % 64);
+                let words =
+                    Rc::get_mut(bits).expect("cannot insert into a shared bitmap filter");
+                words[b / 64] |= 1 << (b % 64);
                 *inserted += 1;
             }
         }
@@ -74,6 +110,37 @@ impl Filter {
         }
     }
 
+    /// Membership test for probe sequences that are mostly ascending (RID
+    /// order), as produced by index scans. `cursor` belongs to the caller,
+    /// starts at 0, and tracks the lower bound of the previous probe; an
+    /// ascending probe gallops forward from it instead of binary-searching
+    /// the whole array, and an out-of-order probe falls back to a bounded
+    /// binary search. Equivalent to [`Filter::contains`] for any probe
+    /// sequence; bitmaps ignore the cursor.
+    pub fn contains_seq(&self, cursor: &mut usize, rid: Rid) -> bool {
+        let Filter::Sorted(rids) = self else {
+            return self.contains(rid);
+        };
+        let start = (*cursor).min(rids.len());
+        if start > 0 && rids[start - 1] >= rid {
+            // Regressed (or repeated) probe: the answer lies before the
+            // cursor. Binary search just that prefix.
+            let pos = rids[..start].partition_point(|&x| x < rid);
+            *cursor = pos;
+            return rids.get(pos) == Some(&rid);
+        }
+        // Gallop: double the step until the window bounds `rid`, then
+        // binary search inside it.
+        let mut step = 1;
+        while start + step < rids.len() && rids[start + step] < rid {
+            step <<= 1;
+        }
+        let end = (start + step + 1).min(rids.len());
+        let pos = start + rids[start..end].partition_point(|&x| x < rid);
+        *cursor = pos;
+        rids.get(pos) == Some(&rid)
+    }
+
     /// Number of RIDs this filter was built from.
     pub fn source_len(&self) -> usize {
         match self {
@@ -86,6 +153,11 @@ impl Filter {
     pub fn is_exact(&self) -> bool {
         matches!(self, Filter::Sorted(_))
     }
+}
+
+/// True when `rids` is sorted with no duplicates.
+pub(crate) fn is_strictly_ascending(rids: &[Rid]) -> bool {
+    rids.windows(2).all(|w| w[0] < w[1])
 }
 
 #[cfg(test)]
@@ -115,6 +187,39 @@ mod tests {
         let f = Filter::sorted(input);
         assert!(f.contains(Rid::new(3, 3)));
         assert_eq!(f.source_len(), 10, "duplicates collapse");
+    }
+
+    #[test]
+    fn shared_filter_borrows_without_copy() {
+        let shared: Rc<[Rid]> = rids(50).into();
+        let f = Filter::from_shared(shared.clone());
+        assert_eq!(Rc::strong_count(&shared), 2, "filter must share, not copy");
+        for r in rids(50) {
+            assert!(f.contains(r));
+        }
+    }
+
+    #[test]
+    fn contains_seq_agrees_with_contains_on_any_probe_order() {
+        let f = Filter::sorted((0..200).map(|i| Rid::new(i * 3, 0)).collect());
+        let mut cursor = 0;
+        // Ascending members and gaps, then regressions, then repeats.
+        let mut x: u64 = 7;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let probe = Rid::new((x >> 40) as u32 % 700, 0);
+            assert_eq!(
+                f.contains_seq(&mut cursor, probe),
+                f.contains(probe),
+                "probe {probe:?}"
+            );
+        }
+        // Pure ascending pass over every member.
+        let mut cursor = 0;
+        for i in 0..200 {
+            assert!(f.contains_seq(&mut cursor, Rid::new(i * 3, 0)));
+            assert!(!f.contains_seq(&mut cursor, Rid::new(i * 3 + 1, 0)));
+        }
     }
 
     #[test]
@@ -149,6 +254,18 @@ mod tests {
     }
 
     #[test]
+    fn bitmap_rounds_to_power_of_two_words() {
+        for bits in [1, 63, 64, 65, 1000, (1 << 14) + 1] {
+            let f = Filter::bitmap(bits);
+            let Filter::Bitmap { bits: words, .. } = &f else {
+                unreachable!()
+            };
+            assert!(words.len().is_power_of_two());
+            assert!(words.len() * 64 >= bits);
+        }
+    }
+
+    #[test]
     fn tiny_bitmap_still_works() {
         let mut f = Filter::bitmap(1);
         f.insert(Rid::new(1, 1));
@@ -160,5 +277,14 @@ mod tests {
     fn inserting_into_sorted_panics() {
         let mut f = Filter::sorted(vec![]);
         f.insert(Rid::new(0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shared bitmap")]
+    fn inserting_into_shared_bitmap_panics() {
+        let mut f = Filter::bitmap(64);
+        f.insert(Rid::new(0, 0));
+        let _clone = f.clone();
+        f.insert(Rid::new(1, 0));
     }
 }

@@ -28,6 +28,11 @@ pub struct Fscan<'a> {
     scan: Cursor,
     residual: RecordPred,
     filter: Option<Filter>,
+    /// Galloping-probe cursor into `filter`: forward scans probe in
+    /// ascending RID order within each key, so sequential probes are
+    /// cheaper than a fresh binary search (descending scans simply fall
+    /// back through the cursor's out-of-order path).
+    probe: usize,
     entries_seen: u64,
     fetches: u64,
     filter_rejections: u64,
@@ -66,6 +71,7 @@ impl<'a> Fscan<'a> {
             scan,
             residual,
             filter: None,
+            probe: 0,
             entries_seen: 0,
             fetches: 0,
             filter_rejections: 0,
@@ -78,6 +84,7 @@ impl<'a> Fscan<'a> {
     /// completes its filter.
     pub fn set_filter(&mut self, filter: Filter) {
         self.filter = Some(filter);
+        self.probe = 0;
     }
 
     /// True once a filter is installed.
@@ -127,7 +134,7 @@ impl<'a> Fscan<'a> {
             Some((_key, rid)) => {
                 self.entries_seen += 1;
                 if let Some(f) = &self.filter {
-                    if !f.contains(rid) {
+                    if !f.contains_seq(&mut self.probe, rid) {
                         self.filter_rejections += 1;
                         return StrategyStep::Progress;
                     }
@@ -250,12 +257,7 @@ mod tests {
         }
         let fetched_before = f.fetches();
         f.set_filter(Filter::sorted(vec![])); // reject everything from now on
-        loop {
-            match f.step() {
-                StrategyStep::Done => break,
-                _ => {}
-            }
-        }
+        while !matches!(f.step(), StrategyStep::Done) {}
         assert_eq!(f.fetches(), fetched_before, "no fetch after empty filter");
     }
 

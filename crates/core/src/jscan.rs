@@ -179,6 +179,11 @@ struct ActiveScan {
     /// In-memory copy of kept RIDs while the list is still in memory —
     /// used for simultaneous-phase refiltering.
     shadow: Option<Vec<Rid>>,
+    /// Galloping-probe cursor into the current intersection filter. Index
+    /// scans emit RIDs mostly in ascending order, so sequential probes
+    /// advance this instead of binary-searching from scratch. Reset
+    /// whenever a new filter is installed.
+    probe: usize,
 }
 
 /// The joint-scan state machine.
@@ -300,6 +305,7 @@ impl<'a> Jscan<'a> {
             kept: 0,
             spent: 0.0,
             shadow: Some(Vec::new()),
+            probe: 0,
         }
     }
 
@@ -365,7 +371,7 @@ impl<'a> Jscan<'a> {
                 Some((_key, rid)) => {
                     active.entries += 1;
                     let keep = match &self.filter {
-                        Some(f) => f.contains(rid),
+                        Some(f) => f.contains_seq(&mut active.probe, rid),
                         None => true,
                     };
                     if keep {
@@ -454,15 +460,18 @@ impl<'a> Jscan<'a> {
             };
             if let Some(shadow) = other.shadow.take() {
                 // Rebuild the partner's list, keeping only RIDs that pass
-                // the winner's filter (cheap: pure main-memory work).
+                // the winner's filter (cheap: pure main-memory work). The
+                // shadow preserves scan order, so a galloping cursor walks
+                // the filter instead of binary-searching per RID.
                 let refiltered = shadow.len() as u64;
                 let temp_file = FileId(self.temp_file_base + other.idx as u32 + 500_000);
                 let mut builder =
                     RidListBuilder::new(self.config.tiers, self.table.pool().clone(), temp_file);
                 let mut kept_shadow = Vec::with_capacity(shadow.len());
                 let mut kept = 0u64;
+                let mut cursor = 0;
                 for rid in shadow {
-                    if new_filter.contains(rid) {
+                    if new_filter.contains_seq(&mut cursor, rid) {
                         builder.push(rid);
                         kept_shadow.push(rid);
                         kept += 1;
@@ -472,6 +481,7 @@ impl<'a> Jscan<'a> {
                 other.builder = builder;
                 other.kept = kept;
                 other.shadow = Some(kept_shadow);
+                other.probe = 0;
             } else {
                 // Partner already spilled: the paper stops simultaneity at
                 // the memory boundary — discard the partner's partial list.
@@ -849,7 +859,6 @@ mod tests {
                     bitmap_bits: 64,
                 },
                 batch: 64, // partner racks up entries fast
-                ..JscanConfig::default()
             },
         );
         let _ = j.run();

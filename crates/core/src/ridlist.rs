@@ -13,9 +13,11 @@
 //! nothing; the rare huge case pays page I/O but gets a compact bitmap for
 //! filtering. [`RidListBuilder`] grows through the tiers automatically.
 
-use rdb_storage::{FileId, Rid, SharedPool, TempTable};
+use std::rc::Rc;
 
-use crate::filter::Filter;
+use rdb_storage::{FileId, Rid, SharedCost, SharedPool, TempTable};
+
+use crate::filter::{is_strictly_ascending, Filter};
 
 /// Tier sizing for [`RidListBuilder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +57,16 @@ pub enum RidList {
         /// Number of valid entries.
         len: usize,
     },
-    /// Heap-allocated buffer.
-    Buffer(Vec<Rid>),
+    /// Heap-allocated buffer, shareable with filters built over it.
+    Buffer {
+        /// The RIDs, in insertion order.
+        rids: Rc<[Rid]>,
+        /// True when `rids` is strictly ascending — then a filter over the
+        /// list can share the array directly instead of copy-and-sorting.
+        /// Index scans produce ascending RID streams, so this is the
+        /// common case.
+        sorted: bool,
+    },
     /// Spilled to a temporary table, with a bitmap for membership tests.
     Spilled {
         /// The RIDs, in a cost-charging temp table.
@@ -69,12 +79,26 @@ pub enum RidList {
 }
 
 impl RidList {
+    /// Wraps an already-materialized RID vector in the appropriate tier
+    /// (`Empty` or `Buffer`), detecting sortedness so later filters can
+    /// share the array.
+    pub fn from_vec(rids: Vec<Rid>) -> RidList {
+        if rids.is_empty() {
+            return RidList::Empty;
+        }
+        let sorted = is_strictly_ascending(&rids);
+        RidList::Buffer {
+            rids: rids.into(),
+            sorted,
+        }
+    }
+
     /// Number of RIDs in the list.
     pub fn len(&self) -> usize {
         match self {
             RidList::Empty => 0,
             RidList::Inline { len, .. } => *len,
-            RidList::Buffer(v) => v.len(),
+            RidList::Buffer { rids, .. } => rids.len(),
             RidList::Spilled { count, .. } => *count,
         }
     }
@@ -89,7 +113,7 @@ impl RidList {
         match self {
             RidList::Empty => "empty",
             RidList::Inline { .. } => "inline",
-            RidList::Buffer(_) => "buffer",
+            RidList::Buffer { .. } => "buffer",
             RidList::Spilled { .. } => "spilled",
         }
     }
@@ -100,7 +124,7 @@ impl RidList {
         match self {
             RidList::Empty => Vec::new(),
             RidList::Inline { rids, len } => rids[..*len].to_vec(),
-            RidList::Buffer(v) => v.clone(),
+            RidList::Buffer { rids, .. } => rids.to_vec(),
             RidList::Spilled { temp, .. } => temp.scan_all(),
         }
     }
@@ -108,11 +132,19 @@ impl RidList {
     /// Builds a membership filter over the list. In-memory tiers produce
     /// an exact sorted filter; the spilled tier reuses its bitmap (the
     /// paper's design: only within main memory is exact refiltering cheap).
+    ///
+    /// For an ascending buffer-tier list this is clone-free: the filter
+    /// shares the list's RID array, and the spilled tier's bitmap is
+    /// likewise shared by reference count.
     pub fn filter(&self) -> Filter {
         match self {
             RidList::Empty => Filter::sorted(Vec::new()),
             RidList::Inline { rids, len } => Filter::sorted(rids[..*len].to_vec()),
-            RidList::Buffer(v) => Filter::sorted(v.clone()),
+            RidList::Buffer { rids, sorted: true } => Filter::from_shared(rids.clone()),
+            RidList::Buffer {
+                rids,
+                sorted: false,
+            } => Filter::sorted(rids.to_vec()),
             RidList::Spilled { bitmap, .. } => bitmap.clone(),
         }
     }
@@ -124,6 +156,9 @@ impl RidList {
 pub struct RidListBuilder {
     config: RidTierConfig,
     pool: SharedPool,
+    /// The pool's meter, cached so per-RID charges in the buffer tier are
+    /// a counter bump, not a `RefCell` borrow of the pool.
+    cost: SharedCost,
     temp_file: FileId,
     state: BuilderState,
 }
@@ -134,7 +169,12 @@ enum BuilderState {
         rids: [Rid; INLINE_CAPACITY],
         len: usize,
     },
-    Buffer(Vec<Rid>),
+    Buffer {
+        rids: Vec<Rid>,
+        /// Maintained incrementally: true while pushes arrive in strictly
+        /// ascending RID order (one comparison per push).
+        sorted: bool,
+    },
     Spilled {
         temp: TempTable,
         bitmap: Filter,
@@ -150,9 +190,11 @@ impl RidListBuilder {
     pub fn new(config: RidTierConfig, pool: SharedPool, temp_file: FileId) -> Self {
         assert!(config.inline_max <= INLINE_CAPACITY);
         assert!(config.buffer_max >= config.inline_max);
+        let cost = pool.borrow().cost().clone();
         RidListBuilder {
             config,
             pool,
+            cost,
             temp_file,
             state: BuilderState::Inline {
                 rids: [Rid::new(0, 0); INLINE_CAPACITY],
@@ -165,7 +207,7 @@ impl RidListBuilder {
     pub fn len(&self) -> usize {
         match &self.state {
             BuilderState::Inline { len, .. } => *len,
-            BuilderState::Buffer(v) => v.len(),
+            BuilderState::Buffer { rids, .. } => rids.len(),
             BuilderState::Spilled { count, .. } => *count,
         }
     }
@@ -189,17 +231,23 @@ impl RidListBuilder {
                     *len += 1;
                     return;
                 }
-                // Promote to the allocated buffer.
+                // Promote to the allocated buffer. Only the RID that
+                // overflowed the inline tier is charged: the accumulated
+                // inline RIDs were stored for free by design (the paper's
+                // "avoiding any run-time allocation and memory usage
+                // overhead") and moving them is not new RID work.
+                let sorted = is_strictly_ascending(&rids[..*len]) && rids[*len - 1] < rid;
                 let mut v = Vec::with_capacity(self.config.inline_max * 2);
                 v.extend_from_slice(&rids[..*len]);
                 v.push(rid);
-                self.pool.borrow().cost().charge_rid_ops(v.len() as u64);
-                self.state = BuilderState::Buffer(v);
+                self.cost.charge_rid_ops(1);
+                self.state = BuilderState::Buffer { rids: v, sorted };
             }
-            BuilderState::Buffer(v) => {
+            BuilderState::Buffer { rids: v, sorted } => {
                 if v.len() < self.config.buffer_max {
+                    *sorted = *sorted && *v.last().expect("buffer tier is never empty") < rid;
                     v.push(rid);
-                    self.pool.borrow().cost().charge_rid_ops(1);
+                    self.cost.charge_rid_ops(1);
                     return;
                 }
                 // Promote to the spilled tier: everything buffered flows to
@@ -246,7 +294,10 @@ impl RidListBuilder {
                     RidList::Inline { rids, len }
                 }
             }
-            BuilderState::Buffer(v) => RidList::Buffer(v),
+            BuilderState::Buffer { rids, sorted } => RidList::Buffer {
+                rids: rids.into(),
+                sorted,
+            },
             BuilderState::Spilled {
                 mut temp,
                 bitmap,
@@ -366,6 +417,90 @@ mod tests {
         for &r in &input {
             assert!(f.contains(r), "bitmap must never reject a member");
         }
+    }
+
+    #[test]
+    fn charges_at_tier_boundaries_are_exact() {
+        // Pin the exact RID-op accounting through every promotion with
+        // inline_max=3, buffer_max=5:
+        //   pushes 1-3   inline tier, free by design;
+        //   push 4       promotes — charges only the overflowing RID (the
+        //                3 inline RIDs stay free: this used to re-charge
+        //                them as charge_rid_ops(4));
+        //   push 5       buffer tier, one op;
+        //   push 6       spills — the 5 buffered RIDs flow through the
+        //                temp table (5 ops + 1 page write), the 6th waits
+        //                in the pending batch;
+        //   finish       flushes the pending RID (1 op + 1 page write).
+        let (mut b, cost) = builder(3, 5);
+        for r in rids(3) {
+            b.push(r);
+        }
+        assert_eq!(cost.snapshot().rid_ops, 0, "inline tier is free");
+        b.push(Rid::new(100, 0));
+        assert_eq!(cost.snapshot().rid_ops, 1, "promotion charges the new RID only");
+        b.push(Rid::new(101, 0));
+        assert_eq!(cost.snapshot().rid_ops, 2);
+        b.push(Rid::new(102, 0));
+        assert_eq!(cost.snapshot().rid_ops, 7, "spill flushes 5 buffered RIDs");
+        assert_eq!(cost.snapshot().page_writes, 1);
+        let list = b.finish();
+        assert_eq!(cost.snapshot().rid_ops, 8, "finish flushes the pending RID");
+        assert_eq!(list.len(), 6);
+    }
+
+    #[test]
+    fn ascending_buffer_list_shares_rids_with_filter() {
+        let (mut b, _) = builder(4, 1000);
+        for r in rids(100) {
+            b.push(r);
+        }
+        let list = b.finish();
+        let RidList::Buffer { rids: shared, sorted } = &list else {
+            panic!("expected buffer tier");
+        };
+        assert!(*sorted, "ascending pushes must be detected");
+        let f = list.filter();
+        assert_eq!(
+            std::rc::Rc::strong_count(shared),
+            2,
+            "filter must share the list's RID array, not copy it"
+        );
+        for r in rids(100) {
+            assert!(f.contains(r));
+        }
+    }
+
+    #[test]
+    fn unsorted_buffer_list_still_filters_exactly() {
+        let (mut b, _) = builder(2, 1000);
+        let mut input = rids(50);
+        input.reverse();
+        for &r in &input {
+            b.push(r);
+        }
+        let list = b.finish();
+        let RidList::Buffer { sorted, .. } = &list else {
+            panic!("expected buffer tier");
+        };
+        assert!(!*sorted);
+        assert_eq!(list.to_vec(), input, "insertion order is preserved");
+        let f = list.filter();
+        for &r in &input {
+            assert!(f.contains(r));
+        }
+        assert!(!f.contains(Rid::new(999, 9)));
+    }
+
+    #[test]
+    fn from_vec_detects_tier_and_sortedness() {
+        assert!(matches!(RidList::from_vec(Vec::new()), RidList::Empty));
+        let asc = RidList::from_vec(rids(10));
+        assert!(matches!(asc, RidList::Buffer { sorted: true, .. }));
+        let mut rev = rids(10);
+        rev.reverse();
+        let desc = RidList::from_vec(rev);
+        assert!(matches!(desc, RidList::Buffer { sorted: false, .. }));
     }
 
     #[test]

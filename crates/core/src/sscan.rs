@@ -73,9 +73,7 @@ impl<'a> Sscan<'a> {
 /// Picks the cheapest self-sufficient index by estimated range size — the
 /// paper's "the only optimization task to be resolved is to pick the one
 /// whose scan is the cheapest".
-pub fn cheapest_sscan<'a>(
-    candidates: &[(&'a BTree, KeyRange, KeyPred)],
-) -> Option<(usize, f64)> {
+pub fn cheapest_sscan(candidates: &[(&BTree, KeyRange, KeyPred)]) -> Option<(usize, f64)> {
     candidates
         .iter()
         .enumerate()

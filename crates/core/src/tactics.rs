@@ -284,10 +284,7 @@ pub fn sorted(
         sched.deactivate(BGR);
     }
 
-    loop {
-        let Some(who) = sched.next() else {
-            break;
-        };
+    while let Some(who) = sched.next() {
         match who {
             FGR => match fscan.step() {
                 StrategyStep::Deliver(rid, record) => {
@@ -376,10 +373,7 @@ pub fn index_only(
     // scheduler slots.
     const FGR_BATCH: usize = 16;
 
-    loop {
-        let Some(who) = sched.next() else {
-            break;
-        };
+    while let Some(who) = sched.next() {
         match who {
             FGR => {
                 for _ in 0..FGR_BATCH {

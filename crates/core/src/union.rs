@@ -94,7 +94,7 @@ impl<'a> UnionScan<'a> {
                 collected += 1;
                 // Refresh the projection as evidence accumulates: what we
                 // hold plus the remaining arms' estimates.
-                if collected % 256 == 0 {
+                if collected.is_multiple_of(256) {
                     let remaining: f64 = self
                         .arms
                         .iter()

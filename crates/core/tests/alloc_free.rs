@@ -1,0 +1,104 @@
+//! Proves the paper's "avoiding any run-time allocation" claim for the
+//! inline RID tier (Section 6): accumulating up to `inline_max` RIDs and
+//! probing a built filter perform **zero** heap allocations per RID.
+//!
+//! A counting global allocator wraps the system allocator; the assertions
+//! compare allocation counts around the hot paths. Everything lives in one
+//! `#[test]` so concurrent tests in the same binary cannot perturb the
+//! counter between snapshot and check.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn inline_tier_and_filter_probes_do_not_allocate() {
+    use rdb_core::filter::Filter;
+    use rdb_core::ridlist::{RidListBuilder, RidTierConfig, INLINE_CAPACITY};
+    use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId, Rid};
+
+    let cost = shared_meter(CostConfig::default());
+    let pool = shared_pool(64, cost);
+
+    // Building the builder and pushing a full inline tier: no allocations.
+    let before = allocations();
+    let mut builder = RidListBuilder::new(RidTierConfig::default(), pool.clone(), FileId(9));
+    for i in 0..INLINE_CAPACITY {
+        builder.push(Rid::new(i as u32, 0));
+    }
+    assert_eq!(
+        allocations() - before,
+        0,
+        "inline-tier pushes must be allocation-free"
+    );
+
+    // Finishing into the inline tier moves the array: still no allocations.
+    let before = allocations();
+    let list = builder.finish();
+    assert_eq!(list.tier(), "inline");
+    assert_eq!(allocations() - before, 0, "inline finish must not allocate");
+
+    // Probing a built filter (sorted and bitmap) allocates nothing either,
+    // whatever the probe order.
+    let sorted = list.filter();
+    let mut bitmap = Filter::bitmap(1 << 10);
+    for i in 0..200 {
+        bitmap.insert(Rid::new(i * 3, 0));
+    }
+    let before = allocations();
+    let mut cursor = 0;
+    let mut found = 0usize;
+    for i in (0..INLINE_CAPACITY as u32).rev().chain(0..600) {
+        if sorted.contains(Rid::new(i, 0)) {
+            found += 1;
+        }
+        if sorted.contains_seq(&mut cursor, Rid::new(i, 0)) {
+            found += 1;
+        }
+        if bitmap.contains(Rid::new(i, 0)) {
+            found += 1;
+        }
+    }
+    assert!(found > 0);
+    assert_eq!(allocations() - before, 0, "filter probes must not allocate");
+
+    // Sharing a filter over an ascending buffer-tier list is one Rc bump,
+    // not a copy: cloning the filter allocates nothing.
+    let mut builder = RidListBuilder::new(RidTierConfig::default(), pool, FileId(10));
+    for i in 0..100 {
+        builder.push(Rid::new(i, 0));
+    }
+    let list = builder.finish();
+    assert_eq!(list.tier(), "buffer");
+    let filter = list.filter();
+    let before = allocations();
+    let clone = filter.clone();
+    assert_eq!(allocations() - before, 0, "filter clones must share storage");
+    drop(clone);
+}

@@ -9,9 +9,23 @@
 //! against a true-LRU cache and charges the shared [`crate::CostMeter`]
 //! accordingly. [`BufferPool::perturb`] injects the "asynchronous
 //! interference" the paper describes.
+//!
+//! # Hot-path layout
+//!
+//! Every simulated page touch goes through this module, so the residency
+//! check is the innermost loop of the whole engine. The pool therefore keys
+//! pages by a packed `u64` ([`PageId::pack`]) and stores them in a single
+//! open-addressed table (Fibonacci hashing, linear probing, backward-shift
+//! deletion) whose entries double as intrusive LRU links — one array, no
+//! `HashMap`, no separate slab, at most one cache line per probe step. The
+//! table is sized to at most 50% load, and slot vacancy is encoded in the
+//! `prev` link ([`FREE`]) so no page key needs to be reserved as a sentinel.
+//!
+//! Hit/miss classification and eviction order are observably identical to a
+//! naive true-LRU model (see `tests/proptests.rs`, which cross-checks
+//! against [`crate::reference::ReferencePool`]).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use crate::cost::SharedCost;
@@ -44,6 +58,20 @@ impl PageId {
     pub fn new(file: FileId, page: u32) -> Self {
         PageId { file, page }
     }
+
+    /// Packs the id into one word: `file` in the high 32 bits, `page` in
+    /// the low 32. Every `(file, page)` pair maps to a distinct `u64`, so
+    /// the pool can key on a single integer.
+    #[inline]
+    pub fn pack(self) -> u64 {
+        ((self.file.0 as u64) << 32) | self.page as u64
+    }
+
+    /// Inverse of [`PageId::pack`].
+    #[inline]
+    pub fn unpack(key: u64) -> Self {
+        PageId::new(FileId((key >> 32) as u32), key as u32)
+    }
 }
 
 /// Outcome of a page access.
@@ -55,14 +83,38 @@ pub enum Access {
     Miss,
 }
 
-const NIL: usize = usize::MAX;
+/// `prev` value marking a vacant slot. Never a valid slot index (tables are
+/// far smaller than `u32::MAX` entries).
+const FREE: u32 = u32::MAX;
+/// `prev`/`next` value terminating the LRU list. Distinct from [`FREE`] so
+/// the list head is not mistaken for a vacant slot.
+const NIL: u32 = u32::MAX - 1;
 
-/// Intrusive doubly-linked LRU node stored in a slab.
+/// Fibonacci-hashing multiplier (2^64 / φ).
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One open-addressed table slot: the packed page key plus the intrusive
+/// LRU links. `prev == FREE` means the slot is vacant; occupied slots have
+/// `prev` either a slot index or [`NIL`] (list head).
 #[derive(Debug, Clone, Copy)]
-struct Node {
-    page: PageId,
-    prev: usize,
-    next: usize,
+struct Slot {
+    key: u64,
+    prev: u32,
+    next: u32,
+}
+
+const VACANT: Slot = Slot {
+    key: 0,
+    prev: FREE,
+    next: NIL,
+};
+
+/// Result of one table walk: the key's slot, or the FREE slot terminating
+/// its probe chain (which is the insertion point while the table is
+/// unchanged).
+enum Probe {
+    Hit(usize),
+    Miss(usize),
 }
 
 /// A capacity-bounded true-LRU page cache that charges a [`crate::CostMeter`].
@@ -76,11 +128,12 @@ struct Node {
 pub struct BufferPool {
     cost: SharedCost,
     capacity: usize,
-    map: HashMap<PageId, usize>,
-    slab: Vec<Node>,
-    free: Vec<usize>,
-    head: usize, // most recently used
-    tail: usize, // least recently used
+    slots: Box<[Slot]>,
+    mask: usize,
+    shift: u32,
+    len: usize,
+    head: u32, // most recently used
+    tail: u32, // least recently used
     hits: u64,
     misses: u64,
 }
@@ -89,12 +142,20 @@ impl BufferPool {
     /// Creates a pool that can hold `capacity` pages (`capacity >= 1`).
     pub fn new(capacity: usize, cost: SharedCost) -> Self {
         assert!(capacity >= 1, "buffer pool capacity must be at least 1");
+        assert!(
+            capacity < (NIL as usize) / 2,
+            "buffer pool capacity exceeds slot index range"
+        );
+        // ≤50% load keeps linear-probe runs short; power of two lets the
+        // Fibonacci hash reduce by shift instead of modulo.
+        let table_len = (capacity * 2).next_power_of_two().max(4);
         BufferPool {
             cost,
             capacity,
-            map: HashMap::with_capacity(capacity),
-            slab: Vec::with_capacity(capacity),
-            free: Vec::new(),
+            slots: vec![VACANT; table_len].into_boxed_slice(),
+            mask: table_len - 1,
+            shift: 64 - table_len.trailing_zeros(),
+            len: 0,
             head: NIL,
             tail: NIL,
             hits: 0,
@@ -109,12 +170,12 @@ impl BufferPool {
 
     /// Number of pages currently resident.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// True if no pages are resident.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// Shared cost meter this pool charges.
@@ -132,24 +193,97 @@ impl BufferPool {
         self.misses
     }
 
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> self.shift) as usize
+    }
+
+    /// One probe resolving `key` to either its slot (`Hit`) or the FREE
+    /// slot ending its probe chain (`Miss`) — the single table walk that
+    /// serves both classification and insertion. Linear probing; terminates
+    /// because the table is at most half full.
+    ///
+    /// SAFETY of the unchecked indexing here and in
+    /// [`BufferPool::unlink`]/[`BufferPool::push_front`]: every index is
+    /// either reduced by `& self.mask` or read from a stored LRU link, and
+    /// the module maintains the invariant that `mask == slots.len() - 1`
+    /// (a power of two) and that every non-[`NIL`]/[`FREE`] link is a valid
+    /// slot index. `debug_assert!`s guard the invariant in debug builds.
+    #[inline]
+    fn probe(&self, key: u64) -> Probe {
+        let mut i = self.home(key);
+        loop {
+            debug_assert!(i < self.slots.len());
+            let s = unsafe { self.slots.get_unchecked(i) };
+            if s.prev == FREE {
+                return Probe::Miss(i);
+            }
+            if s.key == key {
+                return Probe::Hit(i);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    #[inline]
+    fn slot_mut(&mut self, i: usize) -> &mut Slot {
+        debug_assert!(i < self.slots.len());
+        unsafe { self.slots.get_unchecked_mut(i) }
+    }
+
+    /// Classifies `key` and updates residency/recency (no counters, no
+    /// charges — the callers batch those).
+    #[inline]
+    fn touch(&mut self, key: u64) -> Access {
+        match self.probe(key) {
+            Probe::Hit(i) => {
+                if self.head != i as u32 {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Access::Hit
+            }
+            Probe::Miss(f) => {
+                self.place(key, f);
+                Access::Miss
+            }
+        }
+    }
+
     /// Touches `page`, classifying the access and charging the meter.
     pub fn access(&mut self, page: PageId) -> Access {
-        if let Some(&idx) = self.map.get(&page) {
-            self.unlink(idx);
-            self.push_front(idx);
-            self.hits += 1;
-            self.cost.charge_cache_hit();
-            return Access::Hit;
+        match self.touch(page.pack()) {
+            Access::Hit => {
+                self.hits += 1;
+                self.cost.charge_cache_hit();
+                Access::Hit
+            }
+            Access::Miss => {
+                self.misses += 1;
+                self.cost.charge_page_read();
+                Access::Miss
+            }
         }
-        self.misses += 1;
-        self.cost.charge_page_read();
-        if self.map.len() == self.capacity {
-            self.evict_lru();
+    }
+
+    /// Touches the sequential run `first_page .. first_page + n` of `file`
+    /// with identical semantics (and identical resulting state, counters
+    /// and cost) to `n` successive [`BufferPool::access`] calls, but with a
+    /// single batched charge per class. Returns `(hits, misses)` for the
+    /// run. This is the fast path for full scans and temp-table reads.
+    pub fn access_run(&mut self, file: FileId, first_page: u32, n: u32) -> (u64, u64) {
+        let mut hits = 0u64;
+        for p in first_page..first_page.saturating_add(n) {
+            if self.touch(PageId::new(file, p).pack()) == Access::Hit {
+                hits += 1;
+            }
         }
-        let idx = self.alloc(page);
-        self.push_front(idx);
-        self.map.insert(page, idx);
-        Access::Miss
+        let misses = n as u64 - hits;
+        self.hits += hits;
+        self.misses += misses;
+        self.cost.charge_cache_hits(hits);
+        self.cost.charge_page_reads(misses);
+        (hits, misses)
     }
 
     /// Records a page *write* access (temp-table spill). Writes always cost
@@ -158,91 +292,159 @@ impl BufferPool {
         self.cost.charge_page_write();
     }
 
+    /// Records `n` sequential page writes with one batched charge.
+    pub fn write_run(&mut self, _file: FileId, _first_page: u32, n: u32) {
+        self.cost.charge_page_writes(n as u64);
+    }
+
     /// True if `page` is currently resident (no cost charged, no LRU touch).
     pub fn contains(&self, page: PageId) -> bool {
-        self.map.contains_key(&page)
+        matches!(self.probe(page.pack()), Probe::Hit(_))
     }
 
     /// Evicts every resident page — a cold restart.
     pub fn clear(&mut self) {
-        self.map.clear();
-        self.slab.clear();
-        self.free.clear();
+        self.slots.fill(VACANT);
         self.head = NIL;
         self.tail = NIL;
+        self.len = 0;
     }
 
     /// Simulates interference from unrelated queries (paper Section 3(c)):
     /// touches `foreign_pages` synthetic pages belonging to `foreign_file`,
     /// evicting that much of this query's working set, without charging the
-    /// meter (the cost belongs to the "other" query).
+    /// meter (the cost belongs to the "other" query). Foreign pages already
+    /// resident are left in place (their recency belongs to whoever faulted
+    /// them in).
     pub fn perturb(&mut self, foreign_file: FileId, foreign_pages: u32) {
         for p in 0..foreign_pages {
-            let page = PageId::new(foreign_file, p);
-            if self.map.contains_key(&page) {
+            let key = PageId::new(foreign_file, p).pack();
+            if let Probe::Miss(f) = self.probe(key) {
+                self.place(key, f);
+            }
+        }
+    }
+
+    /// Single insertion path: evicts the LRU page if full, claims a vacant
+    /// slot for `key`, and links it at the MRU end. `key` must not be
+    /// resident and `f` must be the FREE slot terminating its probe chain
+    /// (as returned by [`BufferPool::probe`]). Access misses, batched-run
+    /// misses and [`BufferPool::perturb`] faults all go through here.
+    fn place(&mut self, key: u64, f: usize) {
+        let mut slot = f;
+        if self.len == self.capacity {
+            let hole = self.evict_lru();
+            // Eviction vacates exactly one slot. If it lies on `key`'s
+            // probe chain — cyclically in `[home, f)` — then inserting at
+            // `f` would leave a FREE gap that terminates lookups early, so
+            // the new entry claims the hole instead. Either way the probe
+            // from the classification walk is reused, not repeated.
+            let home = self.home(key);
+            let in_chain = if home <= f {
+                hole >= home && hole < f
+            } else {
+                hole >= home || hole < f
+            };
+            if in_chain {
+                slot = hole;
+            }
+        }
+        debug_assert_eq!(self.slot_mut(slot).prev, FREE, "place on an occupied slot");
+        self.slot_mut(slot).key = key;
+        self.len += 1;
+        self.push_front(slot);
+    }
+
+    /// Evicts the LRU page and returns the table slot left vacant after
+    /// backward-shift compaction.
+    fn evict_lru(&mut self) -> usize {
+        debug_assert_ne!(self.tail, NIL, "evict from empty pool");
+        let i = self.tail as usize;
+        self.unlink(i);
+        self.len -= 1;
+        self.remove_slot(i)
+    }
+
+    /// Detaches slot `i` from the LRU list (slot stays occupied).
+    #[inline]
+    fn unlink(&mut self, i: usize) {
+        let Slot { prev, next, .. } = *self.slot_mut(i);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slot_mut(prev as usize).next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slot_mut(next as usize).prev = prev;
+        }
+    }
+
+    /// Links slot `i` at the MRU end. Also what marks a claimed slot
+    /// occupied: it overwrites `prev` with a non-[`FREE`] value.
+    #[inline]
+    fn push_front(&mut self, i: usize) {
+        let iu = i as u32;
+        let head = self.head;
+        let s = self.slot_mut(i);
+        s.prev = NIL;
+        s.next = head;
+        if head == NIL {
+            self.tail = iu;
+        } else {
+            self.slot_mut(head as usize).prev = iu;
+        }
+        self.head = iu;
+    }
+
+    /// Vacates slot `i` (already unlinked from the LRU list) by the
+    /// backward-shift technique: entries displaced past `i` by linear
+    /// probing are moved into the hole so lookups never need tombstones.
+    /// Moved entries drag their LRU links along via [`BufferPool::relink`].
+    /// Returns the slot that ends up vacant once the shift cascade settles.
+    fn remove_slot(&mut self, mut i: usize) -> usize {
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let sj = *self.slot_mut(j);
+            if sj.prev == FREE {
+                break;
+            }
+            let h = self.home(sj.key);
+            // The entry at `j` may stay iff its home `h` lies cyclically in
+            // `(i, j]`; otherwise the hole at `i` would break its probe
+            // chain, so it moves into the hole.
+            let stays = if j > i {
+                h > i && h <= j
+            } else {
+                h > i || h <= j
+            };
+            if stays {
                 continue;
             }
-            if self.map.len() == self.capacity {
-                self.evict_lru();
-            }
-            let idx = self.alloc(page);
-            self.push_front(idx);
-            self.map.insert(page, idx);
+            *self.slot_mut(i) = sj;
+            self.relink(i);
+            i = j;
         }
+        self.slot_mut(i).prev = FREE;
+        i
     }
 
-    fn alloc(&mut self, page: PageId) -> usize {
-        if let Some(idx) = self.free.pop() {
-            self.slab[idx] = Node {
-                page,
-                prev: NIL,
-                next: NIL,
-            };
-            idx
+    /// Repoints the LRU neighbours of the entry now living in slot `i`
+    /// (after a backward-shift move changed its slot index).
+    fn relink(&mut self, i: usize) {
+        let Slot { prev, next, .. } = *self.slot_mut(i);
+        let iu = i as u32;
+        if prev == NIL {
+            self.head = iu;
         } else {
-            self.slab.push(Node {
-                page,
-                prev: NIL,
-                next: NIL,
-            });
-            self.slab.len() - 1
+            self.slot_mut(prev as usize).next = iu;
         }
-    }
-
-    fn evict_lru(&mut self) {
-        let idx = self.tail;
-        debug_assert_ne!(idx, NIL, "evict from empty pool");
-        let page = self.slab[idx].page;
-        self.unlink(idx);
-        self.map.remove(&page);
-        self.free.push(idx);
-    }
-
-    fn unlink(&mut self, idx: usize) {
-        let Node { prev, next, .. } = self.slab[idx];
-        if prev != NIL {
-            self.slab[prev].next = next;
-        } else if self.head == idx {
-            self.head = next;
-        }
-        if next != NIL {
-            self.slab[next].prev = prev;
-        } else if self.tail == idx {
-            self.tail = prev;
-        }
-        self.slab[idx].prev = NIL;
-        self.slab[idx].next = NIL;
-    }
-
-    fn push_front(&mut self, idx: usize) {
-        self.slab[idx].prev = NIL;
-        self.slab[idx].next = self.head;
-        if self.head != NIL {
-            self.slab[self.head].prev = idx;
-        }
-        self.head = idx;
-        if self.tail == NIL {
-            self.tail = idx;
+        if next == NIL {
+            self.tail = iu;
+        } else {
+            self.slot_mut(next as usize).prev = iu;
         }
     }
 }
@@ -258,6 +460,13 @@ mod tests {
 
     fn pid(file: u32, page: u32) -> PageId {
         PageId::new(FileId(file), page)
+    }
+
+    #[test]
+    fn packed_key_roundtrips_and_orders() {
+        let p = pid(7, 0xDEAD_BEEF);
+        assert_eq!(PageId::unpack(p.pack()), p);
+        assert_ne!(pid(0, 1).pack(), pid(1, 0).pack());
     }
 
     #[test]
@@ -328,6 +537,34 @@ mod tests {
     }
 
     #[test]
+    fn access_run_matches_per_page_accesses() {
+        let cost_a = shared_meter(CostConfig::default());
+        let cost_b = shared_meter(CostConfig::default());
+        let mut a = BufferPool::new(6, cost_a.clone());
+        let mut b = BufferPool::new(6, cost_b.clone());
+        // Shared warm state in both pools.
+        for p in 0..4 {
+            a.access(pid(1, p));
+            b.access(pid(1, p));
+        }
+        let (hits, misses) = a.access_run(FileId(1), 2, 8);
+        let mut expect_hits = 0;
+        for p in 2..10 {
+            if b.access(pid(1, p)) == Access::Hit {
+                expect_hits += 1;
+            }
+        }
+        assert_eq!(hits, expect_hits);
+        assert_eq!(hits + misses, 8);
+        assert_eq!(a.hits(), b.hits());
+        assert_eq!(a.misses(), b.misses());
+        assert_eq!(cost_a.total(), cost_b.total(), "batched charge must be exact");
+        for p in 0..12 {
+            assert_eq!(a.contains(pid(1, p)), b.contains(pid(1, p)));
+        }
+    }
+
+    #[test]
     fn heavy_mixed_workload_is_consistent() {
         // Cross-check against a naive reference LRU implementation.
         let mut p = pool(8);
@@ -343,5 +580,23 @@ mod tests {
             reference.insert(0, page);
             reference.truncate(8);
         }
+    }
+
+    #[test]
+    fn backward_shift_keeps_table_and_list_coherent() {
+        // Small capacity + many files forces constant eviction, exercising
+        // hole-filling moves and the LRU relinking they require.
+        let mut p = pool(5);
+        let mut x: u64 = 99;
+        for step in 0..20_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            p.access(pid((x >> 40) as u32 % 17, (x >> 20) as u32 % 13));
+            assert!(p.len() <= 5);
+            if step % 1024 == 0 {
+                p.clear();
+                assert!(p.is_empty());
+            }
+        }
+        assert_eq!(p.hits() + p.misses(), 20_000);
     }
 }

@@ -48,6 +48,13 @@ impl Default for CostConfig {
 /// Shared by every storage structure of one database instance via
 /// [`SharedCost`]; strategies snapshot it before/after their quanta to learn
 /// their own incremental cost.
+///
+/// Charging is a single integer increment per call — the weighted
+/// [`CostMeter::total`] is computed on demand from the counters, so the
+/// hot paths (one charge per page touch or per RID batch) never do
+/// floating-point work, and the total is independent of how charges were
+/// batched (`n` single charges and one charge of `n` produce bit-identical
+/// totals).
 #[derive(Debug)]
 pub struct CostMeter {
     config: CostConfig,
@@ -57,7 +64,6 @@ pub struct CostMeter {
     records_examined: Cell<u64>,
     rid_ops: Cell<u64>,
     index_entries: Cell<u64>,
-    total: Cell<f64>,
 }
 
 impl CostMeter {
@@ -71,7 +77,6 @@ impl CostMeter {
             records_examined: Cell::new(0),
             rid_ops: Cell::new(0),
             index_entries: Cell::new(0),
-            total: Cell::new(0.0),
         }
     }
 
@@ -82,47 +87,58 @@ impl CostMeter {
 
     /// Charges one physical page read (buffer miss).
     pub fn charge_page_read(&self) {
-        self.page_reads.set(self.page_reads.get() + 1);
-        self.add(self.config.io_read);
+        self.charge_page_reads(1);
+    }
+
+    /// Charges `n` physical page reads at once (batched access runs).
+    pub fn charge_page_reads(&self, n: u64) {
+        self.page_reads.set(self.page_reads.get() + n);
     }
 
     /// Charges one buffer hit.
     pub fn charge_cache_hit(&self) {
-        self.cache_hits.set(self.cache_hits.get() + 1);
-        self.add(self.config.cache_hit);
+        self.charge_cache_hits(1);
+    }
+
+    /// Charges `n` buffer hits at once (batched access runs).
+    pub fn charge_cache_hits(&self, n: u64) {
+        self.cache_hits.set(self.cache_hits.get() + n);
     }
 
     /// Charges one temporary-table page write.
     pub fn charge_page_write(&self) {
-        self.page_writes.set(self.page_writes.get() + 1);
-        self.add(self.config.io_write);
+        self.charge_page_writes(1);
+    }
+
+    /// Charges `n` temporary-table page writes at once.
+    pub fn charge_page_writes(&self, n: u64) {
+        self.page_writes.set(self.page_writes.get() + n);
     }
 
     /// Charges examination of `n` records.
     pub fn charge_records(&self, n: u64) {
         self.records_examined.set(self.records_examined.get() + n);
-        self.add(self.config.cpu_record * n as f64);
     }
 
     /// Charges `n` RID-level operations.
     pub fn charge_rid_ops(&self, n: u64) {
         self.rid_ops.set(self.rid_ops.get() + n);
-        self.add(self.config.rid_op * n as f64);
     }
 
     /// Charges `n` index-entry visits.
     pub fn charge_index_entries(&self, n: u64) {
         self.index_entries.set(self.index_entries.get() + n);
-        self.add(self.config.index_entry * n as f64);
     }
 
-    fn add(&self, units: f64) {
-        self.total.set(self.total.get() + units);
-    }
-
-    /// Total cost units accumulated so far.
+    /// Total cost units accumulated so far (computed from the counters).
     pub fn total(&self) -> f64 {
-        self.total.get()
+        let c = &self.config;
+        self.page_reads.get() as f64 * c.io_read
+            + self.cache_hits.get() as f64 * c.cache_hit
+            + self.page_writes.get() as f64 * c.io_write
+            + self.records_examined.get() as f64 * c.cpu_record
+            + self.rid_ops.get() as f64 * c.rid_op
+            + self.index_entries.get() as f64 * c.index_entry
     }
 
     /// Point-in-time copy of all counters.
@@ -134,7 +150,7 @@ impl CostMeter {
             records_examined: self.records_examined.get(),
             rid_ops: self.rid_ops.get(),
             index_entries: self.index_entries.get(),
-            total: self.total.get(),
+            total: self.total(),
         }
     }
 
@@ -146,7 +162,6 @@ impl CostMeter {
         self.records_examined.set(0);
         self.rid_ops.set(0);
         self.index_entries.set(0);
-        self.total.set(0.0);
     }
 }
 

@@ -7,6 +7,7 @@
 //! stage (Section 7).
 
 use crate::buffer::{FileId, PageId, SharedPool};
+use crate::cost::SharedCost;
 use crate::error::StorageError;
 use crate::page::{Page, DEFAULT_PAGE_BYTES};
 use crate::record::Record;
@@ -21,6 +22,9 @@ pub struct HeapTable {
     schema: Schema,
     pages: Vec<Page>,
     pool: SharedPool,
+    /// The pool's meter, cached so record-granular CPU charges skip the
+    /// `RefCell` borrow of the pool.
+    cost: SharedCost,
     page_bytes: usize,
     live_records: u64,
     /// Pages known to have free space after deletes (a tiny free-space
@@ -44,12 +48,14 @@ impl HeapTable {
         pool: SharedPool,
         page_bytes: usize,
     ) -> Self {
+        let cost = pool.borrow().cost().clone();
         HeapTable {
             name: name.into(),
             file,
             schema,
             pages: Vec::new(),
             pool,
+            cost,
             page_bytes,
             live_records: 0,
             free_hints: Vec::new(),
@@ -127,11 +133,10 @@ impl HeapTable {
                 page: rid.page,
                 pages: self.pages.len() as u32,
             })?;
-        {
-            let mut pool = self.pool.borrow_mut();
-            pool.access(PageId::new(self.file, rid.page));
-            pool.cost().charge_records(1);
-        }
+        self.pool
+            .borrow_mut()
+            .access(PageId::new(self.file, rid.page));
+        self.cost.charge_records(1);
         let bytes = page.slot_bytes(rid.slot).ok_or(StorageError::InvalidSlot {
             page: rid.page,
             slot: rid.slot,
@@ -204,7 +209,7 @@ impl HeapScan {
                 let slot = self.slot;
                 self.slot += 1;
                 if let Some(bytes) = page.slot_bytes(slot) {
-                    table.pool.borrow().cost().charge_records(1);
+                    table.cost.charge_records(1);
                     let record = Record::decode(bytes).ok()?;
                     return Some((Rid::new(self.page, slot), record));
                 }

@@ -29,6 +29,7 @@ pub mod error;
 pub mod heap;
 pub mod page;
 pub mod record;
+pub mod reference;
 pub mod rid;
 pub mod schema;
 pub mod temp;
@@ -40,6 +41,7 @@ pub use cost::{CostConfig, CostMeter, CostSnapshot, SharedCost};
 pub use error::StorageError;
 pub use heap::{HeapScan, HeapTable};
 pub use record::Record;
+pub use reference::ReferencePool;
 pub use rid::Rid;
 pub use schema::{Column, Schema};
 pub use temp::TempTable;

@@ -1,0 +1,182 @@
+//! Reference buffer-pool model: the original `HashMap`-plus-slab true-LRU
+//! implementation, kept verbatim as an executable specification.
+//!
+//! [`crate::BufferPool`] replaced this with an open-addressed table for
+//! speed; correctness of that replacement is defined as *observable
+//! equivalence to this model* — identical hit/miss classification, eviction
+//! order, counters and charges on any access/perturb/clear interleaving.
+//! The property test in `tests/proptests.rs` checks exactly that, and the
+//! `hotpath` benchmark measures the speedup against this baseline.
+
+use std::collections::HashMap;
+
+use crate::buffer::{Access, FileId, PageId};
+use crate::cost::SharedCost;
+
+const NIL: usize = usize::MAX;
+
+/// Intrusive doubly-linked LRU node stored in a slab.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    page: PageId,
+    prev: usize,
+    next: usize,
+}
+
+/// The seed `BufferPool`: `HashMap` index into a slab of LRU nodes.
+#[derive(Debug)]
+pub struct ReferencePool {
+    cost: SharedCost,
+    capacity: usize,
+    map: HashMap<PageId, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    hits: u64,
+    misses: u64,
+}
+
+impl ReferencePool {
+    /// Creates a pool that can hold `capacity` pages (`capacity >= 1`).
+    pub fn new(capacity: usize, cost: SharedCost) -> Self {
+        assert!(capacity >= 1, "buffer pool capacity must be at least 1");
+        ReferencePool {
+            cost,
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of pages currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lifetime miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Touches `page`, classifying the access and charging the meter.
+    pub fn access(&mut self, page: PageId) -> Access {
+        if let Some(&idx) = self.map.get(&page) {
+            self.unlink(idx);
+            self.push_front(idx);
+            self.hits += 1;
+            self.cost.charge_cache_hit();
+            return Access::Hit;
+        }
+        self.misses += 1;
+        self.cost.charge_page_read();
+        if self.map.len() == self.capacity {
+            self.evict_lru();
+        }
+        let idx = self.alloc(page);
+        self.push_front(idx);
+        self.map.insert(page, idx);
+        Access::Miss
+    }
+
+    /// True if `page` is currently resident (no cost, no LRU touch).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Evicts every resident page — a cold restart.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Faults in `foreign_pages` pages of `foreign_file` without charging;
+    /// already-resident foreign pages keep their recency.
+    pub fn perturb(&mut self, foreign_file: FileId, foreign_pages: u32) {
+        for p in 0..foreign_pages {
+            let page = PageId::new(foreign_file, p);
+            if self.map.contains_key(&page) {
+                continue;
+            }
+            if self.map.len() == self.capacity {
+                self.evict_lru();
+            }
+            let idx = self.alloc(page);
+            self.push_front(idx);
+            self.map.insert(page, idx);
+        }
+    }
+
+    fn alloc(&mut self, page: PageId) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.slab[idx] = Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.slab.push(Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        }
+    }
+
+    fn evict_lru(&mut self) {
+        let idx = self.tail;
+        debug_assert_ne!(idx, NIL, "evict from empty pool");
+        let page = self.slab[idx].page;
+        self.unlink(idx);
+        self.map.remove(&page);
+        self.free.push(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let Node { prev, next, .. } = self.slab[idx];
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}

@@ -5,7 +5,8 @@
 //! overflow." This is that temporary table: an append-only RID store with
 //! page-granular write cost on spill and read cost on scan-back.
 
-use crate::buffer::{FileId, PageId, SharedPool};
+use crate::buffer::{FileId, SharedPool};
+use crate::cost::SharedCost;
 use crate::rid::Rid;
 
 /// How many RIDs fit on one temp-table page (a RID is 6 bytes; an 8 KiB
@@ -18,6 +19,9 @@ pub const RIDS_PER_PAGE: usize = 1024;
 pub struct TempTable {
     file: FileId,
     pool: SharedPool,
+    /// The pool's meter, cached so RID-granular charges skip the `RefCell`
+    /// borrow of the pool.
+    cost: SharedCost,
     rids: Vec<Rid>,
     pages_written: u32,
     rids_per_page: usize,
@@ -32,9 +36,11 @@ impl TempTable {
     /// Creates a temp table with custom page granularity (for tests).
     pub fn with_rids_per_page(file: FileId, pool: SharedPool, rids_per_page: usize) -> Self {
         assert!(rids_per_page >= 1);
+        let cost = pool.borrow().cost().clone();
         TempTable {
             file,
             pool,
+            cost,
             rids: Vec::new(),
             pages_written: 0,
             rids_per_page,
@@ -65,12 +71,15 @@ impl TempTable {
         let before_pages = self.page_count_for(self.rids.len());
         self.rids.extend_from_slice(batch);
         let after_pages = self.page_count_for(self.rids.len());
-        let mut pool = self.pool.borrow_mut();
-        for p in before_pages..after_pages {
-            pool.write(PageId::new(self.file, p));
-            self.pages_written = self.pages_written.max(p + 1);
+        if after_pages > before_pages {
+            self.pool.borrow_mut().write_run(
+                self.file,
+                before_pages,
+                after_pages - before_pages,
+            );
+            self.pages_written = self.pages_written.max(after_pages);
         }
-        pool.cost().charge_rid_ops(batch.len() as u64);
+        self.cost.charge_rid_ops(batch.len() as u64);
     }
 
     fn page_count_for(&self, n: usize) -> u32 {
@@ -81,11 +90,7 @@ impl TempTable {
     /// per page, and returns it.
     pub fn scan_all(&self) -> Vec<Rid> {
         let pages = self.page_count_for(self.rids.len());
-        let mut pool = self.pool.borrow_mut();
-        for p in 0..pages {
-            pool.access(PageId::new(self.file, p));
-        }
-        drop(pool);
+        self.pool.borrow_mut().access_run(self.file, 0, pages);
         self.rids.clone()
     }
 

@@ -2,9 +2,33 @@
 
 use proptest::prelude::*;
 use rdb_storage::{
-    shared_meter, shared_pool, Column, CostConfig, FileId, HeapTable, Record, Rid, Schema, Value,
-    ValueType,
+    shared_meter, shared_pool, BufferPool, Column, CostConfig, FileId, HeapTable, PageId, Record,
+    ReferencePool, Rid, Schema, Value, ValueType,
 };
+
+/// One step of a buffer-pool workload for the differential test below.
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Access { file: u32, page: u32 },
+    Run { file: u32, first: u32, n: u32 },
+    Perturb { file: u32, pages: u32 },
+    Clear,
+}
+
+fn arb_pool_op(files: u32, pages: u32) -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        (0..files, 0..pages).prop_map(|(file, page): (u32, u32)| -> PoolOp {
+            PoolOp::Access { file, page }
+        }),
+        (0..files, 0..pages, 0u32..12).prop_map(|(file, first, n): (u32, u32, u32)| -> PoolOp {
+            PoolOp::Run { file, first, n }
+        }),
+        (100u32..104, 0u32..10).prop_map(|(file, pages): (u32, u32)| -> PoolOp {
+            PoolOp::Perturb { file, pages }
+        }),
+        Just(PoolOp::Clear),
+    ]
+}
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![
@@ -87,6 +111,63 @@ proptest! {
             seen.push(rec[0].as_i64().unwrap());
         }
         prop_assert_eq!(seen, xs);
+    }
+
+    /// The open-addressed pool is defined to be observably equivalent to
+    /// the seed `HashMap`+slab implementation: same hit/miss sequence,
+    /// counters, residency, and cost on any interleaving of accesses,
+    /// batched runs, perturbations, and cold restarts, at any capacity.
+    #[test]
+    fn pool_matches_reference_lru(
+        capacity in 1usize..40,
+        ops in prop::collection::vec(arb_pool_op(5, 64), 1..400),
+    ) {
+        let cost_new = shared_meter(CostConfig::default());
+        let cost_ref = shared_meter(CostConfig::default());
+        let mut pool = BufferPool::new(capacity, cost_new.clone());
+        let mut reference = ReferencePool::new(capacity, cost_ref.clone());
+        for op in &ops {
+            match *op {
+                PoolOp::Access { file, page } => {
+                    let pid = PageId::new(FileId(file), page);
+                    prop_assert_eq!(pool.access(pid), reference.access(pid));
+                }
+                PoolOp::Run { file, first, n } => {
+                    let (hits, misses) = pool.access_run(FileId(file), first, n);
+                    let mut ref_hits = 0u64;
+                    for p in first..first + n {
+                        let got = reference.access(PageId::new(FileId(file), p));
+                        if got == rdb_storage::Access::Hit {
+                            ref_hits += 1;
+                        }
+                    }
+                    prop_assert_eq!(hits, ref_hits);
+                    prop_assert_eq!(hits + misses, n as u64);
+                }
+                PoolOp::Perturb { file, pages } => {
+                    pool.perturb(FileId(file), pages);
+                    reference.perturb(FileId(file), pages);
+                }
+                PoolOp::Clear => {
+                    pool.clear();
+                    reference.clear();
+                }
+            }
+            prop_assert_eq!(pool.len(), reference.len());
+            prop_assert_eq!(pool.hits(), reference.hits());
+            prop_assert_eq!(pool.misses(), reference.misses());
+        }
+        // Residency agrees for every page either pool could hold.
+        for f in (0..5u32).chain(100..104) {
+            for p in 0..80 {
+                let pid = PageId::new(FileId(f), p);
+                prop_assert_eq!(pool.contains(pid), reference.contains(pid));
+            }
+        }
+        // Charges agree exactly: the meter total is a pure function of the
+        // counters, so batched and per-page charging are bit-identical.
+        prop_assert_eq!(cost_new.snapshot(), cost_ref.snapshot());
+        prop_assert!(cost_new.total() == cost_ref.total(), "totals must be bit-identical");
     }
 
     #[test]

@@ -46,7 +46,7 @@ fn main() {
         ),
     ];
 
-    println!("{:>22}  {:>6}  {:>10}  {}", "case", "rows", "cost", "tactic");
+    println!("{:>22}  {:>6}  {:>10}  tactic", "case", "rows", "cost");
     for (label, sql) in cases {
         db.clear_cache();
         let r = db.query(sql, &none).expect("query");

@@ -212,7 +212,7 @@ fn claim_estimation_cheap_and_exact_on_small_ranges() {
     let idx = &f.indexes[1];
     let est = idx.estimate_range(&KeyRange::closed(100, 102));
     assert!(est.exact || est.estimate <= 64.0, "{est:?}");
-    assert!(u32::from(est.nodes_visited) <= idx.height());
+    assert!(est.nodes_visited <= idx.height());
     let wide = idx.estimate_range(&KeyRange::closed(10_000, 30_000));
     let truth = 20_001.0;
     assert!(

@@ -1,0 +1,227 @@
+//! Offline drop-in for the subset of `criterion` used by this workspace.
+//!
+//! The build environment cannot reach a crates.io mirror, so the workspace
+//! vendors the benchmark API surface its `benches/` use: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`, `black_box`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each `iter` target is warmed up, then timed over
+//! enough batches to fill a fixed measurement window; the best batch mean
+//! is reported (robust to scheduler noise, biased low like min-based
+//! timing). Passing `--test` (as `cargo bench -- --test` does, and as CI's
+//! smoke step does) runs every body exactly once without timing.
+//!
+//! If the `CRITERION_JSON` environment variable names a path, a JSON array
+//! of `{"id": ..., "ns_per_iter": ...}` records is written there on exit —
+//! the hook `benches/hotpath.rs` uses to refresh `BENCH_hotpath.json`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// Measurement window per benchmark; override (in milliseconds) with
+/// `CRITERION_MEASURE_MS` for more noise-robust runs on loaded machines.
+fn measure_window() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms.max(10))
+}
+
+/// Benchmark driver and result collector.
+pub struct Criterion {
+    test_mode: bool,
+    results: Vec<(String, f64)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group; benchmark ids are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks `f` under `id` (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        self.run_one(id.to_string(), &mut f);
+    }
+
+    fn run_one(&mut self, id: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            ns_per_iter: 0.0,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else {
+            println!("{id:<55} {:>14} ns/iter", format_ns(bencher.ns_per_iter));
+        }
+        self.results.push((id, bencher.ns_per_iter));
+    }
+
+    /// All measurements taken so far, as `(id, ns_per_iter)`.
+    pub fn measurements(&self) -> &[(String, f64)] {
+        &self.results
+    }
+
+    /// Writes measurements as JSON to `$CRITERION_JSON`, if set.
+    pub fn final_summary(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, (id, ns)) in self.results.iter().enumerate() {
+            let sep = if i + 1 == self.results.len() { "" } else { "," };
+            out.push_str(&format!(
+                "  {{\"id\": \"{id}\", \"ns_per_iter\": {ns:.1}}}{sep}\n"
+            ));
+        }
+        out.push_str("]\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("criterion: cannot write {path}: {e}");
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` as `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, &mut f);
+    }
+
+    /// Benchmarks `f` as `group/id` with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (markers only; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Names one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Times one closure.
+pub struct Bencher {
+    test_mode: bool,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`, keeping the best batch mean over the measurement
+    /// window. In `--test` mode runs `f` once and records nothing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warmup, and estimate a batch size filling ~10% of the window.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let measure = measure_window();
+        let est_ns = WARMUP.as_nanos() as f64 / warm_iters.max(1) as f64;
+        // ~30 batches across the window, so the best-batch estimator has
+        // plenty of chances to land in a quiet scheduler slice.
+        let batch =
+            ((measure.as_nanos() as f64 / 30.0 / est_ns.max(1.0)) as u64).clamp(1, 1 << 24);
+        let mut best = f64::INFINITY;
+        let run_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t.elapsed().as_nanos() as f64 / batch as f64;
+            if per_iter < best {
+                best = per_iter;
+            }
+            if run_start.elapsed() >= measure {
+                break;
+            }
+        }
+        self.ns_per_iter = best;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
