@@ -57,19 +57,19 @@ fn bench_host_variable(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dynamic", a1), &a1, |b, &a1| {
             b.iter(|| {
                 f.cold();
-                dynamic.run(&host_var_request(&f, a1))
+                dynamic.run(&host_var_request(&f, a1)).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("static_fscan", a1), &a1, |b, &a1| {
             b.iter(|| {
                 f.cold();
-                static_opt.execute(StaticPlan::Fscan { pos: 0 }, &host_var_request(&f, a1))
+                static_opt.execute(StaticPlan::Fscan { pos: 0 }, &host_var_request(&f, a1)).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("static_tscan", a1), &a1, |b, &a1| {
             b.iter(|| {
                 f.cold();
-                static_opt.execute(StaticPlan::Tscan, &host_var_request(&f, a1))
+                static_opt.execute(StaticPlan::Tscan, &host_var_request(&f, a1)).unwrap()
             })
         });
     }
@@ -100,7 +100,7 @@ fn bench_jscan(c: &mut Criterion) {
     group.bench_function("dynamic", |b| {
         b.iter(|| {
             f.cold();
-            dynamic.run(&jscan_request(&f))
+            dynamic.run(&jscan_request(&f)).unwrap()
         })
     });
     group.bench_function("static_moha90", |b| {
@@ -108,7 +108,7 @@ fn bench_jscan(c: &mut Criterion) {
             f.cold();
             let req = jscan_request(&f);
             let est = estimate_all(&req);
-            static_jscan.run(&req, &est)
+            static_jscan.run(&req, &est).unwrap()
         })
     });
     group.finish();

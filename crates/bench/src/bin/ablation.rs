@@ -68,7 +68,7 @@ fn threshold_sweep() {
                 ..DynamicConfig::default()
             });
             f.cold();
-            let run = optimizer.run(&request);
+            let run = optimizer.run(&request).unwrap();
             let abandoned = run
                 .events
                 .iter()
@@ -134,7 +134,7 @@ fn tiny_shortcut() {
             ..DynamicConfig::default()
         });
         f.cold();
-        let run = optimizer.run(&request);
+        let run = optimizer.run(&request).unwrap();
         rows.push(vec![
             label.into(),
             format!("{}", run.deliveries.len()),
@@ -206,18 +206,18 @@ fn interference() {
     };
     let optimizer = DynamicOptimizer::default();
     f.cold();
-    let cold = optimizer.run(&request()).cost;
+    let cold = optimizer.run(&request()).unwrap().cost;
     let mut rows = vec![vec!["cold start".to_string(), fmt(cold)]];
     // The fixture pool holds 200k pages; pressure beyond that evicts the
     // query's working set.
     for foreign_pages in [0u32, 100_000, 199_000, 400_000] {
         // Warm up, interfere, measure.
-        let _ = optimizer.run(&request());
+        let _ = optimizer.run(&request()).unwrap();
         f.table
             .pool()
             .borrow_mut()
             .perturb(FileId(4242), foreign_pages);
-        let cost = optimizer.run(&request()).cost;
+        let cost = optimizer.run(&request()).unwrap().cost;
         rows.push(vec![format!("warm + {foreign_pages} foreign pages"), fmt(cost)]);
     }
     print_table(&["scenario", "cost"], &rows);

@@ -104,13 +104,13 @@ fn main() {
             limit: None,
         };
         db.clear_cache();
-        let dyn_run = dynamic.run(&request());
+        let dyn_run = dynamic.run(&request()).unwrap();
         db.clear_cache();
-        let stat_run = static_opt.execute(committed, &request());
+        let stat_run = static_opt.execute(committed, &request()).unwrap();
         db.clear_cache();
-        let t = static_opt.execute(StaticPlan::Tscan, &request());
+        let t = static_opt.execute(StaticPlan::Tscan, &request()).unwrap();
         db.clear_cache();
-        let fs = static_opt.execute(StaticPlan::Fscan { pos: 0 }, &request());
+        let fs = static_opt.execute(StaticPlan::Fscan { pos: 0 }, &request()).unwrap();
         let oracle = t.cost.min(fs.cost);
         assert_eq!(dyn_run.deliveries.len(), stat_run.deliveries.len());
         sum_dyn += dyn_run.cost;

@@ -73,13 +73,13 @@ fn main() {
     let mut out = Vec::new();
     for a1 in [0, 20, 50, 80, 90, 95, 99, 100, 200] {
         db.clear_cache();
-        let dyn_run = dynamic.run(&request(a1));
+        let dyn_run = dynamic.run(&request(a1)).unwrap();
         db.clear_cache();
-        let stat_committed = static_opt.execute(committed, &request(a1));
+        let stat_committed = static_opt.execute(committed, &request(a1)).unwrap();
         db.clear_cache();
-        let stat_tscan = static_opt.execute(StaticPlan::Tscan, &request(a1));
+        let stat_tscan = static_opt.execute(StaticPlan::Tscan, &request(a1)).unwrap();
         db.clear_cache();
-        let stat_fscan = static_opt.execute(StaticPlan::Fscan { pos: 0 }, &request(a1));
+        let stat_fscan = static_opt.execute(StaticPlan::Fscan { pos: 0 }, &request(a1)).unwrap();
         assert_eq!(dyn_run.deliveries.len(), stat_tscan.deliveries.len());
         let oracle = stat_tscan.cost.min(stat_fscan.cost);
         out.push(vec![

@@ -51,15 +51,15 @@ fn sweep() {
             }
         };
         f.cold();
-        let dyn_run = dynamic.run(&request());
+        let dyn_run = dynamic.run(&request()).unwrap();
         f.cold();
         let req = request();
         let est = estimate_all(&req);
-        let stat = static_jscan.run(&req, &est);
+        let stat = static_jscan.run(&req, &est).unwrap();
         f.cold();
-        let fscan = static_opt.execute(StaticPlan::Fscan { pos: 1 }, &request());
+        let fscan = static_opt.execute(StaticPlan::Fscan { pos: 1 }, &request()).unwrap();
         f.cold();
-        let tscan = static_opt.execute(StaticPlan::Tscan, &request());
+        let tscan = static_opt.execute(StaticPlan::Tscan, &request()).unwrap();
         assert_eq!(dyn_run.deliveries.len(), tscan.deliveries.len());
         let oracle = fscan.cost.min(tscan.cost).min(stat.cost);
         rows.push(vec![
@@ -118,7 +118,7 @@ fn tiers() {
             }
         };
         f.cold();
-        let run = dynamic.run(&request);
+        let run = dynamic.run(&request).unwrap();
         let tier = run
             .events
             .iter()

@@ -74,19 +74,21 @@ fn main() {
         let mut total = 0.0;
         for &a1 in &bindings {
             let cost = match mode {
-                "dynamic" => dynamic.run(&request(a1)).cost,
-                "tscan" => static_opt.execute(StaticPlan::Tscan, &request(a1)).cost,
+                "dynamic" => dynamic.run(&request(a1)).unwrap().cost,
+                "tscan" => static_opt.execute(StaticPlan::Tscan, &request(a1)).unwrap().cost,
                 "fscan" => {
                     static_opt
                         .execute(StaticPlan::Fscan { pos: 0 }, &request(a1))
+                        .unwrap()
                         .cost
                 }
                 "oracle" => {
                     // Per-binding best of the two committed plans, measured
                     // on a shadow timeline to keep cache effects fair-ish.
-                    let t = static_opt.execute(StaticPlan::Tscan, &request(a1)).cost;
+                    let t = static_opt.execute(StaticPlan::Tscan, &request(a1)).unwrap().cost;
                     let f = static_opt
                         .execute(StaticPlan::Fscan { pos: 0 }, &request(a1))
+                        .unwrap()
                         .cost;
                     t.min(f)
                 }

@@ -42,11 +42,11 @@ fn background_only() {
             }
         };
         f.cold();
-        let dynamic_run = dynamic.run(&request());
+        let dynamic_run = dynamic.run(&request()).unwrap();
         f.cold();
-        let fscan = static_opt.execute(StaticPlan::Fscan { pos: 0 }, &request());
+        let fscan = static_opt.execute(StaticPlan::Fscan { pos: 0 }, &request()).unwrap();
         f.cold();
-        let tscan = static_opt.execute(StaticPlan::Tscan, &request());
+        let tscan = static_opt.execute(StaticPlan::Tscan, &request()).unwrap();
         rows.push(vec![
             format!("c0={a},c1={b}"),
             format!("{}", dynamic_run.deliveries.len()),
@@ -88,11 +88,11 @@ fn fast_first() {
             }
         };
         f.cold();
-        let ff = dynamic.run(&request(OptimizeGoal::FastFirst));
+        let ff = dynamic.run(&request(OptimizeGoal::FastFirst)).unwrap();
         f.cold();
-        let bg = dynamic.run(&request(OptimizeGoal::TotalTime));
+        let bg = dynamic.run(&request(OptimizeGoal::TotalTime)).unwrap();
         f.cold();
-        let fscan = static_opt.execute(StaticPlan::Fscan { pos: 0 }, &request(OptimizeGoal::FastFirst));
+        let fscan = static_opt.execute(StaticPlan::Fscan { pos: 0 }, &request(OptimizeGoal::FastFirst)).unwrap();
         rows.push(vec![
             match limit {
                 Some(n) => format!("stop after {n}"),
@@ -152,9 +152,9 @@ fn sorted() {
             }
         };
         f.cold();
-        let with_filter = dynamic.run(&request(true));
+        let with_filter = dynamic.run(&request(true)).unwrap();
         f.cold();
-        let without = dynamic.run(&request(false));
+        let without = dynamic.run(&request(false)).unwrap();
         rows.push(vec![
             format!("c0<{sel}"),
             format!("{}", with_filter.deliveries.len()),
@@ -192,7 +192,7 @@ fn index_only() {
         64,
     );
     let mut scan = f.table.scan();
-    while let Some((rid, record)) = scan.next(&f.table) {
+    while let Some((rid, record)) = scan.next(&f.table).unwrap() {
         covering.insert(vec![record[0].clone(), record[1].clone()], rid);
     }
 
@@ -250,7 +250,7 @@ fn index_only() {
             }
         };
         f.cold();
-        let run = dynamic.run(&request());
+        let run = dynamic.run(&request()).unwrap();
         f.cold();
         // The best static fetch-based comparator for each scenario.
         let fscan = static_opt.execute(
@@ -258,7 +258,7 @@ fn index_only() {
                 pos: if bgr_useful { 1 } else { 0 },
             },
             &request(),
-        );
+        ).unwrap();
         assert_eq!(run.deliveries.len(), fscan.deliveries.len());
         rows.push(vec![
             label.into(),

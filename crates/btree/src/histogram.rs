@@ -132,8 +132,10 @@ impl Histogram {
 
 fn collect_numeric(tree: &BTree) -> Option<Vec<f64>> {
     let mut values = Vec::with_capacity(tree.len() as usize);
+    // Histogram construction is catalog work done at load time, before any
+    // fault campaign arms the pool; a fault here is a harness bug.
     let mut scan = tree.range_scan(KeyRange::all());
-    while let Some((key, _)) = scan.next(tree) {
+    while let Some((key, _)) = scan.next(tree).expect("histogram build read failed") {
         values.push(key[0].as_f64()?);
     }
     // Leaf order is key order: already sorted.

@@ -4,8 +4,17 @@
 //! the tree, so a scan strategy can park it between scheduling quanta —
 //! exactly what the paper's competition controller needs when it advances
 //! several index scans "simultaneously with proportional speed".
+//!
+//! # Fault handling
+//!
+//! Scans read index pages through the buffer pool's fallible path, so an
+//! armed [`rdb_storage::FaultPolicy`] can kill a descent or a leaf
+//! transition. `open` stays infallible for ergonomic call sites: a fault
+//! during the initial descent is *deferred* — stored in the cursor and
+//! returned by the first [`RangeScan::next`] call. After any error the
+//! cursor is dead (`next` returns `Ok(None)` thereafter).
 
-use rdb_storage::{Rid, Value};
+use rdb_storage::{Rid, StorageError, Value};
 
 use crate::key::KeyRange;
 use crate::node::{Node, NodeId};
@@ -19,11 +28,15 @@ pub struct RangeScan {
     pos: usize,
     entered_leaf: bool,
     done: bool,
+    /// A fault caught during `open`'s descent, surfaced by the first
+    /// `next` call (the deferred-open-error pattern).
+    pending_err: Option<StorageError>,
 }
 
 impl RangeScan {
     /// Descends to the first leaf that can contain entries in `range`,
-    /// charging the descent path.
+    /// charging the descent path. A fault during the descent is deferred
+    /// to the first [`RangeScan::next`] call.
     pub(crate) fn open(tree: &BTree, range: KeyRange) -> RangeScan {
         if range.is_trivially_empty() || tree.is_empty() {
             return RangeScan {
@@ -32,11 +45,21 @@ impl RangeScan {
                 pos: 0,
                 entered_leaf: false,
                 done: true,
+                pending_err: None,
             };
         }
         let mut id = tree.root;
         loop {
-            tree.touch(id);
+            if let Err(e) = tree.try_touch(id) {
+                return RangeScan {
+                    range,
+                    leaf: None,
+                    pos: 0,
+                    entered_leaf: false,
+                    done: false,
+                    pending_err: Some(e),
+                };
+            }
             match tree.node(id) {
                 Node::Internal(node) => {
                     // First child that may contain a key satisfying lo: count
@@ -57,13 +80,15 @@ impl RangeScan {
                         pos,
                         entered_leaf: true,
                         done: false,
+                        pending_err: None,
                     };
                 }
             }
         }
     }
 
-    /// True once the scan has delivered its last entry.
+    /// True once the scan has delivered its last entry (or died on a
+    /// fault).
     pub fn is_done(&self) -> bool {
         self.done
     }
@@ -73,21 +98,29 @@ impl RangeScan {
         &self.range
     }
 
-    /// Next entry in key order, or `None` at the end of the range.
-    pub fn next(&mut self, tree: &BTree) -> Option<(Vec<Value>, Rid)> {
+    /// Next entry in key order, `Ok(None)` at the end of the range, or
+    /// `Err` if a storage fault killed the scan (the cursor is then dead).
+    pub fn next(&mut self, tree: &BTree) -> Result<Option<(Vec<Value>, Rid)>, StorageError> {
+        if let Some(e) = self.pending_err.take() {
+            self.done = true;
+            return Err(e);
+        }
         if self.done {
-            return None;
+            return Ok(None);
         }
         loop {
             let leaf_id = match self.leaf {
                 Some(id) => id,
                 None => {
                     self.done = true;
-                    return None;
+                    return Ok(None);
                 }
             };
             if !self.entered_leaf {
-                tree.touch(leaf_id);
+                if let Err(e) = tree.try_touch(leaf_id) {
+                    self.done = true;
+                    return Err(e);
+                }
                 self.entered_leaf = true;
             }
             let leaf = tree.node(leaf_id).as_leaf();
@@ -97,13 +130,13 @@ impl RangeScan {
                 tree.charge_entries(1);
                 if !self.range.satisfies_hi(&entry.key) {
                     self.done = true;
-                    return None;
+                    return Ok(None);
                 }
                 debug_assert!(
                     self.range.satisfies_lo(&entry.key),
                     "scan produced entry below lower bound"
                 );
-                return Some((entry.key.clone(), entry.rid));
+                return Ok(Some((entry.key.clone(), entry.rid)));
             }
             self.leaf = leaf.next;
             self.pos = 0;
@@ -126,11 +159,15 @@ pub struct RangeScanRev {
     /// Next position to deliver within the leaf, plus one (0 = exhausted).
     pos_plus_one: usize,
     done: bool,
+    /// A fault caught during `open`'s descent, surfaced by the first
+    /// `next` call.
+    pending_err: Option<StorageError>,
 }
 
 impl RangeScanRev {
     /// Descends to the last leaf that can contain entries in `range`,
-    /// charging the descent path.
+    /// charging the descent path. A fault during the descent is deferred
+    /// to the first [`RangeScanRev::next`] call.
     pub(crate) fn open(tree: &BTree, range: KeyRange) -> RangeScanRev {
         if range.is_trivially_empty() || tree.is_empty() {
             return RangeScanRev {
@@ -138,11 +175,20 @@ impl RangeScanRev {
                 leaf: None,
                 pos_plus_one: 0,
                 done: true,
+                pending_err: None,
             };
         }
         let mut id = tree.root;
         loop {
-            tree.touch(id);
+            if let Err(e) = tree.try_touch(id) {
+                return RangeScanRev {
+                    range,
+                    leaf: None,
+                    pos_plus_one: 0,
+                    done: false,
+                    pending_err: Some(e),
+                };
+            }
             match tree.node(id) {
                 Node::Internal(node) => {
                     // Last child that may contain a key satisfying hi.
@@ -158,28 +204,35 @@ impl RangeScanRev {
                         leaf: Some(id),
                         pos_plus_one: pos,
                         done: false,
+                        pending_err: None,
                     };
                 }
             }
         }
     }
 
-    /// True once the scan has delivered its last entry.
+    /// True once the scan has delivered its last entry (or died on a
+    /// fault).
     pub fn is_done(&self) -> bool {
         self.done
     }
 
-    /// Next entry in reverse key order, or `None` at the start of range.
-    pub fn next(&mut self, tree: &BTree) -> Option<(Vec<Value>, Rid)> {
+    /// Next entry in reverse key order, `Ok(None)` at the start of the
+    /// range, or `Err` if a storage fault killed the scan.
+    pub fn next(&mut self, tree: &BTree) -> Result<Option<(Vec<Value>, Rid)>, StorageError> {
+        if let Some(e) = self.pending_err.take() {
+            self.done = true;
+            return Err(e);
+        }
         if self.done {
-            return None;
+            return Ok(None);
         }
         loop {
             let leaf_id = match self.leaf {
                 Some(id) => id,
                 None => {
                     self.done = true;
-                    return None;
+                    return Ok(None);
                 }
             };
             let leaf = tree.node(leaf_id).as_leaf();
@@ -189,20 +242,26 @@ impl RangeScanRev {
                 tree.charge_entries(1);
                 if !self.range.satisfies_lo(&entry.key) {
                     self.done = true;
-                    return None;
+                    return Ok(None);
                 }
                 debug_assert!(self.range.satisfies_hi(&entry.key));
-                return Some((entry.key.clone(), entry.rid));
+                return Ok(Some((entry.key.clone(), entry.rid)));
             }
             // Exhausted this leaf: re-descend to the predecessor leaf (the
             // rightmost leaf of the nearest left-sibling subtree on the
             // path to this leaf's first entry).
             let Some(first) = leaf.entries.first() else {
                 self.done = true;
-                return None;
+                return Ok(None);
             };
             let target = first.clone();
-            let prev = tree.predecessor_leaf(&target);
+            let prev = match tree.predecessor_leaf(&target) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            };
             match prev {
                 Some(id) => {
                     let n = tree.node(id).as_leaf().entries.len();
@@ -211,7 +270,7 @@ impl RangeScanRev {
                 }
                 None => {
                     self.done = true;
-                    return None;
+                    return Ok(None);
                 }
             }
         }
@@ -222,7 +281,7 @@ impl RangeScanRev {
 mod tests {
     use super::*;
     use crate::key::KeyBound;
-    use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId};
+    use rdb_storage::{shared_meter, shared_pool, CostConfig, FaultPolicy, FileId};
 
     fn tree(keys: impl IntoIterator<Item = i64>) -> BTree {
         let pool = shared_pool(10_000, shared_meter(CostConfig::default()));
@@ -292,7 +351,7 @@ mod tests {
     fn scan_keys_rev(t: &BTree, r: KeyRange) -> Vec<i64> {
         let mut scan = t.range_scan_rev(r);
         let mut out = Vec::new();
-        while let Some((k, _)) = scan.next(t) {
+        while let Some((k, _)) = scan.next(t).unwrap() {
             out.push(k[0].as_i64().unwrap());
         }
         out
@@ -341,11 +400,11 @@ mod tests {
         let mut scan = t.range_scan_rev(KeyRange::closed(2, 4));
         let mut first = Vec::new();
         for _ in 0..10 {
-            first.push(scan.next(&t).unwrap().0[0].as_i64().unwrap());
+            first.push(scan.next(&t).unwrap().unwrap().0[0].as_i64().unwrap());
         }
         // Park and resume across leaf boundaries.
         let mut rest = Vec::new();
-        while let Some((k, _)) = scan.next(&t) {
+        while let Some((k, _)) = scan.next(&t).unwrap() {
             rest.push(k[0].as_i64().unwrap());
         }
         first.extend(rest);
@@ -359,11 +418,11 @@ mod tests {
         let mut scan = t.range_scan(KeyRange::closed(10, 90));
         let mut first_half = Vec::new();
         for _ in 0..40 {
-            first_half.push(scan.next(&t).unwrap().0[0].as_i64().unwrap());
+            first_half.push(scan.next(&t).unwrap().unwrap().0[0].as_i64().unwrap());
         }
         // "Park" the cursor, then resume.
         let mut rest = Vec::new();
-        while let Some((k, _)) = scan.next(&t) {
+        while let Some((k, _)) = scan.next(&t).unwrap() {
             rest.push(k[0].as_i64().unwrap());
         }
         first_half.extend(rest);
@@ -417,5 +476,84 @@ mod tests {
         };
         let entries2 = t.range_to_vec(r2);
         assert_eq!(entries2.len(), 3);
+    }
+
+    #[test]
+    fn open_fault_is_deferred_to_first_next() {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(10_000, cost.clone());
+        let mut t = BTree::new("idx", FileId(1), pool.clone(), vec![0], 4);
+        for i in 0..200 {
+            t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
+        }
+        // Fail the very first index-page read: the descent dies, but open
+        // still returns a cursor; the error surfaces on next().
+        pool.borrow_mut()
+            .set_fault_policy(Some(FaultPolicy::fail_from_nth(0).scoped_to(FileId(1))));
+        let mut scan = t.range_scan(KeyRange::all());
+        assert!(!scan.is_done());
+        let err = scan.next(&t).unwrap_err();
+        assert!(matches!(err, StorageError::InjectedFault { .. }));
+        assert!(!err.is_benign_for_scan());
+        // The cursor is dead, not wedged: subsequent calls yield Ok(None).
+        assert!(scan.is_done());
+        assert_eq!(scan.next(&t).unwrap(), None);
+    }
+
+    #[test]
+    fn mid_scan_fault_kills_cursor_cleanly() {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(10_000, cost.clone());
+        let mut t = BTree::new("idx", FileId(1), pool.clone(), vec![0], 4);
+        for i in 0..500 {
+            t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
+        }
+        // Let the descent and a few leaves through, then kill the disk.
+        pool.borrow_mut()
+            .set_fault_policy(Some(FaultPolicy::fail_from_nth(10).scoped_to(FileId(1))));
+        let mut scan = t.range_scan(KeyRange::all());
+        let mut delivered = 0usize;
+        let err = loop {
+            match scan.next(&t) {
+                Ok(Some(_)) => delivered += 1,
+                Ok(None) => panic!("scan must die before finishing 500 entries"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, StorageError::InjectedFault { .. }));
+        assert!(delivered > 0, "some entries must flow before the fault");
+        assert_eq!(scan.next(&t).unwrap(), None, "dead cursor stays dead");
+        // Disarm and rescan: everything is intact (no partial-state damage).
+        pool.borrow_mut().set_fault_policy(None);
+        assert_eq!(t.count_range(KeyRange::all()), 500);
+    }
+
+    #[test]
+    fn reverse_scan_fault_on_redescent_propagates() {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(10_000, cost.clone());
+        let mut t = BTree::new("idx", FileId(1), pool.clone(), vec![0], 4);
+        for i in 0..300 {
+            t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
+        }
+        pool.borrow_mut()
+            .set_fault_policy(Some(FaultPolicy::fail_from_nth(8).scoped_to(FileId(1))));
+        let mut scan = t.range_scan_rev(KeyRange::all());
+        let mut delivered = 0usize;
+        let mut saw_err = false;
+        loop {
+            match scan.next(&t) {
+                Ok(Some(_)) => delivered += 1,
+                Ok(None) => break,
+                Err(e) => {
+                    assert!(matches!(e, StorageError::InjectedFault { .. }));
+                    saw_err = true;
+                    break;
+                }
+            }
+        }
+        assert!(saw_err, "reverse scan must hit the injected fault");
+        assert!(delivered < 300);
+        assert_eq!(scan.next(&t).unwrap(), None);
     }
 }

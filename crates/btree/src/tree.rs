@@ -1,7 +1,7 @@
 //! The B+‑tree proper: construction, maintenance, and node access
 //! accounting.
 
-use rdb_storage::{FileId, PageId, Rid, SharedCost, SharedPool, Value};
+use rdb_storage::{FileId, PageId, Rid, SharedCost, SharedPool, StorageError, Value};
 
 use crate::key::KeyRange;
 use crate::node::{Entry, InternalNode, LeafNode, Node, NodeId};
@@ -111,10 +111,24 @@ impl BTree {
     }
 
     /// Charges one page access for visiting `node` (read path only).
+    ///
+    /// Infallible variant for planning-time reads (`contains`, catalog
+    /// estimation): those model pinned metadata and are exempt from fault
+    /// injection. Data scans go through [`BTree::try_touch`].
     pub(crate) fn touch(&self, node: NodeId) {
         self.pool
             .borrow_mut()
             .access(PageId::new(self.file, node));
+    }
+
+    /// Fallible page visit for scan paths: consults the pool's
+    /// [`rdb_storage::FaultPolicy`] (if armed) before charging, so a
+    /// simulated dead disk surfaces here as `Err` instead of a panic.
+    pub(crate) fn try_touch(&self, node: NodeId) -> Result<(), StorageError> {
+        self.pool
+            .borrow_mut()
+            .try_access(PageId::new(self.file, node))?;
+        Ok(())
     }
 
     /// Charges `n` index-entry visits.
@@ -389,16 +403,16 @@ impl BTree {
     /// Finds the leaf containing the greatest entry strictly below
     /// `entry`, by one root-to-leaf descent (charged). Used by descending
     /// scans to cross leaf boundaries without backward sibling links.
-    pub(crate) fn predecessor_leaf(&self, entry: &Entry) -> Option<NodeId> {
+    pub(crate) fn predecessor_leaf(&self, entry: &Entry) -> Result<Option<NodeId>, StorageError> {
         let mut id = self.root;
         let mut candidate: Option<NodeId> = None;
         loop {
-            self.touch(id);
+            self.try_touch(id)?;
             match self.node(id) {
                 Node::Internal(node) => {
                     let idx = node.child_for(entry);
                     if idx > 0 {
-                        candidate = Some(self.rightmost_leaf(node.children[idx - 1]));
+                        candidate = Some(self.rightmost_leaf(node.children[idx - 1])?);
                     }
                     id = node.children[idx];
                 }
@@ -407,41 +421,47 @@ impl BTree {
                     // have been consumed already by the caller; the answer
                     // is the left-sibling subtree's rightmost leaf.
                     let _ = leaf;
-                    return candidate;
+                    return Ok(candidate);
                 }
             }
         }
     }
 
     /// Rightmost leaf of the subtree rooted at `id` (descent charged).
-    fn rightmost_leaf(&self, mut id: NodeId) -> NodeId {
+    fn rightmost_leaf(&self, mut id: NodeId) -> Result<NodeId, StorageError> {
         loop {
-            self.touch(id);
+            self.try_touch(id)?;
             match self.node(id) {
                 Node::Internal(node) => {
                     id = *node.children.last().expect("internal has children");
                 }
-                Node::Leaf(_) => return id,
+                Node::Leaf(_) => return Ok(id),
             }
         }
     }
 
     /// Collects all `(key, rid)` pairs in `range` (convenience; charges the
-    /// full scan).
+    /// full scan). Panics on an injected fault — use [`BTree::range_scan`]
+    /// directly where faults must be handled.
     pub fn range_to_vec(&self, range: KeyRange) -> Vec<(Vec<Value>, Rid)> {
         let mut scan = self.range_scan(range);
         let mut out = Vec::new();
-        while let Some(e) = scan.next(self) {
+        while let Some(e) = scan.next(self).expect("convenience scan hit an injected fault") {
             out.push(e);
         }
         out
     }
 
     /// Exact number of entries in `range`, counted by scanning (charged).
+    /// Panics on an injected fault, like [`BTree::range_to_vec`].
     pub fn count_range(&self, range: KeyRange) -> u64 {
         let mut scan = self.range_scan(range);
         let mut n = 0;
-        while scan.next(self).is_some() {
+        while scan
+            .next(self)
+            .expect("convenience scan hit an injected fault")
+            .is_some()
+        {
             n += 1;
         }
         n

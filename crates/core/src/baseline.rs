@@ -14,7 +14,7 @@
 //!   further execution off-balance and make it suboptimal."
 
 use rdb_btree::KeyRange;
-use rdb_storage::{HeapTable, Rid};
+use rdb_storage::{HeapTable, Rid, StorageError};
 
 use crate::fscan::Fscan;
 use crate::jscan::Jscan;
@@ -135,7 +135,11 @@ impl StaticOptimizer {
 
     /// Executes the committed plan against a bound request. The plan does
     /// not change with the binding — that is the point of this baseline.
-    pub fn execute(&self, plan: StaticPlan, request: &RetrievalRequest<'_>) -> RetrievalResult {
+    pub fn execute(
+        &self,
+        plan: StaticPlan,
+        request: &RetrievalRequest<'_>,
+    ) -> Result<RetrievalResult, StorageError> {
         let cost_before = request.table.pool().borrow().cost().total();
         let mut sink = Sink::new(request.limit);
         let deliver = |step: StrategyStep, sink: &mut Sink| match step {
@@ -147,7 +151,7 @@ impl StaticOptimizer {
             StaticPlan::Tscan => {
                 let mut s = Tscan::new(request.table, request.residual.clone());
                 loop {
-                    let step = s.step();
+                    let step = s.step()?;
                     let done = matches!(step, StrategyStep::Done);
                     if !deliver(step, &mut sink) || done {
                         break;
@@ -163,7 +167,7 @@ impl StaticOptimizer {
                     request.residual.clone(),
                 );
                 loop {
-                    let step = s.step();
+                    let step = s.step()?;
                     let done = matches!(step, StrategyStep::Done);
                     if !deliver(step, &mut sink) || done {
                         break;
@@ -178,7 +182,7 @@ impl StaticOptimizer {
                     .expect("static Sscan plan for non-self-sufficient index");
                 let mut s = Sscan::new(c.tree, c.range.clone(), pred);
                 loop {
-                    match s.step() {
+                    match s.step()? {
                         StrategyStep::Deliver(rid, record) => {
                             if !sink.deliver_from_index(rid, record) {
                                 break;
@@ -191,7 +195,7 @@ impl StaticOptimizer {
             }
         }
         let cost = request.table.pool().borrow().cost().total() - cost_before;
-        RetrievalResult {
+        Ok(RetrievalResult {
             deliveries: sink.into_deliveries(),
             cost,
             strategy: format!("static {plan:?}"),
@@ -200,7 +204,7 @@ impl StaticOptimizer {
                 StaticPlan::Sscan { pos } => Some(pos),
                 _ => None,
             },
-        }
+        })
     }
 }
 
@@ -243,7 +247,7 @@ impl StaticJscan {
         &self,
         request: &RetrievalRequest<'a>,
         estimates: &[(usize, KeyRange, f64)],
-    ) -> RetrievalResult {
+    ) -> Result<RetrievalResult, StorageError> {
         let table = request.table;
         let cost_before = table.pool().borrow().cost().total();
         let mut sink = Sink::new(request.limit);
@@ -265,7 +269,7 @@ impl StaticJscan {
             let mut s = Tscan::new(table, request.residual.clone());
             events.push("static plan: Tscan".into());
             loop {
-                match s.step() {
+                match s.step()? {
                     StrategyStep::Deliver(rid, record) => {
                         if !sink.deliver(rid, record) {
                             break;
@@ -283,7 +287,7 @@ impl StaticJscan {
                 let tree = request.indexes[*pos].tree;
                 let mut rids: Vec<Rid> = Vec::new();
                 let mut scan = tree.range_scan(range.clone());
-                while let Some((_, rid)) = scan.next(tree) {
+                while let Some((_, rid)) = scan.next(tree)? {
                     rids.push(rid);
                 }
                 table
@@ -314,17 +318,17 @@ impl StaticJscan {
                 &[],
                 &mut sink,
                 &mut events,
-            );
+            )?;
         }
 
         let cost = table.pool().borrow().cost().total() - cost_before;
-        RetrievalResult {
+        Ok(RetrievalResult {
             deliveries: sink.into_deliveries(),
             cost,
             strategy: "static-jscan [MoHa90]".into(),
             events,
             sscan_index: None,
-        }
+        })
     }
 }
 

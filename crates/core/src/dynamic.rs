@@ -16,6 +16,7 @@
 //! strategy for `:A1 = 200`, per run.
 
 use rdb_btree::KeyRange;
+use rdb_storage::StorageError;
 
 use crate::fscan::Fscan;
 use crate::initial::{InitialPlan, InitialStage, ShortcutKind};
@@ -137,8 +138,11 @@ impl DynamicOptimizer {
         }
     }
 
-    /// Chooses a tactic and executes the retrieval.
-    pub fn run(&self, request: &RetrievalRequest<'_>) -> RetrievalResult {
+    /// Chooses a tactic and executes the retrieval. `Err` means the data
+    /// storage failed mid-run (e.g. an injected fault on the heap file);
+    /// an index-file fault alone degrades gracefully inside the tactics
+    /// and does not surface here.
+    pub fn run(&self, request: &RetrievalRequest<'_>) -> Result<RetrievalResult, StorageError> {
         self.run_with_observer(request, None)
     }
 
@@ -150,7 +154,7 @@ impl DynamicOptimizer {
         &self,
         request: &RetrievalRequest<'_>,
         observer: Option<crate::request::DeliveryObserver<'_>>,
-    ) -> RetrievalResult {
+    ) -> Result<RetrievalResult, StorageError> {
         let cost_before = request.table.pool().borrow().cost().total();
         let (choice, plan) = self.choose(request);
         let mut sink = match observer {
@@ -167,7 +171,7 @@ impl DynamicOptimizer {
             TacticChoice::TscanOnly => {
                 let mut scan = Tscan::new(request.table, request.residual.clone());
                 loop {
-                    match scan.step() {
+                    match scan.step()? {
                         StrategyStep::Deliver(rid, record) => {
                             if !sink.deliver(rid, record) {
                                 break;
@@ -191,7 +195,7 @@ impl DynamicOptimizer {
                     request.residual.clone(),
                 );
                 loop {
-                    match f.step() {
+                    match f.step()? {
                         StrategyStep::Deliver(rid, record) => {
                             if !sink.deliver(rid, record) {
                                 break;
@@ -209,7 +213,7 @@ impl DynamicOptimizer {
                 let pred = c.self_sufficient.clone().expect("self-sufficient pred");
                 let mut s = Sscan::new(c.tree, c.range.clone(), pred);
                 loop {
-                    match s.step() {
+                    match s.step()? {
                         StrategyStep::Deliver(rid, record) => {
                             if !sink.deliver_from_index(rid, record) {
                                 break;
@@ -225,7 +229,7 @@ impl DynamicOptimizer {
                     .build_jscan(request, &plan, None)
                     .expect("background-only requires indexes");
                 let report =
-                    tactics::background_only(request.table, jscan, &request.residual, &mut sink);
+                    tactics::background_only(request.table, jscan, &request.residual, &mut sink)?;
                 events.push(report.strategy);
                 events.extend(report.events);
             }
@@ -239,7 +243,7 @@ impl DynamicOptimizer {
                     &request.residual,
                     self.config.fgr,
                     &mut sink,
-                );
+                )?;
                 events.push(report.strategy);
                 events.extend(report.events);
             }
@@ -255,7 +259,7 @@ impl DynamicOptimizer {
                 );
                 let jscan = self.build_jscan(request, &plan, Some(pos));
                 let report =
-                    tactics::sorted(request.table, fscan, jscan, self.config.fgr, &mut sink);
+                    tactics::sorted(request.table, fscan, jscan, self.config.fgr, &mut sink)?;
                 events.push(report.strategy);
                 events.extend(report.events);
             }
@@ -273,20 +277,20 @@ impl DynamicOptimizer {
                     &request.residual,
                     self.config.fgr,
                     &mut sink,
-                );
+                )?;
                 events.push(report.strategy);
                 events.extend(report.events);
             }
         }
 
         let cost = request.table.pool().borrow().cost().total() - cost_before;
-        RetrievalResult {
+        Ok(RetrievalResult {
             deliveries: sink.into_deliveries(),
             cost,
             strategy: format!("{choice:?}"),
             events,
             sscan_index,
-        }
+        })
     }
 }
 
@@ -301,7 +305,7 @@ impl DynamicOptimizer {
         arms: Vec<(&'_ rdb_btree::BTree, KeyRange)>,
         residual: &crate::request::RecordPred,
         limit: Option<usize>,
-    ) -> crate::request::RetrievalResult {
+    ) -> Result<crate::request::RetrievalResult, StorageError> {
         use crate::ridlist::RidList;
         use crate::union::{UnionArm, UnionOutcome, UnionScan};
 
@@ -330,29 +334,29 @@ impl DynamicOptimizer {
             strategy = "UnionScan (empty)".to_string();
         } else {
             let mut scan = UnionScan::new(table, union_arms, self.config.jscan);
-            let outcome = scan.run();
+            let outcome = scan.run()?;
             events.extend(scan.events().iter().cloned());
             match outcome {
                 UnionOutcome::Rids(rids) => {
                     let list = RidList::from_vec(rids);
-                    tactics::final_stage(table, &list, residual, &[], &mut sink, &mut events);
+                    tactics::final_stage(table, &list, residual, &[], &mut sink, &mut events)?;
                     strategy = "UnionScan".to_string();
                 }
                 UnionOutcome::UseTscan => {
-                    tactics::run_tscan(table, residual, &[], &mut sink, &mut events);
+                    tactics::run_tscan(table, residual, &[], &mut sink, &mut events)?;
                     strategy = "UnionScan -> Tscan".to_string();
                 }
             }
         }
 
         let cost = table.pool().borrow().cost().total() - cost_before;
-        crate::request::RetrievalResult {
+        Ok(crate::request::RetrievalResult {
             deliveries: sink.into_deliveries(),
             cost,
             strategy,
             events,
             sscan_index: None,
-        }
+        })
     }
 }
 

@@ -10,7 +10,7 @@
 
 use rdb_btree::scan::RangeScanRev;
 use rdb_btree::{BTree, KeyRange, RangeScan};
-use rdb_storage::HeapTable;
+use rdb_storage::{HeapTable, StorageError};
 
 use crate::filter::Filter;
 use crate::request::RecordPred;
@@ -123,30 +123,35 @@ impl<'a> Fscan<'a> {
         self.delivered
     }
 
-    /// Advances by one index entry (fetching at most one record).
-    pub fn step(&mut self) -> StrategyStep {
+    /// Advances by one index entry (fetching at most one record). `Err`
+    /// means an index page or data page died under the scan; benign fetch
+    /// errors (record deleted between index read and fetch) are skipped.
+    pub fn step(&mut self) -> Result<StrategyStep, StorageError> {
         let next = match &mut self.scan {
             Cursor::Fwd(s) => s.next(self.tree),
             Cursor::Rev(s) => s.next(self.tree),
         };
-        match next {
-            None => StrategyStep::Done,
+        match next? {
+            None => Ok(StrategyStep::Done),
             Some((_key, rid)) => {
                 self.entries_seen += 1;
                 if let Some(f) = &self.filter {
                     if !f.contains_seq(&mut self.probe, rid) {
                         self.filter_rejections += 1;
-                        return StrategyStep::Progress;
+                        return Ok(StrategyStep::Progress);
                     }
                 }
                 self.fetches += 1;
                 match self.table.fetch(rid) {
                     Ok(record) if (self.residual)(&record) => {
                         self.delivered += 1;
-                        StrategyStep::Deliver(rid, Some(record))
+                        Ok(StrategyStep::Deliver(rid, Some(record)))
                     }
-                    Ok(_) => StrategyStep::Progress,
-                    Err(_) => StrategyStep::Progress, // record deleted under us
+                    Ok(_) => Ok(StrategyStep::Progress),
+                    // Record deleted under us: skip. Anything else (fault,
+                    // corruption) must not be silently dropped.
+                    Err(e) if e.is_benign_for_scan() => Ok(StrategyStep::Progress),
+                    Err(e) => Err(e),
                 }
             }
         }
@@ -196,7 +201,7 @@ mod tests {
         let mut f = Fscan::new(&table, &tree, KeyRange::closed(50, 59), accept_all());
         let mut vals = Vec::new();
         loop {
-            match f.step() {
+            match f.step().unwrap() {
                 StrategyStep::Deliver(_, Some(rec)) => vals.push(rec[0].as_i64().unwrap()),
                 StrategyStep::Deliver(_, None) => unreachable!(),
                 StrategyStep::Progress => {}
@@ -214,7 +219,7 @@ mod tests {
         let mut f = Fscan::new(&table, &tree, KeyRange::closed(0, 29), residual);
         let mut n = 0;
         loop {
-            match f.step() {
+            match f.step().unwrap() {
                 StrategyStep::Deliver(..) => n += 1,
                 StrategyStep::Progress => {}
                 StrategyStep::Done => break,
@@ -237,7 +242,7 @@ mod tests {
         f.set_filter(Filter::sorted(allowed));
         let mut n = 0;
         loop {
-            match f.step() {
+            match f.step().unwrap() {
                 StrategyStep::Deliver(..) => n += 1,
                 StrategyStep::Progress => {}
                 StrategyStep::Done => break,
@@ -253,11 +258,11 @@ mod tests {
         let (table, tree) = setup(100);
         let mut f = Fscan::new(&table, &tree, KeyRange::all(), accept_all());
         for _ in 0..20 {
-            f.step();
+            f.step().unwrap();
         }
         let fetched_before = f.fetches();
         f.set_filter(Filter::sorted(vec![])); // reject everything from now on
-        while !matches!(f.step(), StrategyStep::Done) {}
+        while !matches!(f.step().unwrap(), StrategyStep::Done) {}
         assert_eq!(f.fetches(), fetched_before, "no fetch after empty filter");
     }
 

@@ -116,6 +116,9 @@ pub enum DiscardReason {
     ScanSpend,
     /// Simultaneous partner spilled out of memory; secondary dropped.
     SimultaneousOverflow,
+    /// The index's storage died mid-scan (injected fault); the competition
+    /// continues on the surviving indexes or falls back to Tscan.
+    StorageFault,
 }
 
 impl fmt::Display for JscanEvent {
@@ -360,15 +363,20 @@ impl<'a> Jscan<'a> {
         };
         let before = self.cost_total();
         let mut finished_scan = false;
+        let mut fault = false;
         let tree = self.indexes[active.idx].tree;
         let is_borrow_source = active.idx == 0;
         for _ in 0..self.config.batch {
             match active.scan.next(tree) {
-                None => {
+                Err(_) => {
+                    fault = true;
+                    break;
+                }
+                Ok(None) => {
                     finished_scan = true;
                     break;
                 }
-                Some((_key, rid)) => {
+                Ok(Some((_key, rid))) => {
                     active.entries += 1;
                     let keep = match &self.filter {
                         Some(f) => f.contains_seq(&mut active.probe, rid),
@@ -391,16 +399,31 @@ impl<'a> Jscan<'a> {
             }
         }
         active.spent += self.cost_total() - before;
-        if use_secondary {
-            self.secondary = Some(active);
+        if fault {
+            // Graceful degradation: this index's storage died mid-scan.
+            // Its partial list is worthless; discard the scan and let the
+            // competition continue on the surviving indexes (finalize falls
+            // back to Tscan if none survive).
+            let name = tree.name().to_owned();
+            self.events.push(JscanEvent::IndexDiscarded {
+                name,
+                reason: DiscardReason::StorageFault,
+            });
+            if is_borrow_source {
+                self.borrow_open = false;
+            }
         } else {
-            self.primary = Some(active);
-        }
+            if use_secondary {
+                self.secondary = Some(active);
+            } else {
+                self.primary = Some(active);
+            }
 
-        if finished_scan {
-            self.complete_active(use_secondary);
-        } else {
-            self.apply_criteria(use_secondary);
+            if finished_scan {
+                self.complete_active(use_secondary);
+            } else {
+                self.apply_criteria(use_secondary);
+            }
         }
 
         if self.outcome.is_some() {
@@ -782,7 +805,7 @@ mod tests {
         borrowed.extend_from_slice(fresh);
         assert_eq!(borrowed.len(), 100, "all a==5 candidates borrowable");
         match j.take_outcome() {
-            JscanOutcome::FinalList(list) => assert_eq!(list.to_vec(), borrowed),
+            JscanOutcome::FinalList(list) => assert_eq!(list.to_vec().unwrap(), borrowed),
             other => panic!("{other:?}"),
         }
     }

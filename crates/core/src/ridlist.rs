@@ -119,14 +119,15 @@ impl RidList {
     }
 
     /// Materializes the RIDs in insertion order (charges temp-table page
-    /// reads for the spilled tier).
-    pub fn to_vec(&self) -> Vec<Rid> {
-        match self {
+    /// reads for the spilled tier). `Err` when a spilled list's temp pages
+    /// fail to read back (injected fault) — in-memory tiers cannot fail.
+    pub fn to_vec(&self) -> Result<Vec<Rid>, rdb_storage::StorageError> {
+        Ok(match self {
             RidList::Empty => Vec::new(),
             RidList::Inline { rids, len } => rids[..*len].to_vec(),
             RidList::Buffer { rids, .. } => rids.to_vec(),
-            RidList::Spilled { temp, .. } => temp.scan_all(),
-        }
+            RidList::Spilled { temp, .. } => temp.scan_all()?,
+        })
     }
 
     /// Builds a membership filter over the list. In-memory tiers produce
@@ -348,7 +349,7 @@ mod tests {
         let list = b.finish();
         assert!(matches!(list, RidList::Empty));
         assert_eq!(list.tier(), "empty");
-        assert!(list.to_vec().is_empty());
+        assert!(list.to_vec().unwrap().is_empty());
     }
 
     #[test]
@@ -360,7 +361,7 @@ mod tests {
         assert_eq!(cost.total(), 0.0, "inline tier must not charge anything");
         let list = b.finish();
         assert_eq!(list.tier(), "inline");
-        assert_eq!(list.to_vec(), rids(4));
+        assert_eq!(list.to_vec().unwrap(), rids(4));
     }
 
     #[test]
@@ -371,7 +372,7 @@ mod tests {
         }
         let list = b.finish();
         assert_eq!(list.tier(), "buffer");
-        assert_eq!(list.to_vec(), rids(50));
+        assert_eq!(list.to_vec().unwrap(), rids(50));
         assert_eq!(list.len(), 50);
     }
 
@@ -388,7 +389,7 @@ mod tests {
         let list = b.finish();
         assert_eq!(list.tier(), "spilled");
         assert_eq!(list.len(), 5000);
-        assert_eq!(list.to_vec(), input);
+        assert_eq!(list.to_vec().unwrap(), input);
     }
 
     #[test]
@@ -484,7 +485,7 @@ mod tests {
             panic!("expected buffer tier");
         };
         assert!(!*sorted);
-        assert_eq!(list.to_vec(), input, "insertion order is preserved");
+        assert_eq!(list.to_vec().unwrap(), input, "insertion order is preserved");
         let f = list.filter();
         for &r in &input {
             assert!(f.contains(r));

@@ -54,16 +54,16 @@ impl<'a> Sscan<'a> {
     /// tuple** as their record (no heap fetch) — callers route them via
     /// [`crate::Sink::deliver_from_index`] and project output columns
     /// through the index's `key_columns`.
-    pub fn step(&mut self) -> StrategyStep {
-        match self.scan.next(self.tree) {
-            None => StrategyStep::Done,
+    pub fn step(&mut self) -> Result<StrategyStep, rdb_storage::StorageError> {
+        match self.scan.next(self.tree)? {
+            None => Ok(StrategyStep::Done),
             Some((key, rid)) => {
                 self.examined += 1;
                 if (self.key_pred)(&key) {
                     self.delivered += 1;
-                    StrategyStep::Deliver(rid, Some(rdb_storage::Record::new(key)))
+                    Ok(StrategyStep::Deliver(rid, Some(rdb_storage::Record::new(key))))
                 } else {
-                    StrategyStep::Progress
+                    Ok(StrategyStep::Progress)
                 }
             }
         }
@@ -110,7 +110,7 @@ mod tests {
         let mut scan = Sscan::new(&t, KeyRange::closed(10, 19), all_pred());
         let mut rids = Vec::new();
         loop {
-            match scan.step() {
+            match scan.step().unwrap() {
                 StrategyStep::Deliver(rid, rec) => {
                     let rec = rec.expect("sscan delivers the index key tuple");
                     assert_eq!(rec.len(), 1, "one key column");
@@ -131,7 +131,7 @@ mod tests {
         let mut scan = Sscan::new(&t, KeyRange::closed(0, 9), pred);
         let mut n = 0;
         loop {
-            match scan.step() {
+            match scan.step().unwrap() {
                 StrategyStep::Deliver(..) => n += 1,
                 StrategyStep::Progress => {}
                 StrategyStep::Done => break,

@@ -16,7 +16,7 @@
 //!   buffer overflow kills Jscan, a small complete RID list kills Sscan.
 
 use rdb_competition::ProportionalScheduler;
-use rdb_storage::{HeapTable, Rid};
+use rdb_storage::{HeapTable, Rid, StorageError};
 
 use crate::fscan::Fscan;
 use crate::jscan::{Jscan, JscanOutcome, JscanStatus};
@@ -72,8 +72,8 @@ pub fn final_stage(
     exclude: &[Rid],
     sink: &mut Sink,
     events: &mut Vec<String>,
-) {
-    let mut rids = list.to_vec();
+) -> Result<(), StorageError> {
+    let mut rids = list.to_vec()?;
     rids.sort_unstable();
     rids.dedup();
     let mut excluded: Vec<Rid> = exclude.to_vec();
@@ -88,13 +88,19 @@ pub fn final_stage(
         if excluded.binary_search(&rid).is_ok() {
             continue;
         }
-        if let Ok(record) = table.fetch(rid) {
-            if residual(&record) && !sink.deliver(rid, Some(record)) {
-                events.push("limit reached during final stage".into());
-                return;
+        match table.fetch(rid) {
+            Ok(record) => {
+                if residual(&record) && !sink.deliver(rid, Some(record)) {
+                    events.push("limit reached during final stage".into());
+                    return Ok(());
+                }
             }
+            // Deleted under us between list build and fetch: skip.
+            Err(e) if e.is_benign_for_scan() => {}
+            Err(e) => return Err(e),
         }
     }
+    Ok(())
 }
 
 /// Full-table fallback scan, excluding already-delivered RIDs.
@@ -104,24 +110,24 @@ pub(crate) fn run_tscan(
     exclude: &[Rid],
     sink: &mut Sink,
     events: &mut Vec<String>,
-) {
+) -> Result<(), StorageError> {
     let mut excluded: Vec<Rid> = exclude.to_vec();
     excluded.sort_unstable();
     let mut scan = Tscan::new(table, residual.clone());
     events.push("running Tscan".into());
     loop {
-        match scan.step() {
+        match scan.step()? {
             StrategyStep::Deliver(rid, record) => {
                 if excluded.binary_search(&rid).is_ok() {
                     continue;
                 }
                 if !sink.deliver(rid, record) {
                     events.push("limit reached during Tscan".into());
-                    return;
+                    return Ok(());
                 }
             }
             StrategyStep::Progress => {}
-            StrategyStep::Done => return,
+            StrategyStep::Done => return Ok(()),
         }
     }
 }
@@ -134,10 +140,10 @@ pub fn background_only(
     mut jscan: Jscan<'_>,
     residual: &RecordPred,
     sink: &mut Sink,
-) -> TacticReport {
+) -> Result<TacticReport, StorageError> {
     let outcome = jscan.run();
     let mut events: Vec<String> = jscan.events().iter().map(|e| e.to_string()).collect();
-    match outcome {
+    Ok(match outcome {
         JscanOutcome::Empty => {
             events.push("end of data (empty intersection)".into());
             TacticReport {
@@ -146,20 +152,20 @@ pub fn background_only(
             }
         }
         JscanOutcome::FinalList(list) => {
-            final_stage(table, &list, residual, &[], sink, &mut events);
+            final_stage(table, &list, residual, &[], sink, &mut events)?;
             TacticReport {
                 strategy: "background-only (Jscan + final stage)".into(),
                 events,
             }
         }
         JscanOutcome::UseTscan => {
-            run_tscan(table, residual, &[], sink, &mut events);
+            run_tscan(table, residual, &[], sink, &mut events)?;
             TacticReport {
                 strategy: "background-only (Jscan -> Tscan)".into(),
                 events,
             }
         }
-    }
+    })
 }
 
 /// **Fast-first tactic** (Section 7): the foreground borrows RIDs from the
@@ -172,7 +178,7 @@ pub fn fast_first(
     residual: &RecordPred,
     config: FgrConfig,
     sink: &mut Sink,
-) -> TacticReport {
+) -> Result<TacticReport, StorageError> {
     let mut events: Vec<String> = Vec::new();
     let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
     const FGR: usize = 0;
@@ -207,17 +213,22 @@ pub fn fast_first(
                     continue;
                 };
                 let before = meter_total(table);
-                if let Ok(record) = table.fetch(rid) {
-                    if residual(&record) {
-                        fgr_buffer.push(rid);
-                        if !sink.deliver(rid, Some(record)) {
-                            events.push("limit reached by foreground".into());
-                            return TacticReport {
-                                strategy: "fast-first (foreground satisfied)".into(),
-                                events,
-                            };
+                match table.fetch(rid) {
+                    Ok(record) => {
+                        if residual(&record) {
+                            fgr_buffer.push(rid);
+                            if !sink.deliver(rid, Some(record)) {
+                                events.push("limit reached by foreground".into());
+                                return Ok(TacticReport {
+                                    strategy: "fast-first (foreground satisfied)".into(),
+                                    events,
+                                });
+                            }
                         }
                     }
+                    // Deleted under us: the borrowed RID went stale; skip.
+                    Err(e) if e.is_benign_for_scan() => {}
+                    Err(e) => return Err(e),
                 }
                 fgr_spend += meter_total(table) - before;
                 // Direct competition: overflow or overspend kills Fgr.
@@ -253,16 +264,16 @@ pub fn fast_first(
     match outcome {
         Some(JscanOutcome::Empty) | None => {}
         Some(JscanOutcome::FinalList(list)) => {
-            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events);
+            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events)?;
         }
         Some(JscanOutcome::UseTscan) => {
-            run_tscan(table, residual, &fgr_buffer, sink, &mut events);
+            run_tscan(table, residual, &fgr_buffer, sink, &mut events)?;
         }
     }
-    TacticReport {
+    Ok(TacticReport {
         strategy: strategy.into(),
         events,
-    }
+    })
 }
 
 /// **Sorted tactic** (Section 7): foreground Fscan on the order-needed
@@ -275,7 +286,7 @@ pub fn sorted(
     mut jscan: Option<Jscan<'_>>,
     config: FgrConfig,
     sink: &mut Sink,
-) -> TacticReport {
+) -> Result<TacticReport, StorageError> {
     let mut events: Vec<String> = Vec::new();
     let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
     const FGR: usize = 0;
@@ -286,14 +297,14 @@ pub fn sorted(
 
     while let Some(who) = sched.next() {
         match who {
-            FGR => match fscan.step() {
+            FGR => match fscan.step()? {
                 StrategyStep::Deliver(rid, record) => {
                     if !sink.deliver(rid, record) {
                         events.push("limit reached by ordered foreground".into());
-                        return TacticReport {
+                        return Ok(TacticReport {
                             strategy: "sorted (Fscan satisfied)".into(),
                             events,
-                        };
+                        });
                     }
                 }
                 StrategyStep::Progress => {}
@@ -311,10 +322,10 @@ pub fn sorted(
                     match j.take_outcome() {
                         JscanOutcome::Empty => {
                             events.push("background proved empty result".into());
-                            return TacticReport {
+                            return Ok(TacticReport {
                                 strategy: "sorted (background empty shortcut)".into(),
                                 events,
-                            };
+                            });
                         }
                         JscanOutcome::FinalList(list) => {
                             events.push(format!(
@@ -340,10 +351,10 @@ pub fn sorted(
     } else {
         "sorted (Fscan alone)"
     };
-    TacticReport {
+    Ok(TacticReport {
         strategy: strategy.into(),
         events,
-    }
+    })
 }
 
 /// **Index-only tactic** (Section 7): the best Sscan runs in the
@@ -358,7 +369,7 @@ pub fn index_only(
     residual: &RecordPred,
     config: FgrConfig,
     sink: &mut Sink,
-) -> TacticReport {
+) -> Result<TacticReport, StorageError> {
     let mut events: Vec<String> = Vec::new();
     let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
     const FGR: usize = 0;
@@ -377,15 +388,15 @@ pub fn index_only(
         match who {
             FGR => {
                 for _ in 0..FGR_BATCH {
-                    match sscan.step() {
+                    match sscan.step()? {
                         StrategyStep::Deliver(rid, record) => {
                             fgr_buffer.push(rid);
                             if !sink.deliver_from_index(rid, record) {
                                 events.push("limit reached by index-only foreground".into());
-                                return TacticReport {
+                                return Ok(TacticReport {
                                     strategy: "index-only (Sscan satisfied)".into(),
                                     events,
-                                };
+                                });
                             }
                             if fgr_buffer.len() >= config.buffer_capacity && jscan.is_some() {
                                 events.push(
@@ -399,10 +410,10 @@ pub fn index_only(
                         StrategyStep::Progress => {}
                         StrategyStep::Done => {
                             events.push("Sscan completed; background abandoned".into());
-                            return TacticReport {
+                            return Ok(TacticReport {
                                 strategy: "index-only (Sscan won)".into(),
                                 events,
-                            };
+                            });
                         }
                     }
                 }
@@ -416,10 +427,10 @@ pub fn index_only(
                     match j.take_outcome() {
                         JscanOutcome::Empty => {
                             events.push("background proved empty result".into());
-                            return TacticReport {
+                            return Ok(TacticReport {
                                 strategy: "index-only (background empty shortcut)".into(),
                                 events,
-                            };
+                            });
                         }
                         JscanOutcome::FinalList(list) => {
                             // Jscan finished with a sure list: abandon Sscan.
@@ -427,11 +438,11 @@ pub fn index_only(
                                 "Jscan won with {} RIDs: Sscan abandoned",
                                 list.len()
                             ));
-                            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events);
-                            return TacticReport {
+                            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events)?;
+                            return Ok(TacticReport {
                                 strategy: "index-only (Jscan won)".into(),
                                 events,
-                            };
+                            });
                         }
                         JscanOutcome::UseTscan => {
                             events.push(
@@ -446,8 +457,8 @@ pub fn index_only(
             _ => unreachable!(),
         }
     }
-    TacticReport {
+    Ok(TacticReport {
         strategy: "index-only (Sscan completed)".into(),
         events,
-    }
+    })
 }

@@ -1,7 +1,7 @@
 //! Tscan — full sequential table scan (paper Section 4: "a classical
 //! sequential retrieval").
 
-use rdb_storage::{HeapScan, HeapTable, Record, Rid};
+use rdb_storage::{HeapScan, HeapTable, Record, Rid, StorageError};
 
 use crate::request::RecordPred;
 
@@ -60,17 +60,19 @@ impl<'a> Tscan<'a> {
         self.scan.progress(self.table)
     }
 
-    /// Advances by one record.
-    pub fn step(&mut self) -> StrategyStep {
-        match self.scan.next(self.table) {
-            None => StrategyStep::Done,
+    /// Advances by one record. `Err` means the underlying storage failed
+    /// (e.g. an injected fault) — the scan is dead and the retrieval must
+    /// surface the error.
+    pub fn step(&mut self) -> Result<StrategyStep, StorageError> {
+        match self.scan.next(self.table)? {
+            None => Ok(StrategyStep::Done),
             Some((rid, record)) => {
                 self.examined += 1;
                 if (self.residual)(&record) {
                     self.delivered += 1;
-                    StrategyStep::Deliver(rid, Some(record))
+                    Ok(StrategyStep::Deliver(rid, Some(record)))
                 } else {
-                    StrategyStep::Progress
+                    Ok(StrategyStep::Progress)
                 }
             }
         }
@@ -106,7 +108,7 @@ mod tests {
         let mut scan = Tscan::new(&t, pred);
         let mut delivered = Vec::new();
         loop {
-            match scan.step() {
+            match scan.step().unwrap() {
                 StrategyStep::Deliver(_, Some(rec)) => {
                     delivered.push(rec[0].as_i64().unwrap())
                 }
@@ -128,7 +130,7 @@ mod tests {
         let before = cost.total();
         let pred: RecordPred = Rc::new(|_: &Record| false);
         let mut scan = Tscan::new(&t, pred);
-        while !matches!(scan.step(), StrategyStep::Done) {}
+        while !matches!(scan.step().unwrap(), StrategyStep::Done) {}
         let actual = cost.total() - before;
         assert!(
             (actual - predicted).abs() < 0.01 * predicted.max(1.0),
@@ -141,6 +143,6 @@ mod tests {
         let t = table(0);
         let pred: RecordPred = Rc::new(|_: &Record| true);
         let mut scan = Tscan::new(&t, pred);
-        assert!(matches!(scan.step(), StrategyStep::Done));
+        assert!(matches!(scan.step().unwrap(), StrategyStep::Done));
     }
 }

@@ -16,7 +16,7 @@
 //! union (≈ whole table) is detected early and handed to Tscan.
 
 use rdb_btree::{BTree, KeyRange};
-use rdb_storage::{HeapTable, Rid};
+use rdb_storage::{HeapTable, Rid, StorageError};
 
 use crate::jscan::JscanConfig;
 use crate::tscan::Tscan;
@@ -66,8 +66,10 @@ impl<'a> UnionScan<'a> {
         &self.events
     }
 
-    /// Runs the union to an outcome.
-    pub fn run(&mut self) -> UnionOutcome {
+    /// Runs the union to an outcome. `Err` when an arm's index storage
+    /// dies mid-scan: a union cannot drop an arm without losing rows, so
+    /// the fault propagates instead of degrading.
+    pub fn run(&mut self) -> Result<UnionOutcome, StorageError> {
         let tscan_cost = Tscan::full_cost(self.table);
         // Upfront screen: the union is at least as big as its biggest arm
         // and we will pay every arm's scan; if even the optimistic total
@@ -78,7 +80,7 @@ impl<'a> UnionScan<'a> {
             self.events.push(format!(
                 "union estimate {estimate_sum:.0} RIDs prices out (fetch ~{projected:.0} vs Tscan {tscan_cost:.0})"
             ));
-            return UnionOutcome::UseTscan;
+            return Ok(UnionOutcome::UseTscan);
         }
 
         let mut rids: Vec<Rid> = Vec::new();
@@ -89,7 +91,7 @@ impl<'a> UnionScan<'a> {
             let arm = &self.arms[idx];
             let mut scan = arm.tree.range_scan(arm.range.clone());
             let mut collected = 0usize;
-            while let Some((_, rid)) = scan.next(arm.tree) {
+            while let Some((_, rid)) = scan.next(arm.tree)? {
                 rids.push(rid);
                 collected += 1;
                 // Refresh the projection as evidence accumulates: what we
@@ -111,7 +113,7 @@ impl<'a> UnionScan<'a> {
                             "union grew past the competition threshold after {} RIDs: Tscan",
                             rids.len()
                         ));
-                        return UnionOutcome::UseTscan;
+                        return Ok(UnionOutcome::UseTscan);
                     }
                 }
             }
@@ -131,7 +133,7 @@ impl<'a> UnionScan<'a> {
             before,
             rids.len()
         ));
-        UnionOutcome::Rids(rids)
+        Ok(UnionOutcome::Rids(rids))
     }
 }
 
@@ -180,7 +182,7 @@ mod tests {
             vec![arm(&ia, KeyRange::eq(1)), arm(&ib, KeyRange::eq(2))],
             JscanConfig::default(),
         );
-        match u.run() {
+        match u.run().unwrap() {
             UnionOutcome::Rids(rids) => assert_eq!(rids.len(), 50, "{:?}", u.events()),
             other => panic!("{other:?}"),
         }
@@ -195,7 +197,7 @@ mod tests {
             vec![arm(&ia, KeyRange::eq(1)), arm(&ib, KeyRange::eq(1))],
             JscanConfig::default(),
         );
-        match u.run() {
+        match u.run().unwrap() {
             UnionOutcome::Rids(rids) => {
                 assert_eq!(rids.len(), 30);
                 let mut sorted = rids.clone();
@@ -218,7 +220,7 @@ mod tests {
             ],
             JscanConfig::default(),
         );
-        assert!(matches!(u.run(), UnionOutcome::UseTscan));
+        assert!(matches!(u.run().unwrap(), UnionOutcome::UseTscan));
     }
 
     #[test]
@@ -232,7 +234,7 @@ mod tests {
             ],
             JscanConfig::default(),
         );
-        match u.run() {
+        match u.run().unwrap() {
             UnionOutcome::Rids(rids) => assert_eq!(rids.len(), 100, "{:?}", u.events()),
             other => panic!("{other:?}"),
         }

@@ -88,17 +88,17 @@ fn host_variable_example_static_vs_dynamic() {
     // :A1 = 0 — everything qualifies. Indexed retrieval is catastrophic
     // here (random fetch per record); Tscan is right.
     f.table.pool().borrow_mut().clear();
-    let dyn_all = dynamic.run(&age_request(&f, 0));
+    let dyn_all = dynamic.run(&age_request(&f, 0)).unwrap();
     f.table.pool().borrow_mut().clear();
-    let stat_all = static_opt.execute(plan, &age_request(&f, 0));
+    let stat_all = static_opt.execute(plan, &age_request(&f, 0)).unwrap();
     assert_eq!(dyn_all.deliveries.len(), 8000);
     assert_eq!(stat_all.deliveries.len(), 8000);
 
     // :A1 = 99 — ~1% qualifies. Tscan is catastrophic; the index is right.
     f.table.pool().borrow_mut().clear();
-    let dyn_few = dynamic.run(&age_request(&f, 99));
+    let dyn_few = dynamic.run(&age_request(&f, 99)).unwrap();
     f.table.pool().borrow_mut().clear();
-    let stat_few = static_opt.execute(plan, &age_request(&f, 99));
+    let stat_few = static_opt.execute(plan, &age_request(&f, 99)).unwrap();
     assert_eq!(dyn_few.deliveries.len(), stat_few.deliveries.len());
 
     // Whatever the static optimizer committed to, it loses badly at one
@@ -173,11 +173,11 @@ fn static_jscan_cannot_abandon_misestimated_scans() {
     table.pool().borrow_mut().clear();
     let static_jscan = StaticJscan::new(StaticJscanConfig::default());
     let est = estimate_all(&request);
-    let stat = static_jscan.run(&request, &est);
+    let stat = static_jscan.run(&request, &est).unwrap();
 
     table.pool().borrow_mut().clear();
     let dynamic = DynamicOptimizer::default();
-    let dyn_run = dynamic.run(&request);
+    let dyn_run = dynamic.run(&request).unwrap();
 
     let want: Vec<_> = stat.rids();
     let mut got: Vec<_> = dyn_run.rids();

@@ -104,7 +104,7 @@ proptest! {
             },
             ..DynamicConfig::default()
         });
-        let result = optimizer.run(&request);
+        let result = optimizer.run(&request).unwrap();
         let mut got: Vec<i64> = result
             .deliveries
             .iter()
@@ -142,9 +142,9 @@ proptest! {
         };
         let optimizer = DynamicOptimizer::default();
         w.table.pool().borrow_mut().clear();
-        let limited = optimizer.run(&make_request(Some(limit)));
+        let limited = optimizer.run(&make_request(Some(limit))).unwrap();
         w.table.pool().borrow_mut().clear();
-        let unlimited = optimizer.run(&make_request(None));
+        let unlimited = optimizer.run(&make_request(None)).unwrap();
         let truth = (0..w.n).filter(|&i| i % w.ma == a_eq).count();
         prop_assert_eq!(limited.deliveries.len(), truth.min(limit));
         prop_assert_eq!(unlimited.deliveries.len(), truth);
@@ -180,7 +180,7 @@ proptest! {
             order_required: false,
             limit: None,
         };
-        let result = DynamicOptimizer::default().run(&request);
+        let result = DynamicOptimizer::default().run(&request).unwrap();
         let mut rids = result.rids();
         let before = rids.len();
         rids.sort_unstable();

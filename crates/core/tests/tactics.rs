@@ -101,7 +101,7 @@ fn background_only_matches_truth() {
     let opt = DynamicOptimizer::default();
     let (choice, _) = opt.choose(&req);
     assert_eq!(choice, TacticChoice::BackgroundOnly);
-    let result = opt.run(&req);
+    let result = opt.run(&req).unwrap();
     let got = delivered_c_values(&f.table, &result.rids());
     let want = f.truth(|a, b, _| a == 7 && b == 7);
     assert_eq!(got, want, "events: {:?}", result.events);
@@ -126,7 +126,7 @@ fn fast_first_matches_truth_and_respects_limit() {
     let (choice, _) = opt.choose(&req);
     assert_eq!(choice, TacticChoice::FastFirst);
     // Unlimited run: full truth, no duplicates.
-    let result = opt.run(&req);
+    let result = opt.run(&req).unwrap();
     let got = delivered_c_values(&f.table, &result.rids());
     let want = f.truth(|a, b, _| a == 7 && b == 7);
     assert_eq!(got, want, "events: {:?}", result.events);
@@ -134,7 +134,7 @@ fn fast_first_matches_truth_and_respects_limit() {
     // smaller) at a fraction of the cost.
     let full_cost = result.cost;
     req.limit = Some(2);
-    let limited = opt.run(&req);
+    let limited = opt.run(&req).unwrap();
     assert_eq!(limited.deliveries.len(), 2.min(want.len()));
     assert!(
         limited.cost < full_cost,
@@ -165,7 +165,7 @@ fn index_only_tactic_matches_truth() {
     let opt = DynamicOptimizer::default();
     let (choice, _) = opt.choose(&req);
     assert_eq!(choice, TacticChoice::IndexOnly);
-    let result = opt.run(&req);
+    let result = opt.run(&req).unwrap();
     let got = delivered_c_values(&f.table, &result.rids());
     let want = f.truth(|a, _, _| a == 3);
     assert_eq!(got, want, "events: {:?}", result.events);
@@ -190,7 +190,7 @@ fn sorted_tactic_delivers_in_order_and_matches_truth() {
     let opt = DynamicOptimizer::default();
     let (choice, _) = opt.choose(&req);
     assert_eq!(choice, TacticChoice::Sorted);
-    let result = opt.run(&req);
+    let result = opt.run(&req).unwrap();
     // In-order delivery: c values strictly increasing as delivered.
     let cs: Vec<i64> = result
         .deliveries
@@ -225,9 +225,9 @@ fn sorted_tactic_filter_saves_fetches() {
     let opt = DynamicOptimizer::default();
     // Cold cache for each run so the comparison is fair.
     f.table.pool().borrow_mut().clear();
-    let with_filter = opt.run(&make_req(true));
+    let with_filter = opt.run(&make_req(true)).unwrap();
     f.table.pool().borrow_mut().clear();
-    let baseline = opt.run(&make_req(false));
+    let baseline = opt.run(&make_req(false)).unwrap();
     let want = f.truth(|a, _, _| a == 3);
     assert_eq!(
         delivered_c_values(&f.table, &with_filter.rids()),
@@ -276,7 +276,7 @@ fn fast_first_observer_sees_first_row_early() {
                 first_at.set(cost.total() - start);
             }
         });
-        let result = opt.run_with_observer(&make_req(goal), Some(observer));
+        let result = opt.run_with_observer(&make_req(goal), Some(observer)).unwrap();
         (first_at.get(), result.cost, result.deliveries.len())
     };
     let (ff_first, ff_total, n1) = measure(OptimizeGoal::FastFirst);
@@ -328,7 +328,7 @@ fn sorted_tactic_correct_with_bitmap_filter() {
         },
         ..DynamicConfig::default()
     });
-    let result = opt.run(&req);
+    let result = opt.run(&req).unwrap();
     let want = f.truth(|a, _, _| a == 3);
     let cs: Vec<i64> = result
         .deliveries
@@ -351,7 +351,7 @@ fn empty_range_ends_instantly() {
     };
     let opt = DynamicOptimizer::default();
     let before = f.cost.total();
-    let result = opt.run(&req);
+    let result = opt.run(&req).unwrap();
     assert_eq!(result.strategy, "EndOfData");
     assert!(result.deliveries.is_empty());
     let spent = f.cost.total() - before;
@@ -380,7 +380,7 @@ fn tiny_range_shortcut_fetches_directly() {
         limit: None,
     };
     let opt = DynamicOptimizer::default();
-    let result = opt.run(&req);
+    let result = opt.run(&req).unwrap();
     assert_eq!(result.strategy, "TinyRangeFetch");
     assert_eq!(delivered_c_values(&f.table, &result.rids()), vec![100, 101, 102]);
     assert!(
@@ -401,7 +401,7 @@ fn no_indexes_means_tscan() {
     let opt = DynamicOptimizer::default();
     let (choice, _) = opt.choose(&req);
     assert_eq!(choice, TacticChoice::TscanOnly);
-    let result = opt.run(&req);
+    let result = opt.run(&req).unwrap();
     let want = f.truth(|a, _, _| a == 1);
     assert_eq!(delivered_c_values(&f.table, &result.rids()), want);
 }
@@ -420,7 +420,7 @@ fn unselective_index_degrades_to_tscan_not_catastrophe() {
         limit: None,
     };
     let opt = DynamicOptimizer::default();
-    let result = opt.run(&req);
+    let result = opt.run(&req).unwrap();
     let want = f.truth(|_, _, c| c % 2 == 0);
     assert_eq!(delivered_c_values(&f.table, &result.rids()), want);
     let tscan_cost = rdb_core::Tscan::full_cost(&f.table);
@@ -446,7 +446,7 @@ fn dynamic_choice_tracks_host_variable() {
         order_required: false,
         limit: None,
     };
-    let all = opt.run(&req_all);
+    let all = opt.run(&req_all).unwrap();
     assert_eq!(all.deliveries.len(), 5000);
     // :A1 = 4997 → three records → near-free indexed path.
     let req_few = RetrievalRequest {
@@ -457,7 +457,7 @@ fn dynamic_choice_tracks_host_variable() {
         order_required: false,
         limit: None,
     };
-    let few = opt.run(&req_few);
+    let few = opt.run(&req_few).unwrap();
     assert_eq!(few.deliveries.len(), 3);
     assert!(
         few.cost < 0.05 * all.cost,
@@ -487,10 +487,121 @@ fn sscan_static_when_single_self_sufficient_index() {
     let opt = DynamicOptimizer::default();
     let (choice, _) = opt.choose(&req);
     assert_eq!(choice, TacticChoice::SscanStatic);
-    let result = opt.run(&req);
+    let result = opt.run(&req).unwrap();
     assert_eq!(result.deliveries.len(), 500);
     assert!(
         result.deliveries.iter().all(|d| d.from_index),
         "sscan delivers from index keys without fetching records"
     );
+}
+
+/// Table-driven check of goal derivation: the plan context above each
+/// retrieval decides whether the optimizer races for the first row
+/// (`EXISTS`, `LIMIT`) or for total time (`SORT`, aggregates, `DISTINCT`),
+/// with cursors resetting to the user's default.
+#[test]
+fn goal_derivation_follows_plan_context() {
+    use rdb_query::plan::{derive_goals, PlanNode};
+
+    fn retrieve() -> PlanNode {
+        PlanNode::retrieve(0, "T")
+    }
+
+    let cases: Vec<(&str, PlanNode, OptimizeGoal, OptimizeGoal)> = vec![
+        (
+            "bare retrieval inherits the default",
+            retrieve(),
+            OptimizeGoal::TotalTime,
+            OptimizeGoal::TotalTime,
+        ),
+        (
+            "EXISTS wants the first row fast",
+            PlanNode::Exists {
+                child: Box::new(retrieve()),
+            },
+            OptimizeGoal::TotalTime,
+            OptimizeGoal::FastFirst,
+        ),
+        (
+            "LIMIT wants the first rows fast",
+            PlanNode::Limit {
+                n: 3,
+                child: Box::new(retrieve()),
+            },
+            OptimizeGoal::TotalTime,
+            OptimizeGoal::FastFirst,
+        ),
+        (
+            "SORT consumes everything before emitting",
+            PlanNode::Sort {
+                child: Box::new(retrieve()),
+            },
+            OptimizeGoal::FastFirst,
+            OptimizeGoal::TotalTime,
+        ),
+        (
+            "DISTINCT sorts, so total time",
+            PlanNode::Distinct {
+                child: Box::new(retrieve()),
+            },
+            OptimizeGoal::FastFirst,
+            OptimizeGoal::TotalTime,
+        ),
+        (
+            "aggregates consume everything",
+            PlanNode::Aggregate {
+                child: Box::new(retrieve()),
+            },
+            OptimizeGoal::FastFirst,
+            OptimizeGoal::TotalTime,
+        ),
+        (
+            "LIMIT over SORT: the sort still gates delivery",
+            PlanNode::Limit {
+                n: 1,
+                child: Box::new(PlanNode::Sort {
+                    child: Box::new(retrieve()),
+                }),
+            },
+            OptimizeGoal::TotalTime,
+            OptimizeGoal::TotalTime,
+        ),
+        (
+            "SORT over LIMIT: the limit is the nearest controller",
+            PlanNode::Sort {
+                child: Box::new(PlanNode::Limit {
+                    n: 1,
+                    child: Box::new(retrieve()),
+                }),
+            },
+            OptimizeGoal::TotalTime,
+            OptimizeGoal::FastFirst,
+        ),
+        (
+            "a cursor resets control to the user's default",
+            PlanNode::Limit {
+                n: 1,
+                child: Box::new(PlanNode::Cursor {
+                    child: Box::new(retrieve()),
+                }),
+            },
+            OptimizeGoal::TotalTime,
+            OptimizeGoal::TotalTime,
+        ),
+    ];
+    for (what, plan, default_goal, want) in cases {
+        let goals = derive_goals(&plan, default_goal);
+        assert_eq!(goals[&0], want, "{what}");
+    }
+
+    // Subqueries restart from the default goal; the EXISTS around the
+    // inner retrieval still applies inside the subplan.
+    let plan = PlanNode::Sort {
+        child: Box::new(retrieve().with_subquery(PlanNode::Exists {
+            child: Box::new(PlanNode::retrieve(1, "S")),
+        })),
+    };
+    let goals = derive_goals(&plan, OptimizeGoal::TotalTime);
+    assert_eq!(goals[&0], OptimizeGoal::TotalTime, "outer under SORT");
+    assert_eq!(goals[&1], OptimizeGoal::FastFirst, "inner under EXISTS");
 }

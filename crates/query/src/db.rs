@@ -179,7 +179,7 @@ impl Database {
         // bottom-up pass instead of per-entry inserts).
         let mut entries: Vec<(Vec<Value>, rdb_storage::Rid)> = Vec::new();
         let mut scan = entry.heap.scan();
-        while let Some((rid, record)) = scan.next(&entry.heap) {
+        while let Some((rid, record)) = scan.next(&entry.heap).map_err(|e| e.to_string())? {
             let key: Vec<Value> = key_columns
                 .iter()
                 .map(|&c| record[c].clone())
@@ -269,7 +269,7 @@ impl Database {
                 order_required: false,
                 limit: None,
             };
-            self.optimizer.run(&request).rids()
+            self.optimizer.run(&request).map_err(|e| e.to_string())?.rids()
         };
         // Maintain heap and indexes.
         let entry = self
@@ -323,7 +323,7 @@ impl Database {
                 order_required: false,
                 limit: None,
             };
-            let rids = self.optimizer.run(&request).rids();
+            let rids = self.optimizer.run(&request).map_err(|e| e.to_string())?.rids();
             rids.into_iter()
                 .map(|rid| entry.heap.fetch(rid).map(|r| (rid, r)))
                 .collect::<Result<_, _>>()
@@ -537,7 +537,8 @@ impl Database {
                     } else {
                         spec.limit
                     },
-                );
+                )
+                .map_err(|e| e.to_string())?;
                 if spec.count_star {
                     return Ok(QueryResult {
                         columns: vec!["COUNT".to_string()],
@@ -660,7 +661,7 @@ impl Database {
                 spec.limit
             },
         };
-        let result = self.optimizer.run(&request);
+        let result = self.optimizer.run(&request).map_err(|e| e.to_string())?;
 
         if spec.count_star {
             return Ok(QueryResult {

@@ -1,0 +1,525 @@
+//! The differential harness: every generated retrieval runs through every
+//! strategy, the baselines, and the dynamic optimizer; each result is
+//! differenced against the shadow-`Vec` oracle; then the whole dynamic
+//! path is re-run under injected storage faults.
+
+use std::cell::Cell;
+
+use rdb_core::baseline::{estimate_all, PredShape, StaticIndexInfo, StaticJscan, StaticJscanConfig, StaticOptimizer};
+use rdb_core::request::{Delivery, DeliveryObserver, OptimizeGoal, RetrievalResult};
+use rdb_core::tscan::StrategyStep;
+use rdb_core::{DynamicOptimizer, Fscan, Jscan, JscanConfig, JscanIndex, JscanOutcome, Sscan, Tscan};
+use rdb_storage::{FaultPolicy, StorageError, Value};
+
+use crate::oracle;
+use crate::scenario::{Query, Scenario};
+
+/// Harness knobs. Everything has a sane default; the CLI overrides them.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The dynamic run may cost at most this multiple of the cheapest
+    /// fully-executed static strategy (guaranteed-best invariant) …
+    pub cost_mult: f64,
+    /// … plus this flat slack, absorbing estimation overhead on
+    /// near-zero-cost retrievals (OLTP shortcuts).
+    pub cost_slack: f64,
+    /// Fault probabilities for the random-fault campaigns (rate 0 — the
+    /// clean differential — always runs first and is implied).
+    pub fault_rates: Vec<f64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cost_mult: 3.0,
+            cost_slack: 60.0,
+            fault_rates: vec![0.01, 0.1],
+        }
+    }
+}
+
+/// What one seed's campaign did — returned for aggregation and for the
+/// determinism check (same seed must yield the identical report).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeedReport {
+    /// The seed.
+    pub seed: u64,
+    /// Rows in the generated table.
+    pub rows: usize,
+    /// Indexes in the generated schema.
+    pub indexes: usize,
+    /// Queries executed.
+    pub queries: usize,
+    /// Oracle comparisons performed (clean + faulted).
+    pub checks: u64,
+    /// Dynamic runs executed with a fault policy armed.
+    pub fault_runs: u64,
+    /// Faulted runs that surfaced a clean `InjectedFault` error.
+    pub fault_errors: u64,
+    /// Faulted runs that completed with a provably exact result.
+    pub fault_ok: u64,
+    /// Runs where a mid-competition index death was absorbed (the Jscan
+    /// discarded the dead index and the result was still exact).
+    pub degraded_ok: u64,
+}
+
+/// Runs the full campaign for one seed. `Err` carries a human-readable
+/// failure plus enough context to replay.
+pub fn run_seed(seed: u64, cfg: &SimConfig) -> Result<SeedReport, String> {
+    let scenario = Scenario::generate(seed);
+    let mut report = SeedReport {
+        seed,
+        rows: scenario.shadow.len(),
+        indexes: scenario.indexes.len(),
+        queries: scenario.queries.len(),
+        ..SeedReport::default()
+    };
+    let queries = scenario.queries.clone();
+    for (qi, query) in queries.iter().enumerate() {
+        let ctx = |what: &str| format!("seed {seed} query {qi} [{}] {what}", query.describe());
+        clean_differential(&scenario, query, cfg, &mut report)
+            .map_err(|e| format!("{}: {e}", ctx("clean")))?;
+        for &rate in &cfg.fault_rates {
+            fault_campaign(&scenario, query, qi, rate, &mut report)
+                .map_err(|e| format!("{}: {e}", ctx("faulted")))?;
+        }
+        index_death(&scenario, query, &mut report).map_err(|e| format!("{}: {e}", ctx("index-death")))?;
+    }
+    Ok(report)
+}
+
+/// Collects a strategy's full (unlimited) delivery stream, plus its cost.
+fn drain<E, F>(scenario: &Scenario, mut step: F) -> Result<(Vec<Delivery>, f64), E>
+where
+    F: FnMut() -> Result<StrategyStep, E>,
+{
+    scenario.cold();
+    let meter = scenario.pool.borrow().cost().clone();
+    let before = meter.total();
+    let mut deliveries = Vec::new();
+    loop {
+        match step()? {
+            StrategyStep::Deliver(rid, record) => deliveries.push(Delivery {
+                rid,
+                record,
+                from_index: false,
+            }),
+            StrategyStep::Progress => {}
+            StrategyStep::Done => break,
+        }
+    }
+    Ok((deliveries, meter.total() - before))
+}
+
+fn clean_differential(
+    scenario: &Scenario,
+    query: &Query,
+    cfg: &SimConfig,
+    report: &mut SeedReport,
+) -> Result<(), String> {
+    let expected = oracle::expected_rids(scenario, query);
+
+    // Tscan: always applicable, delivers in physical order.
+    let residual = query.record_pred();
+    let mut tscan = Tscan::new(&scenario.table, residual.clone());
+    let (deliveries, tscan_cost) =
+        drain(scenario, || tscan.step()).map_err(|e| format!("Tscan died: {e}"))?;
+    oracle::check_full(scenario, &expected, &deliveries, None, "Tscan")?;
+    oracle::check_rid_order(&deliveries, "Tscan")?;
+    report.checks += 1;
+    let mut best_full = tscan_cost;
+
+    // Fscan through every index whose column the predicate restricts:
+    // same row set, key-ordered deliveries.
+    for conj in &query.conjuncts {
+        let Some(pos) = scenario.index_on(conj.col) else {
+            continue;
+        };
+        let tree = &scenario.indexes[pos];
+        let mut fscan = Fscan::new(&scenario.table, tree, conj.key_range(), residual.clone());
+        let (deliveries, cost) =
+            drain(scenario, || fscan.step()).map_err(|e| format!("Fscan died: {e}"))?;
+        oracle::check_full(scenario, &expected, &deliveries, None, "Fscan")?;
+        oracle::check_key_order(scenario, &deliveries, conj.col, "Fscan")?;
+        report.checks += 1;
+        best_full = best_full.min(cost);
+    }
+
+    // Sscan when the whole predicate lives on one indexed column: the
+    // index is self-sufficient, deliveries carry key tuples.
+    if query.conjuncts.len() == 1 {
+        let conj = query.conjuncts[0];
+        if let Some(pos) = scenario.index_on(conj.col) {
+            let tree = &scenario.indexes[pos];
+            let mut sscan = Sscan::new(
+                tree,
+                conj.key_range(),
+                std::rc::Rc::new(move |key: &[Value]| conj.matches(&key[0])),
+            );
+            scenario.cold();
+            let meter = scenario.pool.borrow().cost().clone();
+            let before = meter.total();
+            let mut deliveries = Vec::new();
+            loop {
+                match sscan.step().map_err(|e| format!("Sscan died: {e}"))? {
+                    StrategyStep::Deliver(rid, record) => deliveries.push(Delivery {
+                        rid,
+                        record,
+                        from_index: true,
+                    }),
+                    StrategyStep::Progress => {}
+                    StrategyStep::Done => break,
+                }
+            }
+            oracle::check_full(scenario, &expected, &deliveries, Some(conj.col), "Sscan")?;
+            oracle::check_key_order(scenario, &deliveries, conj.col, "Sscan")?;
+            report.checks += 1;
+            best_full = best_full.min(meter.total() - before);
+        }
+    }
+
+    // Jscan over the indexed conjuncts: its final list answers exactly the
+    // indexed subset of the predicate (the residual is final-stage work).
+    let indexed: Vec<_> = query
+        .conjuncts
+        .iter()
+        .filter(|c| scenario.index_on(c.col).is_some())
+        .copied()
+        .collect();
+    if !indexed.is_empty() {
+        let jidx: Vec<JscanIndex<'_>> = indexed
+            .iter()
+            .map(|c| {
+                let tree = &scenario.indexes[scenario.index_on(c.col).expect("indexed")];
+                let range = c.key_range();
+                let estimate = tree.estimate_range(&range).estimate;
+                JscanIndex {
+                    tree,
+                    range,
+                    estimate,
+                }
+            })
+            .collect();
+        scenario.cold();
+        let mut jscan = Jscan::new(&scenario.table, jidx, JscanConfig::default());
+        let expected_indexed = oracle::expected_for_conjuncts(scenario, &indexed);
+        let outcome = jscan.run();
+        // Conjuncts whose scans ran to completion: only those are folded
+        // into the final list — a discarded index's restriction legally
+        // stays behind for the final-stage residual.
+        let completed: Vec<_> = jscan
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                rdb_core::JscanEvent::ScanCompleted { name, .. } => indexed
+                    .iter()
+                    .find(|c| *name == format!("IDX_c{}", c.col))
+                    .copied(),
+                _ => None,
+            })
+            .collect();
+        match outcome {
+            JscanOutcome::FinalList(list) => {
+                let mut rids = list.to_vec().map_err(|e| format!("RID list died: {e}"))?;
+                rids.sort_unstable();
+                // Soundness: every row of the full indexed intersection
+                // must survive into the list (Jscan never drops rows).
+                for rid in &expected_indexed {
+                    if rids.binary_search(rid).is_err() {
+                        return Err(format!(
+                            "Jscan final list lost qualifying row {rid} \
+                             ({} RIDs vs {} expected)",
+                            rids.len(),
+                            expected_indexed.len()
+                        ));
+                    }
+                }
+                // Tightness: the list applies at least the completed
+                // scans' conjuncts.
+                let mut allowed = oracle::expected_for_conjuncts(scenario, &completed);
+                allowed.sort_unstable();
+                for rid in &rids {
+                    if allowed.binary_search(rid).is_err() {
+                        return Err(format!(
+                            "Jscan final list contains {rid}, which fails a \
+                             completed scan's restriction"
+                        ));
+                    }
+                }
+            }
+            JscanOutcome::Empty => {
+                if !expected_indexed.is_empty() {
+                    return Err(format!(
+                        "Jscan claims empty intersection, oracle says {} rows",
+                        expected_indexed.len()
+                    ));
+                }
+            }
+            JscanOutcome::UseTscan => {} // a cost verdict, not a row claim
+        }
+        report.checks += 1;
+    }
+
+    // Static baselines, with the query's limit: plan-committed execution.
+    let request = scenario.request(query);
+    let infos: Vec<StaticIndexInfo> = scenario
+        .index_cols
+        .iter()
+        .zip(&scenario.indexes)
+        .map(|(&col, tree)| {
+            let shape = match query.conjunct_on(col) {
+                Some(c) if c.lo.is_some() && c.lo == c.hi => PredShape::Eq,
+                Some(c) if c.lo.is_some() || c.hi.is_some() => PredShape::Range,
+                _ => PredShape::None,
+            };
+            let mut distinct: Vec<&Value> =
+                scenario.shadow.iter().map(|(_, row)| &row[col]).collect();
+            distinct.sort();
+            distinct.dedup();
+            StaticIndexInfo {
+                entries: tree.len(),
+                distinct_keys: distinct.len() as u64,
+                avg_fanout: tree.avg_fanout(),
+                shape,
+                self_sufficient: query.conjuncts.len() == 1 && query.conjuncts[0].col == col,
+            }
+        })
+        .collect();
+    let static_opt = StaticOptimizer::default();
+    let plan = static_opt.plan(&scenario.table, &infos);
+    scenario.cold();
+    let result = static_opt
+        .execute(plan, &request)
+        .map_err(|e| format!("static execute died: {e}"))?;
+    check_result(scenario, query, &expected, &result, "static")?;
+    report.checks += 1;
+
+    scenario.cold();
+    let est = estimate_all(&request);
+    let result = StaticJscan::new(StaticJscanConfig::default())
+        .run(&request, &est)
+        .map_err(|e| format!("static Jscan died: {e}"))?;
+    check_result(scenario, query, &expected, &result, "static-jscan")?;
+    report.checks += 1;
+
+    // The dynamic optimizer, with a first-row cost probe.
+    scenario.cold();
+    let meter = scenario.pool.borrow().cost().clone();
+    let start = meter.total();
+    let first_at = Cell::new(f64::NAN);
+    let observer: DeliveryObserver<'_> = Box::new(|_d| {
+        if first_at.get().is_nan() {
+            first_at.set(meter.total() - start);
+        }
+    });
+    let result = DynamicOptimizer::default()
+        .run_with_observer(&request, Some(observer))
+        .map_err(|e| format!("dynamic run died: {e}"))?;
+    check_result(scenario, query, &expected, &result, "dynamic")?;
+    report.checks += 1;
+
+    // Cost invariants. The guaranteed-best bound only binds unlimited
+    // runs (a limited run may legally stop anywhere); the first-row bound
+    // binds any fast-first run that delivered at least one row.
+    if query.limit.is_none() && result.cost > cfg.cost_mult * best_full + cfg.cost_slack {
+        return Err(format!(
+            "guaranteed-best violated: dynamic cost {:.1} vs best static {best_full:.1} \
+             (bound {:.1}; strategy {})",
+            result.cost,
+            cfg.cost_mult * best_full + cfg.cost_slack,
+            result.strategy
+        ));
+    }
+    if query.goal == OptimizeGoal::FastFirst
+        && !result.deliveries.is_empty()
+        && first_at.get().is_finite()
+        && first_at.get() > cfg.cost_mult * best_full + cfg.cost_slack
+    {
+        return Err(format!(
+            "fast-first first-row bound violated: first row at {:.1} vs best static {best_full:.1} \
+             (strategy {})",
+            first_at.get(),
+            result.strategy
+        ));
+    }
+    Ok(())
+}
+
+/// Differential check of a full `RetrievalResult`, honouring the limit.
+fn check_result(
+    scenario: &Scenario,
+    query: &Query,
+    expected: &[rdb_storage::Rid],
+    result: &RetrievalResult,
+    what: &str,
+) -> Result<(), String> {
+    let sscan_col = result.sscan_index.map(|pos| scenario.index_cols[pos]);
+    oracle::check_limited(
+        scenario,
+        expected,
+        &result.deliveries,
+        query.limit,
+        sscan_col,
+        what,
+    )
+}
+
+fn arm(scenario: &Scenario, policy: FaultPolicy) {
+    scenario.pool.borrow_mut().set_fault_policy(Some(policy));
+}
+
+fn disarm(scenario: &Scenario) {
+    scenario.pool.borrow_mut().set_fault_policy(None);
+}
+
+/// Runs the dynamic optimizer with random faults armed. Every outcome is
+/// legal except a wrong answer: `Ok` must be *exactly* right, `Err` must
+/// be the injected fault. Afterwards the same query re-runs clean — the
+/// failed run must not have corrupted any shared state.
+fn fault_campaign(
+    scenario: &Scenario,
+    query: &Query,
+    qi: usize,
+    rate: f64,
+    report: &mut SeedReport,
+) -> Result<(), String> {
+    let expected = oracle::expected_rids(scenario, query);
+    let request = scenario.request(query);
+    let fault_seed = scenario
+        .seed
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        .wrapping_add(qi as u64)
+        ^ rate.to_bits();
+    arm(scenario, FaultPolicy::random(fault_seed, rate));
+    scenario.cold();
+    let outcome = DynamicOptimizer::default().run(&request);
+    disarm(scenario);
+    report.fault_runs += 1;
+    match outcome {
+        Ok(result) => {
+            check_result(scenario, query, &expected, &result, "faulted-dynamic")
+                .map_err(|e| format!("fault rate {rate}: Ok run returned damaged rows: {e}"))?;
+            report.fault_ok += 1;
+            report.checks += 1;
+            if result
+                .events
+                .iter()
+                .any(|e| e.contains("StorageFault"))
+            {
+                report.degraded_ok += 1;
+            }
+        }
+        Err(e @ StorageError::InjectedFault { .. }) => {
+            drop(e);
+            report.fault_errors += 1;
+        }
+        Err(e) => {
+            return Err(format!(
+                "fault rate {rate}: surfaced a non-injected error: {e}"
+            ));
+        }
+    }
+    // Aftermath: with the policy gone, the exact same retrieval must
+    // succeed — temp state released, pool and trees undamaged.
+    scenario.cold();
+    let result = DynamicOptimizer::default()
+        .run(&request)
+        .map_err(|e| format!("fault rate {rate}: clean re-run after fault died: {e}"))?;
+    check_result(scenario, query, &expected, &result, "post-fault-dynamic")
+        .map_err(|e| format!("fault rate {rate}: state damaged by faulted run: {e}"))?;
+    report.checks += 1;
+    Ok(())
+}
+
+/// Kills one index's storage a few reads in and re-runs the dynamic
+/// optimizer. The heap never faults, so the only legal outcomes are a
+/// graceful degradation (exact rows, the dead index discarded) or a clean
+/// `InjectedFault` scoped to the dead file (when the tactic had committed
+/// to that index outside the competition).
+fn index_death(
+    scenario: &Scenario,
+    query: &Query,
+    report: &mut SeedReport,
+) -> Result<(), String> {
+    let Some(&conj) = query
+        .conjuncts
+        .iter()
+        .find(|c| scenario.index_on(c.col).is_some())
+    else {
+        return Ok(());
+    };
+    let pos = scenario.index_on(conj.col).expect("just checked");
+    let dead_file = scenario.indexes[pos].file();
+    let expected = oracle::expected_rids(scenario, query);
+    let request = scenario.request(query);
+    arm(
+        scenario,
+        FaultPolicy::fail_from_nth(3).scoped_to(dead_file),
+    );
+    scenario.cold();
+    let outcome = DynamicOptimizer::default().run(&request);
+    disarm(scenario);
+    report.fault_runs += 1;
+    match outcome {
+        Ok(result) => {
+            check_result(scenario, query, &expected, &result, "index-death-dynamic")
+                .map_err(|e| format!("index death: Ok run returned damaged rows: {e}"))?;
+            report.fault_ok += 1;
+            report.checks += 1;
+            if result.events.iter().any(|e| e.contains("StorageFault")) {
+                report.degraded_ok += 1;
+            }
+        }
+        Err(StorageError::InjectedFault { file, .. }) => {
+            if file != dead_file {
+                return Err(format!(
+                    "index death: fault reported for file {} but only {} was poisoned",
+                    file.0, dead_file.0
+                ));
+            }
+            report.fault_errors += 1;
+        }
+        Err(e) => return Err(format!("index death: surfaced a non-injected error: {e}")),
+    }
+    scenario.cold();
+    let result = DynamicOptimizer::default()
+        .run(&request)
+        .map_err(|e| format!("index death: clean re-run died: {e}"))?;
+    check_result(scenario, query, &expected, &result, "post-index-death-dynamic")
+        .map_err(|e| format!("index death: state damaged: {e}"))?;
+    report.checks += 1;
+    Ok(())
+}
+
+/// The harness's self-test: deliberately drop one row from a dynamic
+/// result and verify the oracle comparison *fails*. A differential
+/// harness that cannot catch a missing row is worthless; this proves the
+/// teeth are real. Returns `Ok` when the injected bug is caught.
+pub fn mutation_check(start_seed: u64) -> Result<(), String> {
+    for seed in start_seed..start_seed.saturating_add(32) {
+        let scenario = Scenario::generate(seed);
+        let queries = scenario.queries.clone();
+        for q in &queries {
+            let expected = oracle::expected_rids(&scenario, q);
+            if expected.is_empty() {
+                continue;
+            }
+            let mut q = q.clone();
+            q.limit = None; // full-set comparison has the sharpest teeth
+            scenario.cold();
+            let result = DynamicOptimizer::default()
+                .run(&scenario.request(&q))
+                .map_err(|e| format!("mutation check: dynamic run died: {e}"))?;
+            let sscan_col = result.sscan_index.map(|pos| scenario.index_cols[pos]);
+            let mut deliveries = result.deliveries;
+            deliveries.pop(); // the deliberately injected row-set bug
+            return match oracle::check_full(&scenario, &expected, &deliveries, sscan_col, "mutation") {
+                Err(_) => Ok(()),
+                Ok(()) => Err(format!(
+                    "mutation check FAILED: oracle did not notice a dropped row (seed {seed})"
+                )),
+            };
+        }
+    }
+    Err("mutation check could not find a non-empty retrieval in 32 seeds".into())
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # rdb-simtest
+//!
+//! Deterministic simulation harness for the dynamic-optimization stack.
+//! A single `u64` seed reproduces an entire run bit-for-bit:
+//!
+//! * [`scenario`] grows a randomized table (skewed, clustered, correlated,
+//!   NULL-heavy columns via `rdb-workload`) plus a batch of predicate
+//!   workloads — point, narrow, wide, half-open, and *empty* ranges, with
+//!   both optimization goals and row limits;
+//! * [`oracle`] is an independent straight-line evaluator over a shadow
+//!   copy of the rows — no indexes, no cost model, no buffer pool — the
+//!   ground truth every strategy is differenced against;
+//! * [`harness`] executes every retrieval through all four scan
+//!   strategies (Tscan/Sscan/Fscan/Jscan), the static baselines, and the
+//!   [`rdb_core::DynamicOptimizer`], checks row sets, delivery order, and
+//!   record contents against the oracle, asserts cost invariants
+//!   (guaranteed-best multiple, fast-first first-row bound), and then
+//!   re-runs the dynamic optimizer under injected storage faults
+//!   ([`rdb_storage::FaultPolicy`]) — verifying that every run either
+//!   fails cleanly with [`rdb_storage::StorageError::InjectedFault`] or
+//!   returns *exactly* the right rows, and that a dead index mid-Jscan
+//!   degrades gracefully instead of corrupting the result.
+//!
+//! The `simtest` binary drives seed campaigns
+//! (`cargo run -p rdb-simtest -- --seeds 500`) and replays a single
+//! failing seed verbatim (`--replay <seed>`). A failing seed is printed
+//! with the exact replay command. The harness also carries a built-in
+//! mutation smoke check: it deliberately drops a row from a result and
+//! asserts the oracle catches the difference, proving the differential
+//! comparison has teeth.
+
+pub mod harness;
+pub mod oracle;
+pub mod scenario;
+
+pub use harness::{mutation_check, run_seed, SeedReport, SimConfig};
+pub use scenario::{Conjunct, Query, Scenario};

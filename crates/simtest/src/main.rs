@@ -1,0 +1,169 @@
+//! `simtest` — seed-campaign driver for the simulation harness.
+//!
+//! ```text
+//! cargo run -p rdb-simtest -- --seeds 500
+//! cargo run -p rdb-simtest -- --replay 133742
+//! cargo run -p rdb-simtest -- --seeds 64 --fault-rate 0.01
+//! ```
+//!
+//! Every failure prints the offending seed and the exact `--replay`
+//! command that reproduces it bit-for-bit.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+use rdb_simtest::{mutation_check, run_seed, SeedReport, SimConfig};
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    replay: Option<u64>,
+    config: SimConfig,
+    skip_mutation_check: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 100,
+        start_seed: 1,
+        replay: None,
+        config: SimConfig::default(),
+        skip_mutation_check: false,
+    };
+    let mut rates: Vec<f64> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} expects a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--start-seed" => {
+                args.start_seed = value("--start-seed")?
+                    .parse()
+                    .map_err(|e| format!("--start-seed: {e}"))?
+            }
+            "--replay" => {
+                args.replay =
+                    Some(value("--replay")?.parse().map_err(|e| format!("--replay: {e}"))?)
+            }
+            "--fault-rate" => rates.push(
+                value("--fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("--fault-rate: {e}"))?,
+            ),
+            "--cost-mult" => {
+                args.config.cost_mult = value("--cost-mult")?
+                    .parse()
+                    .map_err(|e| format!("--cost-mult: {e}"))?
+            }
+            "--cost-slack" => {
+                args.config.cost_slack = value("--cost-slack")?
+                    .parse()
+                    .map_err(|e| format!("--cost-slack: {e}"))?
+            }
+            "--skip-mutation-check" => args.skip_mutation_check = true,
+            "--help" | "-h" => {
+                println!(
+                    "simtest: deterministic differential fuzzing of the dynamic optimizer\n\n\
+                     USAGE: simtest [--seeds N] [--start-seed S] [--replay SEED]\n\
+                            [--fault-rate R]... [--cost-mult M] [--cost-slack S]\n\
+                            [--skip-mutation-check]\n\n\
+                     Fault rates 0 < R < 1 arm random storage faults; the clean\n\
+                     differential and a scoped index-death scenario always run.\n\
+                     Default fault rates: 0.01 and 0.1."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    if !rates.is_empty() {
+        for &r in &rates {
+            if !(0.0..1.0).contains(&r) {
+                return Err(format!("--fault-rate {r} out of [0, 1)"));
+            }
+        }
+        args.config.fault_rates = rates.into_iter().filter(|&r| r > 0.0).collect();
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simtest: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !args.skip_mutation_check {
+        match mutation_check(args.replay.unwrap_or(args.start_seed)) {
+            Ok(()) => println!("mutation smoke check: oracle caught the injected row drop"),
+            Err(e) => {
+                eprintln!("simtest: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let seeds: Vec<u64> = match args.replay {
+        Some(seed) => vec![seed],
+        None => (args.start_seed..args.start_seed + args.seeds).collect(),
+    };
+
+    let mut total = SeedReport::default();
+    let mut failures: Vec<(u64, String)> = Vec::new();
+    for &seed in &seeds {
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_seed(seed, &args.config)));
+        match outcome {
+            Ok(Ok(report)) => {
+                if args.replay.is_some() {
+                    println!("{report:#?}");
+                }
+                total.rows += report.rows;
+                total.queries += report.queries;
+                total.checks += report.checks;
+                total.fault_runs += report.fault_runs;
+                total.fault_errors += report.fault_errors;
+                total.fault_ok += report.fault_ok;
+                total.degraded_ok += report.degraded_ok;
+            }
+            Ok(Err(e)) => failures.push((seed, e)),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                failures.push((seed, format!("PANIC: {msg}")));
+            }
+        }
+    }
+
+    println!(
+        "simtest: {} seeds, {} queries, {} oracle checks, {} faulted runs \
+         ({} clean errors, {} exact results, {} graceful index degradations)",
+        seeds.len() - failures.len(),
+        total.queries,
+        total.checks,
+        total.fault_runs,
+        total.fault_errors,
+        total.fault_ok,
+        total.degraded_ok,
+    );
+
+    if failures.is_empty() {
+        println!("simtest: all seeds passed");
+        ExitCode::SUCCESS
+    } else {
+        for (seed, e) in &failures {
+            eprintln!("simtest: seed {seed} FAILED: {e}");
+            eprintln!("  replay with: cargo run -p rdb-simtest -- --replay {seed}");
+        }
+        eprintln!("simtest: {} of {} seeds failed", failures.len(), seeds.len());
+        ExitCode::FAILURE
+    }
+}

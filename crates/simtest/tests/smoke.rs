@@ -1,0 +1,63 @@
+//! Bounded harness runs wired into the normal test suite: a small seed
+//! campaign, determinism of the report, the mutation smoke check, and the
+//! graceful-degradation and workload-coverage guarantees.
+
+use rdb_simtest::{mutation_check, run_seed, Scenario, SimConfig};
+use rdb_storage::Value;
+
+#[test]
+fn small_seed_campaign_is_clean() {
+    let cfg = SimConfig::default();
+    for seed in 1..=12 {
+        run_seed(seed, &cfg).unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[test]
+fn same_seed_yields_identical_report() {
+    let cfg = SimConfig::default();
+    let a = run_seed(42, &cfg).expect("seed 42 clean");
+    let b = run_seed(42, &cfg).expect("seed 42 clean");
+    assert_eq!(a, b, "replay must be bit-for-bit deterministic");
+}
+
+#[test]
+fn mutation_is_caught_by_the_oracle() {
+    mutation_check(7).expect("a dropped row must not survive the differential");
+}
+
+#[test]
+fn index_death_degrades_gracefully_somewhere() {
+    let cfg = SimConfig {
+        fault_rates: vec![],
+        ..SimConfig::default()
+    };
+    let degraded: u64 = (1..=10)
+        .map(|seed| run_seed(seed, &cfg).expect("clean seed").degraded_ok)
+        .sum();
+    assert!(
+        degraded >= 1,
+        "at least one seed must exercise the mid-competition index discard"
+    );
+}
+
+#[test]
+fn workload_covers_empty_ranges_and_nulls() {
+    let mut saw_empty_result = false;
+    let mut saw_null = false;
+    let mut saw_two_conjuncts = false;
+    for seed in 1..=16 {
+        let sc = Scenario::generate(seed);
+        saw_null |= sc
+            .shadow
+            .iter()
+            .any(|(_, row)| row.contains(&Value::Null));
+        for q in &sc.queries {
+            saw_two_conjuncts |= q.conjuncts.len() == 2;
+            saw_empty_result |= !sc.shadow.iter().any(|(_, row)| q.matches_row(row));
+        }
+    }
+    assert!(saw_empty_result, "no generated query had an empty result");
+    assert!(saw_null, "no generated table had a NULL-heavy column");
+    assert!(saw_two_conjuncts, "no generated query had two conjuncts");
+}

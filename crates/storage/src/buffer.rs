@@ -19,7 +19,7 @@
 //! deletion) whose entries double as intrusive LRU links — one array, no
 //! `HashMap`, no separate slab, at most one cache line per probe step. The
 //! table is sized to at most 50% load, and slot vacancy is encoded in the
-//! `prev` link ([`FREE`]) so no page key needs to be reserved as a sentinel.
+//! `prev` link (`FREE`) so no page key needs to be reserved as a sentinel.
 //!
 //! Hit/miss classification and eviction order are observably identical to a
 //! naive true-LRU model (see `tests/proptests.rs`, which cross-checks
@@ -29,6 +29,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::cost::SharedCost;
+use crate::error::StorageError;
+use crate::fault::FaultPolicy;
 
 /// Shared handle to one [`BufferPool`]. All storage structures of one
 /// database instance (heap tables, indexes, temp tables) share a pool so
@@ -136,6 +138,7 @@ pub struct BufferPool {
     tail: u32, // least recently used
     hits: u64,
     misses: u64,
+    fault: Option<FaultPolicy>,
 }
 
 impl BufferPool {
@@ -160,7 +163,20 @@ impl BufferPool {
             tail: NIL,
             hits: 0,
             misses: 0,
+            fault: None,
         }
+    }
+
+    /// Installs (or with `None`, removes) a read-fault injection policy.
+    /// Only the fallible [`BufferPool::try_access`]/
+    /// [`BufferPool::try_access_run`] path consults it.
+    pub fn set_fault_policy(&mut self, policy: Option<FaultPolicy>) {
+        self.fault = policy;
+    }
+
+    /// The installed fault policy, if any (for its counters).
+    pub fn fault_policy(&self) -> Option<&FaultPolicy> {
+        self.fault.as_ref()
     }
 
     /// Number of pages the pool can hold.
@@ -264,6 +280,47 @@ impl BufferPool {
                 Access::Miss
             }
         }
+    }
+
+    /// Fallible variant of [`BufferPool::access`] used by *data* read
+    /// paths (heap fetches and scans, index range scans, temp-table
+    /// scan-backs). With no fault policy installed it is exactly
+    /// `Ok(self.access(page))`; with one, the read may fail with
+    /// [`StorageError::InjectedFault`] before anything is charged or any
+    /// LRU state changes — a failed read never happened.
+    pub fn try_access(&mut self, page: PageId) -> Result<Access, StorageError> {
+        if let Some(policy) = &mut self.fault {
+            if policy.should_fail(page) {
+                return Err(StorageError::InjectedFault {
+                    file: page.file,
+                    page: page.page,
+                });
+            }
+        }
+        Ok(self.access(page))
+    }
+
+    /// Fallible variant of [`BufferPool::access_run`]. Pages before a
+    /// fault are accessed and charged normally (the scan really did read
+    /// them); the faulting page and everything after it are not.
+    pub fn try_access_run(
+        &mut self,
+        file: FileId,
+        first_page: u32,
+        n: u32,
+    ) -> Result<(u64, u64), StorageError> {
+        if self.fault.is_none() {
+            return Ok(self.access_run(file, first_page, n));
+        }
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for p in first_page..first_page.saturating_add(n) {
+            match self.try_access(PageId::new(file, p)) {
+                Ok(Access::Hit) => hits += 1,
+                Ok(Access::Miss) => misses += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((hits, misses))
     }
 
     /// Touches the sequential run `first_page .. first_page + n` of `file`
@@ -580,6 +637,76 @@ mod tests {
             reference.insert(0, page);
             reference.truncate(8);
         }
+    }
+
+    #[test]
+    fn try_access_without_policy_matches_access() {
+        let cost_a = shared_meter(CostConfig::default());
+        let cost_b = shared_meter(CostConfig::default());
+        let mut a = BufferPool::new(4, cost_a.clone());
+        let mut b = BufferPool::new(4, cost_b.clone());
+        for i in 0..10 {
+            let got = a.try_access(pid(0, i % 6)).expect("no policy, no faults");
+            assert_eq!(got, b.access(pid(0, i % 6)));
+        }
+        assert_eq!(cost_a.total(), cost_b.total());
+        assert_eq!(a.hits(), b.hits());
+    }
+
+    #[test]
+    fn injected_fault_charges_nothing_and_leaves_state_alone() {
+        let cost = shared_meter(CostConfig::default());
+        let mut p = BufferPool::new(4, cost.clone());
+        p.access(pid(0, 0));
+        let before = cost.total();
+        p.set_fault_policy(Some(crate::FaultPolicy::fail_from_nth(0)));
+        let err = p.try_access(pid(0, 1)).unwrap_err();
+        assert_eq!(
+            err,
+            crate::StorageError::InjectedFault {
+                file: FileId(0),
+                page: 1
+            }
+        );
+        assert_eq!(cost.total(), before, "failed read must not be charged");
+        assert!(!p.contains(pid(0, 1)), "failed read must not become resident");
+        assert!(p.contains(pid(0, 0)));
+        // Removing the policy restores the infallible behaviour.
+        p.set_fault_policy(None);
+        assert!(p.try_access(pid(0, 1)).is_ok());
+    }
+
+    #[test]
+    fn try_access_run_commits_pages_before_the_fault() {
+        let cost = shared_meter(CostConfig::default());
+        let mut p = BufferPool::new(8, cost.clone());
+        p.set_fault_policy(Some(crate::FaultPolicy::fail_from_nth(3)));
+        let err = p.try_access_run(FileId(2), 0, 6).unwrap_err();
+        assert_eq!(
+            err,
+            crate::StorageError::InjectedFault {
+                file: FileId(2),
+                page: 3
+            }
+        );
+        for page in 0..3 {
+            assert!(p.contains(pid(2, page)), "pre-fault pages were read");
+        }
+        for page in 3..6 {
+            assert!(!p.contains(pid(2, page)), "post-fault pages were not");
+        }
+        assert!((cost.total() - 3.0).abs() < 1e-12, "three misses charged");
+    }
+
+    #[test]
+    fn scoped_policy_spares_other_files() {
+        let mut p = pool(8);
+        p.set_fault_policy(Some(
+            crate::FaultPolicy::fail_from_nth(0).scoped_to(FileId(7)),
+        ));
+        assert!(p.try_access(pid(1, 0)).is_ok());
+        assert!(p.try_access_run(FileId(1), 0, 4).is_ok());
+        assert!(p.try_access(pid(7, 0)).is_err());
     }
 
     #[test]

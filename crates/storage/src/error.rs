@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::buffer::FileId;
+
 /// Errors raised by the storage substrate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StorageError {
@@ -31,6 +33,26 @@ pub enum StorageError {
         /// Largest size that would have fit.
         max: usize,
     },
+    /// A simulated I/O failure injected by a [`crate::FaultPolicy`] (the
+    /// simulation harness's stand-in for a dead disk or torn read).
+    InjectedFault {
+        /// File whose read failed.
+        file: FileId,
+        /// Page whose read failed.
+        page: u32,
+    },
+}
+
+impl StorageError {
+    /// True for errors that model a record vanishing under a scan
+    /// (deleted slot, truncated page) rather than a storage failure.
+    /// Cursors skip these and keep scanning; everything else propagates.
+    pub fn is_benign_for_scan(&self) -> bool {
+        matches!(
+            self,
+            StorageError::PageOutOfRange { .. } | StorageError::InvalidSlot { .. }
+        )
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -46,6 +68,9 @@ impl fmt::Display for StorageError {
             StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
             StorageError::RecordTooLarge { size, max } => {
                 write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+            StorageError::InjectedFault { file, page } => {
+                write!(f, "injected I/O fault reading page {page} of file {}", file.0)
             }
         }
     }

@@ -1,0 +1,204 @@
+//! Deterministic storage-fault injection.
+//!
+//! The simulation harness (`rdb-simtest`) needs to prove that every scan
+//! strategy surfaces storage errors cleanly instead of panicking or
+//! silently corrupting partial results. A [`FaultPolicy`] attached to a
+//! [`crate::BufferPool`] makes the pool's *data read path* fallible: each
+//! read observed by the policy may fail with
+//! [`crate::StorageError::InjectedFault`], either with a seeded
+//! probability or deterministically from the Nth observed read onward.
+//!
+//! The policy deliberately lives below every data structure (heap fetches
+//! and scans, index range scans, temp-table scan-backs all route through
+//! the pool), so one knob covers the whole engine. Planning/metadata reads
+//! (range estimation, catalog descents) use the pool's infallible
+//! [`crate::BufferPool::access`] and are never failed — a real system pins
+//! those pages, and failing them would only test the harness, not the
+//! retrieval strategies.
+//!
+//! Determinism: the per-read coin flips come from an inline splitmix64
+//! generator owned by the policy, so a `(seed, probability)` pair replays
+//! the exact same fault sequence for the exact same access sequence — the
+//! property the harness's `--replay <seed>` workflow depends on.
+
+use crate::buffer::{FileId, PageId};
+
+/// Splitmix64 step — small, seedable, and good enough for fault coin flips
+/// (this crate intentionally has no RNG dependency).
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// When a read observed by the policy should fail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FaultMode {
+    /// Fail each observed read independently with this probability.
+    Random {
+        /// Probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Fail every observed read from the `nth` one onward (0-based), for
+    /// deterministic "the disk died mid-scan" scenarios.
+    FromNth {
+        /// First observed read (0-based) that fails.
+        nth: u64,
+    },
+}
+
+/// Deterministic read-fault injector for a [`crate::BufferPool`].
+///
+/// The policy only sees reads issued through the pool's fallible
+/// [`crate::BufferPool::try_access`]/[`crate::BufferPool::try_access_run`]
+/// path; an optional [`FileId`] scope narrows it further (e.g. "only this
+/// index's file dies"). Counters record how many reads were observed and
+/// how many faults fired, so tests can assert the injector actually
+/// exercised the path under test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPolicy {
+    mode: FaultMode,
+    rng: u64,
+    scope: Option<FileId>,
+    reads_observed: u64,
+    faults_injected: u64,
+}
+
+impl FaultPolicy {
+    /// Fails each observed read with `probability`, deterministically from
+    /// `seed`.
+    pub fn random(seed: u64, probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "fault probability must be in [0, 1]"
+        );
+        FaultPolicy {
+            mode: FaultMode::Random { probability },
+            rng: seed,
+            scope: None,
+            reads_observed: 0,
+            faults_injected: 0,
+        }
+    }
+
+    /// Fails every observed read from the `nth` one (0-based) onward.
+    pub fn fail_from_nth(nth: u64) -> Self {
+        FaultPolicy {
+            mode: FaultMode::FromNth { nth },
+            rng: 0,
+            scope: None,
+            reads_observed: 0,
+            faults_injected: 0,
+        }
+    }
+
+    /// Restricts the policy to reads of `file`; reads of other files are
+    /// neither failed nor counted.
+    pub fn scoped_to(mut self, file: FileId) -> Self {
+        self.scope = Some(file);
+        self
+    }
+
+    /// Reads the policy has observed (within scope).
+    pub fn reads_observed(&self) -> u64 {
+        self.reads_observed
+    }
+
+    /// Faults the policy has injected.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected
+    }
+
+    /// Decides the fate of one read. Called by the pool's fallible read
+    /// path for every page touch.
+    pub(crate) fn should_fail(&mut self, page: PageId) -> bool {
+        if let Some(scope) = self.scope {
+            if page.file != scope {
+                return false;
+            }
+        }
+        let n = self.reads_observed;
+        self.reads_observed += 1;
+        let fail = match self.mode {
+            FaultMode::Random { probability } => {
+                if probability <= 0.0 {
+                    false
+                } else if probability >= 1.0 {
+                    true
+                } else {
+                    // 53-bit uniform in [0, 1), the usual f64 construction.
+                    let u = (splitmix64(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64;
+                    u < probability
+                }
+            }
+            FaultMode::FromNth { nth } => n >= nth,
+        };
+        if fail {
+            self.faults_injected += 1;
+        }
+        fail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(file: u32, page: u32) -> PageId {
+        PageId::new(FileId(file), page)
+    }
+
+    #[test]
+    fn probability_zero_never_fails_one_always_fails() {
+        let mut never = FaultPolicy::random(1, 0.0);
+        let mut always = FaultPolicy::random(1, 1.0);
+        for i in 0..100 {
+            assert!(!never.should_fail(pid(0, i)));
+            assert!(always.should_fail(pid(0, i)));
+        }
+        assert_eq!(never.faults_injected(), 0);
+        assert_eq!(always.faults_injected(), 100);
+        assert_eq!(always.reads_observed(), 100);
+    }
+
+    #[test]
+    fn same_seed_replays_same_fault_sequence() {
+        let run = |seed| {
+            let mut p = FaultPolicy::random(seed, 0.1);
+            (0..1000).map(|i| p.should_fail(pid(0, i))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds must differ");
+    }
+
+    #[test]
+    fn random_rate_is_roughly_honoured() {
+        let mut p = FaultPolicy::random(7, 0.1);
+        let mut faults = 0;
+        for i in 0..10_000 {
+            if p.should_fail(pid(0, i)) {
+                faults += 1;
+            }
+        }
+        assert!((800..1200).contains(&faults), "{faults} faults at p=0.1");
+    }
+
+    #[test]
+    fn fail_from_nth_is_exact() {
+        let mut p = FaultPolicy::fail_from_nth(3);
+        let fates: Vec<bool> = (0..6).map(|i| p.should_fail(pid(0, i))).collect();
+        assert_eq!(fates, vec![false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn scope_ignores_other_files() {
+        let mut p = FaultPolicy::fail_from_nth(0).scoped_to(FileId(5));
+        assert!(!p.should_fail(pid(4, 0)), "out of scope");
+        assert_eq!(p.reads_observed(), 0, "out-of-scope reads are not counted");
+        assert!(p.should_fail(pid(5, 0)));
+        assert_eq!(p.reads_observed(), 1);
+    }
+}

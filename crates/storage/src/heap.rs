@@ -135,7 +135,7 @@ impl HeapTable {
             })?;
         self.pool
             .borrow_mut()
-            .access(PageId::new(self.file, rid.page));
+            .try_access(PageId::new(self.file, rid.page))?;
         self.cost.charge_records(1);
         let bytes = page.slot_bytes(rid.slot).ok_or(StorageError::InvalidSlot {
             page: rid.page,
@@ -196,13 +196,21 @@ pub struct HeapScan {
 }
 
 impl HeapScan {
-    /// Advances to the next live record, or `None` at end of table.
-    pub fn next(&mut self, table: &HeapTable) -> Option<(Rid, Record)> {
+    /// Advances to the next live record, `Ok(None)` at end of table.
+    ///
+    /// Page reads go through the pool's fallible path, so an injected
+    /// storage fault (or a record that fails to decode) surfaces as an
+    /// `Err` instead of silently ending the scan.
+    pub fn next(&mut self, table: &HeapTable) -> Result<Option<(Rid, Record)>, StorageError> {
         loop {
-            let page = table.pages.get(self.page as usize)?;
+            let Some(page) = table.pages.get(self.page as usize) else {
+                return Ok(None);
+            };
             if !self.page_opened {
-                let mut pool = table.pool.borrow_mut();
-                pool.access(PageId::new(table.file, self.page));
+                table
+                    .pool
+                    .borrow_mut()
+                    .try_access(PageId::new(table.file, self.page))?;
                 self.page_opened = true;
             }
             while (self.slot as usize) < page.slot_count() as usize {
@@ -210,8 +218,8 @@ impl HeapScan {
                 self.slot += 1;
                 if let Some(bytes) = page.slot_bytes(slot) {
                     table.cost.charge_records(1);
-                    let record = Record::decode(bytes).ok()?;
-                    return Some((Rid::new(self.page, slot), record));
+                    let record = Record::decode(bytes)?;
+                    return Ok(Some((Rid::new(self.page, slot), record)));
                 }
             }
             self.page += 1;
@@ -281,7 +289,7 @@ mod tests {
         }
         let mut scan = t.scan();
         let mut seen = Vec::new();
-        while let Some((rid, record)) = scan.next(&t) {
+        while let Some((rid, record)) = scan.next(&t).unwrap() {
             seen.push((rid, record[0].as_i64().unwrap()));
         }
         assert_eq!(seen.len(), 50);
@@ -297,7 +305,7 @@ mod tests {
         t.delete(rids[7]).unwrap();
         let mut scan = t.scan();
         let mut vals = Vec::new();
-        while let Some((_, record)) = scan.next(&t) {
+        while let Some((_, record)) = scan.next(&t).unwrap() {
             vals.push(record[0].as_i64().unwrap());
         }
         assert_eq!(vals, vec![0, 1, 2, 4, 5, 6, 8, 9]);
@@ -320,7 +328,7 @@ mod tests {
         let pages = t.page_count() as u64;
         let before = cost.snapshot();
         let mut scan = t.scan();
-        while scan.next(&t).is_some() {}
+        while scan.next(&t).unwrap().is_some() {}
         let delta = cost.snapshot().since(&before);
         assert_eq!(delta.page_reads, pages);
         assert_eq!(delta.records_examined, 100);
@@ -398,10 +406,39 @@ mod tests {
         // Scan still sees a consistent record set.
         let mut scan = t.scan();
         let mut count = 0;
-        while scan.next(&t).is_some() {
+        while scan.next(&t).unwrap().is_some() {
             count += 1;
         }
         assert_eq!(count as u64, t.cardinality());
+    }
+
+    #[test]
+    fn fetch_and_scan_surface_injected_faults() {
+        let mut t = table(64, 64);
+        let rids: Vec<Rid> = (0..30).map(|i| t.insert(rec(i)).unwrap()).collect();
+        assert!(t.page_count() >= 3, "need multiple pages");
+        // Fail the second page read the scan performs.
+        t.pool()
+            .borrow_mut()
+            .set_fault_policy(Some(crate::FaultPolicy::fail_from_nth(1)));
+        let mut scan = t.scan();
+        let mut seen = 0usize;
+        let err = loop {
+            match scan.next(&t) {
+                Ok(Some(_)) => seen += 1,
+                Ok(None) => panic!("scan must hit the injected fault"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, StorageError::InjectedFault { .. }));
+        assert!(seen > 0, "first page was delivered before the fault");
+        // Random fetches fail the same way, and recover once disarmed.
+        assert!(matches!(
+            t.fetch(rids[29]),
+            Err(StorageError::InjectedFault { .. })
+        ));
+        t.pool().borrow_mut().set_fault_policy(None);
+        assert_eq!(t.fetch(rids[29]).unwrap(), rec(29));
     }
 
     #[test]
@@ -412,7 +449,7 @@ mod tests {
         }
         let mut scan = t.scan();
         assert_eq!(scan.progress(&t), 0.0);
-        while scan.next(&t).is_some() {}
+        while scan.next(&t).unwrap().is_some() {}
         assert!((scan.progress(&t) - 1.0).abs() < 1e-9);
     }
 }

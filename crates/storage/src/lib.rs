@@ -26,6 +26,7 @@
 pub mod buffer;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod record;
@@ -39,6 +40,7 @@ pub use buffer::{shared_pool, Access, BufferPool, FileId, PageId, SharedPool};
 pub use cost::shared_meter;
 pub use cost::{CostConfig, CostMeter, CostSnapshot, SharedCost};
 pub use error::StorageError;
+pub use fault::FaultPolicy;
 pub use heap::{HeapScan, HeapTable};
 pub use record::Record;
 pub use reference::ReferencePool;

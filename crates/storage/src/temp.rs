@@ -7,6 +7,7 @@
 
 use crate::buffer::{FileId, SharedPool};
 use crate::cost::SharedCost;
+use crate::error::StorageError;
 use crate::rid::Rid;
 
 /// How many RIDs fit on one temp-table page (a RID is 6 bytes; an 8 KiB
@@ -87,11 +88,12 @@ impl TempTable {
     }
 
     /// Reads the whole list back in insertion order, charging one page read
-    /// per page, and returns it.
-    pub fn scan_all(&self) -> Vec<Rid> {
+    /// per page, and returns it. Goes through the pool's fallible path:
+    /// temp pages are real storage and die with the rest of the disk.
+    pub fn scan_all(&self) -> Result<Vec<Rid>, StorageError> {
         let pages = self.page_count_for(self.rids.len());
-        self.pool.borrow_mut().access_run(self.file, 0, pages);
-        self.rids.clone()
+        self.pool.borrow_mut().try_access_run(self.file, 0, pages)?;
+        Ok(self.rids.clone())
     }
 
     /// Discards the contents (cheap; temp pages are simply dropped).
@@ -138,7 +140,7 @@ mod tests {
         let input = rids(25);
         t.append(&input);
         let before = cost.snapshot();
-        let out = t.scan_all();
+        let out = t.scan_all().unwrap();
         assert_eq!(out, input);
         assert_eq!(cost.snapshot().since(&before).page_reads + cost.snapshot().since(&before).cache_hits, 3);
     }

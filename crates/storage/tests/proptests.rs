@@ -107,7 +107,7 @@ proptest! {
         // Scan sees exactly the inserted multiset, in insertion order.
         let mut scan = table.scan();
         let mut seen = Vec::new();
-        while let Some((_, rec)) = scan.next(&table) {
+        while let Some((_, rec)) = scan.next(&table).unwrap() {
             seen.push(rec[0].as_i64().unwrap());
         }
         prop_assert_eq!(seen, xs);
@@ -182,7 +182,7 @@ proptest! {
         let before = cost.snapshot();
         let mut scan = table.scan();
         let mut count = 0;
-        while scan.next(&table).is_some() { count += 1; }
+        while scan.next(&table).unwrap().is_some() { count += 1; }
         let d = cost.snapshot().since(&before);
         prop_assert_eq!(count, n);
         prop_assert_eq!(d.records_examined as usize, n);

@@ -71,6 +71,17 @@ pub enum ColumnSpec {
         /// Fallback domain size.
         n: i64,
     },
+    /// NULL with probability `null_rate`, otherwise the inner spec's value.
+    /// NULL-heavy columns stress the estimator and the residual evaluator:
+    /// every comparison against NULL is false, so a high rate turns a
+    /// "selective" predicate into a near-empty one. The inner spec must be
+    /// `Serial`, `Uniform`, `Zipf`, or `Clustered`.
+    Nullable {
+        /// Probability of producing `Value::Null`.
+        null_rate: f64,
+        /// Generator for the non-NULL values.
+        inner: Box<ColumnSpec>,
+    },
 }
 
 /// Deterministic row generator for a list of column specs.
@@ -87,9 +98,15 @@ impl TableGen {
     pub fn new(specs: Vec<ColumnSpec>, seed: u64) -> Self {
         let zipfs = specs
             .iter()
-            .map(|s| match s {
-                ColumnSpec::Zipf { n, theta } => Some(ZipfGen::new(*n, *theta)),
-                _ => None,
+            .map(|s| {
+                let s = match s {
+                    ColumnSpec::Nullable { inner, .. } => inner.as_ref(),
+                    other => other,
+                };
+                match s {
+                    ColumnSpec::Zipf { n, theta } => Some(ZipfGen::new(*n, *theta)),
+                    _ => None,
+                }
             })
             .collect();
         TableGen {
@@ -120,6 +137,26 @@ impl TableGen {
                         values[*of].clone()
                     } else {
                         Value::Int(self.rng.gen_range(0..*n))
+                    }
+                }
+                ColumnSpec::Nullable { null_rate, inner } => {
+                    // The coin is drawn unconditionally so the rng stream
+                    // stays aligned regardless of the outcome.
+                    let is_null = self.rng.gen::<f64>() < *null_rate;
+                    let v = match inner.as_ref() {
+                        ColumnSpec::Serial => Value::Int(row),
+                        ColumnSpec::Uniform { n } => Value::Int(self.rng.gen_range(0..*n)),
+                        ColumnSpec::Zipf { .. } => {
+                            let z = self.zipfs[i].as_ref().expect("zipf table built");
+                            Value::Int(z.sample(&mut self.rng) as i64 - 1)
+                        }
+                        ColumnSpec::Clustered { run_length } => Value::Int(row / run_length),
+                        _ => panic!("Nullable inner spec must be Serial/Uniform/Zipf/Clustered"),
+                    };
+                    if is_null {
+                        Value::Null
+                    } else {
+                        v
                     }
                 }
             };
@@ -207,6 +244,45 @@ mod tests {
         let frac = agree as f64 / rows.len() as f64;
         // 0.9 + 0.1·(1/10) = 0.91 expected agreement.
         assert!((0.88..0.94).contains(&frac), "agreement {frac}");
+    }
+
+    #[test]
+    fn nullable_hits_requested_rate() {
+        let mut g = TableGen::new(
+            vec![ColumnSpec::Nullable {
+                null_rate: 0.4,
+                inner: Box::new(ColumnSpec::Uniform { n: 50 }),
+            }],
+            9,
+        );
+        let rows = g.rows(10_000);
+        let nulls = rows.iter().filter(|r| r[0] == Value::Null).count();
+        let frac = nulls as f64 / rows.len() as f64;
+        assert!((0.37..0.43).contains(&frac), "null fraction {frac}");
+        assert!(rows
+            .iter()
+            .filter(|r| r[0] != Value::Null)
+            .all(|r| (0..50).contains(&r[0].as_i64().unwrap())));
+    }
+
+    #[test]
+    fn nullable_zipf_still_skews() {
+        let mut g = TableGen::new(
+            vec![ColumnSpec::Nullable {
+                null_rate: 0.5,
+                inner: Box::new(ColumnSpec::Zipf { n: 100, theta: 1.0 }),
+            }],
+            11,
+        );
+        let rows = g.rows(10_000);
+        let live: Vec<i64> = rows
+            .iter()
+            .filter_map(|r| r[0].as_i64())
+            .collect();
+        assert!(!live.is_empty());
+        let head = live.iter().filter(|&&v| v < 10).count();
+        let frac = head as f64 / live.len() as f64;
+        assert!((0.5..0.65).contains(&frac), "top-10 fraction {frac}");
     }
 
     #[test]

@@ -57,7 +57,7 @@ fn brute_force(db: &Database, sql: &str) -> Vec<i64> {
     let mut copy = Database::new(DbConfig::default());
     copy.create_table("FAMILIES", heap.schema().clone()).expect("copy");
     let mut scan = heap.scan();
-    while let Some((_, record)) = scan.next(heap) {
+    while let Some((_, record)) = scan.next(heap).unwrap() {
         copy.insert("FAMILIES", record.into_values()).expect("copy row");
     }
     let r = copy.query(sql, &none()).expect("brute-force query");
