@@ -10,11 +10,9 @@
 //!
 //! Run: `cargo run --release -p rdb-bench --bin correlation`
 
-use std::collections::HashMap;
-
 use rdb_bench::report::{fmt, print_table};
 use rdb_dist::ops::and_selectivity;
-use rdb_storage::Value;
+use rdb_query::QueryOptions;
 use rdb_workload::{families_db, FamiliesConfig};
 
 fn main() {
@@ -23,7 +21,7 @@ fn main() {
         rows,
         ..FamiliesConfig::default()
     });
-    let none: HashMap<String, Value> = HashMap::new();
+    let none = QueryOptions::new();
     let n = rows as f64;
 
     let mut out = Vec::new();

@@ -21,6 +21,7 @@ use crate::jscan::Jscan;
 use crate::request::{RetrievalRequest, RetrievalResult, Sink};
 use crate::sscan::Sscan;
 use crate::tactics::final_stage;
+use crate::trace::{RunTrace, TraceEvent, Tracer};
 use crate::tscan::{StrategyStep, Tscan};
 
 /// Predicate shape visible at compile time (values are host variables).
@@ -140,6 +141,28 @@ impl StaticOptimizer {
         plan: StaticPlan,
         request: &RetrievalRequest<'_>,
     ) -> Result<RetrievalResult, StorageError> {
+        self.execute_traced(plan, request, &Tracer::disabled())
+    }
+
+    /// [`StaticOptimizer::execute`] with a [`Tracer`] — the baseline emits
+    /// the same `TacticChosen`/`PhaseCost`/`Winner` skeleton as the dynamic
+    /// optimizer (with no refinements or switches: nothing changes at run
+    /// time, which is the point), so traced comparisons line up.
+    pub fn execute_traced(
+        &self,
+        plan: StaticPlan,
+        request: &RetrievalRequest<'_>,
+        tracer: &Tracer,
+    ) -> Result<RetrievalResult, StorageError> {
+        let meter = {
+            let pool = request.table.pool().borrow();
+            std::rc::Rc::clone(pool.cost())
+        };
+        let mut rt = RunTrace::start(tracer, &meter);
+        tracer.emit_with(|| TraceEvent::TacticChosen {
+            tactic: format!("static {plan:?}"),
+            estimation_nodes: 0,
+        });
         let cost_before = request.table.pool().borrow().cost().total();
         let mut sink = Sink::new(request.limit);
         let deliver = |step: StrategyStep, sink: &mut Sink| match step {
@@ -194,9 +217,21 @@ impl StaticOptimizer {
                 }
             }
         }
+        rt.phase(match plan {
+            StaticPlan::Tscan => "tscan",
+            StaticPlan::Fscan { .. } => "fscan",
+            StaticPlan::Sscan { .. } => "sscan",
+        });
+        rt.finish();
         let cost = request.table.pool().borrow().cost().total() - cost_before;
+        let deliveries = sink.into_deliveries();
+        tracer.emit_with(|| TraceEvent::Winner {
+            strategy: format!("static {plan:?}"),
+            cost,
+            rows: deliveries.len(),
+        });
         Ok(RetrievalResult {
-            deliveries: sink.into_deliveries(),
+            deliveries,
             cost,
             strategy: format!("static {plan:?}"),
             events: vec![format!("static plan {plan:?} executed as committed")],
@@ -249,6 +284,12 @@ impl StaticJscan {
         estimates: &[(usize, KeyRange, f64)],
     ) -> Result<RetrievalResult, StorageError> {
         let table = request.table;
+        let tracer = Tracer::disabled();
+        let meter = {
+            let pool = table.pool().borrow();
+            std::rc::Rc::clone(pool.cost())
+        };
+        let mut rt = RunTrace::start(&tracer, &meter);
         let cost_before = table.pool().borrow().cost().total();
         let mut sink = Sink::new(request.limit);
         let mut events: Vec<String> = Vec::new();
@@ -318,6 +359,7 @@ impl StaticJscan {
                 &[],
                 &mut sink,
                 &mut events,
+                &mut rt,
             )?;
         }
 

@@ -24,6 +24,7 @@ use crate::jscan::{Jscan, JscanConfig, JscanIndex};
 use crate::request::{OptimizeGoal, RetrievalRequest, RetrievalResult, Sink};
 use crate::sscan::Sscan;
 use crate::tactics::{self, FgrConfig};
+use crate::trace::{RunTrace, TraceEvent, Tracer};
 use crate::tscan::{StrategyStep, Tscan};
 
 /// Configuration of the dynamic optimizer.
@@ -155,38 +156,86 @@ impl DynamicOptimizer {
         request: &RetrievalRequest<'_>,
         observer: Option<crate::request::DeliveryObserver<'_>>,
     ) -> Result<RetrievalResult, StorageError> {
-        let cost_before = request.table.pool().borrow().cost().total();
+        self.run_traced(request, observer, &Tracer::disabled())
+    }
+
+    /// [`DynamicOptimizer::run_with_observer`] with a [`Tracer`]: every
+    /// runtime decision (candidate estimates, refinements, discards,
+    /// switches, the winner, phase costs, pool deltas) is emitted as a
+    /// typed [`TraceEvent`]. Passing [`Tracer::disabled`] makes this
+    /// identical to the untraced path (one branch per would-be event).
+    pub fn run_traced(
+        &self,
+        request: &RetrievalRequest<'_>,
+        observer: Option<crate::request::DeliveryObserver<'_>>,
+        tracer: &Tracer,
+    ) -> Result<RetrievalResult, StorageError> {
+        let cost = {
+            let pool = request.table.pool().borrow();
+            std::rc::Rc::clone(pool.cost())
+        };
+        let pool_before = if tracer.enabled() {
+            request.table.pool().borrow().stats()
+        } else {
+            Default::default()
+        };
+        let cost_before = cost.total();
+        let mut rt = RunTrace::start(tracer, &cost);
         let (choice, plan) = self.choose(request);
+        tracer.emit_with(|| TraceEvent::TacticChosen {
+            tactic: format!("{choice:?}"),
+            estimation_nodes: plan.estimation_nodes as u64,
+        });
+        rt.phase("estimation");
         let mut sink = match observer {
             Some(obs) => Sink::with_observer(request.limit, obs),
             None => Sink::new(request.limit),
         };
         let mut events = vec![format!("tactic: {choice:?}")];
         let mut sscan_index = None;
+        // Detailed strategy string of the tactic that actually produced the
+        // rows (e.g. "fast-first (degraded to background-only)") — the
+        // `Winner` trace event carries this, so trace consumers can check
+        // switches against what really ran.
+        let mut winner_detail: Option<String> = None;
 
         match choice {
             TacticChoice::EndOfData => {
                 events.push("empty range detected during estimation".into());
+                tracer.emit_with(|| TraceEvent::Shortcut {
+                    kind: "empty-range".into(),
+                    detail: "empty range detected during estimation: end of data".into(),
+                });
             }
             TacticChoice::TscanOnly => {
                 let mut scan = Tscan::new(request.table, request.residual.clone());
-                loop {
-                    match scan.step()? {
-                        StrategyStep::Deliver(rid, record) => {
+                let outcome = loop {
+                    match scan.step() {
+                        Err(e) => break Err(e),
+                        Ok(StrategyStep::Deliver(rid, record)) => {
                             if !sink.deliver(rid, record) {
-                                break;
+                                break Ok(());
                             }
                         }
-                        StrategyStep::Progress => {}
-                        StrategyStep::Done => break,
+                        Ok(StrategyStep::Progress) => {}
+                        Ok(StrategyStep::Done) => break Ok(()),
                     }
-                }
+                };
+                rt.phase("tscan");
+                outcome?;
             }
             TacticChoice::TinyRangeFetch => {
                 let Some(ShortcutKind::TinyRange { index_pos, count }) = &plan.shortcut else {
                     unreachable!("tiny fetch without tiny shortcut")
                 };
                 events.push(format!("tiny range of {count} RIDs on index {index_pos}"));
+                tracer.emit_with(|| TraceEvent::Shortcut {
+                    kind: "tiny-range".into(),
+                    detail: format!(
+                        "tiny range of {count} RIDs on {}: direct indexed fetch",
+                        request.indexes[*index_pos].tree.name()
+                    ),
+                });
                 let choice_ref = &request.indexes[*index_pos];
                 let mut f = Fscan::new(
                     request.table,
@@ -194,17 +243,20 @@ impl DynamicOptimizer {
                     choice_ref.range.clone(),
                     request.residual.clone(),
                 );
-                loop {
-                    match f.step()? {
-                        StrategyStep::Deliver(rid, record) => {
+                let outcome = loop {
+                    match f.step() {
+                        Err(e) => break Err(e),
+                        Ok(StrategyStep::Deliver(rid, record)) => {
                             if !sink.deliver(rid, record) {
-                                break;
+                                break Ok(());
                             }
                         }
-                        StrategyStep::Progress => {}
-                        StrategyStep::Done => break,
+                        Ok(StrategyStep::Progress) => {}
+                        Ok(StrategyStep::Done) => break Ok(()),
                     }
-                }
+                };
+                rt.phase("fscan");
+                outcome?;
             }
             TacticChoice::SscanStatic => {
                 let (pos, _) = plan.best_self_sufficient.expect("sscan without index");
@@ -212,38 +264,51 @@ impl DynamicOptimizer {
                 let c = &request.indexes[pos];
                 let pred = c.self_sufficient.clone().expect("self-sufficient pred");
                 let mut s = Sscan::new(c.tree, c.range.clone(), pred);
-                loop {
-                    match s.step()? {
-                        StrategyStep::Deliver(rid, record) => {
+                let outcome = loop {
+                    match s.step() {
+                        Err(e) => break Err(e),
+                        Ok(StrategyStep::Deliver(rid, record)) => {
                             if !sink.deliver_from_index(rid, record) {
-                                break;
+                                break Ok(());
                             }
                         }
-                        StrategyStep::Progress => {}
-                        StrategyStep::Done => break,
+                        Ok(StrategyStep::Progress) => {}
+                        Ok(StrategyStep::Done) => break Ok(()),
                     }
-                }
+                };
+                rt.phase("sscan");
+                outcome?;
             }
             TacticChoice::BackgroundOnly => {
-                let jscan = self
+                let mut jscan = self
                     .build_jscan(request, &plan, None)
                     .expect("background-only requires indexes");
-                let report =
-                    tactics::background_only(request.table, jscan, &request.residual, &mut sink)?;
+                jscan.set_tracer(tracer.clone());
+                let report = tactics::background_only(
+                    request.table,
+                    jscan,
+                    &request.residual,
+                    &mut sink,
+                    &mut rt,
+                )?;
+                winner_detail = Some(report.strategy.clone());
                 events.push(report.strategy);
                 events.extend(report.events);
             }
             TacticChoice::FastFirst => {
-                let jscan = self
+                let mut jscan = self
                     .build_jscan(request, &plan, None)
                     .expect("fast-first requires indexes");
+                jscan.set_tracer(tracer.clone());
                 let report = tactics::fast_first(
                     request.table,
                     jscan,
                     &request.residual,
                     self.config.fgr,
                     &mut sink,
+                    &mut rt,
                 )?;
+                winner_detail = Some(report.strategy.clone());
                 events.push(report.strategy);
                 events.extend(report.events);
             }
@@ -257,9 +322,19 @@ impl DynamicOptimizer {
                     request.residual.clone(),
                     c.descending,
                 );
-                let jscan = self.build_jscan(request, &plan, Some(pos));
-                let report =
-                    tactics::sorted(request.table, fscan, jscan, self.config.fgr, &mut sink)?;
+                let mut jscan = self.build_jscan(request, &plan, Some(pos));
+                if let Some(j) = &mut jscan {
+                    j.set_tracer(tracer.clone());
+                }
+                let report = tactics::sorted(
+                    request.table,
+                    fscan,
+                    jscan,
+                    self.config.fgr,
+                    &mut sink,
+                    &mut rt,
+                )?;
+                winner_detail = Some(report.strategy.clone());
                 events.push(report.strategy);
                 events.extend(report.events);
             }
@@ -269,7 +344,10 @@ impl DynamicOptimizer {
                 let c = &request.indexes[pos];
                 let pred = c.self_sufficient.clone().expect("self-sufficient pred");
                 let sscan = Sscan::new(c.tree, c.range.clone(), pred);
-                let jscan = self.build_jscan(request, &plan, Some(pos));
+                let mut jscan = self.build_jscan(request, &plan, Some(pos));
+                if let Some(j) = &mut jscan {
+                    j.set_tracer(tracer.clone());
+                }
                 let report = tactics::index_only(
                     request.table,
                     sscan,
@@ -277,16 +355,32 @@ impl DynamicOptimizer {
                     &request.residual,
                     self.config.fgr,
                     &mut sink,
+                    &mut rt,
                 )?;
+                winner_detail = Some(report.strategy.clone());
                 events.push(report.strategy);
                 events.extend(report.events);
             }
         }
 
-        let cost = request.table.pool().borrow().cost().total() - cost_before;
+        rt.finish();
+        let cost_total = cost.total() - cost_before;
+        if tracer.enabled() {
+            let delta = request.table.pool().borrow().stats().since(&pool_before);
+            tracer.emit_with(|| TraceEvent::PoolDelta {
+                hits: delta.hits,
+                misses: delta.misses,
+            });
+        }
+        let deliveries = sink.into_deliveries();
+        tracer.emit_with(|| TraceEvent::Winner {
+            strategy: winner_detail.unwrap_or_else(|| format!("{choice:?}")),
+            cost: cost_total,
+            rows: deliveries.len(),
+        });
         Ok(RetrievalResult {
-            deliveries: sink.into_deliveries(),
-            cost,
+            deliveries,
+            cost: cost_total,
             strategy: format!("{choice:?}"),
             events,
             sscan_index,
@@ -306,10 +400,37 @@ impl DynamicOptimizer {
         residual: &crate::request::RecordPred,
         limit: Option<usize>,
     ) -> Result<crate::request::RetrievalResult, StorageError> {
+        self.run_union_traced(table, arms, residual, limit, &Tracer::disabled())
+    }
+
+    /// [`DynamicOptimizer::run_union`] with a [`Tracer`] (see
+    /// [`DynamicOptimizer::run_traced`]).
+    pub fn run_union_traced(
+        &self,
+        table: &rdb_storage::HeapTable,
+        arms: Vec<(&'_ rdb_btree::BTree, KeyRange)>,
+        residual: &crate::request::RecordPred,
+        limit: Option<usize>,
+        tracer: &Tracer,
+    ) -> Result<crate::request::RetrievalResult, StorageError> {
         use crate::ridlist::RidList;
         use crate::union::{UnionArm, UnionOutcome, UnionScan};
 
-        let cost_before = table.pool().borrow().cost().total();
+        let cost = {
+            let pool = table.pool().borrow();
+            std::rc::Rc::clone(pool.cost())
+        };
+        let pool_before = if tracer.enabled() {
+            table.pool().borrow().stats()
+        } else {
+            Default::default()
+        };
+        let cost_before = cost.total();
+        let mut rt = RunTrace::start(tracer, &cost);
+        tracer.emit_with(|| TraceEvent::TacticChosen {
+            tactic: "UnionScan".into(),
+            estimation_nodes: 0,
+        });
         let mut sink = Sink::new(limit);
         let mut events = vec!["tactic: UnionScan (OR-connected restriction)".to_string()];
 
@@ -317,8 +438,16 @@ impl DynamicOptimizer {
         let mut union_arms: Vec<UnionArm<'_>> = Vec::new();
         for (tree, range) in arms {
             let est = tree.estimate_range(&range);
+            tracer.emit_with(|| TraceEvent::CandidateEstimate {
+                index: tree.name().to_owned(),
+                estimate: est.estimate.max(0.0).round() as u64,
+            });
             if est.exact && est.estimate == 0.0 {
                 events.push(format!("arm {} provably empty: dropped", tree.name()));
+                tracer.emit_with(|| TraceEvent::Shortcut {
+                    kind: "empty-arm".into(),
+                    detail: format!("arm {} provably empty: dropped", tree.name()),
+                });
                 continue;
             }
             union_arms.push(UnionArm {
@@ -327,32 +456,66 @@ impl DynamicOptimizer {
                 estimate: est.estimate,
             });
         }
+        rt.phase("estimation");
 
         let strategy;
         if union_arms.is_empty() {
             events.push("every arm empty: end of data".into());
+            tracer.emit_with(|| TraceEvent::Shortcut {
+                kind: "empty-range".into(),
+                detail: "every arm empty: end of data".into(),
+            });
             strategy = "UnionScan (empty)".to_string();
         } else {
             let mut scan = UnionScan::new(table, union_arms, self.config.jscan);
-            let outcome = scan.run()?;
+            let outcome = scan.run();
+            rt.phase("union");
+            let outcome = outcome?;
             events.extend(scan.events().iter().cloned());
+            if tracer.enabled() {
+                for e in scan.events() {
+                    let message = e.clone();
+                    tracer.emit_with(|| TraceEvent::Note { message });
+                }
+            }
             match outcome {
                 UnionOutcome::Rids(rids) => {
                     let list = RidList::from_vec(rids);
-                    tactics::final_stage(table, &list, residual, &[], &mut sink, &mut events)?;
+                    tactics::final_stage(
+                        table, &list, residual, &[], &mut sink, &mut events, &mut rt,
+                    )?;
                     strategy = "UnionScan".to_string();
                 }
                 UnionOutcome::UseTscan => {
-                    tactics::run_tscan(table, residual, &[], &mut sink, &mut events)?;
+                    tracer.emit_with(|| TraceEvent::Switch {
+                        from: "union".into(),
+                        to: "tscan".into(),
+                        reason: "union of arms priced out: full scan is cheaper".into(),
+                    });
+                    tactics::run_tscan(table, residual, &[], &mut sink, &mut events, &mut rt)?;
                     strategy = "UnionScan -> Tscan".to_string();
                 }
             }
         }
 
-        let cost = table.pool().borrow().cost().total() - cost_before;
+        rt.finish();
+        let cost_total = cost.total() - cost_before;
+        if tracer.enabled() {
+            let delta = table.pool().borrow().stats().since(&pool_before);
+            tracer.emit_with(|| TraceEvent::PoolDelta {
+                hits: delta.hits,
+                misses: delta.misses,
+            });
+        }
+        let deliveries = sink.into_deliveries();
+        tracer.emit_with(|| TraceEvent::Winner {
+            strategy: strategy.clone(),
+            cost: cost_total,
+            rows: deliveries.len(),
+        });
         Ok(crate::request::RetrievalResult {
-            deliveries: sink.into_deliveries(),
-            cost,
+            deliveries,
+            cost: cost_total,
             strategy,
             events,
             sscan_index: None,

@@ -34,6 +34,7 @@ use rdb_storage::{FileId, HeapTable, Rid};
 
 use crate::filter::Filter;
 use crate::ridlist::{RidList, RidListBuilder, RidTierConfig};
+use crate::trace::{TraceEvent, Tracer};
 
 /// Tunables of the joint scan.
 #[derive(Debug, Clone, Copy)]
@@ -187,6 +188,10 @@ struct ActiveScan {
     /// advance this instead of binary-searching from scratch. Reset
     /// whenever a new filter is installed.
     probe: usize,
+    /// Last blended selectivity reported to the tracer (negative = never).
+    /// Refinement events fire only when the estimate moves meaningfully,
+    /// keeping traces (and golden files) readable.
+    traced_rate: f64,
 }
 
 /// The joint-scan state machine.
@@ -208,6 +213,7 @@ pub struct Jscan<'a> {
     borrowable: Vec<Rid>,
     borrow_open: bool,
     temp_file_base: u32,
+    tracer: Tracer,
 }
 
 impl<'a> Jscan<'a> {
@@ -234,9 +240,30 @@ impl<'a> Jscan<'a> {
             borrowable: Vec::new(),
             borrow_open: true,
             temp_file_base: 1_000_000,
+            tracer: Tracer::disabled(),
         };
         jscan.arm_scans();
         jscan
+    }
+
+    /// Attaches a tracer and announces the competition (candidate count,
+    /// per-candidate estimates, and the Tscan cost they compete against).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        let tscan_cost = self.tscan_cost;
+        let candidates = self.indexes.len();
+        self.tracer.emit_with(|| TraceEvent::CompetitionStart {
+            candidates,
+            tscan_cost,
+        });
+        if self.tracer.enabled() {
+            for info in &self.indexes {
+                let index = info.tree.name().to_owned();
+                let estimate = info.estimate.max(0.0).round() as u64;
+                self.tracer
+                    .emit_with(|| TraceEvent::CandidateEstimate { index, estimate });
+            }
+        }
     }
 
     /// Chronological event log.
@@ -309,6 +336,7 @@ impl<'a> Jscan<'a> {
             spent: 0.0,
             shadow: Some(Vec::new()),
             probe: 0,
+            traced_rate: -1.0,
         }
     }
 
@@ -405,6 +433,9 @@ impl<'a> Jscan<'a> {
             // competition continue on the surviving indexes (finalize falls
             // back to Tscan if none survive).
             let name = tree.name().to_owned();
+            self.tracer.emit_with(|| TraceEvent::FaultAbsorbed {
+                index: name.clone(),
+            });
             self.events.push(JscanEvent::IndexDiscarded {
                 name,
                 reason: DiscardReason::StorageFault,
@@ -464,6 +495,15 @@ impl<'a> Jscan<'a> {
         });
 
         if list.is_empty() {
+            self.tracer.emit_with(|| TraceEvent::ScanCompleted {
+                index: name.clone(),
+                kept: 0,
+                guaranteed_best: self.guaranteed_best,
+            });
+            self.tracer.emit_with(|| TraceEvent::Shortcut {
+                kind: "empty-intersection".into(),
+                detail: format!("{name} produced no RIDs: end of data"),
+            });
             self.events.push(JscanEvent::EmptyIntersection);
             self.outcome = Some(JscanOutcome::Empty);
             return;
@@ -509,6 +549,13 @@ impl<'a> Jscan<'a> {
                 // Partner already spilled: the paper stops simultaneity at
                 // the memory boundary — discard the partner's partial list.
                 let partner_name = self.indexes[other.idx].tree.name().to_owned();
+                self.tracer.emit_with(|| TraceEvent::IndexDiscarded {
+                    index: partner_name.clone(),
+                    reason: DiscardReason::SimultaneousOverflow,
+                    projected_cost: 0.0,
+                    spent: other.spent,
+                    guaranteed_best: self.guaranteed_best,
+                });
                 self.events.push(JscanEvent::IndexDiscarded {
                     name: partner_name,
                     reason: DiscardReason::SimultaneousOverflow,
@@ -533,12 +580,21 @@ impl<'a> Jscan<'a> {
         if final_cost < self.guaranteed_best {
             self.guaranteed_best = final_cost;
         }
+        self.tracer.emit_with(|| TraceEvent::ScanCompleted {
+            index: name.clone(),
+            kept: list.len(),
+            guaranteed_best: self.guaranteed_best,
+        });
         let tiny = list.len() <= self.config.tiny_list_shortcut;
         self.filter = Some(new_filter);
         self.complete = Some(list);
 
         if tiny {
             let len = self.complete.as_ref().unwrap().len();
+            self.tracer.emit_with(|| TraceEvent::Shortcut {
+                kind: "tiny-list".into(),
+                detail: format!("{len} RID(s) after {name}: remaining scans skipped"),
+            });
             self.events.push(JscanEvent::TinyListShortcut { len });
             self.outcome = Some(JscanOutcome::FinalList(self.complete.take().unwrap()));
         }
@@ -556,17 +612,19 @@ impl<'a> Jscan<'a> {
     /// "the cost of the final RID list retrieval can be reliably estimated
     /// from the current RID list" requires in practice.
     fn apply_criteria(&mut self, use_secondary: bool) {
-        let (projected, spend, idx) = {
+        let guaranteed_best = self.guaranteed_best;
+        let trace_enabled = self.tracer.enabled();
+        let (projected, spend, idx, refined) = {
+            let filter_len = self.filter.as_ref().map(|f| f.source_len());
+            let cardinality = self.table.cardinality();
             let active = if use_secondary {
-                self.secondary.as_ref().unwrap()
+                self.secondary.as_mut().unwrap()
             } else {
-                self.primary.as_ref().unwrap()
+                self.primary.as_mut().unwrap()
             };
             let est = self.indexes[active.idx].estimate.max(active.entries as f64);
-            let prior_rate = match &self.filter {
-                Some(f) => {
-                    (f.source_len() as f64 / self.table.cardinality().max(1) as f64).min(1.0)
-                }
+            let prior_rate = match filter_len {
+                Some(len) => (len as f64 / cardinality.max(1) as f64).min(1.0),
                 None => 1.0,
             };
             // Patience scales with the scan: a burst covering a few percent
@@ -576,24 +634,43 @@ impl<'a> Jscan<'a> {
                 / (active.entries as f64 + prior_weight);
             let remaining = (est - active.entries as f64).max(0.0);
             let projected_rids = active.kept as f64 + rate * remaining;
-            (
-                Self::fetch_cost(self.table, projected_rids),
-                active.spent,
-                active.idx,
-            )
+            let projected = Self::fetch_cost(self.table, projected_rids);
+            // Report a refinement only when the blended selectivity moved
+            // noticeably since the last report (5% absolute).
+            let mut refined = None;
+            if trace_enabled && (active.traced_rate - rate).abs() > 0.05 {
+                active.traced_rate = rate;
+                refined = Some(TraceEvent::EstimateRefined {
+                    index: self.indexes[active.idx].tree.name().to_owned(),
+                    entries: active.entries,
+                    kept: active.kept,
+                    selectivity: rate,
+                    projected_cost: projected,
+                    guaranteed_best,
+                });
+            }
+            (projected, active.spent, active.idx, refined)
         };
+        if let Some(event) = refined {
+            self.tracer.emit_with(|| event);
+        }
         let projected_bad = projected >= self.config.switch_threshold * self.guaranteed_best;
         let spend_bad = spend >= self.config.scan_spend_limit * self.guaranteed_best;
         if projected_bad || spend_bad {
             let name = self.indexes[idx].tree.name().to_owned();
-            self.events.push(JscanEvent::IndexDiscarded {
-                name,
-                reason: if projected_bad {
-                    DiscardReason::ProjectedCost
-                } else {
-                    DiscardReason::ScanSpend
-                },
+            let reason = if projected_bad {
+                DiscardReason::ProjectedCost
+            } else {
+                DiscardReason::ScanSpend
+            };
+            self.tracer.emit_with(|| TraceEvent::IndexDiscarded {
+                index: name.clone(),
+                reason,
+                projected_cost: projected,
+                spent: spend,
+                guaranteed_best,
             });
+            self.events.push(JscanEvent::IndexDiscarded { name, reason });
             if idx == 0 {
                 self.borrow_open = false;
             }

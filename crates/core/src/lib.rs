@@ -40,6 +40,7 @@ pub mod request;
 pub mod ridlist;
 pub mod sscan;
 pub mod tactics;
+pub mod trace;
 pub mod tscan;
 pub mod union;
 
@@ -48,12 +49,16 @@ pub use dynamic::{DynamicConfig, DynamicOptimizer, TacticChoice};
 pub use filter::Filter;
 pub use fscan::Fscan;
 pub use initial::{InitialPlan, InitialStage, ShortcutKind};
-pub use jscan::{Jscan, JscanConfig, JscanEvent, JscanIndex, JscanOutcome};
+pub use jscan::{DiscardReason, Jscan, JscanConfig, JscanEvent, JscanIndex, JscanOutcome};
 pub use request::{
     Delivery, DeliveryObserver, IndexChoice, KeyPred, OptimizeGoal, RecordPred, RetrievalRequest,
     RetrievalResult, Sink,
 };
 pub use ridlist::{RidList, RidListBuilder, RidTierConfig};
 pub use sscan::Sscan;
+pub use trace::{
+    event_json, json_string, render_timeline, trace_json, RunTrace, TraceBuffer, TraceEvent,
+    TraceSink, Tracer,
+};
 pub use tscan::Tscan;
 pub use union::{UnionArm, UnionOutcome, UnionScan};

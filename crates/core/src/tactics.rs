@@ -23,6 +23,7 @@ use crate::jscan::{Jscan, JscanOutcome, JscanStatus};
 use crate::request::{RecordPred, Sink};
 use crate::ridlist::RidList;
 use crate::sscan::Sscan;
+use crate::trace::{RunTrace, TraceEvent};
 use crate::tscan::{StrategyStep, Tscan};
 
 /// Foreground-process tuning shared by the competitive tactics.
@@ -72,6 +73,20 @@ pub fn final_stage(
     exclude: &[Rid],
     sink: &mut Sink,
     events: &mut Vec<String>,
+    rt: &mut RunTrace<'_>,
+) -> Result<(), StorageError> {
+    let result = final_stage_inner(table, list, residual, exclude, sink, events);
+    rt.phase("final-stage");
+    result
+}
+
+fn final_stage_inner(
+    table: &HeapTable,
+    list: &RidList,
+    residual: &RecordPred,
+    exclude: &[Rid],
+    sink: &mut Sink,
+    events: &mut Vec<String>,
 ) -> Result<(), StorageError> {
     let mut rids = list.to_vec()?;
     rids.sort_unstable();
@@ -110,6 +125,19 @@ pub(crate) fn run_tscan(
     exclude: &[Rid],
     sink: &mut Sink,
     events: &mut Vec<String>,
+    rt: &mut RunTrace<'_>,
+) -> Result<(), StorageError> {
+    let result = run_tscan_inner(table, residual, exclude, sink, events);
+    rt.phase("tscan");
+    result
+}
+
+fn run_tscan_inner(
+    table: &HeapTable,
+    residual: &RecordPred,
+    exclude: &[Rid],
+    sink: &mut Sink,
+    events: &mut Vec<String>,
 ) -> Result<(), StorageError> {
     let mut excluded: Vec<Rid> = exclude.to_vec();
     excluded.sort_unstable();
@@ -140,8 +168,10 @@ pub fn background_only(
     mut jscan: Jscan<'_>,
     residual: &RecordPred,
     sink: &mut Sink,
+    rt: &mut RunTrace<'_>,
 ) -> Result<TacticReport, StorageError> {
     let outcome = jscan.run();
+    rt.phase("jscan");
     let mut events: Vec<String> = jscan.events().iter().map(|e| e.to_string()).collect();
     Ok(match outcome {
         JscanOutcome::Empty => {
@@ -152,14 +182,19 @@ pub fn background_only(
             }
         }
         JscanOutcome::FinalList(list) => {
-            final_stage(table, &list, residual, &[], sink, &mut events)?;
+            final_stage(table, &list, residual, &[], sink, &mut events, rt)?;
             TacticReport {
                 strategy: "background-only (Jscan + final stage)".into(),
                 events,
             }
         }
         JscanOutcome::UseTscan => {
-            run_tscan(table, residual, &[], sink, &mut events)?;
+            rt.tracer().emit_with(|| TraceEvent::Switch {
+                from: "jscan".into(),
+                to: "tscan".into(),
+                reason: "no surviving RID list beat the full-scan cost".into(),
+            });
+            run_tscan(table, residual, &[], sink, &mut events, rt)?;
             TacticReport {
                 strategy: "background-only (Jscan -> Tscan)".into(),
                 events,
@@ -178,6 +213,7 @@ pub fn fast_first(
     residual: &RecordPred,
     config: FgrConfig,
     sink: &mut Sink,
+    rt: &mut RunTrace<'_>,
 ) -> Result<TacticReport, StorageError> {
     let mut events: Vec<String> = Vec::new();
     let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
@@ -219,6 +255,7 @@ pub fn fast_first(
                             fgr_buffer.push(rid);
                             if !sink.deliver(rid, Some(record)) {
                                 events.push("limit reached by foreground".into());
+                                rt.phase("foreground");
                                 return Ok(TacticReport {
                                     strategy: "fast-first (foreground satisfied)".into(),
                                     events,
@@ -231,15 +268,30 @@ pub fn fast_first(
                     Err(e) => return Err(e),
                 }
                 fgr_spend += meter_total(table) - before;
+                rt.phase("foreground");
                 // Direct competition: overflow or overspend kills Fgr.
                 if fgr_buffer.len() >= config.buffer_capacity {
                     events.push("foreground buffer overflow: switching to background-only".into());
+                    rt.tracer().emit_with(|| TraceEvent::Switch {
+                        from: "fast-first".into(),
+                        to: "background-only".into(),
+                        reason: "foreground buffer overflow".into(),
+                    });
                     sched.deactivate(FGR);
                     fgr_alive = false;
                 } else if fgr_spend >= config.spend_limit_ratio * jscan.guaranteed_best() {
                     events.push(format!(
                         "foreground spend {fgr_spend:.1} hit its competition limit: switching to background-only"
                     ));
+                    rt.tracer().emit_with(|| TraceEvent::Switch {
+                        from: "fast-first".into(),
+                        to: "background-only".into(),
+                        reason: format!(
+                            "foreground spend {fgr_spend:.1} exceeded {:.0}% of guaranteed best {:.1}",
+                            config.spend_limit_ratio * 100.0,
+                            jscan.guaranteed_best()
+                        ),
+                    });
                     sched.deactivate(FGR);
                     fgr_alive = false;
                 }
@@ -248,6 +300,7 @@ pub fn fast_first(
                 if jscan.step() == JscanStatus::Finished {
                     outcome = Some(jscan.take_outcome());
                 }
+                rt.phase("jscan");
             }
             _ => unreachable!(),
         }
@@ -264,10 +317,15 @@ pub fn fast_first(
     match outcome {
         Some(JscanOutcome::Empty) | None => {}
         Some(JscanOutcome::FinalList(list)) => {
-            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events)?;
+            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events, rt)?;
         }
         Some(JscanOutcome::UseTscan) => {
-            run_tscan(table, residual, &fgr_buffer, sink, &mut events)?;
+            rt.tracer().emit_with(|| TraceEvent::Switch {
+                from: "jscan".into(),
+                to: "tscan".into(),
+                reason: "no surviving RID list beat the full-scan cost".into(),
+            });
+            run_tscan(table, residual, &fgr_buffer, sink, &mut events, rt)?;
         }
     }
     Ok(TacticReport {
@@ -286,6 +344,7 @@ pub fn sorted(
     mut jscan: Option<Jscan<'_>>,
     config: FgrConfig,
     sink: &mut Sink,
+    rt: &mut RunTrace<'_>,
 ) -> Result<TacticReport, StorageError> {
     let mut events: Vec<String> = Vec::new();
     let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
@@ -297,31 +356,42 @@ pub fn sorted(
 
     while let Some(who) = sched.next() {
         match who {
-            FGR => match fscan.step()? {
-                StrategyStep::Deliver(rid, record) => {
-                    if !sink.deliver(rid, record) {
-                        events.push("limit reached by ordered foreground".into());
-                        return Ok(TacticReport {
-                            strategy: "sorted (Fscan satisfied)".into(),
-                            events,
-                        });
+            FGR => {
+                let step = fscan.step();
+                rt.phase("fscan");
+                match step? {
+                    StrategyStep::Deliver(rid, record) => {
+                        if !sink.deliver(rid, record) {
+                            events.push("limit reached by ordered foreground".into());
+                            return Ok(TacticReport {
+                                strategy: "sorted (Fscan satisfied)".into(),
+                                events,
+                            });
+                        }
+                    }
+                    StrategyStep::Progress => {}
+                    StrategyStep::Done => {
+                        events.push("ordered Fscan completed; background abandoned".into());
+                        break;
                     }
                 }
-                StrategyStep::Progress => {}
-                StrategyStep::Done => {
-                    events.push("ordered Fscan completed; background abandoned".into());
-                    break;
-                }
-            },
+            }
             BGR => {
                 let j = jscan.as_mut().expect("background scheduled without jscan");
-                if j.step() == JscanStatus::Finished {
+                let status = j.step();
+                rt.phase("jscan");
+                if status == JscanStatus::Finished {
                     for e in j.events() {
                         events.push(e.to_string());
                     }
                     match j.take_outcome() {
                         JscanOutcome::Empty => {
                             events.push("background proved empty result".into());
+                            rt.tracer().emit_with(|| TraceEvent::Switch {
+                                from: "fscan".into(),
+                                to: "jscan".into(),
+                                reason: "background proved the result empty".into(),
+                            });
                             return Ok(TacticReport {
                                 strategy: "sorted (background empty shortcut)".into(),
                                 events,
@@ -332,6 +402,12 @@ pub fn sorted(
                                 "background filter of {} RIDs installed into Fscan",
                                 list.len()
                             ));
+                            rt.tracer().emit_with(|| TraceEvent::Note {
+                                message: format!(
+                                    "background filter of {} RIDs installed into Fscan",
+                                    list.len()
+                                ),
+                            });
                             fscan.set_filter(list.filter());
                         }
                         JscanOutcome::UseTscan => {
@@ -369,6 +445,7 @@ pub fn index_only(
     residual: &RecordPred,
     config: FgrConfig,
     sink: &mut Sink,
+    rt: &mut RunTrace<'_>,
 ) -> Result<TacticReport, StorageError> {
     let mut events: Vec<String> = Vec::new();
     let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
@@ -387,46 +464,67 @@ pub fn index_only(
     while let Some(who) = sched.next() {
         match who {
             FGR => {
-                for _ in 0..FGR_BATCH {
-                    match sscan.step()? {
-                        StrategyStep::Deliver(rid, record) => {
-                            fgr_buffer.push(rid);
-                            if !sink.deliver_from_index(rid, record) {
-                                events.push("limit reached by index-only foreground".into());
-                                return Ok(TacticReport {
-                                    strategy: "index-only (Sscan satisfied)".into(),
-                                    events,
-                                });
+                let fgr_quantum = (|| -> Result<Option<TacticReport>, StorageError> {
+                    for _ in 0..FGR_BATCH {
+                        match sscan.step()? {
+                            StrategyStep::Deliver(rid, record) => {
+                                fgr_buffer.push(rid);
+                                if !sink.deliver_from_index(rid, record) {
+                                    events.push("limit reached by index-only foreground".into());
+                                    return Ok(Some(TacticReport {
+                                        strategy: "index-only (Sscan satisfied)".into(),
+                                        events: std::mem::take(&mut events),
+                                    }));
+                                }
+                                if fgr_buffer.len() >= config.buffer_capacity && jscan.is_some() {
+                                    events.push(
+                                        "foreground buffer overflow: Jscan terminated, Sscan continues (safer)"
+                                            .into(),
+                                    );
+                                    rt.tracer().emit_with(|| TraceEvent::Switch {
+                                        from: "jscan".into(),
+                                        to: "sscan".into(),
+                                        reason:
+                                            "foreground buffer overflow: Jscan terminated, Sscan is safer"
+                                                .into(),
+                                    });
+                                    jscan = None;
+                                    sched.deactivate(BGR);
+                                }
                             }
-                            if fgr_buffer.len() >= config.buffer_capacity && jscan.is_some() {
-                                events.push(
-                                    "foreground buffer overflow: Jscan terminated, Sscan continues (safer)"
-                                        .into(),
-                                );
-                                jscan = None;
-                                sched.deactivate(BGR);
+                            StrategyStep::Progress => {}
+                            StrategyStep::Done => {
+                                events.push("Sscan completed; background abandoned".into());
+                                return Ok(Some(TacticReport {
+                                    strategy: "index-only (Sscan won)".into(),
+                                    events: std::mem::take(&mut events),
+                                }));
                             }
-                        }
-                        StrategyStep::Progress => {}
-                        StrategyStep::Done => {
-                            events.push("Sscan completed; background abandoned".into());
-                            return Ok(TacticReport {
-                                strategy: "index-only (Sscan won)".into(),
-                                events,
-                            });
                         }
                     }
+                    Ok(None)
+                })();
+                rt.phase("sscan");
+                if let Some(report) = fgr_quantum? {
+                    return Ok(report);
                 }
             }
             BGR => {
                 let j = jscan.as_mut().expect("background scheduled without jscan");
-                if j.step() == JscanStatus::Finished {
+                let status = j.step();
+                rt.phase("jscan");
+                if status == JscanStatus::Finished {
                     for e in j.events() {
                         events.push(e.to_string());
                     }
                     match j.take_outcome() {
                         JscanOutcome::Empty => {
                             events.push("background proved empty result".into());
+                            rt.tracer().emit_with(|| TraceEvent::Switch {
+                                from: "sscan".into(),
+                                to: "jscan".into(),
+                                reason: "background proved the result empty".into(),
+                            });
                             return Ok(TacticReport {
                                 strategy: "index-only (background empty shortcut)".into(),
                                 events,
@@ -438,7 +536,15 @@ pub fn index_only(
                                 "Jscan won with {} RIDs: Sscan abandoned",
                                 list.len()
                             ));
-                            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events)?;
+                            rt.tracer().emit_with(|| TraceEvent::Switch {
+                                from: "sscan".into(),
+                                to: "jscan".into(),
+                                reason: format!(
+                                    "Jscan finished a sure list of {} RIDs first",
+                                    list.len()
+                                ),
+                            });
+                            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events, rt)?;
                             return Ok(TacticReport {
                                 strategy: "index-only (Jscan won)".into(),
                                 events,
@@ -448,6 +554,12 @@ pub fn index_only(
                             events.push(
                                 "background unselective: Sscan continues alone".into(),
                             );
+                            rt.tracer().emit_with(|| TraceEvent::Switch {
+                                from: "jscan".into(),
+                                to: "sscan".into(),
+                                reason: "background gave up (would recommend Tscan): Sscan continues"
+                                    .into(),
+                            });
                             jscan = None;
                             sched.deactivate(BGR);
                         }

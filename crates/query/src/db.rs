@@ -1,17 +1,24 @@
-//! The top-level `Database`: tables, indexes, and query execution through
-//! the dynamic optimizer.
+//! The top-level [`Db`]: tables, indexes, and query execution through the
+//! dynamic optimizer — with typed errors, builder-style per-run options,
+//! per-query metrics, and `EXPLAIN ANALYZE`.
 
 use std::collections::{BTreeMap, HashMap};
 
 use rdb_btree::BTree;
-use rdb_core::{DynamicConfig, DynamicOptimizer, IndexChoice, OptimizeGoal, RetrievalRequest};
+use rdb_core::{
+    DynamicConfig, DynamicOptimizer, IndexChoice, OptimizeGoal, RetrievalRequest, TraceBuffer,
+};
 use rdb_storage::{
     shared_meter, shared_pool, CostConfig, FileId, HeapTable, Record, Schema, SharedCost,
     SharedPool, Value,
 };
 
+use crate::error::QueryError;
+use crate::explain::ExplainAnalyze;
 use crate::expr::Expr;
+use crate::options::QueryOptions;
 use crate::parser::{parse_query, QuerySpec};
+use crate::plan::effective_goal;
 use crate::sort::SortConfig;
 
 /// Database-wide configuration.
@@ -49,6 +56,15 @@ struct TableEntry {
     indexes: Vec<BTree>,
 }
 
+/// Per-query buffer-pool activity: the pool-counter delta across one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryMetrics {
+    /// Buffer-pool hits this query caused.
+    pub pool_hits: u64,
+    /// Buffer-pool misses (simulated physical reads) this query caused.
+    pub pool_misses: u64,
+}
+
 /// Result of one query run.
 #[derive(Debug)]
 pub struct QueryResult {
@@ -60,19 +76,21 @@ pub struct QueryResult {
     pub cost: f64,
     /// The tactic/strategy that ran.
     pub strategy: String,
-    /// Dynamic-decision log.
+    /// Dynamic-decision log (human-oriented; for typed events attach a
+    /// [`rdb_core::TraceSink`] via [`QueryOptions::with_trace`]).
     pub events: Vec<String>,
+    /// Buffer-pool activity of this run.
+    pub metrics: QueryMetrics,
 }
 
 /// An embedded single-user database with Rdb/VMS-style dynamic single-
 /// table optimization.
 ///
 /// ```
-/// use std::collections::HashMap;
-/// use rdb_query::{Database, DbConfig};
-/// use rdb_storage::{Column, Schema, Value, ValueType};
+/// use rdb_query::prelude::*;
+/// use rdb_storage::{Column, Schema, ValueType};
 ///
-/// let mut db = Database::new(DbConfig::default());
+/// let mut db = Db::new(DbConfig::default());
 /// db.create_table("FAMILIES", Schema::new(vec![
 ///     Column::new("ID", ValueType::Int),
 ///     Column::new("AGE", ValueType::Int),
@@ -83,13 +101,12 @@ pub struct QueryResult {
 /// db.create_index("IDX_AGE", "FAMILIES", &["AGE"])?;
 ///
 /// // The paper's query: the strategy is chosen per binding.
-/// let mut params = HashMap::new();
-/// params.insert("A1".to_string(), Value::Int(95));
-/// let result = db.query("select * from FAMILIES where AGE >= :A1", &params)?;
+/// let opts = QueryOptions::new().with_param("A1", 95i64);
+/// let result = db.query("select * from FAMILIES where AGE >= :A1", &opts)?;
 /// assert_eq!(result.rows.len(), 50);
-/// # Ok::<(), String>(())
+/// # Ok::<(), QueryError>(())
 /// ```
-pub struct Database {
+pub struct Db {
     config: DbConfig,
     cost: SharedCost,
     pool: SharedPool,
@@ -98,12 +115,32 @@ pub struct Database {
     optimizer: DynamicOptimizer,
 }
 
-impl Database {
+/// Former name of [`Db`].
+#[deprecated(note = "renamed to `Db`")]
+pub type Database = Db;
+
+fn unknown_column(table: &str, column: &str) -> QueryError {
+    QueryError::UnknownColumn {
+        table: table.to_string(),
+        column: column.to_string(),
+    }
+}
+
+fn check_expr_columns(table: &str, schema: &Schema, expr: &Expr) -> Result<(), QueryError> {
+    for c in expr.columns() {
+        if schema.column_index(&c).is_none() {
+            return Err(unknown_column(table, &c));
+        }
+    }
+    Ok(())
+}
+
+impl Db {
     /// Creates an empty database.
     pub fn new(config: DbConfig) -> Self {
         let cost = shared_meter(config.cost);
         let pool = shared_pool(config.pool_pages, cost.clone());
-        Database {
+        Db {
             cost,
             pool,
             tables: BTreeMap::new(),
@@ -129,11 +166,27 @@ impl Database {
         f
     }
 
+    fn table(&self, name: &str) -> Result<&TableEntry, QueryError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Result<&mut TableEntry, QueryError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))
+    }
+
     /// Creates a table.
-    pub fn create_table(&mut self, name: impl Into<String>, schema: Schema) -> Result<(), String> {
+    pub fn create_table(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+    ) -> Result<(), QueryError> {
         let name = name.into();
         if self.tables.contains_key(&name) {
-            return Err(format!("table {name} already exists"));
+            return Err(QueryError::DuplicateTable(name));
         }
         let file = self.alloc_file();
         let heap = HeapTable::with_page_bytes(
@@ -159,12 +212,11 @@ impl Database {
         index_name: impl Into<String>,
         table: &str,
         columns: &[&str],
-    ) -> Result<(), String> {
+    ) -> Result<(), QueryError> {
         let file = self.alloc_file();
-        let entry = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| format!("no such table {table}"))?;
+        let fanout = self.config.index_fanout;
+        let pool = self.pool.clone();
+        let entry = self.table_mut(table)?;
         let key_columns: Vec<usize> = columns
             .iter()
             .map(|c| {
@@ -172,43 +224,61 @@ impl Database {
                     .heap
                     .schema()
                     .column_index(c)
-                    .ok_or_else(|| format!("no such column {c} in {table}"))
+                    .ok_or_else(|| unknown_column(table, c))
             })
             .collect::<Result<_, _>>()?;
         // Backfill from existing rows through the bulk loader (one sorted
         // bottom-up pass instead of per-entry inserts).
         let mut entries: Vec<(Vec<Value>, rdb_storage::Rid)> = Vec::new();
         let mut scan = entry.heap.scan();
-        while let Some((rid, record)) = scan.next(&entry.heap).map_err(|e| e.to_string())? {
-            let key: Vec<Value> = key_columns
-                .iter()
-                .map(|&c| record[c].clone())
-                .collect();
+        while let Some((rid, record)) = scan.next(&entry.heap)? {
+            let key: Vec<Value> = key_columns.iter().map(|&c| record[c].clone()).collect();
             entries.push((key, rid));
         }
-        let tree = BTree::bulk_load(
-            index_name,
-            file,
-            self.pool.clone(),
-            key_columns,
-            self.config.index_fanout,
-            entries,
-        );
+        let tree = BTree::bulk_load(index_name, file, pool, key_columns, fanout, entries);
         entry.indexes.push(tree);
         Ok(())
     }
 
-    /// Inserts a row, maintaining all indexes.
-    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<(), String> {
-        let entry = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| format!("no such table {table}"))?;
+    /// Inserts a row, maintaining all indexes. The row is validated against
+    /// the table schema up front so shape errors come back typed
+    /// ([`QueryError::Arity`], [`QueryError::TypeMismatch`]) instead of as
+    /// storage-layer failures.
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> Result<(), QueryError> {
+        let entry = self.table_mut(table)?;
+        {
+            let schema = entry.heap.schema();
+            if values.len() != schema.len() {
+                return Err(QueryError::Arity {
+                    table: table.to_string(),
+                    expected: schema.len(),
+                    got: values.len(),
+                });
+            }
+            for (col, value) in schema.columns().iter().zip(&values) {
+                match value.value_type() {
+                    None if !col.nullable => {
+                        return Err(QueryError::TypeMismatch {
+                            table: table.to_string(),
+                            column: col.name.clone(),
+                            expected: col.ty,
+                            got: None,
+                        });
+                    }
+                    Some(ty) if ty != col.ty => {
+                        return Err(QueryError::TypeMismatch {
+                            table: table.to_string(),
+                            column: col.name.clone(),
+                            expected: col.ty,
+                            got: Some(ty),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
         let record = Record::new(values);
-        let rid = entry
-            .heap
-            .insert(record.clone())
-            .map_err(|e| e.to_string())?;
+        let rid = entry.heap.insert(record.clone())?;
         for index in &mut entry.indexes {
             let key: Vec<Value> = index
                 .key_columns()
@@ -225,8 +295,9 @@ impl Database {
         self.tables.get(table).map(|t| t.heap.cardinality())
     }
 
-    /// Deletes every row of `table` matching the bound predicate,
-    /// maintaining all indexes. Returns the number of rows deleted.
+    /// Deletes every row of `table` matching the predicate (bound with
+    /// `opts`' parameters), maintaining all indexes. Returns the number of
+    /// rows deleted.
     ///
     /// Victims are located by a sequential scan (maintenance favours
     /// simplicity over retrieval optimization here); the heap delete and
@@ -235,32 +306,13 @@ impl Database {
         &mut self,
         table: &str,
         predicate: &Expr,
-        params: &HashMap<String, Value>,
-    ) -> Result<usize, String> {
-        let bound = predicate.bind(params)?;
-        // Locate victims through the read path.
-        let spec = QuerySpec {
-            count_star: false,
-            projection: None,
-            table: table.to_string(),
-            predicate: bound.clone(),
-            order_by: None,
-            order_desc: false,
-            limit: None,
-            goal: None,
-        };
+        opts: &QueryOptions,
+    ) -> Result<usize, QueryError> {
+        let bound = predicate.bind(opts.params())?;
         let victims: Vec<rdb_storage::Rid> = {
-            let entry = self
-                .tables
-                .get(table)
-                .ok_or_else(|| format!("no such table {table}"))?;
+            let entry = self.table(table)?;
             let schema = entry.heap.schema();
-            for c in bound.columns() {
-                if schema.column_index(&c).is_none() {
-                    return Err(format!("no such column {c}"));
-                }
-            }
-            let _ = &spec; // the read path below re-derives everything it needs
+            check_expr_columns(table, schema, &bound)?;
             let request = RetrievalRequest {
                 table: &entry.heap,
                 indexes: Vec::new(), // deletes scan; index choice matters less than correctness
@@ -269,15 +321,14 @@ impl Database {
                 order_required: false,
                 limit: None,
             };
-            self.optimizer.run(&request).map_err(|e| e.to_string())?.rids()
+            self.optimizer
+                .run_traced(&request, None, &opts.tracer())?
+                .rids()
         };
         // Maintain heap and indexes.
-        let entry = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| format!("no such table {table}"))?;
+        let entry = self.table_mut(table)?;
         for &rid in &victims {
-            let record = entry.heap.fetch(rid).map_err(|e| e.to_string())?;
+            let record = entry.heap.fetch(rid)?;
             for index in &mut entry.indexes {
                 let key: Vec<Value> = index
                     .key_columns()
@@ -286,13 +337,13 @@ impl Database {
                     .collect();
                 index.delete(&key, rid);
             }
-            entry.heap.delete(rid).map_err(|e| e.to_string())?;
+            entry.heap.delete(rid)?;
         }
         Ok(victims.len())
     }
 
     /// Updates column `set_column` to `set_value` on every row matching
-    /// the bound predicate (delete + reinsert, the classic index-safe
+    /// the predicate (delete + reinsert, the classic index-safe
     /// implementation). Returns the number of rows updated.
     pub fn update_where(
         &mut self,
@@ -300,21 +351,19 @@ impl Database {
         set_column: &str,
         set_value: Value,
         predicate: &Expr,
-        params: &HashMap<String, Value>,
-    ) -> Result<usize, String> {
+        opts: &QueryOptions,
+    ) -> Result<usize, QueryError> {
         {
-            let entry = self
-                .tables
-                .get(table)
-                .ok_or_else(|| format!("no such table {table}"))?;
+            let entry = self.table(table)?;
             if entry.heap.schema().column_index(set_column).is_none() {
-                return Err(format!("no such column {set_column}"));
+                return Err(unknown_column(table, set_column));
             }
         }
-        let bound = predicate.bind(params)?;
+        let bound = predicate.bind(opts.params())?;
         let victims: Vec<(rdb_storage::Rid, Record)> = {
             let entry = self.tables.get(table).expect("checked above");
             let schema = entry.heap.schema();
+            check_expr_columns(table, schema, &bound)?;
             let request = RetrievalRequest {
                 table: &entry.heap,
                 indexes: Vec::new(),
@@ -323,11 +372,13 @@ impl Database {
                 order_required: false,
                 limit: None,
             };
-            let rids = self.optimizer.run(&request).map_err(|e| e.to_string())?.rids();
+            let rids = self
+                .optimizer
+                .run_traced(&request, None, &opts.tracer())?
+                .rids();
             rids.into_iter()
                 .map(|rid| entry.heap.fetch(rid).map(|r| (rid, r)))
-                .collect::<Result<_, _>>()
-                .map_err(|e| e.to_string())?
+                .collect::<Result<_, _>>()?
         };
         let count = victims.len();
         let col_idx = {
@@ -348,14 +399,11 @@ impl Database {
                     .collect();
                 index.delete(&key, rid);
             }
-            entry.heap.delete(rid).map_err(|e| e.to_string())?;
+            entry.heap.delete(rid)?;
             let mut values = record.into_values();
             values[col_idx] = set_value.clone();
             let new_record = Record::new(values);
-            let new_rid = entry
-                .heap
-                .insert(new_record.clone())
-                .map_err(|e| e.to_string())?;
+            let new_rid = entry.heap.insert(new_record.clone())?;
             for index in &mut entry.indexes {
                 let key: Vec<Value> = index
                     .key_columns()
@@ -372,24 +420,13 @@ impl Database {
     /// dynamic optimizer would choose for this binding — without
     /// executing the productive phases. (Estimation runs, as it would in
     /// a real prepare/describe, so the answer is binding-specific.)
-    pub fn explain(
-        &self,
-        sql: &str,
-        params: &HashMap<String, Value>,
-    ) -> Result<String, String> {
+    pub fn explain(&self, sql: &str, opts: &QueryOptions) -> Result<String, QueryError> {
         use rdb_core::ShortcutKind;
         let spec = parse_query(sql)?;
-        let entry = self
-            .tables
-            .get(&spec.table)
-            .ok_or_else(|| format!("no such table {}", spec.table))?;
+        let entry = self.table(&spec.table)?;
         let schema = entry.heap.schema();
-        let bound = spec.predicate.bind(params)?;
-        for c in bound.columns() {
-            if schema.column_index(&c).is_none() {
-                return Err(format!("no such column {c}"));
-            }
-        }
+        let bound = spec.predicate.bind(opts.params())?;
+        check_expr_columns(&spec.table, schema, &bound)?;
         if let Expr::Or(_) = &bound {
             return Ok("UnionScan (OR-connected restriction) or Tscan".to_string());
         }
@@ -405,18 +442,15 @@ impl Database {
                 indexes.push(IndexChoice::fetch_needed(tree, range));
             }
         }
-        let goal = spec.goal.unwrap_or(if spec.limit.is_some() {
-            OptimizeGoal::FastFirst
-        } else {
-            OptimizeGoal::TotalTime
-        });
+        let limit = opts.limit().or(spec.limit);
+        let goal = effective_goal(spec.count_star, opts.goal().or(spec.goal), limit);
         let request = RetrievalRequest {
             table: &entry.heap,
             indexes,
             residual: bound.record_pred(schema),
             goal,
             order_required: false,
-            limit: spec.limit,
+            limit,
         };
         let (choice, plan) = self.optimizer.choose(&request);
         let detail = match &plan.shortcut {
@@ -431,10 +465,7 @@ impl Database {
                 plan.jscan_order
                     .iter()
                     .zip(&plan.jscan_estimates)
-                    .map(|(pos, est)| format!(
-                        "{}~{est:.0}",
-                        request.indexes[*pos].tree.name()
-                    ))
+                    .map(|(pos, est)| format!("{}~{est:.0}", request.indexes[*pos].tree.name()))
                     .collect::<Vec<_>>()
                     .join(", ")
             ),
@@ -443,49 +474,91 @@ impl Database {
         Ok(format!("{choice:?}{detail}"))
     }
 
-    /// Runs a SQL-ish query with host-variable bindings.
-    pub fn query(
+    /// Executes the query with tracing attached and returns the result
+    /// together with the full decision timeline — the competition's
+    /// candidate estimates, refinements, switches, discards, phase costs
+    /// and winner. Events also stream to any sink already attached via
+    /// [`QueryOptions::with_trace`].
+    ///
+    /// ```
+    /// use rdb_query::prelude::*;
+    /// use rdb_storage::{Column, Schema, ValueType};
+    ///
+    /// let mut db = Db::new(DbConfig::default());
+    /// db.create_table("T", Schema::new(vec![Column::new("X", ValueType::Int)]))?;
+    /// for i in 0..500 {
+    ///     db.insert("T", vec![Value::Int(i % 50)])?;
+    /// }
+    /// db.create_index("IDX_X", "T", &["X"])?;
+    /// let ea = db.explain_analyze("select * from T where X >= 49", &QueryOptions::new())?;
+    /// assert!(ea.render().contains("winner"));
+    /// # Ok::<(), QueryError>(())
+    /// ```
+    pub fn explain_analyze(
         &self,
         sql: &str,
-        params: &HashMap<String, Value>,
-    ) -> Result<QueryResult, String> {
+        opts: &QueryOptions,
+    ) -> Result<ExplainAnalyze, QueryError> {
+        let buffer = TraceBuffer::shared(8192);
+        let traced = crate::explain::with_capture(opts, buffer.clone());
+        let result = self.query(sql, &traced)?;
+        Ok(ExplainAnalyze {
+            sql: sql.to_string(),
+            result,
+            events: buffer.take(),
+        })
+    }
+
+    /// Runs a SQL-ish query with per-run [`QueryOptions`] (host-variable
+    /// bindings, goal/limit overrides, tracing).
+    pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryResult, QueryError> {
         let spec = parse_query(sql)?;
-        self.query_spec(&spec, params)
+        self.query_spec(&spec, opts)
     }
 
     /// Runs a pre-parsed query.
     pub fn query_spec(
         &self,
         spec: &QuerySpec,
-        params: &HashMap<String, Value>,
-    ) -> Result<QueryResult, String> {
-        let entry = self
-            .tables
-            .get(&spec.table)
-            .ok_or_else(|| format!("no such table {}", spec.table))?;
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, QueryError> {
+        let before = self.pool.borrow().stats();
+        let mut result = self.query_spec_inner(spec, opts)?;
+        let delta = self.pool.borrow().stats().since(&before);
+        result.metrics = QueryMetrics {
+            pool_hits: delta.hits,
+            pool_misses: delta.misses,
+        };
+        Ok(result)
+    }
+
+    fn query_spec_inner(
+        &self,
+        spec: &QuerySpec,
+        opts: &QueryOptions,
+    ) -> Result<QueryResult, QueryError> {
+        let entry = self.table(&spec.table)?;
         let schema = entry.heap.schema();
-        let bound = spec.predicate.bind(params)?;
+        let bound = spec.predicate.bind(opts.params())?;
+        let tracer = opts.tracer();
+        let limit = opts.limit().or(spec.limit);
 
         // Output columns.
         let out_columns: Vec<String> = match &spec.projection {
             Some(cols) => {
                 for c in cols {
                     if schema.column_index(c).is_none() {
-                        return Err(format!("no such column {c}"));
+                        return Err(unknown_column(&spec.table, c));
                     }
                 }
                 cols.clone()
             }
             None => schema.columns().iter().map(|c| c.name.clone()).collect(),
         };
-        for c in bound.columns() {
-            if schema.column_index(&c).is_none() {
-                return Err(format!("no such column {c}"));
-            }
-        }
+        check_expr_columns(&spec.table, schema, &bound)?;
         if let Some(ob) = &spec.order_by {
             if schema.column_index(ob).is_none() {
-                return Err(format!("no such column {ob}"));
+                return Err(unknown_column(&spec.table, ob));
             }
         }
 
@@ -528,17 +601,17 @@ impl Database {
             }
             if decomposable {
                 let needs_post_sort = spec.order_by.is_some();
-                let result = self.optimizer.run_union(
+                let result = self.optimizer.run_union_traced(
                     &entry.heap,
                     arms,
                     &bound.record_pred(schema),
                     if needs_post_sort || spec.count_star {
                         None
                     } else {
-                        spec.limit
+                        limit
                     },
-                )
-                .map_err(|e| e.to_string())?;
+                    &tracer,
+                )?;
                 if spec.count_star {
                     return Ok(QueryResult {
                         columns: vec!["COUNT".to_string()],
@@ -546,6 +619,7 @@ impl Database {
                         cost: result.cost,
                         strategy: result.strategy,
                         events: result.events,
+                        metrics: QueryMetrics::default(),
                     });
                 }
                 let order_idx = spec.order_by.as_ref().and_then(|c| schema.column_index(c));
@@ -554,7 +628,7 @@ impl Database {
                 for d in &result.deliveries {
                     let record = match &d.record {
                         Some(r) => r.clone(),
-                        None => entry.heap.fetch(d.rid).map_err(|e| e.to_string())?,
+                        None => entry.heap.fetch(d.rid)?,
                     };
                     if let Some(i) = order_idx {
                         sort_keys.push(record[i].clone());
@@ -576,7 +650,7 @@ impl Database {
                         spec.order_desc,
                     );
                     rows = sorted;
-                    if let Some(limit) = spec.limit {
+                    if let Some(limit) = limit {
                         rows.truncate(limit);
                     }
                 }
@@ -586,14 +660,14 @@ impl Database {
                     cost: result.cost,
                     strategy: result.strategy,
                     events: result.events,
+                    metrics: QueryMetrics::default(),
                 });
             }
         }
 
         // Build index choices.
         let mut indexes: Vec<IndexChoice<'_>> = Vec::new();
-        let mut choice_index_pos: Vec<usize> = Vec::new();
-        for (ti, tree) in entry.indexes.iter().enumerate() {
+        for tree in entry.indexes.iter() {
             let key_names: Vec<(String, usize)> = tree
                 .key_columns()
                 .iter()
@@ -627,7 +701,6 @@ impl Database {
                 choice = choice.with_self_sufficient(kp);
             }
             indexes.push(choice);
-            choice_index_pos.push(ti);
         }
 
         // ASC is served by forward index scans, DESC by reverse scans.
@@ -635,17 +708,10 @@ impl Database {
         let order_required = spec.order_by.is_some() && order_possible;
         let needs_post_sort = spec.order_by.is_some() && !order_possible;
         // Section 4 goal derivation: an aggregate (COUNT) controls the
-        // retrieval and sets total-time; LIMIT sets fast-first; otherwise
-        // the user's explicit or default goal.
-        let goal = if spec.count_star {
-            OptimizeGoal::TotalTime
-        } else {
-            spec.goal.unwrap_or(if spec.limit.is_some() {
-                OptimizeGoal::FastFirst
-            } else {
-                OptimizeGoal::TotalTime
-            })
-        };
+        // retrieval and sets total-time; an explicit request (SQL or
+        // options override) wins next; a LIMIT sets fast-first; otherwise
+        // total-time.
+        let goal = effective_goal(spec.count_star, opts.goal().or(spec.goal), limit);
 
         let request = RetrievalRequest {
             table: &entry.heap,
@@ -658,10 +724,10 @@ impl Database {
             limit: if needs_post_sort || spec.count_star {
                 None
             } else {
-                spec.limit
+                limit
             },
         };
-        let result = self.optimizer.run(&request).map_err(|e| e.to_string())?;
+        let result = self.optimizer.run_traced(&request, None, &tracer)?;
 
         if spec.count_star {
             return Ok(QueryResult {
@@ -670,6 +736,7 @@ impl Database {
                 cost: result.cost,
                 strategy: result.strategy,
                 events: result.events,
+                metrics: QueryMetrics::default(),
             });
         }
 
@@ -698,7 +765,7 @@ impl Database {
             } else {
                 let record = match &d.record {
                     Some(r) => r.clone(),
-                    None => entry.heap.fetch(d.rid).map_err(|e| e.to_string())?,
+                    None => entry.heap.fetch(d.rid)?,
                 };
                 let row: Vec<Value> = out_columns
                     .iter()
@@ -718,7 +785,7 @@ impl Database {
             let (sorted, _) =
                 crate::sort::sort_rows_dir(paired, &self.pool, &self.config.sort, spec.order_desc);
             rows = sorted;
-            if let Some(limit) = spec.limit {
+            if let Some(limit) = limit {
                 rows.truncate(limit);
             }
         }
@@ -729,6 +796,7 @@ impl Database {
             cost: result.cost,
             strategy: result.strategy,
             events: result.events,
+            metrics: QueryMetrics::default(),
         })
     }
 
@@ -746,15 +814,46 @@ impl Database {
     pub fn indexes(&self, table: &str) -> Option<&[BTree]> {
         self.tables.get(table).map(|t| t.indexes.as_slice())
     }
+
+    /// Pre-`QueryOptions` calling convention for [`Db::query`].
+    #[deprecated(note = "use `query(sql, &QueryOptions::new().with_params(params))`")]
+    pub fn query_with_params(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult, QueryError> {
+        self.query(sql, &QueryOptions::new().with_params(params.clone()))
+    }
+
+    /// Pre-`QueryOptions` calling convention for [`Db::query_spec`].
+    #[deprecated(note = "use `query_spec(spec, &QueryOptions::new().with_params(params))`")]
+    pub fn query_spec_with_params(
+        &self,
+        spec: &QuerySpec,
+        params: &HashMap<String, Value>,
+    ) -> Result<QueryResult, QueryError> {
+        self.query_spec(spec, &QueryOptions::new().with_params(params.clone()))
+    }
+
+    /// Pre-`QueryOptions` calling convention for [`Db::explain`].
+    #[deprecated(note = "use `explain(sql, &QueryOptions::new().with_params(params))`")]
+    pub fn explain_with_params(
+        &self,
+        sql: &str,
+        params: &HashMap<String, Value>,
+    ) -> Result<String, QueryError> {
+        self.explain(sql, &QueryOptions::new().with_params(params.clone()))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rdb_core::{TraceEvent, TraceBuffer};
     use rdb_storage::{Column, ValueType};
 
-    fn db_with_families(n: i64) -> Database {
-        let mut db = Database::new(DbConfig {
+    fn db_with_families(n: i64) -> Db {
+        let mut db = Db::new(DbConfig {
             page_bytes: 1024,
             ..DbConfig::default()
         });
@@ -782,11 +881,16 @@ mod tests {
         db
     }
 
-    fn params(pairs: &[(&str, i64)]) -> HashMap<String, Value> {
-        pairs
-            .iter()
-            .map(|(k, v)| (k.to_string(), Value::Int(*v)))
-            .collect()
+    fn params(pairs: &[(&str, i64)]) -> QueryOptions {
+        let mut opts = QueryOptions::new();
+        for (k, v) in pairs {
+            opts = opts.with_param(*k, *v);
+        }
+        opts
+    }
+
+    fn no_params() -> QueryOptions {
+        QueryOptions::new()
     }
 
     #[test]
@@ -813,7 +917,7 @@ mod tests {
         let r = db
             .query(
                 "select ID from FAMILIES where SIZE = 3 and AGE >= 0",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         assert_eq!(r.columns, vec!["ID"]);
@@ -830,7 +934,7 @@ mod tests {
         let r = db
             .query(
                 "select ID, AGE from FAMILIES where SIZE = 1 order by ID limit 5",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         // ORDER BY ID has no index (only AGE/SIZE indexed): post-sort, then
@@ -845,7 +949,7 @@ mod tests {
         let r = db
             .query(
                 "select AGE, ID from FAMILIES where SIZE = 2 order by AGE",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         let ages: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
@@ -860,7 +964,7 @@ mod tests {
         let r = db
             .query(
                 "select AGE from FAMILIES where AGE between 90 and 99",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         assert!(r.rows.iter().all(|row| {
@@ -869,7 +973,7 @@ mod tests {
         }));
         // Count against ground truth via a star query.
         let truth = db
-            .query("select * from FAMILIES where AGE >= 90", &HashMap::new())
+            .query("select * from FAMILIES where AGE >= 90", &no_params())
             .unwrap();
         assert_eq!(r.rows.len(), truth.rows.len());
     }
@@ -880,44 +984,104 @@ mod tests {
         let r = db
             .query(
                 "select * from FAMILIES where SIZE = 4 limit to 3 rows",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         assert_eq!(r.rows.len(), 3);
     }
 
     #[test]
+    fn options_override_sql_limit_and_goal() {
+        let db = db_with_families(500);
+        // No LIMIT in the SQL; the option caps delivery anyway.
+        let r = db
+            .query(
+                "select * from FAMILIES where SIZE = 4",
+                &QueryOptions::new().with_limit(3),
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 3);
+        // An explicit goal override coexists with the limit (it replaces
+        // the limit-derived fast-first goal, not the limit itself).
+        let r = db
+            .query(
+                "select * from FAMILIES where SIZE = 4",
+                &QueryOptions::new()
+                    .with_limit(2)
+                    .with_goal(OptimizeGoal::TotalTime),
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
     fn errors_for_unknown_entities() {
         let db = db_with_families(10);
-        assert!(db.query("select * from NOPE", &HashMap::new()).is_err());
-        assert!(db
-            .query("select MISSING from FAMILIES", &HashMap::new())
-            .is_err());
-        assert!(db
-            .query("select * from FAMILIES where NOPE = 1", &HashMap::new())
-            .is_err());
-        assert!(db
-            .query(
-                "select * from FAMILIES where AGE >= :unbound",
-                &HashMap::new()
-            )
-            .is_err());
+        assert!(matches!(
+            db.query("select * from NOPE", &no_params()),
+            Err(QueryError::UnknownTable(t)) if t == "NOPE"
+        ));
+        assert!(matches!(
+            db.query("select MISSING from FAMILIES", &no_params()),
+            Err(QueryError::UnknownColumn { column, .. }) if column == "MISSING"
+        ));
+        assert!(matches!(
+            db.query("select * from FAMILIES where NOPE = 1", &no_params()),
+            Err(QueryError::UnknownColumn { column, .. }) if column == "NOPE"
+        ));
+        assert!(matches!(
+            db.query("select * from FAMILIES where AGE >= :unbound", &no_params()),
+            Err(QueryError::UnboundVar(v)) if v == "unbound"
+        ));
+        assert!(matches!(
+            db.query("select", &no_params()),
+            Err(QueryError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn typed_errors_for_writes() {
+        let mut db = db_with_families(10);
+        assert!(matches!(
+            db.insert("FAMILIES", vec![Value::Int(1)]),
+            Err(QueryError::Arity {
+                expected: 3,
+                got: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            db.insert(
+                "FAMILIES",
+                vec![Value::Int(1), Value::Str("x".into()), Value::Int(2)],
+            ),
+            Err(QueryError::TypeMismatch {
+                column,
+                expected: ValueType::Int,
+                got: Some(ValueType::Str),
+                ..
+            }) if column == "SIZE"
+        ));
+        assert!(matches!(
+            db.insert("FAMILIES", vec![Value::Null, Value::Int(1), Value::Int(2)]),
+            Err(QueryError::TypeMismatch { got: None, .. })
+        ));
+        // Typed errors still render the historical messages.
+        let e = db.query("select * from NOPE", &no_params()).unwrap_err();
+        assert_eq!(e.to_string(), "no such table NOPE");
     }
 
     #[test]
     fn create_index_backfills_existing_rows() {
-        let mut db = Database::new(DbConfig::default());
-        db.create_table(
-            "T",
-            Schema::new(vec![Column::new("x", ValueType::Int)]),
-        )
-        .unwrap();
+        let mut db = Db::new(DbConfig::default());
+        db.create_table("T", Schema::new(vec![Column::new("x", ValueType::Int)]))
+            .unwrap();
         for i in 0..100 {
             db.insert("T", vec![Value::Int(i)]).unwrap();
         }
         db.create_index("IDX_X", "T", &["x"]).unwrap();
         let r = db
-            .query("select x from T where x between 10 and 12", &HashMap::new())
+            .query("select x from T where x between 10 and 12", &no_params())
             .unwrap();
         assert_eq!(r.rows.len(), 3);
     }
@@ -928,7 +1092,7 @@ mod tests {
         let r = db
             .query(
                 "select ID from FAMILIES where SIZE = 1 order by ID desc limit to 4 rows",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         let mut expect: Vec<i64> = (0..400).filter(|i| i % 7 == 1).collect();
@@ -941,10 +1105,14 @@ mod tests {
         let ages = db
             .query(
                 "select AGE from FAMILIES where SIZE = 1 order by AGE desc",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
-        let vals: Vec<i64> = ages.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+        let vals: Vec<i64> = ages
+            .rows
+            .iter()
+            .map(|row| row[0].as_i64().unwrap())
+            .collect();
         assert!(vals.windows(2).all(|w| w[0] >= w[1]));
     }
 
@@ -952,7 +1120,7 @@ mod tests {
     fn count_star_returns_single_row_and_total_time_goal() {
         let db = db_with_families(1500);
         let r = db
-            .query("select count(*) from FAMILIES where SIZE = 4", &HashMap::new())
+            .query("select count(*) from FAMILIES where SIZE = 4", &no_params())
             .unwrap();
         assert_eq!(r.columns, vec!["COUNT"]);
         let expect = (0..1500).filter(|i| i % 7 == 4).count() as i64;
@@ -962,7 +1130,7 @@ mod tests {
         let limited = db
             .query(
                 "select count(*) from FAMILIES where SIZE = 4 limit to 1 rows",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         assert_eq!(limited.rows, vec![vec![Value::Int(expect)]]);
@@ -970,17 +1138,16 @@ mod tests {
         let or = db
             .query(
                 "select count(*) from FAMILIES where SIZE = 1 or SIZE = 2",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
-        let expect_or =
-            (0..1500).filter(|i| i % 7 == 1 || i % 7 == 2).count() as i64;
+        let expect_or = (0..1500).filter(|i| i % 7 == 1 || i % 7 == 2).count() as i64;
         assert_eq!(or.rows, vec![vec![Value::Int(expect_or)]]);
     }
 
     #[test]
     fn composite_index_prefix_range_used() {
-        let mut db = Database::new(DbConfig {
+        let mut db = Db::new(DbConfig {
             page_bytes: 1024,
             ..DbConfig::default()
         });
@@ -1005,7 +1172,7 @@ mod tests {
         let narrow = db
             .query(
                 "select id from T where region = 3 and age between 30 and 32",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         let expect = (0..6000)
@@ -1016,7 +1183,7 @@ mod tests {
         // region-only prefix.
         db.clear_cache();
         let broad = db
-            .query("select id from T where region = 3", &HashMap::new())
+            .query("select id from T where region = 3", &no_params())
             .unwrap();
         assert!(
             narrow.cost < 0.4 * broad.cost,
@@ -1033,17 +1200,17 @@ mod tests {
             .delete_where(
                 "FAMILIES",
                 &crate::expr::Expr::cmp("SIZE", crate::expr::CmpOp::Eq, 3),
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         assert_eq!(deleted, (0..1000).filter(|i| i % 7 == 3).count());
         // Neither the heap nor the index sees the victims any more.
         let via_index = db
-            .query("select ID from FAMILIES where SIZE = 3", &HashMap::new())
+            .query("select ID from FAMILIES where SIZE = 3", &no_params())
             .unwrap();
         assert!(via_index.rows.is_empty());
         let all = db
-            .query("select ID from FAMILIES where SIZE >= 0", &HashMap::new())
+            .query("select ID from FAMILIES where SIZE >= 0", &no_params())
             .unwrap();
         assert_eq!(all.rows.len(), 1000 - deleted);
     }
@@ -1057,16 +1224,16 @@ mod tests {
                 "SIZE",
                 Value::Int(99),
                 &crate::expr::Expr::cmp("SIZE", crate::expr::CmpOp::Eq, 2),
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         assert_eq!(updated, (0..700).filter(|i| i % 7 == 2).count());
         let old = db
-            .query("select ID from FAMILIES where SIZE = 2", &HashMap::new())
+            .query("select ID from FAMILIES where SIZE = 2", &no_params())
             .unwrap();
         assert!(old.rows.is_empty());
         let new = db
-            .query("select ID from FAMILIES where SIZE = 99", &HashMap::new())
+            .query("select ID from FAMILIES where SIZE = 99", &no_params())
             .unwrap();
         assert_eq!(new.rows.len(), updated);
         assert_eq!(db.row_count("FAMILIES"), Some(700));
@@ -1089,7 +1256,7 @@ mod tests {
         let or = db
             .explain(
                 "select * from FAMILIES where AGE = 1 or SIZE = 2",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         assert!(or.contains("Union"), "{or}");
@@ -1101,7 +1268,7 @@ mod tests {
         let r = db
             .query(
                 "select ID from FAMILIES where SIZE = 1 or SIZE = 3",
-                &HashMap::new(),
+                &no_params(),
             )
             .unwrap();
         let expect = (0..2100).filter(|i| i % 7 == 1 || i % 7 == 3).count();
@@ -1111,11 +1278,112 @@ mod tests {
 
     #[test]
     fn duplicate_table_rejected() {
-        let mut db = Database::new(DbConfig::default());
+        let mut db = Db::new(DbConfig::default());
         db.create_table("T", Schema::new(vec![Column::new("x", ValueType::Int)]))
             .unwrap();
-        assert!(db
-            .create_table("T", Schema::new(vec![Column::new("x", ValueType::Int)]))
-            .is_err());
+        assert!(matches!(
+            db.create_table("T", Schema::new(vec![Column::new("x", ValueType::Int)])),
+            Err(QueryError::DuplicateTable(t)) if t == "T"
+        ));
+    }
+
+    #[test]
+    fn trace_sink_observes_the_run() {
+        let db = db_with_families(1500);
+        let buf = TraceBuffer::shared(4096);
+        let opts = params(&[("A1", 0)]).with_trace(buf.clone());
+        let r = db
+            .query("select * from FAMILIES where AGE >= :A1", &opts)
+            .unwrap();
+        let events = buf.events();
+        let (strategy, rows) = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Winner { strategy, rows, .. } => Some((strategy.clone(), *rows)),
+                _ => None,
+            })
+            .expect("winner event");
+        // The Winner event carries the detailed strategy string
+        // ("background-only (Jscan -> Tscan)"); the result carries the
+        // tactic name ("BackgroundOnly"). Normalized, the detail must
+        // name the same tactic.
+        let normalize =
+            |s: &str| -> String { s.chars().filter(char::is_ascii_alphanumeric).collect::<String>().to_lowercase() };
+        assert!(
+            normalize(&strategy).contains(&normalize(&r.strategy)),
+            "winner {strategy:?} vs strategy {:?}",
+            r.strategy
+        );
+        assert_eq!(rows, r.rows.len());
+        // Phase costs tile the run: their sum is the query's total cost.
+        let phase_sum: f64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PhaseCost { cost, .. } => Some(*cost),
+                _ => None,
+            })
+            .sum();
+        assert!(
+            (phase_sum - r.cost).abs() <= 1e-6 * r.cost.max(1.0),
+            "phases {phase_sum} vs cost {}",
+            r.cost
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::TacticChosen { .. })),
+            "tactic-chosen event missing"
+        );
+    }
+
+    #[test]
+    fn explain_analyze_renders_timeline_and_json() {
+        let db = db_with_families(2000);
+        let ea = db
+            .explain_analyze(
+                "select * from FAMILIES where AGE >= :A1",
+                &params(&[("A1", 0)]),
+            )
+            .unwrap();
+        assert!(!ea.events.is_empty());
+        assert_eq!(ea.result.rows.len(), 2000);
+        let text = ea.render();
+        assert!(text.starts_with("EXPLAIN ANALYZE select"), "{text}");
+        assert!(text.contains("winner"), "{text}");
+        let json = ea.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"events\":["), "{json}");
+        assert!(json.contains("\"event\":\"winner\""), "{json}");
+        assert!(json.contains("\"event\":\"phase_cost\""), "{json}");
+    }
+
+    #[test]
+    fn metrics_report_pool_activity() {
+        let db = db_with_families(1000);
+        db.clear_cache();
+        let cold = db
+            .query("select * from FAMILIES where AGE >= 0", &no_params())
+            .unwrap();
+        assert!(cold.metrics.pool_misses > 0, "{:?}", cold.metrics);
+        let warm = db
+            .query("select * from FAMILIES where AGE >= 0", &no_params())
+            .unwrap();
+        assert!(warm.metrics.pool_hits > 0, "{:?}", warm.metrics);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let db = db_with_families(100);
+        let mut legacy = HashMap::new();
+        legacy.insert("A1".to_string(), Value::Int(0));
+        let r = db
+            .query_with_params("select * from FAMILIES where AGE >= :A1", &legacy)
+            .unwrap();
+        assert_eq!(r.rows.len(), 100);
+        let plan = db
+            .explain_with_params("select * from FAMILIES where AGE >= :A1", &legacy)
+            .unwrap();
+        assert!(!plan.is_empty());
     }
 }

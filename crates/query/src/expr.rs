@@ -14,6 +14,8 @@ use rdb_btree::{KeyBound, KeyRange};
 use rdb_core::{KeyPred, RecordPred};
 use rdb_storage::{Record, Schema, Value};
 
+use crate::error::QueryError;
+
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
@@ -70,13 +72,13 @@ pub enum Scalar {
 }
 
 impl Scalar {
-    fn bound(&self, params: &HashMap<String, Value>) -> Result<Value, String> {
+    fn bound(&self, params: &HashMap<String, Value>) -> Result<Value, QueryError> {
         match self {
             Scalar::Literal(v) => Ok(v.clone()),
             Scalar::HostVar(name) => params
                 .get(name)
                 .cloned()
-                .ok_or_else(|| format!("unbound host variable :{name}")),
+                .ok_or_else(|| QueryError::UnboundVar(name.clone())),
         }
     }
 }
@@ -150,7 +152,7 @@ impl Expr {
     }
 
     /// Substitutes host variables with this run's parameter values.
-    pub fn bind(&self, params: &HashMap<String, Value>) -> Result<Expr, String> {
+    pub fn bind(&self, params: &HashMap<String, Value>) -> Result<Expr, QueryError> {
         Ok(match self {
             Expr::True => Expr::True,
             Expr::Cmp { column, op, rhs } => Expr::Cmp {
@@ -448,7 +450,10 @@ mod tests {
     #[test]
     fn bind_fails_on_missing_var() {
         let e = Expr::cmp_var("a", CmpOp::Eq, "missing");
-        assert!(e.bind(&HashMap::new()).is_err());
+        assert_eq!(
+            e.bind(&HashMap::new()),
+            Err(QueryError::UnboundVar("missing".into()))
+        );
     }
 
     #[test]

@@ -15,18 +15,62 @@
 //!   otherwise the user's explicit or default goal applies.
 //! * [`parser`] — a small SQL-ish front end (`SELECT … WHERE … ORDER BY …
 //!   LIMIT … OPTIMIZE FOR …`) so the examples read like the paper's.
-//! * [`db`] — the top-level [`Database`]: tables + indexes over one shared
+//! * [`options`] — [`QueryOptions`], the per-run builder carrying host-
+//!   variable bindings, goal/limit overrides, and an optional
+//!   [`rdb_core::TraceSink`].
+//! * [`error`] — [`QueryError`], the typed error surface of the whole
+//!   crate (every public operation returns it).
+//! * [`db`] — the top-level [`Db`]: tables + indexes over one shared
 //!   buffer pool, query execution through [`rdb_core::DynamicOptimizer`],
-//!   and row projection (including index-only deliveries).
+//!   row projection (including index-only deliveries), per-query
+//!   [`QueryMetrics`], and [`Db::explain_analyze`].
+//! * [`explain`] — [`ExplainAnalyze`]: the executed query's result plus
+//!   its full competition timeline, rendered for terminals or serialized
+//!   as JSON.
+//!
+//! Most applications only need the [`prelude`]:
+//!
+//! ```
+//! use rdb_query::prelude::*;
+//!
+//! let mut db = Db::new(DbConfig::default());
+//! db.create_table("T", Schema::new(vec![Column::new("X", ValueType::Int)]))?;
+//! db.insert("T", vec![Value::Int(7)])?;
+//! let result = db.query("select * from T where X = 7", &QueryOptions::new())?;
+//! assert_eq!(result.rows.len(), 1);
+//! # Ok::<(), QueryError>(())
+//! ```
 
 pub mod db;
+pub mod error;
+pub mod explain;
 pub mod expr;
+pub mod options;
 pub mod parser;
 pub mod plan;
 pub mod sort;
 
-pub use db::{Database, DbConfig, QueryResult};
+pub use db::{Db, DbConfig, QueryMetrics, QueryResult};
+#[allow(deprecated)]
+pub use db::Database;
+pub use error::QueryError;
+pub use explain::ExplainAnalyze;
 pub use expr::{CmpOp, Expr, Scalar};
-pub use parser::{parse_query, QuerySpec};
-pub use plan::{derive_goals, PlanNode, RetrieveId};
+pub use options::QueryOptions;
+pub use plan::{derive_goals, effective_goal, PlanNode, RetrieveId};
 pub use sort::{sort_rows, sort_rows_dir, SortConfig, SortStats};
+
+/// One-stop imports for applications embedding the engine.
+///
+/// Brings in the database handle and its configuration, the per-run
+/// options builder, the typed error, result/metrics types, `EXPLAIN
+/// ANALYZE`, and the storage-layer vocabulary (values, schemas) needed to
+/// define tables and rows.
+pub mod prelude {
+    pub use crate::db::{Db, DbConfig, QueryMetrics, QueryResult};
+    pub use crate::error::QueryError;
+    pub use crate::explain::ExplainAnalyze;
+    pub use crate::options::QueryOptions;
+    pub use rdb_core::OptimizeGoal;
+    pub use rdb_storage::{Column, Schema, Value, ValueType};
+}

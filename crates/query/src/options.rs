@@ -1,0 +1,142 @@
+//! Per-run query options: host-variable bindings, goal/limit overrides,
+//! and an optional trace sink — the builder-style companion to
+//! [`crate::db::Db::query`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use rdb_core::{OptimizeGoal, TraceSink, Tracer};
+use rdb_storage::Value;
+
+/// Options for one query run.
+///
+/// Everything that used to be a positional parameter (the host-variable
+/// map) or only expressible in SQL (`OPTIMIZE FOR`, `LIMIT`) is carried
+/// here; an explicit option overrides the corresponding SQL clause.
+/// Attaching a [`TraceSink`] streams the run's [`rdb_core::TraceEvent`]s
+/// to it; without one, tracing is compiled down to a branch per event.
+///
+/// ```
+/// use rdb_query::QueryOptions;
+/// let opts = QueryOptions::new().with_param("A1", 95i64).with_limit(10);
+/// assert_eq!(opts.limit(), Some(10));
+/// ```
+#[derive(Clone, Default)]
+pub struct QueryOptions {
+    params: HashMap<String, Value>,
+    goal: Option<OptimizeGoal>,
+    limit: Option<usize>,
+    trace: Option<Rc<dyn TraceSink>>,
+}
+
+impl QueryOptions {
+    /// Empty options: no bindings, SQL-derived goal and limit, no tracing.
+    pub fn new() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Binds one host variable.
+    pub fn with_param(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.params.insert(name.into(), value.into());
+        self
+    }
+
+    /// Replaces the whole host-variable map.
+    pub fn with_params(mut self, params: HashMap<String, Value>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Forces the optimization goal, overriding `OPTIMIZE FOR` in the SQL
+    /// (but not the paper's Section 4 rule that an aggregate controls the
+    /// retrieval with total-time).
+    pub fn with_goal(mut self, goal: OptimizeGoal) -> Self {
+        self.goal = Some(goal);
+        self
+    }
+
+    /// Caps delivered rows, overriding `LIMIT TO n ROWS` in the SQL.
+    pub fn with_limit(mut self, limit: usize) -> Self {
+        self.limit = Some(limit);
+        self
+    }
+
+    /// Streams this run's trace events to `sink`.
+    pub fn with_trace(mut self, sink: Rc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// The host-variable bindings.
+    pub fn params(&self) -> &HashMap<String, Value> {
+        &self.params
+    }
+
+    /// The goal override, if any.
+    pub fn goal(&self) -> Option<OptimizeGoal> {
+        self.goal
+    }
+
+    /// The row-limit override, if any.
+    pub fn limit(&self) -> Option<usize> {
+        self.limit
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<Rc<dyn TraceSink>> {
+        self.trace.clone()
+    }
+
+    /// A [`Tracer`] for this run: disabled unless a sink is attached.
+    pub fn tracer(&self) -> Tracer {
+        match &self.trace {
+            Some(sink) => Tracer::new(sink.clone()),
+            None => Tracer::disabled(),
+        }
+    }
+}
+
+// `Rc<dyn TraceSink>` has no `Debug`; render presence only.
+impl fmt::Debug for QueryOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryOptions")
+            .field("params", &self.params)
+            .field("goal", &self.goal)
+            .field("limit", &self.limit)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdb_core::{TraceBuffer, TraceEvent};
+
+    #[test]
+    fn builder_accumulates_params() {
+        let opts = QueryOptions::new()
+            .with_param("a", 1i64)
+            .with_param("b", 2.5f64)
+            .with_goal(OptimizeGoal::FastFirst);
+        assert_eq!(opts.params().len(), 2);
+        assert_eq!(opts.goal(), Some(OptimizeGoal::FastFirst));
+        assert_eq!(opts.limit(), None);
+        assert!(!opts.tracer().enabled());
+    }
+
+    #[test]
+    fn tracer_is_enabled_only_with_sink() {
+        let buf = TraceBuffer::shared(8);
+        let opts = QueryOptions::new().with_trace(buf.clone());
+        let tracer = opts.tracer();
+        assert!(tracer.enabled());
+        tracer.emit_with(|| TraceEvent::Note {
+            message: "hello".into(),
+        });
+        assert_eq!(buf.events().len(), 1);
+        let shown = format!("{opts:?}");
+        assert!(shown.contains("trace: true"), "{shown}");
+    }
+}

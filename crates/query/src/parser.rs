@@ -11,6 +11,7 @@
 use rdb_core::OptimizeGoal;
 use rdb_storage::Value;
 
+use crate::error::QueryError;
 use crate::expr::{CmpOp, Expr, Scalar};
 
 /// A parsed query.
@@ -286,8 +287,13 @@ impl Parser {
     }
 }
 
-/// Parses one query.
-pub fn parse_query(input: &str) -> Result<QuerySpec, String> {
+/// Parses one query. Failures come back as [`QueryError::Parse`] with the
+/// parser's diagnostic.
+pub fn parse_query(input: &str) -> Result<QuerySpec, QueryError> {
+    parse_query_impl(input).map_err(QueryError::Parse)
+}
+
+fn parse_query_impl(input: &str) -> Result<QuerySpec, String> {
     let toks = tokenize(input)?;
     let mut p = Parser { toks, pos: 0 };
     p.expect_kw("select")?;

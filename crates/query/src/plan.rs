@@ -125,6 +125,27 @@ fn walk(
     }
 }
 
+/// Derives the goal of a single-retrieval statement per Section 4: an
+/// aggregate (`COUNT(*)`) controls the retrieval and forces total-time;
+/// otherwise an explicit request (SQL `OPTIMIZE FOR` or a
+/// [`crate::QueryOptions`] override) wins; otherwise a row limit implies
+/// fast-first; otherwise total-time.
+pub fn effective_goal(
+    count_star: bool,
+    explicit: Option<OptimizeGoal>,
+    limit: Option<usize>,
+) -> OptimizeGoal {
+    if count_star {
+        OptimizeGoal::TotalTime
+    } else {
+        explicit.unwrap_or(if limit.is_some() {
+            OptimizeGoal::FastFirst
+        } else {
+            OptimizeGoal::TotalTime
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +206,19 @@ mod tests {
         };
         let goals = derive_goals(&plan, OptimizeGoal::TotalTime);
         assert_eq!(goals[&0], OptimizeGoal::FastFirst);
+    }
+
+    #[test]
+    fn effective_goal_precedence() {
+        use OptimizeGoal::{FastFirst, TotalTime};
+        // Aggregate control beats everything, even an explicit request.
+        assert_eq!(effective_goal(true, Some(FastFirst), Some(3)), TotalTime);
+        // Explicit beats the limit-derived goal.
+        assert_eq!(effective_goal(false, Some(TotalTime), Some(3)), TotalTime);
+        // A limit alone implies fast-first.
+        assert_eq!(effective_goal(false, None, Some(3)), FastFirst);
+        // Default is total-time.
+        assert_eq!(effective_goal(false, None, None), TotalTime);
     }
 
     #[test]

@@ -8,7 +8,10 @@ use std::cell::Cell;
 use rdb_core::baseline::{estimate_all, PredShape, StaticIndexInfo, StaticJscan, StaticJscanConfig, StaticOptimizer};
 use rdb_core::request::{Delivery, DeliveryObserver, OptimizeGoal, RetrievalResult};
 use rdb_core::tscan::StrategyStep;
-use rdb_core::{DynamicOptimizer, Fscan, Jscan, JscanConfig, JscanIndex, JscanOutcome, Sscan, Tscan};
+use rdb_core::{
+    DynamicOptimizer, Fscan, Jscan, JscanConfig, JscanIndex, JscanOutcome, Sscan, TraceBuffer,
+    TraceEvent, Tracer, Tscan,
+};
 use rdb_storage::{FaultPolicy, StorageError, Value};
 
 use crate::oracle;
@@ -61,6 +64,10 @@ pub struct SeedReport {
     /// Runs where a mid-competition index death was absorbed (the Jscan
     /// discarded the dead index and the result was still exact).
     pub degraded_ok: u64,
+    /// Traced runs whose event stream passed the consistency invariants
+    /// (single winner naming the executed strategy, phase costs tiling the
+    /// total, switch targets resolving to real stages).
+    pub trace_checks: u64,
 }
 
 /// Runs the full campaign for one seed. `Err` carries a human-readable
@@ -79,6 +86,8 @@ pub fn run_seed(seed: u64, cfg: &SimConfig) -> Result<SeedReport, String> {
         let ctx = |what: &str| format!("seed {seed} query {qi} [{}] {what}", query.describe());
         clean_differential(&scenario, query, cfg, &mut report)
             .map_err(|e| format!("{}: {e}", ctx("clean")))?;
+        trace_consistency(&scenario, query, &mut report)
+            .map_err(|e| format!("{}: {e}", ctx("traced")))?;
         for &rate in &cfg.fault_rates {
             fault_campaign(&scenario, query, qi, rate, &mut report)
                 .map_err(|e| format!("{}: {e}", ctx("faulted")))?;
@@ -342,6 +351,133 @@ fn clean_differential(
             result.strategy
         ));
     }
+    Ok(())
+}
+
+/// Lowercased alphanumeric skeleton of a strategy string, so
+/// `"BackgroundOnly"`, `"background-only"` and `"background-only (Jscan ->
+/// Tscan)"` can be compared for containment.
+fn norm(s: &str) -> String {
+    s.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+/// Re-runs the dynamic optimizer with a trace sink attached and asserts
+/// the telemetry contract over the emitted event stream:
+///
+/// 1. exactly one `Winner`, whose strategy names the tactic that actually
+///    produced the rows (`RetrievalResult::strategy`) and whose row count
+///    matches the deliveries;
+/// 2. the `TacticChosen` event names the same tactic;
+/// 3. `PhaseCost` events tile the run — their sum equals the result's
+///    total cost to float precision;
+/// 4. every mid-run `Switch` abandons a real stage for a real stage (a
+///    known execution phase or a stage named by the final winner string),
+///    and never "switches" to itself.
+fn trace_consistency(
+    scenario: &Scenario,
+    query: &Query,
+    report: &mut SeedReport,
+) -> Result<(), String> {
+    const STAGES: [&str; 6] = [
+        "tscan",
+        "fscan",
+        "sscan",
+        "jscan",
+        "foreground",
+        "background-only",
+    ];
+    let request = scenario.request(query);
+    let buffer = TraceBuffer::shared(16_384);
+    let tracer = Tracer::new(buffer.clone());
+    scenario.cold();
+    let result = DynamicOptimizer::default()
+        .run_traced(&request, None, &tracer)
+        .map_err(|e| format!("traced run died: {e}"))?;
+    let events = buffer.take();
+
+    let winners: Vec<(&String, f64, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Winner {
+                strategy,
+                cost,
+                rows,
+            } => Some((strategy, *cost, *rows)),
+            _ => None,
+        })
+        .collect();
+    let [(winner, winner_cost, winner_rows)] = winners[..] else {
+        return Err(format!("expected exactly one Winner event, got {}", winners.len()));
+    };
+    if winner_rows != result.deliveries.len() {
+        return Err(format!(
+            "Winner claims {winner_rows} rows, run delivered {}",
+            result.deliveries.len()
+        ));
+    }
+    if !norm(winner).contains(&norm(&result.strategy)) {
+        return Err(format!(
+            "Winner strategy {winner:?} does not name the executed strategy {:?}",
+            result.strategy
+        ));
+    }
+    let eps = 1e-6 * result.cost.max(1.0);
+    if (winner_cost - result.cost).abs() > eps {
+        return Err(format!(
+            "Winner cost {winner_cost} != result cost {}",
+            result.cost
+        ));
+    }
+
+    let chosen = events.iter().find_map(|e| match e {
+        TraceEvent::TacticChosen { tactic, .. } => Some(tactic),
+        _ => None,
+    });
+    match chosen {
+        Some(tactic) if *tactic == result.strategy => {}
+        Some(tactic) => {
+            return Err(format!(
+                "TacticChosen names {tactic:?}, result ran {:?}",
+                result.strategy
+            ));
+        }
+        None => return Err("no TacticChosen event".into()),
+    }
+
+    let phase_sum: f64 = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::PhaseCost { cost, .. } => Some(*cost),
+            _ => None,
+        })
+        .sum();
+    if (phase_sum - result.cost).abs() > eps {
+        return Err(format!(
+            "phase costs sum to {phase_sum}, run cost {} (phases must tile the run)",
+            result.cost
+        ));
+    }
+
+    for event in &events {
+        let TraceEvent::Switch { from, to, .. } = event else {
+            continue;
+        };
+        if from == to {
+            return Err(format!("Switch from {from:?} to itself"));
+        }
+        let legal = |s: &str| STAGES.contains(&s) || norm(winner).contains(&norm(s));
+        if !legal(from) || !legal(to) {
+            return Err(format!(
+                "Switch {from:?} -> {to:?} names an unknown stage (winner {winner:?})"
+            ));
+        }
+    }
+
+    report.trace_checks += 1;
+    report.checks += 1;
     Ok(())
 }
 

@@ -130,6 +130,7 @@ fn main() -> ExitCode {
                 total.fault_errors += report.fault_errors;
                 total.fault_ok += report.fault_ok;
                 total.degraded_ok += report.degraded_ok;
+                total.trace_checks += report.trace_checks;
             }
             Ok(Err(e)) => failures.push((seed, e)),
             Err(panic) => {
@@ -144,11 +145,12 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "simtest: {} seeds, {} queries, {} oracle checks, {} faulted runs \
-         ({} clean errors, {} exact results, {} graceful index degradations)",
+        "simtest: {} seeds, {} queries, {} oracle checks, {} trace-consistency checks, \
+         {} faulted runs ({} clean errors, {} exact results, {} graceful index degradations)",
         seeds.len() - failures.len(),
         total.queries,
         total.checks,
+        total.trace_checks,
         total.fault_runs,
         total.fault_errors,
         total.fault_ok,

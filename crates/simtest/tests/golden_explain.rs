@@ -1,0 +1,78 @@
+//! Golden-file pin of the rendered `EXPLAIN ANALYZE` competition timeline.
+//!
+//! The engine is deterministic end to end — same data, same costs, same
+//! decisions — so the full rendered timeline of a pinned database is a
+//! legitimate regression artifact: any drift in estimation, competition
+//! ordering, phase accounting, or the renderer shows up as a diff here.
+//! Re-bless intentionally with `UPDATE_GOLDEN=1 cargo test -p rdb-simtest`.
+
+use std::path::Path;
+
+use rdb_query::prelude::*;
+
+/// A pinned FAMILIES table (LCG-generated, fixed seed) with indexes on AGE
+/// and SIZE — enough structure for a real index competition.
+fn pinned_db() -> Db {
+    let mut db = Db::new(DbConfig {
+        page_bytes: 1024,
+        ..DbConfig::default()
+    });
+    db.create_table(
+        "FAMILIES",
+        Schema::new(vec![
+            Column::new("ID", ValueType::Int),
+            Column::new("AGE", ValueType::Int),
+            Column::new("SIZE", ValueType::Int),
+        ]),
+    )
+    .unwrap();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    for i in 0..4000i64 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let age = ((state >> 33) % 100) as i64;
+        db.insert(
+            "FAMILIES",
+            vec![Value::Int(i), Value::Int(age), Value::Int(i % 7)],
+        )
+        .unwrap();
+    }
+    db.create_index("IDX_AGE", "FAMILIES", &["AGE"]).unwrap();
+    db.create_index("IDX_SIZE", "FAMILIES", &["SIZE"]).unwrap();
+    db
+}
+
+#[test]
+fn explain_analyze_timeline_matches_golden() {
+    let db = pinned_db();
+    db.clear_cache();
+    let sql = "select ID from FAMILIES where AGE >= 97 and SIZE = 3";
+    let ea = db.explain_analyze(sql, &QueryOptions::new()).unwrap();
+    let rendered = ea.render();
+
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/explain_analyze.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}\nbless it with: UPDATE_GOLDEN=1 cargo test -p rdb-simtest",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "EXPLAIN ANALYZE timeline drifted from the golden file; if the change \
+         is intended, re-bless with UPDATE_GOLDEN=1"
+    );
+
+    // The machine-readable form carries the same run: winner, phase costs,
+    // and per-event records.
+    let json = ea.to_json();
+    assert!(json.contains("\"event\":\"tactic_chosen\""), "{json}");
+    assert!(json.contains("\"event\":\"winner\""), "{json}");
+    assert!(json.contains("\"event\":\"phase_cost\""), "{json}");
+    assert!(json.contains("\"pool\":{"), "{json}");
+}

@@ -42,6 +42,28 @@ pub fn shared_pool(capacity: usize, cost: SharedCost) -> SharedPool {
     Rc::new(RefCell::new(BufferPool::new(capacity, cost)))
 }
 
+/// Immutable snapshot of a pool's lifetime hit/miss counters.
+///
+/// Per-query observability takes one snapshot before the run and one after;
+/// [`PoolStats::since`] yields the delta the query itself caused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Buffer hits (page found resident).
+    pub hits: u64,
+    /// Buffer misses (simulated physical read).
+    pub misses: u64,
+}
+
+impl PoolStats {
+    /// Hits and misses accumulated between `earlier` and `self`.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
 /// Identifies one storage file (a heap table, one index, a temp area).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FileId(pub u32);
@@ -207,6 +229,14 @@ impl BufferPool {
     /// Lifetime miss count.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Point-in-time copy of the hit/miss counters, for per-query deltas.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 
     #[inline]

@@ -1,6 +1,6 @@
 //! Standard experiment tables.
 
-use rdb_query::{Database, DbConfig};
+use rdb_query::{Db, DbConfig};
 use rdb_storage::{Column, Schema, ValueType};
 
 use crate::gen::{ColumnSpec, TableGen};
@@ -50,8 +50,8 @@ impl Default for FamiliesConfig {
 /// `FAMILIES(ID serial, AGE uniform, CITY zipf, REGION clustered,
 /// INCOME_BAND correlated-with-AGE)` with indexes on AGE, CITY, REGION,
 /// and INCOME_BAND.
-pub fn families_db(config: &FamiliesConfig) -> Database {
-    let mut db = Database::new(config.db);
+pub fn families_db(config: &FamiliesConfig) -> Db {
+    let mut db = Db::new(config.db);
     db.create_table(
         "FAMILIES",
         Schema::new(vec![
@@ -134,8 +134,8 @@ impl Default for OrdersConfig {
 /// Builds `ORDERS(ORDER_ID serial, REGION, DAY, AMOUNT uniform, STATUS
 /// zipf-of-3)` with a composite index on `(REGION, DAY)` and single-column
 /// indexes on `AMOUNT` and `DAY`.
-pub fn orders_db(config: &OrdersConfig) -> Database {
-    let mut db = Database::new(config.db);
+pub fn orders_db(config: &OrdersConfig) -> Db {
+    let mut db = Db::new(config.db);
     db.create_table(
         "ORDERS",
         Schema::new(vec![
@@ -176,7 +176,7 @@ pub fn orders_db(config: &OrdersConfig) -> Database {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashMap;
+    use rdb_query::QueryOptions;
 
     #[test]
     fn families_db_builds_and_queries() {
@@ -186,7 +186,7 @@ mod tests {
         });
         assert_eq!(db.row_count("FAMILIES"), Some(2000));
         let r = db
-            .query("select * from FAMILIES where AGE >= 95", &HashMap::new())
+            .query("select * from FAMILIES where AGE >= 95", &QueryOptions::new())
             .unwrap();
         // Uniform ages in [0,100): ~5% of rows.
         let frac = r.rows.len() as f64 / 2000.0;
@@ -200,10 +200,10 @@ mod tests {
             ..FamiliesConfig::default()
         });
         let hot = db
-            .query("select * from FAMILIES where CITY = 0", &HashMap::new())
+            .query("select * from FAMILIES where CITY = 0", &QueryOptions::new())
             .unwrap();
         let cold = db
-            .query("select * from FAMILIES where CITY = 400", &HashMap::new())
+            .query("select * from FAMILIES where CITY = 400", &QueryOptions::new())
             .unwrap();
         assert!(
             hot.rows.len() > 10 * cold.rows.len().max(1),
@@ -213,7 +213,7 @@ mod tests {
         );
         // REGION == 2 selects one contiguous run of 500 rows.
         let region = db
-            .query("select ID from FAMILIES where REGION = 2", &HashMap::new())
+            .query("select ID from FAMILIES where REGION = 2", &QueryOptions::new())
             .unwrap();
         assert_eq!(region.rows.len(), 500);
         let ids: Vec<i64> = region
@@ -235,7 +235,7 @@ mod tests {
         let narrow = db
             .query(
                 "select ORDER_ID from ORDERS where REGION = 3 and DAY between 100 and 102",
-                &HashMap::new(),
+                &QueryOptions::new(),
             )
             .unwrap();
         assert!(!narrow.rows.is_empty());
@@ -243,13 +243,13 @@ mod tests {
         let open = db
             .query(
                 "select count(*) from ORDERS where STATUS = 'open'",
-                &HashMap::new(),
+                &QueryOptions::new(),
             )
             .unwrap();
         let returned = db
             .query(
                 "select count(*) from ORDERS where STATUS = 'returned'",
-                &HashMap::new(),
+                &QueryOptions::new(),
             )
             .unwrap();
         let (o, r) = (
@@ -268,10 +268,10 @@ mod tests {
         let a = families_db(&cfg);
         let b = families_db(&cfg);
         let qa = a
-            .query("select * from FAMILIES where AGE = 7", &HashMap::new())
+            .query("select * from FAMILIES where AGE = 7", &QueryOptions::new())
             .unwrap();
         let qb = b
-            .query("select * from FAMILIES where AGE = 7", &HashMap::new())
+            .query("select * from FAMILIES where AGE = 7", &QueryOptions::new())
             .unwrap();
         assert_eq!(qa.rows, qb.rows);
     }

@@ -6,11 +6,8 @@
 //!
 //! Run: `cargo run --release -p rdb-bench --example goal_derivation`
 
-use std::collections::HashMap;
-
 use rdb_core::OptimizeGoal;
-use rdb_query::{derive_goals, PlanNode};
-use rdb_storage::Value;
+use rdb_query::{derive_goals, PlanNode, QueryOptions};
 use rdb_workload::{families_db, FamiliesConfig};
 
 fn main() {
@@ -40,7 +37,7 @@ fn main() {
         rows: 20_000,
         ..FamiliesConfig::default()
     });
-    let none: HashMap<String, Value> = HashMap::new();
+    let none = QueryOptions::new();
 
     db.clear_cache();
     let fast = db

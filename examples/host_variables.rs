@@ -4,9 +4,7 @@
 //!
 //! Run: `cargo run --release -p rdb-bench --example host_variables`
 
-use std::collections::HashMap;
-
-use rdb_storage::Value;
+use rdb_query::QueryOptions;
 use rdb_workload::{families_db, FamiliesConfig};
 
 fn main() {
@@ -20,10 +18,8 @@ fn main() {
 
     for (a1, c) in [(0i64, 0i64), (0, 450), (95, 0), (99, 450), (150, 0)] {
         db.clear_cache();
-        let mut params = HashMap::new();
-        params.insert("A1".to_string(), Value::Int(a1));
-        params.insert("C".to_string(), Value::Int(c));
-        let result = db.query(sql, &params).expect("query");
+        let opts = QueryOptions::new().with_param("A1", a1).with_param("C", c);
+        let result = db.query(sql, &opts).expect("query");
         println!(
             ":A1={a1:>3} :C={c:>3}  {:>5} rows  cost {:>8.1}  [{}]",
             result.rows.len(),

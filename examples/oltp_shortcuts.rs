@@ -5,13 +5,10 @@
 //!
 //! Run: `cargo run --release -p rdb-bench --example oltp_shortcuts`
 
-use std::collections::HashMap;
-
-use rdb_query::{Database, DbConfig};
-use rdb_storage::{Column, Schema, Value, ValueType};
+use rdb_query::prelude::*;
 
 fn main() {
-    let mut db = Database::new(DbConfig {
+    let mut db = Db::new(DbConfig {
         page_bytes: 1024,
         ..DbConfig::default()
     });
@@ -34,7 +31,7 @@ fn main() {
     db.create_index("IDX_ORDER", "ORDERS", &["ORDER_ID"]).expect("index");
     db.create_index("IDX_CUST", "ORDERS", &["CUSTOMER"]).expect("index");
 
-    let none = HashMap::new();
+    let none = QueryOptions::new();
     let cases = [
         ("point lookup", "select * from ORDERS where ORDER_ID = 74123"),
         ("tiny range", "select * from ORDERS where ORDER_ID between 500 and 504"),

@@ -4,13 +4,11 @@
 //!
 //! Run: `cargo run --release -p rdb-bench --example orders_workbench`
 
-use std::collections::HashMap;
+use rdb_query::prelude::*;
+use rdb_query::{CmpOp, Expr};
 
-use rdb_query::{CmpOp, Database, DbConfig, Expr};
-use rdb_storage::{Column, Schema, Value, ValueType};
-
-fn main() -> Result<(), String> {
-    let mut db = Database::new(DbConfig {
+fn main() -> Result<(), QueryError> {
+    let mut db = Db::new(DbConfig {
         page_bytes: 1024,
         ..DbConfig::default()
     });
@@ -40,7 +38,7 @@ fn main() -> Result<(), String> {
     db.create_index("IDX_RD", "ORDERS", &["REGION", "DAY"])?;
     db.create_index("IDX_AMOUNT", "ORDERS", &["AMOUNT"])?;
     db.create_index("IDX_DAY", "ORDERS", &["DAY"])?;
-    let none: HashMap<String, Value> = HashMap::new();
+    let none = QueryOptions::new();
 
     println!("-- EXPLAIN before running --");
     for sql in [

@@ -4,15 +4,12 @@
 //!
 //! Run: `cargo run --release -p rdb-bench --example quickstart`
 
-use std::collections::HashMap;
-
-use rdb_query::{Database, DbConfig};
-use rdb_storage::{Column, Schema, Value, ValueType};
+use rdb_query::prelude::*;
 
 fn main() {
     // 1. A database with a simulated buffer pool and cost meter. Small
     //    pages give the table a realistic page count at this row count.
-    let mut db = Database::new(DbConfig {
+    let mut db = Db::new(DbConfig {
         page_bytes: 1024,
         ..DbConfig::default()
     });
@@ -45,9 +42,8 @@ fn main() {
     let sql = "select * from FAMILIES where AGE >= :A1";
     for a1 in [0i64, 995, 2000] {
         db.clear_cache(); // cold start so costs are comparable
-        let mut params = HashMap::new();
-        params.insert("A1".to_string(), Value::Int(a1));
-        let result = db.query(sql, &params).expect("query");
+        let opts = QueryOptions::new().with_param("A1", a1);
+        let result = db.query(sql, &opts).expect("query");
         println!(
             ":A1 = {a1:>3}  ->  {:>5} rows, cost {:>8.1} units, tactic {}",
             result.rows.len(),

@@ -2,14 +2,12 @@
 //! parsing, binding, dynamic optimization, tiered execution, and row
 //! projection — cross-checked against brute-force ground truth.
 
-use std::collections::HashMap;
-
-use rdb_query::{Database, DbConfig};
+use rdb_query::{Db, DbConfig, QueryOptions};
 use rdb_storage::{Column, Schema, Value, ValueType};
 use rdb_workload::{families_db, FamiliesConfig};
 
-fn none() -> HashMap<String, Value> {
-    HashMap::new()
+fn none() -> QueryOptions {
+    QueryOptions::new()
 }
 
 fn ids(rows: &[Vec<Value>], col: usize) -> Vec<i64> {
@@ -52,9 +50,9 @@ fn all_tactics_agree_with_brute_force() {
 }
 
 /// Brute-force evaluation through an index-free copy of the data.
-fn brute_force(db: &Database, sql: &str) -> Vec<i64> {
+fn brute_force(db: &Db, sql: &str) -> Vec<i64> {
     let heap = db.heap("FAMILIES").expect("fixture");
-    let mut copy = Database::new(DbConfig::default());
+    let mut copy = Db::new(DbConfig::default());
     copy.create_table("FAMILIES", heap.schema().clone()).expect("copy");
     let mut scan = heap.scan();
     while let Some((_, record)) = scan.next(heap).unwrap() {
@@ -127,7 +125,7 @@ fn cache_perturbation_degrades_but_preserves_results() {
 
 #[test]
 fn mixed_type_table_roundtrip() {
-    let mut db = Database::new(DbConfig::default());
+    let mut db = Db::new(DbConfig::default());
     db.create_table(
         "EMP",
         Schema::new(vec![
@@ -165,7 +163,7 @@ fn mixed_type_table_roundtrip() {
 
 #[test]
 fn string_keyed_index_retrieval() {
-    let mut db = Database::new(DbConfig::default());
+    let mut db = Db::new(DbConfig::default());
     db.create_table(
         "CITIES",
         Schema::new(vec![
@@ -208,7 +206,7 @@ fn string_keyed_index_retrieval() {
 #[test]
 fn dml_and_query_interleave() {
     use rdb_query::{CmpOp, Expr};
-    let mut db = Database::new(DbConfig::default());
+    let mut db = Db::new(DbConfig::default());
     db.create_table(
         "ACCOUNTS",
         Schema::new(vec![

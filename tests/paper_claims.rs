@@ -2,7 +2,6 @@
 //! EXPERIMENTS.md reports are verified here so `cargo test --workspace`
 //! re-validates the reproduction.
 
-use std::collections::HashMap;
 use std::rc::Rc;
 
 use rand::rngs::StdRng;
@@ -227,14 +226,14 @@ fn claim_oltp_shortcuts_are_near_free() {
     let full = db
         .query(
             "select ID from FAMILIES where AGE >= 0",
-            &HashMap::new(),
+            &rdb_query::QueryOptions::new(),
         )
         .expect("query");
     db.clear_cache();
     let empty = db
         .query(
             "select ID from FAMILIES where AGE >= 1000",
-            &HashMap::new(),
+            &rdb_query::QueryOptions::new(),
         )
         .expect("query");
     assert!(empty.rows.is_empty());
