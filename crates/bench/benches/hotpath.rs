@@ -11,7 +11,7 @@
 //! root; regenerate it with
 //! `CRITERION_MEASURE_MS=1200 CRITERION_JSON=/tmp/hotpath.json cargo bench --bench hotpath`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rdb_core::filter::Filter;
@@ -64,9 +64,9 @@ fn bench_pool(c: &mut Criterion) {
     let mut group = c.benchmark_group("pool");
     group.bench_function("open_addressed_mixed_100k", |b| {
         b.iter(|| {
-            let mut pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
+            let pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
             for &p in &pages {
-                pool.access(p);
+                pool.access(p, pool.cost());
             }
             pool.hits()
         })
@@ -82,9 +82,9 @@ fn bench_pool(c: &mut Criterion) {
     });
     group.bench_function("open_addressed_hot_100k", |b| {
         b.iter(|| {
-            let mut pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
+            let pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
             for &p in &hot {
-                pool.access(p);
+                pool.access(p, pool.cost());
             }
             pool.hits()
         })
@@ -100,10 +100,10 @@ fn bench_pool(c: &mut Criterion) {
     });
     group.bench_function("open_addressed_seq_runs_100k", |b| {
         b.iter(|| {
-            let mut pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
+            let pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
             let mut touched = 0u64;
             for chunk in 0..(WORKLOAD as u32 / 512) {
-                let (h, m) = pool.access_run(FileId(0), (chunk * 512) % 16384, 512);
+                let (h, m) = pool.access_run(FileId(0), (chunk * 512) % 16384, 512, pool.cost());
                 touched += h + m;
             }
             touched
@@ -156,7 +156,7 @@ fn bench_filter(c: &mut Criterion) {
             n
         })
     });
-    let shared: Rc<[Rid]> = rids.into();
+    let shared: Arc<[Rid]> = rids.into();
     group.bench_function("build_shared_20k", |b| {
         b.iter(|| Filter::from_shared(shared.clone()).source_len())
     });
@@ -171,7 +171,12 @@ fn bench_ridlist(c: &mut Criterion) {
     let mut group = c.benchmark_group("ridlist");
     group.bench_function("inline_build_20", |b| {
         b.iter(|| {
-            let mut bld = RidListBuilder::new(RidTierConfig::default(), pool.clone(), FileId(9));
+            let mut bld = RidListBuilder::new(
+                RidTierConfig::default(),
+                pool.clone(),
+                FileId(9),
+                pool.cost().clone(),
+            );
             for i in 0..20u32 {
                 bld.push(Rid::new(i, 0));
             }
@@ -180,7 +185,12 @@ fn bench_ridlist(c: &mut Criterion) {
     });
     group.bench_function("buffer_build_4096", |b| {
         b.iter(|| {
-            let mut bld = RidListBuilder::new(RidTierConfig::default(), pool.clone(), FileId(9));
+            let mut bld = RidListBuilder::new(
+                RidTierConfig::default(),
+                pool.clone(),
+                FileId(9),
+                pool.cost().clone(),
+            );
             for i in 0..4096u32 {
                 bld.push(Rid::new(i, 0));
             }

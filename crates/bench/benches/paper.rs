@@ -3,7 +3,7 @@
 //! from the `src/bin/*` harnesses; these benches confirm the *wall-time*
 //! behaviour of the implementation itself.)
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -34,9 +34,10 @@ fn bench_competition(c: &mut Criterion) {
 }
 
 fn host_var_request(f: &JscanFixture, a1: i64) -> RetrievalRequest<'_> {
-    let residual: RecordPred = Rc::new(move |r: &Record| r[0].as_i64().unwrap() >= a1);
+    let residual: RecordPred = Arc::new(move |r: &Record| r[0].as_i64().unwrap() >= a1);
     RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![IndexChoice::fetch_needed(
             &f.indexes[0],
             KeyRange::at_least(a1),
@@ -78,9 +79,10 @@ fn bench_host_variable(c: &mut Criterion) {
 
 fn jscan_request(f: &JscanFixture) -> RetrievalRequest<'_> {
     let residual: RecordPred =
-        Rc::new(move |r: &Record| r[0] == Value::Int(1) && r[1] == Value::Int(1));
+        Arc::new(move |r: &Record| r[0] == Value::Int(1) && r[1] == Value::Int(1));
     RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&f.indexes[0], KeyRange::eq(1)),
             IndexChoice::fetch_needed(&f.indexes[1], KeyRange::eq(1)),
@@ -120,8 +122,9 @@ fn bench_rid_tiers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             b.iter(|| {
                 let pool = shared_pool(64, shared_meter(CostConfig::default()));
+                let cost = pool.cost().clone();
                 let mut builder =
-                    RidListBuilder::new(RidTierConfig::default(), pool, FileId(9));
+                    RidListBuilder::new(RidTierConfig::default(), pool, FileId(9), cost);
                 for i in 0..n {
                     builder.push(Rid::new(i as u32, 0));
                 }
@@ -137,17 +140,17 @@ fn bench_estimation(c: &mut Criterion) {
     let idx = &f.indexes[1];
     let mut group = c.benchmark_group("estimation");
     group.bench_function("descent_to_split", |b| {
-        b.iter(|| idx.estimate_range(&KeyRange::closed(5_000, 8_000)))
+        b.iter(|| idx.estimate_range(&KeyRange::closed(5_000, 8_000), idx.pool().cost()))
     });
     group.bench_function("exact_count_scan", |b| {
-        b.iter(|| idx.count_range(KeyRange::closed(5_000, 8_000)))
+        b.iter(|| idx.count_range(KeyRange::closed(5_000, 8_000), idx.pool().cost()))
     });
-    let hist = rdb_btree::Histogram::equi_depth(idx, 100).expect("numeric keys");
+    let hist = rdb_btree::Histogram::equi_depth(idx, 100, idx.pool().cost()).expect("numeric keys");
     group.bench_function("stored_histogram_probe", |b| {
         b.iter(|| hist.estimate_range(&KeyRange::closed(5_000, 8_000)))
     });
     group.bench_function("stored_histogram_build", |b| {
-        b.iter(|| rdb_btree::Histogram::equi_depth(idx, 100))
+        b.iter(|| rdb_btree::Histogram::equi_depth(idx, 100, idx.pool().cost()))
     });
     group.finish();
 }
@@ -159,7 +162,7 @@ fn bench_union(c: &mut Criterion) {
     group.bench_function("or_two_arms", |b| {
         b.iter(|| {
             f.cold();
-            let residual: RecordPred = Rc::new(move |r: &Record| {
+            let residual: RecordPred = Arc::new(move |r: &Record| {
                 r[0] == Value::Int(1) || r[1] == Value::Int(2)
             });
             dynamic.run_union(

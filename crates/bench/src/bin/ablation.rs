@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run --release -p rdb-bench --bin ablation`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_bench::fixtures::JscanFixture;
 use rdb_bench::report::{fmt, print_table};
@@ -42,11 +42,12 @@ fn threshold_sweep() {
     let mut rows = Vec::new();
     for threshold in [0.3f64, 0.6, 0.95, 1.5, 1e9] {
         let run_one = |f: &JscanFixture, hi: i64| -> (usize, f64, usize) {
-            let residual: RecordPred = Rc::new(move |r: &Record| {
+            let residual: RecordPred = Arc::new(move |r: &Record| {
                 r[0] == Value::Int(1) && r[1].as_i64().unwrap() <= hi
             });
             let request = RetrievalRequest {
                 table: &f.table,
+                cost: f.table.pool().cost().clone(),
                 indexes: vec![
                     IndexChoice::fetch_needed(&f.indexes[0], KeyRange::eq(1)),
                     IndexChoice::fetch_needed(&f.indexes[1], KeyRange::at_most(hi)),
@@ -109,9 +110,10 @@ fn tiny_shortcut() {
     let mut rows = Vec::new();
     for (label, shortcut) in [("on (paper)", 20usize), ("off", 0)] {
         let residual: RecordPred =
-            Rc::new(|r: &Record| r[0] == Value::Int(7) && r[1].as_i64().unwrap() <= 3);
+            Arc::new(|r: &Record| r[0] == Value::Int(7) && r[1].as_i64().unwrap() <= 3);
         let request = RetrievalRequest {
             table: &f.table,
+            cost: f.table.pool().cost().clone(),
             indexes: vec![
                 IndexChoice::fetch_needed(&f.indexes[0], KeyRange::eq(7)),
                 IndexChoice::fetch_needed(&f.indexes[1], KeyRange::at_most(3)),
@@ -172,6 +174,7 @@ fn simultaneous() {
                 tiny_list_shortcut: 0,
                 ..JscanConfig::default()
             },
+            f.table.pool().cost().clone(),
         );
         f.cold();
         let before = f.cost.total();
@@ -195,9 +198,10 @@ fn simultaneous() {
 fn interference() {
     println!("\n== A4: cache interference makes identical runs cost differently ==\n");
     let f = JscanFixture::build(30_000, &[500], 200_000);
-    let residual: RecordPred = Rc::new(|r: &Record| r[0] == Value::Int(1));
+    let residual: RecordPred = Arc::new(|r: &Record| r[0] == Value::Int(1));
     let request = || RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![IndexChoice::fetch_needed(&f.indexes[0], KeyRange::eq(1))],
         residual: residual.clone(),
         goal: OptimizeGoal::TotalTime,
@@ -213,10 +217,7 @@ fn interference() {
     for foreign_pages in [0u32, 100_000, 199_000, 400_000] {
         // Warm up, interfere, measure.
         let _ = optimizer.run(&request()).unwrap();
-        f.table
-            .pool()
-            .borrow_mut()
-            .perturb(FileId(4242), foreign_pages);
+        f.table.pool().perturb(FileId(4242), foreign_pages);
         let cost = optimizer.run(&request()).unwrap().cost;
         rows.push(vec![format!("warm + {foreign_pages} foreign pages"), fmt(cost)]);
     }

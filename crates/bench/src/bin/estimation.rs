@@ -41,8 +41,8 @@ fn main() {
     ] {
         let range = KeyRange::closed(lo, hi);
         let truth = ((hi.min(99_999) - lo.max(0) + 1).max(0)) as f64;
-        let est = idx.estimate_range(&range);
-        let counted = idx.estimate_range_counted(&range);
+        let est = idx.estimate_range(&range, idx.pool().cost());
+        let counted = idx.estimate_range_counted(&range, idx.pool().cost());
         let ratio = if truth > 0.0 {
             fmt(est.estimate / truth)
         } else if est.estimate == 0.0 {
@@ -80,8 +80,8 @@ fn main() {
         for i in (0..40_000i64).chain(60_000..100_000) {
             holed.insert(vec![Value::Int(i)], Rid::new((i % 1_000_000) as u32, 0));
         }
-        let hist = Histogram::equi_width(&holed, 50).expect("numeric keys");
-        let histd = Histogram::equi_depth(&holed, 50).expect("numeric keys");
+        let hist = Histogram::equi_width(&holed, 50, holed.pool().cost()).expect("numeric keys");
+        let histd = Histogram::equi_depth(&holed, 50, holed.pool().cost()).expect("numeric keys");
         let mut rows = Vec::new();
         for (label, lo, hi, truth) in [
             ("wide live range", 0i64, 29_999i64, 30_000.0),
@@ -90,7 +90,7 @@ fn main() {
             ("tiny range in hole (empty)", 50_000, 50_002, 0.0),
         ] {
             let r = KeyRange::closed(lo, hi);
-            let d = holed.estimate_range(&r);
+            let d = holed.estimate_range(&r, holed.pool().cost());
             rows.push(vec![
                 label.into(),
                 fmt(truth),
@@ -125,7 +125,7 @@ fn main() {
     for samples in [100, 400, 1600] {
         let mut ranked = Sampler::new(idx, SampleMethod::Ranked);
         let est_r = ranked
-            .estimate_selectivity(samples, &mut rng, |k, _| {
+            .estimate_selectivity(samples, &mut rng, idx.pool().cost(), |k, _| {
                 let v = k[0].as_i64().unwrap();
                 (5_000..=8_000).contains(&v)
             })
@@ -134,7 +134,7 @@ fn main() {
         let d_r = ranked.descents();
         let mut ar = Sampler::new(idx, SampleMethod::AcceptReject);
         let est_a = ar
-            .estimate_selectivity(samples, &mut rng, |k, _| {
+            .estimate_selectivity(samples, &mut rng, idx.pool().cost(), |k, _| {
                 let v = k[0].as_i64().unwrap();
                 (5_000..=8_000).contains(&v)
             })
@@ -175,10 +175,13 @@ fn main() {
         ] {
             f.cold();
             let before = f.cost.total();
-            let est = idx.estimate_range(&KeyRange {
-                lo: rdb_btree::KeyBound::Inclusive(vec![Value::Int(lo)]),
-                hi: rdb_btree::KeyBound::Inclusive(vec![Value::Int(hi)]),
-            });
+            let est = idx.estimate_range(
+                &KeyRange {
+                    lo: rdb_btree::KeyBound::Inclusive(vec![Value::Int(lo)]),
+                    hi: rdb_btree::KeyBound::Inclusive(vec![Value::Int(hi)]),
+                },
+                idx.pool().cost(),
+            );
             let est_cost = f.cost.total() - before;
             rows.push(vec![
                 label.into(),

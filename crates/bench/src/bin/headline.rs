@@ -12,7 +12,7 @@
 //!
 //! Run: `cargo run --release -p rdb-bench --bin headline`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_bench::report::{fmt, print_table};
 use rdb_btree::KeyRange;
@@ -55,7 +55,7 @@ fn main() {
             label: format!("AGE >= {a1} (host var sweep)"),
             index: 0,
             range: KeyRange::at_least(a1),
-            residual: Rc::new(move |r: &Record| r[1].as_i64().unwrap() >= a1),
+            residual: Arc::new(move |r: &Record| r[1].as_i64().unwrap() >= a1),
             shape: PredShape::Range,
         });
     }
@@ -64,7 +64,7 @@ fn main() {
             label: format!("CITY = {city} (zipf skew)"),
             index: 1,
             range: KeyRange::eq(city),
-            residual: Rc::new(move |r: &Record| r[2] == Value::Int(city)),
+            residual: Arc::new(move |r: &Record| r[2] == Value::Int(city)),
             shape: PredShape::Eq,
         });
     }
@@ -72,7 +72,7 @@ fn main() {
         label: "REGION = 3 (clustered)".into(),
         index: 2,
         range: KeyRange::eq(3),
-        residual: Rc::new(move |r: &Record| r[3] == Value::Int(3)),
+        residual: Arc::new(move |r: &Record| r[3] == Value::Int(3)),
         shape: PredShape::Eq,
     });
     let _ = (age_c, city_c, region_c);
@@ -97,6 +97,7 @@ fn main() {
         );
         let request = || RetrievalRequest {
             table,
+            cost: table.pool().cost().clone(),
             indexes: vec![IndexChoice::fetch_needed(tree, case.range.clone())],
             residual: case.residual.clone(),
             goal: OptimizeGoal::TotalTime,

@@ -14,7 +14,7 @@
 //!
 //! Run: `cargo run --release -p rdb-bench --bin host_var`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_bench::report::{fmt, print_table};
 use rdb_btree::KeyRange;
@@ -59,9 +59,10 @@ fn main() {
 
     let dynamic = DynamicOptimizer::default();
     let request = |a1: i64| -> RetrievalRequest<'_> {
-        let residual: RecordPred = Rc::new(move |r: &Record| r[1].as_i64().unwrap() >= a1);
+        let residual: RecordPred = Arc::new(move |r: &Record| r[1].as_i64().unwrap() >= a1);
         RetrievalRequest {
             table,
+            cost: table.pool().cost().clone(),
             indexes: vec![IndexChoice::fetch_needed(idx_age, KeyRange::at_least(a1))],
             residual,
             goal: OptimizeGoal::TotalTime,

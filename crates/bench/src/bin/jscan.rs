@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p rdb-bench --bin jscan [-- --tiers]`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_bench::fixtures::JscanFixture;
 use rdb_bench::report::{fmt, print_table};
@@ -35,11 +35,12 @@ fn sweep() {
     let mut rows = Vec::new();
     for k in [2i64, 10, 50, 200, 600, 1000] {
         let request = || -> RetrievalRequest<'_> {
-            let residual: RecordPred = Rc::new(move |r: &Record| {
+            let residual: RecordPred = Arc::new(move |r: &Record| {
                 r[0].as_i64().unwrap() < k && r[1] == Value::Int(1)
             });
             RetrievalRequest {
                 table: &f.table,
+                cost: f.table.pool().cost().clone(),
                 indexes: vec![
                     IndexChoice::fetch_needed(&f.indexes[0], KeyRange::at_most(k - 1)),
                     IndexChoice::fetch_needed(&f.indexes[1], KeyRange::eq(1)),
@@ -104,9 +105,10 @@ fn tiers() {
     for &s in &sizes {
         let request = {
             let residual: RecordPred =
-                Rc::new(move |r: &Record| r[0].as_i64().unwrap() < s);
+                Arc::new(move |r: &Record| r[0].as_i64().unwrap() < s);
             RetrievalRequest {
                 table: &f.table,
+                cost: f.table.pool().cost().clone(),
                 indexes: vec![IndexChoice::fetch_needed(
                     &f.indexes[0],
                     KeyRange::at_most(s - 1),

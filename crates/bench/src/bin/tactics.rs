@@ -5,7 +5,7 @@
 //! where `<name>` ∈ {background-only, fast-first, sorted, index-only};
 //! no argument runs all four.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_bench::fixtures::JscanFixture;
 use rdb_bench::report::{fmt, print_table};
@@ -26,11 +26,12 @@ fn background_only() {
     let mut rows = Vec::new();
     for (a, b) in [(1, 1), (1, 40), (150, 1)] {
         let request = || -> RetrievalRequest<'_> {
-            let residual: RecordPred = Rc::new(move |r: &Record| {
+            let residual: RecordPred = Arc::new(move |r: &Record| {
                 r[0] == Value::Int(a) && r[1] == Value::Int(b)
             });
             RetrievalRequest {
                 table: &f.table,
+                cost: f.table.pool().cost().clone(),
                 indexes: vec![
                     IndexChoice::fetch_needed(&f.indexes[0], KeyRange::eq(a)),
                     IndexChoice::fetch_needed(&f.indexes[1], KeyRange::eq(b)),
@@ -72,11 +73,12 @@ fn fast_first() {
     let mut rows = Vec::new();
     for limit in [Some(1), Some(5), Some(25), None] {
         let request = |goal: OptimizeGoal| -> RetrievalRequest<'_> {
-            let residual: RecordPred = Rc::new(move |r: &Record| {
+            let residual: RecordPred = Arc::new(move |r: &Record| {
                 r[0] == Value::Int(1) && r[1] == Value::Int(1)
             });
             RetrievalRequest {
                 table: &f.table,
+                cost: f.table.pool().cost().clone(),
                 indexes: vec![
                     IndexChoice::fetch_needed(&f.indexes[0], KeyRange::eq(1)),
                     IndexChoice::fetch_needed(&f.indexes[1], KeyRange::eq(1)),
@@ -132,7 +134,7 @@ fn sorted() {
         // order by id; restriction c0 < sel (selective for small sel).
         let request = |with_bgr: bool| -> RetrievalRequest<'_> {
             let residual: RecordPred =
-                Rc::new(move |r: &Record| r[0].as_i64().unwrap() < sel);
+                Arc::new(move |r: &Record| r[0].as_i64().unwrap() < sel);
             let mut indexes = vec![
                 IndexChoice::fetch_needed(&f.indexes[2], KeyRange::all()).with_order(),
             ];
@@ -144,6 +146,7 @@ fn sorted() {
             }
             RetrievalRequest {
                 table: &f.table,
+                cost: f.table.pool().cost().clone(),
                 indexes,
                 residual,
                 goal: OptimizeGoal::FastFirst,
@@ -192,7 +195,7 @@ fn index_only() {
         64,
     );
     let mut scan = f.table.scan();
-    while let Some((rid, record)) = scan.next(&f.table).unwrap() {
+    while let Some((rid, record)) = scan.next(&f.table, f.table.pool().cost()).unwrap() {
         covering.insert(vec![record[0].clone(), record[1].clone()], rid);
     }
 
@@ -212,14 +215,14 @@ fn index_only() {
     ] {
         let request = || -> RetrievalRequest<'_> {
             let kp: KeyPred = if prefix_bound {
-                Rc::new(move |k: &[Value]| k[0] == Value::Int(1) && k[1] == Value::Int(1))
+                Arc::new(move |k: &[Value]| k[0] == Value::Int(1) && k[1] == Value::Int(1))
             } else {
-                Rc::new(move |k: &[Value]| k[1] == Value::Int(1))
+                Arc::new(move |k: &[Value]| k[1] == Value::Int(1))
             };
             let residual: RecordPred = if prefix_bound {
-                Rc::new(move |r: &Record| r[0] == Value::Int(1) && r[1] == Value::Int(1))
+                Arc::new(move |r: &Record| r[0] == Value::Int(1) && r[1] == Value::Int(1))
             } else {
-                Rc::new(move |r: &Record| r[1] == Value::Int(1))
+                Arc::new(move |r: &Record| r[1] == Value::Int(1))
             };
             let sscan_range = if prefix_bound {
                 KeyRange {
@@ -242,6 +245,7 @@ fn index_only() {
             }
             RetrievalRequest {
                 table: &f.table,
+                cost: f.table.pool().cost().clone(),
                 indexes,
                 residual,
                 goal: OptimizeGoal::TotalTime,

@@ -15,7 +15,7 @@
 //! Run: `cargo run --release -p rdb-bench --bin trace_overhead`
 
 use std::process::ExitCode;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use rdb_core::{TraceEvent, TraceSink};
@@ -63,7 +63,7 @@ fn batch(db: &Db, opts: &QueryOptions) -> (usize, f64) {
 /// ratio-of-minima statistic is hostage to.
 fn measure(db: &Db) -> (f64, f64, f64) {
     let untraced = QueryOptions::new();
-    let traced = QueryOptions::new().with_trace(Rc::new(NoopSink));
+    let traced = QueryOptions::new().with_trace(Arc::new(NoopSink));
     // Warm the pool and the allocator before timing anything.
     let (expect, _) = batch(db, &untraced);
     let (_, _) = batch(db, &traced);

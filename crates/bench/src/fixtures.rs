@@ -67,7 +67,7 @@ impl JscanFixture {
 
     /// Evicts the cache (cold-start each measured run).
     pub fn cold(&self) {
-        self.table.pool().borrow_mut().clear();
+        self.table.pool().clear();
     }
 
     /// Ground-truth ids for a predicate over `(c0.., id)`.

@@ -16,6 +16,8 @@
 //! entirely inside one leaf the count is **exact** — the property the
 //! paper's OLTP shortcut path relies on.
 
+use rdb_storage::CostMeter;
+
 use crate::key::KeyRange;
 use crate::node::Node;
 use crate::tree::BTree;
@@ -49,9 +51,9 @@ impl RangeEstimate {
 
 impl BTree {
     /// Estimates the number of entries in `range` using the paper's
-    /// descent-to-split-node method. Charges the descent path.
-    pub fn estimate_range(&self, range: &KeyRange) -> RangeEstimate {
-        self.estimate_with(range, false)
+    /// descent-to-split-node method. Charges the descent path to `cost`.
+    pub fn estimate_range(&self, range: &KeyRange, cost: &CostMeter) -> RangeEstimate {
+        self.estimate_with(range, false, cost)
     }
 
     /// Variant of [`BTree::estimate_range`] that uses the maintained
@@ -59,11 +61,11 @@ impl BTree {
     /// contribute their exact counts and the two edge children half each.
     /// Same descent, same cost, better precision — an ablation of how much
     /// of the estimation error comes from the average-fanout assumption.
-    pub fn estimate_range_counted(&self, range: &KeyRange) -> RangeEstimate {
-        self.estimate_with(range, true)
+    pub fn estimate_range_counted(&self, range: &KeyRange, cost: &CostMeter) -> RangeEstimate {
+        self.estimate_with(range, true, cost)
     }
 
-    fn estimate_with(&self, range: &KeyRange, use_counts: bool) -> RangeEstimate {
+    fn estimate_with(&self, range: &KeyRange, use_counts: bool, cost: &CostMeter) -> RangeEstimate {
         if range.is_trivially_empty() || self.is_empty() {
             return RangeEstimate::exact_count(0, 0);
         }
@@ -72,7 +74,7 @@ impl BTree {
         let mut level = self.height();
         let mut visited = 0u32;
         loop {
-            self.touch(id);
+            self.touch(id, cost);
             visited += 1;
             match self.node(id) {
                 Node::Leaf(leaf) => {
@@ -138,13 +140,14 @@ impl BTree {
         range: &crate::key::KeyRange,
         samples: usize,
         rng: &mut R,
+        cost: &CostMeter,
     ) -> RangeEstimate {
-        let descent = self.estimate_range(range);
+        let descent = self.estimate_range(range, cost);
         if descent.exact || samples == 0 {
             return descent;
         }
         let mut sampler = crate::sample::Sampler::new(self, crate::sample::SampleMethod::Ranked);
-        let Some(fraction) = sampler.estimate_selectivity(samples, rng, |key, _| {
+        let Some(fraction) = sampler.estimate_selectivity(samples, rng, cost, |key, _| {
             range.contains(key)
         }) else {
             return descent;
@@ -162,24 +165,25 @@ impl BTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId, Rid, Value};
+    use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId, Rid, SharedCost, Value};
 
-    fn tree(fanout: usize, n: i64) -> BTree {
-        let pool = shared_pool(10_000, shared_meter(CostConfig::default()));
+    fn tree(fanout: usize, n: i64) -> (BTree, SharedCost) {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(10_000, cost.clone());
         let mut t = BTree::new("idx", FileId(1), pool, vec![0], fanout);
         for i in 0..n {
             t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
         }
-        t
+        (t, cost)
     }
 
     #[test]
     fn empty_range_detected_exactly() {
-        let t = tree(4, 1000);
-        let est = t.estimate_range(&KeyRange::closed(5000, 6000));
+        let (t, cost) = tree(4, 1000);
+        let est = t.estimate_range(&KeyRange::closed(5000, 6000), &cost);
         assert!(est.exact);
         assert_eq!(est.estimate, 0.0);
-        let est2 = t.estimate_range(&KeyRange::closed(10, 5));
+        let est2 = t.estimate_range(&KeyRange::closed(10, 5), &cost);
         assert!(est2.exact);
         assert_eq!(est2.estimate, 0.0);
         assert_eq!(est2.nodes_visited, 0, "trivially empty costs nothing");
@@ -187,9 +191,9 @@ mod tests {
 
     #[test]
     fn tiny_range_exact_when_inside_one_leaf() {
-        let t = tree(8, 10_000);
+        let (t, cost) = tree(8, 10_000);
         // A 1-key range almost always sits inside a single leaf.
-        let est = t.estimate_range(&KeyRange::eq(1234));
+        let est = t.estimate_range(&KeyRange::eq(1234), &cost);
         assert!(est.estimate >= 1.0);
         if est.exact {
             assert_eq!(est.estimate, 1.0);
@@ -198,11 +202,11 @@ mod tests {
 
     #[test]
     fn estimate_tracks_true_count_within_factor() {
-        let t = tree(8, 50_000);
+        let (t, cost) = tree(8, 50_000);
         for (lo, hi) in [(0, 499), (1000, 8999), (20_000, 49_999), (100, 120)] {
             let r = KeyRange::closed(lo, hi);
             let truth = (hi - lo + 1) as f64;
-            let est = t.estimate_range(&r).estimate.max(1.0);
+            let est = t.estimate_range(&r, &cost).estimate.max(1.0);
             let ratio = est / truth;
             assert!(
                 (0.2..=5.0).contains(&ratio),
@@ -216,11 +220,11 @@ mod tests {
         // On a range spanning many children of the split node, the counted
         // variant sums real subtree counts and lands within ~1 child of the
         // truth; the plain k·f^(l−1) formula can drift much further.
-        let t = tree(8, 50_000);
+        let (t, cost) = tree(8, 50_000);
         for (lo, hi) in [(0, 49_999), (5000, 44_999), (1000, 30_000)] {
             let truth = (hi - lo + 1) as f64;
             let counted = t
-                .estimate_range_counted(&KeyRange::closed(lo, hi))
+                .estimate_range_counted(&KeyRange::closed(lo, hi), &cost)
                 .estimate;
             let rel = (counted - truth).abs() / truth;
             assert!(
@@ -232,8 +236,8 @@ mod tests {
 
     #[test]
     fn descent_cost_is_at_most_height() {
-        let t = tree(4, 10_000);
-        let est = t.estimate_range(&KeyRange::closed(100, 5000));
+        let (t, cost) = tree(4, 10_000);
+        let est = t.estimate_range(&KeyRange::closed(100, 5000), &cost);
         assert!(est.nodes_visited <= t.height());
     }
 
@@ -242,9 +246,9 @@ mod tests {
         // Figure 5's example: split at level 2 with k=1 and f=3 estimates 3.
         // We verify the formula structurally: any estimate from an internal
         // split node at level l must equal k · f^(l−1).
-        let t = tree(4, 10_000);
+        let (t, cost) = tree(4, 10_000);
         let r = KeyRange::closed(3000, 3100);
-        let est = t.estimate_range(&r);
+        let est = t.estimate_range(&r, &cost);
         if !est.exact {
             let f = t.avg_fanout();
             let expect = est.k as f64 * f.powi(est.split_level as i32 - 1);
@@ -258,11 +262,11 @@ mod tests {
         use rand::SeedableRng;
         // The full-range case: the descent formula underestimates when the
         // root has few children; sampling recovers the truth.
-        let t = tree(8, 50_000);
+        let (t, cost) = tree(8, 50_000);
         let r = KeyRange::closed(0, 49_999);
-        let descent = t.estimate_range(&r);
+        let descent = t.estimate_range(&r, &cost);
         let mut rng = StdRng::seed_from_u64(5);
-        let sampled = t.estimate_range_sampled(&r, 400, &mut rng);
+        let sampled = t.estimate_range_sampled(&r, 400, &mut rng, &cost);
         let truth = 50_000.0;
         let descent_err = (descent.estimate - truth).abs() / truth;
         let sampled_err = (sampled.estimate - truth).abs() / truth;
@@ -278,17 +282,17 @@ mod tests {
     fn sampled_estimate_keeps_exact_results() {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
-        let t = tree(8, 1000);
+        let (t, cost) = tree(8, 1000);
         let mut rng = StdRng::seed_from_u64(1);
-        let est = t.estimate_range_sampled(&KeyRange::closed(5000, 6000), 100, &mut rng);
+        let est = t.estimate_range_sampled(&KeyRange::closed(5000, 6000), 100, &mut rng, &cost);
         assert!(est.exact);
         assert_eq!(est.estimate, 0.0);
     }
 
     #[test]
     fn full_range_estimates_near_cardinality() {
-        let t = tree(16, 100_000);
-        let est = t.estimate_range(&KeyRange::all());
+        let (t, cost) = tree(16, 100_000);
+        let est = t.estimate_range(&KeyRange::all(), &cost);
         let ratio = est.estimate / 100_000.0;
         assert!(
             (0.3..=3.0).contains(&ratio),

@@ -18,7 +18,7 @@
 //! Estimation assumes uniformity inside a bucket — the assumption that
 //! breaks for ranges narrower than a bucket.
 
-use rdb_storage::Value;
+use rdb_storage::{CostMeter, Value};
 
 use crate::key::{KeyBound, KeyRange};
 use crate::tree::BTree;
@@ -38,9 +38,9 @@ pub struct Histogram {
 
 impl Histogram {
     /// Builds an equi-width histogram by scanning the index leaves (the
-    /// "costly data rescan"; charged to the pool like any scan).
-    pub fn equi_width(tree: &BTree, buckets: usize) -> Option<Histogram> {
-        let values = collect_numeric(tree)?;
+    /// "costly data rescan"; charged to `cost` like any scan).
+    pub fn equi_width(tree: &BTree, buckets: usize, cost: &CostMeter) -> Option<Histogram> {
+        let values = collect_numeric(tree, cost)?;
         let (&lo, &hi) = (values.first()?, values.last()?);
         let width = ((hi - lo) / buckets as f64).max(f64::MIN_POSITIVE);
         let mut bounds = Vec::with_capacity(buckets + 1);
@@ -60,8 +60,8 @@ impl Histogram {
     }
 
     /// Builds an equi-depth histogram (equal-count buckets).
-    pub fn equi_depth(tree: &BTree, buckets: usize) -> Option<Histogram> {
-        let values = collect_numeric(tree)?;
+    pub fn equi_depth(tree: &BTree, buckets: usize, cost: &CostMeter) -> Option<Histogram> {
+        let values = collect_numeric(tree, cost)?;
         let n = values.len();
         if n == 0 {
             return None;
@@ -130,12 +130,12 @@ impl Histogram {
     }
 }
 
-fn collect_numeric(tree: &BTree) -> Option<Vec<f64>> {
+fn collect_numeric(tree: &BTree, cost: &CostMeter) -> Option<Vec<f64>> {
     let mut values = Vec::with_capacity(tree.len() as usize);
     // Histogram construction is catalog work done at load time, before any
     // fault campaign arms the pool; a fault here is a harness bug.
-    let mut scan = tree.range_scan(KeyRange::all());
-    while let Some((key, _)) = scan.next(tree).expect("histogram build read failed") {
+    let mut scan = tree.range_scan(KeyRange::all(), cost);
+    while let Some((key, _)) = scan.next(tree, cost).expect("histogram build read failed") {
         values.push(key[0].as_f64()?);
     }
     // Leaf order is key order: already sorted.
@@ -154,21 +154,22 @@ mod tests {
     use super::*;
     use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId, Rid};
 
-    fn tree(n: i64) -> BTree {
-        let pool = shared_pool(100_000, shared_meter(CostConfig::default()));
+    fn tree(n: i64) -> (BTree, rdb_storage::SharedCost) {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(100_000, cost.clone());
         let mut t = BTree::new("idx", FileId(1), pool, vec![0], 32);
         for i in 0..n {
             t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
         }
-        t
+        (t, cost)
     }
 
     #[test]
     fn wide_ranges_estimated_well() {
-        let t = tree(10_000);
+        let (t, cost) = tree(10_000);
         for h in [
-            Histogram::equi_width(&t, 50).unwrap(),
-            Histogram::equi_depth(&t, 50).unwrap(),
+            Histogram::equi_width(&t, 50, &cost).unwrap(),
+            Histogram::equi_depth(&t, 50, &cost).unwrap(),
         ] {
             let est = h.estimate_range(&KeyRange::closed(2000, 6999));
             let truth = 5000.0;
@@ -185,7 +186,8 @@ mod tests {
         // estimated from uniformity (≈3) — but so is a 0-key gap range
         // (≈ the same!), and neither is *detected*: the histogram cannot
         // distinguish empty from tiny, which descent-to-split does exactly.
-        let pool = shared_pool(100_000, shared_meter(CostConfig::default()));
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(100_000, cost.clone());
         let mut t = BTree::new("idx", FileId(1), pool, vec![0], 32);
         // Keys 0..5000 with a hole at [2000, 2999].
         for i in (0..2000).chain(3000..6000) {
@@ -193,13 +195,13 @@ mod tests {
         }
         // 1200-wide buckets: the 1000-key hole falls below granularity and
         // gets averaged with its bucket's live keys.
-        let h = Histogram::equi_width(&t, 5).unwrap();
+        let h = Histogram::equi_width(&t, 5, &cost).unwrap();
         let hole = h.estimate_range(&KeyRange::closed(2100, 2102));
         assert!(
             hole > 0.5,
             "histogram hallucinates rows in the hole: {hole} (cannot detect empty)"
         );
-        let descent = t.estimate_range(&KeyRange::closed(2100, 2102));
+        let descent = t.estimate_range(&KeyRange::closed(2100, 2102), &cost);
         assert_eq!(descent.estimate, 0.0, "descent detects the empty range");
         assert!(descent.exact);
     }
@@ -207,7 +209,8 @@ mod tests {
     #[test]
     fn equi_depth_handles_skew_better_than_equi_width() {
         // 90% of keys are in [0, 10); a long sparse tail reaches 10_000.
-        let pool = shared_pool(100_000, shared_meter(CostConfig::default()));
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(100_000, cost.clone());
         let mut t = BTree::new("idx", FileId(1), pool, vec![0], 32);
         let mut rid = 0u32;
         for i in 0..9000 {
@@ -219,8 +222,8 @@ mod tests {
             rid += 1;
         }
         let truth = 9000.0; // keys < 10
-        let ew = Histogram::equi_width(&t, 20).unwrap();
-        let ed = Histogram::equi_depth(&t, 20).unwrap();
+        let ew = Histogram::equi_width(&t, 20, &cost).unwrap();
+        let ed = Histogram::equi_depth(&t, 20, &cost).unwrap();
         let r = KeyRange::at_most(9);
         let err_w = (ew.estimate_range(&r) - truth).abs() / truth;
         let err_d = (ed.estimate_range(&r) - truth).abs() / truth;
@@ -232,8 +235,8 @@ mod tests {
 
     #[test]
     fn histogram_goes_stale_descent_does_not() {
-        let mut t = tree(1000);
-        let h = Histogram::equi_width(&t, 10).unwrap();
+        let (mut t, cost) = tree(1000);
+        let h = Histogram::equi_width(&t, 10, &cost).unwrap();
         // Insert a thousand new keys after the histogram was built.
         for i in 1000..2000 {
             t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
@@ -243,7 +246,7 @@ mod tests {
             h.estimate_range(&r) < 10.0,
             "stale histogram misses the new data"
         );
-        let d = t.estimate_range(&r);
+        let d = t.estimate_range(&r, &cost);
         assert!(
             d.estimate > 300.0,
             "descent sees fresh data: {}",
@@ -253,13 +256,12 @@ mod tests {
 
     #[test]
     fn histogram_build_charges_a_full_scan() {
-        let t = tree(5000);
-        let cost = { t.pool().borrow().cost().clone() };
+        let (t, cost) = tree(5000);
         let before = cost.total();
-        let _ = Histogram::equi_width(&t, 20).unwrap();
+        let _ = Histogram::equi_width(&t, 20, &cost).unwrap();
         let build_cost = cost.total() - before;
         let before = cost.total();
-        let _ = t.estimate_range(&KeyRange::closed(10, 20));
+        let _ = t.estimate_range(&KeyRange::closed(10, 20), &cost);
         let descent_cost = cost.total() - before;
         assert!(
             build_cost > 20.0 * descent_cost.max(0.01),

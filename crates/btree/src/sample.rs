@@ -22,7 +22,7 @@
 
 use rand::Rng;
 
-use rdb_storage::{Rid, Value};
+use rdb_storage::{CostMeter, Rid, Value};
 
 use crate::node::Node;
 use crate::tree::BTree;
@@ -62,19 +62,25 @@ impl<'a> Sampler<'a> {
     }
 
     /// Draws one uniformly random entry, or `None` if the tree is empty.
-    pub fn sample<R: Rng>(&mut self, rng: &mut R) -> Option<(Vec<Value>, Rid)> {
+    /// Descent pages are charged to `cost`.
+    pub fn sample<R: Rng>(&mut self, rng: &mut R, cost: &CostMeter) -> Option<(Vec<Value>, Rid)> {
         if self.tree.is_empty() {
             return None;
         }
         match self.method {
-            SampleMethod::Ranked => Some(self.sample_ranked(rng)),
-            SampleMethod::AcceptReject => Some(self.sample_accept_reject(rng)),
+            SampleMethod::Ranked => Some(self.sample_ranked(rng, cost)),
+            SampleMethod::AcceptReject => Some(self.sample_accept_reject(rng, cost)),
         }
     }
 
     /// Draws `n` entries with replacement.
-    pub fn sample_n<R: Rng>(&mut self, n: usize, rng: &mut R) -> Vec<(Vec<Value>, Rid)> {
-        (0..n).filter_map(|_| self.sample(rng)).collect()
+    pub fn sample_n<R: Rng>(
+        &mut self,
+        n: usize,
+        rng: &mut R,
+        cost: &CostMeter,
+    ) -> Vec<(Vec<Value>, Rid)> {
+        (0..n).filter_map(|_| self.sample(rng, cost)).collect()
     }
 
     /// Estimates the selectivity of an arbitrary entry predicate from `n`
@@ -84,6 +90,7 @@ impl<'a> Sampler<'a> {
         &mut self,
         n: usize,
         rng: &mut R,
+        cost: &CostMeter,
         mut pred: impl FnMut(&[Value], Rid) -> bool,
     ) -> Option<f64> {
         if self.tree.is_empty() || n == 0 {
@@ -91,7 +98,7 @@ impl<'a> Sampler<'a> {
         }
         let mut hits = 0usize;
         for _ in 0..n {
-            let (key, rid) = self.sample(rng)?;
+            let (key, rid) = self.sample(rng, cost)?;
             if pred(&key, rid) {
                 hits += 1;
             }
@@ -99,11 +106,11 @@ impl<'a> Sampler<'a> {
         Some(hits as f64 / n as f64)
     }
 
-    fn sample_ranked<R: Rng>(&mut self, rng: &mut R) -> (Vec<Value>, Rid) {
+    fn sample_ranked<R: Rng>(&mut self, rng: &mut R, cost: &CostMeter) -> (Vec<Value>, Rid) {
         self.descents += 1;
         let mut id = self.tree.root;
         loop {
-            self.tree.touch(id);
+            self.tree.touch(id, cost);
             match self.tree.node(id) {
                 Node::Internal(node) => {
                     let total = node.total_count();
@@ -127,14 +134,14 @@ impl<'a> Sampler<'a> {
         }
     }
 
-    fn sample_accept_reject<R: Rng>(&mut self, rng: &mut R) -> (Vec<Value>, Rid) {
+    fn sample_accept_reject<R: Rng>(&mut self, rng: &mut R, cost: &CostMeter) -> (Vec<Value>, Rid) {
         let fanout_max = self.tree.max_fanout() as f64;
         loop {
             self.descents += 1;
             let mut id = self.tree.root;
             let mut accept_prob = 1.0f64;
             loop {
-                self.tree.touch(id);
+                self.tree.touch(id, cost);
                 match self.tree.node(id) {
                     Node::Internal(node) => {
                         accept_prob *= node.children.len() as f64 / fanout_max;
@@ -164,20 +171,21 @@ mod tests {
     use rand::SeedableRng;
     use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId};
 
-    fn tree(n: i64) -> BTree {
-        let pool = shared_pool(100_000, shared_meter(CostConfig::default()));
+    fn tree(n: i64) -> (BTree, rdb_storage::SharedCost) {
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(100_000, cost.clone());
         let mut t = BTree::new("idx", FileId(1), pool, vec![0], 8);
         for i in 0..n {
             t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
         }
-        t
+        (t, cost)
     }
 
     fn uniformity_check(method: SampleMethod) {
-        let t = tree(1000);
+        let (t, cost) = tree(1000);
         let mut rng = StdRng::seed_from_u64(7);
         let mut s = Sampler::new(&t, method);
-        let samples = s.sample_n(20_000, &mut rng);
+        let samples = s.sample_n(20_000, &mut rng, &cost);
         assert_eq!(samples.len(), 20_000);
         // Bucket into deciles; each should get ~2000 draws.
         let mut buckets = [0u32; 10];
@@ -205,12 +213,12 @@ mod tests {
 
     #[test]
     fn ranked_needs_fewer_descents_than_accept_reject() {
-        let t = tree(5000);
+        let (t, cost) = tree(5000);
         let mut rng = StdRng::seed_from_u64(3);
         let mut ranked = Sampler::new(&t, SampleMethod::Ranked);
-        ranked.sample_n(500, &mut rng);
+        ranked.sample_n(500, &mut rng, &cost);
         let mut ar = Sampler::new(&t, SampleMethod::AcceptReject);
-        ar.sample_n(500, &mut rng);
+        ar.sample_n(500, &mut rng, &cost);
         assert_eq!(ranked.descents(), 500, "ranked never rejects");
         assert!(
             ar.descents() > ranked.descents(),
@@ -222,29 +230,32 @@ mod tests {
 
     #[test]
     fn selectivity_estimate_close_to_truth() {
-        let t = tree(2000);
+        let (t, cost) = tree(2000);
         let mut rng = StdRng::seed_from_u64(11);
         let mut s = Sampler::new(&t, SampleMethod::Ranked);
         // True selectivity of "key < 500" is 0.25.
         let est = s
-            .estimate_selectivity(4000, &mut rng, |k, _| k[0].as_i64().unwrap() < 500)
+            .estimate_selectivity(4000, &mut rng, &cost, |k, _| k[0].as_i64().unwrap() < 500)
             .unwrap();
         assert!((est - 0.25).abs() < 0.05, "estimate {est} too far from 0.25");
     }
 
     #[test]
     fn empty_tree_yields_none() {
-        let t = tree(0);
+        let (t, cost) = tree(0);
         let mut rng = StdRng::seed_from_u64(0);
         let mut s = Sampler::new(&t, SampleMethod::Ranked);
-        assert!(s.sample(&mut rng).is_none());
-        assert!(s.estimate_selectivity(10, &mut rng, |_, _| true).is_none());
+        assert!(s.sample(&mut rng, &cost).is_none());
+        assert!(s
+            .estimate_selectivity(10, &mut rng, &cost, |_, _| true)
+            .is_none());
     }
 
     #[test]
     fn skewed_duplicates_sampled_proportionally() {
         // 90% of entries share key 0; sampling must reflect that mass.
-        let pool = shared_pool(100_000, shared_meter(CostConfig::default()));
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(100_000, cost.clone());
         let mut t = BTree::new("idx", FileId(1), pool, vec![0], 8);
         for i in 0..900u32 {
             t.insert(vec![Value::Int(0)], Rid::new(i, 0));
@@ -255,7 +266,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut s = Sampler::new(&t, SampleMethod::Ranked);
         let est = s
-            .estimate_selectivity(5000, &mut rng, |k, _| k[0] == Value::Int(0))
+            .estimate_selectivity(5000, &mut rng, &cost, |k, _| k[0] == Value::Int(0))
             .unwrap();
         assert!((est - 0.9).abs() < 0.03, "skew estimate {est}");
     }

@@ -14,7 +14,7 @@
 //! returned by the first [`RangeScan::next`] call. After any error the
 //! cursor is dead (`next` returns `Ok(None)` thereafter).
 
-use rdb_storage::{Rid, StorageError, Value};
+use rdb_storage::{CostMeter, Rid, StorageError, Value};
 
 use crate::key::KeyRange;
 use crate::node::{Node, NodeId};
@@ -37,7 +37,7 @@ impl RangeScan {
     /// Descends to the first leaf that can contain entries in `range`,
     /// charging the descent path. A fault during the descent is deferred
     /// to the first [`RangeScan::next`] call.
-    pub(crate) fn open(tree: &BTree, range: KeyRange) -> RangeScan {
+    pub(crate) fn open(tree: &BTree, range: KeyRange, cost: &CostMeter) -> RangeScan {
         if range.is_trivially_empty() || tree.is_empty() {
             return RangeScan {
                 range,
@@ -50,7 +50,7 @@ impl RangeScan {
         }
         let mut id = tree.root;
         loop {
-            if let Err(e) = tree.try_touch(id) {
+            if let Err(e) = tree.try_touch(id, cost) {
                 return RangeScan {
                     range,
                     leaf: None,
@@ -73,7 +73,7 @@ impl RangeScan {
                     let pos = leaf
                         .entries
                         .partition_point(|e| !range.satisfies_lo(&e.key));
-                    tree.charge_entries(pos as u64);
+                    tree.charge_entries(pos as u64, cost);
                     return RangeScan {
                         range,
                         leaf: Some(id),
@@ -100,7 +100,11 @@ impl RangeScan {
 
     /// Next entry in key order, `Ok(None)` at the end of the range, or
     /// `Err` if a storage fault killed the scan (the cursor is then dead).
-    pub fn next(&mut self, tree: &BTree) -> Result<Option<(Vec<Value>, Rid)>, StorageError> {
+    pub fn next(
+        &mut self,
+        tree: &BTree,
+        cost: &CostMeter,
+    ) -> Result<Option<(Vec<Value>, Rid)>, StorageError> {
         if let Some(e) = self.pending_err.take() {
             self.done = true;
             return Err(e);
@@ -117,7 +121,7 @@ impl RangeScan {
                 }
             };
             if !self.entered_leaf {
-                if let Err(e) = tree.try_touch(leaf_id) {
+                if let Err(e) = tree.try_touch(leaf_id, cost) {
                     self.done = true;
                     return Err(e);
                 }
@@ -127,7 +131,7 @@ impl RangeScan {
             if self.pos < leaf.entries.len() {
                 let entry = &leaf.entries[self.pos];
                 self.pos += 1;
-                tree.charge_entries(1);
+                tree.charge_entries(1, cost);
                 if !self.range.satisfies_hi(&entry.key) {
                     self.done = true;
                     return Ok(None);
@@ -168,7 +172,7 @@ impl RangeScanRev {
     /// Descends to the last leaf that can contain entries in `range`,
     /// charging the descent path. A fault during the descent is deferred
     /// to the first [`RangeScanRev::next`] call.
-    pub(crate) fn open(tree: &BTree, range: KeyRange) -> RangeScanRev {
+    pub(crate) fn open(tree: &BTree, range: KeyRange, cost: &CostMeter) -> RangeScanRev {
         if range.is_trivially_empty() || tree.is_empty() {
             return RangeScanRev {
                 range,
@@ -180,7 +184,7 @@ impl RangeScanRev {
         }
         let mut id = tree.root;
         loop {
-            if let Err(e) = tree.try_touch(id) {
+            if let Err(e) = tree.try_touch(id, cost) {
                 return RangeScanRev {
                     range,
                     leaf: None,
@@ -219,7 +223,11 @@ impl RangeScanRev {
 
     /// Next entry in reverse key order, `Ok(None)` at the start of the
     /// range, or `Err` if a storage fault killed the scan.
-    pub fn next(&mut self, tree: &BTree) -> Result<Option<(Vec<Value>, Rid)>, StorageError> {
+    pub fn next(
+        &mut self,
+        tree: &BTree,
+        cost: &CostMeter,
+    ) -> Result<Option<(Vec<Value>, Rid)>, StorageError> {
         if let Some(e) = self.pending_err.take() {
             self.done = true;
             return Err(e);
@@ -239,7 +247,7 @@ impl RangeScanRev {
             if self.pos_plus_one > 0 {
                 let entry = &leaf.entries[self.pos_plus_one - 1];
                 self.pos_plus_one -= 1;
-                tree.charge_entries(1);
+                tree.charge_entries(1, cost);
                 if !self.range.satisfies_lo(&entry.key) {
                     self.done = true;
                     return Ok(None);
@@ -255,7 +263,7 @@ impl RangeScanRev {
                 return Ok(None);
             };
             let target = first.clone();
-            let prev = match tree.predecessor_leaf(&target) {
+            let prev = match tree.predecessor_leaf(&target, cost) {
                 Ok(p) => p,
                 Err(e) => {
                     self.done = true;
@@ -293,7 +301,8 @@ mod tests {
     }
 
     fn scan_keys(t: &BTree, r: KeyRange) -> Vec<i64> {
-        t.range_to_vec(r)
+        let cost = t.pool().cost().clone();
+        t.range_to_vec(r, &cost)
             .into_iter()
             .map(|(k, _)| k[0].as_i64().unwrap())
             .collect()
@@ -349,9 +358,10 @@ mod tests {
     }
 
     fn scan_keys_rev(t: &BTree, r: KeyRange) -> Vec<i64> {
-        let mut scan = t.range_scan_rev(r);
+        let cost = t.pool().cost().clone();
+        let mut scan = t.range_scan_rev(r, &cost);
         let mut out = Vec::new();
-        while let Some((k, _)) = scan.next(t).unwrap() {
+        while let Some((k, _)) = scan.next(t, &cost).unwrap() {
             out.push(k[0].as_i64().unwrap());
         }
         out
@@ -392,19 +402,20 @@ mod tests {
 
     #[test]
     fn reverse_scan_duplicates_and_resume() {
-        let pool = shared_pool(10_000, shared_meter(CostConfig::default()));
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(10_000, cost.clone());
         let mut t = BTree::new("idx", FileId(1), pool, vec![0], 4);
         for i in 0..60u32 {
             t.insert(vec![Value::Int(i64::from(i % 6))], Rid::new(i, 0));
         }
-        let mut scan = t.range_scan_rev(KeyRange::closed(2, 4));
+        let mut scan = t.range_scan_rev(KeyRange::closed(2, 4), &cost);
         let mut first = Vec::new();
         for _ in 0..10 {
-            first.push(scan.next(&t).unwrap().unwrap().0[0].as_i64().unwrap());
+            first.push(scan.next(&t, &cost).unwrap().unwrap().0[0].as_i64().unwrap());
         }
         // Park and resume across leaf boundaries.
         let mut rest = Vec::new();
-        while let Some((k, _)) = scan.next(&t).unwrap() {
+        while let Some((k, _)) = scan.next(&t, &cost).unwrap() {
             rest.push(k[0].as_i64().unwrap());
         }
         first.extend(rest);
@@ -415,14 +426,15 @@ mod tests {
     #[test]
     fn scan_is_resumable_mid_stream() {
         let t = tree(0..100);
-        let mut scan = t.range_scan(KeyRange::closed(10, 90));
+        let cost = t.pool().cost().clone();
+        let mut scan = t.range_scan(KeyRange::closed(10, 90), &cost);
         let mut first_half = Vec::new();
         for _ in 0..40 {
-            first_half.push(scan.next(&t).unwrap().unwrap().0[0].as_i64().unwrap());
+            first_half.push(scan.next(&t, &cost).unwrap().unwrap().0[0].as_i64().unwrap());
         }
         // "Park" the cursor, then resume.
         let mut rest = Vec::new();
-        while let Some((k, _)) = scan.next(&t).unwrap() {
+        while let Some((k, _)) = scan.next(&t, &cost).unwrap() {
             rest.push(k[0].as_i64().unwrap());
         }
         first_half.extend(rest);
@@ -438,10 +450,10 @@ mod tests {
             t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
         }
         let before = cost.total();
-        t.range_to_vec(KeyRange::closed(0, 9));
+        t.range_to_vec(KeyRange::closed(0, 9), &cost);
         let small = cost.total() - before;
         let before = cost.total();
-        t.range_to_vec(KeyRange::closed(0, 4999));
+        t.range_to_vec(KeyRange::closed(0, 4999), &cost);
         let large = cost.total() - before;
         assert!(
             large > small * 5.0,
@@ -451,7 +463,8 @@ mod tests {
 
     #[test]
     fn multi_column_prefix_scan() {
-        let pool = shared_pool(1000, shared_meter(CostConfig::default()));
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(1000, cost.clone());
         let mut t = BTree::new("idx", FileId(1), pool, vec![0, 1], 4);
         for a in 0..10i64 {
             for b in 0..10i64 {
@@ -466,7 +479,7 @@ mod tests {
             lo: KeyBound::Inclusive(vec![Value::Int(3)]),
             hi: KeyBound::Inclusive(vec![Value::Int(3)]),
         };
-        let entries = t.range_to_vec(r);
+        let entries = t.range_to_vec(r, &cost);
         assert_eq!(entries.len(), 10);
         assert!(entries.iter().all(|(k, _)| k[0] == Value::Int(3)));
         // Full two-column bound.
@@ -474,7 +487,7 @@ mod tests {
             lo: KeyBound::Inclusive(vec![Value::Int(3), Value::Int(4)]),
             hi: KeyBound::Inclusive(vec![Value::Int(3), Value::Int(6)]),
         };
-        let entries2 = t.range_to_vec(r2);
+        let entries2 = t.range_to_vec(r2, &cost);
         assert_eq!(entries2.len(), 3);
     }
 
@@ -488,16 +501,15 @@ mod tests {
         }
         // Fail the very first index-page read: the descent dies, but open
         // still returns a cursor; the error surfaces on next().
-        pool.borrow_mut()
-            .set_fault_policy(Some(FaultPolicy::fail_from_nth(0).scoped_to(FileId(1))));
-        let mut scan = t.range_scan(KeyRange::all());
+        pool.set_fault_policy(Some(FaultPolicy::fail_from_nth(0).scoped_to(FileId(1))));
+        let mut scan = t.range_scan(KeyRange::all(), &cost);
         assert!(!scan.is_done());
-        let err = scan.next(&t).unwrap_err();
+        let err = scan.next(&t, &cost).unwrap_err();
         assert!(matches!(err, StorageError::InjectedFault { .. }));
         assert!(!err.is_benign_for_scan());
         // The cursor is dead, not wedged: subsequent calls yield Ok(None).
         assert!(scan.is_done());
-        assert_eq!(scan.next(&t).unwrap(), None);
+        assert_eq!(scan.next(&t, &cost).unwrap(), None);
     }
 
     #[test]
@@ -509,12 +521,11 @@ mod tests {
             t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
         }
         // Let the descent and a few leaves through, then kill the disk.
-        pool.borrow_mut()
-            .set_fault_policy(Some(FaultPolicy::fail_from_nth(10).scoped_to(FileId(1))));
-        let mut scan = t.range_scan(KeyRange::all());
+        pool.set_fault_policy(Some(FaultPolicy::fail_from_nth(10).scoped_to(FileId(1))));
+        let mut scan = t.range_scan(KeyRange::all(), &cost);
         let mut delivered = 0usize;
         let err = loop {
-            match scan.next(&t) {
+            match scan.next(&t, &cost) {
                 Ok(Some(_)) => delivered += 1,
                 Ok(None) => panic!("scan must die before finishing 500 entries"),
                 Err(e) => break e,
@@ -522,10 +533,10 @@ mod tests {
         };
         assert!(matches!(err, StorageError::InjectedFault { .. }));
         assert!(delivered > 0, "some entries must flow before the fault");
-        assert_eq!(scan.next(&t).unwrap(), None, "dead cursor stays dead");
+        assert_eq!(scan.next(&t, &cost).unwrap(), None, "dead cursor stays dead");
         // Disarm and rescan: everything is intact (no partial-state damage).
-        pool.borrow_mut().set_fault_policy(None);
-        assert_eq!(t.count_range(KeyRange::all()), 500);
+        pool.set_fault_policy(None);
+        assert_eq!(t.count_range(KeyRange::all(), &cost), 500);
     }
 
     #[test]
@@ -536,13 +547,12 @@ mod tests {
         for i in 0..300 {
             t.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
         }
-        pool.borrow_mut()
-            .set_fault_policy(Some(FaultPolicy::fail_from_nth(8).scoped_to(FileId(1))));
-        let mut scan = t.range_scan_rev(KeyRange::all());
+        pool.set_fault_policy(Some(FaultPolicy::fail_from_nth(8).scoped_to(FileId(1))));
+        let mut scan = t.range_scan_rev(KeyRange::all(), &cost);
         let mut delivered = 0usize;
         let mut saw_err = false;
         loop {
-            match scan.next(&t) {
+            match scan.next(&t, &cost) {
                 Ok(Some(_)) => delivered += 1,
                 Ok(None) => break,
                 Err(e) => {
@@ -554,6 +564,6 @@ mod tests {
         }
         assert!(saw_err, "reverse scan must hit the injected fault");
         assert!(delivered < 300);
-        assert_eq!(scan.next(&t).unwrap(), None);
+        assert_eq!(scan.next(&t, &cost).unwrap(), None);
     }
 }

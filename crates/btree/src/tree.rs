@@ -1,7 +1,7 @@
 //! The B+‑tree proper: construction, maintenance, and node access
 //! accounting.
 
-use rdb_storage::{FileId, PageId, Rid, SharedCost, SharedPool, StorageError, Value};
+use rdb_storage::{CostMeter, FileId, PageId, Rid, SharedPool, StorageError, Value};
 
 use crate::key::KeyRange;
 use crate::node::{Entry, InternalNode, LeafNode, Node, NodeId};
@@ -18,17 +18,16 @@ use crate::stats::IndexStats;
 ///   Real Rdb trees had fanouts in the hundreds; experiments often use
 ///   small fanouts to get tall trees with small data.
 ///
-/// Reads (lookups, scans, estimates, samples) charge the shared buffer
-/// pool; inserts and deletes are treated as load-time setup and charge
+/// Reads (lookups, scans, estimates, samples) charge the buffer pool and
+/// the **caller's** [`CostMeter`] — every charging entry point takes an
+/// explicit meter so concurrent sessions sharing one tree keep their own
+/// books. Inserts and deletes are treated as load-time setup and charge
 /// nothing, keeping retrieval experiments clean.
 #[derive(Debug)]
 pub struct BTree {
     name: String,
     file: FileId,
     pool: SharedPool,
-    /// The pool's meter, cached so entry-granular charges skip the
-    /// `RefCell` borrow of the pool.
-    cost: SharedCost,
     pub(crate) nodes: Vec<Node>,
     pub(crate) root: NodeId,
     max_fanout: usize,
@@ -51,12 +50,10 @@ impl BTree {
     ) -> Self {
         assert!(max_fanout >= 4, "max_fanout must be at least 4");
         assert!(!key_columns.is_empty(), "index needs at least one key column");
-        let cost = pool.borrow().cost().clone();
         BTree {
             name: name.into(),
             file,
             pool,
-            cost,
             nodes: vec![Node::Leaf(LeafNode {
                 entries: Vec::new(),
                 next: None,
@@ -110,30 +107,27 @@ impl BTree {
         &self.pool
     }
 
-    /// Charges one page access for visiting `node` (read path only).
+    /// Charges one page access for visiting `node` (read path only) to the
+    /// caller's meter.
     ///
     /// Infallible variant for planning-time reads (`contains`, catalog
     /// estimation): those model pinned metadata and are exempt from fault
     /// injection. Data scans go through [`BTree::try_touch`].
-    pub(crate) fn touch(&self, node: NodeId) {
-        self.pool
-            .borrow_mut()
-            .access(PageId::new(self.file, node));
+    pub(crate) fn touch(&self, node: NodeId, cost: &CostMeter) {
+        self.pool.access(PageId::new(self.file, node), cost);
     }
 
     /// Fallible page visit for scan paths: consults the pool's
     /// [`rdb_storage::FaultPolicy`] (if armed) before charging, so a
     /// simulated dead disk surfaces here as `Err` instead of a panic.
-    pub(crate) fn try_touch(&self, node: NodeId) -> Result<(), StorageError> {
-        self.pool
-            .borrow_mut()
-            .try_access(PageId::new(self.file, node))?;
+    pub(crate) fn try_touch(&self, node: NodeId, cost: &CostMeter) -> Result<(), StorageError> {
+        self.pool.try_access(PageId::new(self.file, node), cost)?;
         Ok(())
     }
 
-    /// Charges `n` index-entry visits.
-    pub(crate) fn charge_entries(&self, n: u64) {
-        self.cost.charge_index_entries(n);
+    /// Charges `n` index-entry visits to the caller's meter.
+    pub(crate) fn charge_entries(&self, n: u64, cost: &CostMeter) {
+        cost.charge_index_entries(n);
     }
 
     pub(crate) fn node(&self, id: NodeId) -> &Node {
@@ -368,11 +362,11 @@ impl BTree {
     }
 
     /// True iff the exact entry `(key, rid)` exists (charges the descent).
-    pub fn contains(&self, key: &[Value], rid: Rid) -> bool {
+    pub fn contains(&self, key: &[Value], rid: Rid, cost: &CostMeter) -> bool {
         let entry = Entry::new(key.to_vec(), rid);
         let mut id = self.root;
         loop {
-            self.touch(id);
+            self.touch(id, cost);
             match self.node(id) {
                 Node::Internal(i) => id = i.children[i.child_for(&entry)],
                 Node::Leaf(l) => {
@@ -389,30 +383,34 @@ impl BTree {
     }
 
     /// Opens a resumable scan over `range` (charges the initial descent).
-    pub fn range_scan(&self, range: KeyRange) -> RangeScan {
-        RangeScan::open(self, range)
+    pub fn range_scan(&self, range: KeyRange, cost: &CostMeter) -> RangeScan {
+        RangeScan::open(self, range, cost)
     }
 
     /// Opens a resumable **descending** scan over `range` (charges the
     /// initial descent; see [`crate::scan::RangeScanRev`] for the
     /// leaf-transition cost model).
-    pub fn range_scan_rev(&self, range: KeyRange) -> crate::scan::RangeScanRev {
-        crate::scan::RangeScanRev::open(self, range)
+    pub fn range_scan_rev(&self, range: KeyRange, cost: &CostMeter) -> crate::scan::RangeScanRev {
+        crate::scan::RangeScanRev::open(self, range, cost)
     }
 
     /// Finds the leaf containing the greatest entry strictly below
     /// `entry`, by one root-to-leaf descent (charged). Used by descending
     /// scans to cross leaf boundaries without backward sibling links.
-    pub(crate) fn predecessor_leaf(&self, entry: &Entry) -> Result<Option<NodeId>, StorageError> {
+    pub(crate) fn predecessor_leaf(
+        &self,
+        entry: &Entry,
+        cost: &CostMeter,
+    ) -> Result<Option<NodeId>, StorageError> {
         let mut id = self.root;
         let mut candidate: Option<NodeId> = None;
         loop {
-            self.try_touch(id)?;
+            self.try_touch(id, cost)?;
             match self.node(id) {
                 Node::Internal(node) => {
                     let idx = node.child_for(entry);
                     if idx > 0 {
-                        candidate = Some(self.rightmost_leaf(node.children[idx - 1])?);
+                        candidate = Some(self.rightmost_leaf(node.children[idx - 1], cost)?);
                     }
                     id = node.children[idx];
                 }
@@ -428,9 +426,9 @@ impl BTree {
     }
 
     /// Rightmost leaf of the subtree rooted at `id` (descent charged).
-    fn rightmost_leaf(&self, mut id: NodeId) -> Result<NodeId, StorageError> {
+    fn rightmost_leaf(&self, mut id: NodeId, cost: &CostMeter) -> Result<NodeId, StorageError> {
         loop {
-            self.try_touch(id)?;
+            self.try_touch(id, cost)?;
             match self.node(id) {
                 Node::Internal(node) => {
                     id = *node.children.last().expect("internal has children");
@@ -443,10 +441,13 @@ impl BTree {
     /// Collects all `(key, rid)` pairs in `range` (convenience; charges the
     /// full scan). Panics on an injected fault — use [`BTree::range_scan`]
     /// directly where faults must be handled.
-    pub fn range_to_vec(&self, range: KeyRange) -> Vec<(Vec<Value>, Rid)> {
-        let mut scan = self.range_scan(range);
+    pub fn range_to_vec(&self, range: KeyRange, cost: &CostMeter) -> Vec<(Vec<Value>, Rid)> {
+        let mut scan = self.range_scan(range, cost);
         let mut out = Vec::new();
-        while let Some(e) = scan.next(self).expect("convenience scan hit an injected fault") {
+        while let Some(e) = scan
+            .next(self, cost)
+            .expect("convenience scan hit an injected fault")
+        {
             out.push(e);
         }
         out
@@ -454,11 +455,11 @@ impl BTree {
 
     /// Exact number of entries in `range`, counted by scanning (charged).
     /// Panics on an injected fault, like [`BTree::range_to_vec`].
-    pub fn count_range(&self, range: KeyRange) -> u64 {
-        let mut scan = self.range_scan(range);
+    pub fn count_range(&self, range: KeyRange, cost: &CostMeter) -> u64 {
+        let mut scan = self.range_scan(range, cost);
         let mut n = 0;
         while scan
-            .next(self)
+            .next(self, cost)
             .expect("convenience scan hit an injected fault")
             .is_some()
         {
@@ -537,7 +538,12 @@ impl BTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdb_storage::{shared_meter, shared_pool, CostConfig};
+    use rdb_storage::{shared_meter, shared_pool, CostConfig, SharedCost};
+
+    /// The pool's default meter — fine for single-session tests.
+    pub(crate) fn meter(t: &BTree) -> SharedCost {
+        t.pool().cost().clone()
+    }
 
     pub(crate) fn small_tree(max_fanout: usize, keys: impl IntoIterator<Item = i64>) -> BTree {
         let pool = shared_pool(10_000, shared_meter(CostConfig::default()));
@@ -580,15 +586,17 @@ mod tests {
             tree.insert(vec![Value::Int(7)], Rid::new(i, 0));
         }
         tree.check_invariants();
-        assert_eq!(tree.count_range(KeyRange::eq(7)), 100);
+        let cost = meter(&tree);
+        assert_eq!(tree.count_range(KeyRange::eq(7), &cost), 100);
     }
 
     #[test]
     fn contains_finds_exact_entries() {
         let tree = small_tree(4, 0..200);
-        assert!(tree.contains(&[Value::Int(123)], Rid::new(123, 0)));
-        assert!(!tree.contains(&[Value::Int(123)], Rid::new(999, 0)));
-        assert!(!tree.contains(&[Value::Int(7777)], Rid::new(0, 0)));
+        let cost = meter(&tree);
+        assert!(tree.contains(&[Value::Int(123)], Rid::new(123, 0), &cost));
+        assert!(!tree.contains(&[Value::Int(123)], Rid::new(999, 0), &cost));
+        assert!(!tree.contains(&[Value::Int(7777)], Rid::new(0, 0), &cost));
     }
 
     #[test]
@@ -598,7 +606,8 @@ mod tests {
         assert!(!tree.delete(&[Value::Int(150)], Rid::new(150, 0)));
         assert_eq!(tree.len(), 299);
         tree.check_invariants();
-        assert!(!tree.contains(&[Value::Int(150)], Rid::new(150, 0)));
+        let cost = meter(&tree);
+        assert!(!tree.contains(&[Value::Int(150)], Rid::new(150, 0), &cost));
     }
 
     #[test]
@@ -609,7 +618,8 @@ mod tests {
         }
         assert!(tree.is_empty());
         tree.check_invariants();
-        assert_eq!(tree.count_range(KeyRange::all()), 0);
+        let cost = meter(&tree);
+        assert_eq!(tree.count_range(KeyRange::all(), &cost), 0);
     }
 
     #[test]
@@ -621,7 +631,8 @@ mod tests {
 
     #[test]
     fn bulk_load_matches_incremental_build() {
-        let pool = shared_pool(10_000, shared_meter(CostConfig::default()));
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(10_000, cost.clone());
         let entries: Vec<(Vec<Value>, Rid)> = (0..5000i64)
             .rev() // unsorted input: bulk_load must sort
             .map(|i| (vec![Value::Int(i % 700)], Rid::new(i as u32, 0)))
@@ -635,18 +646,19 @@ mod tests {
         }
         // Same contents, key order, and range results.
         assert_eq!(
-            bulk.range_to_vec(KeyRange::all()),
-            incremental.range_to_vec(KeyRange::all())
+            bulk.range_to_vec(KeyRange::all(), &cost),
+            incremental.range_to_vec(KeyRange::all(), &cost)
         );
         assert_eq!(
-            bulk.count_range(KeyRange::closed(100, 120)),
-            incremental.count_range(KeyRange::closed(100, 120))
+            bulk.count_range(KeyRange::closed(100, 120), &cost),
+            incremental.count_range(KeyRange::closed(100, 120), &cost)
         );
     }
 
     #[test]
     fn bulk_load_supports_inserts_and_deletes_afterwards() {
-        let pool = shared_pool(10_000, shared_meter(CostConfig::default()));
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(10_000, cost.clone());
         let entries: Vec<(Vec<Value>, Rid)> = (0..1000i64)
             .map(|i| (vec![Value::Int(i)], Rid::new(i as u32, 0)))
             .collect();
@@ -655,12 +667,13 @@ mod tests {
         assert!(tree.delete(&[Value::Int(500)], Rid::new(500, 0)));
         tree.check_invariants();
         assert_eq!(tree.len(), 1000);
-        assert!(tree.contains(&[Value::Int(5000)], Rid::new(9999, 0)));
+        assert!(tree.contains(&[Value::Int(5000)], Rid::new(9999, 0), &cost));
     }
 
     #[test]
     fn bulk_load_empty_and_tiny() {
-        let pool = shared_pool(100, shared_meter(CostConfig::default()));
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(100, cost.clone());
         let empty = BTree::bulk_load("e", FileId(1), pool.clone(), vec![0], 8, vec![]);
         assert!(empty.is_empty());
         empty.check_invariants();
@@ -674,7 +687,7 @@ mod tests {
         );
         assert_eq!(one.len(), 1);
         one.check_invariants();
-        assert!(one.contains(&[Value::Int(7)], Rid::new(0, 0)));
+        assert!(one.contains(&[Value::Int(7)], Rid::new(0, 0), &cost));
     }
 
     #[test]
@@ -686,7 +699,7 @@ mod tests {
             tree.insert(vec![Value::Int(i)], Rid::new(i as u32, 0));
         }
         assert_eq!(cost.total(), 0.0, "inserts are load-time, free");
-        tree.contains(&[Value::Int(50)], Rid::new(50, 0));
+        tree.contains(&[Value::Int(50)], Rid::new(50, 0), &cost);
         assert!(cost.total() > 0.0, "lookup must charge the descent");
     }
 }

@@ -13,6 +13,11 @@ fn build(keys: &[i64], fanout: usize) -> BTree {
     tree
 }
 
+/// The pool's default meter — single-session tests charge there.
+fn meter(t: &BTree) -> rdb_storage::SharedCost {
+    t.pool().cost().clone()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -27,7 +32,7 @@ proptest! {
         tree.check_invariants();
         let hi = lo + len;
         let got: Vec<i64> = tree
-            .range_to_vec(KeyRange::closed(lo, hi))
+            .range_to_vec(KeyRange::closed(lo, hi), &meter(&tree))
             .into_iter()
             .map(|(k, _)| k[0].as_i64().unwrap())
             .collect();
@@ -45,7 +50,7 @@ proptest! {
         let tree = build(&keys, 6);
         let hi = lo + len;
         let range = KeyRange::closed(lo, hi);
-        let est = tree.estimate_range(&range);
+        let est = tree.estimate_range(&range, &meter(&tree));
         let truth = keys.iter().filter(|&&k| lo <= k && k <= hi).count() as f64;
         if est.exact {
             prop_assert_eq!(est.estimate, truth, "exact estimates must be the truth");
@@ -54,7 +59,7 @@ proptest! {
         }
         // Counted variant is exact whenever the plain one is, and its
         // estimate is never negative.
-        let counted = tree.estimate_range_counted(&range);
+        let counted = tree.estimate_range_counted(&range, &meter(&tree));
         prop_assert!(counted.estimate >= 0.0);
         if counted.exact {
             prop_assert_eq!(counted.estimate, truth);
@@ -76,7 +81,7 @@ proptest! {
         }
         tree.check_invariants();
         let got: Vec<(i64, u32)> = tree
-            .range_to_vec(KeyRange::all())
+            .range_to_vec(KeyRange::all(), &meter(&tree))
             .into_iter()
             .map(|(k, rid)| (k[0].as_i64().unwrap(), rid.page))
             .collect();
@@ -106,8 +111,8 @@ proptest! {
         bulk.check_invariants();
         let incremental = build(&keys, fanout);
         prop_assert_eq!(
-            bulk.range_to_vec(KeyRange::all()),
-            incremental.range_to_vec(KeyRange::all())
+            bulk.range_to_vec(KeyRange::all(), &meter(&bulk)),
+            incremental.range_to_vec(KeyRange::all(), &meter(&incremental))
         );
         prop_assert_eq!(bulk.len(), incremental.len());
     }
@@ -124,7 +129,7 @@ proptest! {
             hi: KeyBound::exclusive(hi),
         };
         let got: Vec<i64> = tree
-            .range_to_vec(range)
+            .range_to_vec(range, &meter(&tree))
             .into_iter()
             .map(|(k, _)| k[0].as_i64().unwrap())
             .collect();

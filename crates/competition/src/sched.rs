@@ -1,8 +1,10 @@
 //! Deterministic proportional-speed quantum scheduling.
 //!
 //! The paper runs competing strategies "simultaneously with the
-//! proportional speed". In a single-threaded executor that means
-//! interleaving their `step()` calls so that over any window the number of
+//! proportional speed". In the engine's cooperative mode (the default —
+//! the opt-in OS-thread background stage lives in `rdb_core::parallel`
+//! and needs no scheduler) that means interleaving their `step()` calls
+//! so that over any window the number of
 //! quanta granted to each competitor tracks its speed weight. The
 //! [`ProportionalScheduler`] implements this with deficit counters — the
 //! classic weighted-round-robin construction — so the interleaving is

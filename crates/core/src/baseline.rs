@@ -107,7 +107,7 @@ impl StaticOptimizer {
     /// host-variable values — exactly the information a compile-time
     /// optimizer has).
     pub fn plan(&self, table: &HeapTable, indexes: &[StaticIndexInfo]) -> StaticPlan {
-        let cfg = table.pool().borrow().cost().config();
+        let cfg = table.pool().cost_config();
         let tscan_cost =
             table.page_count() as f64 * cfg.io_read + table.cardinality() as f64 * cfg.cpu_record;
         let mut best = (StaticPlan::Tscan, tscan_cost);
@@ -154,16 +154,13 @@ impl StaticOptimizer {
         request: &RetrievalRequest<'_>,
         tracer: &Tracer,
     ) -> Result<RetrievalResult, StorageError> {
-        let meter = {
-            let pool = request.table.pool().borrow();
-            std::rc::Rc::clone(pool.cost())
-        };
+        let meter = request.cost.clone();
         let mut rt = RunTrace::start(tracer, &meter);
         tracer.emit_with(|| TraceEvent::TacticChosen {
             tactic: format!("static {plan:?}"),
             estimation_nodes: 0,
         });
-        let cost_before = request.table.pool().borrow().cost().total();
+        let cost_before = meter.total();
         let mut sink = Sink::new(request.limit);
         let deliver = |step: StrategyStep, sink: &mut Sink| match step {
             StrategyStep::Deliver(rid, record) => sink.deliver(rid, record),
@@ -172,7 +169,7 @@ impl StaticOptimizer {
         };
         match plan {
             StaticPlan::Tscan => {
-                let mut s = Tscan::new(request.table, request.residual.clone());
+                let mut s = Tscan::new(request.table, request.residual.clone(), meter.clone());
                 loop {
                     let step = s.step()?;
                     let done = matches!(step, StrategyStep::Done);
@@ -188,6 +185,7 @@ impl StaticOptimizer {
                     c.tree,
                     c.range.clone(),
                     request.residual.clone(),
+                    meter.clone(),
                 );
                 loop {
                     let step = s.step()?;
@@ -203,7 +201,7 @@ impl StaticOptimizer {
                     .self_sufficient
                     .clone()
                     .expect("static Sscan plan for non-self-sufficient index");
-                let mut s = Sscan::new(c.tree, c.range.clone(), pred);
+                let mut s = Sscan::new(c.tree, c.range.clone(), pred, meter.clone());
                 loop {
                     match s.step()? {
                         StrategyStep::Deliver(rid, record) => {
@@ -223,7 +221,7 @@ impl StaticOptimizer {
             StaticPlan::Sscan { .. } => "sscan",
         });
         rt.finish();
-        let cost = request.table.pool().borrow().cost().total() - cost_before;
+        let cost = meter.total() - cost_before;
         let deliveries = sink.into_deliveries();
         tracer.emit_with(|| TraceEvent::Winner {
             strategy: format!("static {plan:?}"),
@@ -285,12 +283,9 @@ impl StaticJscan {
     ) -> Result<RetrievalResult, StorageError> {
         let table = request.table;
         let tracer = Tracer::disabled();
-        let meter = {
-            let pool = table.pool().borrow();
-            std::rc::Rc::clone(pool.cost())
-        };
+        let meter = request.cost.clone();
         let mut rt = RunTrace::start(&tracer, &meter);
-        let cost_before = table.pool().borrow().cost().total();
+        let cost_before = meter.total();
         let mut sink = Sink::new(request.limit);
         let mut events: Vec<String> = Vec::new();
 
@@ -307,7 +302,7 @@ impl StaticJscan {
 
         if selected.is_empty() {
             // Below-threshold indexes only: sequential scan, committed.
-            let mut s = Tscan::new(table, request.residual.clone());
+            let mut s = Tscan::new(table, request.residual.clone(), meter.clone());
             events.push("static plan: Tscan".into());
             loop {
                 match s.step()? {
@@ -327,15 +322,11 @@ impl StaticJscan {
             for (pos, range, est) in selected {
                 let tree = request.indexes[*pos].tree;
                 let mut rids: Vec<Rid> = Vec::new();
-                let mut scan = tree.range_scan(range.clone());
-                while let Some((_, rid)) = scan.next(tree)? {
+                let mut scan = tree.range_scan(range.clone(), &meter);
+                while let Some((_, rid)) = scan.next(tree, &meter)? {
                     rids.push(rid);
                 }
-                table
-                    .pool()
-                    .borrow()
-                    .cost()
-                    .charge_rid_ops(rids.len() as u64);
+                meter.charge_rid_ops(rids.len() as u64);
                 events.push(format!(
                     "scanned {} fully: {} RIDs (estimate was {est:.0})",
                     tree.name(),
@@ -360,10 +351,11 @@ impl StaticJscan {
                 &mut sink,
                 &mut events,
                 &mut rt,
+                &meter,
             )?;
         }
 
-        let cost = table.pool().borrow().cost().total() - cost_before;
+        let cost = meter.total() - cost_before;
         Ok(RetrievalResult {
             deliveries: sink.into_deliveries(),
             cost,
@@ -382,7 +374,7 @@ pub fn estimate_all<'a>(request: &RetrievalRequest<'a>) -> Vec<(usize, KeyRange,
         .iter()
         .enumerate()
         .map(|(pos, c)| {
-            let est = c.tree.estimate_range(&c.range);
+            let est = c.tree.estimate_range(&c.range, &request.cost);
             (pos, c.range.clone(), est.estimate)
         })
         .collect();

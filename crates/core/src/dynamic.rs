@@ -36,6 +36,11 @@ pub struct DynamicConfig {
     pub fgr: FgrConfig,
     /// Initial-stage tuning.
     pub initial: InitialStage,
+    /// Run the background Jscan stage of the competitive tactics on an OS
+    /// worker thread (see [`crate::parallel`]) instead of interleaving it
+    /// cooperatively. Off by default: the cooperative path is
+    /// deterministic, which the simulation oracle depends on.
+    pub parallel: bool,
 }
 
 /// Which tactic the optimizer chose for one run.
@@ -120,6 +125,7 @@ impl DynamicOptimizer {
         request: &RetrievalRequest<'a>,
         plan: &InitialPlan,
         skip: Option<usize>,
+        cost: &rdb_storage::SharedCost,
     ) -> Option<Jscan<'a>> {
         let indexes: Vec<JscanIndex<'a>> = plan
             .jscan_order
@@ -135,8 +141,19 @@ impl DynamicOptimizer {
         if indexes.is_empty() {
             None
         } else {
-            Some(Jscan::new(request.table, indexes, self.config.jscan))
+            Some(Jscan::new(
+                request.table,
+                indexes,
+                self.config.jscan,
+                cost.clone(),
+            ))
         }
+    }
+
+    /// A fresh private meter for a worker-thread background stage; the
+    /// caller absorbs it into the session meter once the stage joins.
+    fn background_meter(request: &RetrievalRequest<'_>) -> rdb_storage::SharedCost {
+        rdb_storage::shared_meter(request.table.pool().cost_config())
     }
 
     /// Chooses a tactic and executes the retrieval. `Err` means the data
@@ -170,12 +187,9 @@ impl DynamicOptimizer {
         observer: Option<crate::request::DeliveryObserver<'_>>,
         tracer: &Tracer,
     ) -> Result<RetrievalResult, StorageError> {
-        let cost = {
-            let pool = request.table.pool().borrow();
-            std::rc::Rc::clone(pool.cost())
-        };
+        let cost = request.cost.clone();
         let pool_before = if tracer.enabled() {
-            request.table.pool().borrow().stats()
+            request.table.pool().stats()
         } else {
             Default::default()
         };
@@ -208,7 +222,7 @@ impl DynamicOptimizer {
                 });
             }
             TacticChoice::TscanOnly => {
-                let mut scan = Tscan::new(request.table, request.residual.clone());
+                let mut scan = Tscan::new(request.table, request.residual.clone(), cost.clone());
                 let outcome = loop {
                     match scan.step() {
                         Err(e) => break Err(e),
@@ -242,6 +256,7 @@ impl DynamicOptimizer {
                     choice_ref.tree,
                     choice_ref.range.clone(),
                     request.residual.clone(),
+                    cost.clone(),
                 );
                 let outcome = loop {
                     match f.step() {
@@ -263,7 +278,7 @@ impl DynamicOptimizer {
                 sscan_index = Some(pos);
                 let c = &request.indexes[pos];
                 let pred = c.self_sufficient.clone().expect("self-sufficient pred");
-                let mut s = Sscan::new(c.tree, c.range.clone(), pred);
+                let mut s = Sscan::new(c.tree, c.range.clone(), pred, cost.clone());
                 let outcome = loop {
                     match s.step() {
                         Err(e) => break Err(e),
@@ -281,7 +296,7 @@ impl DynamicOptimizer {
             }
             TacticChoice::BackgroundOnly => {
                 let mut jscan = self
-                    .build_jscan(request, &plan, None)
+                    .build_jscan(request, &plan, None, &cost)
                     .expect("background-only requires indexes");
                 jscan.set_tracer(tracer.clone());
                 let report = tactics::background_only(
@@ -290,24 +305,45 @@ impl DynamicOptimizer {
                     &request.residual,
                     &mut sink,
                     &mut rt,
+                    &cost,
                 )?;
                 winner_detail = Some(report.strategy.clone());
                 events.push(report.strategy);
                 events.extend(report.events);
             }
             TacticChoice::FastFirst => {
-                let mut jscan = self
-                    .build_jscan(request, &plan, None)
-                    .expect("fast-first requires indexes");
-                jscan.set_tracer(tracer.clone());
-                let report = tactics::fast_first(
-                    request.table,
-                    jscan,
-                    &request.residual,
-                    self.config.fgr,
-                    &mut sink,
-                    &mut rt,
-                )?;
+                let report = if self.config.parallel {
+                    let bgr_cost = Self::background_meter(request);
+                    let mut jscan = self
+                        .build_jscan(request, &plan, None, &bgr_cost)
+                        .expect("fast-first requires indexes");
+                    jscan.set_tracer(tracer.for_stage(crate::trace::Stage::Background));
+                    let outcome = crate::parallel::fast_first(
+                        request.table,
+                        jscan,
+                        &request.residual,
+                        self.config.fgr,
+                        &mut sink,
+                        &mut rt,
+                        &cost,
+                    );
+                    cost.absorb(&bgr_cost.snapshot());
+                    outcome?
+                } else {
+                    let mut jscan = self
+                        .build_jscan(request, &plan, None, &cost)
+                        .expect("fast-first requires indexes");
+                    jscan.set_tracer(tracer.clone());
+                    tactics::fast_first(
+                        request.table,
+                        jscan,
+                        &request.residual,
+                        self.config.fgr,
+                        &mut sink,
+                        &mut rt,
+                        &cost,
+                    )?
+                };
                 winner_detail = Some(report.strategy.clone());
                 events.push(report.strategy);
                 events.extend(report.events);
@@ -321,19 +357,40 @@ impl DynamicOptimizer {
                     c.range.clone(),
                     request.residual.clone(),
                     c.descending,
+                    cost.clone(),
                 );
-                let mut jscan = self.build_jscan(request, &plan, Some(pos));
-                if let Some(j) = &mut jscan {
-                    j.set_tracer(tracer.clone());
-                }
-                let report = tactics::sorted(
-                    request.table,
-                    fscan,
-                    jscan,
-                    self.config.fgr,
-                    &mut sink,
-                    &mut rt,
-                )?;
+                let report = if self.config.parallel {
+                    let bgr_cost = Self::background_meter(request);
+                    match self.build_jscan(request, &plan, Some(pos), &bgr_cost) {
+                        Some(mut jscan) => {
+                            jscan.set_tracer(tracer.for_stage(crate::trace::Stage::Background));
+                            let outcome = crate::parallel::sorted(fscan, jscan, &mut sink, &mut rt);
+                            cost.absorb(&bgr_cost.snapshot());
+                            outcome?
+                        }
+                        None => tactics::sorted(
+                            request.table,
+                            fscan,
+                            None,
+                            self.config.fgr,
+                            &mut sink,
+                            &mut rt,
+                        )?,
+                    }
+                } else {
+                    let mut jscan = self.build_jscan(request, &plan, Some(pos), &cost);
+                    if let Some(j) = &mut jscan {
+                        j.set_tracer(tracer.clone());
+                    }
+                    tactics::sorted(
+                        request.table,
+                        fscan,
+                        jscan,
+                        self.config.fgr,
+                        &mut sink,
+                        &mut rt,
+                    )?
+                };
                 winner_detail = Some(report.strategy.clone());
                 events.push(report.strategy);
                 events.extend(report.events);
@@ -343,20 +400,52 @@ impl DynamicOptimizer {
                 sscan_index = Some(pos);
                 let c = &request.indexes[pos];
                 let pred = c.self_sufficient.clone().expect("self-sufficient pred");
-                let sscan = Sscan::new(c.tree, c.range.clone(), pred);
-                let mut jscan = self.build_jscan(request, &plan, Some(pos));
-                if let Some(j) = &mut jscan {
-                    j.set_tracer(tracer.clone());
-                }
-                let report = tactics::index_only(
-                    request.table,
-                    sscan,
-                    jscan,
-                    &request.residual,
-                    self.config.fgr,
-                    &mut sink,
-                    &mut rt,
-                )?;
+                let sscan = Sscan::new(c.tree, c.range.clone(), pred, cost.clone());
+                let report = if self.config.parallel {
+                    let bgr_cost = Self::background_meter(request);
+                    match self.build_jscan(request, &plan, Some(pos), &bgr_cost) {
+                        Some(mut jscan) => {
+                            jscan.set_tracer(tracer.for_stage(crate::trace::Stage::Background));
+                            let outcome = crate::parallel::index_only(
+                                request.table,
+                                sscan,
+                                jscan,
+                                &request.residual,
+                                self.config.fgr,
+                                &mut sink,
+                                &mut rt,
+                                &cost,
+                            );
+                            cost.absorb(&bgr_cost.snapshot());
+                            outcome?
+                        }
+                        None => tactics::index_only(
+                            request.table,
+                            sscan,
+                            None,
+                            &request.residual,
+                            self.config.fgr,
+                            &mut sink,
+                            &mut rt,
+                            &cost,
+                        )?,
+                    }
+                } else {
+                    let mut jscan = self.build_jscan(request, &plan, Some(pos), &cost);
+                    if let Some(j) = &mut jscan {
+                        j.set_tracer(tracer.clone());
+                    }
+                    tactics::index_only(
+                        request.table,
+                        sscan,
+                        jscan,
+                        &request.residual,
+                        self.config.fgr,
+                        &mut sink,
+                        &mut rt,
+                        &cost,
+                    )?
+                };
                 winner_detail = Some(report.strategy.clone());
                 events.push(report.strategy);
                 events.extend(report.events);
@@ -366,7 +455,7 @@ impl DynamicOptimizer {
         rt.finish();
         let cost_total = cost.total() - cost_before;
         if tracer.enabled() {
-            let delta = request.table.pool().borrow().stats().since(&pool_before);
+            let delta = request.table.pool().stats().since(&pool_before);
             tracer.emit_with(|| TraceEvent::PoolDelta {
                 hits: delta.hits,
                 misses: delta.misses,
@@ -416,12 +505,9 @@ impl DynamicOptimizer {
         use crate::ridlist::RidList;
         use crate::union::{UnionArm, UnionOutcome, UnionScan};
 
-        let cost = {
-            let pool = table.pool().borrow();
-            std::rc::Rc::clone(pool.cost())
-        };
+        let cost = table.pool().cost().clone();
         let pool_before = if tracer.enabled() {
-            table.pool().borrow().stats()
+            table.pool().stats()
         } else {
             Default::default()
         };
@@ -437,7 +523,7 @@ impl DynamicOptimizer {
         // Estimate each arm; provably empty arms drop out for free.
         let mut union_arms: Vec<UnionArm<'_>> = Vec::new();
         for (tree, range) in arms {
-            let est = tree.estimate_range(&range);
+            let est = tree.estimate_range(&range, &cost);
             tracer.emit_with(|| TraceEvent::CandidateEstimate {
                 index: tree.name().to_owned(),
                 estimate: est.estimate.max(0.0).round() as u64,
@@ -467,7 +553,7 @@ impl DynamicOptimizer {
             });
             strategy = "UnionScan (empty)".to_string();
         } else {
-            let mut scan = UnionScan::new(table, union_arms, self.config.jscan);
+            let mut scan = UnionScan::new(table, union_arms, self.config.jscan, cost.clone());
             let outcome = scan.run();
             rt.phase("union");
             let outcome = outcome?;
@@ -482,7 +568,7 @@ impl DynamicOptimizer {
                 UnionOutcome::Rids(rids) => {
                     let list = RidList::from_vec(rids);
                     tactics::final_stage(
-                        table, &list, residual, &[], &mut sink, &mut events, &mut rt,
+                        table, &list, residual, &[], &mut sink, &mut events, &mut rt, &cost,
                     )?;
                     strategy = "UnionScan".to_string();
                 }
@@ -492,7 +578,7 @@ impl DynamicOptimizer {
                         to: "tscan".into(),
                         reason: "union of arms priced out: full scan is cheaper".into(),
                     });
-                    tactics::run_tscan(table, residual, &[], &mut sink, &mut events, &mut rt)?;
+                    tactics::run_tscan(table, residual, &[], &mut sink, &mut events, &mut rt, &cost)?;
                     strategy = "UnionScan -> Tscan".to_string();
                 }
             }
@@ -501,7 +587,7 @@ impl DynamicOptimizer {
         rt.finish();
         let cost_total = cost.total() - cost_before;
         if tracer.enabled() {
-            let delta = table.pool().borrow().stats().since(&pool_before);
+            let delta = table.pool().stats().since(&pool_before);
             tracer.emit_with(|| TraceEvent::PoolDelta {
                 hits: delta.hits,
                 misses: delta.misses,

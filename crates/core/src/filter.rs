@@ -9,14 +9,14 @@
 //! can only let extra RIDs through — which the final-stage total
 //! restriction evaluation removes anyway.
 //!
-//! Both variants store their payload behind `Rc`, so building a filter
+//! Both variants store their payload behind `Arc`, so building a filter
 //! from an already-sorted RID list ([`Filter::from_shared`]) and cloning a
 //! spilled list's bitmap are reference-count bumps, not array copies.
 //! Probing in (mostly) RID order can use [`Filter::contains_seq`], which
 //! replaces the per-probe binary search with a galloping search from a
 //! caller-held cursor — O(log gap) per probe, O(1) for adjacent members.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_storage::Rid;
 
@@ -24,12 +24,12 @@ use rdb_storage::Rid;
 #[derive(Debug, Clone)]
 pub enum Filter {
     /// Exact: search in a strictly ascending RID array (in-buffer lists).
-    Sorted(Rc<[Rid]>),
+    Sorted(Arc<[Rid]>),
     /// Approximate: hashed bitmap (spilled lists). One-sided error only.
     Bitmap {
         /// Bit array; `bits.len()` is a power of two, so the hash reduces
         /// by shift instead of modulo.
-        bits: Rc<[u64]>,
+        bits: Arc<[u64]>,
         /// Number of RIDs inserted.
         inserted: usize,
     },
@@ -52,7 +52,7 @@ impl Filter {
     ///
     /// # Panics
     /// In debug builds, if `rids` is not strictly ascending.
-    pub fn from_shared(rids: Rc<[Rid]>) -> Filter {
+    pub fn from_shared(rids: Arc<[Rid]>) -> Filter {
         debug_assert!(
             is_strictly_ascending(&rids),
             "shared filter input must be strictly ascending"
@@ -90,7 +90,7 @@ impl Filter {
                 let nbits = bits.len() * 64;
                 let b = Self::hash(rid, nbits);
                 let words =
-                    Rc::get_mut(bits).expect("cannot insert into a shared bitmap filter");
+                    Arc::get_mut(bits).expect("cannot insert into a shared bitmap filter");
                 words[b / 64] |= 1 << (b % 64);
                 *inserted += 1;
             }
@@ -191,9 +191,9 @@ mod tests {
 
     #[test]
     fn shared_filter_borrows_without_copy() {
-        let shared: Rc<[Rid]> = rids(50).into();
+        let shared: Arc<[Rid]> = rids(50).into();
         let f = Filter::from_shared(shared.clone());
-        assert_eq!(Rc::strong_count(&shared), 2, "filter must share, not copy");
+        assert_eq!(Arc::strong_count(&shared), 2, "filter must share, not copy");
         for r in rids(50) {
             assert!(f.contains(r));
         }

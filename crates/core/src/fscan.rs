@@ -10,7 +10,7 @@
 
 use rdb_btree::scan::RangeScanRev;
 use rdb_btree::{BTree, KeyRange, RangeScan};
-use rdb_storage::{HeapTable, StorageError};
+use rdb_storage::{HeapTable, SharedCost, StorageError};
 
 use crate::filter::Filter;
 use crate::request::RecordPred;
@@ -27,6 +27,7 @@ pub struct Fscan<'a> {
     tree: &'a BTree,
     scan: Cursor,
     residual: RecordPred,
+    cost: SharedCost,
     filter: Option<Filter>,
     /// Galloping-probe cursor into `filter`: forward scans probe in
     /// ascending RID order within each key, so sequential probes are
@@ -47,8 +48,9 @@ impl<'a> Fscan<'a> {
         tree: &'a BTree,
         range: KeyRange,
         residual: RecordPred,
+        cost: SharedCost,
     ) -> Self {
-        Self::with_direction(table, tree, range, residual, false)
+        Self::with_direction(table, tree, range, residual, false, cost)
     }
 
     /// Opens an Fscan scanning `range` in the chosen direction
@@ -59,17 +61,19 @@ impl<'a> Fscan<'a> {
         range: KeyRange,
         residual: RecordPred,
         descending: bool,
+        cost: SharedCost,
     ) -> Self {
         let scan = if descending {
-            Cursor::Rev(tree.range_scan_rev(range))
+            Cursor::Rev(tree.range_scan_rev(range, &cost))
         } else {
-            Cursor::Fwd(tree.range_scan(range))
+            Cursor::Fwd(tree.range_scan(range, &cost))
         };
         Fscan {
             table,
             tree,
             scan,
             residual,
+            cost,
             filter: None,
             probe: 0,
             entries_seen: 0,
@@ -96,7 +100,7 @@ impl<'a> Fscan<'a> {
     /// entries: the scan itself plus one record fetch per entry (random
     /// I/O, the dominant term).
     pub fn full_cost(table: &HeapTable, tree: &BTree, entries: f64) -> f64 {
-        let cfg = table.pool().borrow().cost().config();
+        let cfg = table.pool().cost_config();
         let leaf_pages = (entries / tree.avg_fanout().max(1.0)).ceil();
         leaf_pages * cfg.io_read
             + entries * cfg.index_entry
@@ -128,8 +132,8 @@ impl<'a> Fscan<'a> {
     /// errors (record deleted between index read and fetch) are skipped.
     pub fn step(&mut self) -> Result<StrategyStep, StorageError> {
         let next = match &mut self.scan {
-            Cursor::Fwd(s) => s.next(self.tree),
-            Cursor::Rev(s) => s.next(self.tree),
+            Cursor::Fwd(s) => s.next(self.tree, &self.cost),
+            Cursor::Rev(s) => s.next(self.tree, &self.cost),
         };
         match next? {
             None => Ok(StrategyStep::Done),
@@ -142,7 +146,7 @@ impl<'a> Fscan<'a> {
                     }
                 }
                 self.fetches += 1;
-                match self.table.fetch(rid) {
+                match self.table.fetch(rid, &self.cost) {
                     Ok(record) if (self.residual)(&record) => {
                         self.delivered += 1;
                         Ok(StrategyStep::Deliver(rid, Some(record)))
@@ -161,7 +165,7 @@ impl<'a> Fscan<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     use rdb_storage::{
         shared_meter, shared_pool, Column, CostConfig, FileId, Record, Rid, Schema, Value,
@@ -192,13 +196,17 @@ mod tests {
     }
 
     fn accept_all() -> RecordPred {
-        Rc::new(|_: &Record| true)
+        Arc::new(|_: &Record| true)
+    }
+
+    fn meter(table: &HeapTable) -> SharedCost {
+        table.pool().cost().clone()
     }
 
     #[test]
     fn delivers_range_with_records() {
         let (table, tree) = setup(200);
-        let mut f = Fscan::new(&table, &tree, KeyRange::closed(50, 59), accept_all());
+        let mut f = Fscan::new(&table, &tree, KeyRange::closed(50, 59), accept_all(), meter(&table));
         let mut vals = Vec::new();
         loop {
             match f.step().unwrap() {
@@ -215,8 +223,8 @@ mod tests {
     #[test]
     fn residual_rejects_fetched_records() {
         let (table, tree) = setup(100);
-        let residual: RecordPred = Rc::new(|r: &Record| r[1] == Value::Int(0));
-        let mut f = Fscan::new(&table, &tree, KeyRange::closed(0, 29), residual);
+        let residual: RecordPred = Arc::new(|r: &Record| r[1] == Value::Int(0));
+        let mut f = Fscan::new(&table, &tree, KeyRange::closed(0, 29), residual, meter(&table));
         let mut n = 0;
         loop {
             match f.step().unwrap() {
@@ -232,10 +240,10 @@ mod tests {
     #[test]
     fn filter_rejects_before_fetch() {
         let (table, tree) = setup(100);
-        let mut f = Fscan::new(&table, &tree, KeyRange::closed(0, 99), accept_all());
+        let mut f = Fscan::new(&table, &tree, KeyRange::closed(0, 99), accept_all(), meter(&table));
         // Filter allowing only records with x < 10 (their RIDs).
         let allowed: Vec<Rid> = tree
-            .range_to_vec(KeyRange::closed(0, 9))
+            .range_to_vec(KeyRange::closed(0, 9), &meter(&table))
             .into_iter()
             .map(|(_, rid)| rid)
             .collect();
@@ -256,7 +264,7 @@ mod tests {
     #[test]
     fn filter_installed_mid_run() {
         let (table, tree) = setup(100);
-        let mut f = Fscan::new(&table, &tree, KeyRange::all(), accept_all());
+        let mut f = Fscan::new(&table, &tree, KeyRange::all(), accept_all(), meter(&table));
         for _ in 0..20 {
             f.step().unwrap();
         }

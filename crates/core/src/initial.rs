@@ -89,7 +89,7 @@ impl InitialStage {
         let mut estimates: Vec<(usize, f64)> = Vec::with_capacity(request.indexes.len());
 
         for (pos, choice) in request.indexes.iter().enumerate() {
-            let est = choice.tree.estimate_range(&choice.range);
+            let est = choice.tree.estimate_range(&choice.range, &request.cost);
             plan.estimation_nodes += est.nodes_visited;
 
             if est.exact && est.estimate == 0.0 {
@@ -163,7 +163,7 @@ pub fn jscan_ranges<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     use rdb_btree::BTree;
     use rdb_btree::KeyRange;
@@ -203,10 +203,11 @@ mod tests {
         RetrievalRequest {
             table,
             indexes,
-            residual: Rc::new(|_: &Record| true),
+            residual: Arc::new(|_: &Record| true),
             goal: OptimizeGoal::TotalTime,
             order_required: false,
             limit: None,
+            cost: table.pool().cost().clone(),
         }
     }
 
@@ -287,7 +288,7 @@ mod tests {
     fn best_self_sufficient_and_order_detected() {
         let p = pool();
         let (table, ia, ib) = setup(&p, 2000);
-        let kp: crate::request::KeyPred = Rc::new(|_: &[Value]| true);
+        let kp: crate::request::KeyPred = Arc::new(|_: &[Value]| true);
         let req = request(
             &table,
             vec![

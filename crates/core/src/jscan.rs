@@ -30,7 +30,7 @@
 use std::fmt;
 
 use rdb_btree::{BTree, KeyRange, RangeScan};
-use rdb_storage::{FileId, HeapTable, Rid};
+use rdb_storage::{FileId, HeapTable, Rid, SharedCost};
 
 use crate::filter::Filter;
 use crate::ridlist::{RidList, RidListBuilder, RidTierConfig};
@@ -214,12 +214,18 @@ pub struct Jscan<'a> {
     borrow_open: bool,
     temp_file_base: u32,
     tracer: Tracer,
+    cost: SharedCost,
 }
 
 impl<'a> Jscan<'a> {
     /// Creates a joint scan over indexes already preordered by ascending
     /// estimate (the initial stage's job).
-    pub fn new(table: &'a HeapTable, indexes: Vec<JscanIndex<'a>>, config: JscanConfig) -> Self {
+    pub fn new(
+        table: &'a HeapTable,
+        indexes: Vec<JscanIndex<'a>>,
+        config: JscanConfig,
+        cost: SharedCost,
+    ) -> Self {
         assert!(!indexes.is_empty(), "Jscan needs at least one index");
         let tscan_cost = crate::tscan::Tscan::full_cost(table);
         let mut jscan = Jscan {
@@ -241,6 +247,7 @@ impl<'a> Jscan<'a> {
             borrow_open: true,
             temp_file_base: 1_000_000,
             tracer: Tracer::disabled(),
+            cost,
         };
         jscan.arm_scans();
         jscan
@@ -304,10 +311,17 @@ impl<'a> Jscan<'a> {
         self.outcome.take().expect("jscan not finished")
     }
 
+    /// Total cost units on this scan's meter. For a background-stage Jscan
+    /// built against a fresh private meter this is the stage's whole bill
+    /// (absorbed into the session meter at join).
+    pub fn spent(&self) -> f64 {
+        self.cost.total()
+    }
+
     /// Estimated cost of fetching `n` RIDs from the table in sorted order:
     /// Cardenas' formula for distinct pages touched, plus per-record CPU.
     pub fn fetch_cost(table: &HeapTable, n: f64) -> f64 {
-        let cfg = table.pool().borrow().cost().config();
+        let cfg = table.pool().cost_config();
         let pages = table.page_count() as f64;
         if pages == 0.0 {
             return 0.0;
@@ -317,7 +331,7 @@ impl<'a> Jscan<'a> {
     }
 
     fn cost_total(&self) -> f64 {
-        self.table.pool().borrow().cost().total()
+        self.cost.total()
     }
 
     fn start_scan(&mut self, idx: usize) -> ActiveScan {
@@ -325,11 +339,12 @@ impl<'a> Jscan<'a> {
         let temp_file = FileId(self.temp_file_base + idx as u32);
         ActiveScan {
             idx,
-            scan: info.tree.range_scan(info.range.clone()),
+            scan: info.tree.range_scan(info.range.clone(), &self.cost),
             builder: RidListBuilder::new(
                 self.config.tiers,
                 self.table.pool().clone(),
                 temp_file,
+                self.cost.clone(),
             ),
             entries: 0,
             kept: 0,
@@ -395,7 +410,7 @@ impl<'a> Jscan<'a> {
         let tree = self.indexes[active.idx].tree;
         let is_borrow_source = active.idx == 0;
         for _ in 0..self.config.batch {
-            match active.scan.next(tree) {
+            match active.scan.next(tree, &self.cost) {
                 Err(_) => {
                     fault = true;
                     break;
@@ -528,8 +543,12 @@ impl<'a> Jscan<'a> {
                 // the filter instead of binary-searching per RID.
                 let refiltered = shadow.len() as u64;
                 let temp_file = FileId(self.temp_file_base + other.idx as u32 + 500_000);
-                let mut builder =
-                    RidListBuilder::new(self.config.tiers, self.table.pool().clone(), temp_file);
+                let mut builder = RidListBuilder::new(
+                    self.config.tiers,
+                    self.table.pool().clone(),
+                    temp_file,
+                    self.cost.clone(),
+                );
                 let mut kept_shadow = Vec::with_capacity(shadow.len());
                 let mut kept = 0u64;
                 let mut cursor = 0;
@@ -540,7 +559,7 @@ impl<'a> Jscan<'a> {
                         kept += 1;
                     }
                 }
-                self.table.pool().borrow().cost().charge_rid_ops(refiltered);
+                self.cost.charge_rid_ops(refiltered);
                 other.builder = builder;
                 other.kept = kept;
                 other.shadow = Some(kept_shadow);
@@ -746,12 +765,22 @@ mod tests {
     }
 
     fn jidx<'a>(tree: &'a BTree, range: KeyRange) -> JscanIndex<'a> {
-        let estimate = tree.estimate_range(&range).estimate;
+        let estimate = tree.estimate_range(&range, tree.pool().cost()).estimate;
         JscanIndex {
             tree,
             range,
             estimate,
         }
+    }
+
+    /// Jscan charging to the table pool's default meter (single-session).
+    fn jscan<'a>(
+        table: &'a HeapTable,
+        indexes: Vec<JscanIndex<'a>>,
+        config: JscanConfig,
+    ) -> Jscan<'a> {
+        let cost = table.pool().cost().clone();
+        Jscan::new(table, indexes, config, cost)
     }
 
     #[test]
@@ -760,7 +789,7 @@ mod tests {
         // a == 7 (40 rids), b == 7 (50 rids), intersection: i ≡ 7 mod
         // lcm(50,40)=200 → 10 rids.
         let jscan_indexes = vec![jidx(&ia, KeyRange::eq(7)), jidx(&ib, KeyRange::eq(7))];
-        let mut j = Jscan::new(&table, jscan_indexes, JscanConfig::default());
+        let mut j = jscan(&table, jscan_indexes, JscanConfig::default());
         match j.run() {
             JscanOutcome::FinalList(list) => {
                 assert_eq!(list.len(), 10, "events: {:?}", j.events());
@@ -773,7 +802,7 @@ mod tests {
     fn empty_intersection_shortcuts() {
         let (table, ia, ib, _ic, _) = setup(1000, (10, 10, 2));
         // a == 3 and b == 4 can never hold together since a == b here.
-        let mut j = Jscan::new(
+        let mut j = jscan(
             &table,
             vec![jidx(&ia, KeyRange::eq(3)), jidx(&ib, KeyRange::eq(4))],
             JscanConfig::default(),
@@ -793,7 +822,7 @@ mod tests {
         // One index whose range covers nearly the whole table: the
         // projected fetch cost exceeds the Tscan cost almost immediately.
         let (table, ia, _ib, _ic, _) = setup(3000, (3, 10, 2));
-        let mut j = Jscan::new(
+        let mut j = jscan(
             &table,
             vec![jidx(&ia, KeyRange::closed(0, 2))], // all records
             JscanConfig::default(),
@@ -816,7 +845,7 @@ mod tests {
         let (table, ia, ib, _ic, _) = setup(4000, (1000, 4, 2));
         // a == 7: 4 rids (very selective, tiny-list shortcut fires);
         // b's huge range never even starts.
-        let mut j = Jscan::new(
+        let mut j = jscan(
             &table,
             vec![
                 jidx(&ia, KeyRange::eq(7)),
@@ -843,7 +872,7 @@ mod tests {
         // a==1: 40 RIDs, b==1: ~66 RIDs — both selective enough that their
         // complete lists beat the Tscan bound.
         let (table, ia, ib, _ic, _) = setup(2000, (50, 30, 2));
-        let mut j = Jscan::new(
+        let mut j = jscan(
             &table,
             vec![jidx(&ia, KeyRange::eq(1)), jidx(&ib, KeyRange::eq(1))],
             JscanConfig {
@@ -863,7 +892,7 @@ mod tests {
     #[test]
     fn borrow_stream_provides_first_index_candidates() {
         let (table, ia, _ib, _ic, _) = setup(1000, (10, 10, 2));
-        let mut j = Jscan::new(
+        let mut j = jscan(
             &table,
             vec![jidx(&ia, KeyRange::eq(5))],
             JscanConfig {
@@ -895,7 +924,7 @@ mod tests {
         let (table, ia, ib, _ic, _) = setup(3000, (5, 300, 2));
         let big = jidx(&ia, KeyRange::eq(1)); // 600 rids
         let small = jidx(&ib, KeyRange::eq(1)); // 10 rids
-        let mut j = Jscan::new(
+        let mut j = jscan(
             &table,
             vec![
                 JscanIndex {
@@ -945,7 +974,7 @@ mod tests {
         let (table, ia, ib, _ic, _) = setup(4000, (4, 2000, 2));
         let small = jidx(&ib, KeyRange::eq(1)); // 2 rids: finishes first
         let big = jidx(&ia, KeyRange::eq(1)); // 1000 rids: spills quickly
-        let mut j = Jscan::new(
+        let mut j = jscan(
             &table,
             vec![small, big],
             JscanConfig {
@@ -992,7 +1021,7 @@ mod tests {
         assert!(c_small < c_large);
         // Fetching every record in sorted order cannot cost more than
         // page_count I/Os plus CPU.
-        let cfg = table.pool().borrow().cost().config();
+        let cfg = table.pool().cost_config();
         let bound = table.page_count() as f64 * cfg.io_read + 2000.0 * cfg.cpu_record + 1.0;
         assert!(c_large <= bound);
     }
@@ -1002,7 +1031,7 @@ mod tests {
         let (table, ia, ib, ic, _) = setup(3000, (10, 15, 7));
         // a==1 (300), b==1 (200), c==1 (~428); intersection: i ≡ 1 mod
         // lcm(10,15,7)=210 → i in {1, 211, ..., 2941} → 15 rids.
-        let mut j = Jscan::new(
+        let mut j = jscan(
             &table,
             vec![
                 jidx(&ib, KeyRange::eq(1)),

@@ -36,6 +36,7 @@ pub mod filter;
 pub mod fscan;
 pub mod initial;
 pub mod jscan;
+pub mod parallel;
 pub mod request;
 pub mod ridlist;
 pub mod sscan;
@@ -57,8 +58,8 @@ pub use request::{
 pub use ridlist::{RidList, RidListBuilder, RidTierConfig};
 pub use sscan::Sscan;
 pub use trace::{
-    event_json, json_string, render_timeline, trace_json, RunTrace, TraceBuffer, TraceEvent,
-    TraceSink, Tracer,
+    event_json, json_string, render_timeline, trace_json, RunTrace, Stage, TraceBuffer,
+    TraceEvent, TraceSink, Tracer,
 };
 pub use tscan::Tscan;
 pub use union::{UnionArm, UnionOutcome, UnionScan};

@@ -1,10 +1,10 @@
 //! Retrieval requests, optimization goals, and result delivery.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_btree::{BTree, KeyRange};
-use rdb_storage::{HeapTable, Record, Rid, Value};
+use rdb_storage::{HeapTable, Record, Rid, SharedCost, Value};
 
 /// The paper's two optimization goals (Section 4): minimize total
 /// retrieval time, or minimize time to the first few records.
@@ -19,10 +19,13 @@ pub enum OptimizeGoal {
 }
 
 /// Predicate over a full data record (the "total restriction").
-pub type RecordPred = Rc<dyn Fn(&Record) -> bool>;
+///
+/// `Send + Sync` so a strategy holding one can run on a background
+/// worker thread (see the parallel Jscan stage).
+pub type RecordPred = Arc<dyn Fn(&Record) -> bool + Send + Sync>;
 
 /// Predicate over an index key (for self-sufficient evaluation).
-pub type KeyPred = Rc<dyn Fn(&[Value]) -> bool>;
+pub type KeyPred = Arc<dyn Fn(&[Value]) -> bool + Send + Sync>;
 
 /// One index offered to the optimizer, with the restriction portion that
 /// binds to it.
@@ -103,11 +106,17 @@ pub struct RetrievalRequest<'a> {
     /// Stop after this many delivered records (models EXISTS / LIMIT and
     /// user "close retrieval").
     pub limit: Option<usize>,
+    /// The session meter every page/record/RID charge for this retrieval
+    /// lands on. Defaults to the table pool's meter; concurrent sessions
+    /// supply their own via [`RetrievalRequest::with_cost`] so per-query
+    /// attribution survives a shared pool.
+    pub cost: SharedCost,
 }
 
 impl<'a> RetrievalRequest<'a> {
     /// A request with no indexes and a residual predicate only.
     pub fn table_only(table: &'a HeapTable, residual: RecordPred, goal: OptimizeGoal) -> Self {
+        let cost = table.pool().cost().clone();
         RetrievalRequest {
             table,
             indexes: Vec::new(),
@@ -115,7 +124,15 @@ impl<'a> RetrievalRequest<'a> {
             goal,
             order_required: false,
             limit: None,
+            cost,
         }
+    }
+
+    /// Charges this retrieval to `cost` instead of the pool's default
+    /// meter (one meter per client session).
+    pub fn with_cost(mut self, cost: SharedCost) -> Self {
+        self.cost = cost;
+        self
     }
 
     /// Returns a copy of the request's limit as a count, `usize::MAX` when

@@ -13,7 +13,7 @@
 //! nothing; the rare huge case pays page I/O but gets a compact bitmap for
 //! filtering. [`RidListBuilder`] grows through the tiers automatically.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_storage::{FileId, Rid, SharedCost, SharedPool, TempTable};
 
@@ -60,7 +60,7 @@ pub enum RidList {
     /// Heap-allocated buffer, shareable with filters built over it.
     Buffer {
         /// The RIDs, in insertion order.
-        rids: Rc<[Rid]>,
+        rids: Arc<[Rid]>,
         /// True when `rids` is strictly ascending — then a filter over the
         /// list can share the array directly instead of copy-and-sorting.
         /// Index scans produce ascending RID streams, so this is the
@@ -75,6 +75,9 @@ pub enum RidList {
         bitmap: Filter,
         /// Exact number of RIDs.
         count: usize,
+        /// The meter the builder charged; re-reads in [`RidList::to_vec`]
+        /// land on the same session.
+        cost: SharedCost,
     },
 }
 
@@ -126,7 +129,7 @@ impl RidList {
             RidList::Empty => Vec::new(),
             RidList::Inline { rids, len } => rids[..*len].to_vec(),
             RidList::Buffer { rids, .. } => rids.to_vec(),
-            RidList::Spilled { temp, .. } => temp.scan_all()?,
+            RidList::Spilled { temp, cost, .. } => temp.scan_all(cost)?,
         })
     }
 
@@ -157,8 +160,7 @@ impl RidList {
 pub struct RidListBuilder {
     config: RidTierConfig,
     pool: SharedPool,
-    /// The pool's meter, cached so per-RID charges in the buffer tier are
-    /// a counter bump, not a `RefCell` borrow of the pool.
+    /// The session meter per-RID charges and spill I/O land on.
     cost: SharedCost,
     temp_file: FileId,
     state: BuilderState,
@@ -187,11 +189,10 @@ enum BuilderState {
 
 impl RidListBuilder {
     /// Creates a builder; `temp_file` is the file id used if the list
-    /// spills.
-    pub fn new(config: RidTierConfig, pool: SharedPool, temp_file: FileId) -> Self {
+    /// spills, `cost` the session meter spill I/O is charged to.
+    pub fn new(config: RidTierConfig, pool: SharedPool, temp_file: FileId, cost: SharedCost) -> Self {
         assert!(config.inline_max <= INLINE_CAPACITY);
         assert!(config.buffer_max >= config.inline_max);
-        let cost = pool.borrow().cost().clone();
         RidListBuilder {
             config,
             pool,
@@ -255,7 +256,7 @@ impl RidListBuilder {
                 // the temp table and into the bitmap.
                 let mut temp = TempTable::new(self.temp_file, self.pool.clone());
                 let mut bitmap = Filter::bitmap(self.config.bitmap_bits);
-                temp.append(v);
+                temp.append(v, &self.cost);
                 for r in v.iter() {
                     bitmap.insert(*r);
                 }
@@ -278,7 +279,7 @@ impl RidListBuilder {
                 pending.push(rid);
                 *count += 1;
                 if pending.len() >= 256 {
-                    temp.append(pending);
+                    temp.append(pending, &self.cost);
                     pending.clear();
                 }
             }
@@ -305,12 +306,13 @@ impl RidListBuilder {
                 count,
                 mut pending,
             } => {
-                temp.append(&pending);
+                temp.append(&pending, &self.cost);
                 pending.clear();
                 RidList::Spilled {
                     temp,
                     bitmap,
                     count,
+                    cost: self.cost,
                 }
             }
         }
@@ -334,6 +336,7 @@ mod tests {
                 },
                 pool,
                 FileId(99),
+                cost.clone(),
             ),
             cost,
         )
@@ -463,7 +466,7 @@ mod tests {
         assert!(*sorted, "ascending pushes must be detected");
         let f = list.filter();
         assert_eq!(
-            std::rc::Rc::strong_count(shared),
+            Arc::strong_count(shared),
             2,
             "filter must share the list's RID array, not copy it"
         );

@@ -7,6 +7,7 @@
 //! tactic (Section 7): its worst case is one full index scan.
 
 use rdb_btree::{BTree, KeyRange, RangeScan};
+use rdb_storage::{CostMeter, SharedCost};
 
 use crate::request::KeyPred;
 use crate::tscan::StrategyStep;
@@ -16,17 +17,19 @@ pub struct Sscan<'a> {
     tree: &'a BTree,
     scan: RangeScan,
     key_pred: KeyPred,
+    cost: SharedCost,
     examined: u64,
     delivered: u64,
 }
 
 impl<'a> Sscan<'a> {
     /// Opens an Sscan over `range`, evaluating `key_pred` on index keys.
-    pub fn new(tree: &'a BTree, range: KeyRange, key_pred: KeyPred) -> Self {
+    pub fn new(tree: &'a BTree, range: KeyRange, key_pred: KeyPred, cost: SharedCost) -> Self {
         Sscan {
             tree,
-            scan: tree.range_scan(range),
+            scan: tree.range_scan(range, &cost),
             key_pred,
+            cost,
             examined: 0,
             delivered: 0,
         }
@@ -35,7 +38,7 @@ impl<'a> Sscan<'a> {
     /// Estimated total cost of scanning `entries` index entries: leaf pages
     /// plus per-entry CPU.
     pub fn scan_cost(tree: &BTree, entries: f64) -> f64 {
-        let cfg = tree.pool().borrow().cost().config();
+        let cfg = tree.pool().cost_config();
         let leaf_pages = (entries / tree.avg_fanout().max(1.0)).ceil();
         leaf_pages * cfg.io_read + entries * cfg.index_entry
     }
@@ -55,7 +58,7 @@ impl<'a> Sscan<'a> {
     /// [`crate::Sink::deliver_from_index`] and project output columns
     /// through the index's `key_columns`.
     pub fn step(&mut self) -> Result<StrategyStep, rdb_storage::StorageError> {
-        match self.scan.next(self.tree)? {
+        match self.scan.next(self.tree, &self.cost)? {
             None => Ok(StrategyStep::Done),
             Some((key, rid)) => {
                 self.examined += 1;
@@ -73,12 +76,15 @@ impl<'a> Sscan<'a> {
 /// Picks the cheapest self-sufficient index by estimated range size — the
 /// paper's "the only optimization task to be resolved is to pick the one
 /// whose scan is the cheapest".
-pub fn cheapest_sscan(candidates: &[(&BTree, KeyRange, KeyPred)]) -> Option<(usize, f64)> {
+pub fn cheapest_sscan(
+    candidates: &[(&BTree, KeyRange, KeyPred)],
+    cost: &CostMeter,
+) -> Option<(usize, f64)> {
     candidates
         .iter()
         .enumerate()
         .map(|(i, (tree, range, _))| {
-            let est = tree.estimate_range(range);
+            let est = tree.estimate_range(range, cost);
             (i, Sscan::scan_cost(tree, est.estimate))
         })
         .min_by(|a, b| a.1.total_cmp(&b.1))
@@ -87,7 +93,7 @@ pub fn cheapest_sscan(candidates: &[(&BTree, KeyRange, KeyPred)]) -> Option<(usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     use rdb_storage::{shared_meter, shared_pool, CostConfig, FileId, Rid, Value};
 
@@ -101,13 +107,17 @@ mod tests {
     }
 
     fn all_pred() -> KeyPred {
-        Rc::new(|_: &[Value]| true)
+        Arc::new(|_: &[Value]| true)
+    }
+
+    fn meter(t: &BTree) -> SharedCost {
+        t.pool().cost().clone()
     }
 
     #[test]
     fn delivers_range_rids_without_fetches() {
         let t = tree(1000);
-        let mut scan = Sscan::new(&t, KeyRange::closed(10, 19), all_pred());
+        let mut scan = Sscan::new(&t, KeyRange::closed(10, 19), all_pred(), meter(&t));
         let mut rids = Vec::new();
         loop {
             match scan.step().unwrap() {
@@ -127,8 +137,8 @@ mod tests {
     #[test]
     fn key_pred_filters_within_range() {
         let t = tree(100);
-        let pred: KeyPred = Rc::new(|k: &[Value]| k[0].as_i64().unwrap() % 2 == 0);
-        let mut scan = Sscan::new(&t, KeyRange::closed(0, 9), pred);
+        let pred: KeyPred = Arc::new(|k: &[Value]| k[0].as_i64().unwrap() % 2 == 0);
+        let mut scan = Sscan::new(&t, KeyRange::closed(0, 9), pred, meter(&t));
         let mut n = 0;
         loop {
             match scan.step().unwrap() {
@@ -149,13 +159,14 @@ mod tests {
             (&t1, KeyRange::closed(0, 500), all_pred()),
             (&t2, KeyRange::closed(0, 10), all_pred()),
         ];
-        let (winner, cost) = cheapest_sscan(&candidates).unwrap();
+        let (winner, cost) = cheapest_sscan(&candidates, &meter(&t1)).unwrap();
         assert_eq!(winner, 1);
         assert!(cost < Sscan::scan_cost(&t1, 500.0));
     }
 
     #[test]
     fn no_candidates_no_winner() {
-        assert!(cheapest_sscan(&[]).is_none());
+        let t = tree(0);
+        assert!(cheapest_sscan(&[], &meter(&t)).is_none());
     }
 }

@@ -16,7 +16,7 @@
 //!   buffer overflow kills Jscan, a small complete RID list kills Sscan.
 
 use rdb_competition::ProportionalScheduler;
-use rdb_storage::{HeapTable, Rid, StorageError};
+use rdb_storage::{HeapTable, Rid, SharedCost, StorageError};
 
 use crate::fscan::Fscan;
 use crate::jscan::{Jscan, JscanOutcome, JscanStatus};
@@ -59,13 +59,10 @@ pub struct TacticReport {
     pub events: Vec<String>,
 }
 
-fn meter_total(table: &HeapTable) -> f64 {
-    table.pool().borrow().cost().total()
-}
-
 /// Final retrieval stage: fetch the listed RIDs in **sorted order** (one
 /// page touch per page), evaluate the total restriction, and deliver —
 /// excluding RIDs the foreground already delivered.
+#[allow(clippy::too_many_arguments)]
 pub fn final_stage(
     table: &HeapTable,
     list: &RidList,
@@ -74,8 +71,9 @@ pub fn final_stage(
     sink: &mut Sink,
     events: &mut Vec<String>,
     rt: &mut RunTrace<'_>,
+    cost: &SharedCost,
 ) -> Result<(), StorageError> {
-    let result = final_stage_inner(table, list, residual, exclude, sink, events);
+    let result = final_stage_inner(table, list, residual, exclude, sink, events, cost);
     rt.phase("final-stage");
     result
 }
@@ -87,6 +85,7 @@ fn final_stage_inner(
     exclude: &[Rid],
     sink: &mut Sink,
     events: &mut Vec<String>,
+    cost: &SharedCost,
 ) -> Result<(), StorageError> {
     let mut rids = list.to_vec()?;
     rids.sort_unstable();
@@ -103,7 +102,7 @@ fn final_stage_inner(
         if excluded.binary_search(&rid).is_ok() {
             continue;
         }
-        match table.fetch(rid) {
+        match table.fetch(rid, cost) {
             Ok(record) => {
                 if residual(&record) && !sink.deliver(rid, Some(record)) {
                     events.push("limit reached during final stage".into());
@@ -126,8 +125,9 @@ pub(crate) fn run_tscan(
     sink: &mut Sink,
     events: &mut Vec<String>,
     rt: &mut RunTrace<'_>,
+    cost: &SharedCost,
 ) -> Result<(), StorageError> {
-    let result = run_tscan_inner(table, residual, exclude, sink, events);
+    let result = run_tscan_inner(table, residual, exclude, sink, events, cost);
     rt.phase("tscan");
     result
 }
@@ -138,10 +138,11 @@ fn run_tscan_inner(
     exclude: &[Rid],
     sink: &mut Sink,
     events: &mut Vec<String>,
+    cost: &SharedCost,
 ) -> Result<(), StorageError> {
     let mut excluded: Vec<Rid> = exclude.to_vec();
     excluded.sort_unstable();
-    let mut scan = Tscan::new(table, residual.clone());
+    let mut scan = Tscan::new(table, residual.clone(), cost.clone());
     events.push("running Tscan".into());
     loop {
         match scan.step()? {
@@ -169,6 +170,7 @@ pub fn background_only(
     residual: &RecordPred,
     sink: &mut Sink,
     rt: &mut RunTrace<'_>,
+    cost: &SharedCost,
 ) -> Result<TacticReport, StorageError> {
     let outcome = jscan.run();
     rt.phase("jscan");
@@ -182,7 +184,7 @@ pub fn background_only(
             }
         }
         JscanOutcome::FinalList(list) => {
-            final_stage(table, &list, residual, &[], sink, &mut events, rt)?;
+            final_stage(table, &list, residual, &[], sink, &mut events, rt, cost)?;
             TacticReport {
                 strategy: "background-only (Jscan + final stage)".into(),
                 events,
@@ -194,7 +196,7 @@ pub fn background_only(
                 to: "tscan".into(),
                 reason: "no surviving RID list beat the full-scan cost".into(),
             });
-            run_tscan(table, residual, &[], sink, &mut events, rt)?;
+            run_tscan(table, residual, &[], sink, &mut events, rt, cost)?;
             TacticReport {
                 strategy: "background-only (Jscan -> Tscan)".into(),
                 events,
@@ -214,6 +216,7 @@ pub fn fast_first(
     config: FgrConfig,
     sink: &mut Sink,
     rt: &mut RunTrace<'_>,
+    cost: &SharedCost,
 ) -> Result<TacticReport, StorageError> {
     let mut events: Vec<String> = Vec::new();
     let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
@@ -248,8 +251,8 @@ pub fn fast_first(
                     }
                     continue;
                 };
-                let before = meter_total(table);
-                match table.fetch(rid) {
+                let before = cost.total();
+                match table.fetch(rid, cost) {
                     Ok(record) => {
                         if residual(&record) {
                             fgr_buffer.push(rid);
@@ -267,7 +270,7 @@ pub fn fast_first(
                     Err(e) if e.is_benign_for_scan() => {}
                     Err(e) => return Err(e),
                 }
-                fgr_spend += meter_total(table) - before;
+                fgr_spend += cost.total() - before;
                 rt.phase("foreground");
                 // Direct competition: overflow or overspend kills Fgr.
                 if fgr_buffer.len() >= config.buffer_capacity {
@@ -317,7 +320,7 @@ pub fn fast_first(
     match outcome {
         Some(JscanOutcome::Empty) | None => {}
         Some(JscanOutcome::FinalList(list)) => {
-            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events, rt)?;
+            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events, rt, cost)?;
         }
         Some(JscanOutcome::UseTscan) => {
             rt.tracer().emit_with(|| TraceEvent::Switch {
@@ -325,7 +328,7 @@ pub fn fast_first(
                 to: "tscan".into(),
                 reason: "no surviving RID list beat the full-scan cost".into(),
             });
-            run_tscan(table, residual, &fgr_buffer, sink, &mut events, rt)?;
+            run_tscan(table, residual, &fgr_buffer, sink, &mut events, rt, cost)?;
         }
     }
     Ok(TacticReport {
@@ -438,6 +441,7 @@ pub fn sorted(
 /// background. Foreground buffer overflow kills Jscan ("Sscan continues
 /// because it is a safer strategy"); a small complete Jscan list kills
 /// Sscan in favour of the sure final-stage retrieval.
+#[allow(clippy::too_many_arguments)]
 pub fn index_only(
     table: &HeapTable,
     mut sscan: Sscan<'_>,
@@ -446,6 +450,7 @@ pub fn index_only(
     config: FgrConfig,
     sink: &mut Sink,
     rt: &mut RunTrace<'_>,
+    cost: &SharedCost,
 ) -> Result<TacticReport, StorageError> {
     let mut events: Vec<String> = Vec::new();
     let mut sched = ProportionalScheduler::new(vec![config.speed, 1.0]);
@@ -544,7 +549,9 @@ pub fn index_only(
                                     list.len()
                                 ),
                             });
-                            final_stage(table, &list, residual, &fgr_buffer, sink, &mut events, rt)?;
+                            final_stage(
+                                table, &list, residual, &fgr_buffer, sink, &mut events, rt, cost,
+                            )?;
                             return Ok(TacticReport {
                                 strategy: "index-only (Jscan won)".into(),
                                 events,

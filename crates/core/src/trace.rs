@@ -11,7 +11,9 @@
 //! * [`TraceSink`] — the consumer contract (one method, may drop events).
 //! * [`Tracer`] — a cloneable handle that is either disabled (the default;
 //!   every emission is a single pointer-is-null branch and the event is
-//!   never even constructed) or carries an `Rc<dyn TraceSink>`.
+//!   never even constructed) or carries an `Arc<dyn TraceSink>`. Each
+//!   handle is stamped with the [`Stage`] it reports from, so events from
+//!   a background worker thread are distinguishable from foreground ones.
 //! * [`TraceBuffer`] — the bundled ring-buffer sink for tests and CLIs.
 //! * [`RunTrace`] — per-run phase cost attribution: the cost meter delta
 //!   of each execution phase, tiling the run so phase costs sum to the
@@ -27,10 +29,9 @@
 //! is attached. CI enforces ≤2% wall-clock overhead of the disabled path
 //! on the hot benches (`crates/bench/src/bin/trace_overhead.rs`).
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 use rdb_storage::SharedCost;
 
@@ -254,14 +255,45 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// Which execution stage emitted an event (paper Section 6's process
+/// structure: the foreground scan, the background index scans, and the
+/// final RID-list fetch stage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stage {
+    /// The session thread driving the retrieval.
+    #[default]
+    Foreground,
+    /// A background worker running index scans concurrently.
+    Background,
+    /// The final fetch stage over the winning RID list.
+    Final,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Foreground => "fg",
+            Stage::Background => "bg",
+            Stage::Final => "final",
+        })
+    }
+}
+
 /// Consumer of trace events.
 ///
-/// Contract: `emit` must not re-enter the engine (the engine may hold
-/// `RefCell` borrows while emitting) and may drop events (e.g. a full ring
-/// buffer); the engine never depends on a sink retaining anything.
-pub trait TraceSink {
+/// Contract: `emit` must not re-enter the engine and may drop events
+/// (e.g. a full ring buffer); the engine never depends on a sink retaining
+/// anything. Sinks are `Send + Sync`: with the parallel background stage a
+/// sink receives events from the session thread and its workers at once.
+pub trait TraceSink: Send + Sync {
     /// Receives one event, in execution order.
     fn emit(&self, event: TraceEvent);
+
+    /// Receives one event with the [`Stage`] that emitted it. The default
+    /// drops the stamp; sinks that care (like [`TraceBuffer`]) override.
+    fn emit_staged(&self, _stage: Stage, event: TraceEvent) {
+        self.emit(event);
+    }
 }
 
 /// Cloneable tracing handle threaded through the engine.
@@ -270,17 +302,37 @@ pub trait TraceSink {
 /// `Option` discriminant check and the closure building the event is never
 /// called. Attach a sink with [`Tracer::new`] to start observing.
 #[derive(Clone, Default)]
-pub struct Tracer(Option<Rc<dyn TraceSink>>);
+pub struct Tracer {
+    sink: Option<Arc<dyn TraceSink>>,
+    stage: Stage,
+}
 
 impl Tracer {
-    /// A tracer delivering events to `sink`.
-    pub fn new(sink: Rc<dyn TraceSink>) -> Self {
-        Tracer(Some(sink))
+    /// A tracer delivering events to `sink`, stamped [`Stage::Foreground`].
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer {
+            sink: Some(sink),
+            stage: Stage::Foreground,
+        }
     }
 
     /// The disabled tracer (no sink, near-zero overhead).
     pub fn disabled() -> Self {
-        Tracer(None)
+        Tracer::default()
+    }
+
+    /// A handle to the same sink stamping its events with `stage` — hand
+    /// one to each background worker.
+    pub fn for_stage(&self, stage: Stage) -> Tracer {
+        Tracer {
+            sink: self.sink.clone(),
+            stage,
+        }
+    }
+
+    /// The stage this handle stamps on its events.
+    pub fn stage(&self) -> Stage {
+        self.stage
     }
 
     /// True when a sink is attached. Use to gate expensive *derived*
@@ -288,15 +340,15 @@ impl Tracer {
     /// [`Tracer::emit_with`]).
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.0.is_some()
+        self.sink.is_some()
     }
 
     /// Emits the event built by `f` — `f` runs only when a sink is
     /// attached, so payload construction is free on the disabled path.
     #[inline]
     pub fn emit_with(&self, f: impl FnOnce() -> TraceEvent) {
-        if let Some(sink) = &self.0 {
-            sink.emit(f());
+        if let Some(sink) = &self.sink {
+            sink.emit_staged(self.stage, f());
         }
     }
 }
@@ -304,11 +356,12 @@ impl Tracer {
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("Tracer")
-            .field(&if self.0.is_some() {
+            .field(&if self.sink.is_some() {
                 "enabled"
             } else {
                 "disabled"
             })
+            .field(&self.stage)
             .finish()
     }
 }
@@ -317,12 +370,12 @@ impl fmt::Debug for Tracer {
 /// counts the ones it had to drop.
 #[derive(Debug)]
 pub struct TraceBuffer {
-    inner: RefCell<TraceBufferInner>,
+    inner: Mutex<TraceBufferInner>,
 }
 
 #[derive(Debug)]
 struct TraceBufferInner {
-    events: VecDeque<TraceEvent>,
+    events: VecDeque<(Stage, TraceEvent)>,
     capacity: usize,
     dropped: u64,
 }
@@ -331,7 +384,7 @@ impl TraceBuffer {
     /// A buffer retaining at most `capacity` events (oldest evicted first).
     pub fn new(capacity: usize) -> Self {
         TraceBuffer {
-            inner: RefCell::new(TraceBufferInner {
+            inner: Mutex::new(TraceBufferInner {
                 events: VecDeque::with_capacity(capacity.min(1024)),
                 capacity: capacity.max(1),
                 dropped: 0,
@@ -340,34 +393,50 @@ impl TraceBuffer {
     }
 
     /// A shared buffer ready to hand to [`Tracer::new`].
-    pub fn shared(capacity: usize) -> Rc<Self> {
-        Rc::new(TraceBuffer::new(capacity))
+    pub fn shared(capacity: usize) -> Arc<Self> {
+        Arc::new(TraceBuffer::new(capacity))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceBufferInner> {
+        // A panic while holding the lock leaves valid (if truncated) event
+        // state; keep collecting.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Copy of the retained events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().events.iter().cloned().collect()
+        self.lock().events.iter().map(|(_, e)| e.clone()).collect()
+    }
+
+    /// Copy of the retained events with their emitting [`Stage`], oldest
+    /// first.
+    pub fn staged_events(&self) -> Vec<(Stage, TraceEvent)> {
+        self.lock().events.iter().cloned().collect()
     }
 
     /// Drains and returns the retained events, oldest first.
     pub fn take(&self) -> Vec<TraceEvent> {
-        self.inner.borrow_mut().events.drain(..).collect()
+        self.lock().events.drain(..).map(|(_, e)| e).collect()
     }
 
     /// Number of events evicted because the buffer was full.
     pub fn dropped(&self) -> u64 {
-        self.inner.borrow().dropped
+        self.lock().dropped
     }
 }
 
 impl TraceSink for TraceBuffer {
     fn emit(&self, event: TraceEvent) {
-        let mut inner = self.inner.borrow_mut();
+        self.emit_staged(Stage::Foreground, event);
+    }
+
+    fn emit_staged(&self, stage: Stage, event: TraceEvent) {
+        let mut inner = self.lock();
         if inner.events.len() == inner.capacity {
             inner.events.pop_front();
             inner.dropped += 1;
         }
-        inner.events.push_back(event);
+        inner.events.push_back((stage, event));
     }
 }
 
@@ -398,7 +467,7 @@ impl<'a> RunTrace<'a> {
     /// tracer is disabled, no meter reads are ever taken.
     pub fn start(tracer: &'a Tracer, cost: &SharedCost) -> Self {
         let (cost, mark) = if tracer.enabled() {
-            (Some(Rc::clone(cost)), cost.total())
+            (Some(Arc::clone(cost)), cost.total())
         } else {
             (None, 0.0)
         };

@@ -1,7 +1,7 @@
 //! Tscan — full sequential table scan (paper Section 4: "a classical
 //! sequential retrieval").
 
-use rdb_storage::{HeapScan, HeapTable, Record, Rid, StorageError};
+use rdb_storage::{HeapScan, HeapTable, Record, Rid, SharedCost, StorageError};
 
 use crate::request::RecordPred;
 
@@ -22,17 +22,19 @@ pub struct Tscan<'a> {
     table: &'a HeapTable,
     residual: RecordPred,
     scan: HeapScan,
+    cost: SharedCost,
     examined: u64,
     delivered: u64,
 }
 
 impl<'a> Tscan<'a> {
-    /// Opens a Tscan.
-    pub fn new(table: &'a HeapTable, residual: RecordPred) -> Self {
+    /// Opens a Tscan charging to `cost`.
+    pub fn new(table: &'a HeapTable, residual: RecordPred, cost: SharedCost) -> Self {
         Tscan {
             table,
             residual,
             scan: table.scan(),
+            cost,
             examined: 0,
             delivered: 0,
         }
@@ -41,7 +43,7 @@ impl<'a> Tscan<'a> {
     /// Estimated total cost of a full Tscan of `table` — known in advance,
     /// which is what makes Tscan the "guaranteed" fallback of Section 6.
     pub fn full_cost(table: &HeapTable) -> f64 {
-        let cfg = table.pool().borrow().cost().config();
+        let cfg = table.pool().cost_config();
         table.page_count() as f64 * cfg.io_read + table.cardinality() as f64 * cfg.cpu_record
     }
 
@@ -64,7 +66,7 @@ impl<'a> Tscan<'a> {
     /// (e.g. an injected fault) — the scan is dead and the retrieval must
     /// surface the error.
     pub fn step(&mut self) -> Result<StrategyStep, StorageError> {
-        match self.scan.next(self.table)? {
+        match self.scan.next(self.table, &self.cost)? {
             None => Ok(StrategyStep::Done),
             Some((rid, record)) => {
                 self.examined += 1;
@@ -82,7 +84,7 @@ impl<'a> Tscan<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     use rdb_storage::{shared_meter, shared_pool, Column, CostConfig, FileId, Schema, Value, ValueType};
 
@@ -104,8 +106,8 @@ mod tests {
     #[test]
     fn delivers_exactly_matching_records() {
         let t = table(100);
-        let pred: RecordPred = Rc::new(|r: &Record| r[0].as_i64().unwrap() % 10 == 0);
-        let mut scan = Tscan::new(&t, pred);
+        let pred: RecordPred = Arc::new(|r: &Record| r[0].as_i64().unwrap() % 10 == 0);
+        let mut scan = Tscan::new(&t, pred, t.pool().cost().clone());
         let mut delivered = Vec::new();
         loop {
             match scan.step().unwrap() {
@@ -125,11 +127,11 @@ mod tests {
     #[test]
     fn full_cost_matches_actual_cold_scan() {
         let t = table(500);
-        let cost = { t.pool().borrow().cost().clone() };
+        let cost = t.pool().cost().clone();
         let predicted = Tscan::full_cost(&t);
         let before = cost.total();
-        let pred: RecordPred = Rc::new(|_: &Record| false);
-        let mut scan = Tscan::new(&t, pred);
+        let pred: RecordPred = Arc::new(|_: &Record| false);
+        let mut scan = Tscan::new(&t, pred, t.pool().cost().clone());
         while !matches!(scan.step().unwrap(), StrategyStep::Done) {}
         let actual = cost.total() - before;
         assert!(
@@ -141,8 +143,8 @@ mod tests {
     #[test]
     fn empty_table_finishes_immediately() {
         let t = table(0);
-        let pred: RecordPred = Rc::new(|_: &Record| true);
-        let mut scan = Tscan::new(&t, pred);
+        let pred: RecordPred = Arc::new(|_: &Record| true);
+        let mut scan = Tscan::new(&t, pred, t.pool().cost().clone());
         assert!(matches!(scan.step().unwrap(), StrategyStep::Done));
     }
 }

@@ -16,7 +16,7 @@
 //! union (≈ whole table) is detected early and handed to Tscan.
 
 use rdb_btree::{BTree, KeyRange};
-use rdb_storage::{HeapTable, Rid, StorageError};
+use rdb_storage::{HeapTable, Rid, SharedCost, StorageError};
 
 use crate::jscan::JscanConfig;
 use crate::tscan::Tscan;
@@ -47,17 +47,24 @@ pub struct UnionScan<'a> {
     arms: Vec<UnionArm<'a>>,
     config: JscanConfig,
     events: Vec<String>,
+    cost: SharedCost,
 }
 
 impl<'a> UnionScan<'a> {
     /// Creates the union scan. Arms with provably empty ranges may be
     /// passed; they cost nothing.
-    pub fn new(table: &'a HeapTable, arms: Vec<UnionArm<'a>>, config: JscanConfig) -> Self {
+    pub fn new(
+        table: &'a HeapTable,
+        arms: Vec<UnionArm<'a>>,
+        config: JscanConfig,
+        cost: SharedCost,
+    ) -> Self {
         UnionScan {
             table,
             arms,
             config,
             events: Vec::new(),
+            cost,
         }
     }
 
@@ -89,9 +96,9 @@ impl<'a> UnionScan<'a> {
         order.sort_by(|&x, &y| self.arms[x].estimate.total_cmp(&self.arms[y].estimate));
         for idx in order {
             let arm = &self.arms[idx];
-            let mut scan = arm.tree.range_scan(arm.range.clone());
+            let mut scan = arm.tree.range_scan(arm.range.clone(), &self.cost);
             let mut collected = 0usize;
-            while let Some((_, rid)) = scan.next(arm.tree)? {
+            while let Some((_, rid)) = scan.next(arm.tree, &self.cost)? {
                 rids.push(rid);
                 collected += 1;
                 // Refresh the projection as evidence accumulates: what we
@@ -123,11 +130,7 @@ impl<'a> UnionScan<'a> {
         let before = rids.len();
         rids.sort_unstable();
         rids.dedup();
-        self.table
-            .pool()
-            .borrow()
-            .cost()
-            .charge_rid_ops(before as u64);
+        self.cost.charge_rid_ops(before as u64);
         self.events.push(format!(
             "union of {} RIDs ({} after dedup)",
             before,
@@ -164,7 +167,7 @@ mod tests {
     }
 
     fn arm<'a>(tree: &'a BTree, range: KeyRange) -> UnionArm<'a> {
-        let estimate = tree.estimate_range(&range).estimate;
+        let estimate = tree.estimate_range(&range, tree.pool().cost()).estimate;
         UnionArm {
             tree,
             range,
@@ -181,6 +184,7 @@ mod tests {
             &table,
             vec![arm(&ia, KeyRange::eq(1)), arm(&ib, KeyRange::eq(2))],
             JscanConfig::default(),
+            table.pool().cost().clone(),
         );
         match u.run().unwrap() {
             UnionOutcome::Rids(rids) => assert_eq!(rids.len(), 50, "{:?}", u.events()),
@@ -196,6 +200,7 @@ mod tests {
             &table,
             vec![arm(&ia, KeyRange::eq(1)), arm(&ib, KeyRange::eq(1))],
             JscanConfig::default(),
+            table.pool().cost().clone(),
         );
         match u.run().unwrap() {
             UnionOutcome::Rids(rids) => {
@@ -219,6 +224,7 @@ mod tests {
                 arm(&ib, KeyRange::eq(0)),
             ],
             JscanConfig::default(),
+            table.pool().cost().clone(),
         );
         assert!(matches!(u.run().unwrap(), UnionOutcome::UseTscan));
     }
@@ -233,6 +239,7 @@ mod tests {
                 arm(&ib, KeyRange::closed(500, 900)), // outside the domain
             ],
             JscanConfig::default(),
+            table.pool().cost().clone(),
         );
         match u.run().unwrap() {
             UnionOutcome::Rids(rids) => assert_eq!(rids.len(), 100, "{:?}", u.events()),

@@ -48,7 +48,12 @@ fn inline_tier_and_filter_probes_do_not_allocate() {
 
     // Building the builder and pushing a full inline tier: no allocations.
     let before = allocations();
-    let mut builder = RidListBuilder::new(RidTierConfig::default(), pool.clone(), FileId(9));
+    let mut builder = RidListBuilder::new(
+        RidTierConfig::default(),
+        pool.clone(),
+        FileId(9),
+        pool.cost().clone(),
+    );
     for i in 0..INLINE_CAPACITY {
         builder.push(Rid::new(i as u32, 0));
     }
@@ -90,7 +95,12 @@ fn inline_tier_and_filter_probes_do_not_allocate() {
 
     // Sharing a filter over an ascending buffer-tier list is one Rc bump,
     // not a copy: cloning the filter allocates nothing.
-    let mut builder = RidListBuilder::new(RidTierConfig::default(), pool, FileId(10));
+    let mut builder = RidListBuilder::new(
+        RidTierConfig::default(),
+        pool.clone(),
+        FileId(10),
+        pool.cost().clone(),
+    );
     for i in 0..100 {
         builder.push(Rid::new(i, 0));
     }

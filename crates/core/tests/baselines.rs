@@ -2,7 +2,7 @@
 //! baselines: the Selinger-style static optimizer and the statically-
 //! thresholded Jscan of \[MoHa90\].
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_btree::{BTree, KeyRange};
 use rdb_core::baseline::{estimate_all, PredShape, StaticIndexInfo};
@@ -54,9 +54,10 @@ fn families(n: i64, mb: i64) -> Fixture {
 }
 
 fn age_request<'a>(f: &'a Fixture, a1: i64) -> RetrievalRequest<'a> {
-    let residual: RecordPred = Rc::new(move |r: &Record| r[0].as_i64().unwrap() >= a1);
+    let residual: RecordPred = Arc::new(move |r: &Record| r[0].as_i64().unwrap() >= a1);
     RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![IndexChoice::fetch_needed(&f.idx_age, KeyRange::at_least(a1))],
         residual,
         goal: OptimizeGoal::TotalTime,
@@ -87,17 +88,17 @@ fn host_variable_example_static_vs_dynamic() {
 
     // :A1 = 0 — everything qualifies. Indexed retrieval is catastrophic
     // here (random fetch per record); Tscan is right.
-    f.table.pool().borrow_mut().clear();
+    f.table.pool().clear();
     let dyn_all = dynamic.run(&age_request(&f, 0)).unwrap();
-    f.table.pool().borrow_mut().clear();
+    f.table.pool().clear();
     let stat_all = static_opt.execute(plan, &age_request(&f, 0)).unwrap();
     assert_eq!(dyn_all.deliveries.len(), 8000);
     assert_eq!(stat_all.deliveries.len(), 8000);
 
     // :A1 = 99 — ~1% qualifies. Tscan is catastrophic; the index is right.
-    f.table.pool().borrow_mut().clear();
+    f.table.pool().clear();
     let dyn_few = dynamic.run(&age_request(&f, 99)).unwrap();
-    f.table.pool().borrow_mut().clear();
+    f.table.pool().clear();
     let stat_few = static_opt.execute(plan, &age_request(&f, 99)).unwrap();
     assert_eq!(dyn_few.deliveries.len(), stat_few.deliveries.len());
 
@@ -155,9 +156,10 @@ fn static_jscan_cannot_abandon_misestimated_scans() {
         ib.insert(vec![Value::Int(b)], rid);
     }
     let residual: RecordPred =
-        Rc::new(|r: &Record| r[0] == Value::Int(1) && r[1] == Value::Int(1));
+        Arc::new(|r: &Record| r[0] == Value::Int(1) && r[1] == Value::Int(1));
     let request = RetrievalRequest {
         table: &table,
+        cost: table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&ib, KeyRange::eq(1)),
             IndexChoice::fetch_needed(&ia, KeyRange::eq(1)),
@@ -170,12 +172,12 @@ fn static_jscan_cannot_abandon_misestimated_scans() {
 
     // Static multi-index plan: both indexes below 25% threshold → both
     // scanned fully (idx_a's 4000-entry scan is never abandoned).
-    table.pool().borrow_mut().clear();
+    table.pool().clear();
     let static_jscan = StaticJscan::new(StaticJscanConfig::default());
     let est = estimate_all(&request);
     let stat = static_jscan.run(&request, &est).unwrap();
 
-    table.pool().borrow_mut().clear();
+    table.pool().clear();
     let dynamic = DynamicOptimizer::default();
     let dyn_run = dynamic.run(&request).unwrap();
 

@@ -3,7 +3,7 @@
 //! deliver exactly the rows a brute-force scan selects — no duplicates,
 //! no misses — and shortcuts must never change results.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -81,7 +81,7 @@ proptest! {
     ) {
         let w = build_world(n, ma, mb, fanout);
         let (a_hi, b_hi) = (a_lo + a_len, b_lo + b_len);
-        let residual: RecordPred = Rc::new(move |r: &Record| {
+        let residual: RecordPred = Arc::new(move |r: &Record| {
             let a = r[0].as_i64().unwrap();
             let b = r[1].as_i64().unwrap();
             (a_lo..=a_hi).contains(&a) && (b_lo..=b_hi).contains(&b)
@@ -96,6 +96,7 @@ proptest! {
             goal: if fast_first { OptimizeGoal::FastFirst } else { OptimizeGoal::TotalTime },
             order_required: false,
             limit: None,
+            cost: w.table.pool().cost().clone(),
         };
         let optimizer = DynamicOptimizer::new(DynamicConfig {
             jscan: JscanConfig {
@@ -108,7 +109,7 @@ proptest! {
         let mut got: Vec<i64> = result
             .deliveries
             .iter()
-            .map(|d| w.table.fetch(d.rid).unwrap()[2].as_i64().unwrap())
+            .map(|d| w.table.fetch(d.rid, w.table.pool().cost()).unwrap()[2].as_i64().unwrap())
             .collect();
         got.sort_unstable();
         let expect: Vec<i64> = (0..w.n)
@@ -131,7 +132,7 @@ proptest! {
         limit in 1usize..30,
     ) {
         let w = build_world(n, ma, 10, 8);
-        let residual: RecordPred = Rc::new(move |r: &Record| r[0] == Value::Int(a_eq));
+        let residual: RecordPred = Arc::new(move |r: &Record| r[0] == Value::Int(a_eq));
         let make_request = |lim: Option<usize>| RetrievalRequest {
             table: &w.table,
             indexes: vec![IndexChoice::fetch_needed(&w.idx_a, KeyRange::eq(a_eq))],
@@ -139,17 +140,18 @@ proptest! {
             goal: OptimizeGoal::FastFirst,
             order_required: false,
             limit: lim,
+            cost: w.table.pool().cost().clone(),
         };
         let optimizer = DynamicOptimizer::default();
-        w.table.pool().borrow_mut().clear();
+        w.table.pool().clear();
         let limited = optimizer.run(&make_request(Some(limit))).unwrap();
-        w.table.pool().borrow_mut().clear();
+        w.table.pool().clear();
         let unlimited = optimizer.run(&make_request(None)).unwrap();
         let truth = (0..w.n).filter(|&i| i % w.ma == a_eq).count();
         prop_assert_eq!(limited.deliveries.len(), truth.min(limit));
         prop_assert_eq!(unlimited.deliveries.len(), truth);
         for d in &limited.deliveries {
-            let rec = w.table.fetch(d.rid).unwrap();
+            let rec = w.table.fetch(d.rid, w.table.pool().cost()).unwrap();
             prop_assert_eq!(rec[0].as_i64().unwrap(), a_eq);
         }
         prop_assert!(limited.cost <= unlimited.cost + 1.0);
@@ -166,7 +168,7 @@ proptest! {
         fast_first in any::<bool>(),
     ) {
         let w = build_world(n, ma, mb, 8);
-        let residual: RecordPred = Rc::new(move |r: &Record| {
+        let residual: RecordPred = Arc::new(move |r: &Record| {
             r[0] == Value::Int(a_eq) && r[1] == Value::Int(b_eq)
         });
         let request = RetrievalRequest {
@@ -179,6 +181,7 @@ proptest! {
             goal: if fast_first { OptimizeGoal::FastFirst } else { OptimizeGoal::TotalTime },
             order_required: false,
             limit: None,
+            cost: w.table.pool().cost().clone(),
         };
         let result = DynamicOptimizer::default().run(&request).unwrap();
         let mut rids = result.rids();

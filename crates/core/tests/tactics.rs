@@ -2,7 +2,7 @@
 //! restriction selects, and the dynamic decisions must go the way the
 //! paper claims.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_btree::{BTree, KeyRange};
 use rdb_core::{
@@ -69,7 +69,7 @@ impl Fixture {
     }
 
     fn residual_ab(&self, va: i64, vb: i64) -> RecordPred {
-        Rc::new(move |r: &Record| {
+        Arc::new(move |r: &Record| {
             r[0] == Value::Int(va) && r[1] == Value::Int(vb)
         })
     }
@@ -78,7 +78,7 @@ impl Fixture {
 fn delivered_c_values(table: &HeapTable, rids: &[Rid]) -> Vec<i64> {
     let mut out: Vec<i64> = rids
         .iter()
-        .map(|&rid| table.fetch(rid).unwrap()[2].as_i64().unwrap())
+        .map(|&rid| table.fetch(rid, table.pool().cost()).unwrap()[2].as_i64().unwrap())
         .collect();
     out.sort_unstable();
     out
@@ -89,6 +89,7 @@ fn background_only_matches_truth() {
     let f = fixture(3000, 50, 30);
     let req = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(7)),
             IndexChoice::fetch_needed(&f.idx_b, KeyRange::eq(7)),
@@ -113,6 +114,7 @@ fn fast_first_matches_truth_and_respects_limit() {
     let residual = f.residual_ab(7, 7);
     let mut req = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(7)),
             IndexChoice::fetch_needed(&f.idx_b, KeyRange::eq(7)),
@@ -147,12 +149,13 @@ fn fast_first_matches_truth_and_respects_limit() {
 #[test]
 fn index_only_tactic_matches_truth() {
     let f = fixture(2000, 40, 25);
-    let key_pred: KeyPred = Rc::new(|k: &[Value]| k[0] == Value::Int(3));
+    let key_pred: KeyPred = Arc::new(|k: &[Value]| k[0] == Value::Int(3));
     // The self-sufficient index answers "a == 3" alone; idx_b's range is a
     // broad non-binding range so the background Jscan has work to do.
-    let residual: RecordPred = Rc::new(|r: &Record| r[0] == Value::Int(3));
+    let residual: RecordPred = Arc::new(|r: &Record| r[0] == Value::Int(3));
     let req = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(3)).with_self_sufficient(key_pred),
             IndexChoice::fetch_needed(&f.idx_b, KeyRange::closed(0, 24)),
@@ -175,9 +178,10 @@ fn index_only_tactic_matches_truth() {
 fn sorted_tactic_delivers_in_order_and_matches_truth() {
     let f = fixture(2000, 10, 40);
     // Order by c (unique index on c provides it); restriction: b == 5.
-    let residual: RecordPred = Rc::new(|r: &Record| r[1] == Value::Int(5));
+    let residual: RecordPred = Arc::new(|r: &Record| r[1] == Value::Int(5));
     let req = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&f.idx_c, KeyRange::all()).with_order(),
             IndexChoice::fetch_needed(&f.idx_b, KeyRange::eq(5)),
@@ -207,7 +211,7 @@ fn sorted_tactic_filter_saves_fetches() {
     // With a highly selective background index, the Jscan filter must cut
     // the ordered Fscan's fetch count far below the unfiltered run.
     let f = fixture(4000, 400, 40);
-    let residual: RecordPred = Rc::new(|r: &Record| r[0] == Value::Int(3));
+    let residual: RecordPred = Arc::new(|r: &Record| r[0] == Value::Int(3));
     let make_req = |with_bgr: bool| {
         let mut indexes = vec![IndexChoice::fetch_needed(&f.idx_c, KeyRange::all()).with_order()];
         if with_bgr {
@@ -215,6 +219,7 @@ fn sorted_tactic_filter_saves_fetches() {
         }
         RetrievalRequest {
             table: &f.table,
+            cost: f.table.pool().cost().clone(),
             indexes,
             residual: residual.clone(),
             goal: OptimizeGoal::FastFirst,
@@ -224,9 +229,9 @@ fn sorted_tactic_filter_saves_fetches() {
     };
     let opt = DynamicOptimizer::default();
     // Cold cache for each run so the comparison is fair.
-    f.table.pool().borrow_mut().clear();
+    f.table.pool().clear();
     let with_filter = opt.run(&make_req(true)).unwrap();
-    f.table.pool().borrow_mut().clear();
+    f.table.pool().clear();
     let baseline = opt.run(&make_req(false)).unwrap();
     let want = f.truth(|a, _, _| a == 3);
     assert_eq!(
@@ -251,11 +256,12 @@ fn fast_first_observer_sees_first_row_early() {
     // streams it out while the run is still going.
     use std::cell::Cell;
     let f = fixture(4000, 50, 30);
-    let residual: RecordPred = Rc::new(|r: &Record| {
+    let residual: RecordPred = Arc::new(|r: &Record| {
         r[0] == Value::Int(7) && r[1] == Value::Int(7)
     });
     let make_req = |goal| RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(7)),
             IndexChoice::fetch_needed(&f.idx_b, KeyRange::eq(7)),
@@ -267,8 +273,8 @@ fn fast_first_observer_sees_first_row_early() {
     };
     let opt = DynamicOptimizer::default();
     let measure = |goal| -> (f64, f64, usize) {
-        f.table.pool().borrow_mut().clear();
-        let cost = { f.table.pool().borrow().cost().clone() };
+        f.table.pool().clear();
+        let cost = { f.table.pool().cost().clone() };
         let start = cost.total();
         let first_at = Cell::new(f64::NAN);
         let observer: rdb_core::DeliveryObserver<'_> = Box::new(|_d| {
@@ -302,9 +308,10 @@ fn sorted_tactic_correct_with_bitmap_filter() {
     // result exact.
     use rdb_core::{DynamicConfig, JscanConfig, RidTierConfig};
     let f = fixture(4000, 8, 40);
-    let residual: RecordPred = Rc::new(|r: &Record| r[0] == Value::Int(3));
+    let residual: RecordPred = Arc::new(|r: &Record| r[0] == Value::Int(3));
     let req = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&f.idx_c, KeyRange::all()).with_order(),
             IndexChoice::fetch_needed(&f.idx_a, KeyRange::eq(3)),
@@ -343,8 +350,9 @@ fn empty_range_ends_instantly() {
     let f = fixture(2000, 10, 10);
     let req = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![IndexChoice::fetch_needed(&f.idx_c, KeyRange::closed(90_000, 99_000))],
-        residual: Rc::new(|_: &Record| false),
+        residual: Arc::new(|_: &Record| false),
         goal: OptimizeGoal::TotalTime,
         order_required: false,
         limit: None,
@@ -364,12 +372,13 @@ fn empty_range_ends_instantly() {
 #[test]
 fn tiny_range_shortcut_fetches_directly() {
     let f = fixture(5000, 10, 10);
-    let residual: RecordPred = Rc::new(|r: &Record| {
+    let residual: RecordPred = Arc::new(|r: &Record| {
         let c = r[2].as_i64().unwrap();
         (100..=102).contains(&c)
     });
     let req = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&f.idx_c, KeyRange::closed(100, 102)),
             IndexChoice::fetch_needed(&f.idx_a, KeyRange::closed(0, 9)),
@@ -395,7 +404,7 @@ fn no_indexes_means_tscan() {
     let f = fixture(500, 10, 10);
     let req = RetrievalRequest::table_only(
         &f.table,
-        Rc::new(|r: &Record| r[0] == Value::Int(1)),
+        Arc::new(|r: &Record| r[0] == Value::Int(1)),
         OptimizeGoal::TotalTime,
     );
     let opt = DynamicOptimizer::default();
@@ -413,8 +422,9 @@ fn unselective_index_degrades_to_tscan_not_catastrophe() {
     let f = fixture(3000, 10, 10);
     let req = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![IndexChoice::fetch_needed(&f.idx_a, KeyRange::closed(0, 9))],
-        residual: Rc::new(|r: &Record| r[2].as_i64().unwrap() % 2 == 0),
+        residual: Arc::new(|r: &Record| r[2].as_i64().unwrap() % 2 == 0),
         goal: OptimizeGoal::TotalTime,
         order_required: false,
         limit: None,
@@ -440,8 +450,9 @@ fn dynamic_choice_tracks_host_variable() {
     // :A1 = 0 → everything qualifies → Jscan discards the index, Tscan runs.
     let req_all = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![IndexChoice::fetch_needed(&f.idx_c, KeyRange::at_least(0))],
-        residual: Rc::new(|_: &Record| true),
+        residual: Arc::new(|_: &Record| true),
         goal: OptimizeGoal::TotalTime,
         order_required: false,
         limit: None,
@@ -451,8 +462,9 @@ fn dynamic_choice_tracks_host_variable() {
     // :A1 = 4997 → three records → near-free indexed path.
     let req_few = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![IndexChoice::fetch_needed(&f.idx_c, KeyRange::at_least(4997))],
-        residual: Rc::new(|r: &Record| r[2].as_i64().unwrap() >= 4997),
+        residual: Arc::new(|r: &Record| r[2].as_i64().unwrap() >= 4997),
         goal: OptimizeGoal::TotalTime,
         order_required: false,
         limit: None,
@@ -472,14 +484,15 @@ fn sscan_static_when_single_self_sufficient_index() {
     // The range must be big enough not to trip the tiny-range shortcut
     // (which would — correctly — preempt the static Sscan decision).
     let f = fixture(1000, 10, 10);
-    let key_pred: KeyPred = Rc::new(|k: &[Value]| k[0].as_i64().unwrap() >= 500);
+    let key_pred: KeyPred = Arc::new(|k: &[Value]| k[0].as_i64().unwrap() >= 500);
     let req = RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&f.idx_c, KeyRange::at_least(500))
                 .with_self_sufficient(key_pred),
         ],
-        residual: Rc::new(|r: &Record| r[2].as_i64().unwrap() >= 500),
+        residual: Arc::new(|r: &Record| r[2].as_i64().unwrap() >= 500),
         goal: OptimizeGoal::TotalTime,
         order_required: false,
         limit: None,

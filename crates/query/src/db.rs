@@ -2,7 +2,7 @@
 //! dynamic optimizer — with typed errors, builder-style per-run options,
 //! per-query metrics, and `EXPLAIN ANALYZE`.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use rdb_btree::BTree;
 use rdb_core::{
@@ -56,7 +56,9 @@ struct TableEntry {
     indexes: Vec<BTree>,
 }
 
-/// Per-query buffer-pool activity: the pool-counter delta across one run.
+/// Per-query buffer-pool activity: the session meter's counter delta
+/// across one run. Because each session charges its own [`SharedCost`],
+/// these stay per-query-accurate even when many sessions share the pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueryMetrics {
     /// Buffer-pool hits this query caused.
@@ -114,10 +116,6 @@ pub struct Db {
     next_file: u32,
     optimizer: DynamicOptimizer,
 }
-
-/// Former name of [`Db`].
-#[deprecated(note = "renamed to `Db`")]
-pub type Database = Db;
 
 fn unknown_column(table: &str, column: &str) -> QueryError {
     QueryError::UnknownColumn {
@@ -216,6 +214,7 @@ impl Db {
         let file = self.alloc_file();
         let fanout = self.config.index_fanout;
         let pool = self.pool.clone();
+        let cost = self.cost.clone();
         let entry = self.table_mut(table)?;
         let key_columns: Vec<usize> = columns
             .iter()
@@ -231,7 +230,7 @@ impl Db {
         // bottom-up pass instead of per-entry inserts).
         let mut entries: Vec<(Vec<Value>, rdb_storage::Rid)> = Vec::new();
         let mut scan = entry.heap.scan();
-        while let Some((rid, record)) = scan.next(&entry.heap)? {
+        while let Some((rid, record)) = scan.next(&entry.heap, &cost)? {
             let key: Vec<Value> = key_columns.iter().map(|&c| record[c].clone()).collect();
             entries.push((key, rid));
         }
@@ -320,15 +319,17 @@ impl Db {
                 goal: OptimizeGoal::TotalTime,
                 order_required: false,
                 limit: None,
+                cost: self.cost.clone(),
             };
             self.optimizer
                 .run_traced(&request, None, &opts.tracer())?
                 .rids()
         };
         // Maintain heap and indexes.
+        let cost = self.cost.clone();
         let entry = self.table_mut(table)?;
         for &rid in &victims {
-            let record = entry.heap.fetch(rid)?;
+            let record = entry.heap.fetch(rid, &cost)?;
             for index in &mut entry.indexes {
                 let key: Vec<Value> = index
                     .key_columns()
@@ -371,13 +372,14 @@ impl Db {
                 goal: OptimizeGoal::TotalTime,
                 order_required: false,
                 limit: None,
+                cost: self.cost.clone(),
             };
             let rids = self
                 .optimizer
                 .run_traced(&request, None, &opts.tracer())?
                 .rids();
             rids.into_iter()
-                .map(|rid| entry.heap.fetch(rid).map(|r| (rid, r)))
+                .map(|rid| entry.heap.fetch(rid, &self.cost).map(|r| (rid, r)))
                 .collect::<Result<_, _>>()?
         };
         let count = victims.len();
@@ -451,6 +453,7 @@ impl Db {
             goal,
             order_required: false,
             limit,
+            cost: self.cost.clone(),
         };
         let (choice, plan) = self.optimizer.choose(&request);
         let detail = match &plan.shortcut {
@@ -510,24 +513,36 @@ impl Db {
     }
 
     /// Runs a SQL-ish query with per-run [`QueryOptions`] (host-variable
-    /// bindings, goal/limit overrides, tracing).
+    /// bindings, goal/limit overrides, tracing). Charges the database's
+    /// default meter; concurrent clients should run through [`Db::session`]
+    /// handles instead so each gets its own meter.
     pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryResult, QueryError> {
         let spec = parse_query(sql)?;
         self.query_spec(&spec, opts)
     }
 
-    /// Runs a pre-parsed query.
+    /// Runs a pre-parsed query (on the database's default meter).
     pub fn query_spec(
         &self,
         spec: &QuerySpec,
         opts: &QueryOptions,
     ) -> Result<QueryResult, QueryError> {
-        let before = self.pool.borrow().stats();
-        let mut result = self.query_spec_inner(spec, opts)?;
-        let delta = self.pool.borrow().stats().since(&before);
+        let cost = self.cost.clone();
+        self.query_spec_on(spec, opts, &cost)
+    }
+
+    fn query_spec_on(
+        &self,
+        spec: &QuerySpec,
+        opts: &QueryOptions,
+        cost: &SharedCost,
+    ) -> Result<QueryResult, QueryError> {
+        let before = cost.snapshot();
+        let mut result = self.query_spec_inner(spec, opts, cost)?;
+        let delta = cost.snapshot().since(&before);
         result.metrics = QueryMetrics {
-            pool_hits: delta.hits,
-            pool_misses: delta.misses,
+            pool_hits: delta.cache_hits,
+            pool_misses: delta.page_reads,
         };
         Ok(result)
     }
@@ -536,6 +551,7 @@ impl Db {
         &self,
         spec: &QuerySpec,
         opts: &QueryOptions,
+        cost: &SharedCost,
     ) -> Result<QueryResult, QueryError> {
         let entry = self.table(&spec.table)?;
         let schema = entry.heap.schema();
@@ -628,7 +644,7 @@ impl Db {
                 for d in &result.deliveries {
                     let record = match &d.record {
                         Some(r) => r.clone(),
-                        None => entry.heap.fetch(d.rid)?,
+                        None => entry.heap.fetch(d.rid, cost)?,
                     };
                     if let Some(i) = order_idx {
                         sort_keys.push(record[i].clone());
@@ -648,6 +664,7 @@ impl Db {
                         &self.pool,
                         &self.config.sort,
                         spec.order_desc,
+                        cost,
                     );
                     rows = sorted;
                     if let Some(limit) = limit {
@@ -726,6 +743,7 @@ impl Db {
             } else {
                 limit
             },
+            cost: cost.clone(),
         };
         let result = self.optimizer.run_traced(&request, None, &tracer)?;
 
@@ -765,7 +783,7 @@ impl Db {
             } else {
                 let record = match &d.record {
                     Some(r) => r.clone(),
-                    None => entry.heap.fetch(d.rid)?,
+                    None => entry.heap.fetch(d.rid, cost)?,
                 };
                 let row: Vec<Value> = out_columns
                     .iter()
@@ -782,8 +800,13 @@ impl Db {
 
         if needs_post_sort {
             let paired: Vec<(Value, Vec<Value>)> = sort_keys.into_iter().zip(rows).collect();
-            let (sorted, _) =
-                crate::sort::sort_rows_dir(paired, &self.pool, &self.config.sort, spec.order_desc);
+            let (sorted, _) = crate::sort::sort_rows_dir(
+                paired,
+                &self.pool,
+                &self.config.sort,
+                spec.order_desc,
+                cost,
+            );
             rows = sorted;
             if let Some(limit) = limit {
                 rows.truncate(limit);
@@ -802,7 +825,7 @@ impl Db {
 
     /// Evicts every cached page (cold restart) — used by experiments.
     pub fn clear_cache(&self) {
-        self.pool.borrow_mut().clear();
+        self.pool.clear();
     }
 
     /// Direct access to a table's heap (experiments and tests).
@@ -815,34 +838,79 @@ impl Db {
         self.tables.get(table).map(|t| t.indexes.as_slice())
     }
 
-    /// Pre-`QueryOptions` calling convention for [`Db::query`].
-    #[deprecated(note = "use `query(sql, &QueryOptions::new().with_params(params))`")]
-    pub fn query_with_params(
-        &self,
-        sql: &str,
-        params: &HashMap<String, Value>,
-    ) -> Result<QueryResult, QueryError> {
-        self.query(sql, &QueryOptions::new().with_params(params.clone()))
+    /// Opens a client session: a cheap handle sharing this database's
+    /// tables and buffer pool but carrying its **own cost meter**, so the
+    /// costs and metrics of concurrent queries don't bleed into each
+    /// other. `Db` is `Sync`; wrap it in an [`std::sync::Arc`] (or scoped
+    /// threads) and give each OS thread its own session:
+    ///
+    /// ```
+    /// use rdb_query::prelude::*;
+    /// use rdb_storage::{Column, Schema, ValueType};
+    ///
+    /// let mut db = Db::new(DbConfig::default());
+    /// db.create_table("T", Schema::new(vec![Column::new("X", ValueType::Int)]))?;
+    /// for i in 0..100 {
+    ///     db.insert("T", vec![Value::Int(i)])?;
+    /// }
+    /// std::thread::scope(|scope| {
+    ///     for _ in 0..4 {
+    ///         let session = db.session();
+    ///         scope.spawn(move || {
+    ///             let r = session
+    ///                 .query("select * from T where X >= 90", &QueryOptions::new())
+    ///                 .unwrap();
+    ///             assert_eq!(r.rows.len(), 10);
+    ///         });
+    ///     }
+    /// });
+    /// # Ok::<(), QueryError>(())
+    /// ```
+    pub fn session(&self) -> Session<'_> {
+        Session {
+            db: self,
+            cost: shared_meter(self.config.cost),
+        }
+    }
+}
+
+/// One client's handle on a shared [`Db`]: same tables, same buffer pool,
+/// private cost meter. Create with [`Db::session`]; clone-free and `Send`,
+/// so a session can move into a worker thread.
+pub struct Session<'db> {
+    db: &'db Db,
+    cost: SharedCost,
+}
+
+impl<'db> Session<'db> {
+    /// This session's private meter (all its queries charge here).
+    pub fn cost(&self) -> &SharedCost {
+        &self.cost
     }
 
-    /// Pre-`QueryOptions` calling convention for [`Db::query_spec`].
-    #[deprecated(note = "use `query_spec(spec, &QueryOptions::new().with_params(params))`")]
-    pub fn query_spec_with_params(
+    /// The shared database this session runs against.
+    pub fn db(&self) -> &'db Db {
+        self.db
+    }
+
+    /// Runs a query on this session's meter (see [`Db::query`]).
+    pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryResult, QueryError> {
+        let spec = parse_query(sql)?;
+        self.query_spec(&spec, opts)
+    }
+
+    /// Runs a pre-parsed query on this session's meter.
+    pub fn query_spec(
         &self,
         spec: &QuerySpec,
-        params: &HashMap<String, Value>,
+        opts: &QueryOptions,
     ) -> Result<QueryResult, QueryError> {
-        self.query_spec(spec, &QueryOptions::new().with_params(params.clone()))
+        self.db.query_spec_on(spec, opts, &self.cost)
     }
 
-    /// Pre-`QueryOptions` calling convention for [`Db::explain`].
-    #[deprecated(note = "use `explain(sql, &QueryOptions::new().with_params(params))`")]
-    pub fn explain_with_params(
-        &self,
-        sql: &str,
-        params: &HashMap<String, Value>,
-    ) -> Result<String, QueryError> {
-        self.explain(sql, &QueryOptions::new().with_params(params.clone()))
+    /// [`Db::explain`] for this session's binding.
+    pub fn explain(&self, sql: &str, opts: &QueryOptions) -> Result<String, QueryError> {
+        self.db.explain(sql, opts)
     }
 }
 
@@ -1372,18 +1440,95 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let db = db_with_families(100);
-        let mut legacy = HashMap::new();
-        legacy.insert("A1".to_string(), Value::Int(0));
-        let r = db
-            .query_with_params("select * from FAMILIES where AGE >= :A1", &legacy)
+    fn db_and_session_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Db>();
+        assert_send_sync::<Session<'static>>();
+        assert_send_sync::<QueryOptions>();
+    }
+
+    #[test]
+    fn sessions_meter_queries_independently() {
+        let db = db_with_families(1000);
+        let a = db.session();
+        let b = db.session();
+        let ra = a
+            .query("select * from FAMILIES where AGE >= 0", &no_params())
             .unwrap();
-        assert_eq!(r.rows.len(), 100);
-        let plan = db
-            .explain_with_params("select * from FAMILIES where AGE >= :A1", &legacy)
+        let b_before = b.cost().total();
+        assert_eq!(
+            b_before, 0.0,
+            "session B never ran a query, its meter must be untouched"
+        );
+        let a_after = a.cost().total();
+        let rb = b
+            .query("select * from FAMILIES where AGE >= 90", &no_params())
             .unwrap();
-        assert!(!plan.is_empty());
+        assert!(ra.rows.len() > rb.rows.len());
+        assert!(a.cost().total() > 0.0 && b.cost().total() > 0.0);
+        assert_eq!(
+            a.cost().total(),
+            a_after,
+            "session B's query must not charge session A's meter"
+        );
+    }
+
+    #[test]
+    fn concurrent_sessions_agree_with_sequential_results() {
+        let db = db_with_families(2000);
+        let sequential = db
+            .query("select ID from FAMILIES where SIZE = 3", &no_params())
+            .unwrap();
+        let mut expect: Vec<i64> = sequential
+            .rows
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        expect.sort_unstable();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let session = db.session();
+                let expect = expect.clone();
+                scope.spawn(move || {
+                    let r = session
+                        .query("select ID from FAMILIES where SIZE = 3", &no_params())
+                        .unwrap();
+                    let mut got: Vec<i64> =
+                        r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+                    got.sort_unstable();
+                    assert_eq!(got, expect);
+                    assert!(r.metrics.pool_hits + r.metrics.pool_misses > 0);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn parallel_optimizer_matches_cooperative_through_sql() {
+        // Same deterministic data in two databases: one cooperative, one
+        // with the OS-thread background stage. Row sets must agree on
+        // every binding; parallel mode only changes the mechanics.
+        let cooperative = db_with_families(3000);
+        let mut parallel = db_with_families(3000);
+        parallel.config.optimizer.parallel = true;
+        for a1 in [0i64, 50, 90, 99] {
+            let opts = params(&[("A1", a1)]);
+            let sql = "select ID from FAMILIES where AGE >= :A1 and SIZE = 2";
+            let collect = |r: QueryResult| {
+                let mut ids: Vec<i64> = r.rows.iter().map(|row| row[0].as_i64().unwrap()).collect();
+                ids.sort_unstable();
+                ids
+            };
+            cooperative.clear_cache();
+            parallel.clear_cache();
+            let seq = collect(cooperative.query(sql, &opts).unwrap());
+            let par_result = parallel.query(sql, &opts).unwrap();
+            assert!(par_result.cost > 0.0, "parallel run must be billed");
+            assert_eq!(
+                collect(par_result),
+                seq,
+                "AGE >= {a1}: parallel optimizer must deliver the same rows"
+            );
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! the competition timeline for humans (rendered text) and machines
 //! (hand-rolled JSON, no serde).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_core::{json_string, render_timeline, trace_json, TraceBuffer, TraceEvent, TraceSink};
 
@@ -64,8 +64,8 @@ impl ExplainAnalyze {
 /// Tee sink: captures into the analyze buffer while forwarding to the
 /// sink the caller attached via [`QueryOptions::with_trace`].
 struct Fanout {
-    capture: Rc<TraceBuffer>,
-    forward: Rc<dyn TraceSink>,
+    capture: Arc<TraceBuffer>,
+    forward: Arc<dyn TraceSink>,
 }
 
 impl TraceSink for Fanout {
@@ -77,9 +77,9 @@ impl TraceSink for Fanout {
 
 /// Clones `opts` with `capture` attached as the trace sink, teeing to any
 /// sink the caller had already installed.
-pub(crate) fn with_capture(opts: &QueryOptions, capture: Rc<TraceBuffer>) -> QueryOptions {
-    let sink: Rc<dyn TraceSink> = match opts.trace_sink() {
-        Some(forward) => Rc::new(Fanout { capture, forward }),
+pub(crate) fn with_capture(opts: &QueryOptions, capture: Arc<TraceBuffer>) -> QueryOptions {
+    let sink: Arc<dyn TraceSink> = match opts.trace_sink() {
+        Some(forward) => Arc::new(Fanout { capture, forward }),
         None => capture,
     };
     opts.clone().with_trace(sink)

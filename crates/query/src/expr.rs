@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_btree::{KeyBound, KeyRange};
 use rdb_core::{KeyPred, RecordPred};
@@ -339,7 +339,7 @@ impl Expr {
     pub fn record_pred(&self, schema: &Schema) -> RecordPred {
         let expr = self.clone();
         let schema = schema.clone();
-        Rc::new(move |record: &Record| expr.eval(&schema, record))
+        Arc::new(move |record: &Record| expr.eval(&schema, record))
     }
 
     /// Compiles a bound expression into an index-key predicate, given the
@@ -357,7 +357,7 @@ impl Expr {
         // unchanged on key tuples.
         let expr = self.clone();
         let names: Vec<String> = key_columns.iter().map(|(n, _)| n.clone()).collect();
-        Some(Rc::new(move |key: &[Value]| {
+        Some(Arc::new(move |key: &[Value]| {
             eval_on_named_values(&expr, &names, key)
         }))
     }

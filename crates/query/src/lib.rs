@@ -50,9 +50,7 @@ pub mod parser;
 pub mod plan;
 pub mod sort;
 
-pub use db::{Db, DbConfig, QueryMetrics, QueryResult};
-#[allow(deprecated)]
-pub use db::Database;
+pub use db::{Db, DbConfig, QueryMetrics, QueryResult, Session};
 pub use error::QueryError;
 pub use explain::ExplainAnalyze;
 pub use expr::{CmpOp, Expr, Scalar};
@@ -67,7 +65,7 @@ pub use sort::{sort_rows, sort_rows_dir, SortConfig, SortStats};
 /// ANALYZE`, and the storage-layer vocabulary (values, schemas) needed to
 /// define tables and rows.
 pub mod prelude {
-    pub use crate::db::{Db, DbConfig, QueryMetrics, QueryResult};
+    pub use crate::db::{Db, DbConfig, QueryMetrics, QueryResult, Session};
     pub use crate::error::QueryError;
     pub use crate::explain::ExplainAnalyze;
     pub use crate::options::QueryOptions;

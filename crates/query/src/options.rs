@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rdb_core::{OptimizeGoal, TraceSink, Tracer};
 use rdb_storage::Value;
@@ -27,7 +27,7 @@ pub struct QueryOptions {
     params: HashMap<String, Value>,
     goal: Option<OptimizeGoal>,
     limit: Option<usize>,
-    trace: Option<Rc<dyn TraceSink>>,
+    trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl QueryOptions {
@@ -63,7 +63,7 @@ impl QueryOptions {
     }
 
     /// Streams this run's trace events to `sink`.
-    pub fn with_trace(mut self, sink: Rc<dyn TraceSink>) -> Self {
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.trace = Some(sink);
         self
     }
@@ -84,7 +84,7 @@ impl QueryOptions {
     }
 
     /// The attached trace sink, if any.
-    pub fn trace_sink(&self) -> Option<Rc<dyn TraceSink>> {
+    pub fn trace_sink(&self) -> Option<Arc<dyn TraceSink>> {
         self.trace.clone()
     }
 
@@ -97,7 +97,7 @@ impl QueryOptions {
     }
 }
 
-// `Rc<dyn TraceSink>` has no `Debug`; render presence only.
+// `Arc<dyn TraceSink>` has no `Debug`; render presence only.
 impl fmt::Debug for QueryOptions {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("QueryOptions")

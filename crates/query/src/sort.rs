@@ -8,7 +8,7 @@
 //! one merge pass reading them back, charged to the shared buffer pool at
 //! page granularity.
 
-use rdb_storage::{FileId, PageId, SharedPool, Value};
+use rdb_storage::{CostMeter, FileId, PageId, SharedPool, Value};
 
 /// Sorting configuration.
 #[derive(Debug, Clone, Copy)]
@@ -48,8 +48,9 @@ pub fn sort_rows(
     pairs: Vec<(Value, Vec<Value>)>,
     pool: &SharedPool,
     config: &SortConfig,
+    cost: &CostMeter,
 ) -> (Vec<Vec<Value>>, SortStats) {
-    sort_rows_dir(pairs, pool, config, false)
+    sort_rows_dir(pairs, pool, config, false, cost)
 }
 
 /// [`sort_rows`] with an explicit direction (`descending = true` for
@@ -59,6 +60,7 @@ pub fn sort_rows_dir(
     pool: &SharedPool,
     config: &SortConfig,
     descending: bool,
+    cost: &CostMeter,
 ) -> (Vec<Vec<Value>>, SortStats) {
     let rows = pairs.len();
     // CPU charge: ~n log n comparisons, priced as RID-level operations.
@@ -67,7 +69,7 @@ pub fn sort_rows_dir(
     } else {
         0
     };
-    pool.borrow().cost().charge_rid_ops(comparisons);
+    cost.charge_rid_ops(comparisons);
     // The actual ordering (correctness) is a plain stable sort.
     if descending {
         pairs.sort_by(|a, b| b.0.cmp(&a.0));
@@ -86,12 +88,11 @@ pub fn sort_rows_dir(
         // realistic fan-in here.
         stats.runs = rows.div_ceil(config.memory_rows);
         stats.spill_pages = rows.div_ceil(config.rows_per_page) as u32;
-        let mut pool = pool.borrow_mut();
         for p in 0..stats.spill_pages {
-            pool.write(PageId::new(config.temp_file, p));
+            pool.write(PageId::new(config.temp_file, p), cost);
         }
         for p in 0..stats.spill_pages {
-            pool.access(PageId::new(config.temp_file, p));
+            pool.access(PageId::new(config.temp_file, p), cost);
         }
     }
     (pairs.into_iter().map(|(_, row)| row).collect(), stats)
@@ -113,7 +114,7 @@ mod tests {
     #[test]
     fn orders_correctly() {
         let pool = shared_pool(64, shared_meter(CostConfig::default()));
-        let (rows, stats) = sort_rows(pairs(100), &pool, &SortConfig::default());
+        let (rows, stats) = sort_rows(pairs(100), &pool, &SortConfig::default(), pool.cost());
         assert_eq!(stats.rows, 100);
         assert_eq!(stats.runs, 1, "fits in memory");
         let keys: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
@@ -130,7 +131,7 @@ mod tests {
             ..SortConfig::default()
         };
         let before = cost.snapshot();
-        let (rows, stats) = sort_rows(pairs(1000), &pool, &config);
+        let (rows, stats) = sort_rows(pairs(1000), &pool, &config, &cost);
         let delta = cost.snapshot().since(&before);
         assert_eq!(rows.len(), 1000);
         assert_eq!(stats.runs, 10);
@@ -151,9 +152,9 @@ mod tests {
     fn empty_and_single_row_are_free_of_io() {
         let cost = shared_meter(CostConfig::default());
         let pool = shared_pool(4, cost.clone());
-        let (rows, _) = sort_rows(Vec::new(), &pool, &SortConfig::default());
+        let (rows, _) = sort_rows(Vec::new(), &pool, &SortConfig::default(), &cost);
         assert!(rows.is_empty());
-        let (rows, _) = sort_rows(pairs(1), &pool, &SortConfig::default());
+        let (rows, _) = sort_rows(pairs(1), &pool, &SortConfig::default(), &cost);
         assert_eq!(rows.len(), 1);
         assert_eq!(cost.snapshot().page_writes, 0);
     }
@@ -161,7 +162,7 @@ mod tests {
     #[test]
     fn descending_direction() {
         let pool = shared_pool(4, shared_meter(CostConfig::default()));
-        let (rows, _) = sort_rows_dir(pairs(20), &pool, &SortConfig::default(), true);
+        let (rows, _) = sort_rows_dir(pairs(20), &pool, &SortConfig::default(), true, pool.cost());
         let keys: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
         assert_eq!(keys, (0..20).rev().collect::<Vec<_>>());
     }
@@ -172,7 +173,7 @@ mod tests {
         let input: Vec<(Value, Vec<Value>)> = (0..50)
             .map(|i| (Value::Int(i % 5), vec![Value::Int(i)]))
             .collect();
-        let (rows, _) = sort_rows(input, &pool, &SortConfig::default());
+        let (rows, _) = sort_rows(input, &pool, &SortConfig::default(), pool.cost());
         // Within each key group, original order (ascending i) is preserved.
         for group in rows.chunks(10) {
             let ids: Vec<i64> = group.iter().map(|r| r[0].as_i64().unwrap()).collect();

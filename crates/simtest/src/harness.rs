@@ -103,7 +103,7 @@ where
     F: FnMut() -> Result<StrategyStep, E>,
 {
     scenario.cold();
-    let meter = scenario.pool.borrow().cost().clone();
+    let meter = scenario.pool.cost().clone();
     let before = meter.total();
     let mut deliveries = Vec::new();
     loop {
@@ -130,7 +130,7 @@ fn clean_differential(
 
     // Tscan: always applicable, delivers in physical order.
     let residual = query.record_pred();
-    let mut tscan = Tscan::new(&scenario.table, residual.clone());
+    let mut tscan = Tscan::new(&scenario.table, residual.clone(), scenario.pool.cost().clone());
     let (deliveries, tscan_cost) =
         drain(scenario, || tscan.step()).map_err(|e| format!("Tscan died: {e}"))?;
     oracle::check_full(scenario, &expected, &deliveries, None, "Tscan")?;
@@ -145,7 +145,13 @@ fn clean_differential(
             continue;
         };
         let tree = &scenario.indexes[pos];
-        let mut fscan = Fscan::new(&scenario.table, tree, conj.key_range(), residual.clone());
+        let mut fscan = Fscan::new(
+            &scenario.table,
+            tree,
+            conj.key_range(),
+            residual.clone(),
+            scenario.pool.cost().clone(),
+        );
         let (deliveries, cost) =
             drain(scenario, || fscan.step()).map_err(|e| format!("Fscan died: {e}"))?;
         oracle::check_full(scenario, &expected, &deliveries, None, "Fscan")?;
@@ -163,10 +169,11 @@ fn clean_differential(
             let mut sscan = Sscan::new(
                 tree,
                 conj.key_range(),
-                std::rc::Rc::new(move |key: &[Value]| conj.matches(&key[0])),
+                std::sync::Arc::new(move |key: &[Value]| conj.matches(&key[0])),
+                scenario.pool.cost().clone(),
             );
             scenario.cold();
-            let meter = scenario.pool.borrow().cost().clone();
+            let meter = scenario.pool.cost().clone();
             let before = meter.total();
             let mut deliveries = Vec::new();
             loop {
@@ -201,7 +208,7 @@ fn clean_differential(
             .map(|c| {
                 let tree = &scenario.indexes[scenario.index_on(c.col).expect("indexed")];
                 let range = c.key_range();
-                let estimate = tree.estimate_range(&range).estimate;
+                let estimate = tree.estimate_range(&range, scenario.pool.cost()).estimate;
                 JscanIndex {
                     tree,
                     range,
@@ -210,7 +217,12 @@ fn clean_differential(
             })
             .collect();
         scenario.cold();
-        let mut jscan = Jscan::new(&scenario.table, jidx, JscanConfig::default());
+        let mut jscan = Jscan::new(
+            &scenario.table,
+            jidx,
+            JscanConfig::default(),
+            scenario.pool.cost().clone(),
+        );
         let expected_indexed = oracle::expected_for_conjuncts(scenario, &indexed);
         let outcome = jscan.run();
         // Conjuncts whose scans ran to completion: only those are folded
@@ -313,7 +325,7 @@ fn clean_differential(
 
     // The dynamic optimizer, with a first-row cost probe.
     scenario.cold();
-    let meter = scenario.pool.borrow().cost().clone();
+    let meter = scenario.pool.cost().clone();
     let start = meter.total();
     let first_at = Cell::new(f64::NAN);
     let observer: DeliveryObserver<'_> = Box::new(|_d| {
@@ -501,11 +513,11 @@ fn check_result(
 }
 
 fn arm(scenario: &Scenario, policy: FaultPolicy) {
-    scenario.pool.borrow_mut().set_fault_policy(Some(policy));
+    scenario.pool.set_fault_policy(Some(policy));
 }
 
 fn disarm(scenario: &Scenario) {
-    scenario.pool.borrow_mut().set_fault_policy(None);
+    scenario.pool.set_fault_policy(None);
 }
 
 /// Runs the dynamic optimizer with random faults armed. Every outcome is

@@ -31,9 +31,11 @@
 //! asserts the oracle catches the difference, proving the differential
 //! comparison has teeth.
 
+pub mod concurrency;
 pub mod harness;
 pub mod oracle;
 pub mod scenario;
 
+pub use concurrency::{concurrency_check, ConcurrencyReport};
 pub use harness::{mutation_check, run_seed, SeedReport, SimConfig};
 pub use scenario::{Conjunct, Query, Scenario};

@@ -4,6 +4,7 @@
 //! cargo run -p rdb-simtest -- --seeds 500
 //! cargo run -p rdb-simtest -- --replay 133742
 //! cargo run -p rdb-simtest -- --seeds 64 --fault-rate 0.01
+//! cargo run -p rdb-simtest -- --seeds 32 --threads 8
 //! ```
 //!
 //! Every failure prints the offending seed and the exact `--replay`
@@ -12,12 +13,13 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
-use rdb_simtest::{mutation_check, run_seed, SeedReport, SimConfig};
+use rdb_simtest::{concurrency_check, mutation_check, run_seed, SeedReport, SimConfig};
 
 struct Args {
     seeds: u64,
     start_seed: u64,
     replay: Option<u64>,
+    threads: usize,
     config: SimConfig,
     skip_mutation_check: bool,
 }
@@ -27,6 +29,7 @@ fn parse_args() -> Result<Args, String> {
         seeds: 100,
         start_seed: 1,
         replay: None,
+        threads: 1,
         config: SimConfig::default(),
         skip_mutation_check: false,
     };
@@ -48,6 +51,14 @@ fn parse_args() -> Result<Args, String> {
                 args.replay =
                     Some(value("--replay")?.parse().map_err(|e| format!("--replay: {e}"))?)
             }
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if args.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+            }
             "--fault-rate" => rates.push(
                 value("--fault-rate")?
                     .parse()
@@ -68,11 +79,15 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "simtest: deterministic differential fuzzing of the dynamic optimizer\n\n\
                      USAGE: simtest [--seeds N] [--start-seed S] [--replay SEED]\n\
-                            [--fault-rate R]... [--cost-mult M] [--cost-slack S]\n\
-                            [--skip-mutation-check]\n\n\
+                            [--threads T] [--fault-rate R]... [--cost-mult M]\n\
+                            [--cost-slack S] [--skip-mutation-check]\n\n\
                      Fault rates 0 < R < 1 arm random storage faults; the clean\n\
                      differential and a scoped index-death scenario always run.\n\
-                     Default fault rates: 0.01 and 0.1."
+                     Default fault rates: 0.01 and 0.1.\n\
+                     --threads T (T >= 2) additionally runs each seed's query\n\
+                     batch concurrently on T OS threads over the shared engine,\n\
+                     differencing every thread against the sequential oracle —\n\
+                     with and without storage faults armed."
                 );
                 std::process::exit(0);
             }
@@ -115,6 +130,9 @@ fn main() -> ExitCode {
     };
 
     let mut total = SeedReport::default();
+    let mut threaded_queries = 0u64;
+    let mut threaded_checks = 0u64;
+    let mut threaded_fault_runs = 0u64;
     let mut failures: Vec<(u64, String)> = Vec::new();
     for &seed in &seeds {
         let outcome = catch_unwind(AssertUnwindSafe(|| run_seed(seed, &args.config)));
@@ -132,7 +150,10 @@ fn main() -> ExitCode {
                 total.degraded_ok += report.degraded_ok;
                 total.trace_checks += report.trace_checks;
             }
-            Ok(Err(e)) => failures.push((seed, e)),
+            Ok(Err(e)) => {
+                failures.push((seed, e));
+                continue;
+            }
             Err(panic) => {
                 let msg = panic
                     .downcast_ref::<&str>()
@@ -140,6 +161,34 @@ fn main() -> ExitCode {
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".into());
                 failures.push((seed, format!("PANIC: {msg}")));
+                continue;
+            }
+        }
+        if args.threads >= 2 {
+            let threads = args.threads;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                concurrency_check(seed, threads, &args.config)
+            }));
+            match outcome {
+                Ok(Ok(report)) => {
+                    if args.replay.is_some() {
+                        println!("{report:#?}");
+                    }
+                    threaded_queries += report.queries_run;
+                    threaded_checks += report.checks;
+                    threaded_fault_runs += report.fault_runs;
+                    total.fault_errors += report.fault_errors;
+                    total.fault_ok += report.fault_ok;
+                }
+                Ok(Err(e)) => failures.push((seed, format!("[{threads} threads] {e}"))),
+                Err(panic) => {
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    failures.push((seed, format!("[{threads} threads] PANIC: {msg}")));
+                }
             }
         }
     }
@@ -156,6 +205,13 @@ fn main() -> ExitCode {
         total.fault_ok,
         total.degraded_ok,
     );
+    if args.threads >= 2 {
+        println!(
+            "simtest: concurrency on {} threads — {} threaded queries, {} oracle checks, \
+             {} faulted threaded runs",
+            args.threads, threaded_queries, threaded_checks, threaded_fault_runs,
+        );
+    }
 
     if failures.is_empty() {
         println!("simtest: all seeds passed");

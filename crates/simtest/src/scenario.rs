@@ -1,7 +1,7 @@
 //! Seeded scenario generation: one `u64` seed determines the table shape,
 //! the data distributions, the index set, and the query batch.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,7 +72,7 @@ impl Query {
     /// The predicate as a [`RecordPred`] for the executor.
     pub fn record_pred(&self) -> RecordPred {
         let conjuncts = self.conjuncts.clone();
-        Rc::new(move |r: &Record| conjuncts.iter().all(|c| c.matches(&r[c.col])))
+        Arc::new(move |r: &Record| conjuncts.iter().all(|c| c.matches(&r[c.col])))
     }
 
     /// The conjunct restricting `col`, if any.
@@ -229,7 +229,7 @@ impl Scenario {
 
     /// Evicts every cached page so the next run starts cold.
     pub fn cold(&self) {
-        self.pool.borrow_mut().clear();
+        self.pool.clear();
     }
 
     /// Position (in `indexes`) of the tree on `col`, if one exists.
@@ -256,7 +256,7 @@ impl Scenario {
                 if single_col == Some(col) {
                     let conj = query.conjuncts[0];
                     choice = choice
-                        .with_self_sufficient(Rc::new(move |key: &[Value]| conj.matches(&key[0])));
+                        .with_self_sufficient(Arc::new(move |key: &[Value]| conj.matches(&key[0])));
                 }
                 choice
             })
@@ -268,6 +268,7 @@ impl Scenario {
             goal: query.goal,
             order_required: false,
             limit: query.limit,
+            cost: self.pool.cost().clone(),
         }
     }
 }

@@ -6,7 +6,7 @@
 //! This module reproduces exactly that phenomenon. Data structures
 //! (heap tables, B-trees, temp tables) route every logical page touch
 //! through [`BufferPool::access`], which classifies it as hit or miss
-//! against a true-LRU cache and charges the shared [`crate::CostMeter`]
+//! against a true-LRU cache and charges the caller's [`crate::CostMeter`]
 //! accordingly. [`BufferPool::perturb`] injects the "asynchronous
 //! interference" the paper describes.
 //!
@@ -14,38 +14,75 @@
 //!
 //! Every simulated page touch goes through this module, so the residency
 //! check is the innermost loop of the whole engine. The pool therefore keys
-//! pages by a packed `u64` ([`PageId::pack`]) and stores them in a single
-//! open-addressed table (Fibonacci hashing, linear probing, backward-shift
+//! pages by a packed `u64` ([`PageId::pack`]) and stores them in
+//! open-addressed tables (Fibonacci hashing, linear probing, backward-shift
 //! deletion) whose entries double as intrusive LRU links — one array, no
-//! `HashMap`, no separate slab, at most one cache line per probe step. The
+//! `HashMap`, no separate slab, at most one cache line per probe step. Each
 //! table is sized to at most 50% load, and slot vacancy is encoded in the
 //! `prev` link (`FREE`) so no page key needs to be reserved as a sentinel.
 //!
-//! Hit/miss classification and eviction order are observably identical to a
-//! naive true-LRU model (see `tests/proptests.rs`, which cross-checks
-//! against [`crate::reference::ReferencePool`]).
+//! # Sharding
+//!
+//! The pool is shared by every session of one database instance, so it is
+//! lock-striped: residency state lives in `N` power-of-two shards, each an
+//! independent open-addressed table + LRU list behind its own mutex. A page
+//! is routed to a shard by Fibonacci-hashing its packed key with the low
+//! [`BLOCK_PAGES`] page bits masked off, so a sequential 64-page run stays
+//! in one shard and [`BufferPool::access_run`] takes one lock per block
+//! rather than one per page. Disjoint working sets therefore never contend;
+//! contended acquisitions are counted in [`BufferPool::contention`].
+//!
+//! [`shared_pool`] builds a **single-shard** pool: with one shard the pool
+//! is one global true-LRU, observably identical (hit/miss sequence,
+//! eviction order, counters) to the pre-sharding pool — this is what the
+//! deterministic tests, goldens and the simulation harness use. Multi-shard
+//! pools ([`shared_pool_sharded`]) partition capacity evenly across shards,
+//! which changes *which* pages are evicted under pressure (each shard runs
+//! its own LRU) but preserves every conservation property: a page is
+//! resident in exactly one shard, and hits + misses always equals accesses.
+//!
+//! Cost attribution is the caller's: every charging entry point takes the
+//! meter to charge, so concurrent sessions sharing the pool each pay for
+//! exactly their own page touches.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use crate::cost::SharedCost;
+use crate::cost::{CostConfig, CostMeter, SharedCost};
 use crate::error::StorageError;
 use crate::fault::FaultPolicy;
 
 /// Shared handle to one [`BufferPool`]. All storage structures of one
 /// database instance (heap tables, indexes, temp tables) share a pool so
-/// they compete for the same simulated memory, as in the paper.
-pub type SharedPool = Rc<RefCell<BufferPool>>;
+/// they compete for the same simulated memory, as in the paper; sessions on
+/// different OS threads clone the `Arc`.
+pub type SharedPool = Arc<BufferPool>;
 
-/// Creates a fresh shared pool.
+/// Creates a fresh shared pool with a **single shard** — fully
+/// deterministic, observably identical to the pre-sharding pool. Use
+/// [`shared_pool_sharded`] for multi-session throughput.
 pub fn shared_pool(capacity: usize, cost: SharedCost) -> SharedPool {
-    Rc::new(RefCell::new(BufferPool::new(capacity, cost)))
+    Arc::new(BufferPool::new(capacity, cost))
 }
+
+/// Creates a fresh shared pool with `shards` lock stripes (rounded up to a
+/// power of two).
+pub fn shared_pool_sharded(capacity: usize, shards: usize, cost: SharedCost) -> SharedPool {
+    Arc::new(BufferPool::with_shards(capacity, shards, cost))
+}
+
+/// Pages per shard-routing block: runs of this many consecutive pages of
+/// one file always land in the same shard, so batched sequential access
+/// takes one lock per block.
+pub const BLOCK_PAGES: u32 = 64;
 
 /// Immutable snapshot of a pool's lifetime hit/miss counters.
 ///
 /// Per-query observability takes one snapshot before the run and one after;
-/// [`PoolStats::since`] yields the delta the query itself caused.
+/// [`PoolStats::since`] yields the delta the query itself caused. (Under
+/// concurrency the pool-wide delta includes other sessions' traffic —
+/// per-session accounting reads the session's own [`crate::CostMeter`]
+/// instead.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PoolStats {
     /// Buffer hits (page found resident).
@@ -141,16 +178,10 @@ enum Probe {
     Miss(usize),
 }
 
-/// A capacity-bounded true-LRU page cache that charges a [`crate::CostMeter`].
-///
-/// The pool stores no page bytes — the in-memory data structures own their
-/// data. What the pool simulates is the *cost* of residency: which logical
-/// pages would have been in memory, and therefore whether an access is a
-/// physical I/O. This keeps the experiments faithful to the paper's
-/// I/O-dominated cost model while remaining deterministic.
+/// One lock stripe: an independent open-addressed true-LRU table (the PR-1
+/// hot-path layout, unchanged) plus its lifetime hit/miss counters.
 #[derive(Debug)]
-pub struct BufferPool {
-    cost: SharedCost,
+struct PoolShard {
     capacity: usize,
     slots: Box<[Slot]>,
     mask: usize,
@@ -160,22 +191,19 @@ pub struct BufferPool {
     tail: u32, // least recently used
     hits: u64,
     misses: u64,
-    fault: Option<FaultPolicy>,
 }
 
-impl BufferPool {
-    /// Creates a pool that can hold `capacity` pages (`capacity >= 1`).
-    pub fn new(capacity: usize, cost: SharedCost) -> Self {
-        assert!(capacity >= 1, "buffer pool capacity must be at least 1");
+impl PoolShard {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "shard capacity must be at least 1");
         assert!(
             capacity < (NIL as usize) / 2,
-            "buffer pool capacity exceeds slot index range"
+            "shard capacity exceeds slot index range"
         );
         // ≤50% load keeps linear-probe runs short; power of two lets the
         // Fibonacci hash reduce by shift instead of modulo.
         let table_len = (capacity * 2).next_power_of_two().max(4);
-        BufferPool {
-            cost,
+        PoolShard {
             capacity,
             slots: vec![VACANT; table_len].into_boxed_slice(),
             mask: table_len - 1,
@@ -185,57 +213,6 @@ impl BufferPool {
             tail: NIL,
             hits: 0,
             misses: 0,
-            fault: None,
-        }
-    }
-
-    /// Installs (or with `None`, removes) a read-fault injection policy.
-    /// Only the fallible [`BufferPool::try_access`]/
-    /// [`BufferPool::try_access_run`] path consults it.
-    pub fn set_fault_policy(&mut self, policy: Option<FaultPolicy>) {
-        self.fault = policy;
-    }
-
-    /// The installed fault policy, if any (for its counters).
-    pub fn fault_policy(&self) -> Option<&FaultPolicy> {
-        self.fault.as_ref()
-    }
-
-    /// Number of pages the pool can hold.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Number of pages currently resident.
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    /// True if no pages are resident.
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Shared cost meter this pool charges.
-    pub fn cost(&self) -> &SharedCost {
-        &self.cost
-    }
-
-    /// Lifetime hit count.
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Lifetime miss count.
-    pub fn misses(&self) -> u64 {
-        self.misses
-    }
-
-    /// Point-in-time copy of the hit/miss counters, for per-query deltas.
-    pub fn stats(&self) -> PoolStats {
-        PoolStats {
-            hits: self.hits,
-            misses: self.misses,
         }
     }
 
@@ -250,7 +227,7 @@ impl BufferPool {
     /// because the table is at most half full.
     ///
     /// SAFETY of the unchecked indexing here and in
-    /// [`BufferPool::unlink`]/[`BufferPool::push_front`]: every index is
+    /// [`PoolShard::unlink`]/[`PoolShard::push_front`]: every index is
     /// either reduced by `& self.mask` or read from a stored LRU link, and
     /// the module maintains the invariant that `mask == slots.len() - 1`
     /// (a power of two) and that every non-[`NIL`]/[`FREE`] link is a valid
@@ -296,126 +273,29 @@ impl BufferPool {
         }
     }
 
-    /// Touches `page`, classifying the access and charging the meter.
-    pub fn access(&mut self, page: PageId) -> Access {
-        match self.touch(page.pack()) {
-            Access::Hit => {
-                self.hits += 1;
-                self.cost.charge_cache_hit();
-                Access::Hit
-            }
-            Access::Miss => {
-                self.misses += 1;
-                self.cost.charge_page_read();
-                Access::Miss
-            }
-        }
+    fn contains(&self, key: u64) -> bool {
+        matches!(self.probe(key), Probe::Hit(_))
     }
 
-    /// Fallible variant of [`BufferPool::access`] used by *data* read
-    /// paths (heap fetches and scans, index range scans, temp-table
-    /// scan-backs). With no fault policy installed it is exactly
-    /// `Ok(self.access(page))`; with one, the read may fail with
-    /// [`StorageError::InjectedFault`] before anything is charged or any
-    /// LRU state changes — a failed read never happened.
-    pub fn try_access(&mut self, page: PageId) -> Result<Access, StorageError> {
-        if let Some(policy) = &mut self.fault {
-            if policy.should_fail(page) {
-                return Err(StorageError::InjectedFault {
-                    file: page.file,
-                    page: page.page,
-                });
-            }
-        }
-        Ok(self.access(page))
-    }
-
-    /// Fallible variant of [`BufferPool::access_run`]. Pages before a
-    /// fault are accessed and charged normally (the scan really did read
-    /// them); the faulting page and everything after it are not.
-    pub fn try_access_run(
-        &mut self,
-        file: FileId,
-        first_page: u32,
-        n: u32,
-    ) -> Result<(u64, u64), StorageError> {
-        if self.fault.is_none() {
-            return Ok(self.access_run(file, first_page, n));
-        }
-        let (mut hits, mut misses) = (0u64, 0u64);
-        for p in first_page..first_page.saturating_add(n) {
-            match self.try_access(PageId::new(file, p)) {
-                Ok(Access::Hit) => hits += 1,
-                Ok(Access::Miss) => misses += 1,
-                Err(e) => return Err(e),
-            }
-        }
-        Ok((hits, misses))
-    }
-
-    /// Touches the sequential run `first_page .. first_page + n` of `file`
-    /// with identical semantics (and identical resulting state, counters
-    /// and cost) to `n` successive [`BufferPool::access`] calls, but with a
-    /// single batched charge per class. Returns `(hits, misses)` for the
-    /// run. This is the fast path for full scans and temp-table reads.
-    pub fn access_run(&mut self, file: FileId, first_page: u32, n: u32) -> (u64, u64) {
-        let mut hits = 0u64;
-        for p in first_page..first_page.saturating_add(n) {
-            if self.touch(PageId::new(file, p).pack()) == Access::Hit {
-                hits += 1;
-            }
-        }
-        let misses = n as u64 - hits;
-        self.hits += hits;
-        self.misses += misses;
-        self.cost.charge_cache_hits(hits);
-        self.cost.charge_page_reads(misses);
-        (hits, misses)
-    }
-
-    /// Records a page *write* access (temp-table spill). Writes always cost
-    /// an I/O and do not pollute the read cache.
-    pub fn write(&mut self, _page: PageId) {
-        self.cost.charge_page_write();
-    }
-
-    /// Records `n` sequential page writes with one batched charge.
-    pub fn write_run(&mut self, _file: FileId, _first_page: u32, n: u32) {
-        self.cost.charge_page_writes(n as u64);
-    }
-
-    /// True if `page` is currently resident (no cost charged, no LRU touch).
-    pub fn contains(&self, page: PageId) -> bool {
-        matches!(self.probe(page.pack()), Probe::Hit(_))
-    }
-
-    /// Evicts every resident page — a cold restart.
-    pub fn clear(&mut self) {
+    fn clear(&mut self) {
         self.slots.fill(VACANT);
         self.head = NIL;
         self.tail = NIL;
         self.len = 0;
     }
 
-    /// Simulates interference from unrelated queries (paper Section 3(c)):
-    /// touches `foreign_pages` synthetic pages belonging to `foreign_file`,
-    /// evicting that much of this query's working set, without charging the
-    /// meter (the cost belongs to the "other" query). Foreign pages already
-    /// resident are left in place (their recency belongs to whoever faulted
-    /// them in).
-    pub fn perturb(&mut self, foreign_file: FileId, foreign_pages: u32) {
-        for p in 0..foreign_pages {
-            let key = PageId::new(foreign_file, p).pack();
-            if let Probe::Miss(f) = self.probe(key) {
-                self.place(key, f);
-            }
+    /// Faults `key` in without recency update if already resident and
+    /// without any counters — the perturbation path.
+    fn fault_in_if_absent(&mut self, key: u64) {
+        if let Probe::Miss(f) = self.probe(key) {
+            self.place(key, f);
         }
     }
 
     /// Single insertion path: evicts the LRU page if full, claims a vacant
     /// slot for `key`, and links it at the MRU end. `key` must not be
     /// resident and `f` must be the FREE slot terminating its probe chain
-    /// (as returned by [`BufferPool::probe`]). Access misses, batched-run
+    /// (as returned by [`PoolShard::probe`]). Access misses, batched-run
     /// misses and [`BufferPool::perturb`] faults all go through here.
     fn place(&mut self, key: u64, f: usize) {
         let mut slot = f;
@@ -445,7 +325,7 @@ impl BufferPool {
     /// Evicts the LRU page and returns the table slot left vacant after
     /// backward-shift compaction.
     fn evict_lru(&mut self) -> usize {
-        debug_assert_ne!(self.tail, NIL, "evict from empty pool");
+        debug_assert_ne!(self.tail, NIL, "evict from empty shard");
         let i = self.tail as usize;
         self.unlink(i);
         self.len -= 1;
@@ -488,7 +368,7 @@ impl BufferPool {
     /// Vacates slot `i` (already unlinked from the LRU list) by the
     /// backward-shift technique: entries displaced past `i` by linear
     /// probing are moved into the hole so lookups never need tombstones.
-    /// Moved entries drag their LRU links along via [`BufferPool::relink`].
+    /// Moved entries drag their LRU links along via [`PoolShard::relink`].
     /// Returns the slot that ends up vacant once the shift cascade settles.
     fn remove_slot(&mut self, mut i: usize) -> usize {
         let mut j = i;
@@ -536,17 +416,338 @@ impl BufferPool {
     }
 }
 
+/// A capacity-bounded, lock-striped true-LRU page cache that charges the
+/// caller's [`crate::CostMeter`].
+///
+/// The pool stores no page bytes — the in-memory data structures own their
+/// data. What the pool simulates is the *cost* of residency: which logical
+/// pages would have been in memory, and therefore whether an access is a
+/// physical I/O. This keeps the experiments faithful to the paper's
+/// I/O-dominated cost model while remaining deterministic.
+///
+/// All methods take `&self`; the pool is `Send + Sync` and is shared across
+/// session threads via [`SharedPool`].
+#[derive(Debug)]
+pub struct BufferPool {
+    /// The database-default meter (sessions carry their own; this one backs
+    /// load-time work and single-session callers).
+    cost: SharedCost,
+    shards: Box<[Mutex<PoolShard>]>,
+    /// log2(number of shards); shard routing shifts by `64 - shard_bits`.
+    shard_bits: u32,
+    capacity: usize,
+    /// Count of shard-lock acquisitions that found the lock held.
+    contention: AtomicU64,
+    /// Fast-path flag: fault checks are skipped entirely unless armed.
+    fault_armed: AtomicBool,
+    fault: Mutex<Option<FaultPolicy>>,
+}
+
+impl BufferPool {
+    /// Creates a single-shard pool that can hold `capacity` pages
+    /// (`capacity >= 1`) — the deterministic configuration.
+    pub fn new(capacity: usize, cost: SharedCost) -> Self {
+        Self::with_shards(capacity, 1, cost)
+    }
+
+    /// Creates a pool striped over `shards` locks (rounded up to a power of
+    /// two). Total capacity is split evenly; every shard holds at least one
+    /// page.
+    pub fn with_shards(capacity: usize, shards: usize, cost: SharedCost) -> Self {
+        assert!(capacity >= 1, "buffer pool capacity must be at least 1");
+        assert!(shards >= 1, "buffer pool needs at least one shard");
+        let n = shards.next_power_of_two();
+        let per_shard = capacity.div_ceil(n).max(1);
+        let shards: Vec<Mutex<PoolShard>> =
+            (0..n).map(|_| Mutex::new(PoolShard::new(per_shard))).collect();
+        BufferPool {
+            cost,
+            shards: shards.into_boxed_slice(),
+            shard_bits: n.trailing_zeros(),
+            capacity: per_shard * n,
+            contention: AtomicU64::new(0),
+            fault_armed: AtomicBool::new(false),
+            fault: Mutex::new(None),
+        }
+    }
+
+    /// Installs (or with `None`, removes) a read-fault injection policy.
+    /// Only the fallible [`BufferPool::try_access`]/
+    /// [`BufferPool::try_access_run`] path consults it. The policy is
+    /// global to the pool (one mutex, shared by all shards): its fault
+    /// sequence is a function of the order reads reach it, which is
+    /// deterministic exactly when the access stream is.
+    pub fn set_fault_policy(&self, policy: Option<FaultPolicy>) {
+        let mut guard = lock(&self.fault);
+        self.fault_armed.store(policy.is_some(), Ordering::Release);
+        *guard = policy;
+    }
+
+    /// A copy of the installed fault policy, if any (for its counters).
+    pub fn fault_policy(&self) -> Option<FaultPolicy> {
+        lock(&self.fault).clone()
+    }
+
+    /// Number of pages the pool can hold (summed over shards).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of lock stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of pages currently resident (sums shards; a racing snapshot
+    /// under concurrency).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).len).sum()
+    }
+
+    /// True if no pages are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The database-default cost meter. Sessions and background stages
+    /// charge their own meters; this is the fallback for load-time and
+    /// single-session work.
+    pub fn cost(&self) -> &SharedCost {
+        &self.cost
+    }
+
+    /// The cost weights in force (for estimate formulas).
+    pub fn cost_config(&self) -> CostConfig {
+        self.cost.config()
+    }
+
+    /// Lifetime hit count (summed over shards).
+    pub fn hits(&self) -> u64 {
+        self.stats().hits
+    }
+
+    /// Lifetime miss count (summed over shards).
+    pub fn misses(&self) -> u64 {
+        self.stats().misses
+    }
+
+    /// Shard-lock acquisitions that found the lock already held — the
+    /// contention signal reported by the throughput benchmark.
+    pub fn contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the hit/miss counters, for per-query deltas.
+    pub fn stats(&self) -> PoolStats {
+        let mut stats = PoolStats::default();
+        for shard in self.shards.iter() {
+            let g = lock(shard);
+            stats.hits += g.hits;
+            stats.misses += g.misses;
+        }
+        stats
+    }
+
+    /// The shard `page` routes to — exposed so differential tests can
+    /// project an access sequence onto per-shard reference models.
+    pub fn shard_of(&self, page: PageId) -> usize {
+        self.shard_index(page.pack())
+    }
+
+    /// Routes a packed page key to its shard. The low [`BLOCK_PAGES`] page
+    /// bits are masked off before hashing so sequential runs stay in one
+    /// shard; the remaining bits are Fibonacci-hashed so files and blocks
+    /// spread evenly across stripes.
+    #[inline]
+    fn shard_index(&self, key: u64) -> usize {
+        if self.shard_bits == 0 {
+            return 0;
+        }
+        ((key / BLOCK_PAGES as u64).wrapping_mul(FIB) >> (64 - self.shard_bits)) as usize
+    }
+
+    /// Locks shard `i`, counting contended acquisitions.
+    #[inline]
+    fn lock_shard(&self, i: usize) -> MutexGuard<'_, PoolShard> {
+        match self.shards[i].try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                lock(&self.shards[i])
+            }
+            Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
+        }
+    }
+
+    /// Touches `page`, classifying the access and charging `cost`.
+    pub fn access(&self, page: PageId, cost: &CostMeter) -> Access {
+        let key = page.pack();
+        let mut shard = self.lock_shard(self.shard_index(key));
+        match shard.touch(key) {
+            Access::Hit => {
+                shard.hits += 1;
+                drop(shard);
+                cost.charge_cache_hit();
+                Access::Hit
+            }
+            Access::Miss => {
+                shard.misses += 1;
+                drop(shard);
+                cost.charge_page_read();
+                Access::Miss
+            }
+        }
+    }
+
+    /// Fallible variant of [`BufferPool::access`] used by *data* read
+    /// paths (heap fetches and scans, index range scans, temp-table
+    /// scan-backs). With no fault policy installed it is exactly
+    /// `Ok(self.access(page, cost))`; with one, the read may fail with
+    /// [`StorageError::InjectedFault`] before anything is charged or any
+    /// LRU state changes — a failed read never happened.
+    pub fn try_access(&self, page: PageId, cost: &CostMeter) -> Result<Access, StorageError> {
+        if self.fault_armed.load(Ordering::Acquire) {
+            let mut guard = lock(&self.fault);
+            if let Some(policy) = guard.as_mut() {
+                if policy.should_fail(page) {
+                    return Err(StorageError::InjectedFault {
+                        file: page.file,
+                        page: page.page,
+                    });
+                }
+            }
+        }
+        Ok(self.access(page, cost))
+    }
+
+    /// Fallible variant of [`BufferPool::access_run`]. Pages before a
+    /// fault are accessed and charged normally (the scan really did read
+    /// them); the faulting page and everything after it are not.
+    pub fn try_access_run(
+        &self,
+        file: FileId,
+        first_page: u32,
+        n: u32,
+        cost: &CostMeter,
+    ) -> Result<(u64, u64), StorageError> {
+        if !self.fault_armed.load(Ordering::Acquire) {
+            return Ok(self.access_run(file, first_page, n, cost));
+        }
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for p in first_page..first_page.saturating_add(n) {
+            match self.try_access(PageId::new(file, p), cost) {
+                Ok(Access::Hit) => hits += 1,
+                Ok(Access::Miss) => misses += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((hits, misses))
+    }
+
+    /// Touches the sequential run `first_page .. first_page + n` of `file`
+    /// with identical semantics (and identical resulting state, counters
+    /// and cost) to `n` successive [`BufferPool::access`] calls, but with a
+    /// single batched charge per class and one lock acquisition per
+    /// [`BLOCK_PAGES`]-aligned block (block-masked routing guarantees each
+    /// block lives in one shard). Returns `(hits, misses)` for the run.
+    /// This is the fast path for full scans and temp-table reads.
+    pub fn access_run(&self, file: FileId, first_page: u32, n: u32, cost: &CostMeter) -> (u64, u64) {
+        let end = first_page.saturating_add(n);
+        let mut hits = 0u64;
+        let mut p = first_page;
+        while p < end {
+            // End of the 64-page block containing `p`, clamped to the run.
+            let block_end = match (p - p % BLOCK_PAGES).checked_add(BLOCK_PAGES) {
+                Some(b) => b.min(end),
+                None => end,
+            };
+            let key0 = PageId::new(file, p).pack();
+            let mut shard = self.lock_shard(self.shard_index(key0));
+            let mut block_hits = 0u64;
+            for q in p..block_end {
+                if shard.touch(PageId::new(file, q).pack()) == Access::Hit {
+                    block_hits += 1;
+                }
+            }
+            let block_misses = (block_end - p) as u64 - block_hits;
+            shard.hits += block_hits;
+            shard.misses += block_misses;
+            drop(shard);
+            hits += block_hits;
+            p = block_end;
+        }
+        let misses = n as u64 - hits;
+        cost.charge_cache_hits(hits);
+        cost.charge_page_reads(misses);
+        (hits, misses)
+    }
+
+    /// Records a page *write* access (temp-table spill). Writes always cost
+    /// an I/O and do not pollute the read cache.
+    pub fn write(&self, _page: PageId, cost: &CostMeter) {
+        cost.charge_page_write();
+    }
+
+    /// Records `n` sequential page writes with one batched charge.
+    pub fn write_run(&self, _file: FileId, _first_page: u32, n: u32, cost: &CostMeter) {
+        cost.charge_page_writes(n as u64);
+    }
+
+    /// True if `page` is currently resident (no cost charged, no LRU touch).
+    pub fn contains(&self, page: PageId) -> bool {
+        let key = page.pack();
+        lock(&self.shards[self.shard_index(key)]).contains(key)
+    }
+
+    /// Evicts every resident page — a cold restart. Shards are cleared one
+    /// at a time in index order (the only multi-shard operation; it takes
+    /// no two locks at once, so no ordering constraint arises).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            lock(shard).clear();
+        }
+    }
+
+    /// Simulates interference from unrelated queries (paper Section 3(c)):
+    /// touches `foreign_pages` synthetic pages belonging to `foreign_file`,
+    /// evicting that much of this query's working set, without charging any
+    /// meter (the cost belongs to the "other" query). Foreign pages already
+    /// resident are left in place (their recency belongs to whoever faulted
+    /// them in).
+    pub fn perturb(&self, foreign_file: FileId, foreign_pages: u32) {
+        for p in 0..foreign_pages {
+            let key = PageId::new(foreign_file, p).pack();
+            lock(&self.shards[self.shard_index(key)]).fault_in_if_absent(key);
+        }
+    }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock (shard and
+/// policy state are plain data; a panicking holder — only ever an assert in
+/// tests — leaves them readable).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::cost::{shared_meter, CostConfig};
 
-    fn pool(capacity: usize) -> BufferPool {
-        BufferPool::new(capacity, shared_meter(CostConfig::default()))
+    fn pool(capacity: usize) -> (BufferPool, SharedCost) {
+        let cost = shared_meter(CostConfig::default());
+        (BufferPool::new(capacity, cost.clone()), cost)
     }
 
     fn pid(file: u32, page: u32) -> PageId {
         PageId::new(FileId(file), page)
+    }
+
+    #[test]
+    fn pool_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BufferPool>();
+        assert_send_sync::<SharedPool>();
     }
 
     #[test]
@@ -558,20 +759,20 @@ mod tests {
 
     #[test]
     fn first_access_misses_second_hits() {
-        let mut p = pool(4);
-        assert_eq!(p.access(pid(0, 0)), Access::Miss);
-        assert_eq!(p.access(pid(0, 0)), Access::Hit);
+        let (p, cost) = pool(4);
+        assert_eq!(p.access(pid(0, 0), &cost), Access::Miss);
+        assert_eq!(p.access(pid(0, 0), &cost), Access::Hit);
         assert_eq!(p.hits(), 1);
         assert_eq!(p.misses(), 1);
     }
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let mut p = pool(2);
-        p.access(pid(0, 0));
-        p.access(pid(0, 1));
-        p.access(pid(0, 0)); // 1 becomes LRU
-        p.access(pid(0, 2)); // evicts 1
+        let (p, cost) = pool(2);
+        p.access(pid(0, 0), &cost);
+        p.access(pid(0, 1), &cost);
+        p.access(pid(0, 0), &cost); // 1 becomes LRU
+        p.access(pid(0, 2), &cost); // evicts 1
         assert!(p.contains(pid(0, 0)));
         assert!(!p.contains(pid(0, 1)));
         assert!(p.contains(pid(0, 2)));
@@ -579,28 +780,35 @@ mod tests {
 
     #[test]
     fn capacity_is_respected() {
-        let mut p = pool(3);
+        let (p, cost) = pool(3);
         for i in 0..100 {
-            p.access(pid(0, i));
+            p.access(pid(0, i), &cost);
         }
         assert_eq!(p.len(), 3);
     }
 
     #[test]
     fn costs_match_access_classes() {
-        let cost = shared_meter(CostConfig::default());
-        let mut p = BufferPool::new(2, cost.clone());
-        p.access(pid(0, 0)); // miss: 1.0
-        p.access(pid(0, 0)); // hit: 0.01
+        let (p, cost) = pool(2);
+        p.access(pid(0, 0), &cost); // miss: 1.0
+        p.access(pid(0, 0), &cost); // hit: 0.01
         assert!((cost.total() - 1.01).abs() < 1e-12);
     }
 
     #[test]
+    fn charges_go_to_the_callers_meter() {
+        let (p, pool_cost) = pool(4);
+        let session = shared_meter(CostConfig::default());
+        p.access(pid(0, 0), &session);
+        assert_eq!(pool_cost.total(), 0.0, "default meter untouched");
+        assert!((session.total() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn perturb_evicts_working_set_without_cost() {
-        let cost = shared_meter(CostConfig::default());
-        let mut p = BufferPool::new(4, cost.clone());
-        p.access(pid(0, 0));
-        p.access(pid(0, 1));
+        let (p, cost) = pool(4);
+        p.access(pid(0, 0), &cost);
+        p.access(pid(0, 1), &cost);
         let before = cost.total();
         p.perturb(FileId(99), 4);
         assert_eq!(cost.total(), before, "interference must be free");
@@ -610,34 +818,32 @@ mod tests {
 
     #[test]
     fn clear_makes_everything_cold() {
-        let mut p = pool(4);
-        p.access(pid(0, 0));
+        let (p, cost) = pool(4);
+        p.access(pid(0, 0), &cost);
         p.clear();
-        assert_eq!(p.access(pid(0, 0)), Access::Miss);
+        assert_eq!(p.access(pid(0, 0), &cost), Access::Miss);
     }
 
     #[test]
     fn different_files_do_not_collide() {
-        let mut p = pool(4);
-        p.access(pid(0, 7));
-        assert_eq!(p.access(pid(1, 7)), Access::Miss);
+        let (p, cost) = pool(4);
+        p.access(pid(0, 7), &cost);
+        assert_eq!(p.access(pid(1, 7), &cost), Access::Miss);
     }
 
     #[test]
     fn access_run_matches_per_page_accesses() {
-        let cost_a = shared_meter(CostConfig::default());
-        let cost_b = shared_meter(CostConfig::default());
-        let mut a = BufferPool::new(6, cost_a.clone());
-        let mut b = BufferPool::new(6, cost_b.clone());
+        let (a, cost_a) = pool(6);
+        let (b, cost_b) = pool(6);
         // Shared warm state in both pools.
         for p in 0..4 {
-            a.access(pid(1, p));
-            b.access(pid(1, p));
+            a.access(pid(1, p), &cost_a);
+            b.access(pid(1, p), &cost_b);
         }
-        let (hits, misses) = a.access_run(FileId(1), 2, 8);
+        let (hits, misses) = a.access_run(FileId(1), 2, 8, &cost_a);
         let mut expect_hits = 0;
         for p in 2..10 {
-            if b.access(pid(1, p)) == Access::Hit {
+            if b.access(pid(1, p), &cost_b) == Access::Hit {
                 expect_hits += 1;
             }
         }
@@ -652,16 +858,93 @@ mod tests {
     }
 
     #[test]
+    fn access_run_crossing_block_boundaries_matches_per_page() {
+        // A run spanning several 64-page blocks must classify identically
+        // to per-page accesses, on both single- and multi-shard pools.
+        for shards in [1usize, 4] {
+            let cost_a = shared_meter(CostConfig::default());
+            let cost_b = shared_meter(CostConfig::default());
+            let a = BufferPool::with_shards(400, shards, cost_a.clone());
+            let b = BufferPool::with_shards(400, shards, cost_b.clone());
+            a.access_run(FileId(1), 30, 200, &cost_a);
+            for p in 30..230 {
+                b.access(pid(1, p), &cost_b);
+            }
+            let (hits, misses) = a.access_run(FileId(1), 100, 64, &cost_a);
+            let mut expect_hits = 0u64;
+            for p in 100..164 {
+                if b.access(pid(1, p), &cost_b) == Access::Hit {
+                    expect_hits += 1;
+                }
+            }
+            assert_eq!(hits, expect_hits, "{shards} shards");
+            assert_eq!(hits + misses, 64);
+            assert_eq!(a.stats(), b.stats(), "{shards} shards");
+            assert_eq!(cost_a.total(), cost_b.total());
+        }
+    }
+
+    #[test]
+    fn sharded_pool_keeps_each_page_in_exactly_one_shard() {
+        let cost = shared_meter(CostConfig::default());
+        let p = BufferPool::with_shards(1024, 8, cost.clone());
+        assert_eq!(p.num_shards(), 8);
+        for i in 0..500 {
+            p.access(pid(i % 5, i), &cost);
+        }
+        // Every accessed page is resident (capacity exceeds the working
+        // set) and found again — residency was not lost or duplicated
+        // across shards.
+        let mut resident = 0;
+        for i in 0..500 {
+            if p.contains(pid(i % 5, i)) {
+                resident += 1;
+            }
+        }
+        assert_eq!(resident, 500);
+        assert_eq!(p.len(), 500);
+        let stats = p.stats();
+        assert_eq!(stats.hits + stats.misses, 500);
+    }
+
+    #[test]
+    fn concurrent_accesses_conserve_counters() {
+        let cost = shared_meter(CostConfig::default());
+        let p = Arc::new(BufferPool::with_shards(4096, 8, cost));
+        let threads = 8;
+        let per_thread = 5_000u32;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let p = Arc::clone(&p);
+                s.spawn(move || {
+                    let meter = CostMeter::new(CostConfig::default());
+                    for i in 0..per_thread {
+                        p.access(pid(t, i % 700), &meter);
+                    }
+                    let snap = meter.snapshot();
+                    assert_eq!(
+                        snap.page_reads + snap.cache_hits,
+                        per_thread as u64,
+                        "every access charged exactly once"
+                    );
+                });
+            }
+        });
+        let stats = p.stats();
+        assert_eq!(stats.hits + stats.misses, threads as u64 * per_thread as u64);
+    }
+
+    #[test]
     fn heavy_mixed_workload_is_consistent() {
         // Cross-check against a naive reference LRU implementation.
-        let mut p = pool(8);
+        let (p, cost) = pool(8);
         let mut reference: Vec<PageId> = Vec::new(); // front = MRU
         let mut x: u64 = 12345;
         for _ in 0..5000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let page = pid((x >> 33) as u32 % 3, (x >> 17) as u32 % 20);
             let expect_hit = reference.contains(&page);
-            let got = p.access(page);
+            let got = p.access(page, &cost);
             assert_eq!(got == Access::Hit, expect_hit);
             reference.retain(|&q| q != page);
             reference.insert(0, page);
@@ -671,13 +954,11 @@ mod tests {
 
     #[test]
     fn try_access_without_policy_matches_access() {
-        let cost_a = shared_meter(CostConfig::default());
-        let cost_b = shared_meter(CostConfig::default());
-        let mut a = BufferPool::new(4, cost_a.clone());
-        let mut b = BufferPool::new(4, cost_b.clone());
+        let (a, cost_a) = pool(4);
+        let (b, cost_b) = pool(4);
         for i in 0..10 {
-            let got = a.try_access(pid(0, i % 6)).expect("no policy, no faults");
-            assert_eq!(got, b.access(pid(0, i % 6)));
+            let got = a.try_access(pid(0, i % 6), &cost_a).expect("no policy, no faults");
+            assert_eq!(got, b.access(pid(0, i % 6), &cost_b));
         }
         assert_eq!(cost_a.total(), cost_b.total());
         assert_eq!(a.hits(), b.hits());
@@ -685,12 +966,11 @@ mod tests {
 
     #[test]
     fn injected_fault_charges_nothing_and_leaves_state_alone() {
-        let cost = shared_meter(CostConfig::default());
-        let mut p = BufferPool::new(4, cost.clone());
-        p.access(pid(0, 0));
+        let (p, cost) = pool(4);
+        p.access(pid(0, 0), &cost);
         let before = cost.total();
         p.set_fault_policy(Some(crate::FaultPolicy::fail_from_nth(0)));
-        let err = p.try_access(pid(0, 1)).unwrap_err();
+        let err = p.try_access(pid(0, 1), &cost).unwrap_err();
         assert_eq!(
             err,
             crate::StorageError::InjectedFault {
@@ -703,15 +983,14 @@ mod tests {
         assert!(p.contains(pid(0, 0)));
         // Removing the policy restores the infallible behaviour.
         p.set_fault_policy(None);
-        assert!(p.try_access(pid(0, 1)).is_ok());
+        assert!(p.try_access(pid(0, 1), &cost).is_ok());
     }
 
     #[test]
     fn try_access_run_commits_pages_before_the_fault() {
-        let cost = shared_meter(CostConfig::default());
-        let mut p = BufferPool::new(8, cost.clone());
+        let (p, cost) = pool(8);
         p.set_fault_policy(Some(crate::FaultPolicy::fail_from_nth(3)));
-        let err = p.try_access_run(FileId(2), 0, 6).unwrap_err();
+        let err = p.try_access_run(FileId(2), 0, 6, &cost).unwrap_err();
         assert_eq!(
             err,
             crate::StorageError::InjectedFault {
@@ -730,24 +1009,26 @@ mod tests {
 
     #[test]
     fn scoped_policy_spares_other_files() {
-        let mut p = pool(8);
+        let (p, cost) = pool(8);
         p.set_fault_policy(Some(
             crate::FaultPolicy::fail_from_nth(0).scoped_to(FileId(7)),
         ));
-        assert!(p.try_access(pid(1, 0)).is_ok());
-        assert!(p.try_access_run(FileId(1), 0, 4).is_ok());
-        assert!(p.try_access(pid(7, 0)).is_err());
+        assert!(p.try_access(pid(1, 0), &cost).is_ok());
+        assert!(p.try_access_run(FileId(1), 0, 4, &cost).is_ok());
+        assert!(p.try_access(pid(7, 0), &cost).is_err());
+        let policy = p.fault_policy().expect("policy still installed");
+        assert_eq!(policy.faults_injected(), 1);
     }
 
     #[test]
     fn backward_shift_keeps_table_and_list_coherent() {
         // Small capacity + many files forces constant eviction, exercising
         // hole-filling moves and the LRU relinking they require.
-        let mut p = pool(5);
+        let (p, cost) = pool(5);
         let mut x: u64 = 99;
         for step in 0..20_000u64 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            p.access(pid((x >> 40) as u32 % 17, (x >> 20) as u32 % 13));
+            p.access(pid((x >> 40) as u32 % 17, (x >> 20) as u32 % 13), &cost);
             assert!(p.len() <= 5);
             if step % 1024 == 0 {
                 p.clear();

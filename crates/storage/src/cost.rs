@@ -9,9 +9,9 @@
 //! evaluation, RID filtering) costs small configurable fractions, mirroring
 //! the I/O-dominated cost model of 1990s disk databases.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Cost-unit weights. One unit = one physical page read.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,9 +45,13 @@ impl Default for CostConfig {
 
 /// Monotone counters of work done, plus the weighted total in cost units.
 ///
-/// Shared by every storage structure of one database instance via
-/// [`SharedCost`]; strategies snapshot it before/after their quanta to learn
-/// their own incremental cost.
+/// Each query session carries its own meter via [`SharedCost`]; strategies
+/// snapshot it before/after their quanta to learn their own incremental
+/// cost. Counters are relaxed atomics so one meter may be charged from a
+/// background stage thread while the foreground reads it — per-counter
+/// monotonicity is all the competition logic needs, and under
+/// single-threaded use the totals are bit-identical to the old
+/// `Cell`-based meter.
 ///
 /// Charging is a single integer increment per call — the weighted
 /// [`CostMeter::total`] is computed on demand from the counters, so the
@@ -55,15 +59,15 @@ impl Default for CostConfig {
 /// floating-point work, and the total is independent of how charges were
 /// batched (`n` single charges and one charge of `n` produce bit-identical
 /// totals).
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct CostMeter {
     config: CostConfig,
-    page_reads: Cell<u64>,
-    cache_hits: Cell<u64>,
-    page_writes: Cell<u64>,
-    records_examined: Cell<u64>,
-    rid_ops: Cell<u64>,
-    index_entries: Cell<u64>,
+    page_reads: AtomicU64,
+    cache_hits: AtomicU64,
+    page_writes: AtomicU64,
+    records_examined: AtomicU64,
+    rid_ops: AtomicU64,
+    index_entries: AtomicU64,
 }
 
 impl CostMeter {
@@ -71,12 +75,7 @@ impl CostMeter {
     pub fn new(config: CostConfig) -> Self {
         CostMeter {
             config,
-            page_reads: Cell::new(0),
-            cache_hits: Cell::new(0),
-            page_writes: Cell::new(0),
-            records_examined: Cell::new(0),
-            rid_ops: Cell::new(0),
-            index_entries: Cell::new(0),
+            ..CostMeter::default()
         }
     }
 
@@ -92,7 +91,7 @@ impl CostMeter {
 
     /// Charges `n` physical page reads at once (batched access runs).
     pub fn charge_page_reads(&self, n: u64) {
-        self.page_reads.set(self.page_reads.get() + n);
+        self.page_reads.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges one buffer hit.
@@ -102,7 +101,7 @@ impl CostMeter {
 
     /// Charges `n` buffer hits at once (batched access runs).
     pub fn charge_cache_hits(&self, n: u64) {
-        self.cache_hits.set(self.cache_hits.get() + n);
+        self.cache_hits.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges one temporary-table page write.
@@ -112,73 +111,93 @@ impl CostMeter {
 
     /// Charges `n` temporary-table page writes at once.
     pub fn charge_page_writes(&self, n: u64) {
-        self.page_writes.set(self.page_writes.get() + n);
+        self.page_writes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges examination of `n` records.
     pub fn charge_records(&self, n: u64) {
-        self.records_examined.set(self.records_examined.get() + n);
+        self.records_examined.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges `n` RID-level operations.
     pub fn charge_rid_ops(&self, n: u64) {
-        self.rid_ops.set(self.rid_ops.get() + n);
+        self.rid_ops.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges `n` index-entry visits.
     pub fn charge_index_entries(&self, n: u64) {
-        self.index_entries.set(self.index_entries.get() + n);
+        self.index_entries.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Total cost units accumulated so far (computed from the counters).
     pub fn total(&self) -> f64 {
         let c = &self.config;
-        self.page_reads.get() as f64 * c.io_read
-            + self.cache_hits.get() as f64 * c.cache_hit
-            + self.page_writes.get() as f64 * c.io_write
-            + self.records_examined.get() as f64 * c.cpu_record
-            + self.rid_ops.get() as f64 * c.rid_op
-            + self.index_entries.get() as f64 * c.index_entry
+        self.page_reads.load(Ordering::Relaxed) as f64 * c.io_read
+            + self.cache_hits.load(Ordering::Relaxed) as f64 * c.cache_hit
+            + self.page_writes.load(Ordering::Relaxed) as f64 * c.io_write
+            + self.records_examined.load(Ordering::Relaxed) as f64 * c.cpu_record
+            + self.rid_ops.load(Ordering::Relaxed) as f64 * c.rid_op
+            + self.index_entries.load(Ordering::Relaxed) as f64 * c.index_entry
     }
 
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> CostSnapshot {
+        let page_reads = self.page_reads.load(Ordering::Relaxed);
+        let cache_hits = self.cache_hits.load(Ordering::Relaxed);
+        let page_writes = self.page_writes.load(Ordering::Relaxed);
+        let records_examined = self.records_examined.load(Ordering::Relaxed);
+        let rid_ops = self.rid_ops.load(Ordering::Relaxed);
+        let index_entries = self.index_entries.load(Ordering::Relaxed);
+        let c = &self.config;
         CostSnapshot {
-            page_reads: self.page_reads.get(),
-            cache_hits: self.cache_hits.get(),
-            page_writes: self.page_writes.get(),
-            records_examined: self.records_examined.get(),
-            rid_ops: self.rid_ops.get(),
-            index_entries: self.index_entries.get(),
-            total: self.total(),
+            page_reads,
+            cache_hits,
+            page_writes,
+            records_examined,
+            rid_ops,
+            index_entries,
+            total: page_reads as f64 * c.io_read
+                + cache_hits as f64 * c.cache_hit
+                + page_writes as f64 * c.io_write
+                + records_examined as f64 * c.cpu_record
+                + rid_ops as f64 * c.rid_op
+                + index_entries as f64 * c.index_entry,
         }
+    }
+
+    /// Merges a snapshot (typically the delta of a background stage's
+    /// private meter) into this meter, so a session's meter ends up with
+    /// the work done on its behalf by other threads.
+    pub fn absorb(&self, delta: &CostSnapshot) {
+        self.charge_page_reads(delta.page_reads);
+        self.charge_cache_hits(delta.cache_hits);
+        self.charge_page_writes(delta.page_writes);
+        self.charge_records(delta.records_examined);
+        self.charge_rid_ops(delta.rid_ops);
+        self.charge_index_entries(delta.index_entries);
     }
 
     /// Resets all counters to zero (weights are kept).
     pub fn reset(&self) {
-        self.page_reads.set(0);
-        self.cache_hits.set(0);
-        self.page_writes.set(0);
-        self.records_examined.set(0);
-        self.rid_ops.set(0);
-        self.index_entries.set(0);
+        self.page_reads.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.page_writes.store(0, Ordering::Relaxed);
+        self.records_examined.store(0, Ordering::Relaxed);
+        self.rid_ops.store(0, Ordering::Relaxed);
+        self.index_entries.store(0, Ordering::Relaxed);
     }
 }
 
-impl Default for CostMeter {
-    fn default() -> Self {
-        CostMeter::new(CostConfig::default())
-    }
-}
-
-/// Shared handle to one [`CostMeter`]. The engine is single-threaded (the
-/// paper's "simultaneous" strategy runs are cooperative quanta), so `Rc` is
-/// the right sharing primitive.
-pub type SharedCost = Rc<CostMeter>;
+/// Shared handle to one [`CostMeter`]. Meters are shared across OS threads
+/// (each `Db` session owns one, and a query's background stage charges a
+/// private meter that is absorbed at join), so `Arc` over relaxed atomics
+/// is the sharing primitive; the paper's "simultaneous" strategy runs are
+/// still cooperative quanta *within* one session.
+pub type SharedCost = Arc<CostMeter>;
 
 /// Creates a fresh shared meter with the given weights.
 pub fn shared_meter(config: CostConfig) -> SharedCost {
-    Rc::new(CostMeter::new(config))
+    Arc::new(CostMeter::new(config))
 }
 
 /// Immutable snapshot of a [`CostMeter`], with subtraction for deltas.
@@ -278,5 +297,42 @@ mod tests {
         });
         meter.charge_page_read();
         assert!((meter.total() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_merges_deltas() {
+        let session = CostMeter::default();
+        session.charge_page_read();
+
+        let bg = CostMeter::default();
+        bg.charge_page_reads(3);
+        bg.charge_index_entries(40);
+        let mark = bg.snapshot();
+        bg.charge_cache_hits(2);
+
+        session.absorb(&bg.snapshot().since(&mark));
+        let snap = session.snapshot();
+        assert_eq!(snap.page_reads, 1, "pre-mark bg work not absorbed");
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.index_entries, 0);
+    }
+
+    #[test]
+    fn concurrent_charges_are_conserved() {
+        let meter = Arc::new(CostMeter::default());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = Arc::clone(&meter);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        m.charge_page_read();
+                        m.charge_rid_ops(2);
+                    }
+                });
+            }
+        });
+        let snap = meter.snapshot();
+        assert_eq!(snap.page_reads, 80_000);
+        assert_eq!(snap.rid_ops, 160_000);
     }
 }

@@ -7,7 +7,7 @@
 //! stage (Section 7).
 
 use crate::buffer::{FileId, PageId, SharedPool};
-use crate::cost::SharedCost;
+use crate::cost::CostMeter;
 use crate::error::StorageError;
 use crate::page::{Page, DEFAULT_PAGE_BYTES};
 use crate::record::Record;
@@ -22,9 +22,6 @@ pub struct HeapTable {
     schema: Schema,
     pages: Vec<Page>,
     pool: SharedPool,
-    /// The pool's meter, cached so record-granular CPU charges skip the
-    /// `RefCell` borrow of the pool.
-    cost: SharedCost,
     page_bytes: usize,
     live_records: u64,
     /// Pages known to have free space after deletes (a tiny free-space
@@ -48,14 +45,12 @@ impl HeapTable {
         pool: SharedPool,
         page_bytes: usize,
     ) -> Self {
-        let cost = pool.borrow().cost().clone();
         HeapTable {
             name: name.into(),
             file,
             schema,
             pages: Vec::new(),
             pool,
-            cost,
             page_bytes,
             live_records: 0,
             free_hints: Vec::new(),
@@ -124,8 +119,8 @@ impl HeapTable {
     }
 
     /// Fetches the record at `rid`, charging a buffer access for its page
-    /// and one record's CPU cost.
-    pub fn fetch(&self, rid: Rid) -> Result<Record, StorageError> {
+    /// and one record's CPU cost to `cost` (the calling session's meter).
+    pub fn fetch(&self, rid: Rid, cost: &CostMeter) -> Result<Record, StorageError> {
         let page = self
             .pages
             .get(rid.page as usize)
@@ -134,9 +129,8 @@ impl HeapTable {
                 pages: self.pages.len() as u32,
             })?;
         self.pool
-            .borrow_mut()
-            .try_access(PageId::new(self.file, rid.page))?;
-        self.cost.charge_records(1);
+            .try_access(PageId::new(self.file, rid.page), cost)?;
+        cost.charge_records(1);
         let bytes = page.slot_bytes(rid.slot).ok_or(StorageError::InvalidSlot {
             page: rid.page,
             slot: rid.slot,
@@ -200,8 +194,13 @@ impl HeapScan {
     ///
     /// Page reads go through the pool's fallible path, so an injected
     /// storage fault (or a record that fails to decode) surfaces as an
-    /// `Err` instead of silently ending the scan.
-    pub fn next(&mut self, table: &HeapTable) -> Result<Option<(Rid, Record)>, StorageError> {
+    /// `Err` instead of silently ending the scan. Charges go to `cost`,
+    /// the calling session's meter.
+    pub fn next(
+        &mut self,
+        table: &HeapTable,
+        cost: &CostMeter,
+    ) -> Result<Option<(Rid, Record)>, StorageError> {
         loop {
             let Some(page) = table.pages.get(self.page as usize) else {
                 return Ok(None);
@@ -209,15 +208,14 @@ impl HeapScan {
             if !self.page_opened {
                 table
                     .pool
-                    .borrow_mut()
-                    .try_access(PageId::new(table.file, self.page))?;
+                    .try_access(PageId::new(table.file, self.page), cost)?;
                 self.page_opened = true;
             }
             while (self.slot as usize) < page.slot_count() as usize {
                 let slot = self.slot;
                 self.slot += 1;
                 if let Some(bytes) = page.slot_bytes(slot) {
-                    table.cost.charge_records(1);
+                    cost.charge_records(1);
                     let record = Record::decode(bytes)?;
                     return Ok(Some((Rid::new(self.page, slot), record)));
                 }
@@ -247,15 +245,18 @@ mod tests {
     use crate::schema::Column;
     use crate::value::{Value, ValueType};
 
-    fn table(pool_pages: usize, page_bytes: usize) -> HeapTable {
+    fn table(pool_pages: usize, page_bytes: usize) -> (HeapTable, crate::cost::SharedCost) {
         let cost = shared_meter(CostConfig::default());
-        let pool = shared_pool(pool_pages, cost);
-        HeapTable::with_page_bytes(
-            "t",
-            FileId(0),
-            Schema::new(vec![Column::new("x", ValueType::Int)]),
-            pool,
-            page_bytes,
+        let pool = shared_pool(pool_pages, cost.clone());
+        (
+            HeapTable::with_page_bytes(
+                "t",
+                FileId(0),
+                Schema::new(vec![Column::new("x", ValueType::Int)]),
+                pool,
+                page_bytes,
+            ),
+            cost,
         )
     }
 
@@ -265,14 +266,14 @@ mod tests {
 
     #[test]
     fn insert_fetch_roundtrip() {
-        let mut t = table(16, 256);
+        let (mut t, cost) = table(16, 256);
         let rid = t.insert(rec(42)).unwrap();
-        assert_eq!(t.fetch(rid).unwrap(), rec(42));
+        assert_eq!(t.fetch(rid, &cost).unwrap(), rec(42));
     }
 
     #[test]
     fn records_spill_to_new_pages() {
-        let mut t = table(64, 64);
+        let (mut t, _) = table(64, 64);
         for i in 0..20 {
             t.insert(rec(i)).unwrap();
         }
@@ -282,14 +283,14 @@ mod tests {
 
     #[test]
     fn scan_visits_all_in_physical_order() {
-        let mut t = table(64, 64);
+        let (mut t, cost) = table(64, 64);
         let mut rids = Vec::new();
         for i in 0..50 {
             rids.push(t.insert(rec(i)).unwrap());
         }
         let mut scan = t.scan();
         let mut seen = Vec::new();
-        while let Some((rid, record)) = scan.next(&t).unwrap() {
+        while let Some((rid, record)) = scan.next(&t, &cost).unwrap() {
             seen.push((rid, record[0].as_i64().unwrap()));
         }
         assert_eq!(seen.len(), 50);
@@ -299,13 +300,13 @@ mod tests {
 
     #[test]
     fn scan_skips_deleted() {
-        let mut t = table(64, 1024);
+        let (mut t, cost) = table(64, 1024);
         let rids: Vec<Rid> = (0..10).map(|i| t.insert(rec(i)).unwrap()).collect();
         t.delete(rids[3]).unwrap();
         t.delete(rids[7]).unwrap();
         let mut scan = t.scan();
         let mut vals = Vec::new();
-        while let Some((_, record)) = scan.next(&t).unwrap() {
+        while let Some((_, record)) = scan.next(&t, &cost).unwrap() {
             vals.push(record[0].as_i64().unwrap());
         }
         assert_eq!(vals, vec![0, 1, 2, 4, 5, 6, 8, 9]);
@@ -328,7 +329,7 @@ mod tests {
         let pages = t.page_count() as u64;
         let before = cost.snapshot();
         let mut scan = t.scan();
-        while scan.next(&t).unwrap().is_some() {}
+        while scan.next(&t, &cost).unwrap().is_some() {}
         let delta = cost.snapshot().since(&before);
         assert_eq!(delta.page_reads, pages);
         assert_eq!(delta.records_examined, 100);
@@ -349,7 +350,7 @@ mod tests {
         // Fetch all records in sorted RID order: misses == distinct pages.
         let before = cost.snapshot();
         for &rid in &rids {
-            t.fetch(rid).unwrap();
+            t.fetch(rid, &cost).unwrap();
         }
         let delta = cost.snapshot().since(&before);
         assert_eq!(delta.page_reads as u32, t.page_count());
@@ -357,15 +358,15 @@ mod tests {
 
     #[test]
     fn fetch_errors_on_bad_rid() {
-        let mut t = table(16, 256);
+        let (mut t, cost) = table(16, 256);
         let rid = t.insert(rec(1)).unwrap();
-        assert!(t.fetch(Rid::new(99, 0)).is_err());
-        assert!(t.fetch(Rid::new(rid.page, 99)).is_err());
+        assert!(t.fetch(Rid::new(99, 0), &cost).is_err());
+        assert!(t.fetch(Rid::new(rid.page, 99), &cost).is_err());
     }
 
     #[test]
     fn schema_violation_rejected() {
-        let mut t = table(16, 256);
+        let (mut t, _) = table(16, 256);
         assert!(t
             .insert(Record::new(vec![Value::Str("not an int".into())]))
             .is_err());
@@ -373,17 +374,17 @@ mod tests {
 
     #[test]
     fn record_larger_than_page_rejected() {
-        let mut t = table(16, 32);
+        let (mut t, _) = table(16, 32);
         let huge = Record::new(vec![Value::Int(1)]);
         // 32-byte page can hold an 11-byte record; make one that can't fit.
         assert!(t.insert(huge).is_ok());
-        let mut t2 = table(16, 8);
+        let (mut t2, _) = table(16, 8);
         assert!(t2.insert(rec(1)).is_err());
     }
 
     #[test]
     fn deleted_space_is_reused_before_growing() {
-        let mut t = table(64, 256);
+        let (mut t, cost) = table(64, 256);
         let rids: Vec<Rid> = (0..100).map(|i| t.insert(rec(i)).unwrap()).collect();
         let pages_before = t.page_count();
         // Free a whole page's worth of records from the middle.
@@ -406,7 +407,7 @@ mod tests {
         // Scan still sees a consistent record set.
         let mut scan = t.scan();
         let mut count = 0;
-        while scan.next(&t).unwrap().is_some() {
+        while scan.next(&t, &cost).unwrap().is_some() {
             count += 1;
         }
         assert_eq!(count as u64, t.cardinality());
@@ -414,17 +415,16 @@ mod tests {
 
     #[test]
     fn fetch_and_scan_surface_injected_faults() {
-        let mut t = table(64, 64);
+        let (mut t, cost) = table(64, 64);
         let rids: Vec<Rid> = (0..30).map(|i| t.insert(rec(i)).unwrap()).collect();
         assert!(t.page_count() >= 3, "need multiple pages");
         // Fail the second page read the scan performs.
         t.pool()
-            .borrow_mut()
             .set_fault_policy(Some(crate::FaultPolicy::fail_from_nth(1)));
         let mut scan = t.scan();
         let mut seen = 0usize;
         let err = loop {
-            match scan.next(&t) {
+            match scan.next(&t, &cost) {
                 Ok(Some(_)) => seen += 1,
                 Ok(None) => panic!("scan must hit the injected fault"),
                 Err(e) => break e,
@@ -434,22 +434,22 @@ mod tests {
         assert!(seen > 0, "first page was delivered before the fault");
         // Random fetches fail the same way, and recover once disarmed.
         assert!(matches!(
-            t.fetch(rids[29]),
+            t.fetch(rids[29], &cost),
             Err(StorageError::InjectedFault { .. })
         ));
-        t.pool().borrow_mut().set_fault_policy(None);
-        assert_eq!(t.fetch(rids[29]).unwrap(), rec(29));
+        t.pool().set_fault_policy(None);
+        assert_eq!(t.fetch(rids[29], &cost).unwrap(), rec(29));
     }
 
     #[test]
     fn progress_tracks_pages() {
-        let mut t = table(64, 64);
+        let (mut t, cost) = table(64, 64);
         for i in 0..30 {
             t.insert(rec(i)).unwrap();
         }
         let mut scan = t.scan();
         assert_eq!(scan.progress(&t), 0.0);
-        while scan.next(&t).unwrap().is_some() {}
+        while scan.next(&t, &cost).unwrap().is_some() {}
         assert!((scan.progress(&t) - 1.0).abs() < 1e-9);
     }
 }

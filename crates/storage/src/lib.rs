@@ -36,7 +36,9 @@ pub mod schema;
 pub mod temp;
 pub mod value;
 
-pub use buffer::{shared_pool, Access, BufferPool, FileId, PageId, PoolStats, SharedPool};
+pub use buffer::{
+    shared_pool, shared_pool_sharded, Access, BufferPool, FileId, PageId, PoolStats, SharedPool,
+};
 pub use cost::shared_meter;
 pub use cost::{CostConfig, CostMeter, CostSnapshot, SharedCost};
 pub use error::StorageError;

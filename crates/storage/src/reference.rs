@@ -112,17 +112,23 @@ impl ReferencePool {
     /// already-resident foreign pages keep their recency.
     pub fn perturb(&mut self, foreign_file: FileId, foreign_pages: u32) {
         for p in 0..foreign_pages {
-            let page = PageId::new(foreign_file, p);
-            if self.map.contains_key(&page) {
-                continue;
-            }
-            if self.map.len() == self.capacity {
-                self.evict_lru();
-            }
-            let idx = self.alloc(page);
-            self.push_front(idx);
-            self.map.insert(page, idx);
+            self.perturb_one(PageId::new(foreign_file, p));
         }
+    }
+
+    /// Faults in a single page without charging (the unit step of
+    /// [`ReferencePool::perturb`], exposed so sharded differential tests
+    /// can route perturbations page by page).
+    pub fn perturb_one(&mut self, page: PageId) {
+        if self.map.contains_key(&page) {
+            return;
+        }
+        if self.map.len() == self.capacity {
+            self.evict_lru();
+        }
+        let idx = self.alloc(page);
+        self.push_front(idx);
+        self.map.insert(page, idx);
     }
 
     fn alloc(&mut self, page: PageId) -> usize {

@@ -6,7 +6,7 @@
 //! page-granular write cost on spill and read cost on scan-back.
 
 use crate::buffer::{FileId, SharedPool};
-use crate::cost::SharedCost;
+use crate::cost::CostMeter;
 use crate::error::StorageError;
 use crate::rid::Rid;
 
@@ -20,9 +20,6 @@ pub const RIDS_PER_PAGE: usize = 1024;
 pub struct TempTable {
     file: FileId,
     pool: SharedPool,
-    /// The pool's meter, cached so RID-granular charges skip the `RefCell`
-    /// borrow of the pool.
-    cost: SharedCost,
     rids: Vec<Rid>,
     pages_written: u32,
     rids_per_page: usize,
@@ -37,11 +34,9 @@ impl TempTable {
     /// Creates a temp table with custom page granularity (for tests).
     pub fn with_rids_per_page(file: FileId, pool: SharedPool, rids_per_page: usize) -> Self {
         assert!(rids_per_page >= 1);
-        let cost = pool.borrow().cost().clone();
         TempTable {
             file,
             pool,
-            cost,
             rids: Vec::new(),
             pages_written: 0,
             rids_per_page,
@@ -63,9 +58,9 @@ impl TempTable {
         self.pages_written
     }
 
-    /// Appends a batch of RIDs, charging one page write each time a page
-    /// boundary is crossed.
-    pub fn append(&mut self, batch: &[Rid]) {
+    /// Appends a batch of RIDs, charging one page write to `cost` each
+    /// time a page boundary is crossed.
+    pub fn append(&mut self, batch: &[Rid], cost: &CostMeter) {
         if batch.is_empty() {
             return;
         }
@@ -73,14 +68,15 @@ impl TempTable {
         self.rids.extend_from_slice(batch);
         let after_pages = self.page_count_for(self.rids.len());
         if after_pages > before_pages {
-            self.pool.borrow_mut().write_run(
+            self.pool.write_run(
                 self.file,
                 before_pages,
                 after_pages - before_pages,
+                cost,
             );
             self.pages_written = self.pages_written.max(after_pages);
         }
-        self.cost.charge_rid_ops(batch.len() as u64);
+        cost.charge_rid_ops(batch.len() as u64);
     }
 
     fn page_count_for(&self, n: usize) -> u32 {
@@ -88,11 +84,11 @@ impl TempTable {
     }
 
     /// Reads the whole list back in insertion order, charging one page read
-    /// per page, and returns it. Goes through the pool's fallible path:
-    /// temp pages are real storage and die with the rest of the disk.
-    pub fn scan_all(&self) -> Result<Vec<Rid>, StorageError> {
+    /// per page to `cost`, and returns it. Goes through the pool's fallible
+    /// path: temp pages are real storage and die with the rest of the disk.
+    pub fn scan_all(&self, cost: &CostMeter) -> Result<Vec<Rid>, StorageError> {
         let pages = self.page_count_for(self.rids.len());
-        self.pool.borrow_mut().try_access_run(self.file, 0, pages)?;
+        self.pool.try_access_run(self.file, 0, pages, cost)?;
         Ok(self.rids.clone())
     }
 
@@ -125,11 +121,11 @@ mod tests {
     #[test]
     fn append_charges_page_writes_on_boundaries() {
         let (mut t, cost) = temp(10);
-        t.append(&rids(5));
+        t.append(&rids(5), &cost);
         assert_eq!(cost.snapshot().page_writes, 1, "first page started");
-        t.append(&rids(4));
+        t.append(&rids(4), &cost);
         assert_eq!(cost.snapshot().page_writes, 1, "still within page");
-        t.append(&rids(2));
+        t.append(&rids(2), &cost);
         assert_eq!(cost.snapshot().page_writes, 2, "crossed into page 2");
         assert_eq!(t.len(), 11);
     }
@@ -138,17 +134,17 @@ mod tests {
     fn scan_all_returns_in_order_and_charges_reads() {
         let (mut t, cost) = temp(10);
         let input = rids(25);
-        t.append(&input);
+        t.append(&input, &cost);
         let before = cost.snapshot();
-        let out = t.scan_all().unwrap();
+        let out = t.scan_all(&cost).unwrap();
         assert_eq!(out, input);
         assert_eq!(cost.snapshot().since(&before).page_reads + cost.snapshot().since(&before).cache_hits, 3);
     }
 
     #[test]
     fn clear_resets() {
-        let (mut t, _) = temp(10);
-        t.append(&rids(15));
+        let (mut t, cost) = temp(10);
+        t.append(&rids(15), &cost);
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.pages_written(), 0);
@@ -157,7 +153,7 @@ mod tests {
     #[test]
     fn empty_append_is_free() {
         let (mut t, cost) = temp(10);
-        t.append(&[]);
+        t.append(&[], &cost);
         assert_eq!(cost.total(), 0.0);
     }
 }

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use rdb_storage::{
-    shared_meter, shared_pool, BufferPool, Column, CostConfig, FileId, HeapTable, PageId, Record,
-    ReferencePool, Rid, Schema, Value, ValueType,
+    shared_meter, shared_pool, BufferPool, Column, CostConfig, CostMeter, FileId, HeapTable,
+    PageId, Record, ReferencePool, Rid, Schema, Value, ValueType,
 };
 
 /// One step of a buffer-pool workload for the differential test below.
@@ -100,14 +100,15 @@ proptest! {
             rids.push(table.insert(Record::new(vec![Value::Int(x)])).unwrap());
         }
         // Every RID fetches back its own record.
+        let meter = shared_meter(CostConfig::default());
         for (rid, &x) in rids.iter().zip(&xs) {
-            let rec = table.fetch(*rid).unwrap();
+            let rec = table.fetch(*rid, &meter).unwrap();
             prop_assert_eq!(rec[0].as_i64().unwrap(), x);
         }
         // Scan sees exactly the inserted multiset, in insertion order.
         let mut scan = table.scan();
         let mut seen = Vec::new();
-        while let Some((_, rec)) = scan.next(&table).unwrap() {
+        while let Some((_, rec)) = scan.next(&table, &meter).unwrap() {
             seen.push(rec[0].as_i64().unwrap());
         }
         prop_assert_eq!(seen, xs);
@@ -124,16 +125,16 @@ proptest! {
     ) {
         let cost_new = shared_meter(CostConfig::default());
         let cost_ref = shared_meter(CostConfig::default());
-        let mut pool = BufferPool::new(capacity, cost_new.clone());
+        let pool = BufferPool::new(capacity, cost_new.clone());
         let mut reference = ReferencePool::new(capacity, cost_ref.clone());
         for op in &ops {
             match *op {
                 PoolOp::Access { file, page } => {
                     let pid = PageId::new(FileId(file), page);
-                    prop_assert_eq!(pool.access(pid), reference.access(pid));
+                    prop_assert_eq!(pool.access(pid, &cost_new), reference.access(pid));
                 }
                 PoolOp::Run { file, first, n } => {
-                    let (hits, misses) = pool.access_run(FileId(file), first, n);
+                    let (hits, misses) = pool.access_run(FileId(file), first, n, &cost_new);
                     let mut ref_hits = 0u64;
                     for p in first..first + n {
                         let got = reference.access(PageId::new(FileId(file), p));
@@ -170,6 +171,75 @@ proptest! {
         prop_assert!(cost_new.total() == cost_ref.total(), "totals must be bit-identical");
     }
 
+    /// Sharded pools are defined shard-locally: project the access
+    /// sequence onto each shard (via the pool's own routing) and each
+    /// shard must behave exactly like an independent reference LRU of the
+    /// per-shard capacity — identical hit/miss classification, counters,
+    /// residency, and bit-identical cost totals.
+    #[test]
+    fn sharded_pool_matches_per_shard_reference_lrus(
+        capacity in 1usize..60,
+        shards in prop_oneof![Just(2usize), Just(4usize), Just(8usize)],
+        ops in prop::collection::vec(arb_pool_op(5, 64), 1..400),
+    ) {
+        let cost_new = shared_meter(CostConfig::default());
+        let cost_ref = shared_meter(CostConfig::default());
+        let pool = BufferPool::with_shards(capacity, shards, cost_new.clone());
+        let per_shard = pool.capacity() / pool.num_shards();
+        let mut refs: Vec<ReferencePool> = (0..pool.num_shards())
+            .map(|_| ReferencePool::new(per_shard, cost_ref.clone()))
+            .collect();
+        for op in &ops {
+            match *op {
+                PoolOp::Access { file, page } => {
+                    let pid = PageId::new(FileId(file), page);
+                    let got = pool.access(pid, &cost_new);
+                    let want = refs[pool.shard_of(pid)].access(pid);
+                    prop_assert_eq!(got, want);
+                }
+                PoolOp::Run { file, first, n } => {
+                    let (hits, misses) = pool.access_run(FileId(file), first, n, &cost_new);
+                    let mut ref_hits = 0u64;
+                    for p in first..first + n {
+                        let pid = PageId::new(FileId(file), p);
+                        if refs[pool.shard_of(pid)].access(pid) == rdb_storage::Access::Hit {
+                            ref_hits += 1;
+                        }
+                    }
+                    prop_assert_eq!(hits, ref_hits);
+                    prop_assert_eq!(hits + misses, n as u64);
+                }
+                PoolOp::Perturb { file, pages } => {
+                    pool.perturb(FileId(file), pages);
+                    for p in 0..pages {
+                        let pid = PageId::new(FileId(file), p);
+                        refs[pool.shard_of(pid)].perturb_one(pid);
+                    }
+                }
+                PoolOp::Clear => {
+                    pool.clear();
+                    for r in &mut refs {
+                        r.clear();
+                    }
+                }
+            }
+            let stats = pool.stats();
+            prop_assert_eq!(stats.hits, refs.iter().map(|r| r.hits()).sum::<u64>());
+            prop_assert_eq!(stats.misses, refs.iter().map(|r| r.misses()).sum::<u64>());
+            prop_assert_eq!(pool.len(), refs.iter().map(|r| r.len()).sum::<usize>());
+        }
+        // Residency agrees shard by shard — a page resident in the sharded
+        // pool is resident in exactly its own shard's reference model.
+        for f in (0..5u32).chain(100..104) {
+            for p in 0..80 {
+                let pid = PageId::new(FileId(f), p);
+                prop_assert_eq!(pool.contains(pid), refs[pool.shard_of(pid)].contains(pid));
+            }
+        }
+        prop_assert_eq!(cost_new.snapshot(), cost_ref.snapshot());
+        prop_assert!(cost_new.total() == cost_ref.total(), "totals must be bit-identical");
+    }
+
     #[test]
     fn heap_scan_cost_is_pages_plus_records(n in 1usize..300) {
         let cost = shared_meter(CostConfig::default());
@@ -182,10 +252,102 @@ proptest! {
         let before = cost.snapshot();
         let mut scan = table.scan();
         let mut count = 0;
-        while scan.next(&table).unwrap().is_some() { count += 1; }
+        while scan.next(&table, &cost).unwrap().is_some() { count += 1; }
         let d = cost.snapshot().since(&before);
         prop_assert_eq!(count, n);
         prop_assert_eq!(d.records_examined as usize, n);
         prop_assert_eq!(d.page_reads as u32, table.page_count());
+    }
+}
+
+/// 8 threads hammer one sharded pool with interleaved point accesses and
+/// batched runs. Conservation must hold exactly: every access is charged
+/// to its thread's meter as exactly one hit or miss (hits + misses ==
+/// accesses, per thread and pool-wide), and afterwards no residency was
+/// lost or duplicated — with ample capacity every touched page is resident
+/// and the resident count equals the number of distinct pages touched.
+#[test]
+fn eight_thread_stress_conserves_counters_and_residency() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const THREADS: u32 = 8;
+    const PAGES_PER_THREAD: u32 = 600;
+    const OPS_PER_THREAD: u32 = 4_000;
+    const TOTAL_PAGES: u32 = THREADS * PAGES_PER_THREAD;
+
+    // Per-shard capacity covers the entire working set, so no shard ever
+    // evicts regardless of how the hash skews blocks across stripes —
+    // making the final residency exactly the union of working sets.
+    let pool = Arc::new(BufferPool::with_shards(
+        TOTAL_PAGES as usize * 8,
+        8,
+        shared_meter(CostConfig::default()),
+    ));
+    let total_accesses = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = Arc::clone(&pool);
+            let total_accesses = &total_accesses;
+            s.spawn(move || {
+                // Each thread works a distinct file with its own meter and
+                // a cheap deterministic LCG for page selection.
+                let meter = CostMeter::new(CostConfig::default());
+                let file = FileId(t);
+                let mut x: u64 = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1);
+                let mut accesses = 0u64;
+                // Deterministic warm pass: touch the whole working set once
+                // so the per-thread miss count below is exact.
+                let (h0, m0) = pool.access_run(file, 0, PAGES_PER_THREAD, &meter);
+                assert_eq!((h0, m0), (0, PAGES_PER_THREAD as u64));
+                accesses += PAGES_PER_THREAD as u64;
+                for _ in 0..OPS_PER_THREAD {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    if x & 7 == 0 {
+                        let first = (x >> 20) as u32 % (PAGES_PER_THREAD - 100);
+                        let n = 1 + (x >> 50) as u32 % 100;
+                        let (h, m) = pool.access_run(file, first, n, &meter);
+                        assert_eq!(h + m, n as u64);
+                        accesses += n as u64;
+                    } else {
+                        pool.access(
+                            PageId::new(file, (x >> 33) as u32 % PAGES_PER_THREAD),
+                            &meter,
+                        );
+                        accesses += 1;
+                    }
+                }
+                let snap = meter.snapshot();
+                assert_eq!(
+                    snap.page_reads + snap.cache_hits,
+                    accesses,
+                    "thread {t}: every access charged exactly once as hit or miss"
+                );
+                // With no eviction and the warm pass covering every page,
+                // this thread misses exactly once per distinct page —
+                // nothing lost, nothing double-faulted.
+                assert_eq!(snap.page_reads, PAGES_PER_THREAD as u64, "thread {t}");
+                total_accesses.fetch_add(accesses, Ordering::Relaxed);
+            });
+        }
+    });
+
+    // Pool-wide conservation: shard counters sum to exactly the accesses
+    // issued, and residency equals the union of per-thread working sets
+    // (no page lost, none duplicated across shards).
+    let stats = pool.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        total_accesses.load(Ordering::Relaxed)
+    );
+    assert_eq!(stats.misses, TOTAL_PAGES as u64);
+    assert_eq!(pool.len(), TOTAL_PAGES as usize);
+    for t in 0..THREADS {
+        for p in 0..PAGES_PER_THREAD {
+            assert!(pool.contains(PageId::new(FileId(t), p)), "lost page {t}/{p}");
+        }
     }
 }

@@ -55,7 +55,7 @@ fn brute_force(db: &Db, sql: &str) -> Vec<i64> {
     let mut copy = Db::new(DbConfig::default());
     copy.create_table("FAMILIES", heap.schema().clone()).expect("copy");
     let mut scan = heap.scan();
-    while let Some((_, record)) = scan.next(heap).unwrap() {
+    while let Some((_, record)) = scan.next(heap, heap.pool().cost()).unwrap() {
         copy.insert("FAMILIES", record.into_values()).expect("copy row");
     }
     let r = copy.query(sql, &none()).expect("brute-force query");
@@ -110,9 +110,7 @@ fn cache_perturbation_degrades_but_preserves_results() {
     let cold = db.query(sql, &none()).expect("cold run");
     // Warm up, then let "another query" trample the pool.
     let _ = db.query(sql, &none());
-    db.pool()
-        .borrow_mut()
-        .perturb(rdb_storage::FileId(999), 20_000);
+    db.pool().perturb(rdb_storage::FileId(999), 20_000);
     let trampled = db.query(sql, &none()).expect("post-perturbation run");
     assert_eq!(ids(&cold.rows, 0), ids(&trampled.rows, 0));
     assert!(

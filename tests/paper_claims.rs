@@ -2,7 +2,7 @@
 //! EXPERIMENTS.md reports are verified here so `cargo test --workspace`
 //! re-validates the reproduction.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -139,9 +139,10 @@ fn claim_host_variable_problem_solved() {
     let dynamic = DynamicOptimizer::default();
     let static_opt = StaticOptimizer::default();
     let request = |a1: i64| -> RetrievalRequest<'_> {
-        let residual: RecordPred = Rc::new(move |r: &Record| r[1].as_i64().unwrap() >= a1);
+        let residual: RecordPred = Arc::new(move |r: &Record| r[1].as_i64().unwrap() >= a1);
         RetrievalRequest {
             table,
+            cost: table.pool().cost().clone(),
             indexes: vec![IndexChoice::fetch_needed(idx, KeyRange::at_least(a1))],
             residual,
             goal: OptimizeGoal::TotalTime,
@@ -183,9 +184,10 @@ fn claim_dynamic_jscan_beats_static_thresholds() {
     // computed from a *misleading* estimate we inject below; dynamic Jscan
     // sees the truth during the scan and abandons.
     let residual: RecordPred =
-        Rc::new(|r: &Record| r[0] == Value::Int(1) && r[1].as_i64().unwrap() <= 2);
+        Arc::new(|r: &Record| r[0] == Value::Int(1) && r[1].as_i64().unwrap() <= 2);
     let request = || RetrievalRequest {
         table: &f.table,
+        cost: f.table.pool().cost().clone(),
         indexes: vec![
             IndexChoice::fetch_needed(&f.indexes[0], KeyRange::eq(1)),
             IndexChoice::fetch_needed(&f.indexes[1], KeyRange::at_most(2)),
@@ -251,10 +253,10 @@ fn claim_oltp_shortcuts_are_near_free() {
 fn claim_estimation_cheap_and_exact_on_small_ranges() {
     let f = JscanFixture::build(50_000, &[1], 200_000);
     let idx = &f.indexes[1];
-    let est = idx.estimate_range(&KeyRange::closed(100, 102));
+    let est = idx.estimate_range(&KeyRange::closed(100, 102), idx.pool().cost());
     assert!(est.exact || est.estimate <= 64.0, "{est:?}");
     assert!(est.nodes_visited <= idx.height());
-    let wide = idx.estimate_range(&KeyRange::closed(10_000, 30_000));
+    let wide = idx.estimate_range(&KeyRange::closed(10_000, 30_000), idx.pool().cost());
     let truth = 20_001.0;
     assert!(
         (wide.estimate / truth) > 0.2 && (wide.estimate / truth) < 5.0,
