@@ -11,7 +11,7 @@
 
 use std::cmp::Ordering;
 
-use rdb_storage::{Rid, Value};
+use rdb_storage::{Rid, StorageError, Value};
 
 /// Arena index of a node.
 pub(crate) type NodeId = u32;
@@ -97,6 +97,18 @@ impl Node {
         match self {
             Node::Leaf(l) => l,
             Node::Internal(_) => panic!("expected leaf"),
+        }
+    }
+
+    /// Fallible variant of [`Node::as_leaf`] for scan paths: a leaf link
+    /// or descent that lands on an internal node is index corruption, not
+    /// a programming error the scan may panic on.
+    pub fn try_as_leaf(&self) -> Result<&LeafNode, StorageError> {
+        match self {
+            Node::Leaf(l) => Ok(l),
+            Node::Internal(_) => Err(StorageError::Corrupt(
+                "b-tree descent reached an internal node where a leaf was required",
+            )),
         }
     }
 

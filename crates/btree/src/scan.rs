@@ -34,6 +34,18 @@ pub struct RangeScan {
 }
 
 impl RangeScan {
+    /// A cursor that reports `err` on the first `next` call.
+    fn deferred(range: KeyRange, err: StorageError) -> RangeScan {
+        RangeScan {
+            range,
+            leaf: None,
+            pos: 0,
+            entered_leaf: false,
+            done: false,
+            pending_err: Some(err),
+        }
+    }
+
     /// Descends to the first leaf that can contain entries in `range`,
     /// charging the descent path. A fault during the descent is deferred
     /// to the first [`RangeScan::next`] call.
@@ -51,23 +63,28 @@ impl RangeScan {
         let mut id = tree.root;
         loop {
             if let Err(e) = tree.try_touch(id, cost) {
-                return RangeScan {
-                    range,
-                    leaf: None,
-                    pos: 0,
-                    entered_leaf: false,
-                    done: false,
-                    pending_err: Some(e),
-                };
+                return Self::deferred(range, e);
             }
-            match tree.node(id) {
+            let node = match tree.try_node(id) {
+                Ok(n) => n,
+                Err(e) => return Self::deferred(range, e),
+            };
+            match node {
                 Node::Internal(node) => {
                     // First child that may contain a key satisfying lo: count
                     // of separators that fail the lower bound.
                     let first = node
                         .seps
                         .partition_point(|s| !range.satisfies_lo(&s.key));
-                    id = node.children[first];
+                    match node.children.get(first) {
+                        Some(child) => id = *child,
+                        None => {
+                            return Self::deferred(
+                                range,
+                                StorageError::Corrupt("internal child/separator mismatch"),
+                            )
+                        }
+                    }
                 }
                 Node::Leaf(leaf) => {
                     let pos = leaf
@@ -127,9 +144,14 @@ impl RangeScan {
                 }
                 self.entered_leaf = true;
             }
-            let leaf = tree.node(leaf_id).as_leaf();
-            if self.pos < leaf.entries.len() {
-                let entry = &leaf.entries[self.pos];
+            let leaf = match tree.try_node(leaf_id).and_then(Node::try_as_leaf) {
+                Ok(l) => l,
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            };
+            if let Some(entry) = leaf.entries.get(self.pos) {
                 self.pos += 1;
                 tree.charge_entries(1, cost);
                 if !self.range.satisfies_hi(&entry.key) {
@@ -169,6 +191,17 @@ pub struct RangeScanRev {
 }
 
 impl RangeScanRev {
+    /// A cursor that reports `err` on the first `next` call.
+    fn deferred(range: KeyRange, err: StorageError) -> RangeScanRev {
+        RangeScanRev {
+            range,
+            leaf: None,
+            pos_plus_one: 0,
+            done: false,
+            pending_err: Some(err),
+        }
+    }
+
     /// Descends to the last leaf that can contain entries in `range`,
     /// charging the descent path. A fault during the descent is deferred
     /// to the first [`RangeScanRev::next`] call.
@@ -185,19 +218,25 @@ impl RangeScanRev {
         let mut id = tree.root;
         loop {
             if let Err(e) = tree.try_touch(id, cost) {
-                return RangeScanRev {
-                    range,
-                    leaf: None,
-                    pos_plus_one: 0,
-                    done: false,
-                    pending_err: Some(e),
-                };
+                return Self::deferred(range, e);
             }
-            match tree.node(id) {
+            let node = match tree.try_node(id) {
+                Ok(n) => n,
+                Err(e) => return Self::deferred(range, e),
+            };
+            match node {
                 Node::Internal(node) => {
                     // Last child that may contain a key satisfying hi.
                     let last = node.seps.partition_point(|s| range.satisfies_hi(&s.key));
-                    id = node.children[last];
+                    match node.children.get(last) {
+                        Some(child) => id = *child,
+                        None => {
+                            return Self::deferred(
+                                range,
+                                StorageError::Corrupt("internal child/separator mismatch"),
+                            )
+                        }
+                    }
                 }
                 Node::Leaf(leaf) => {
                     let pos = leaf
@@ -243,9 +282,18 @@ impl RangeScanRev {
                     return Ok(None);
                 }
             };
-            let leaf = tree.node(leaf_id).as_leaf();
-            if self.pos_plus_one > 0 {
-                let entry = &leaf.entries[self.pos_plus_one - 1];
+            let leaf = match tree.try_node(leaf_id).and_then(Node::try_as_leaf) {
+                Ok(l) => l,
+                Err(e) => {
+                    self.done = true;
+                    return Err(e);
+                }
+            };
+            if let Some(entry) = self
+                .pos_plus_one
+                .checked_sub(1)
+                .and_then(|p| leaf.entries.get(p))
+            {
                 self.pos_plus_one -= 1;
                 tree.charge_entries(1, cost);
                 if !self.range.satisfies_lo(&entry.key) {
@@ -272,7 +320,13 @@ impl RangeScanRev {
             };
             match prev {
                 Some(id) => {
-                    let n = tree.node(id).as_leaf().entries.len();
+                    let n = match tree.try_node(id).and_then(Node::try_as_leaf) {
+                        Ok(l) => l.entries.len(),
+                        Err(e) => {
+                            self.done = true;
+                            return Err(e);
+                        }
+                    };
                     self.leaf = Some(id);
                     self.pos_plus_one = n;
                 }
@@ -537,6 +591,78 @@ mod tests {
         // Disarm and rescan: everything is intact (no partial-state damage).
         pool.set_fault_policy(None);
         assert_eq!(t.count_range(KeyRange::all(), &cost), 500);
+    }
+
+    #[test]
+    fn poisoned_leaf_link_surfaces_as_corrupt_not_panic() {
+        let mut t = tree(0..200);
+        // Poison every leaf's forward link to a dangling node id. Before
+        // the try_node burn-down this was an index-out-of-bounds panic,
+        // which escapes the simtest "clean faults, never corruption
+        // panics" contract.
+        for node in &mut t.nodes {
+            if let Node::Leaf(l) = node {
+                if l.next.is_some() {
+                    l.next = Some(9_999);
+                }
+            }
+        }
+        let cost = t.pool().cost().clone();
+        let mut scan = t.range_scan(KeyRange::all(), &cost);
+        let err = loop {
+            match scan.next(&t, &cost) {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("scan must hit the poisoned link"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, StorageError::Corrupt(_)), "got {err:?}");
+        assert!(!err.is_benign_for_scan());
+        assert_eq!(scan.next(&t, &cost).unwrap(), None, "dead cursor stays dead");
+    }
+
+    #[test]
+    fn poisoned_root_defers_corrupt_to_first_next() {
+        let mut t = tree(0..50);
+        t.root = 40_000;
+        let cost = t.pool().cost().clone();
+        let mut scan = t.range_scan(KeyRange::all(), &cost);
+        assert!(matches!(
+            scan.next(&t, &cost),
+            Err(StorageError::Corrupt(_))
+        ));
+        let mut rev = t.range_scan_rev(KeyRange::all(), &cost);
+        assert!(matches!(
+            rev.next(&t, &cost),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn leaf_link_to_internal_node_is_corrupt() {
+        let mut t = tree(0..400);
+        let internal_id = t
+            .nodes
+            .iter()
+            .position(|n| matches!(n, Node::Internal(_)))
+            .expect("tall tree has internals") as u32;
+        for node in &mut t.nodes {
+            if let Node::Leaf(l) = node {
+                if l.next.is_some() {
+                    l.next = Some(internal_id);
+                }
+            }
+        }
+        let cost = t.pool().cost().clone();
+        let mut scan = t.range_scan(KeyRange::all(), &cost);
+        let err = loop {
+            match scan.next(&t, &cost) {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("scan must hit the poisoned link"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, StorageError::Corrupt(_)), "got {err:?}");
     }
 
     #[test]

@@ -134,6 +134,17 @@ impl BTree {
         &self.nodes[id as usize]
     }
 
+    /// Fallible arena access for scan paths: a dangling node id (from a
+    /// corrupted leaf link or child pointer) surfaces as
+    /// [`StorageError::Corrupt`] instead of an index-out-of-bounds panic,
+    /// so the simtest "clean faults, never corruption panics" contract
+    /// holds even against a poisoned index.
+    pub(crate) fn try_node(&self, id: NodeId) -> Result<&Node, StorageError> {
+        self.nodes
+            .get(id as usize)
+            .ok_or(StorageError::Corrupt("dangling b-tree node id"))
+    }
+
     /// Average node fanout `f` used by the paper's estimate `k·f^(l−1)`.
     /// Computed from catalog metadata (no page charges).
     pub fn avg_fanout(&self) -> f64 {
@@ -406,13 +417,20 @@ impl BTree {
         let mut candidate: Option<NodeId> = None;
         loop {
             self.try_touch(id, cost)?;
-            match self.node(id) {
+            match self.try_node(id)? {
                 Node::Internal(node) => {
                     let idx = node.child_for(entry);
                     if idx > 0 {
-                        candidate = Some(self.rightmost_leaf(node.children[idx - 1], cost)?);
+                        let left = *node
+                            .children
+                            .get(idx - 1)
+                            .ok_or(StorageError::Corrupt("internal child/separator mismatch"))?;
+                        candidate = Some(self.rightmost_leaf(left, cost)?);
                     }
-                    id = node.children[idx];
+                    id = *node
+                        .children
+                        .get(idx)
+                        .ok_or(StorageError::Corrupt("internal child/separator mismatch"))?;
                 }
                 Node::Leaf(leaf) => {
                     // Entries strictly below `entry` within this leaf would
@@ -429,9 +447,12 @@ impl BTree {
     fn rightmost_leaf(&self, mut id: NodeId, cost: &CostMeter) -> Result<NodeId, StorageError> {
         loop {
             self.try_touch(id, cost)?;
-            match self.node(id) {
+            match self.try_node(id)? {
                 Node::Internal(node) => {
-                    id = *node.children.last().expect("internal has children");
+                    id = *node
+                        .children
+                        .last()
+                        .ok_or(StorageError::Corrupt("internal node with no children"))?;
                 }
                 Node::Leaf(_) => return Ok(id),
             }

@@ -368,16 +368,15 @@ impl<'a> Jscan<'a> {
             }
         }
         if self.config.simultaneous_adjacent
-            && self.primary.is_some()
             && self.secondary.is_none()
             && self.next_index < self.indexes.len()
         {
+            let Some(primary_idx) = self.primary.as_ref().map(|p| p.idx) else {
+                return;
+            };
             let s = self.start_scan(self.next_index);
             self.next_index += 1;
-            let a = self.indexes[self.primary.as_ref().unwrap().idx]
-                .tree
-                .name()
-                .to_owned();
+            let a = self.indexes[primary_idx].tree.name().to_owned();
             let b = self.indexes[s.idx].tree.name().to_owned();
             self.events.push(JscanEvent::SimultaneousStart { a, b });
             self.secondary = Some(s);
@@ -399,10 +398,14 @@ impl<'a> Jscan<'a> {
         };
         // Take the active scan out of its slot so the quantum can freely
         // read the tree, filter, and borrow stream.
-        let mut active = if use_secondary {
-            self.secondary.take().unwrap()
+        let taken = if use_secondary {
+            self.secondary.take()
         } else {
-            self.primary.take().unwrap()
+            self.primary.take()
+        };
+        let Some(mut active) = taken else {
+            // Unreachable given the guards above; treated as no work left.
+            return self.finalize();
         };
         let before = self.cost_total();
         let mut finished_scan = false;
@@ -493,10 +496,13 @@ impl<'a> Jscan<'a> {
     /// Completes the active scan in `use_secondary` slot: its list becomes
     /// the new intersection.
     fn complete_active(&mut self, use_secondary: bool) {
-        let active = if use_secondary {
-            self.secondary.take().unwrap()
+        let taken = if use_secondary {
+            self.secondary.take()
         } else {
-            self.primary.take().unwrap()
+            self.primary.take()
+        };
+        let Some(active) = taken else {
+            return;
         };
         if active.idx == 0 {
             self.borrow_open = false;
@@ -526,16 +532,18 @@ impl<'a> Jscan<'a> {
 
         // The other slot (if any) survived a simultaneous race: refilter its
         // in-memory partial list against the new filter and let it continue.
+        // Taking the partner out of its slot (and restoring it only on the
+        // refilter path) keeps this branch free of unwraps.
         let new_filter = list.filter();
-        if self.secondary.is_some() || (use_secondary && self.primary.is_some()) {
+        let partner = if use_secondary {
+            self.primary.take()
+        } else {
+            self.secondary.take()
+        };
+        if let Some(mut other) = partner {
             self.events.push(JscanEvent::SimultaneousWinner {
                 winner: name.clone(),
             });
-            let other = if use_secondary {
-                self.primary.as_mut().unwrap()
-            } else {
-                self.secondary.as_mut().unwrap()
-            };
             if let Some(shadow) = other.shadow.take() {
                 // Rebuild the partner's list, keeping only RIDs that pass
                 // the winner's filter (cheap: pure main-memory work). The
@@ -564,6 +572,9 @@ impl<'a> Jscan<'a> {
                 other.kept = kept;
                 other.shadow = Some(kept_shadow);
                 other.probe = 0;
+                // The winner's slot is empty now; the surviving partner
+                // always continues as the primary.
+                self.primary = Some(other);
             } else {
                 // Partner already spilled: the paper stops simultaneity at
                 // the memory boundary — discard the partner's partial list.
@@ -579,17 +590,7 @@ impl<'a> Jscan<'a> {
                     name: partner_name,
                     reason: DiscardReason::SimultaneousOverflow,
                 });
-                if use_secondary {
-                    self.primary = None;
-                } else {
-                    self.secondary = None;
-                }
-            }
-            // Winner's slot is whichever we took; promote partner to primary.
-            if use_secondary {
-                // primary stays (it is the partner); nothing to move.
-            } else if let Some(sec) = self.secondary.take() {
-                self.primary = Some(sec);
+                // `other` was taken from its slot and is dropped here.
             }
         }
 
@@ -604,18 +605,18 @@ impl<'a> Jscan<'a> {
             kept: list.len(),
             guaranteed_best: self.guaranteed_best,
         });
-        let tiny = list.len() <= self.config.tiny_list_shortcut;
+        let len = list.len();
         self.filter = Some(new_filter);
-        self.complete = Some(list);
 
-        if tiny {
-            let len = self.complete.as_ref().unwrap().len();
+        if len <= self.config.tiny_list_shortcut {
             self.tracer.emit_with(|| TraceEvent::Shortcut {
                 kind: "tiny-list".into(),
                 detail: format!("{len} RID(s) after {name}: remaining scans skipped"),
             });
             self.events.push(JscanEvent::TinyListShortcut { len });
-            self.outcome = Some(JscanOutcome::FinalList(self.complete.take().unwrap()));
+            self.outcome = Some(JscanOutcome::FinalList(list));
+        } else {
+            self.complete = Some(list);
         }
     }
 
@@ -636,10 +637,15 @@ impl<'a> Jscan<'a> {
         let (projected, spend, idx, refined) = {
             let filter_len = self.filter.as_ref().map(|f| f.source_len());
             let cardinality = self.table.cardinality();
-            let active = if use_secondary {
-                self.secondary.as_mut().unwrap()
+            let slot = if use_secondary {
+                self.secondary.as_mut()
             } else {
-                self.primary.as_mut().unwrap()
+                self.primary.as_mut()
+            };
+            let Some(active) = slot else {
+                // Unreachable: the caller just put the scan back in this
+                // slot. An empty slot simply has nothing to judge.
+                return;
             };
             let est = self.indexes[active.idx].estimate.max(active.entries as f64);
             let prior_rate = match filter_len {

@@ -67,6 +67,9 @@ fn background_worker(mut jscan: Jscan<'_>, tx: mpsc::Sender<BgrUpdate>, abandon:
     let mut cursor = 0usize;
     let mut last_best = f64::INFINITY;
     loop {
+        // Relaxed: the abandon flag is an advisory latch — the background
+        // stage may run at most one extra quantum after it flips, and all
+        // result hand-off happens through the channel/join, which orders.
         if abandon.load(Ordering::Relaxed) {
             return;
         }
@@ -178,7 +181,7 @@ pub fn fast_first(
                         if !sink.deliver(rid, Some(record)) {
                             events.push("limit reached by foreground".into());
                             rt.phase("foreground");
-                            abandon.store(true, Ordering::Relaxed);
+                            abandon.store(true, Ordering::Relaxed); // Relaxed: advisory latch (see reader)
                             return Ok(TacticReport {
                                 strategy: "parallel fast-first (foreground satisfied)".into(),
                                 events,
@@ -188,7 +191,7 @@ pub fn fast_first(
                 }
                 Err(e) if e.is_benign_for_scan() => {}
                 Err(e) => {
-                    abandon.store(true, Ordering::Relaxed);
+                    abandon.store(true, Ordering::Relaxed); // Relaxed: advisory latch (see reader)
                     return Err(e);
                 }
             }
@@ -336,7 +339,7 @@ pub fn sorted(
                     if !sink.deliver(rid, record) {
                         events.push("limit reached by ordered foreground".into());
                         rt.phase("fscan");
-                        abandon.store(true, Ordering::Relaxed);
+                        abandon.store(true, Ordering::Relaxed); // Relaxed: advisory latch (see reader)
                         return Ok(TacticReport {
                             strategy: "parallel sorted (Fscan satisfied)".into(),
                             events,
@@ -346,7 +349,7 @@ pub fn sorted(
                 StrategyStep::Progress => {}
                 StrategyStep::Done => {
                     events.push("ordered Fscan completed; background abandoned".into());
-                    abandon.store(true, Ordering::Relaxed);
+                    abandon.store(true, Ordering::Relaxed); // Relaxed: advisory latch (see reader)
                     break;
                 }
             }
@@ -461,7 +464,7 @@ pub fn index_only(
             }
             match sscan.step() {
                 Err(e) => {
-                    abandon.store(true, Ordering::Relaxed);
+                    abandon.store(true, Ordering::Relaxed); // Relaxed: advisory latch (see reader)
                     return Err(e);
                 }
                 Ok(StrategyStep::Deliver(rid, record)) => {
@@ -469,7 +472,7 @@ pub fn index_only(
                     if !sink.deliver_from_index(rid, record) {
                         events.push("limit reached by index-only foreground".into());
                         rt.phase("sscan");
-                        abandon.store(true, Ordering::Relaxed);
+                        abandon.store(true, Ordering::Relaxed); // Relaxed: advisory latch (see reader)
                         return Ok(TacticReport {
                             strategy: "parallel index-only (Sscan satisfied)".into(),
                             events,
@@ -486,14 +489,14 @@ pub fn index_only(
                             reason: "foreground buffer overflow: Jscan terminated, Sscan is safer"
                                 .into(),
                         });
-                        abandon.store(true, Ordering::Relaxed);
+                        abandon.store(true, Ordering::Relaxed); // Relaxed: advisory latch (see reader)
                         bgr_open = false;
                     }
                 }
                 Ok(StrategyStep::Progress) => {}
                 Ok(StrategyStep::Done) => {
                     events.push("Sscan completed; background abandoned".into());
-                    abandon.store(true, Ordering::Relaxed);
+                    abandon.store(true, Ordering::Relaxed); // Relaxed: advisory latch (see reader)
                     rt.phase("sscan");
                     return Ok(TacticReport {
                         strategy: "parallel index-only (Sscan won)".into(),

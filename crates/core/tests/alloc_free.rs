@@ -14,6 +14,9 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: delegates every operation to the system allocator unchanged;
+// the only addition is a relaxed counter bump, which cannot violate the
+// GlobalAlloc contract.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # rdb-dist
 //!

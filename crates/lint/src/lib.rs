@@ -1,0 +1,31 @@
+//! # rdb-lint
+//!
+//! A `tidy`-style workspace static-analysis pass for this repository,
+//! in the spirit of rustc's `src/tools/tidy`. The competition model the
+//! repo reproduces (Antoshenkov, *Dynamic Query Optimization in
+//! Rdb/VMS*) is only trustworthy if its cross-cutting invariants hold
+//! everywhere: infallible planning vs. fallible scans, `unsafe` confined
+//! to the buffer pool under `SAFETY` comments, relaxed atomics confined
+//! to cost metering with written justification, and a panic surface in
+//! the scan layers that only shrinks. `rdb-lint` turns those reviewer
+//! conventions into machine-checked policy:
+//!
+//! ```text
+//! cargo run -p rdb-lint                       # full policy run (CI gate)
+//! cargo run -p rdb-lint -- --json             # machine-readable output
+//! cargo run -p rdb-lint -- --check-allowlists # staleness check only
+//! cargo run -p rdb-lint -- --update-ratchet   # regenerate lint-ratchet.toml
+//! ```
+//!
+//! The tool is deliberately dependency-free (no `syn`): a hand-rolled
+//! scanner ([`scanner`]) masks strings, char literals, and comments so
+//! rules match real code tokens, and the policy itself ([`policy`]) is
+//! plain data with staleness-checked allowlists. See [`rules`] for the
+//! rule table.
+
+#![forbid(unsafe_code)]
+
+pub mod policy;
+pub mod ratchet;
+pub mod rules;
+pub mod scanner;

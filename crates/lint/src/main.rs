@@ -1,0 +1,177 @@
+//! CLI driver for `rdb-lint`. See the library crate docs for the rule
+//! table and policy model.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rdb_lint::policy::Policy;
+use rdb_lint::rules::{self, Diagnostic};
+use rdb_lint::ratchet;
+
+const USAGE: &str = "\
+rdb-lint: workspace static-analysis policy pass
+
+USAGE: cargo run -p rdb-lint [-- OPTIONS]
+
+OPTIONS:
+    --json               emit diagnostics as a JSON array
+    --check-allowlists   run only the allowlist-staleness rules (X001)
+    --update-ratchet     rewrite lint-ratchet.toml from a fresh count
+    --root PATH          workspace root (default: inferred)
+    -h, --help           show this help
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut allowlists_only = false;
+    let mut update_ratchet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--check-allowlists" => allowlists_only = true,
+            "--update-ratchet" => update_ratchet = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown option `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let policy = Policy::repo(root);
+    let files = match rules::load_workspace(&policy) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("rdb-lint: cannot walk {}: {e}", policy.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_ratchet {
+        let fresh = rules::fresh_ratchet(&files, &policy);
+        let total: u64 = fresh.values().sum();
+        let path = policy.root.join(&policy.ratchet_path);
+        if let Err(e) = fs::write(&path, ratchet::render(&fresh)) {
+            eprintln!("rdb-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "wrote {} ({} files, {} panic-prone tokens)",
+            policy.ratchet_path,
+            fresh.len(),
+            total
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let diags = if allowlists_only {
+        let mut diags = Vec::new();
+        rules::check_allowlists(&files, &policy, &mut diags);
+        diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+        diags
+    } else {
+        rules::lint(&files, &policy)
+    };
+
+    if json {
+        println!("{}", render_json(&diags));
+    } else {
+        for d in &diags {
+            if d.line == 0 {
+                println!("{} [{}] {}", d.file, d.rule, d.message);
+            } else {
+                println!("{}:{} [{}] {}", d.file, d.line, d.rule, d.message);
+            }
+            println!("    hint: {}", d.hint);
+        }
+        if diags.is_empty() {
+            println!(
+                "rdb-lint: {} files clean ({} rule families)",
+                files.len(),
+                5
+            );
+        } else {
+            println!("rdb-lint: {} policy violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Workspace root: `$CARGO_MANIFEST_DIR/../..` under `cargo run`, else
+/// the nearest ancestor of the current directory holding `Cargo.toml`.
+fn default_root() -> PathBuf {
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            return root.to_path_buf();
+        }
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"hint\": {}}}",
+            json_str(&d.file),
+            d.line,
+            json_str(d.rule),
+            json_str(&d.message),
+            json_str(&d.hint)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,90 @@
+//! The committed panic-freedom baseline (`lint-ratchet.toml`).
+//!
+//! The ratchet direction is **down only**: a fresh workspace count above a
+//! file's baseline is a policy failure (`P001`), and a count *below* it is
+//! also a failure (`P002`) until the baseline is lowered — so the
+//! committed file always states the exact, current panic surface of the
+//! fallible scan layers. Regenerate with `cargo run -p rdb-lint --
+//! --update-ratchet` after burning panics down.
+//!
+//! The file format is a deliberately tiny TOML subset parsed by hand (the
+//! tool is dependency-free): comments, a `[files]` section header, and
+//! `"path" = count` entries.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Per-file panic-token counts, keyed by workspace-relative path.
+pub type Baseline = BTreeMap<String, u64>;
+
+/// A malformed baseline file (line number + offending content).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError(pub String);
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Parses `lint-ratchet.toml` content. Unparseable lines are reported as
+/// errors, not ignored — a typo must not silently loosen the ratchet.
+pub fn parse(content: &str) -> Result<Baseline, BaselineError> {
+    let mut out = Baseline::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') || line == "[files]" {
+            continue;
+        }
+        let err =
+            || BaselineError(format!("lint-ratchet.toml:{}: unparseable entry `{raw}`", idx + 1));
+        let (key, value) = line.split_once('=').ok_or_else(err)?;
+        let key = key.trim();
+        let path = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(err)?;
+        let count: u64 = value.trim().parse().map_err(|_| err())?;
+        out.insert(path.to_string(), count);
+    }
+    Ok(out)
+}
+
+/// Renders a baseline back to the committed file format.
+pub fn render(baseline: &Baseline) -> String {
+    let mut out = String::from(
+        "# Panic-freedom ratchet for the fallible scan layers (rdb-storage,\n\
+         # rdb-btree, rdb-core scan/tactic modules). Counts cover unwrap()/\n\
+         # expect()/panic!/todo!/unimplemented! and slice-indexing in non-test\n\
+         # code. The count may only go DOWN: lower it legitimately by fixing\n\
+         # panic paths and running `cargo run -p rdb-lint -- --update-ratchet`.\n\
+         \n[files]\n",
+    );
+    for (path, count) in baseline {
+        let _ = writeln!(out, "\"{path}\" = {count}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = Baseline::new();
+        b.insert("crates/a/src/x.rs".into(), 3);
+        b.insert("crates/b/src/y.rs".into(), 0);
+        let rendered = render(&b);
+        assert_eq!(parse(&rendered).unwrap(), b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("files = yes\n").is_err());
+        assert!(parse("\"a.rs\" = many\n").is_err());
+        assert!(parse("# comment\n[files]\n\"a.rs\" = 2\n").is_ok());
+    }
+}

@@ -1,0 +1,754 @@
+//! The rule families and the workspace walk that feeds them.
+//!
+//! | id   | family       | what it enforces                                          |
+//! |------|--------------|-----------------------------------------------------------|
+//! | U001 | unsafe       | `unsafe` only in allowlisted files                        |
+//! | U002 | unsafe       | every `unsafe` block/impl carries a `SAFETY:` comment     |
+//! | U003 | unsafe       | non-exempt crate roots carry `#![forbid(unsafe_code)]`    |
+//! | P001 | panic ratchet| scan-layer panic count rose above the committed baseline  |
+//! | P002 | panic ratchet| baseline is stale (count dropped, or dead entry)          |
+//! | F001 | fallibility  | planning modules never touch `try_access`/`StorageError`  |
+//! | F002 | fallibility  | scan `pub fn step/run/execute*` return `Result`           |
+//! | A001 | atomics      | atomic `Ordering` only in meter/pool/parallel modules     |
+//! | A002 | atomics      | `Ordering::Relaxed` has an adjacent justification comment |
+//! | H001 | hygiene      | no `Result<_, String>` in public library APIs             |
+//! | H002 | hygiene      | no `dbg!`/`println!` in library code                      |
+//! | H003 | hygiene      | every crate root opens with a `//!` doc header            |
+//! | X001 | allowlists   | no allowlist/exemption entry is stale                     |
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::policy::Policy;
+use crate::ratchet::{self, Baseline};
+use crate::scanner::{self, Line};
+
+/// One finding: file, 1-based line (0 = whole file), rule id, message,
+/// and a fix hint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line; 0 for file-level findings.
+    pub line: usize,
+    /// Stable rule id (`U001` … `X001`).
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it legitimately.
+    pub hint: String,
+}
+
+/// A scanned workspace source file.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Per-line code/comment split from [`scanner::scan`].
+    pub lines: Vec<Line>,
+    /// Per-line `#[cfg(test)]`-region mask from [`scanner::test_lines`].
+    pub test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    fn non_test(&self) -> impl Iterator<Item = (usize, &Line)> {
+        self.lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.test_mask[*i])
+    }
+}
+
+/// Walks the workspace and scans every non-excluded `.rs` file.
+pub fn load_workspace(policy: &Policy) -> std::io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    collect(&policy.root, &policy.root, policy, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in paths {
+        let src = fs::read_to_string(policy.root.join(&rel))?;
+        let lines = scanner::scan(&src);
+        let test_mask = scanner::test_lines(&lines);
+        files.push(SourceFile {
+            rel,
+            lines,
+            test_mask,
+        });
+    }
+    Ok(files)
+}
+
+fn collect(
+    root: &Path,
+    dir: &Path,
+    policy: &Policy,
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            let rel = rel_of(root, &path);
+            if policy.excluded(&format!("{rel}/")) {
+                continue;
+            }
+            collect(root, &path, policy, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = rel_of(root, &path);
+            if !policy.excluded(&rel) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Runs every rule family over pre-loaded files. The ratchet baseline is
+/// read from `policy.ratchet_path`; a missing or unparseable baseline is
+/// itself a diagnostic.
+pub fn lint(files: &[SourceFile], policy: &Policy) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    rule_unsafe(files, policy, &mut diags);
+    rule_forbid_attr(files, policy, &mut diags);
+    rule_ratchet(files, policy, &mut diags);
+    rule_fallibility(files, policy, &mut diags);
+    rule_atomics(files, policy, &mut diags);
+    rule_hygiene(files, policy, &mut diags);
+    check_allowlists(files, policy, &mut diags);
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    diags
+}
+
+fn diag(
+    diags: &mut Vec<Diagnostic>,
+    file: &str,
+    line: usize,
+    rule: &'static str,
+    message: impl Into<String>,
+    hint: impl Into<String>,
+) {
+    diags.push(Diagnostic {
+        file: file.to_string(),
+        line,
+        rule,
+        message: message.into(),
+        hint: hint.into(),
+    });
+}
+
+// ---------------------------------------------------------------- tokens
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Byte offsets of `word` in `code` at identifier boundaries.
+fn word_positions(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(found) = code[from..].find(word) {
+        let at = from + found;
+        let before_ok = at == 0 || !is_ident(code[..at].chars().next_back().unwrap_or(' '));
+        let after_ok = !code[at + word.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = at + word.len();
+    }
+    out
+}
+
+fn next_nonspace(code: &str, from: usize) -> Option<char> {
+    code[from..].chars().find(|c| !c.is_whitespace())
+}
+
+/// The word ending at byte offset `end` (exclusive), if any.
+fn word_ending_at(code: &str, end: usize) -> &str {
+    let start = code[..end]
+        .char_indices()
+        .rev()
+        .take_while(|(_, c)| is_ident(*c))
+        .last()
+        .map(|(i, _)| i)
+        .unwrap_or(end);
+    &code[start..end]
+}
+
+const INDEX_KEYWORDS: &[&str] = &[
+    "in", "if", "else", "match", "return", "break", "continue", "let", "mut", "ref", "move",
+    "as", "impl", "dyn", "where", "loop", "while", "for", "unsafe", "const", "static", "box",
+    "await", "yield", "use",
+];
+
+/// Counts slice/array index expressions: a `[` whose previous non-space
+/// char ends an identifier (that is not a keyword), `)`, or `]`.
+fn index_expressions(code: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (at, c) in code.char_indices() {
+        if c != '[' {
+            continue;
+        }
+        let before = code[..at].trim_end();
+        let Some(prev) = before.chars().next_back() else {
+            continue;
+        };
+        if prev == ')' || prev == ']' {
+            out.push(at);
+        } else if is_ident(prev) {
+            let word = word_ending_at(before, before.len());
+            if !INDEX_KEYWORDS.contains(&word) {
+                out.push(at);
+            }
+        }
+    }
+    out
+}
+
+/// Panic-prone token count for one masked code line.
+fn panic_tokens(code: &str) -> u64 {
+    let mut n = 0u64;
+    for word in ["unwrap", "unwrap_err", "expect", "expect_err"] {
+        for at in word_positions(code, word) {
+            if next_nonspace(code, at + word.len()) == Some('(') {
+                n += 1;
+            }
+        }
+    }
+    for word in ["panic", "todo", "unimplemented"] {
+        for at in word_positions(code, word) {
+            if next_nonspace(code, at + word.len()) == Some('!') {
+                n += 1;
+            }
+        }
+    }
+    n + index_expressions(code).len() as u64
+}
+
+/// True when a comment containing `needle` sits on line `at` or within
+/// `window` lines above it.
+fn comment_nearby(file: &SourceFile, at: usize, window: usize, needle: &str) -> bool {
+    let lo = at.saturating_sub(window);
+    file.lines[lo..=at]
+        .iter()
+        .any(|l| l.comment.contains(needle))
+}
+
+// ---------------------------------------------------------------- unsafe
+
+fn rule_unsafe(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnostic>) {
+    for file in files {
+        let allowed = policy.unsafe_allowlist.contains(&file.rel);
+        for (idx, line) in file.lines.iter().enumerate() {
+            for at in word_positions(&line.code, "unsafe") {
+                if !allowed {
+                    diag(
+                        diags,
+                        &file.rel,
+                        idx + 1,
+                        "U001",
+                        "`unsafe` outside the unsafe allowlist",
+                        "unsafe is confined to the buffer pool; rewrite safely or extend \
+                         Policy::unsafe_allowlist with a justification",
+                    );
+                    continue;
+                }
+                // `unsafe fn` declares obligations for callers; the proof
+                // burden sits at the unsafe *block* / impl, which is what
+                // needs the comment.
+                let rest = &line.code[at + "unsafe".len()..];
+                let next_word_is_fn = rest.trim_start().starts_with("fn")
+                    && !rest.trim_start()[2..].chars().next().is_some_and(is_ident);
+                if next_word_is_fn {
+                    continue;
+                }
+                if !comment_nearby(file, idx, policy.safety_window, "SAFETY") {
+                    diag(
+                        diags,
+                        &file.rel,
+                        idx + 1,
+                        "U002",
+                        "`unsafe` without an adjacent `// SAFETY:` comment",
+                        "state the invariant that makes this sound in a SAFETY comment \
+                         directly above the block",
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn rule_forbid_attr(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnostic>) {
+    for file in files {
+        let Some(crate_dir) = crate_root_of(&file.rel) else {
+            continue;
+        };
+        let exempt = policy
+            .unsafe_allowlist
+            .iter()
+            .any(|p| p.starts_with(&format!("{crate_dir}/src/")));
+        if exempt {
+            continue;
+        }
+        let has_forbid = file.lines.iter().any(|l| {
+            let squished: String = l.code.split_whitespace().collect();
+            squished.contains("#![forbid(unsafe_code)]")
+        });
+        if !has_forbid {
+            diag(
+                diags,
+                &file.rel,
+                0,
+                "U003",
+                "crate root lacks `#![forbid(unsafe_code)]`",
+                "only the buffer-pool crate may opt out; add the attribute at the top \
+                 of the crate root",
+            );
+        }
+    }
+}
+
+/// `Some("crates/foo")` when `rel` is `crates/foo/src/lib.rs`.
+fn crate_root_of(rel: &str) -> Option<String> {
+    let rest = rel.strip_prefix("crates/")?;
+    let (name, tail) = rest.split_once('/')?;
+    (tail == "src/lib.rs").then(|| format!("crates/{name}"))
+}
+
+// --------------------------------------------------------------- ratchet
+
+/// Fresh per-file panic counts over the ratchet scope (zero-count files
+/// omitted).
+pub fn fresh_ratchet(files: &[SourceFile], policy: &Policy) -> Baseline {
+    let mut out = Baseline::new();
+    for file in files {
+        if !policy.in_ratchet_scope(&file.rel) {
+            continue;
+        }
+        let count: u64 = file.non_test().map(|(_, l)| panic_tokens(&l.code)).sum();
+        if count > 0 {
+            out.insert(file.rel.clone(), count);
+        }
+    }
+    out
+}
+
+fn rule_ratchet(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnostic>) {
+    let path = policy.root.join(&policy.ratchet_path);
+    let baseline = match fs::read_to_string(&path) {
+        Ok(content) => match ratchet::parse(&content) {
+            Ok(b) => b,
+            Err(e) => {
+                diag(diags, &policy.ratchet_path, 0, "P002", e.0, "fix the baseline file");
+                return;
+            }
+        },
+        Err(_) => {
+            diag(
+                diags,
+                &policy.ratchet_path,
+                0,
+                "P002",
+                "panic-freedom baseline is missing",
+                "run `cargo run -p rdb-lint -- --update-ratchet` and commit the result",
+            );
+            return;
+        }
+    };
+    let fresh = fresh_ratchet(files, policy);
+    let mut all: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    for (f, n) in &fresh {
+        all.entry(f).or_default().0 = *n;
+    }
+    for (f, n) in &baseline {
+        all.entry(f).or_default().1 = *n;
+    }
+    for (file, (now, base)) in all {
+        if now > base {
+            diag(
+                diags,
+                file,
+                0,
+                "P001",
+                format!("panic-prone tokens rose to {now} (baseline {base})"),
+                "the ratchet only goes down: propagate a typed error instead of \
+                 unwrap/expect/panic/indexing in scan layers",
+            );
+        } else if now < base {
+            diag(
+                diags,
+                file,
+                0,
+                "P002",
+                format!("baseline {base} is stale: fresh count is {now}"),
+                "good burn-down! run `cargo run -p rdb-lint -- --update-ratchet` to \
+                 lock in the lower count",
+            );
+        }
+    }
+}
+
+// ----------------------------------------------------------- fallibility
+
+fn rule_fallibility(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnostic>) {
+    for file in files {
+        if policy.is_planning(&file.rel) {
+            for (idx, line) in file.non_test() {
+                for token in ["try_access", "StorageError"] {
+                    if !word_positions(&line.code, token).is_empty() {
+                        diag(
+                            diags,
+                            &file.rel,
+                            idx + 1,
+                            "F001",
+                            format!("planning module touches fallible storage (`{token}`)"),
+                            "planning and estimation are infallible by contract; route \
+                             fallible reads through the scan layer",
+                        );
+                    }
+                }
+            }
+        }
+        if policy.scan_entry_files.contains(&file.rel) {
+            for sig in pub_fn_signatures(file) {
+                let stem_match = ["step", "run", "execute"]
+                    .iter()
+                    .any(|s| sig.name == *s || sig.name.starts_with(&format!("{s}_")));
+                if !stem_match {
+                    continue;
+                }
+                if sig.text.contains("Result<") {
+                    continue;
+                }
+                let exempt = policy
+                    .scan_entry_exempt
+                    .iter()
+                    .any(|(f, n, _)| *f == file.rel && *n == sig.name);
+                if !exempt {
+                    diag(
+                        diags,
+                        &file.rel,
+                        sig.line + 1,
+                        "F002",
+                        format!("scan entry point `{}` does not return `Result`", sig.name),
+                        "data scans are fallible by contract (PR-2 fallibility split); \
+                         return Result<_, StorageError> or add a justified exemption",
+                    );
+                }
+            }
+        }
+    }
+}
+
+struct PubFnSig {
+    /// 0-based line of the `pub fn`.
+    line: usize,
+    name: String,
+    /// Signature text from `pub fn` to the body `{` or trailing `;`.
+    text: String,
+}
+
+/// Extracts every non-test `pub fn` signature (joined across lines).
+fn pub_fn_signatures(file: &SourceFile) -> Vec<PubFnSig> {
+    let mut out = Vec::new();
+    for (idx, line) in file.non_test() {
+        for at in word_positions(&line.code, "fn") {
+            let before = line.code[..at].trim_end();
+            if !before.ends_with("pub") {
+                continue;
+            }
+            let after = &line.code[at + 2..];
+            let name: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| is_ident(*c))
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            // Join lines until the body opens (or the item ends) to get
+            // the whole signature, including multi-line returns.
+            let mut text = String::new();
+            'join: for l in &file.lines[idx..(idx + 40).min(file.lines.len())] {
+                for c in l.code.chars() {
+                    if c == '{' {
+                        break 'join;
+                    }
+                    text.push(c);
+                    if c == ';' {
+                        break 'join;
+                    }
+                }
+                text.push(' ');
+            }
+            out.push(PubFnSig {
+                line: idx,
+                name,
+                text,
+            });
+        }
+    }
+    out
+}
+
+// --------------------------------------------------------------- atomics
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+fn rule_atomics(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnostic>) {
+    for file in files {
+        if !Policy::is_lib_code(&file.rel) {
+            continue;
+        }
+        let allowed = policy.atomics_allowlist.contains(&file.rel);
+        for (idx, line) in file.non_test() {
+            for variant in ATOMIC_ORDERINGS {
+                let needle = format!("Ordering::{variant}");
+                for at in word_positions(&line.code, &needle) {
+                    let _ = at;
+                    if !allowed {
+                        diag(
+                            diags,
+                            &file.rel,
+                            idx + 1,
+                            "A001",
+                            format!("atomic `{needle}` outside the atomics allowlist"),
+                            "atomics are confined to the cost meter, buffer pool, and \
+                             parallel stage; use those abstractions instead",
+                        );
+                    } else if *variant == "Relaxed"
+                        && !comment_nearby(file, idx, policy.relaxed_window, "Relaxed")
+                    {
+                        diag(
+                            diags,
+                            &file.rel,
+                            idx + 1,
+                            "A002",
+                            "`Ordering::Relaxed` without an adjacent justification comment",
+                            "say in a nearby comment why relaxed ordering is sound here \
+                             (mention `Relaxed`)",
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- hygiene
+
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+fn rule_hygiene(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnostic>) {
+    for file in files {
+        if let Some(_crate_dir) = crate_root_of(&file.rel) {
+            let has_header = file
+                .lines
+                .iter()
+                .take(10)
+                .any(|l| l.comment.trim_start().starts_with("//!"));
+            if !has_header {
+                diag(
+                    diags,
+                    &file.rel,
+                    0,
+                    "H003",
+                    "crate root has no `//!` doc header in its first 10 lines",
+                    "open the crate with a module-level doc comment describing its role",
+                );
+            }
+        }
+        if !Policy::is_lib_code(&file.rel) {
+            continue;
+        }
+        for sig in pub_fn_signatures(file) {
+            if let Some(err_ty) = result_error_type(&sig.text) {
+                if err_ty == "String" {
+                    diag(
+                        diags,
+                        &file.rel,
+                        sig.line + 1,
+                        "H001",
+                        format!("public fn `{}` returns `Result<_, String>`", sig.name),
+                        "stringly-typed errors are unmatchable; define or reuse a typed \
+                         error enum",
+                    );
+                }
+            }
+        }
+        let print_allowed = policy.print_allowlist.contains(&file.rel);
+        if print_allowed {
+            continue;
+        }
+        for (idx, line) in file.non_test() {
+            for mac in PRINT_MACROS {
+                for at in word_positions(&line.code, mac) {
+                    if next_nonspace(&line.code, at + mac.len()) == Some('!') {
+                        diag(
+                            diags,
+                            &file.rel,
+                            idx + 1,
+                            "H002",
+                            format!("`{mac}!` in library code"),
+                            "library crates must not write to stdio; return data or use \
+                             the trace sink",
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The top-level error type of the *return type*'s `Result<…>`, if the
+/// signature returns one.
+fn result_error_type(sig: &str) -> Option<String> {
+    let ret = sig.split("->").nth(1)?;
+    let start = ret.find("Result<")?;
+    let inner = &ret[start + "Result<".len()..];
+    let mut depth = 1i32;
+    let mut top_commas = Vec::new();
+    let mut end = inner.len();
+    for (i, c) in inner.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            ',' if depth == 1 => top_commas.push(i),
+            _ => {}
+        }
+    }
+    let last_comma = *top_commas.last()?;
+    Some(inner[last_comma + 1..end].trim().to_string())
+}
+
+// ------------------------------------------------------------ allowlists
+
+/// Rule `X001`: every allowlist/exemption entry must still match something.
+pub fn check_allowlists(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnostic>) {
+    let find = |rel: &str| files.iter().find(|f| f.rel == rel);
+    let stale = |diags: &mut Vec<Diagnostic>, entry: &str, what: &str| {
+        diag(
+            diags,
+            entry,
+            0,
+            "X001",
+            format!("stale allowlist entry: {what}"),
+            "remove the dead exemption from crates/lint/src/policy.rs",
+        );
+    };
+    for entry in &policy.unsafe_allowlist {
+        match find(entry) {
+            None => stale(diags, entry, "file no longer exists"),
+            Some(f) => {
+                let used = f
+                    .lines
+                    .iter()
+                    .any(|l| !word_positions(&l.code, "unsafe").is_empty());
+                if !used {
+                    stale(diags, entry, "file no longer contains `unsafe`");
+                }
+            }
+        }
+    }
+    for entry in &policy.atomics_allowlist {
+        match find(entry) {
+            None => stale(diags, entry, "file no longer exists"),
+            Some(f) => {
+                let used = f.lines.iter().any(|l| {
+                    ATOMIC_ORDERINGS
+                        .iter()
+                        .any(|v| l.code.contains(&format!("Ordering::{v}")))
+                });
+                if !used {
+                    stale(diags, entry, "file no longer uses atomic `Ordering`");
+                }
+            }
+        }
+    }
+    for entry in &policy.print_allowlist {
+        match find(entry) {
+            None => stale(diags, entry, "file no longer exists"),
+            Some(f) => {
+                let used = f.lines.iter().any(|l| {
+                    PRINT_MACROS.iter().any(|m| {
+                        word_positions(&l.code, m)
+                            .iter()
+                            .any(|at| next_nonspace(&l.code, at + m.len()) == Some('!'))
+                    })
+                });
+                if !used {
+                    stale(diags, entry, "file no longer prints");
+                }
+            }
+        }
+    }
+    for (rel, name, _why) in &policy.scan_entry_exempt {
+        match find(rel) {
+            None => stale(diags, rel, "exempted file no longer exists"),
+            Some(f) => {
+                let still_needed = pub_fn_signatures(f)
+                    .iter()
+                    .any(|s| s.name == *name && !s.text.contains("Result<"));
+                if !still_needed {
+                    stale(
+                        diags,
+                        rel,
+                        &format!("exemption for `{name}` no longer matches an infallible fn"),
+                    );
+                }
+            }
+        }
+    }
+    for entry in &policy.scan_entry_files {
+        if find(entry).is_none() {
+            stale(diags, entry, "scan-entry file no longer exists");
+        }
+    }
+    for entry in &policy.planning_modules {
+        let matches = files
+            .iter()
+            .any(|f| f.rel == *entry || (entry.ends_with('/') && f.rel.starts_with(entry.as_str())));
+        if !matches {
+            stale(diags, entry, "planning-module entry matches no file");
+        }
+    }
+    for entry in &policy.ratchet_scope {
+        let matches = files
+            .iter()
+            .any(|f| f.rel == *entry || (entry.ends_with('/') && f.rel.starts_with(entry.as_str())));
+        if !matches {
+            stale(diags, entry, "ratchet-scope entry matches no file");
+        }
+    }
+    if let Ok(content) = fs::read_to_string(policy.root.join(&policy.ratchet_path)) {
+        if let Ok(baseline) = ratchet::parse(&content) {
+            for file in baseline.keys() {
+                if find(file).is_none() {
+                    stale(diags, file, "baseline entry for a file that no longer exists");
+                } else if !policy.in_ratchet_scope(file) {
+                    stale(diags, file, "baseline entry outside the ratchet scope");
+                }
+            }
+        }
+    }
+}

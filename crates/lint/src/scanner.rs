@@ -1,0 +1,365 @@
+//! A small hand-rolled Rust source scanner.
+//!
+//! The rules in [`crate::rules`] match tokens in *code*, not in strings or
+//! comments, so a naive grep would misfire on e.g. a test asserting on the
+//! literal `"unwrap()"` or a doc comment discussing `panic!`. This scanner
+//! walks a file once and splits every line into its **code** text (string
+//! and char-literal contents blanked to spaces, comments removed) and its
+//! **comment** text (kept verbatim, including the `//`/`/*` introducers, so
+//! rules can look for `SAFETY:` or `Relaxed` justifications).
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! string literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash
+//! depth, plus `br`-prefixed forms), byte strings, char literals, and the
+//! char-vs-lifetime ambiguity of `'`. Column positions are preserved:
+//! masked characters become spaces, so byte offsets in `code` line up with
+//! the original source.
+
+/// One source line, split into masked code and verbatim comment text.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code with comments removed and literal contents blanked.
+    pub code: String,
+    /// Comment text on this line, exactly as written (may be empty).
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested depth.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` after a backslash.
+    Str(bool),
+    /// Inside a raw string with this many `#`s.
+    RawStr(u32),
+    /// Inside `'…'`; `true` after a backslash.
+    Char(bool),
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans a whole file into per-line code/comment splits.
+pub fn scan(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // A line comment ends at the newline; everything else carries
+            // its state across the boundary.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur.comment.push(c);
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    cur.comment.push_str("/*");
+                    cur.code.push_str("  ");
+                    i += 2;
+                    continue;
+                } else if c == '"' {
+                    state = State::Str(false);
+                    cur.code.push(' ');
+                } else if c == 'r' || c == 'b' {
+                    // Possible raw/byte literal prefix — only when not the
+                    // tail of a longer identifier (e.g. `for r in`, `var`).
+                    let prev_ident = i > 0 && is_ident(chars[i - 1]);
+                    if !prev_ident {
+                        if let Some(prefix) = try_literal_prefix(&chars, i) {
+                            match prefix {
+                                Prefix::Raw(hashes, skip) => {
+                                    state = State::RawStr(hashes);
+                                    for _ in 0..skip {
+                                        cur.code.push(' ');
+                                    }
+                                    i += skip;
+                                    continue;
+                                }
+                                Prefix::Plain(skip) => {
+                                    state = State::Str(false);
+                                    for _ in 0..skip {
+                                        cur.code.push(' ');
+                                    }
+                                    i += skip;
+                                    continue;
+                                }
+                                Prefix::ByteChar(skip) => {
+                                    state = State::Char(false);
+                                    for _ in 0..skip {
+                                        cur.code.push(' ');
+                                    }
+                                    i += skip;
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    cur.code.push(c);
+                } else if c == '\'' {
+                    // Lifetime (`'a`) or char literal (`'x'`, `'\n'`)?
+                    let looks_like_char = match next {
+                        Some('\\') => true,
+                        Some(_) => chars.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if looks_like_char {
+                        state = State::Char(false);
+                        cur.code.push(' ');
+                    } else {
+                        cur.code.push(c); // lifetime quote stays in code
+                    }
+                } else {
+                    cur.code.push(c);
+                }
+            }
+            State::LineComment => cur.comment.push(c),
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    cur.comment.push_str("*/");
+                    if depth == 1 {
+                        state = State::Code;
+                        cur.code.push_str("  ");
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                    continue;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    cur.comment.push_str("/*");
+                    i += 2;
+                    continue;
+                }
+                cur.comment.push(c);
+            }
+            State::Str(escaped) => {
+                cur.code.push(' ');
+                state = if escaped {
+                    State::Str(false)
+                } else if c == '\\' {
+                    State::Str(true)
+                } else if c == '"' {
+                    State::Code
+                } else {
+                    State::Str(false)
+                };
+            }
+            State::RawStr(hashes) => {
+                cur.code.push(' ');
+                if c == '"' {
+                    let mut ok = true;
+                    for h in 0..hashes as usize {
+                        if chars.get(i + 1 + h) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes {
+                            cur.code.push(' ');
+                        }
+                        i += hashes as usize;
+                        state = State::Code;
+                    }
+                }
+            }
+            State::Char(escaped) => {
+                cur.code.push(' ');
+                state = if escaped {
+                    State::Char(false)
+                } else if c == '\\' {
+                    State::Char(true)
+                } else if c == '\'' {
+                    State::Code
+                } else {
+                    State::Char(false)
+                };
+            }
+        }
+        i += 1;
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+enum Prefix {
+    /// `r"`, `r#"`, `br##"` …: raw string with N hashes; skip M chars.
+    Raw(u32, usize),
+    /// `b"`: plain (escaped) byte string; skip M chars.
+    Plain(usize),
+    /// `b'`: byte char literal; skip M chars.
+    ByteChar(usize),
+}
+
+/// Detects a raw/byte literal starting at `i` (which holds `r` or `b`).
+fn try_literal_prefix(chars: &[char], i: usize) -> Option<Prefix> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        match chars.get(j) {
+            Some('\'') => return Some(Prefix::ByteChar(j + 1 - i)),
+            Some('"') => return Some(Prefix::Plain(j + 1 - i)),
+            Some('r') => {} // br…
+            _ => return None,
+        }
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        let mut hashes = 0u32;
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if chars.get(j) == Some(&'"') {
+            return Some(Prefix::Raw(hashes, j + 1 - i));
+        }
+    }
+    None
+}
+
+/// Marks lines that belong to a `#[cfg(test)]`-gated item (typically
+/// `mod tests { … }`), so per-line rules can skip test-only code.
+///
+/// Heuristic but robust for this workspace's idiom: after a code line
+/// containing `#[cfg(test)]`, the next item's braced body (tracked by brace
+/// depth on masked code) is test-only. A semicolon-terminated item (e.g.
+/// `#[cfg(test)] use …;`) consumes the marker without opening a region.
+pub fn test_lines(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut pending = false;
+    let mut depth: i64 = 0;
+    let mut in_test = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let squished: String = line.code.split_whitespace().collect();
+        if !in_test && squished.contains("#[cfg(test)]") {
+            pending = true;
+            mask[idx] = true;
+            continue;
+        }
+        if in_test {
+            mask[idx] = true;
+            for c in line.code.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            in_test = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            continue;
+        }
+        if pending {
+            mask[idx] = true;
+            let mut opened = false;
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    ';' if depth == 0 && !opened => {
+                        pending = false;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if opened {
+                pending = false;
+                if depth > 0 {
+                    in_test = true;
+                } else {
+                    depth = 0;
+                }
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let src = "let x = \"unwrap()\"; // panic! here\nlet y = 1;\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].comment.contains("panic!"));
+        assert!(lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let s = r#\"unsafe { }\"#; let c = 'u'; let l: &'static str = \"x\";\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("&'static str"), "{}", lines[0].code);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still */ b\n";
+        let lines = scan(src);
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("inner"));
+        assert!(lines[0].comment.contains("inner"));
+    }
+
+    #[test]
+    fn multi_line_strings_stay_masked() {
+        let src = "let s = \"line one\nunwrap() inside\";\nlet t = 0;\n";
+        let lines = scan(src);
+        assert!(!lines[1].code.contains("unwrap"));
+        assert!(lines[2].code.contains("let t"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    fn helper() { x.unwrap(); }
+}
+fn also_real() {}
+";
+        let lines = scan(src);
+        let mask = test_lines(&lines);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_use_statement_does_not_open_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() {}\n";
+        let lines = scan(src);
+        let mask = test_lines(&lines);
+        assert_eq!(mask, vec![true, true, false]);
+    }
+}

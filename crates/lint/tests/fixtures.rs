@@ -1,0 +1,215 @@
+//! Fixture-backed rule tests.
+//!
+//! The `tests/fixtures/violations/` corpus is a miniature workspace that
+//! commits one of every policy sin; each test asserts its rule fires at
+//! the exact file and line. The `tests/fixtures/clean/` corpus proves the
+//! rules stay silent on conforming code.
+
+use std::path::{Path, PathBuf};
+
+use rdb_lint::policy::Policy;
+use rdb_lint::rules::{self, Diagnostic};
+
+fn fixture_root(which: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(which)
+}
+
+fn violations_policy(ratchet: &str) -> Policy {
+    Policy {
+        root: fixture_root("violations"),
+        exclude: vec![],
+        unsafe_allowlist: vec!["crates/meter/src/lib.rs".into()],
+        atomics_allowlist: vec!["crates/meter/src/lib.rs".into()],
+        relaxed_window: 8,
+        safety_window: 5,
+        print_allowlist: vec![],
+        planning_modules: vec!["crates/app/src/plan.rs".into()],
+        scan_entry_files: vec!["crates/app/src/scan.rs".into()],
+        scan_entry_exempt: vec![],
+        ratchet_scope: vec!["crates/app/src/scan.rs".into()],
+        ratchet_path: ratchet.into(),
+    }
+}
+
+fn lint_violations(ratchet: &str) -> Vec<Diagnostic> {
+    let policy = violations_policy(ratchet);
+    let files = rules::load_workspace(&policy).expect("fixture walk");
+    rules::lint(&files, &policy)
+}
+
+fn assert_fires(diags: &[Diagnostic], file: &str, line: usize, rule: &str) {
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.file == file && d.line == line && d.rule == rule),
+        "expected {rule} at {file}:{line}, got:\n{diags:#?}"
+    );
+}
+
+#[test]
+fn u001_unsafe_outside_allowlist() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/lib.rs", 28, "U001");
+}
+
+#[test]
+fn u002_unsafe_without_safety_comment() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/meter/src/lib.rs", 13, "U002");
+}
+
+#[test]
+fn u003_crate_root_missing_forbid_attr() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/lib.rs", 0, "U003");
+    // The unsafe-allowlisted crate is exempt.
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.rule == "U003" && d.file.starts_with("crates/meter/")),
+        "meter crate owns an unsafe allowlist entry, must be U003-exempt"
+    );
+}
+
+#[test]
+fn p001_panic_count_rose_above_baseline() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/scan.rs", 0, "P001");
+}
+
+#[test]
+fn p002_baseline_stale_after_burn_down() {
+    let diags = lint_violations("ratchet-p002.toml");
+    assert_fires(&diags, "crates/app/src/scan.rs", 0, "P002");
+}
+
+#[test]
+fn p002_missing_baseline_file() {
+    let diags = lint_violations("no-such-ratchet.toml");
+    assert_fires(&diags, "no-such-ratchet.toml", 0, "P002");
+}
+
+#[test]
+fn f001_planning_module_touches_fallible_storage() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/plan.rs", 3, "F001");
+    assert_fires(&diags, "crates/app/src/plan.rs", 5, "F001");
+}
+
+#[test]
+fn f002_scan_entry_point_without_result() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/scan.rs", 12, "F002");
+    // `run` returns Result and must not fire.
+    assert!(
+        !diags.iter().any(|d| d.rule == "F002" && d.line != 12),
+        "only `step` is infallible in the fixture:\n{diags:#?}"
+    );
+}
+
+#[test]
+fn a001_ordering_outside_atomics_allowlist() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/lib.rs", 12, "A001");
+}
+
+#[test]
+fn a002_relaxed_without_justification() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/meter/src/lib.rs", 9, "A002");
+}
+
+#[test]
+fn h001_public_fn_returns_result_string() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/lib.rs", 15, "H001");
+}
+
+#[test]
+fn h002_print_macro_in_library_code() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/lib.rs", 24, "H002");
+}
+
+#[test]
+fn h003_crate_root_without_doc_header() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/lib.rs", 0, "H003");
+}
+
+#[test]
+fn violations_corpus_fires_exactly_the_expected_set() {
+    let diags = lint_violations("ratchet-p001.toml");
+    let got: Vec<(&str, usize, &str)> = diags
+        .iter()
+        .map(|d| (d.file.as_str(), d.line, d.rule))
+        .collect();
+    let want = [
+        ("crates/app/src/lib.rs", 0, "H003"),
+        ("crates/app/src/lib.rs", 0, "U003"),
+        ("crates/app/src/lib.rs", 12, "A001"),
+        ("crates/app/src/lib.rs", 15, "H001"),
+        ("crates/app/src/lib.rs", 24, "H002"),
+        ("crates/app/src/lib.rs", 28, "U001"),
+        ("crates/app/src/plan.rs", 3, "F001"),
+        ("crates/app/src/plan.rs", 5, "F001"),
+        ("crates/app/src/scan.rs", 0, "P001"),
+        ("crates/app/src/scan.rs", 12, "F002"),
+        ("crates/meter/src/lib.rs", 9, "A002"),
+        ("crates/meter/src/lib.rs", 13, "U002"),
+    ];
+    assert_eq!(got, want, "diagnostic set drifted:\n{diags:#?}");
+}
+
+#[test]
+fn x001_stale_allowlist_entries_fail() {
+    let mut policy = violations_policy("ratchet-p001.toml");
+    // Five kinds of dead carve-out: a ghost file, an unsafe/atomics/print
+    // entry for a file that no longer uses the feature, and a scan-entry
+    // exemption for a fn that already returns Result.
+    policy.unsafe_allowlist.push("crates/app/src/ghost.rs".into());
+    policy.unsafe_allowlist.push("crates/app/src/plan.rs".into());
+    policy.atomics_allowlist.push("crates/app/src/plan.rs".into());
+    policy.print_allowlist.push("crates/app/src/plan.rs".into());
+    policy.scan_entry_exempt.push((
+        "crates/app/src/scan.rs".into(),
+        "run".into(),
+        "already fallible — this exemption is dead".into(),
+    ));
+    let files = rules::load_workspace(&policy).expect("fixture walk");
+    let mut diags = Vec::new();
+    rules::check_allowlists(&files, &policy, &mut diags);
+    let x001: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "X001").collect();
+    assert_eq!(x001.len(), 5, "expected 5 stale entries:\n{diags:#?}");
+    for d in &x001 {
+        assert!(
+            d.file == "crates/app/src/ghost.rs"
+                || d.file == "crates/app/src/plan.rs"
+                || d.file == "crates/app/src/scan.rs",
+            "unexpected stale entry target: {d:#?}"
+        );
+    }
+}
+
+#[test]
+fn clean_corpus_is_silent() {
+    let policy = Policy {
+        root: fixture_root("clean"),
+        exclude: vec![],
+        unsafe_allowlist: vec![],
+        atomics_allowlist: vec![],
+        relaxed_window: 8,
+        safety_window: 5,
+        print_allowlist: vec![],
+        planning_modules: vec![],
+        scan_entry_files: vec![],
+        scan_entry_exempt: vec![],
+        ratchet_scope: vec!["crates/good/src/".into()],
+        ratchet_path: "ratchet.toml".into(),
+    };
+    let files = rules::load_workspace(&policy).expect("fixture walk");
+    let diags = rules::lint(&files, &policy);
+    assert!(diags.is_empty(), "clean corpus must lint clean:\n{diags:#?}");
+}

@@ -1,0 +1,18 @@
+//! Clean fixture: typed errors, no unsafe, no atomics, no prints.
+
+#![forbid(unsafe_code)]
+
+/// Error type with matchable variants.
+#[derive(Debug)]
+pub enum GoodError {
+    /// The input was empty.
+    Empty,
+}
+
+/// Halves every value, rejecting empty input.
+pub fn halve(values: &[u64]) -> Result<Vec<u64>, GoodError> {
+    if values.is_empty() {
+        return Err(GoodError::Empty);
+    }
+    Ok(values.iter().map(|v| v / 2).collect())
+}

@@ -1,0 +1,29 @@
+// A deliberately bad crate root: no `//!` doc header (H003), no
+// `#![forbid(unsafe_code)]` (U003), and one of every hygiene sin.
+
+pub mod plan;
+pub mod scan;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNTER.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn parse_flag(raw: &str) -> Result<bool, String> {
+    match raw {
+        "y" => Ok(true),
+        "n" => Ok(false),
+        _ => Err(format!("bad flag {raw}")),
+    }
+}
+
+pub fn debug_dump(x: u64) {
+    println!("value = {x}");
+}
+
+pub fn peek(slot: *const u64) -> u64 {
+    unsafe { *slot }
+}

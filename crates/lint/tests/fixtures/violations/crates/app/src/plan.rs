@@ -1,0 +1,7 @@
+//! Planning fixture: touches fallible storage, which F001 forbids.
+
+use crate::scan::StorageError;
+
+pub fn estimate(rows: u64) -> Result<u64, StorageError> {
+    Ok(rows / 2)
+}

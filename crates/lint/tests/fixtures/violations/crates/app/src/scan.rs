@@ -1,0 +1,25 @@
+//! Scan fixture: an infallible entry point (F002) and two panic-prone
+//! tokens for the ratchet tests (one index expression, one unwrap).
+
+pub struct StorageError;
+
+pub struct Scan {
+    items: Vec<u32>,
+    pos: usize,
+}
+
+impl Scan {
+    pub fn step(&mut self) -> Option<u32> {
+        let item = self.items[self.pos];
+        self.pos += 1;
+        Some(item)
+    }
+
+    pub fn run(&mut self) -> Result<u32, StorageError> {
+        self.step().ok_or(StorageError)
+    }
+
+    pub fn finish(self) -> u32 {
+        self.items.last().copied().unwrap()
+    }
+}

@@ -1,0 +1,14 @@
+//! Meter fixture: allowlisted for atomics and for unsafe code, but
+//! missing the justification comments A002 and U002 demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TICKS: AtomicU64 = AtomicU64::new(0);
+
+pub fn tick() -> u64 {
+    TICKS.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read_raw(p: *const u64) -> u64 {
+    unsafe { *p }
+}

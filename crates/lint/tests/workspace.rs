@@ -1,0 +1,41 @@
+//! The real workspace must satisfy its own policy: `cargo test -p
+//! rdb-lint` fails the moment a policy violation or a stale ratchet
+//! lands, independent of the CI job that runs the binary.
+
+use std::path::Path;
+
+use rdb_lint::policy::Policy;
+use rdb_lint::ratchet;
+use rdb_lint::rules;
+
+fn workspace_policy() -> Policy {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    Policy::repo(root.canonicalize().expect("workspace root resolves"))
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let policy = workspace_policy();
+    let files = rules::load_workspace(&policy).expect("workspace walk");
+    let diags = rules::lint(&files, &policy);
+    assert!(
+        diags.is_empty(),
+        "the workspace violates its own code policy:\n{diags:#?}"
+    );
+}
+
+#[test]
+fn committed_ratchet_matches_fresh_count() {
+    let policy = workspace_policy();
+    let files = rules::load_workspace(&policy).expect("workspace walk");
+    let committed = ratchet::parse(
+        &std::fs::read_to_string(policy.root.join(&policy.ratchet_path))
+            .expect("lint-ratchet.toml is committed"),
+    )
+    .expect("lint-ratchet.toml parses");
+    let fresh = rules::fresh_ratchet(&files, &policy);
+    assert_eq!(
+        committed, fresh,
+        "lint-ratchet.toml is out of date: run `cargo run -p rdb-lint -- --update-ratchet`"
+    );
+}

@@ -18,6 +18,7 @@
 use rdb_core::{DynamicConfig, DynamicOptimizer};
 use rdb_storage::{shared_meter, FaultPolicy, StorageError};
 
+use crate::failure::SimFailure;
 use crate::harness::SimConfig;
 use crate::oracle;
 use crate::scenario::Scenario;
@@ -45,7 +46,7 @@ fn check_result(
     expected: &[rdb_storage::Rid],
     result: &rdb_core::RetrievalResult,
     what: &str,
-) -> Result<(), String> {
+) -> Result<(), SimFailure> {
     let sscan_col = result.sscan_index.map(|pos| scenario.index_cols[pos]);
     oracle::check_limited(
         scenario,
@@ -58,12 +59,12 @@ fn check_result(
 }
 
 /// Runs the concurrency campaign for one seed. Returns the tally, or the
-/// first failure (with enough context to replay).
+/// first failure (with its check family and enough context to replay).
 pub fn concurrency_check(
     seed: u64,
     threads: usize,
     cfg: &SimConfig,
-) -> Result<ConcurrencyReport, String> {
+) -> Result<ConcurrencyReport, SimFailure> {
     assert!(threads >= 2, "concurrency check needs at least 2 threads");
     let scenario = Scenario::generate(seed);
     let queries = scenario.queries.clone();
@@ -80,7 +81,7 @@ pub fn concurrency_check(
         ..DynamicConfig::default()
     });
 
-    let run_batch = |tid: usize, faulted: bool| -> Result<ConcurrencyReport, String> {
+    let run_batch = |tid: usize, faulted: bool| -> Result<ConcurrencyReport, SimFailure> {
         let optimizer = if tid % 2 == 1 { &parallel } else { &cooperative };
         let session = shared_meter(scenario.pool.cost_config());
         let mut tally = ConcurrencyReport::default();
@@ -98,32 +99,37 @@ pub fn concurrency_check(
                 match outcome {
                     Ok(result) => {
                         check_result(&scenario, query, &expected[qi], &result, "faulted-threaded")
-                            .map_err(|e| ctx(&format!("Ok faulted run returned damage: {e}")))?;
+                            .map_err(|e| e.ctx(ctx("Ok faulted run returned damage")))?;
                         tally.fault_ok += 1;
                         tally.checks += 1;
                     }
                     Err(StorageError::InjectedFault { .. }) => tally.fault_errors += 1,
                     Err(e) => {
-                        return Err(ctx(&format!("surfaced a non-injected error: {e}")));
+                        return Err(SimFailure::fault_contract(ctx(&format!(
+                            "surfaced a non-injected error: {e}"
+                        ))));
                     }
                 }
             } else {
                 tally.queries_run += 1;
-                let result = outcome.map_err(|e| ctx(&format!("clean threaded run died: {e}")))?;
+                let result = outcome
+                    .map_err(|e| SimFailure::execution(ctx(&format!("clean threaded run died: {e}"))))?;
                 check_result(&scenario, query, &expected[qi], &result, "threaded-dynamic")
-                    .map_err(|e| ctx(&e))?;
+                    .map_err(|e| e.ctx(ctx("oracle mismatch")))?;
                 tally.checks += 1;
             }
             if session.total() <= 0.0 {
-                return Err(ctx("session meter never charged: per-thread metering broken"));
+                return Err(SimFailure::concurrency(ctx(
+                    "session meter never charged: per-thread metering broken",
+                )));
             }
         }
         Ok(tally)
     };
 
-    let run_round = |faulted: bool| -> Result<ConcurrencyReport, String> {
+    let run_round = |faulted: bool| -> Result<ConcurrencyReport, SimFailure> {
         let run_batch = &run_batch;
-        let results: Vec<Result<ConcurrencyReport, String>> = std::thread::scope(|s| {
+        let results: Vec<Result<ConcurrencyReport, SimFailure>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|tid| s.spawn(move || run_batch(tid, faulted)))
                 .collect();
@@ -131,7 +137,9 @@ pub fn concurrency_check(
                 .into_iter()
                 .map(|h| {
                     h.join()
-                        .unwrap_or_else(|_| Err(format!("seed {seed}: worker thread panicked")))
+                        .unwrap_or_else(|_| {
+                        Err(SimFailure::concurrency(format!("seed {seed}: worker thread panicked")))
+                    })
                 })
                 .collect()
         });
@@ -177,10 +185,12 @@ pub fn concurrency_check(
         for (qi, query) in queries.iter().enumerate() {
             let request = scenario.request(query);
             let result = DynamicOptimizer::default().run(&request).map_err(|e| {
-                format!("seed {seed} query {qi}: clean re-run after threaded faults died: {e}")
+                SimFailure::fault_contract(format!(
+                    "seed {seed} query {qi}: clean re-run after threaded faults died: {e}"
+                ))
             })?;
             check_result(&scenario, query, &expected[qi], &result, "post-fault-sequential")
-                .map_err(|e| format!("seed {seed} query {qi}: state damaged by threaded faults: {e}"))?;
+                .map_err(|e| e.ctx(format!("seed {seed} query {qi}: state damaged by threaded faults")))?;
             total.checks += 1;
         }
     }

@@ -1,0 +1,134 @@
+//! Typed failure for the differential harness.
+//!
+//! Every public check in this crate reports a [`SimFailure`]: the check
+//! *family* that tripped (a [`FailureKind`], matchable in tests and triage
+//! scripts) plus the full human-readable detail — seed, thread, query
+//! shape, strategy — needed to replay the failure. The `Display` form is
+//! exactly the detail string, so the `simtest` binary's failure banners
+//! are unchanged.
+
+use std::error::Error;
+use std::fmt;
+
+/// The check family a [`SimFailure`] came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// Delivered row set differs from the oracle (missing, extra, or
+    /// duplicated rows).
+    RowSet,
+    /// Delivery order broke a strategy's contract (key order, RID order).
+    Order,
+    /// A delivered record's contents differ from the shadow row.
+    Contents,
+    /// A strategy or optimizer run died with an unexpected storage error.
+    Execution,
+    /// A cost invariant (guaranteed-best multiple, first-row bound) was
+    /// violated.
+    CostBound,
+    /// The traced event stream broke the telemetry contract.
+    Trace,
+    /// A fault campaign broke its contract: a non-injected error surfaced,
+    /// a fault was attributed to the wrong file, or shared state stayed
+    /// damaged after disarming.
+    FaultContract,
+    /// The multi-thread campaign itself failed (worker panic, session
+    /// metering broken).
+    Concurrency,
+    /// The mutation smoke check could not prove the oracle has teeth.
+    Mutation,
+}
+
+/// A differential-harness failure: which check family tripped, and the
+/// full replay context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimFailure {
+    /// The check family that tripped.
+    pub kind: FailureKind,
+    /// Full human-readable detail, including seed/query/strategy context.
+    pub detail: String,
+}
+
+impl SimFailure {
+    /// A failure of the given family.
+    pub fn new(kind: FailureKind, detail: impl Into<String>) -> Self {
+        SimFailure {
+            kind,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for [`FailureKind::RowSet`].
+    pub fn row_set(detail: impl Into<String>) -> Self {
+        SimFailure::new(FailureKind::RowSet, detail)
+    }
+
+    /// Shorthand for [`FailureKind::Order`].
+    pub fn order(detail: impl Into<String>) -> Self {
+        SimFailure::new(FailureKind::Order, detail)
+    }
+
+    /// Shorthand for [`FailureKind::Contents`].
+    pub fn contents(detail: impl Into<String>) -> Self {
+        SimFailure::new(FailureKind::Contents, detail)
+    }
+
+    /// Shorthand for [`FailureKind::Execution`].
+    pub fn execution(detail: impl Into<String>) -> Self {
+        SimFailure::new(FailureKind::Execution, detail)
+    }
+
+    /// Shorthand for [`FailureKind::CostBound`].
+    pub fn cost_bound(detail: impl Into<String>) -> Self {
+        SimFailure::new(FailureKind::CostBound, detail)
+    }
+
+    /// Shorthand for [`FailureKind::Trace`].
+    pub fn trace(detail: impl Into<String>) -> Self {
+        SimFailure::new(FailureKind::Trace, detail)
+    }
+
+    /// Shorthand for [`FailureKind::FaultContract`].
+    pub fn fault_contract(detail: impl Into<String>) -> Self {
+        SimFailure::new(FailureKind::FaultContract, detail)
+    }
+
+    /// Shorthand for [`FailureKind::Concurrency`].
+    pub fn concurrency(detail: impl Into<String>) -> Self {
+        SimFailure::new(FailureKind::Concurrency, detail)
+    }
+
+    /// Shorthand for [`FailureKind::Mutation`].
+    pub fn mutation(detail: impl Into<String>) -> Self {
+        SimFailure::new(FailureKind::Mutation, detail)
+    }
+
+    /// Prepends replay context (`"{prefix}: {detail}"`), keeping the kind.
+    /// Used by the campaign drivers to layer seed/thread/query context
+    /// onto a failure raised deep in the oracle.
+    pub fn ctx(mut self, prefix: impl fmt::Display) -> Self {
+        self.detail = format!("{prefix}: {}", self.detail);
+        self
+    }
+}
+
+impl fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl Error for SimFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_layers_prefixes_and_keeps_the_kind() {
+        let e = SimFailure::row_set("3 rows missing")
+            .ctx("Tscan")
+            .ctx("seed 7 query 2");
+        assert_eq!(e.kind, FailureKind::RowSet);
+        assert_eq!(e.to_string(), "seed 7 query 2: Tscan: 3 rows missing");
+    }
+}

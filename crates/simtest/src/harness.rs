@@ -14,6 +14,7 @@ use rdb_core::{
 };
 use rdb_storage::{FaultPolicy, StorageError, Value};
 
+use crate::failure::SimFailure;
 use crate::oracle;
 use crate::scenario::{Query, Scenario};
 
@@ -70,9 +71,9 @@ pub struct SeedReport {
     pub trace_checks: u64,
 }
 
-/// Runs the full campaign for one seed. `Err` carries a human-readable
-/// failure plus enough context to replay.
-pub fn run_seed(seed: u64, cfg: &SimConfig) -> Result<SeedReport, String> {
+/// Runs the full campaign for one seed. `Err` carries the check family
+/// that tripped plus enough human-readable context to replay.
+pub fn run_seed(seed: u64, cfg: &SimConfig) -> Result<SeedReport, SimFailure> {
     let scenario = Scenario::generate(seed);
     let mut report = SeedReport {
         seed,
@@ -84,15 +85,13 @@ pub fn run_seed(seed: u64, cfg: &SimConfig) -> Result<SeedReport, String> {
     let queries = scenario.queries.clone();
     for (qi, query) in queries.iter().enumerate() {
         let ctx = |what: &str| format!("seed {seed} query {qi} [{}] {what}", query.describe());
-        clean_differential(&scenario, query, cfg, &mut report)
-            .map_err(|e| format!("{}: {e}", ctx("clean")))?;
-        trace_consistency(&scenario, query, &mut report)
-            .map_err(|e| format!("{}: {e}", ctx("traced")))?;
+        clean_differential(&scenario, query, cfg, &mut report).map_err(|e| e.ctx(ctx("clean")))?;
+        trace_consistency(&scenario, query, &mut report).map_err(|e| e.ctx(ctx("traced")))?;
         for &rate in &cfg.fault_rates {
             fault_campaign(&scenario, query, qi, rate, &mut report)
-                .map_err(|e| format!("{}: {e}", ctx("faulted")))?;
+                .map_err(|e| e.ctx(ctx("faulted")))?;
         }
-        index_death(&scenario, query, &mut report).map_err(|e| format!("{}: {e}", ctx("index-death")))?;
+        index_death(&scenario, query, &mut report).map_err(|e| e.ctx(ctx("index-death")))?;
     }
     Ok(report)
 }
@@ -125,14 +124,14 @@ fn clean_differential(
     query: &Query,
     cfg: &SimConfig,
     report: &mut SeedReport,
-) -> Result<(), String> {
+) -> Result<(), SimFailure> {
     let expected = oracle::expected_rids(scenario, query);
 
     // Tscan: always applicable, delivers in physical order.
     let residual = query.record_pred();
     let mut tscan = Tscan::new(&scenario.table, residual.clone(), scenario.pool.cost().clone());
     let (deliveries, tscan_cost) =
-        drain(scenario, || tscan.step()).map_err(|e| format!("Tscan died: {e}"))?;
+        drain(scenario, || tscan.step()).map_err(|e| SimFailure::execution(format!("Tscan died: {e}")))?;
     oracle::check_full(scenario, &expected, &deliveries, None, "Tscan")?;
     oracle::check_rid_order(&deliveries, "Tscan")?;
     report.checks += 1;
@@ -153,7 +152,7 @@ fn clean_differential(
             scenario.pool.cost().clone(),
         );
         let (deliveries, cost) =
-            drain(scenario, || fscan.step()).map_err(|e| format!("Fscan died: {e}"))?;
+            drain(scenario, || fscan.step()).map_err(|e| SimFailure::execution(format!("Fscan died: {e}")))?;
         oracle::check_full(scenario, &expected, &deliveries, None, "Fscan")?;
         oracle::check_key_order(scenario, &deliveries, conj.col, "Fscan")?;
         report.checks += 1;
@@ -177,7 +176,7 @@ fn clean_differential(
             let before = meter.total();
             let mut deliveries = Vec::new();
             loop {
-                match sscan.step().map_err(|e| format!("Sscan died: {e}"))? {
+                match sscan.step().map_err(|e| SimFailure::execution(format!("Sscan died: {e}")))? {
                     StrategyStep::Deliver(rid, record) => deliveries.push(Delivery {
                         rid,
                         record,
@@ -241,18 +240,18 @@ fn clean_differential(
             .collect();
         match outcome {
             JscanOutcome::FinalList(list) => {
-                let mut rids = list.to_vec().map_err(|e| format!("RID list died: {e}"))?;
+                let mut rids = list.to_vec().map_err(|e| SimFailure::execution(format!("RID list died: {e}")))?;
                 rids.sort_unstable();
                 // Soundness: every row of the full indexed intersection
                 // must survive into the list (Jscan never drops rows).
                 for rid in &expected_indexed {
                     if rids.binary_search(rid).is_err() {
-                        return Err(format!(
+                        return Err(SimFailure::row_set(format!(
                             "Jscan final list lost qualifying row {rid} \
                              ({} RIDs vs {} expected)",
                             rids.len(),
                             expected_indexed.len()
-                        ));
+                        )));
                     }
                 }
                 // Tightness: the list applies at least the completed
@@ -261,19 +260,19 @@ fn clean_differential(
                 allowed.sort_unstable();
                 for rid in &rids {
                     if allowed.binary_search(rid).is_err() {
-                        return Err(format!(
+                        return Err(SimFailure::row_set(format!(
                             "Jscan final list contains {rid}, which fails a \
                              completed scan's restriction"
-                        ));
+                        )));
                     }
                 }
             }
             JscanOutcome::Empty => {
                 if !expected_indexed.is_empty() {
-                    return Err(format!(
+                    return Err(SimFailure::row_set(format!(
                         "Jscan claims empty intersection, oracle says {} rows",
                         expected_indexed.len()
-                    ));
+                    )));
                 }
             }
             JscanOutcome::UseTscan => {} // a cost verdict, not a row claim
@@ -311,7 +310,7 @@ fn clean_differential(
     scenario.cold();
     let result = static_opt
         .execute(plan, &request)
-        .map_err(|e| format!("static execute died: {e}"))?;
+        .map_err(|e| SimFailure::execution(format!("static execute died: {e}")))?;
     check_result(scenario, query, &expected, &result, "static")?;
     report.checks += 1;
 
@@ -319,7 +318,7 @@ fn clean_differential(
     let est = estimate_all(&request);
     let result = StaticJscan::new(StaticJscanConfig::default())
         .run(&request, &est)
-        .map_err(|e| format!("static Jscan died: {e}"))?;
+        .map_err(|e| SimFailure::execution(format!("static Jscan died: {e}")))?;
     check_result(scenario, query, &expected, &result, "static-jscan")?;
     report.checks += 1;
 
@@ -335,7 +334,7 @@ fn clean_differential(
     });
     let result = DynamicOptimizer::default()
         .run_with_observer(&request, Some(observer))
-        .map_err(|e| format!("dynamic run died: {e}"))?;
+        .map_err(|e| SimFailure::execution(format!("dynamic run died: {e}")))?;
     check_result(scenario, query, &expected, &result, "dynamic")?;
     report.checks += 1;
 
@@ -343,25 +342,25 @@ fn clean_differential(
     // runs (a limited run may legally stop anywhere); the first-row bound
     // binds any fast-first run that delivered at least one row.
     if query.limit.is_none() && result.cost > cfg.cost_mult * best_full + cfg.cost_slack {
-        return Err(format!(
+        return Err(SimFailure::cost_bound(format!(
             "guaranteed-best violated: dynamic cost {:.1} vs best static {best_full:.1} \
              (bound {:.1}; strategy {})",
             result.cost,
             cfg.cost_mult * best_full + cfg.cost_slack,
             result.strategy
-        ));
+        )));
     }
     if query.goal == OptimizeGoal::FastFirst
         && !result.deliveries.is_empty()
         && first_at.get().is_finite()
         && first_at.get() > cfg.cost_mult * best_full + cfg.cost_slack
     {
-        return Err(format!(
+        return Err(SimFailure::cost_bound(format!(
             "fast-first first-row bound violated: first row at {:.1} vs best static {best_full:.1} \
              (strategy {})",
             first_at.get(),
             result.strategy
-        ));
+        )));
     }
     Ok(())
 }
@@ -392,7 +391,7 @@ fn trace_consistency(
     scenario: &Scenario,
     query: &Query,
     report: &mut SeedReport,
-) -> Result<(), String> {
+) -> Result<(), SimFailure> {
     const STAGES: [&str; 6] = [
         "tscan",
         "fscan",
@@ -407,7 +406,7 @@ fn trace_consistency(
     scenario.cold();
     let result = DynamicOptimizer::default()
         .run_traced(&request, None, &tracer)
-        .map_err(|e| format!("traced run died: {e}"))?;
+        .map_err(|e| SimFailure::execution(format!("traced run died: {e}")))?;
     let events = buffer.take();
 
     let winners: Vec<(&String, f64, usize)> = events
@@ -422,26 +421,29 @@ fn trace_consistency(
         })
         .collect();
     let [(winner, winner_cost, winner_rows)] = winners[..] else {
-        return Err(format!("expected exactly one Winner event, got {}", winners.len()));
+        return Err(SimFailure::trace(format!(
+            "expected exactly one Winner event, got {}",
+            winners.len()
+        )));
     };
     if winner_rows != result.deliveries.len() {
-        return Err(format!(
+        return Err(SimFailure::trace(format!(
             "Winner claims {winner_rows} rows, run delivered {}",
             result.deliveries.len()
-        ));
+        )));
     }
     if !norm(winner).contains(&norm(&result.strategy)) {
-        return Err(format!(
+        return Err(SimFailure::trace(format!(
             "Winner strategy {winner:?} does not name the executed strategy {:?}",
             result.strategy
-        ));
+        )));
     }
     let eps = 1e-6 * result.cost.max(1.0);
     if (winner_cost - result.cost).abs() > eps {
-        return Err(format!(
+        return Err(SimFailure::trace(format!(
             "Winner cost {winner_cost} != result cost {}",
             result.cost
-        ));
+        )));
     }
 
     let chosen = events.iter().find_map(|e| match e {
@@ -451,12 +453,12 @@ fn trace_consistency(
     match chosen {
         Some(tactic) if *tactic == result.strategy => {}
         Some(tactic) => {
-            return Err(format!(
+            return Err(SimFailure::trace(format!(
                 "TacticChosen names {tactic:?}, result ran {:?}",
                 result.strategy
-            ));
+            )));
         }
-        None => return Err("no TacticChosen event".into()),
+        None => return Err(SimFailure::trace("no TacticChosen event")),
     }
 
     let phase_sum: f64 = events
@@ -467,10 +469,10 @@ fn trace_consistency(
         })
         .sum();
     if (phase_sum - result.cost).abs() > eps {
-        return Err(format!(
+        return Err(SimFailure::trace(format!(
             "phase costs sum to {phase_sum}, run cost {} (phases must tile the run)",
             result.cost
-        ));
+        )));
     }
 
     for event in &events {
@@ -478,13 +480,13 @@ fn trace_consistency(
             continue;
         };
         if from == to {
-            return Err(format!("Switch from {from:?} to itself"));
+            return Err(SimFailure::trace(format!("Switch from {from:?} to itself")));
         }
         let legal = |s: &str| STAGES.contains(&s) || norm(winner).contains(&norm(s));
         if !legal(from) || !legal(to) {
-            return Err(format!(
+            return Err(SimFailure::trace(format!(
                 "Switch {from:?} -> {to:?} names an unknown stage (winner {winner:?})"
-            ));
+            )));
         }
     }
 
@@ -500,7 +502,7 @@ fn check_result(
     expected: &[rdb_storage::Rid],
     result: &RetrievalResult,
     what: &str,
-) -> Result<(), String> {
+) -> Result<(), SimFailure> {
     let sscan_col = result.sscan_index.map(|pos| scenario.index_cols[pos]);
     oracle::check_limited(
         scenario,
@@ -530,7 +532,7 @@ fn fault_campaign(
     qi: usize,
     rate: f64,
     report: &mut SeedReport,
-) -> Result<(), String> {
+) -> Result<(), SimFailure> {
     let expected = oracle::expected_rids(scenario, query);
     let request = scenario.request(query);
     let fault_seed = scenario
@@ -546,7 +548,7 @@ fn fault_campaign(
     match outcome {
         Ok(result) => {
             check_result(scenario, query, &expected, &result, "faulted-dynamic")
-                .map_err(|e| format!("fault rate {rate}: Ok run returned damaged rows: {e}"))?;
+                .map_err(|e| e.ctx(format!("fault rate {rate}: Ok run returned damaged rows")))?;
             report.fault_ok += 1;
             report.checks += 1;
             if result
@@ -562,9 +564,9 @@ fn fault_campaign(
             report.fault_errors += 1;
         }
         Err(e) => {
-            return Err(format!(
+            return Err(SimFailure::fault_contract(format!(
                 "fault rate {rate}: surfaced a non-injected error: {e}"
-            ));
+            )));
         }
     }
     // Aftermath: with the policy gone, the exact same retrieval must
@@ -572,9 +574,9 @@ fn fault_campaign(
     scenario.cold();
     let result = DynamicOptimizer::default()
         .run(&request)
-        .map_err(|e| format!("fault rate {rate}: clean re-run after fault died: {e}"))?;
+        .map_err(|e| SimFailure::fault_contract(format!("fault rate {rate}: clean re-run after fault died: {e}")))?;
     check_result(scenario, query, &expected, &result, "post-fault-dynamic")
-        .map_err(|e| format!("fault rate {rate}: state damaged by faulted run: {e}"))?;
+        .map_err(|e| e.ctx(format!("fault rate {rate}: state damaged by faulted run")))?;
     report.checks += 1;
     Ok(())
 }
@@ -588,7 +590,7 @@ fn index_death(
     scenario: &Scenario,
     query: &Query,
     report: &mut SeedReport,
-) -> Result<(), String> {
+) -> Result<(), SimFailure> {
     let Some(&conj) = query
         .conjuncts
         .iter()
@@ -611,7 +613,7 @@ fn index_death(
     match outcome {
         Ok(result) => {
             check_result(scenario, query, &expected, &result, "index-death-dynamic")
-                .map_err(|e| format!("index death: Ok run returned damaged rows: {e}"))?;
+                .map_err(|e| e.ctx("index death: Ok run returned damaged rows"))?;
             report.fault_ok += 1;
             report.checks += 1;
             if result.events.iter().any(|e| e.contains("StorageFault")) {
@@ -620,21 +622,25 @@ fn index_death(
         }
         Err(StorageError::InjectedFault { file, .. }) => {
             if file != dead_file {
-                return Err(format!(
+                return Err(SimFailure::fault_contract(format!(
                     "index death: fault reported for file {} but only {} was poisoned",
                     file.0, dead_file.0
-                ));
+                )));
             }
             report.fault_errors += 1;
         }
-        Err(e) => return Err(format!("index death: surfaced a non-injected error: {e}")),
+        Err(e) => {
+            return Err(SimFailure::fault_contract(format!(
+                "index death: surfaced a non-injected error: {e}"
+            )))
+        }
     }
     scenario.cold();
     let result = DynamicOptimizer::default()
         .run(&request)
-        .map_err(|e| format!("index death: clean re-run died: {e}"))?;
+        .map_err(|e| SimFailure::fault_contract(format!("index death: clean re-run died: {e}")))?;
     check_result(scenario, query, &expected, &result, "post-index-death-dynamic")
-        .map_err(|e| format!("index death: state damaged: {e}"))?;
+        .map_err(|e| e.ctx("index death: state damaged"))?;
     report.checks += 1;
     Ok(())
 }
@@ -643,7 +649,7 @@ fn index_death(
 /// result and verify the oracle comparison *fails*. A differential
 /// harness that cannot catch a missing row is worthless; this proves the
 /// teeth are real. Returns `Ok` when the injected bug is caught.
-pub fn mutation_check(start_seed: u64) -> Result<(), String> {
+pub fn mutation_check(start_seed: u64) -> Result<(), SimFailure> {
     for seed in start_seed..start_seed.saturating_add(32) {
         let scenario = Scenario::generate(seed);
         let queries = scenario.queries.clone();
@@ -657,17 +663,19 @@ pub fn mutation_check(start_seed: u64) -> Result<(), String> {
             scenario.cold();
             let result = DynamicOptimizer::default()
                 .run(&scenario.request(&q))
-                .map_err(|e| format!("mutation check: dynamic run died: {e}"))?;
+                .map_err(|e| SimFailure::execution(format!("mutation check: dynamic run died: {e}")))?;
             let sscan_col = result.sscan_index.map(|pos| scenario.index_cols[pos]);
             let mut deliveries = result.deliveries;
             deliveries.pop(); // the deliberately injected row-set bug
             return match oracle::check_full(&scenario, &expected, &deliveries, sscan_col, "mutation") {
                 Err(_) => Ok(()),
-                Ok(()) => Err(format!(
+                Ok(()) => Err(SimFailure::mutation(format!(
                     "mutation check FAILED: oracle did not notice a dropped row (seed {seed})"
-                )),
+                ))),
             };
         }
     }
-    Err("mutation check could not find a non-empty retrieval in 32 seeds".into())
+    Err(SimFailure::mutation(
+        "mutation check could not find a non-empty retrieval in 32 seeds",
+    ))
 }

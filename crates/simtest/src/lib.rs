@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! # rdb-simtest
 //!
@@ -32,10 +32,12 @@
 //! comparison has teeth.
 
 pub mod concurrency;
+pub mod failure;
 pub mod harness;
 pub mod oracle;
 pub mod scenario;
 
 pub use concurrency::{concurrency_check, ConcurrencyReport};
+pub use failure::{FailureKind, SimFailure};
 pub use harness::{mutation_check, run_seed, SeedReport, SimConfig};
 pub use scenario::{Conjunct, Query, Scenario};

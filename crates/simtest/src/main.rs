@@ -151,7 +151,7 @@ fn main() -> ExitCode {
                 total.trace_checks += report.trace_checks;
             }
             Ok(Err(e)) => {
-                failures.push((seed, e));
+                failures.push((seed, format!("[{:?}] {e}", e.kind)));
                 continue;
             }
             Err(panic) => {
@@ -180,7 +180,7 @@ fn main() -> ExitCode {
                     total.fault_errors += report.fault_errors;
                     total.fault_ok += report.fault_ok;
                 }
-                Ok(Err(e)) => failures.push((seed, format!("[{threads} threads] {e}"))),
+                Ok(Err(e)) => failures.push((seed, format!("[{threads} threads] [{:?}] {e}", e.kind))),
                 Err(panic) => {
                     let msg = panic
                         .downcast_ref::<&str>()

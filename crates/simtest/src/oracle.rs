@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use rdb_core::request::Delivery;
 use rdb_storage::{Rid, Value};
 
+use crate::failure::SimFailure;
 use crate::scenario::{Conjunct, Query, Scenario, NUM_COLS};
 
 /// RIDs of the rows matching the full predicate, in physical (RID) order.
@@ -51,14 +52,14 @@ pub fn check_full(
     deliveries: &[Delivery],
     sscan_col: Option<usize>,
     what: &str,
-) -> Result<(), String> {
+) -> Result<(), SimFailure> {
     let got: Vec<Rid> = deliveries.iter().map(|d| d.rid).collect();
     if sorted(got) != sorted(expected.to_vec()) {
-        return Err(format!(
+        return Err(SimFailure::row_set(format!(
             "{what}: row-set mismatch: got {} rows, expected {}",
             deliveries.len(),
             expected.len()
-        ));
+        )));
     }
     check_contents(scenario, deliveries, sscan_col, what)
 }
@@ -72,25 +73,25 @@ pub fn check_limited(
     limit: Option<usize>,
     sscan_col: Option<usize>,
     what: &str,
-) -> Result<(), String> {
+) -> Result<(), SimFailure> {
     match limit {
         None => return check_full(scenario, expected, deliveries, sscan_col, what),
         Some(limit) => {
             let want = expected.len().min(limit);
             if deliveries.len() != want {
-                return Err(format!(
+                return Err(SimFailure::row_set(format!(
                     "{what}: limited run delivered {} rows, expected {want} (limit {limit}, {} qualifying)",
                     deliveries.len(),
                     expected.len()
-                ));
+                )));
             }
             let mut seen = std::collections::HashSet::new();
             for d in deliveries {
                 if !expected.contains(&d.rid) {
-                    return Err(format!("{what}: delivered non-qualifying row {}", d.rid));
+                    return Err(SimFailure::row_set(format!("{what}: delivered non-qualifying row {}", d.rid)));
                 }
                 if !seen.insert(d.rid) {
-                    return Err(format!("{what}: duplicate delivery of {}", d.rid));
+                    return Err(SimFailure::row_set(format!("{what}: duplicate delivery of {}", d.rid)));
                 }
             }
         }
@@ -106,29 +107,29 @@ fn check_contents(
     deliveries: &[Delivery],
     sscan_col: Option<usize>,
     what: &str,
-) -> Result<(), String> {
+) -> Result<(), SimFailure> {
     let by_rid: HashMap<Rid, &Vec<Value>> =
         scenario.shadow.iter().map(|(rid, row)| (*rid, row)).collect();
     for d in deliveries {
         let row = by_rid
             .get(&d.rid)
-            .ok_or_else(|| format!("{what}: delivered unknown RID {}", d.rid))?;
+            .ok_or_else(|| SimFailure::row_set(format!("{what}: delivered unknown RID {}", d.rid)))?;
         match (&d.record, d.from_index, sscan_col) {
             (Some(rec), true, Some(col)) => {
                 if rec[0] != row[col] {
-                    return Err(format!(
+                    return Err(SimFailure::contents(format!(
                         "{what}: index key tuple for {} is {:?}, shadow says {:?}",
                         d.rid, rec[0], row[col]
-                    ));
+                    )));
                 }
             }
             (Some(rec), false, _) => {
                 for i in 0..NUM_COLS {
                     if rec[i] != row[i] {
-                        return Err(format!(
+                        return Err(SimFailure::contents(format!(
                             "{what}: record {} column {i} is {:?}, shadow says {:?}",
                             d.rid, rec[i], row[i]
-                        ));
+                        )));
                     }
                 }
             }
@@ -136,9 +137,9 @@ fn check_contents(
             // above is the whole check.
             (None, _, _) => {}
             (Some(_), true, None) => {
-                return Err(format!(
+                return Err(SimFailure::contents(format!(
                     "{what}: from_index delivery but no self-sufficient index was offered"
-                ));
+                )));
             }
         }
     }
@@ -152,20 +153,20 @@ pub fn check_key_order(
     deliveries: &[Delivery],
     col: usize,
     what: &str,
-) -> Result<(), String> {
+) -> Result<(), SimFailure> {
     let by_rid: HashMap<Rid, &Vec<Value>> =
         scenario.shadow.iter().map(|(rid, row)| (*rid, row)).collect();
     let mut prev: Option<&Value> = None;
     for d in deliveries {
         let row = by_rid
             .get(&d.rid)
-            .ok_or_else(|| format!("{what}: delivered unknown RID {}", d.rid))?;
+            .ok_or_else(|| SimFailure::row_set(format!("{what}: delivered unknown RID {}", d.rid)))?;
         let v = &row[col];
         if let Some(p) = prev {
             if p > v {
-                return Err(format!(
+                return Err(SimFailure::order(format!(
                     "{what}: key order violated: {p:?} delivered before {v:?}"
-                ));
+                )));
             }
         }
         prev = Some(v);
@@ -175,13 +176,13 @@ pub fn check_key_order(
 
 /// Checks strictly increasing RID order — the order contract of a
 /// sequential heap scan.
-pub fn check_rid_order(deliveries: &[Delivery], what: &str) -> Result<(), String> {
+pub fn check_rid_order(deliveries: &[Delivery], what: &str) -> Result<(), SimFailure> {
     for pair in deliveries.windows(2) {
         if pair[0].rid >= pair[1].rid {
-            return Err(format!(
+            return Err(SimFailure::order(format!(
                 "{what}: physical order violated: {} before {}",
                 pair[0].rid, pair[1].rid
-            ));
+            )));
         }
     }
     Ok(())

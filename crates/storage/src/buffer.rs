@@ -237,6 +237,9 @@ impl PoolShard {
         let mut i = self.home(key);
         loop {
             debug_assert!(i < self.slots.len());
+            // SAFETY: `i` comes from `home` (reduced by the table mask) or
+            // from the `& self.mask` wrap below, and `mask == slots.len()-1`
+            // with a power-of-two length, so `i < slots.len()` always.
             let s = unsafe { self.slots.get_unchecked(i) };
             if s.prev == FREE {
                 return Probe::Miss(i);
@@ -251,6 +254,9 @@ impl PoolShard {
     #[inline]
     fn slot_mut(&mut self, i: usize) -> &mut Slot {
         debug_assert!(i < self.slots.len());
+        // SAFETY: callers pass `i` from `probe` results or stored LRU links,
+        // both maintained `< slots.len()` by this module's invariant (see
+        // the `probe` doc comment).
         unsafe { self.slots.get_unchecked_mut(i) }
     }
 
@@ -534,6 +540,7 @@ impl BufferPool {
     /// Shard-lock acquisitions that found the lock already held — the
     /// contention signal reported by the throughput benchmark.
     pub fn contention(&self) -> u64 {
+        // Relaxed: statistical counter read; orders against nothing.
         self.contention.load(Ordering::Relaxed)
     }
 
@@ -572,6 +579,8 @@ impl BufferPool {
         match self.shards[i].try_lock() {
             Ok(g) => g,
             Err(std::sync::TryLockError::WouldBlock) => {
+                // Relaxed: contention tally only feeds benchmark reporting;
+                // the subsequent blocking lock provides the real ordering.
                 self.contention.fetch_add(1, Ordering::Relaxed);
                 lock(&self.shards[i])
             }

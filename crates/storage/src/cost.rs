@@ -91,6 +91,8 @@ impl CostMeter {
 
     /// Charges `n` physical page reads at once (batched access runs).
     pub fn charge_page_reads(&self, n: u64) {
+        // Relaxed: an independent monotonic tally; readers only sum the
+        // counters, so no ordering with other memory is needed.
         self.page_reads.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -101,6 +103,7 @@ impl CostMeter {
 
     /// Charges `n` buffer hits at once (batched access runs).
     pub fn charge_cache_hits(&self, n: u64) {
+        // Relaxed: same independent-tally argument as charge_page_reads.
         self.cache_hits.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -111,37 +114,41 @@ impl CostMeter {
 
     /// Charges `n` temporary-table page writes at once.
     pub fn charge_page_writes(&self, n: u64) {
+        // Relaxed: same independent-tally argument as charge_page_reads.
         self.page_writes.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges examination of `n` records.
     pub fn charge_records(&self, n: u64) {
+        // Relaxed: same independent-tally argument as charge_page_reads.
         self.records_examined.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges `n` RID-level operations.
     pub fn charge_rid_ops(&self, n: u64) {
+        // Relaxed: same independent-tally argument as charge_page_reads.
         self.rid_ops.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Charges `n` index-entry visits.
     pub fn charge_index_entries(&self, n: u64) {
+        // Relaxed: same independent-tally argument as charge_page_reads.
         self.index_entries.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Total cost units accumulated so far (computed from the counters).
     pub fn total(&self) -> f64 {
-        let c = &self.config;
-        self.page_reads.load(Ordering::Relaxed) as f64 * c.io_read
-            + self.cache_hits.load(Ordering::Relaxed) as f64 * c.cache_hit
-            + self.page_writes.load(Ordering::Relaxed) as f64 * c.io_write
-            + self.records_examined.load(Ordering::Relaxed) as f64 * c.cpu_record
-            + self.rid_ops.load(Ordering::Relaxed) as f64 * c.rid_op
-            + self.index_entries.load(Ordering::Relaxed) as f64 * c.index_entry
+        self.snapshot().total
     }
 
     /// Point-in-time copy of all counters.
+    ///
+    /// Relaxed loads: each counter is an independent tally; the snapshot
+    /// is a statistical reading, not a synchronization point, and charging
+    /// is batched so concurrent deltas were never atomic across counters
+    /// anyway.
     pub fn snapshot(&self) -> CostSnapshot {
+        // All Relaxed — see above.
         let page_reads = self.page_reads.load(Ordering::Relaxed);
         let cache_hits = self.cache_hits.load(Ordering::Relaxed);
         let page_writes = self.page_writes.load(Ordering::Relaxed);
@@ -178,6 +185,9 @@ impl CostMeter {
     }
 
     /// Resets all counters to zero (weights are kept).
+    ///
+    /// Relaxed stores: reset happens between experiment phases with no
+    /// concurrent chargers; there is nothing to order against.
     pub fn reset(&self) {
         self.page_reads.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);

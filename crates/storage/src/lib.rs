@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # rdb-storage
 //!
 //! Storage substrate for the reproduction of *Dynamic Query Optimization in
