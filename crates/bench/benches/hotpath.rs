@@ -58,6 +58,65 @@ fn hot_pages() -> Vec<PageId> {
         .collect()
 }
 
+/// Regression gate for the lock-free hit path: measures the pure-hit
+/// regime directly (independent of criterion's `--test` mode, so the CI
+/// smoke run enforces it too) and fails unless the pool stays at or above
+/// `HOTPATH_MIN_SPEEDUP` times the reference pool's pages/sec (default
+/// 1.0 — the seqlock probe must at least pay back the shard-lock tax on
+/// pure hits). Both pools are built and warmed once outside the timed
+/// region: the gate is about the steady-state hit path, not construction
+/// or cold faulting (the `*_mixed_100k` pair covers the miss regime).
+/// Override like `THROUGHPUT_MIN_SPEEDUP`:
+/// `HOTPATH_MIN_SPEEDUP=0.9 cargo bench --bench hotpath -- --test`.
+fn bench_hot_gate(_c: &mut Criterion) {
+    use std::time::Instant;
+    let hot = hot_pages();
+    let best_of = |f: &mut dyn FnMut() -> u64| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..7 {
+            let t = Instant::now();
+            criterion::black_box(f());
+            best = best.min(t.elapsed().as_nanos() as f64);
+        }
+        best
+    };
+    let pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
+    for &p in &hot {
+        pool.access(p, pool.cost());
+    }
+    let new_ns = best_of(&mut || {
+        for &p in &hot {
+            pool.access(p, pool.cost());
+        }
+        pool.hits()
+    });
+    let mut rpool = ReferencePool::new(4096, shared_meter(CostConfig::default()));
+    for &p in &hot {
+        rpool.access(p);
+    }
+    let ref_ns = best_of(&mut || {
+        for &p in &hot {
+            rpool.access(p);
+        }
+        rpool.hits()
+    });
+    let speedup = ref_ns / new_ns;
+    let min: f64 = std::env::var("HOTPATH_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    println!(
+        "pool/hot_100k gate: new {:.2} ms vs reference {:.2} ms -> speedup {speedup:.2}x (min {min:.2}x)",
+        new_ns / 1e6,
+        ref_ns / 1e6,
+    );
+    assert!(
+        speedup >= min,
+        "hot-hit regression: pool is {speedup:.2}x the reference on the pure-hit \
+         workload, below the HOTPATH_MIN_SPEEDUP floor of {min:.2}x"
+    );
+}
+
 fn bench_pool(c: &mut Criterion) {
     let pages = mixed_pages();
     let hot = hot_pages();
@@ -80,22 +139,31 @@ fn bench_pool(c: &mut Criterion) {
             pool.hits()
         })
     });
+    // The hot pair measures the steady-state pure-hit path: the pool is
+    // built and warmed outside the timed closure (construction and cold
+    // faulting belong to the mixed pair above).
+    let warm = BufferPool::new(4096, shared_meter(CostConfig::default()));
+    for &p in &hot {
+        warm.access(p, warm.cost());
+    }
     group.bench_function("open_addressed_hot_100k", |b| {
         b.iter(|| {
-            let pool = BufferPool::new(4096, shared_meter(CostConfig::default()));
             for &p in &hot {
-                pool.access(p, pool.cost());
+                warm.access(p, warm.cost());
             }
-            pool.hits()
+            warm.hits()
         })
     });
+    let mut rwarm = ReferencePool::new(4096, shared_meter(CostConfig::default()));
+    for &p in &hot {
+        rwarm.access(p);
+    }
     group.bench_function("reference_hot_100k", |b| {
         b.iter(|| {
-            let mut pool = ReferencePool::new(4096, shared_meter(CostConfig::default()));
             for &p in &hot {
-                pool.access(p);
+                rwarm.access(p);
             }
-            pool.hits()
+            rwarm.hits()
         })
     });
     group.bench_function("open_addressed_seq_runs_100k", |b| {
@@ -200,5 +268,5 @@ fn bench_ridlist(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(hotpath, bench_pool, bench_filter, bench_ridlist);
+criterion_group!(hotpath, bench_hot_gate, bench_pool, bench_filter, bench_ridlist);
 criterion_main!(hotpath);

@@ -92,7 +92,20 @@ struct Measurement {
     queries: u64,
     elapsed_s: f64,
     qps: f64,
+    /// Per-query latency percentiles across every thread, microseconds.
+    p50_us: f64,
+    p95_us: f64,
     contention: u64,
+}
+
+/// The `q`-quantile (nearest-rank) of an unsorted nanosecond sample,
+/// in microseconds.
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e3
 }
 
 fn measure(db: &Db, workload: &[Case], threads: usize, window_ms: u64) -> Measurement {
@@ -102,21 +115,25 @@ fn measure(db: &Db, workload: &[Case], threads: usize, window_ms: u64) -> Measur
         .collect();
     let contention_before = db.pool().contention();
     let done = AtomicU64::new(0);
+    let latencies = std::sync::Mutex::new(Vec::new());
     let start = Instant::now();
     std::thread::scope(|s| {
         for tid in 0..threads {
-            let (done, specs) = (&done, &specs);
+            let (done, specs, latencies) = (&done, &specs, &latencies);
             s.spawn(move || {
                 let session = db.session();
                 let mut local = 0u64;
+                let mut local_ns: Vec<u64> = Vec::with_capacity(4096);
                 // Stagger start positions so threads don't convoy on the
                 // same pages in lockstep.
                 let mut qi = tid % workload.len();
                 while start.elapsed().as_millis() < u128::from(window_ms) {
                     let case = &workload[qi];
+                    let q_start = Instant::now();
                     let result = session
                         .query_spec(&specs[qi], &case.opts)
                         .expect("workload query under concurrency");
+                    local_ns.push(q_start.elapsed().as_nanos() as u64);
                     assert_eq!(
                         result.rows.len(),
                         case.expected_rows,
@@ -130,17 +147,29 @@ fn measure(db: &Db, workload: &[Case], threads: usize, window_ms: u64) -> Measur
                     session.cost().total() > 0.0,
                     "session meter must be charged"
                 );
+                // Replay this worker's deferred LRU touches before the
+                // scope joins (scoped threads may outlive TLS teardown
+                // ordering assumptions; see `rdb_storage::touch`).
+                db.pool().flush_session();
                 done.fetch_add(local, Ordering::Relaxed);
+                latencies
+                    .lock()
+                    .expect("latency collector")
+                    .append(&mut local_ns);
             });
         }
     });
     let elapsed_s = start.elapsed().as_secs_f64();
     let queries = done.load(Ordering::Relaxed);
+    let mut all_ns = latencies.into_inner().expect("latency collector");
+    all_ns.sort_unstable();
     Measurement {
         threads,
         queries,
         elapsed_s,
         qps: queries as f64 / elapsed_s,
+        p50_us: percentile_us(&all_ns, 0.50),
+        p95_us: percentile_us(&all_ns, 0.95),
         contention: db.pool().contention() - contention_before,
     }
 }
@@ -165,6 +194,8 @@ fn write_json(
         "  \"note\": \"One shared Db; each OS thread drives its own Session (private cost meter) \
          through the mixed FAMILIES workload. Row counts are asserted against the sequential \
          expectation on every query, so these numbers are from verified-correct runs. \
+         p50_us/p95_us are per-query wall-clock latency percentiles pooled across all \
+         threads at that thread count. \
          shard_contention is the buffer pool's contended-shard-acquisition counter delta \
          for the whole run at that thread count. The speedup gate is capped at \
          0.75 x host_parallelism: thread scaling cannot beat the core count.\",\n",
@@ -174,12 +205,15 @@ fn write_json(
     for (i, m) in runs.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"threads\": {}, \"queries\": {}, \"elapsed_s\": {:.3}, \"qps\": {:.1}, \
-             \"speedup_vs_1t\": {:.2}, \"shard_contention\": {}}}{}\n",
+             \"speedup_vs_1t\": {:.2}, \"p50_us\": {:.1}, \"p95_us\": {:.1}, \
+             \"shard_contention\": {}}}{}\n",
             m.threads,
             m.queries,
             m.elapsed_s,
             m.qps,
             m.qps / base_qps,
+            m.p50_us,
+            m.p95_us,
             m.contention,
             if i + 1 < runs.len() { "," } else { "" }
         ));
@@ -230,11 +264,21 @@ fn main() {
             m.queries.to_string(),
             fmt(m.qps),
             format!("{:.2}x", m.qps / base_qps),
+            format!("{:.0}", m.p50_us),
+            format!("{:.0}", m.p95_us),
             m.contention.to_string(),
         ]);
     }
     print_table(
-        &["threads", "queries", "qps", "speedup", "shard contention"],
+        &[
+            "threads",
+            "queries",
+            "qps",
+            "speedup",
+            "p50 us",
+            "p95 us",
+            "shard contention",
+        ],
         &table,
     );
 

@@ -278,6 +278,14 @@ impl<'a> Jscan<'a> {
         &self.events
     }
 
+    /// The buffer pool behind this scan's table. Worker threads running a
+    /// Jscan use this to flush their deferred pool session state
+    /// ([`rdb_storage::BufferPool::flush_session`]) before signalling
+    /// completion.
+    pub fn pool(&self) -> &rdb_storage::SharedPool {
+        self.table.pool()
+    }
+
     /// Current guaranteed-best retrieval cost.
     pub fn guaranteed_best(&self) -> f64 {
         self.guaranteed_best

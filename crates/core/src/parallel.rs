@@ -63,7 +63,17 @@ enum BgrUpdate {
 /// Worker loop: steps the Jscan to completion, streaming refinements.
 /// Exits early (without an outcome) when `abandon` is raised or the
 /// foreground hung up.
-fn background_worker(mut jscan: Jscan<'_>, tx: mpsc::Sender<BgrUpdate>, abandon: &AtomicBool) {
+fn background_worker(jscan: Jscan<'_>, tx: mpsc::Sender<BgrUpdate>, abandon: &AtomicBool) {
+    let pool = jscan.pool().clone();
+    background_worker_inner(jscan, tx, abandon);
+    // Scoped-thread completion is observable before TLS destructors run,
+    // so the worker flushes its deferred buffer-pool state (hit tallies +
+    // LRU promotions) itself — the foreground may read pool stats the
+    // moment the scope ends.
+    pool.flush_session();
+}
+
+fn background_worker_inner(mut jscan: Jscan<'_>, tx: mpsc::Sender<BgrUpdate>, abandon: &AtomicBool) {
     let mut cursor = 0usize;
     let mut last_best = f64::INFINITY;
     loop {

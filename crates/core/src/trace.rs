@@ -152,6 +152,16 @@ pub enum TraceEvent {
         /// Rows delivered.
         rows: usize,
     },
+    /// A prepared-statement plan-cache decision (hit, miss, invalidation).
+    PlanCache {
+        /// What happened: `"hit"`, `"miss"`, `"invalidated"` or
+        /// `"hint-applied"` / `"hint-dropped"`.
+        outcome: String,
+        /// The cached statement text (the cache key).
+        statement: String,
+        /// Human detail, e.g. why a cached skeleton was rebuilt.
+        detail: String,
+    },
     /// Free-form annotation for events with no structured form yet.
     Note {
         /// The annotation.
@@ -176,6 +186,7 @@ impl TraceEvent {
             TraceEvent::PhaseCost { .. } => "phase_cost",
             TraceEvent::PoolDelta { .. } => "pool_delta",
             TraceEvent::Winner { .. } => "winner",
+            TraceEvent::PlanCache { .. } => "plan_cache",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -250,6 +261,17 @@ impl fmt::Display for TraceEvent {
                 cost,
                 rows,
             } => write!(f, "winner: {strategy} ({rows} row(s), cost {cost:.1})"),
+            TraceEvent::PlanCache {
+                outcome,
+                statement,
+                detail,
+            } => {
+                write!(f, "plan cache {outcome} [{statement}]")?;
+                if !detail.is_empty() {
+                    write!(f, ": {detail}")?;
+                }
+                Ok(())
+            }
             TraceEvent::Note { message } => write!(f, "{message}"),
         }
     }
@@ -527,7 +549,8 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
         let indent = match event {
             TraceEvent::TacticChosen { .. }
             | TraceEvent::Winner { .. }
-            | TraceEvent::PoolDelta { .. } => "",
+            | TraceEvent::PoolDelta { .. }
+            | TraceEvent::PlanCache { .. } => "",
             TraceEvent::PhaseCost { .. } => "    ",
             TraceEvent::EstimateRefined { .. }
             | TraceEvent::IndexDiscarded { .. }
@@ -693,6 +716,15 @@ pub fn event_json(event: &TraceEvent) -> String {
             str_field!("strategy", strategy);
             f64_field!("cost", *cost);
             num_field!("rows", rows);
+        }
+        TraceEvent::PlanCache {
+            outcome,
+            statement,
+            detail,
+        } => {
+            str_field!("outcome", outcome);
+            str_field!("statement", statement);
+            str_field!("detail", detail);
         }
         TraceEvent::Note { message } => {
             str_field!("message", message);

@@ -23,6 +23,11 @@ pub struct Policy {
     pub unsafe_allowlist: Vec<String>,
     /// Library modules allowed to use `std::sync::atomic::Ordering`.
     pub atomics_allowlist: Vec<String>,
+    /// Library modules allowed to hold per-session deferred state in
+    /// `thread_local!` buffers. Each such module must also carry a `Drop`
+    /// guard that absorbs pending counters on every exit path (rule
+    /// `D002`).
+    pub deferred_allowlist: Vec<String>,
     /// Lines above a `Relaxed` use searched for a justification comment.
     pub relaxed_window: usize,
     /// Lines above an `unsafe` searched for a `SAFETY:` comment.
@@ -65,10 +70,20 @@ impl Policy {
             atomics_allowlist: vec![
                 // Lock-free cost metering.
                 "crates/storage/src/cost.rs".into(),
-                // Sharded pool: fault-policy arming flag + contention counter.
+                // Sharded pool: fault-policy arming flag, contention
+                // counter, and the seqlock probe mirror.
                 "crates/storage/src/buffer.rs".into(),
+                // Per-session deferred touch buffers: the shared
+                // absorption tally behind the lock-free hit path.
+                "crates/storage/src/touch.rs".into(),
                 // Background-stage abandon flag.
                 "crates/core/src/parallel.rs".into(),
+            ],
+            deferred_allowlist: vec![
+                // The one home of per-session deferred counters; its
+                // `PoolLocal` drop guard absorbs pending tallies on every
+                // exit path.
+                "crates/storage/src/touch.rs".into(),
             ],
             relaxed_window: 8,
             safety_window: 5,

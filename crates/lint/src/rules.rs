@@ -11,6 +11,8 @@
 //! | F002 | fallibility  | scan `pub fn step/run/execute*` return `Result`           |
 //! | A001 | atomics      | atomic `Ordering` only in meter/pool/parallel modules     |
 //! | A002 | atomics      | `Ordering::Relaxed` has an adjacent justification comment |
+//! | D001 | deferred     | `thread_local!` state only in deferred-allowlisted files  |
+//! | D002 | deferred     | per-session deferred counters carry a `Drop` guard        |
 //! | H001 | hygiene      | no `Result<_, String>` in public library APIs             |
 //! | H002 | hygiene      | no `dbg!`/`println!` in library code                      |
 //! | H003 | hygiene      | every crate root opens with a `//!` doc header            |
@@ -125,6 +127,7 @@ pub fn lint(files: &[SourceFile], policy: &Policy) -> Vec<Diagnostic> {
     rule_ratchet(files, policy, &mut diags);
     rule_fallibility(files, policy, &mut diags);
     rule_atomics(files, policy, &mut diags);
+    rule_deferred(files, policy, &mut diags);
     rule_hygiene(files, policy, &mut diags);
     check_allowlists(files, policy, &mut diags);
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -549,6 +552,55 @@ fn rule_atomics(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnosti
     }
 }
 
+// -------------------------------------------------------------- deferred
+
+/// Rules `D001`/`D002`: per-session deferred state (the thread-local
+/// touch-and-charge buffers behind the buffer pool's lock-free hit path)
+/// is confined to allowlisted modules, and every such module must pair its
+/// `thread_local!` holder with a `Drop` guard — deferred *counters* must
+/// be absorbed on every exit path (thread teardown included), or the
+/// pool's `hits + misses == accesses` conservation property silently
+/// breaks under concurrency.
+fn rule_deferred(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnostic>) {
+    for file in files {
+        if !Policy::is_lib_code(&file.rel) {
+            continue;
+        }
+        let allowed = policy.deferred_allowlist.contains(&file.rel);
+        let mut uses_tls = false;
+        for (idx, line) in file.non_test() {
+            if !word_positions(&line.code, "thread_local").is_empty() {
+                uses_tls = true;
+                if !allowed {
+                    diag(
+                        diags,
+                        &file.rel,
+                        idx + 1,
+                        "D001",
+                        "`thread_local!` state outside the deferred-state allowlist",
+                        "per-session deferred state is confined to the touch module;                          buffer through it or extend Policy::deferred_allowlist with a                          justification",
+                    );
+                }
+            }
+        }
+        if allowed && uses_tls {
+            let has_drop_guard = file
+                .non_test()
+                .any(|(_, l)| l.code.contains("impl Drop for"));
+            if !has_drop_guard {
+                diag(
+                    diags,
+                    &file.rel,
+                    0,
+                    "D002",
+                    "per-session deferred counters lack a `Drop` guard",
+                    "deferred counters must be absorbed on every exit path: give the                      thread-local holder a Drop impl that lands its pending tally in                      the pool-shared counters",
+                );
+            }
+        }
+    }
+}
+
 // --------------------------------------------------------------- hygiene
 
 const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
@@ -681,6 +733,20 @@ pub fn check_allowlists(files: &[SourceFile], policy: &Policy, diags: &mut Vec<D
                 });
                 if !used {
                     stale(diags, entry, "file no longer uses atomic `Ordering`");
+                }
+            }
+        }
+    }
+    for entry in &policy.deferred_allowlist {
+        match find(entry) {
+            None => stale(diags, entry, "file no longer exists"),
+            Some(f) => {
+                let used = f
+                    .lines
+                    .iter()
+                    .any(|l| !word_positions(&l.code, "thread_local").is_empty());
+                if !used {
+                    stale(diags, entry, "file no longer declares `thread_local!` state");
                 }
             }
         }

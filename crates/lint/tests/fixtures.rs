@@ -22,6 +22,7 @@ fn violations_policy(ratchet: &str) -> Policy {
         exclude: vec![],
         unsafe_allowlist: vec!["crates/meter/src/lib.rs".into()],
         atomics_allowlist: vec!["crates/meter/src/lib.rs".into()],
+        deferred_allowlist: vec!["crates/meter/src/lib.rs".into()],
         relaxed_window: 8,
         safety_window: 5,
         print_allowlist: vec![],
@@ -122,6 +123,18 @@ fn a002_relaxed_without_justification() {
 }
 
 #[test]
+fn d001_thread_local_outside_deferred_allowlist() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/lib.rs", 31, "D001");
+}
+
+#[test]
+fn d002_deferred_state_without_drop_guard() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/meter/src/lib.rs", 0, "D002");
+}
+
+#[test]
 fn h001_public_fn_returns_result_string() {
     let diags = lint_violations("ratchet-p001.toml");
     assert_fires(&diags, "crates/app/src/lib.rs", 15, "H001");
@@ -153,10 +166,12 @@ fn violations_corpus_fires_exactly_the_expected_set() {
         ("crates/app/src/lib.rs", 15, "H001"),
         ("crates/app/src/lib.rs", 24, "H002"),
         ("crates/app/src/lib.rs", 28, "U001"),
+        ("crates/app/src/lib.rs", 31, "D001"),
         ("crates/app/src/plan.rs", 3, "F001"),
         ("crates/app/src/plan.rs", 5, "F001"),
         ("crates/app/src/scan.rs", 0, "P001"),
         ("crates/app/src/scan.rs", 12, "F002"),
+        ("crates/meter/src/lib.rs", 0, "D002"),
         ("crates/meter/src/lib.rs", 9, "A002"),
         ("crates/meter/src/lib.rs", 13, "U002"),
     ];
@@ -166,12 +181,14 @@ fn violations_corpus_fires_exactly_the_expected_set() {
 #[test]
 fn x001_stale_allowlist_entries_fail() {
     let mut policy = violations_policy("ratchet-p001.toml");
-    // Five kinds of dead carve-out: a ghost file, an unsafe/atomics/print
-    // entry for a file that no longer uses the feature, and a scan-entry
-    // exemption for a fn that already returns Result.
+    // Six kinds of dead carve-out: a ghost file, an
+    // unsafe/atomics/deferred/print entry for a file that no longer uses
+    // the feature, and a scan-entry exemption for a fn that already
+    // returns Result.
     policy.unsafe_allowlist.push("crates/app/src/ghost.rs".into());
     policy.unsafe_allowlist.push("crates/app/src/plan.rs".into());
     policy.atomics_allowlist.push("crates/app/src/plan.rs".into());
+    policy.deferred_allowlist.push("crates/app/src/plan.rs".into());
     policy.print_allowlist.push("crates/app/src/plan.rs".into());
     policy.scan_entry_exempt.push((
         "crates/app/src/scan.rs".into(),
@@ -182,7 +199,7 @@ fn x001_stale_allowlist_entries_fail() {
     let mut diags = Vec::new();
     rules::check_allowlists(&files, &policy, &mut diags);
     let x001: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "X001").collect();
-    assert_eq!(x001.len(), 5, "expected 5 stale entries:\n{diags:#?}");
+    assert_eq!(x001.len(), 6, "expected 6 stale entries:\n{diags:#?}");
     for d in &x001 {
         assert!(
             d.file == "crates/app/src/ghost.rs"
@@ -200,6 +217,7 @@ fn clean_corpus_is_silent() {
         exclude: vec![],
         unsafe_allowlist: vec![],
         atomics_allowlist: vec![],
+        deferred_allowlist: vec![],
         relaxed_window: 8,
         safety_window: 5,
         print_allowlist: vec![],

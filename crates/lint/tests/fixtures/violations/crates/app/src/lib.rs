@@ -27,3 +27,8 @@ pub fn debug_dump(x: u64) {
 pub fn peek(slot: *const u64) -> u64 {
     unsafe { *slot }
 }
+
+thread_local! {
+    // D001: per-session deferred state outside the allowlist.
+    static PENDING: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}

@@ -3,6 +3,7 @@
 //! per-query metrics, and `EXPLAIN ANALYZE`.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rdb_btree::BTree;
 use rdb_core::{
@@ -15,10 +16,11 @@ use rdb_storage::{
 
 use crate::error::QueryError;
 use crate::explain::ExplainAnalyze;
-use crate::expr::Expr;
+use crate::expr::{CompiledPred, Expr};
 use crate::options::QueryOptions;
 use crate::parser::{parse_query, QuerySpec};
 use crate::plan::effective_goal;
+use crate::prepared::{PlanCache, Prepared};
 use crate::sort::SortConfig;
 
 /// Database-wide configuration.
@@ -56,6 +58,153 @@ struct TableEntry {
     indexes: Vec<BTree>,
 }
 
+/// Binding-independent facts about one index of the queried table,
+/// precomputed at resolve time. Only the key *ranges* (and the
+/// self-sufficient key predicate's argument values) depend on
+/// host-variable values, so a prepared statement re-derives just those
+/// per execution.
+#[derive(Debug, Clone)]
+struct IndexMeta {
+    /// Record positions of the key columns, in key order (for
+    /// composite-range derivation).
+    key_cols: Vec<usize>,
+    /// The restriction remapped onto this index's key-tuple positions.
+    /// Present exactly when a self-sufficient scan is legal: the index
+    /// covers the query *and* the key columns cover every predicate
+    /// column.
+    key_pred: Option<Arc<CompiledPred>>,
+    /// Key-tuple positions of the output columns, present when the index
+    /// covers the query — index-only deliveries project by position
+    /// instead of re-resolving names per row.
+    out_key_pos: Option<Vec<usize>>,
+    /// Key-tuple position of the ORDER BY column (covered indexes only).
+    order_key_pos: Option<usize>,
+    /// The leading key column matches the query's ORDER BY.
+    provides_order: bool,
+}
+
+/// The cacheable skeleton of a resolved query: projection, order target,
+/// the compiled (position-resolved, argument-slotted) restriction and
+/// per-index metadata — everything derivable from the statement and the
+/// catalog alone. [`Db::prepare`] caches one per statement, tagged with
+/// the catalog generation it was resolved under; each execution then
+/// fills in only the host-variable arguments.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedQuery {
+    out_columns: Vec<String>,
+    /// Record positions of `out_columns` — row projection is positional,
+    /// never a per-row name lookup.
+    out_idx: Vec<usize>,
+    order_idx: Option<usize>,
+    pred: Arc<CompiledPred>,
+    index_meta: Vec<IndexMeta>,
+}
+
+/// Outcome bundle of [`Db::execute_resolved`]: the query result plus the
+/// optimizer's refreshed tactic hint and what it did with the incoming one.
+struct Executed {
+    result: QueryResult,
+    hint: Option<rdb_core::TacticHint>,
+    disposition: rdb_core::HintDisposition,
+}
+
+/// Resolves `spec` against the current catalog: validates every referenced
+/// column and precomputes the binding-independent plan skeleton.
+fn resolve_query(entry: &TableEntry, spec: &QuerySpec) -> Result<ResolvedQuery, QueryError> {
+    let schema = entry.heap.schema();
+    let out_columns: Vec<String> = match &spec.projection {
+        Some(cols) => {
+            for c in cols {
+                if schema.column_index(c).is_none() {
+                    return Err(unknown_column(&spec.table, c));
+                }
+            }
+            cols.clone()
+        }
+        None => schema.columns().iter().map(|c| c.name.clone()).collect(),
+    };
+    check_expr_columns(&spec.table, schema, &spec.predicate)?;
+    if let Some(ob) = &spec.order_by {
+        if schema.column_index(ob).is_none() {
+            return Err(unknown_column(&spec.table, ob));
+        }
+    }
+
+    // Columns the retrieval must cover for self-sufficiency. Binding host
+    // variables never changes the column set, so this is cacheable.
+    let mut needed: Vec<String> = out_columns.clone();
+    for c in spec.predicate.columns() {
+        if !needed.contains(&c) {
+            needed.push(c);
+        }
+    }
+    if let Some(ob) = &spec.order_by {
+        if !needed.contains(ob) {
+            needed.push(ob.clone());
+        }
+    }
+
+    // Lower the restriction once: names → record positions, host
+    // variables → argument slots. Ad-hoc queries rebuild this per run;
+    // prepared statements reuse it from the cached skeleton — that is the
+    // bulk of the per-execution work the plan cache amortizes.
+    let pred = Arc::new(CompiledPred::compile(&spec.predicate, schema));
+
+    let index_meta: Vec<IndexMeta> = entry
+        .indexes
+        .iter()
+        .map(|tree| {
+            let key_cols: Vec<usize> = tree.key_columns().to_vec();
+            let leading = &schema.column(key_cols[0]).expect("valid column").name;
+            let provides_order = spec.order_by.as_deref() == Some(leading.as_str());
+            let key_pos = |name: &str| {
+                key_cols
+                    .iter()
+                    .position(|&k| schema.column(k).expect("valid").name == name)
+            };
+            let covered = needed.iter().all(|c| key_pos(c).is_some());
+            // Self-sufficiency needs the index to cover the query and the
+            // key to cover the predicate; remapping fails on the latter.
+            let key_pred = if covered {
+                pred.remap_columns(|col| key_cols.iter().position(|&k| k == col))
+                    .map(Arc::new)
+            } else {
+                None
+            };
+            let out_key_pos = covered.then(|| {
+                out_columns
+                    .iter()
+                    .map(|c| key_pos(c).expect("covered"))
+                    .collect()
+            });
+            let order_key_pos = if covered {
+                spec.order_by.as_deref().and_then(key_pos)
+            } else {
+                None
+            };
+            IndexMeta {
+                key_cols,
+                key_pred,
+                out_key_pos,
+                order_key_pos,
+                provides_order,
+            }
+        })
+        .collect();
+
+    let out_idx: Vec<usize> = out_columns
+        .iter()
+        .map(|c| schema.column_index(c).expect("validated above"))
+        .collect();
+    Ok(ResolvedQuery {
+        out_columns,
+        out_idx,
+        order_idx: spec.order_by.as_ref().and_then(|c| schema.column_index(c)),
+        pred,
+        index_meta,
+    })
+}
+
 /// Per-query buffer-pool activity: the session meter's counter delta
 /// across one run. Because each session charges its own [`SharedCost`],
 /// these stay per-query-accurate even when many sessions share the pool.
@@ -65,6 +214,13 @@ pub struct QueryMetrics {
     pub pool_hits: u64,
     /// Buffer-pool misses (simulated physical reads) this query caused.
     pub pool_misses: u64,
+    /// 1 when this execution reused a cached plan skeleton (prepared
+    /// statements only; ad-hoc queries never consult the cache).
+    pub plan_cache_hits: u64,
+    /// 1 when this execution had to (re)build its plan skeleton — the
+    /// first run of a prepared statement, or any run after a catalog
+    /// change / [`Db::clear_plan_cache`].
+    pub plan_cache_misses: u64,
 }
 
 /// Result of one query run.
@@ -115,6 +271,13 @@ pub struct Db {
     tables: BTreeMap<String, TableEntry>,
     next_file: u32,
     optimizer: DynamicOptimizer,
+    /// Statement-text-keyed cache of parsed/resolved plans for
+    /// [`Db::prepare`].
+    plan_cache: PlanCache,
+    /// Bumped on every catalog change (table or index creation); cached
+    /// plan skeletons are tagged with the generation they were resolved
+    /// under and rebuild themselves when it moves.
+    catalog_gen: u64,
 }
 
 fn unknown_column(table: &str, column: &str) -> QueryError {
@@ -144,6 +307,8 @@ impl Db {
             tables: BTreeMap::new(),
             next_file: 0,
             optimizer: DynamicOptimizer::new(config.optimizer),
+            plan_cache: PlanCache::new(),
+            catalog_gen: 0,
             config,
         }
     }
@@ -201,6 +366,7 @@ impl Db {
                 indexes: Vec::new(),
             },
         );
+        self.catalog_gen += 1;
         Ok(())
     }
 
@@ -236,6 +402,7 @@ impl Db {
         }
         let tree = BTree::bulk_load(index_name, file, pool, key_columns, fanout, entries);
         entry.indexes.push(tree);
+        self.catalog_gen += 1;
         Ok(())
     }
 
@@ -543,6 +710,7 @@ impl Db {
         result.metrics = QueryMetrics {
             pool_hits: delta.cache_hits,
             pool_misses: delta.page_reads,
+            ..QueryMetrics::default()
         };
         Ok(result)
     }
@@ -554,161 +722,59 @@ impl Db {
         cost: &SharedCost,
     ) -> Result<QueryResult, QueryError> {
         let entry = self.table(&spec.table)?;
-        let schema = entry.heap.schema();
-        let bound = spec.predicate.bind(opts.params())?;
+        let resolved = resolve_query(entry, spec)?;
+        Ok(self
+            .execute_resolved(entry, spec, &resolved, opts, cost, None)?
+            .result)
+    }
+
+    /// Executes a resolved query. This is **the** execution path: ad-hoc
+    /// queries resolve freshly and call it with no hint; prepared
+    /// statements call it with their cached [`ResolvedQuery`] skeleton and
+    /// the previous winner as a [`TacticHint`]. Sharing one body is what
+    /// makes prepared row sets identical to fresh execution by
+    /// construction.
+    fn execute_resolved(
+        &self,
+        entry: &TableEntry,
+        spec: &QuerySpec,
+        resolved: &ResolvedQuery,
+        opts: &QueryOptions,
+        cost: &SharedCost,
+        hint: Option<&rdb_core::TacticHint>,
+    ) -> Result<Executed, QueryError> {
+        // One argument lookup per distinct host variable — the compiled
+        // predicate in the skeleton replaces the per-run tree clone.
+        let args = resolved.pred.bind_args(opts.params())?;
         let tracer = opts.tracer();
         let limit = opts.limit().or(spec.limit);
-
-        // Output columns.
-        let out_columns: Vec<String> = match &spec.projection {
-            Some(cols) => {
-                for c in cols {
-                    if schema.column_index(c).is_none() {
-                        return Err(unknown_column(&spec.table, c));
-                    }
-                }
-                cols.clone()
-            }
-            None => schema.columns().iter().map(|c| c.name.clone()).collect(),
-        };
-        check_expr_columns(&spec.table, schema, &bound)?;
-        if let Some(ob) = &spec.order_by {
-            if schema.column_index(ob).is_none() {
-                return Err(unknown_column(&spec.table, ob));
-            }
-        }
-
-        // Columns the retrieval must cover for self-sufficiency.
-        let mut needed: Vec<String> = out_columns.clone();
-        for c in bound.columns() {
-            if !needed.contains(&c) {
-                needed.push(c);
-            }
-        }
-        if let Some(ob) = &spec.order_by {
-            if !needed.contains(ob) {
-                needed.push(ob.clone());
-            }
-        }
+        let out_columns = &resolved.out_columns;
 
         // OR-connected restriction: when every top-level disjunct binds to
         // an index range, run the union scan (the paper's "unionizing"
         // RID-list combination) instead of the conjunctive machinery.
-        if let Expr::Or(disjuncts) = &bound {
-            let mut arms: Vec<(&BTree, rdb_btree::KeyRange)> = Vec::new();
-            let mut decomposable = true;
-            'disjuncts: for d in disjuncts {
-                for tree in &entry.indexes {
-                    let leading = entry
-                        .heap
-                        .schema()
-                        .column(tree.key_columns()[0])
-                        .expect("valid column")
-                        .name
-                        .clone();
-                    let range = d.range_for(&leading);
-                    if range != rdb_btree::KeyRange::all() {
-                        arms.push((tree, range));
-                        continue 'disjuncts;
-                    }
-                }
-                decomposable = false;
-                break;
-            }
-            if decomposable {
-                let needs_post_sort = spec.order_by.is_some();
-                let result = self.optimizer.run_union_traced(
-                    &entry.heap,
-                    arms,
-                    &bound.record_pred(schema),
-                    if needs_post_sort || spec.count_star {
-                        None
-                    } else {
-                        limit
-                    },
-                    &tracer,
-                )?;
-                if spec.count_star {
-                    return Ok(QueryResult {
-                        columns: vec!["COUNT".to_string()],
-                        rows: vec![vec![Value::Int(result.deliveries.len() as i64)]],
-                        cost: result.cost,
-                        strategy: result.strategy,
-                        events: result.events,
-                        metrics: QueryMetrics::default(),
-                    });
-                }
-                let order_idx = spec.order_by.as_ref().and_then(|c| schema.column_index(c));
-                let mut rows: Vec<Vec<Value>> = Vec::with_capacity(result.deliveries.len());
-                let mut sort_keys: Vec<Value> = Vec::new();
-                for d in &result.deliveries {
-                    let record = match &d.record {
-                        Some(r) => r.clone(),
-                        None => entry.heap.fetch(d.rid, cost)?,
-                    };
-                    if let Some(i) = order_idx {
-                        sort_keys.push(record[i].clone());
-                    }
-                    rows.push(
-                        out_columns
-                            .iter()
-                            .map(|c| record[schema.column_index(c).expect("checked")].clone())
-                            .collect(),
-                    );
-                }
-                if needs_post_sort {
-                    let paired: Vec<(Value, Vec<Value>)> =
-                        sort_keys.into_iter().zip(rows).collect();
-                    let (sorted, _) = crate::sort::sort_rows_dir(
-                        paired,
-                        &self.pool,
-                        &self.config.sort,
-                        spec.order_desc,
-                        cost,
-                    );
-                    rows = sorted;
-                    if let Some(limit) = limit {
-                        rows.truncate(limit);
-                    }
-                }
-                return Ok(QueryResult {
-                    columns: out_columns,
-                    rows,
-                    cost: result.cost,
-                    strategy: result.strategy,
-                    events: result.events,
-                    metrics: QueryMetrics::default(),
-                });
+        if matches!(spec.predicate, Expr::Or(_)) {
+            if let Some(executed) = self.try_union(entry, spec, resolved, opts, cost, hint)? {
+                return Ok(executed);
             }
         }
 
-        // Build index choices.
+        // Build index choices from the resolved skeleton; only the key
+        // ranges and the predicates' argument values depend on this run's
+        // bindings.
         let mut indexes: Vec<IndexChoice<'_>> = Vec::new();
-        for tree in entry.indexes.iter() {
-            let key_names: Vec<(String, usize)> = tree
-                .key_columns()
-                .iter()
-                .enumerate()
-                .map(|(kpos, &c)| (schema.column(c).expect("valid column").name.clone(), kpos))
-                .collect();
-            let leading = &key_names[0].0;
-            let name_list: Vec<String> = key_names.iter().map(|(n, _)| n.clone()).collect();
-            let range = bound.range_for_composite(&name_list);
-            let provides_order = spec.order_by.as_deref() == Some(leading.as_str());
-            let covered = needed
-                .iter()
-                .all(|c| key_names.iter().any(|(n, _)| n == c));
-            let self_sufficient = if covered {
-                bound.key_pred(&key_names)
-            } else {
-                None
-            };
+        // Metadata of each *offered* index, parallel to `indexes` (the
+        // optimizer's sscan position indexes the offered list).
+        let mut choice_meta: Vec<&IndexMeta> = Vec::new();
+        for (tree, meta) in entry.indexes.iter().zip(&resolved.index_meta) {
+            let range = resolved.pred.range_for_composite(&args, &meta.key_cols);
+            let self_sufficient = meta.key_pred.as_ref().map(|kp| kp.key_pred(&args));
             let constrained = range != rdb_btree::KeyRange::all();
-            if !(constrained || provides_order || self_sufficient.is_some()) {
+            if !(constrained || meta.provides_order || self_sufficient.is_some()) {
                 continue; // useless index for this query
             }
             let mut choice = IndexChoice::fetch_needed(tree, range);
-            if provides_order {
+            if meta.provides_order {
                 choice = choice.with_order();
                 if spec.order_desc {
                     choice = choice.with_descending();
@@ -718,6 +784,7 @@ impl Db {
                 choice = choice.with_self_sufficient(kp);
             }
             indexes.push(choice);
+            choice_meta.push(meta);
         }
 
         // ASC is served by forward index scans, DESC by reverse scans.
@@ -733,7 +800,7 @@ impl Db {
         let request = RetrievalRequest {
             table: &entry.heap,
             indexes,
-            residual: bound.record_pred(schema),
+            residual: resolved.pred.record_pred(&args),
             goal,
             order_required,
             // With a post-sort or count pending, every row must be
@@ -745,50 +812,48 @@ impl Db {
             },
             cost: cost.clone(),
         };
-        let result = self.optimizer.run_traced(&request, None, &tracer)?;
+        let hinted = self.optimizer.run_hinted(&request, None, &tracer, hint)?;
+        let (result, fresh_hint, disposition) = (hinted.result, hinted.hint, hinted.disposition);
 
         if spec.count_star {
-            return Ok(QueryResult {
-                columns: vec!["COUNT".to_string()],
-                rows: vec![vec![Value::Int(result.deliveries.len() as i64)]],
-                cost: result.cost,
-                strategy: result.strategy,
-                events: result.events,
-                metrics: QueryMetrics::default(),
+            return Ok(Executed {
+                result: QueryResult {
+                    columns: vec!["COUNT".to_string()],
+                    rows: vec![vec![Value::Int(result.deliveries.len() as i64)]],
+                    cost: result.cost,
+                    strategy: result.strategy,
+                    events: result.events,
+                    metrics: QueryMetrics::default(),
+                },
+                hint: Some(fresh_hint),
+                disposition,
             });
         }
 
         // Project deliveries into output rows.
         let mut rows: Vec<Vec<Value>> = Vec::with_capacity(result.deliveries.len());
         let mut sort_keys: Vec<Value> = Vec::new();
-        let order_idx = spec.order_by.as_ref().and_then(|c| schema.column_index(c));
+        let order_idx = resolved.order_idx;
         for d in &result.deliveries {
             let (row, sort_key) = if d.from_index {
                 let pos = result
                     .sscan_index
                     .expect("index-only delivery without sscan index");
-                let tree = request.indexes[pos].tree;
+                let meta = choice_meta[pos];
                 let key_record = d.record.as_ref().expect("sscan key tuple");
-                let map = |col: &str| -> Value {
-                    let kpos = tree
-                        .key_columns()
-                        .iter()
-                        .position(|&c| schema.column(c).expect("valid").name == col)
-                        .expect("self-sufficiency guarantees coverage");
-                    key_record[kpos].clone()
-                };
-                let row: Vec<Value> = out_columns.iter().map(|c| map(c)).collect();
-                let sk = spec.order_by.as_ref().map(|c| map(c));
+                let keys = meta
+                    .out_key_pos
+                    .as_ref()
+                    .expect("self-sufficiency guarantees coverage");
+                let row: Vec<Value> = keys.iter().map(|&k| key_record[k].clone()).collect();
+                let sk = meta.order_key_pos.map(|k| key_record[k].clone());
                 (row, sk)
             } else {
                 let record = match &d.record {
                     Some(r) => r.clone(),
                     None => entry.heap.fetch(d.rid, cost)?,
                 };
-                let row: Vec<Value> = out_columns
-                    .iter()
-                    .map(|c| record[schema.column_index(c).expect("checked")].clone())
-                    .collect();
+                let row: Vec<Value> = resolved.out_idx.iter().map(|&i| record[i].clone()).collect();
                 let sk = order_idx.map(|i| record[i].clone());
                 (row, sk)
             };
@@ -813,14 +878,278 @@ impl Db {
             }
         }
 
-        Ok(QueryResult {
-            columns: out_columns,
-            rows,
-            cost: result.cost,
-            strategy: result.strategy,
-            events: result.events,
-            metrics: QueryMetrics::default(),
+        Ok(Executed {
+            result: QueryResult {
+                columns: out_columns.clone(),
+                rows,
+                cost: result.cost,
+                strategy: result.strategy,
+                events: result.events,
+                metrics: QueryMetrics::default(),
+            },
+            hint: Some(fresh_hint),
+            disposition,
         })
+    }
+
+    /// Attempts the union machinery for an OR-connected restriction: when
+    /// every top-level disjunct binds to an index range, runs the union
+    /// scan and returns the finished result; `None` sends the caller to
+    /// the conjunctive machinery. Per-disjunct range derivation works
+    /// over the named tree, so OR statements (and only they) still pay
+    /// the legacy [`Expr::bind`] clone.
+    fn try_union(
+        &self,
+        entry: &TableEntry,
+        spec: &QuerySpec,
+        resolved: &ResolvedQuery,
+        opts: &QueryOptions,
+        cost: &SharedCost,
+        hint: Option<&rdb_core::TacticHint>,
+    ) -> Result<Option<Executed>, QueryError> {
+        let bound = spec.predicate.bind(opts.params())?;
+        let Expr::Or(disjuncts) = &bound else {
+            return Ok(None);
+        };
+        let schema = entry.heap.schema();
+        let tracer = opts.tracer();
+        let limit = opts.limit().or(spec.limit);
+        let out_columns = &resolved.out_columns;
+        // Hints never survive into the union machinery; everything else
+        // about an OR-connected run is hint-free too.
+        let union_disposition = || match hint {
+            Some(_) => rdb_core::HintDisposition::Dropped(
+                "OR-connected restriction runs the union machinery".into(),
+            ),
+            None => rdb_core::HintDisposition::NotProvided,
+        };
+        let mut arms: Vec<(&BTree, rdb_btree::KeyRange)> = Vec::new();
+        'disjuncts: for d in disjuncts {
+            for tree in &entry.indexes {
+                let leading = entry
+                    .heap
+                    .schema()
+                    .column(tree.key_columns()[0])
+                    .expect("valid column")
+                    .name
+                    .clone();
+                let range = d.range_for(&leading);
+                if range != rdb_btree::KeyRange::all() {
+                    arms.push((tree, range));
+                    continue 'disjuncts;
+                }
+            }
+            // Some disjunct binds to no index: not decomposable.
+            return Ok(None);
+        }
+        let needs_post_sort = spec.order_by.is_some();
+        let result = self.optimizer.run_union_traced(
+            &entry.heap,
+            arms,
+            &bound.record_pred(schema),
+            if needs_post_sort || spec.count_star {
+                None
+            } else {
+                limit
+            },
+            &tracer,
+        )?;
+        if spec.count_star {
+            return Ok(Some(Executed {
+                result: QueryResult {
+                    columns: vec!["COUNT".to_string()],
+                    rows: vec![vec![Value::Int(result.deliveries.len() as i64)]],
+                    cost: result.cost,
+                    strategy: result.strategy,
+                    events: result.events,
+                    metrics: QueryMetrics::default(),
+                },
+                hint: None,
+                disposition: union_disposition(),
+            }));
+        }
+        let order_idx = resolved.order_idx;
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(result.deliveries.len());
+        let mut sort_keys: Vec<Value> = Vec::new();
+        for d in &result.deliveries {
+            let record = match &d.record {
+                Some(r) => r.clone(),
+                None => entry.heap.fetch(d.rid, cost)?,
+            };
+            if let Some(i) = order_idx {
+                sort_keys.push(record[i].clone());
+            }
+            rows.push(resolved.out_idx.iter().map(|&i| record[i].clone()).collect());
+        }
+        if needs_post_sort {
+            let paired: Vec<(Value, Vec<Value>)> = sort_keys.into_iter().zip(rows).collect();
+            let (sorted, _) = crate::sort::sort_rows_dir(
+                paired,
+                &self.pool,
+                &self.config.sort,
+                spec.order_desc,
+                cost,
+            );
+            rows = sorted;
+            if let Some(limit) = limit {
+                rows.truncate(limit);
+            }
+        }
+        Ok(Some(Executed {
+            result: QueryResult {
+                columns: out_columns.clone(),
+                rows,
+                cost: result.cost,
+                strategy: result.strategy,
+                events: result.events,
+                metrics: QueryMetrics::default(),
+            },
+            hint: None,
+            disposition: union_disposition(),
+        }))
+    }
+
+    /// Prepares `sql` for repeated execution: the parsed AST and resolved
+    /// plan skeleton are cached keyed by statement text, host variables
+    /// re-bind per [`Prepared::execute`], and each execution seeds the
+    /// dynamic optimizer with the previous run's winner (kill rules stay
+    /// armed, so a drifted parameter still switches mid-run). Charges the
+    /// database's default meter; concurrent clients should prepare through
+    /// [`Session::prepare`] instead.
+    ///
+    /// ```
+    /// use rdb_query::prelude::*;
+    /// use rdb_storage::{Column, Schema, ValueType};
+    ///
+    /// let mut db = Db::new(DbConfig::default());
+    /// db.create_table("T", Schema::new(vec![Column::new("X", ValueType::Int)]))?;
+    /// for i in 0..200 {
+    ///     db.insert("T", vec![Value::Int(i % 50)])?;
+    /// }
+    /// db.create_index("IDX_X", "T", &["X"])?;
+    /// let stmt = db.prepare("select * from T where X >= :A1")?;
+    /// let first = stmt.execute(&QueryOptions::new().with_param("A1", 40i64))?;
+    /// let again = stmt.execute(&QueryOptions::new().with_param("A1", 45i64))?;
+    /// assert_eq!(first.metrics.plan_cache_misses, 1); // cold skeleton
+    /// assert_eq!(again.metrics.plan_cache_hits, 1); // reused skeleton
+    /// # Ok::<(), QueryError>(())
+    /// ```
+    pub fn prepare(&self, sql: &str) -> Result<Prepared<'_>, QueryError> {
+        let (plan, _hit) = self.plan_cache.lookup_or_parse(sql)?;
+        Ok(Prepared {
+            db: self,
+            cost: self.cost.clone(),
+            plan,
+        })
+    }
+
+    /// Drops every cached plan and wipes cached skeletons in place, so even
+    /// [`Prepared`] handles created earlier re-resolve (and forget their
+    /// remembered tactic) on their next execution.
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.clear();
+    }
+
+    /// Database-wide plan-cache counters.
+    pub fn plan_cache_stats(&self) -> crate::prepared::PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Executes a prepared statement: validates the cached skeleton
+    /// against the current catalog generation, rebuilds
+    /// it if stale, then runs the shared execution body with the previous
+    /// winner as the favored tactic.
+    pub(crate) fn run_prepared(
+        &self,
+        plan: &crate::prepared::CachedPlan,
+        opts: &QueryOptions,
+        cost: &SharedCost,
+    ) -> Result<QueryResult, QueryError> {
+        use std::sync::PoisonError;
+        let before = cost.snapshot();
+        let entry = self.table(&plan.spec.table)?;
+        let tag: crate::prepared::PlanTag = self.catalog_gen;
+        let tracer = opts.tracer();
+
+        let lock_hint = || plan.hint.lock().unwrap_or_else(PoisonError::into_inner);
+
+        // Warm executions stay entirely off the cache-wide lock: validity
+        // is one integer compare, the skeleton comes out as an `Arc`
+        // refcount bump, and the hit tally lands in the slot's own
+        // counter under the mutex already held.
+        let (resolved, cache_hit, outcome, detail) = {
+            let mut slot = plan
+                .skeleton
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let warm = match &slot.skel {
+                Some((t, skel)) if *t == tag => Some(std::sync::Arc::clone(skel)),
+                _ => None,
+            };
+            if let Some(skel) = warm {
+                slot.hits += 1;
+                (skel, true, "hit", "reused cached plan skeleton")
+            } else {
+                let invalidated = slot.skel.is_some();
+                let skel = std::sync::Arc::new(resolve_query(entry, &plan.spec)?);
+                slot.skel = Some((tag, std::sync::Arc::clone(&skel)));
+                slot.misses += 1;
+                if invalidated {
+                    slot.invalidations += 1;
+                }
+                drop(slot);
+                // A rebuilt skeleton may renumber indexes, so the old
+                // hint's estimates no longer line up entry-for-entry.
+                *lock_hint() = None;
+                let (outcome, detail) = if invalidated {
+                    (
+                        "invalidated",
+                        "catalog generation moved; skeleton re-resolved",
+                    )
+                } else {
+                    ("miss", "resolved cold on first execution")
+                };
+                (skel, false, outcome, detail)
+            }
+        };
+        tracer.emit_with(|| rdb_core::TraceEvent::PlanCache {
+            outcome: outcome.into(),
+            statement: plan.statement.clone(),
+            detail: detail.into(),
+        });
+
+        let hint = lock_hint().clone();
+        let executed = self.execute_resolved(entry, &plan.spec, &resolved, opts, cost, hint.as_ref())?;
+        *lock_hint() = executed.hint;
+        // The clone happens inside the closure: untraced executions (the
+        // common case) never materialize the event strings.
+        match &executed.disposition {
+            rdb_core::HintDisposition::Applied(why) => {
+                tracer.emit_with(|| rdb_core::TraceEvent::PlanCache {
+                    outcome: "hint-applied".into(),
+                    statement: plan.statement.clone(),
+                    detail: why.clone(),
+                });
+            }
+            rdb_core::HintDisposition::Dropped(why) => {
+                tracer.emit_with(|| rdb_core::TraceEvent::PlanCache {
+                    outcome: "hint-dropped".into(),
+                    statement: plan.statement.clone(),
+                    detail: why.clone(),
+                });
+            }
+            rdb_core::HintDisposition::NotProvided => {}
+        }
+
+        let mut result = executed.result;
+        let delta = cost.snapshot().since(&before);
+        result.metrics = QueryMetrics {
+            pool_hits: delta.cache_hits,
+            pool_misses: delta.page_reads,
+            plan_cache_hits: u64::from(cache_hit),
+            plan_cache_misses: u64::from(!cache_hit),
+        };
+        Ok(result)
     }
 
     /// Evicts every cached page (cold restart) — used by experiments.
@@ -906,6 +1235,18 @@ impl<'db> Session<'db> {
         opts: &QueryOptions,
     ) -> Result<QueryResult, QueryError> {
         self.db.query_spec_on(spec, opts, &self.cost)
+    }
+
+    /// [`Db::prepare`] charging this session's private meter. The plan
+    /// cache itself is shared database-wide, so sessions preparing the
+    /// same statement reuse one cached skeleton (and tactic memory).
+    pub fn prepare(&self, sql: &str) -> Result<Prepared<'db>, QueryError> {
+        let (plan, _hit) = self.db.plan_cache.lookup_or_parse(sql)?;
+        Ok(Prepared {
+            db: self.db,
+            cost: self.cost.clone(),
+            plan,
+        })
     }
 
     /// [`Db::explain`] for this session's binding.
@@ -1437,6 +1778,124 @@ mod tests {
             .query("select * from FAMILIES where AGE >= 0", &no_params())
             .unwrap();
         assert!(warm.metrics.pool_hits > 0, "{:?}", warm.metrics);
+    }
+
+    /// Rows as sorted `(AGE, SIZE, ID)` tuples — prepared and ad-hoc runs
+    /// must produce the same row *set*; delivery order may differ when a
+    /// remembered tactic changes which strategy reports first.
+    fn sorted_tuples(r: &QueryResult) -> Vec<(i64, i64, i64)> {
+        let mut out: Vec<(i64, i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| {
+                (
+                    row[0].as_i64().unwrap(),
+                    row[1].as_i64().unwrap(),
+                    row[2].as_i64().unwrap(),
+                )
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn prepared_matches_adhoc_across_bindings() {
+        let db = db_with_families(2000);
+        let sql = "select * from FAMILIES where AGE >= :A1";
+        let stmt = db.prepare(sql).unwrap();
+        for (i, a1) in [0i64, 90, 50, 99, 10].into_iter().enumerate() {
+            let opts = params(&[("A1", a1)]);
+            let prepared = stmt.execute(&opts).unwrap();
+            let adhoc = db.query(sql, &opts).unwrap();
+            assert_eq!(prepared.columns, adhoc.columns);
+            assert_eq!(
+                sorted_tuples(&prepared),
+                sorted_tuples(&adhoc),
+                "binding A1={a1}"
+            );
+            if i == 0 {
+                assert_eq!(prepared.metrics.plan_cache_misses, 1, "{:?}", prepared.metrics);
+            } else {
+                assert_eq!(prepared.metrics.plan_cache_hits, 1, "{:?}", prepared.metrics);
+            }
+        }
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.statements, 1);
+        assert!(stats.hits >= 4, "{stats:?}");
+        // Ad-hoc queries never consult the cache.
+        let adhoc = db.query(sql, &params(&[("A1", 0)])).unwrap();
+        assert_eq!(adhoc.metrics.plan_cache_hits, 0);
+        assert_eq!(adhoc.metrics.plan_cache_misses, 0);
+    }
+
+    #[test]
+    fn prepared_invalidation_on_catalog_change_and_clear() {
+        let mut db = db_with_families(1000);
+        let sql = "select * from FAMILIES where AGE >= :A1";
+        {
+            let stmt = db.prepare(sql).unwrap();
+            let r = stmt.execute(&params(&[("A1", 50)])).unwrap();
+            assert_eq!(r.metrics.plan_cache_misses, 1);
+        }
+        // A catalog change (new index) bumps the generation: the cached
+        // skeleton survives in the cache but its tag is stale.
+        db.create_index("IDX_ID", "FAMILIES", &["ID"]).unwrap();
+        let inval_before = db.plan_cache_stats().invalidations;
+        let stmt = db.prepare(sql).unwrap();
+        let opts = params(&[("A1", 50)]);
+        let r = stmt.execute(&opts).unwrap();
+        assert_eq!(r.metrics.plan_cache_misses, 1, "stale tag must re-resolve");
+        assert_eq!(
+            db.plan_cache_stats().invalidations,
+            inval_before + 1,
+            "catalog bump recorded as invalidation"
+        );
+        assert_eq!(sorted_tuples(&r), sorted_tuples(&db.query(sql, &opts).unwrap()));
+        // Warm again, then clear_plan_cache: the in-place wipe reaches this
+        // outstanding handle even though the cache map was emptied.
+        assert_eq!(stmt.execute(&opts).unwrap().metrics.plan_cache_hits, 1);
+        db.clear_plan_cache();
+        let r = stmt.execute(&opts).unwrap();
+        assert_eq!(
+            r.metrics.plan_cache_misses, 1,
+            "plan-cache clear must reach outstanding Prepared handles"
+        );
+        assert_eq!(sorted_tuples(&r), sorted_tuples(&db.query(sql, &opts).unwrap()));
+    }
+
+    #[test]
+    fn prepared_trace_reports_cache_and_hint_events() {
+        let db = db_with_families(2000);
+        let sql = "select * from FAMILIES where AGE >= :A1";
+        let stmt = db.prepare(sql).unwrap();
+        let outcomes_of = |buf: &std::sync::Arc<TraceBuffer>| -> Vec<String> {
+            buf.events()
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::PlanCache { outcome, .. } => Some(outcome.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        let cold = TraceBuffer::shared(4096);
+        stmt.execute(&params(&[("A1", 90)]).with_trace(cold.clone()))
+            .unwrap();
+        assert_eq!(outcomes_of(&cold), vec!["miss"], "cold run: no hint yet");
+        // Same binding again: skeleton hit, and the remembered tactic is
+        // applied (identical estimates cannot drift).
+        let warm = TraceBuffer::shared(4096);
+        stmt.execute(&params(&[("A1", 90)]).with_trace(warm.clone()))
+            .unwrap();
+        assert_eq!(outcomes_of(&warm), vec!["hit", "hint-applied"]);
+        // Drifted binding: AGE >= 200 is an empty range, so estimation
+        // proves end-of-data — a certain shortcut always overrules the
+        // remembered tactic. Dynamic optimization is seeded, never
+        // bypassed.
+        let drift = TraceBuffer::shared(4096);
+        stmt.execute(&params(&[("A1", 200)]).with_trace(drift.clone()))
+            .unwrap();
+        assert_eq!(outcomes_of(&drift), vec!["hit", "hint-dropped"]);
     }
 
     #[test]

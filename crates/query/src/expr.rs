@@ -393,6 +393,281 @@ fn eval_on_named_values(expr: &Expr, names: &[String], values: &[Value]) -> bool
     }
 }
 
+/// Positional argument values for one execution of a [`CompiledPred`],
+/// produced by [`CompiledPred::bind_args`]. Shared (not cloned) into the
+/// run's record/key predicates.
+pub type PredArgs = Arc<[Value]>;
+
+/// A restriction lowered against a fixed schema: column names resolved to
+/// value positions and host variables interned into dense argument slots.
+///
+/// This is the binding-independent half of predicate work, split out so a
+/// cached plan skeleton can amortize it. [`CompiledPred::compile`] runs
+/// once at resolve time; each execution then fills a flat argument vector
+/// with [`bind_args`](CompiledPred::bind_args) — one map lookup per
+/// distinct host variable — instead of deep-cloning the tree the way
+/// [`Expr::bind`] must, and evaluation indexes records directly instead
+/// of re-resolving column names at every node for every row.
+#[derive(Debug, Clone)]
+pub struct CompiledPred {
+    root: Node,
+    /// Host-variable names in argument-slot order (first occurrence in
+    /// depth-first tree order, deduplicated).
+    params: Vec<String>,
+}
+
+/// Right-hand side of a lowered comparison: a literal kept in place or a
+/// slot into the run's argument vector.
+#[derive(Debug, Clone)]
+enum Arg {
+    Lit(Value),
+    Var(usize),
+}
+
+impl Arg {
+    fn get<'a>(&'a self, args: &'a [Value]) -> &'a Value {
+        match self {
+            Arg::Lit(v) => v,
+            Arg::Var(i) => &args[*i],
+        }
+    }
+}
+
+/// [`Expr`] with column names resolved to positions and scalars lowered
+/// to [`Arg`]s. Mirrors the `Expr` variants one-to-one so the two
+/// evaluation semantics stay trivially identical.
+#[derive(Debug, Clone)]
+enum Node {
+    True,
+    Cmp { col: usize, op: CmpOp, rhs: Arg },
+    Between { col: usize, lo: Arg, hi: Arg },
+    And(Vec<Node>),
+    Or(Vec<Node>),
+    Not(Box<Node>),
+}
+
+impl CompiledPred {
+    /// Lowers `expr` against `schema`.
+    ///
+    /// # Panics
+    /// If the expression references a column missing from the schema —
+    /// callers validate columns first (resolve time rejects unknown
+    /// columns with a typed error before compiling).
+    pub fn compile(expr: &Expr, schema: &Schema) -> CompiledPred {
+        let mut params = Vec::new();
+        let root = lower(expr, schema, &mut params);
+        CompiledPred { root, params }
+    }
+
+    /// Resolves this run's parameter values into a positional argument
+    /// vector, erroring (like [`Expr::bind`]) on the first host variable
+    /// in tree order that has no binding.
+    pub fn bind_args(&self, params: &HashMap<String, Value>) -> Result<PredArgs, QueryError> {
+        let mut out = Vec::with_capacity(self.params.len());
+        for name in &self.params {
+            out.push(
+                params
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| QueryError::UnboundVar(name.clone()))?,
+            );
+        }
+        Ok(out.into())
+    }
+
+    /// Evaluates against a full record. `args` must come from
+    /// [`bind_args`](Self::bind_args) on this same predicate.
+    pub fn matches(&self, args: &[Value], record: &Record) -> bool {
+        self.root.eval(args, record.values())
+    }
+
+    /// The per-run record predicate: a closure over this shared tree and
+    /// the run's arguments — no tree or schema clone per execution.
+    pub fn record_pred(self: &Arc<Self>, args: &PredArgs) -> RecordPred {
+        let pred = Arc::clone(self);
+        let args = Arc::clone(args);
+        Arc::new(move |record: &Record| pred.root.eval(&args, record.values()))
+    }
+
+    /// The per-run key predicate. Only meaningful on a predicate whose
+    /// positions index the key tuple — i.e. the output of
+    /// [`remap_columns`](Self::remap_columns) with a record→key mapping.
+    pub fn key_pred(self: &Arc<Self>, args: &PredArgs) -> KeyPred {
+        let pred = Arc::clone(self);
+        let args = Arc::clone(args);
+        Arc::new(move |key: &[Value]| pred.root.eval(&args, key))
+    }
+
+    /// Rewrites every column position through `map` (e.g. record position
+    /// → index-key position). Returns `None` when some referenced column
+    /// has no mapping — the caller's signal that evaluating this
+    /// predicate over the mapped tuples alone would be illegal.
+    pub fn remap_columns(&self, map: impl Fn(usize) -> Option<usize>) -> Option<CompiledPred> {
+        Some(CompiledPred {
+            root: self.root.remap(&map)?,
+            params: self.params.clone(),
+        })
+    }
+
+    /// Positional mirror of [`Expr::range_for`]: the key range this
+    /// predicate implies for an index whose leading key is column `col`.
+    pub fn range_for(&self, args: &[Value], col: usize) -> KeyRange {
+        let mut range = KeyRange::all();
+        self.root.tighten_range(args, col, &mut range);
+        range
+    }
+
+    /// Positional mirror of [`Expr::range_for_composite`]: equality
+    /// constraints pin a leading prefix of `key_cols` (record positions,
+    /// in key order), then one range constraint closes the bound.
+    pub fn range_for_composite(&self, args: &[Value], key_cols: &[usize]) -> KeyRange {
+        let mut prefix: Vec<Value> = Vec::new();
+        let mut range = KeyRange::all();
+        for &col in key_cols {
+            let col_range = self.range_for(args, col);
+            let eq_value = match (&col_range.lo, &col_range.hi) {
+                (KeyBound::Inclusive(lo), KeyBound::Inclusive(hi))
+                    if lo.len() == 1 && lo == hi =>
+                {
+                    Some(lo[0].clone())
+                }
+                _ => None,
+            };
+            if let Some(v) = eq_value {
+                prefix.push(v);
+                range = KeyRange {
+                    lo: KeyBound::Inclusive(prefix.clone()),
+                    hi: KeyBound::Inclusive(prefix.clone()),
+                };
+                continue;
+            }
+            let extend = |bound: &KeyBound| -> KeyBound {
+                match bound {
+                    KeyBound::Unbounded if prefix.is_empty() => KeyBound::Unbounded,
+                    KeyBound::Unbounded => KeyBound::Inclusive(prefix.clone()),
+                    KeyBound::Inclusive(vs) => {
+                        let mut full = prefix.clone();
+                        full.extend(vs.iter().cloned());
+                        KeyBound::Inclusive(full)
+                    }
+                    KeyBound::Exclusive(vs) => {
+                        let mut full = prefix.clone();
+                        full.extend(vs.iter().cloned());
+                        KeyBound::Exclusive(full)
+                    }
+                }
+            };
+            range = KeyRange {
+                lo: extend(&col_range.lo),
+                hi: extend(&col_range.hi),
+            };
+            break;
+        }
+        range
+    }
+}
+
+fn lower(expr: &Expr, schema: &Schema, params: &mut Vec<String>) -> Node {
+    fn slot(s: &Scalar, params: &mut Vec<String>) -> Arg {
+        match s {
+            Scalar::Literal(v) => Arg::Lit(v.clone()),
+            Scalar::HostVar(name) => Arg::Var(match params.iter().position(|p| p == name) {
+                Some(i) => i,
+                None => {
+                    params.push(name.clone());
+                    params.len() - 1
+                }
+            }),
+        }
+    }
+    let col = |c: &str| {
+        schema
+            .column_index(c)
+            .unwrap_or_else(|| panic!("unknown column {c}"))
+    };
+    match expr {
+        Expr::True => Node::True,
+        Expr::Cmp { column, op, rhs } => Node::Cmp {
+            col: col(column),
+            op: *op,
+            rhs: slot(rhs, params),
+        },
+        Expr::Between { column, lo, hi } => Node::Between {
+            col: col(column),
+            lo: slot(lo, params),
+            hi: slot(hi, params),
+        },
+        Expr::And(es) => Node::And(es.iter().map(|e| lower(e, schema, params)).collect()),
+        Expr::Or(es) => Node::Or(es.iter().map(|e| lower(e, schema, params)).collect()),
+        Expr::Not(e) => Node::Not(Box::new(lower(e, schema, params))),
+    }
+}
+
+impl Node {
+    fn eval(&self, args: &[Value], values: &[Value]) -> bool {
+        match self {
+            Node::True => true,
+            Node::Cmp { col, op, rhs } => op.eval(&values[*col], rhs.get(args)),
+            Node::Between { col, lo, hi } => {
+                let v = &values[*col];
+                !v.is_null() && v >= lo.get(args) && v <= hi.get(args)
+            }
+            Node::And(ns) => ns.iter().all(|n| n.eval(args, values)),
+            Node::Or(ns) => ns.iter().any(|n| n.eval(args, values)),
+            Node::Not(n) => !n.eval(args, values),
+        }
+    }
+
+    fn remap(&self, map: &impl Fn(usize) -> Option<usize>) -> Option<Node> {
+        Some(match self {
+            Node::True => Node::True,
+            Node::Cmp { col, op, rhs } => Node::Cmp {
+                col: map(*col)?,
+                op: *op,
+                rhs: rhs.clone(),
+            },
+            Node::Between { col, lo, hi } => Node::Between {
+                col: map(*col)?,
+                lo: lo.clone(),
+                hi: hi.clone(),
+            },
+            Node::And(ns) => Node::And(ns.iter().map(|n| n.remap(map)).collect::<Option<_>>()?),
+            Node::Or(ns) => Node::Or(ns.iter().map(|n| n.remap(map)).collect::<Option<_>>()?),
+            Node::Not(n) => Node::Not(Box::new(n.remap(map)?)),
+        })
+    }
+
+    fn tighten_range(&self, args: &[Value], col: usize, range: &mut KeyRange) {
+        match self {
+            Node::Cmp { col: c, op, rhs } if *c == col => {
+                let v = rhs.get(args);
+                match op {
+                    CmpOp::Eq => {
+                        tighten_lo(range, KeyBound::Inclusive(vec![v.clone()]));
+                        tighten_hi(range, KeyBound::Inclusive(vec![v.clone()]));
+                    }
+                    CmpOp::Ge => tighten_lo(range, KeyBound::Inclusive(vec![v.clone()])),
+                    CmpOp::Gt => tighten_lo(range, KeyBound::Exclusive(vec![v.clone()])),
+                    CmpOp::Le => tighten_hi(range, KeyBound::Inclusive(vec![v.clone()])),
+                    CmpOp::Lt => tighten_hi(range, KeyBound::Exclusive(vec![v.clone()])),
+                    CmpOp::Ne => {}
+                }
+            }
+            Node::Between { col: c, lo, hi } if *c == col => {
+                tighten_lo(range, KeyBound::Inclusive(vec![lo.get(args).clone()]));
+                tighten_hi(range, KeyBound::Inclusive(vec![hi.get(args).clone()]));
+            }
+            Node::And(ns) => {
+                for n in ns {
+                    n.tighten_range(args, col, range);
+                }
+            }
+            // OR / NOT / other columns: no safe tightening.
+            _ => {}
+        }
+    }
+}
+
 fn tighten_lo(range: &mut KeyRange, candidate: KeyBound) {
     let better = match (&range.lo, &candidate) {
         (KeyBound::Unbounded, _) => true,
@@ -602,5 +877,172 @@ mod tests {
         let p = e.record_pred(&s);
         assert!(p(&rec(0, 4)));
         assert!(!p(&rec(0, 5)));
+    }
+
+    #[test]
+    fn compiled_interns_repeated_host_vars() {
+        let e = Expr::And(vec![
+            Expr::cmp_var("a", CmpOp::Ge, "x"),
+            Expr::cmp_var("b", CmpOp::Le, "x"),
+            Expr::cmp_var("a", CmpOp::Le, "y"),
+        ]);
+        let c = CompiledPred::compile(&e, &schema());
+        let mut params = HashMap::new();
+        params.insert("x".to_string(), Value::Int(3));
+        params.insert("y".to_string(), Value::Int(9));
+        let args = c.bind_args(&params).unwrap();
+        assert_eq!(args.len(), 2, "x appears twice but gets one slot");
+        assert!(c.matches(&args, &rec(5, 2)));
+        assert!(!c.matches(&args, &rec(10, 2)));
+    }
+
+    #[test]
+    fn compiled_bind_args_errors_like_bind() {
+        let e = Expr::And(vec![
+            Expr::cmp_var("a", CmpOp::Ge, "x"),
+            Expr::cmp_var("b", CmpOp::Le, "missing"),
+        ]);
+        let c = CompiledPred::compile(&e, &schema());
+        let mut params = HashMap::new();
+        params.insert("x".to_string(), Value::Int(3));
+        assert_eq!(
+            c.bind_args(&params).unwrap_err(),
+            QueryError::UnboundVar("missing".into())
+        );
+    }
+
+    #[test]
+    fn compiled_remap_requires_full_coverage() {
+        let e = Expr::And(vec![
+            Expr::cmp("a", CmpOp::Ge, 1),
+            Expr::cmp("b", CmpOp::Eq, 2),
+        ]);
+        let c = CompiledPred::compile(&e, &schema());
+        // Key on (b) alone: column a has no key position.
+        assert!(c.remap_columns(|col| (col == 1).then_some(0)).is_none());
+        // Key on (b, a): both map.
+        let remapped = Arc::new(
+            c.remap_columns(|col| Some(if col == 1 { 0 } else { 1 }))
+                .expect("covered"),
+        );
+        let kp = remapped.key_pred(&c.bind_args(&HashMap::new()).unwrap());
+        assert!(kp(&[Value::Int(2), Value::Int(5)]));
+        assert!(!kp(&[Value::Int(3), Value::Int(5)]));
+    }
+
+    /// The load-bearing equivalence: lowering + positional evaluation and
+    /// range derivation agree with bind + name-based evaluation on
+    /// arbitrary expressions, records and bindings. `execute_resolved`
+    /// switched from the latter to the former for conjunctive queries;
+    /// this is the contract that made that swap row-set-preserving.
+    mod differential {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// LCG step (the vendored proptest has no recursive strategies, so
+        /// expression shapes come from a seeded generator instead).
+        fn next(state: &mut u64) -> u64 {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *state >> 33
+        }
+
+        fn gen_scalar(state: &mut u64) -> Scalar {
+            match next(state) % 4 {
+                0 => Scalar::HostVar("x".to_string()),
+                1 => Scalar::HostVar("y".to_string()),
+                _ => Scalar::Literal(Value::Int(next(state) as i64 % 20 - 5)),
+            }
+        }
+
+        fn gen_expr(state: &mut u64, depth: u32) -> Expr {
+            const OPS: [CmpOp; 6] = [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ];
+            fn column(state: &mut u64) -> String {
+                if next(state).is_multiple_of(2) { "a" } else { "b" }.to_string()
+            }
+            let kind = if depth == 0 { next(state) % 3 } else { next(state) % 6 };
+            match kind {
+                0 => Expr::True,
+                1 => Expr::Cmp {
+                    column: column(state),
+                    op: OPS[(next(state) % 6) as usize],
+                    rhs: gen_scalar(state),
+                },
+                2 => Expr::Between {
+                    column: column(state),
+                    lo: gen_scalar(state),
+                    hi: gen_scalar(state),
+                },
+                3 | 4 => {
+                    let n = 1 + next(state) % 3;
+                    let es = (0..n).map(|_| gen_expr(state, depth - 1)).collect();
+                    if kind == 3 {
+                        Expr::And(es)
+                    } else {
+                        Expr::Or(es)
+                    }
+                }
+                _ => Expr::Not(Box::new(gen_expr(state, depth - 1))),
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 256 })]
+
+            #[test]
+            fn compiled_agrees_with_bound_expr(
+                seed in any::<u64>(),
+                x in -5i64..15,
+                y in -5i64..15,
+                records in prop::collection::vec((-5i64..15, -5i64..15), 1..8),
+            ) {
+                let mut state = seed;
+                let e = gen_expr(&mut state, 3);
+                let s = schema();
+                let mut params = HashMap::new();
+                params.insert("x".to_string(), Value::Int(x));
+                params.insert("y".to_string(), Value::Int(y));
+                let bound = e.bind(&params).unwrap();
+                let compiled = Arc::new(CompiledPred::compile(&e, &s));
+                let args = compiled.bind_args(&params).unwrap();
+                let rp = compiled.record_pred(&args);
+                for &(a, b) in &records {
+                    let r = rec(a, b);
+                    prop_assert_eq!(bound.eval(&s, &r), compiled.matches(&args, &r));
+                    prop_assert_eq!(bound.eval(&s, &r), rp(&r));
+                }
+                // Range derivation: single-column and composite, both
+                // column orders.
+                prop_assert_eq!(bound.range_for("a"), compiled.range_for(&args, 0));
+                prop_assert_eq!(bound.range_for("b"), compiled.range_for(&args, 1));
+                prop_assert_eq!(
+                    bound.range_for_composite(&["a".into(), "b".into()]),
+                    compiled.range_for_composite(&args, &[0, 1])
+                );
+                prop_assert_eq!(
+                    bound.range_for_composite(&["b".into(), "a".into()]),
+                    compiled.range_for_composite(&args, &[1, 0])
+                );
+                // Key predicates over a (b, a) key must agree too.
+                let legacy_kp = bound.key_pred(&[("b".into(), 0), ("a".into(), 1)]);
+                let remapped = compiled
+                    .remap_columns(|col| Some(if col == 1 { 0 } else { 1 }))
+                    .map(Arc::new);
+                prop_assert_eq!(legacy_kp.is_some(), remapped.is_some());
+                if let (Some(lkp), Some(remapped)) = (legacy_kp, remapped) {
+                    let ckp = remapped.key_pred(&args);
+                    for &(a, b) in &records {
+                        let key = [Value::Int(b), Value::Int(a)];
+                        prop_assert_eq!(lkp(&key), ckp(&key));
+                    }
+                }
+            }
+        }
     }
 }

@@ -48,6 +48,7 @@ pub mod expr;
 pub mod options;
 pub mod parser;
 pub mod plan;
+pub mod prepared;
 pub mod sort;
 
 pub use db::{Db, DbConfig, QueryMetrics, QueryResult, Session};
@@ -56,6 +57,7 @@ pub use explain::ExplainAnalyze;
 pub use expr::{CmpOp, Expr, Scalar};
 pub use options::QueryOptions;
 pub use plan::{derive_goals, effective_goal, PlanNode, RetrieveId};
+pub use prepared::{PlanCacheStats, Prepared};
 pub use sort::{sort_rows, sort_rows_dir, SortConfig, SortStats};
 
 /// One-stop imports for applications embedding the engine.
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::error::QueryError;
     pub use crate::explain::ExplainAnalyze;
     pub use crate::options::QueryOptions;
+    pub use crate::prepared::{PlanCacheStats, Prepared};
     pub use rdb_core::OptimizeGoal;
     pub use rdb_storage::{Column, Schema, Value, ValueType};
 }

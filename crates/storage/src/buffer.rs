@@ -41,16 +41,56 @@
 //! its own LRU) but preserves every conservation property: a page is
 //! resident in exactly one shard, and hits + misses always equals accesses.
 //!
+//! # Lock-free hit path
+//!
+//! A resident-page hit used to pay an uncontended shard lock plus two
+//! counter bumps — the "hot-hit tax". Now each shard pairs its
+//! mutex-guarded table with a `ProbeMirror`: a seqlock-versioned array
+//! of atomic key words mirroring slot occupancy, readable without the
+//! lock. [`BufferPool::access`] first probes the mirror optimistically:
+//! read the version (odd means a writer is mid-mutation — fall back), walk
+//! the probe chain, then re-read the version and accept the answer only if
+//! it is unchanged. All residency mutations run under the shard mutex and
+//! bump the version to odd before moving any key and back to even after
+//! (`ProbeMirror::begin_write`/`ProbeMirror::end_write`), so a torn
+//! read can never validate. Crucially, a locked-path *hit* only splices
+//! LRU links — keys do not move — so pure-hit traffic never invalidates
+//! concurrent optimistic readers.
+//!
+//! A validated optimistic hit defers its two former under-lock effects to
+//! the per-thread, per-pool touch buffer in `crate::touch`: the LRU
+//! splice is recorded as a pending *touch* and the pool-wide hit tally as
+//! a pending *count*, both absorbed at batch boundaries by
+//! [`BufferPool::flush_session`]. The caller's [`crate::CostMeter`] is
+//! still charged per access — mid-run cost totals feed the competition's
+//! kill rules, so their timing must not change.
+//!
+//! **Deferred-promotion invariant.** Hit/miss classification depends only
+//! on residency, and residency changes only under shard locks. Every
+//! locked entry point (a miss, a batched run, `perturb`, `clear`) and
+//! every counter read first replays the calling thread's pending touches
+//! in access order, so under single-threaded use the pool is *observably
+//! identical* to [`crate::ReferencePool`] — the differential proptests
+//! prove identical hit/miss sequences, counters, residency and
+//! bit-identical cost totals. Under concurrency, another thread's pending
+//! promotions may land up to `crate::touch::TOUCH_CAP` accesses late,
+//! which can only make a recently-hit page look slightly colder to an
+//! eviction decision; classification, counter conservation and cost
+//! totals are unaffected. Pending *counts* are absorbed on every exit
+//! path, including thread teardown, via the touch buffer's drop guard;
+//! only pending *promotions* may be dropped when a thread exits.
+//!
 //! Cost attribution is the caller's: every charging entry point takes the
 //! meter to charge, so concurrent sessions sharing the pool each pay for
 //! exactly their own page touches.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::cost::{CostConfig, CostMeter, SharedCost};
 use crate::error::StorageError;
 use crate::fault::FaultPolicy;
+use crate::touch::{self, DeferredCounters, Recorded};
 
 /// Shared handle to one [`BufferPool`]. All storage structures of one
 /// database instance (heap tables, indexes, temp tables) share a pool so
@@ -154,6 +194,18 @@ const NIL: u32 = u32::MAX - 1;
 /// Fibonacci-hashing multiplier (2^64 / φ).
 const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Mirror word marking a vacant slot. Unlike the main table (which encodes
+/// vacancy in the `prev` link), the mirror has only the key word to work
+/// with, so one packed key — `(FileId(u32::MAX), page u32::MAX)` — is
+/// sacrificed: accesses to that single pathological page never validate
+/// optimistically and always take the locked path, where classification
+/// against the main table is authoritative.
+const MIRROR_VACANT: u64 = u64::MAX;
+
+/// Generator for [`BufferPool::id`] — the key per-thread touch buffers use
+/// to tell pools apart.
+static POOL_IDS: AtomicU64 = AtomicU64::new(1);
+
 /// One open-addressed table slot: the packed page key plus the intrusive
 /// LRU links. `prev == FREE` means the slot is vacant; occupied slots have
 /// `prev` either a slot index or [`NIL`] (list head).
@@ -178,8 +230,151 @@ enum Probe {
     Miss(usize),
 }
 
-/// One lock stripe: an independent open-addressed true-LRU table (the PR-1
-/// hot-path layout, unchanged) plus its lifetime hit/miss counters.
+/// Seqlock-versioned mirror of one shard's slot keys, readable without the
+/// shard lock.
+///
+/// `keys[i]` holds the packed key of the entry occupying `slots[i]`, or
+/// [`MIRROR_VACANT`]. Writers — always under the shard mutex — bracket
+/// every key movement with [`ProbeMirror::begin_write`] (version to odd)
+/// and [`ProbeMirror::end_write`] (version to even), so
+/// [`ProbeMirror::probe_resident`] can validate that no mutation
+/// overlapped its walk. LRU splices never move keys and deliberately do
+/// *not* bump the version: pure-hit traffic stays invisible to readers.
+#[derive(Debug)]
+struct ProbeMirror {
+    /// Seqlock version: even = stable, odd = a writer (holding the shard
+    /// mutex) is moving keys.
+    version: AtomicU64,
+    /// Mirror of `PoolShard::slots[i].key` for occupied slots,
+    /// [`MIRROR_VACANT`] for vacant ones.
+    keys: Box<[AtomicU64]>,
+    mask: usize,
+    shift: u32,
+}
+
+impl ProbeMirror {
+    fn new(table_len: usize) -> Self {
+        debug_assert!(table_len.is_power_of_two());
+        ProbeMirror {
+            version: AtomicU64::new(0),
+            keys: (0..table_len).map(|_| AtomicU64::new(MIRROR_VACANT)).collect(),
+            mask: table_len - 1,
+            shift: 64 - table_len.trailing_zeros(),
+        }
+    }
+
+    /// Enters a writer section. Caller must hold the shard mutex.
+    #[inline]
+    fn begin_write(&self) {
+        // Relaxed: the shard mutex serializes writers, so this
+        // load/store pair cannot race another writer; the release fence
+        // below is what publishes the odd version before any key store
+        // that follows it.
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+    }
+
+    /// Leaves a writer section. Caller must hold the shard mutex.
+    #[inline]
+    fn end_write(&self) {
+        // Relaxed load: writer-exclusive under the shard mutex. The
+        // Release store publishes every key store of the section before
+        // the new even version becomes visible to an Acquire reader.
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Records that slot `i` now holds `key` ([`MIRROR_VACANT`] to vacate).
+    /// Caller must be inside a writer section.
+    #[inline]
+    fn set(&self, i: usize, key: u64) {
+        // Relaxed: bracketed by begin_write/end_write, whose fences order
+        // these stores against the version for readers.
+        self.keys[i].store(key, Ordering::Relaxed);
+    }
+
+    /// Lock-free residency probe. Returns `Some((resident, slot))` when
+    /// the walk validated (no writer overlapped) — `slot` is where the key
+    /// was seen when resident (0 otherwise) and is remembered by the hit
+    /// path so the deferred replay can splice without re-probing — or
+    /// `None` when the caller must fall back to the locked path. `key`
+    /// must not be [`MIRROR_VACANT`].
+    #[inline]
+    fn probe_resident(&self, key: u64) -> Option<(bool, u32)> {
+        let v1 = self.version.load(Ordering::Acquire);
+        if v1 & 1 == 1 {
+            return None;
+        }
+        let mut i = (key.wrapping_mul(FIB) >> self.shift) as usize;
+        let mut steps = 0usize;
+        let mut slot = 0u32;
+        let resident = loop {
+            // Relaxed: the acquire fence below, paired with the writer's
+            // release fence, invalidates the read (via the version
+            // recheck) if any of these loads observed an in-progress
+            // mutation.
+            // SAFETY: `i` starts reduced by `shift` (table length is a
+            // power of two, `mask == keys.len() - 1`) and wraps with
+            // `& self.mask`, so `i < keys.len()` always.
+            let k = unsafe { self.keys.get_unchecked(i) }.load(Ordering::Relaxed);
+            if k == key {
+                slot = i as u32;
+                break true;
+            }
+            if k == MIRROR_VACANT {
+                break false;
+            }
+            i = (i + 1) & self.mask;
+            steps += 1;
+            if steps > self.mask {
+                // Only reachable if a concurrent writer kept the chain
+                // torn; the version recheck below will reject the walk.
+                break false;
+            }
+        };
+        fence(Ordering::Acquire);
+        // Relaxed: ordered by the acquire fence above; equality with the
+        // acquire-loaded `v1` is what validates the walk.
+        if self.version.load(Ordering::Relaxed) == v1 {
+            Some((resident, slot))
+        } else {
+            None
+        }
+    }
+
+    /// Vacates every mirror word. Caller must be inside a writer section.
+    fn fill_vacant(&self) {
+        for k in self.keys.iter() {
+            // Relaxed: bracketed by begin_write/end_write (see `set`).
+            k.store(MIRROR_VACANT, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One lock stripe: the mutex-guarded open-addressed true-LRU table plus
+/// its lock-free probe mirror.
+#[derive(Debug)]
+struct Shard {
+    state: Mutex<PoolShard>,
+    mirror: ProbeMirror,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        let state = PoolShard::new(capacity);
+        let mirror = ProbeMirror::new(state.slots.len());
+        Shard {
+            state: Mutex::new(state),
+            mirror,
+        }
+    }
+}
+
+/// Mutex-guarded state of one lock stripe: an independent open-addressed
+/// true-LRU table (the PR-1 hot-path layout, unchanged) plus its lifetime
+/// hit/miss counters. Every mutation that moves a key also updates the
+/// shard's [`ProbeMirror`], passed in by the caller.
 #[derive(Debug)]
 struct PoolShard {
     capacity: usize,
@@ -263,7 +458,7 @@ impl PoolShard {
     /// Classifies `key` and updates residency/recency (no counters, no
     /// charges — the callers batch those).
     #[inline]
-    fn touch(&mut self, key: u64) -> Access {
+    fn touch(&mut self, key: u64, mirror: &ProbeMirror) -> Access {
         match self.probe(key) {
             Probe::Hit(i) => {
                 if self.head != i as u32 {
@@ -273,28 +468,68 @@ impl PoolShard {
                 Access::Hit
             }
             Probe::Miss(f) => {
-                self.place(key, f);
+                self.place(key, f, mirror);
                 Access::Miss
             }
         }
+    }
+
+    /// Replays one deferred touch: promotes `key` to MRU if still
+    /// resident, silently skips it otherwise (the page may have been
+    /// evicted or cleared since the optimistic hit recorded it).
+    #[inline]
+    fn promote_if_resident(&mut self, key: u64) {
+        if let Probe::Hit(i) = self.probe(key) {
+            if self.head != i as u32 {
+                self.unlink(i);
+                self.push_front(i);
+            }
+        }
+    }
+
+    /// Replays one deferred touch using the slot the mirror probe saw the
+    /// key in. In the common case — the page has not moved since the
+    /// optimistic hit — the residency check is a single compare and the
+    /// probe walk is skipped entirely. A stale slot (the page was evicted
+    /// and the slot reused, or the key re-faulted elsewhere after a
+    /// backward shift) fails the compare and degrades to
+    /// [`PoolShard::promote_if_resident`], which re-probes; semantics are
+    /// identical either way.
+    #[inline]
+    fn promote_at(&mut self, key: u64, slot: u32) {
+        let i = slot as usize;
+        if i < self.slots.len() {
+            let s = *self.slot_mut(i);
+            if s.prev != FREE && s.key == key {
+                if self.head != slot {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                return;
+            }
+        }
+        self.promote_if_resident(key);
     }
 
     fn contains(&self, key: u64) -> bool {
         matches!(self.probe(key), Probe::Hit(_))
     }
 
-    fn clear(&mut self) {
+    fn clear(&mut self, mirror: &ProbeMirror) {
+        mirror.begin_write();
         self.slots.fill(VACANT);
+        mirror.fill_vacant();
         self.head = NIL;
         self.tail = NIL;
         self.len = 0;
+        mirror.end_write();
     }
 
     /// Faults `key` in without recency update if already resident and
     /// without any counters — the perturbation path.
-    fn fault_in_if_absent(&mut self, key: u64) {
+    fn fault_in_if_absent(&mut self, key: u64, mirror: &ProbeMirror) {
         if let Probe::Miss(f) = self.probe(key) {
-            self.place(key, f);
+            self.place(key, f, mirror);
         }
     }
 
@@ -303,10 +538,13 @@ impl PoolShard {
     /// resident and `f` must be the FREE slot terminating its probe chain
     /// (as returned by [`PoolShard::probe`]). Access misses, batched-run
     /// misses and [`BufferPool::perturb`] faults all go through here.
-    fn place(&mut self, key: u64, f: usize) {
+    /// The entire mutation — eviction, backward shift, claim — runs inside
+    /// one mirror writer section.
+    fn place(&mut self, key: u64, f: usize, mirror: &ProbeMirror) {
+        mirror.begin_write();
         let mut slot = f;
         if self.len == self.capacity {
-            let hole = self.evict_lru();
+            let hole = self.evict_lru(mirror);
             // Eviction vacates exactly one slot. If it lies on `key`'s
             // probe chain — cyclically in `[home, f)` — then inserting at
             // `f` would leave a FREE gap that terminates lookups early, so
@@ -324,18 +562,21 @@ impl PoolShard {
         }
         debug_assert_eq!(self.slot_mut(slot).prev, FREE, "place on an occupied slot");
         self.slot_mut(slot).key = key;
+        mirror.set(slot, key);
         self.len += 1;
         self.push_front(slot);
+        mirror.end_write();
     }
 
     /// Evicts the LRU page and returns the table slot left vacant after
-    /// backward-shift compaction.
-    fn evict_lru(&mut self) -> usize {
+    /// backward-shift compaction. Caller must be inside a mirror writer
+    /// section (only [`PoolShard::place`] calls this).
+    fn evict_lru(&mut self, mirror: &ProbeMirror) -> usize {
         debug_assert_ne!(self.tail, NIL, "evict from empty shard");
         let i = self.tail as usize;
         self.unlink(i);
         self.len -= 1;
-        self.remove_slot(i)
+        self.remove_slot(i, mirror)
     }
 
     /// Detaches slot `i` from the LRU list (slot stays occupied).
@@ -374,9 +615,11 @@ impl PoolShard {
     /// Vacates slot `i` (already unlinked from the LRU list) by the
     /// backward-shift technique: entries displaced past `i` by linear
     /// probing are moved into the hole so lookups never need tombstones.
-    /// Moved entries drag their LRU links along via [`PoolShard::relink`].
-    /// Returns the slot that ends up vacant once the shift cascade settles.
-    fn remove_slot(&mut self, mut i: usize) -> usize {
+    /// Moved entries drag their LRU links along via [`PoolShard::relink`]
+    /// and their mirror words along via [`ProbeMirror::set`]. Returns the
+    /// slot that ends up vacant once the shift cascade settles. Caller
+    /// must be inside a mirror writer section.
+    fn remove_slot(&mut self, mut i: usize, mirror: &ProbeMirror) -> usize {
         let mut j = i;
         loop {
             j = (j + 1) & self.mask;
@@ -397,10 +640,12 @@ impl PoolShard {
                 continue;
             }
             *self.slot_mut(i) = sj;
+            mirror.set(i, sj.key);
             self.relink(i);
             i = j;
         }
         self.slot_mut(i).prev = FREE;
+        mirror.set(i, MIRROR_VACANT);
         i
     }
 
@@ -435,15 +680,20 @@ impl PoolShard {
 /// session threads via [`SharedPool`].
 #[derive(Debug)]
 pub struct BufferPool {
+    /// Process-unique instance id keying the per-thread touch buffers.
+    id: u64,
     /// The database-default meter (sessions carry their own; this one backs
     /// load-time work and single-session callers).
     cost: SharedCost,
-    shards: Box<[Mutex<PoolShard>]>,
+    shards: Box<[Shard]>,
     /// log2(number of shards); shard routing shifts by `64 - shard_bits`.
     shard_bits: u32,
     capacity: usize,
     /// Count of shard-lock acquisitions that found the lock held.
     contention: AtomicU64,
+    /// Absorption target for the per-thread deferred hit tallies; `Arc`'d
+    /// so a thread outliving the pool can still absorb safely.
+    deferred: Arc<DeferredCounters>,
     /// Fast-path flag: fault checks are skipped entirely unless armed.
     fault_armed: AtomicBool,
     fault: Mutex<Option<FaultPolicy>>,
@@ -464,14 +714,16 @@ impl BufferPool {
         assert!(shards >= 1, "buffer pool needs at least one shard");
         let n = shards.next_power_of_two();
         let per_shard = capacity.div_ceil(n).max(1);
-        let shards: Vec<Mutex<PoolShard>> =
-            (0..n).map(|_| Mutex::new(PoolShard::new(per_shard))).collect();
+        let shards: Vec<Shard> = (0..n).map(|_| Shard::new(per_shard)).collect();
         BufferPool {
+            // Relaxed: unique-id counter; no ordering with other memory.
+            id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
             cost,
             shards: shards.into_boxed_slice(),
             shard_bits: n.trailing_zeros(),
             capacity: per_shard * n,
             contention: AtomicU64::new(0),
+            deferred: Arc::new(DeferredCounters::default()),
             fault_armed: AtomicBool::new(false),
             fault: Mutex::new(None),
         }
@@ -505,9 +757,10 @@ impl BufferPool {
     }
 
     /// Number of pages currently resident (sums shards; a racing snapshot
-    /// under concurrency).
+    /// under concurrency). Unaffected by deferred touches — promotions
+    /// never change residency — so no flush is needed here.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| lock(s).len).sum()
+        self.shards.iter().map(|s| lock(&s.state).len).sum()
     }
 
     /// True if no pages are resident.
@@ -545,13 +798,20 @@ impl BufferPool {
     }
 
     /// Point-in-time copy of the hit/miss counters, for per-query deltas.
+    /// Flushes the calling thread's deferred state first, so a
+    /// single-threaded caller always reads exact values.
     pub fn stats(&self) -> PoolStats {
+        self.flush_session();
         let mut stats = PoolStats::default();
         for shard in self.shards.iter() {
-            let g = lock(shard);
+            let g = lock(&shard.state);
             stats.hits += g.hits;
             stats.misses += g.misses;
         }
+        // Relaxed: monotonic tally of optimistic hits absorbed from the
+        // per-thread buffers; same independent-tally argument as the
+        // CostMeter counters.
+        stats.hits += self.deferred.hits.load(Ordering::Relaxed);
         stats
     }
 
@@ -576,32 +836,91 @@ impl BufferPool {
     /// Locks shard `i`, counting contended acquisitions.
     #[inline]
     fn lock_shard(&self, i: usize) -> MutexGuard<'_, PoolShard> {
-        match self.shards[i].try_lock() {
+        match self.shards[i].state.try_lock() {
             Ok(g) => g,
             Err(std::sync::TryLockError::WouldBlock) => {
                 // Relaxed: contention tally only feeds benchmark reporting;
                 // the subsequent blocking lock provides the real ordering.
                 self.contention.fetch_add(1, Ordering::Relaxed);
-                lock(&self.shards[i])
+                lock(&self.shards[i].state)
             }
             Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner(),
         }
     }
 
+    /// Absorbs the calling thread's deferred state for this pool: pending
+    /// hit tallies land in the pool-wide counters and buffered LRU
+    /// promotions are replayed in access order. Runs automatically on
+    /// every locked entry point, on counter reads, and when the touch
+    /// buffer fills; the tallies alone are also absorbed at thread exit by
+    /// the buffer's drop guard. Safe to call at any time; a no-op when
+    /// nothing is pending.
+    pub fn flush_session(&self) {
+        touch::drain(self.id, |keys| self.apply_touches(keys));
+    }
+
+    /// Replays drained `(key, slot)` touches as LRU promotions, holding
+    /// each shard lock across the consecutive keys that route to it. The
+    /// remembered mirror slot makes each replay a compare-and-splice in
+    /// the common case (see [`PoolShard::promote_at`]).
+    fn apply_touches(&self, touches: &[(u64, u32)]) {
+        let mut iter = touches.iter().peekable();
+        while let Some(&(key, slot)) = iter.next() {
+            let si = self.shard_index(key);
+            let mut state = self.lock_shard(si);
+            state.promote_at(key, slot);
+            while let Some(&&(k, s)) = iter.peek() {
+                if self.shard_index(k) != si {
+                    break;
+                }
+                state.promote_at(k, s);
+                iter.next();
+            }
+        }
+    }
+
     /// Touches `page`, classifying the access and charging `cost`.
+    ///
+    /// Hits on resident pages take the lock-free optimistic path (see the
+    /// module docs): a validated mirror probe defers the LRU splice and
+    /// pool tally to the session touch buffer and only charges the meter.
+    /// Misses, unvalidated probes and the one `MIRROR_VACANT` key fall
+    /// back to the locked path, which first replays this thread's pending
+    /// promotions so any eviction sees them.
     pub fn access(&self, page: PageId, cost: &CostMeter) -> Access {
         let key = page.pack();
-        let mut shard = self.lock_shard(self.shard_index(key));
-        match shard.touch(key) {
+        let si = self.shard_index(key);
+        if key != MIRROR_VACANT {
+            if let Some((true, slot)) = self.shards[si].mirror.probe_resident(key) {
+                match touch::record_hit(self.id, &self.deferred, key, slot) {
+                    Recorded::Ok => {
+                        cost.charge_cache_hit();
+                        return Access::Hit;
+                    }
+                    Recorded::NeedsFlush => {
+                        cost.charge_cache_hit();
+                        self.flush_session();
+                        return Access::Hit;
+                    }
+                    // Thread-local storage is tearing down; classify under
+                    // the lock instead.
+                    Recorded::Unavailable => {}
+                }
+            }
+        }
+        self.flush_session();
+        let shard = &self.shards[si];
+        let mut state = self.lock_shard(si);
+        match state.touch(key, &shard.mirror) {
             Access::Hit => {
-                shard.hits += 1;
-                drop(shard);
+                state.hits += 1;
+                drop(state);
                 cost.charge_cache_hit();
                 Access::Hit
             }
             Access::Miss => {
-                shard.misses += 1;
-                drop(shard);
+                state.misses += 1;
+                drop(state);
                 cost.charge_page_read();
                 Access::Miss
             }
@@ -661,6 +980,7 @@ impl BufferPool {
     /// block lives in one shard). Returns `(hits, misses)` for the run.
     /// This is the fast path for full scans and temp-table reads.
     pub fn access_run(&self, file: FileId, first_page: u32, n: u32, cost: &CostMeter) -> (u64, u64) {
+        self.flush_session();
         let end = first_page.saturating_add(n);
         let mut hits = 0u64;
         let mut p = first_page;
@@ -671,17 +991,19 @@ impl BufferPool {
                 None => end,
             };
             let key0 = PageId::new(file, p).pack();
-            let mut shard = self.lock_shard(self.shard_index(key0));
+            let si = self.shard_index(key0);
+            let shard = &self.shards[si];
+            let mut state = self.lock_shard(si);
             let mut block_hits = 0u64;
             for q in p..block_end {
-                if shard.touch(PageId::new(file, q).pack()) == Access::Hit {
+                if state.touch(PageId::new(file, q).pack(), &shard.mirror) == Access::Hit {
                     block_hits += 1;
                 }
             }
             let block_misses = (block_end - p) as u64 - block_hits;
-            shard.hits += block_hits;
-            shard.misses += block_misses;
-            drop(shard);
+            state.hits += block_hits;
+            state.misses += block_misses;
+            drop(state);
             hits += block_hits;
             p = block_end;
         }
@@ -702,18 +1024,26 @@ impl BufferPool {
         cost.charge_page_writes(n as u64);
     }
 
-    /// True if `page` is currently resident (no cost charged, no LRU touch).
+    /// True if `page` is currently resident (no cost charged, no LRU
+    /// touch). Answered lock-free when the mirror probe validates.
     pub fn contains(&self, page: PageId) -> bool {
         let key = page.pack();
-        lock(&self.shards[self.shard_index(key)]).contains(key)
+        let si = self.shard_index(key);
+        if key != MIRROR_VACANT {
+            if let Some((resident, _)) = self.shards[si].mirror.probe_resident(key) {
+                return resident;
+            }
+        }
+        lock(&self.shards[si].state).contains(key)
     }
 
     /// Evicts every resident page — a cold restart. Shards are cleared one
     /// at a time in index order (the only multi-shard operation; it takes
     /// no two locks at once, so no ordering constraint arises).
     pub fn clear(&self) {
+        self.flush_session();
         for shard in self.shards.iter() {
-            lock(shard).clear();
+            lock(&shard.state).clear(&shard.mirror);
         }
     }
 
@@ -724,10 +1054,38 @@ impl BufferPool {
     /// resident are left in place (their recency belongs to whoever faulted
     /// them in).
     pub fn perturb(&self, foreign_file: FileId, foreign_pages: u32) {
+        self.flush_session();
         for p in 0..foreign_pages {
             let key = PageId::new(foreign_file, p).pack();
-            lock(&self.shards[self.shard_index(key)]).fault_in_if_absent(key);
+            let si = self.shard_index(key);
+            let shard = &self.shards[si];
+            lock(&shard.state).fault_in_if_absent(key, &shard.mirror);
         }
+    }
+
+    /// Asserts that every shard's mirror word-for-word matches its slot
+    /// table — the invariant the lock-free probe relies on.
+    #[cfg(test)]
+    fn assert_mirror_consistent(&self) {
+        for (si, shard) in self.shards.iter().enumerate() {
+            let g = lock(&shard.state);
+            for (i, s) in g.slots.iter().enumerate() {
+                let expect = if s.prev == FREE { MIRROR_VACANT } else { s.key };
+                // Relaxed: test-only read under the shard lock (no
+                // concurrent writer can exist).
+                let got = shard.mirror.keys[i].load(Ordering::Relaxed);
+                assert_eq!(got, expect, "mirror drift in shard {si} slot {i}");
+            }
+        }
+    }
+}
+
+impl Drop for BufferPool {
+    fn drop(&mut self) {
+        // Remove the dropping thread's touch buffer for this pool; its
+        // drop guard absorbs any pending tally. Buffers on other threads
+        // drain at their own exit — the Arc'd counters outlive the pool.
+        touch::forget(self.id);
     }
 }
 
@@ -936,6 +1294,10 @@ mod tests {
                         per_thread as u64,
                         "every access charged exactly once"
                     );
+                    // Scoped threads signal completion before TLS
+                    // destructors run, so flush deferred pool state
+                    // explicitly rather than relying on the drop guard.
+                    p.flush_session();
                 });
             }
         });
@@ -1045,5 +1407,89 @@ mod tests {
             }
         }
         assert_eq!(p.hits() + p.misses(), 20_000);
+    }
+
+    #[test]
+    fn optimistic_hits_keep_counters_and_costs_exact() {
+        let (p, cost) = pool(4);
+        assert_eq!(p.access(pid(0, 0), &cost), Access::Miss);
+        for _ in 0..100 {
+            assert_eq!(p.access(pid(0, 0), &cost), Access::Hit);
+        }
+        assert_eq!(p.hits(), 100, "deferred tallies flushed on read");
+        assert_eq!(p.misses(), 1);
+        assert!(
+            (cost.total() - (1.0 + 100.0 * 0.01)).abs() < 1e-12,
+            "meter charged per access, not per flush"
+        );
+    }
+
+    #[test]
+    fn deferred_tallies_survive_thread_exit_without_a_flush() {
+        let cost = shared_meter(CostConfig::default());
+        let p = Arc::new(BufferPool::new(64, cost));
+        let worker = Arc::clone(&p);
+        let meter = shared_meter(CostConfig::default());
+        let m = Arc::clone(&meter);
+        std::thread::spawn(move || {
+            worker.access(pid(3, 1), &m); // miss
+            for _ in 0..10 {
+                worker.access(pid(3, 1), &m); // optimistic hits, never flushed
+            }
+        })
+        .join()
+        .expect("worker thread");
+        // The worker never read stats; its drop guard absorbed the tally.
+        let stats = p.stats();
+        assert_eq!(stats.hits, 10);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(meter.snapshot().cache_hits, 10);
+    }
+
+    #[test]
+    fn sentinel_page_takes_the_locked_path_correctly() {
+        // (u32::MAX, u32::MAX) packs to the mirror's vacant sentinel; it
+        // must still classify, promote and count exactly.
+        let (p, cost) = pool(2);
+        let weird = pid(u32::MAX, u32::MAX);
+        assert_eq!(p.access(weird, &cost), Access::Miss);
+        assert_eq!(p.access(weird, &cost), Access::Hit);
+        assert!(p.contains(weird));
+        p.access(pid(0, 1), &cost); // weird becomes the LRU entry
+        p.access(pid(0, 2), &cost); // evicts weird
+        assert!(!p.contains(weird));
+        assert_eq!(p.hits(), 1);
+        assert_eq!(p.misses(), 3);
+    }
+
+    #[test]
+    fn mirror_tracks_table_through_evictions_and_clears() {
+        let (p, cost) = pool(5);
+        let mut x: u64 = 7;
+        for step in 0..4_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            p.access(pid((x >> 40) as u32 % 11, (x >> 20) as u32 % 9), &cost);
+            if step % 512 == 0 {
+                p.flush_session();
+                p.assert_mirror_consistent();
+            }
+            if step % 1500 == 0 {
+                p.clear();
+                p.assert_mirror_consistent();
+            }
+        }
+        p.flush_session();
+        p.assert_mirror_consistent();
+    }
+
+    #[test]
+    fn flush_session_is_idempotent() {
+        let (p, cost) = pool(4);
+        p.access(pid(0, 0), &cost);
+        p.access(pid(0, 0), &cost);
+        p.flush_session();
+        p.flush_session();
+        assert_eq!(p.hits(), 1);
+        assert_eq!(p.misses(), 1);
     }
 }

@@ -32,6 +32,7 @@ pub mod reference;
 pub mod rid;
 pub mod schema;
 pub mod temp;
+pub(crate) mod touch;
 pub mod value;
 
 pub use buffer::{

@@ -330,6 +330,11 @@ fn eight_thread_stress_conserves_counters_and_residency() {
                 // this thread misses exactly once per distinct page —
                 // nothing lost, nothing double-faulted.
                 assert_eq!(snap.page_reads, PAGES_PER_THREAD as u64, "thread {t}");
+                // Scoped threads signal completion before TLS destructors
+                // run, so absorb this thread's deferred pool state (hit
+                // tallies + LRU promotions) explicitly before the main
+                // thread reads pool-wide stats.
+                pool.flush_session();
                 total_accesses.fetch_add(accesses, Ordering::Relaxed);
             });
         }
