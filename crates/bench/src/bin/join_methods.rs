@@ -1,0 +1,257 @@
+//! Join-method bench — every method forced to completion, then the
+//! dynamic competition, on three canonical two-table shapes.
+//!
+//! Each shape builds a PARENT/CHILD pair (LCG-generated, fixed seed)
+//! and times each feasible [`rdb_core::JoinMethod`] alone via
+//! [`rdb_core::run_join_method`], then the full race via
+//! [`rdb_core::run_join`]. Reported per run: wall time (best of 3 after
+//! a warm-up pass), cost-meter units, and delivered pairs; pair counts
+//! are cross-checked between every method before anything is timed.
+//!
+//! There is **no gate floor yet** — this binary reports and writes the
+//! machine-readable artifact; a ratio gate (dynamic vs best static) can
+//! ratchet on once a few CI runs establish the noise band.
+//!
+//! Environment knobs:
+//!
+//! * `JOIN_JSON` — path to write the machine-readable report (the
+//!   committed `BENCH_join.json` at the repo root).
+//!
+//! Run: `cargo run --release -p rdb-bench --bin join_methods`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rdb_bench::report::print_table;
+use rdb_btree::BTree;
+use rdb_core::{
+    run_join, run_join_method, JoinConfig, JoinMethod, JoinOp, JoinRequest, JoinSide, RecordPred,
+    SideId, Tracer,
+};
+use rdb_storage::{
+    shared_meter, shared_pool, Column, CostConfig, FileId, HeapTable, Record, Schema, SharedPool,
+    Value, ValueType,
+};
+
+struct Shape {
+    name: &'static str,
+    note: &'static str,
+    left: HeapTable,
+    right: HeapTable,
+    idx_l: BTree,
+    idx_r: BTree,
+    pool: SharedPool,
+    left_residual: Option<(RecordPred, f64)>,
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    *state >> 33
+}
+
+fn build_shape(
+    name: &'static str,
+    note: &'static str,
+    n_parent: u64,
+    n_child: u64,
+    fk: impl Fn(&mut u64) -> i64,
+    left_residual: Option<(RecordPred, f64)>,
+) -> Shape {
+    let pool = shared_pool(200_000, shared_meter(CostConfig::default()));
+    let schema = || {
+        Schema::new(vec![
+            Column::new("K", ValueType::Int),
+            Column::new("V", ValueType::Int),
+        ])
+    };
+    let mut left = HeapTable::with_page_bytes("PARENT", FileId(0), schema(), pool.clone(), 2048);
+    let mut right = HeapTable::with_page_bytes("CHILD", FileId(1), schema(), pool.clone(), 2048);
+    let mut idx_l = BTree::new("IDX_P", FileId(2), pool.clone(), vec![0], 32);
+    let mut idx_r = BTree::new("IDX_C", FileId(3), pool.clone(), vec![0], 32);
+    let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ name.len() as u64;
+    for i in 0..n_parent as i64 {
+        let rid = left
+            .insert(Record::new(vec![Value::Int(i), Value::Int(i % 16)]))
+            .expect("insert parent");
+        idx_l.insert(vec![Value::Int(i)], rid);
+    }
+    for i in 0..n_child as i64 {
+        let k = fk(&mut state);
+        let rid = right
+            .insert(Record::new(vec![Value::Int(k), Value::Int(i % 32)]))
+            .expect("insert child");
+        idx_r.insert(vec![Value::Int(k)], rid);
+    }
+    Shape {
+        name,
+        note,
+        left,
+        right,
+        idx_l,
+        idx_r,
+        pool,
+        left_residual,
+    }
+}
+
+fn shapes() -> Vec<Shape> {
+    vec![
+        build_shape(
+            "pk-fk-uniform",
+            "2k unique parents, 8k children, FK uniform over the parent keys",
+            2_000,
+            8_000,
+            |s| (lcg(s) % 2_000) as i64,
+            None,
+        ),
+        build_shape(
+            "skewed-fk",
+            "2k parents, 8k children, FK quadratically skewed toward low keys",
+            2_000,
+            8_000,
+            |s| {
+                let u = (lcg(s) % 10_000) as f64 / 10_000.0;
+                (u * u * 2_000.0) as i64
+            },
+            None,
+        ),
+        build_shape(
+            "selective-left",
+            "left residual keeps 1/16 of parents before the join",
+            2_000,
+            8_000,
+            |s| (lcg(s) % 2_000) as i64,
+            Some((
+                Arc::new(|r: &Record| r[1] == Value::Int(3)),
+                2_000.0 / 16.0,
+            )),
+        ),
+    ]
+}
+
+impl Shape {
+    fn request(&self) -> JoinRequest<'_> {
+        let mut l = JoinSide::new(&self.left).on_column(0).with_index(&self.idx_l);
+        if let Some((pred, est)) = &self.left_residual {
+            l = l.with_residual(pred.clone(), *est);
+        }
+        let r = JoinSide::new(&self.right).on_column(0).with_index(&self.idx_r);
+        JoinRequest::new(l, r, JoinOp::Eq, self.pool.cost().clone())
+    }
+}
+
+struct Timed {
+    label: String,
+    pairs: usize,
+    cost: f64,
+    best_ns: f64,
+}
+
+fn time_run(label: String, mut run: impl FnMut() -> (usize, f64)) -> Timed {
+    let (pairs, cost) = run(); // warm-up, also the checked answer
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let (p, _) = run();
+        assert_eq!(p, pairs, "{label}: pair count drifted between passes");
+        best = best.min(t.elapsed().as_nanos() as f64);
+    }
+    Timed {
+        label,
+        pairs,
+        cost,
+        best_ns: best,
+    }
+}
+
+fn main() {
+    let cfg = JoinConfig::default();
+    let methods = [
+        JoinMethod::NestedLoop { outer: SideId::Left },
+        JoinMethod::IndexNested { outer: SideId::Left },
+        JoinMethod::IndexNested { outer: SideId::Right },
+        JoinMethod::Hash { build: SideId::Left },
+        JoinMethod::Hash { build: SideId::Right },
+        JoinMethod::Merge,
+    ];
+
+    let mut json_shapes: Vec<String> = Vec::new();
+    for shape in shapes() {
+        let mut runs: Vec<Timed> = Vec::new();
+        for method in methods {
+            runs.push(time_run(method.label(), || {
+                let out = run_join_method(&shape.request(), method, &cfg).expect("forced method");
+                (out.pairs.len(), out.cost)
+            }));
+        }
+        let truth = runs[0].pairs;
+        for r in &runs {
+            assert_eq!(r.pairs, truth, "{}: {} disagrees on pairs", shape.name, r.label);
+        }
+        let mut winner = String::new();
+        runs.push(time_run("dynamic".into(), || {
+            let out =
+                run_join(&shape.request(), &cfg, &Tracer::disabled()).expect("join competition");
+            assert_eq!(out.pairs.len(), truth, "dynamic disagrees on pairs");
+            winner = out.strategy.clone();
+            (out.pairs.len(), out.cost)
+        }));
+
+        println!("shape {} — {}", shape.name, shape.note);
+        let table: Vec<Vec<String>> = runs
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    r.pairs.to_string(),
+                    format!("{:.1}", r.cost),
+                    format!("{:.2}", r.best_ns / 1e6),
+                ]
+            })
+            .collect();
+        print_table(&["method", "pairs", "cost units", "best ms"], &table);
+        println!("dynamic winner: {winner}\n");
+
+        let best_static_cost = runs[..runs.len() - 1]
+            .iter()
+            .map(|r| r.cost)
+            .fold(f64::INFINITY, f64::min);
+        let dynamic = runs.last().expect("dynamic run");
+        let entries: Vec<String> = runs
+            .iter()
+            .map(|r| {
+                format!(
+                    "      {{\"method\": \"{}\", \"pairs\": {}, \"cost_units\": {:.1}, \"best_ms\": {:.3}}}",
+                    r.label,
+                    r.pairs,
+                    r.cost,
+                    r.best_ns / 1e6
+                )
+            })
+            .collect();
+        json_shapes.push(format!(
+            "    {{\n      \"shape\": \"{}\",\n      \"note\": \"{}\",\n      \"winner\": \"{}\",\n      \"dynamic_over_best_static_cost\": {:.2},\n      \"runs\": [\n{}\n      ]\n    }}",
+            shape.name,
+            shape.note,
+            winner,
+            dynamic.cost / best_static_cost,
+            entries.join(",\n")
+        ));
+    }
+
+    if let Ok(path) = std::env::var("JOIN_JSON") {
+        let out = format!(
+            "{{\n  \"bench\": \"crates/bench/src/bin/join_methods.rs\",\n  \
+             \"command\": \"JOIN_JSON=BENCH_join.json cargo run --release -p rdb-bench --bin join_methods\",\n  \
+             \"note\": \"Every join method forced to completion, then the dynamic competition, on \
+             three canonical two-table shapes. Pair counts are cross-checked between all methods \
+             before timing. No gate floor yet: the artifact establishes the baseline; a \
+             dynamic-vs-best-static ratio gate can ratchet on later.\",\n  \"shapes\": [\n{}\n  ]\n}}\n",
+            json_shapes.join(",\n")
+        );
+        std::fs::write(&path, out).expect("write join json");
+        println!("wrote {path}");
+    }
+}

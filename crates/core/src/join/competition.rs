@@ -1,0 +1,608 @@
+//! The join competition: every admitted method races on the proportional
+//! scheduler under the paper's two kill rules, so the dynamic optimizer
+//! picks join method *and* join order per query.
+//!
+//! The race mirrors the single-table two-stage competition exactly:
+//!
+//! 1. **Admission** (planning time, infallible): methods are enumerated
+//!    with closed-form estimates; anything worse than
+//!    [`JoinConfig::admission_ratio`] × the best estimate is pruned
+//!    before spending a single cost unit.
+//! 2. **Race**: admitted candidates interleave in bounded quanta. Each
+//!    candidate's projected total cost is refined from its observed
+//!    spend/progress ratio once it has consumed
+//!    [`JoinConfig::refine_fraction`] of its input; a candidate is killed
+//!    when its projection reaches [`JoinConfig::switch_threshold`] of the
+//!    best surviving projection (the paper's 95% rule), or when its raw
+//!    spend alone reaches [`JoinConfig::scan_spend_limit`] of it (the
+//!    direct criterion). The current best candidate is never killed, so
+//!    the race always terminates with a winner.
+//!
+//! A storage fault kills the faulting candidate and the race continues;
+//! the error only propagates when no candidate remains — so a join under
+//! fault injection either returns exact rows or the injected fault,
+//! never corruption.
+
+use rdb_storage::StorageError;
+
+use crate::jscan::DiscardReason;
+use crate::trace::{RunTrace, TraceEvent, Tracer};
+
+use super::estimate::{enumerate, feasible, method_cost};
+use super::hash::HashJoinScan;
+use super::merge::MergeJoinScan;
+use super::nested::{partial_rids, IndexNestedScan, JoinScan, JoinStepOutcome, NestedLoopScan};
+use super::{
+    CandidateOutcome, JoinCandidateReport, JoinConfig, JoinMethod, JoinRequest, JoinResult,
+};
+
+fn build_scan<'r, 'a>(
+    req: &'r JoinRequest<'a>,
+    method: JoinMethod,
+) -> Result<Box<dyn JoinScan + 'r>, StorageError> {
+    if !feasible(req, method) {
+        return Err(StorageError::Corrupt("infeasible join method"));
+    }
+    Ok(match method {
+        JoinMethod::NestedLoop { outer } => Box::new(NestedLoopScan::new(req, outer)),
+        JoinMethod::IndexNested { outer } => Box::new(IndexNestedScan::new(req, outer)),
+        JoinMethod::Hash { build } => Box::new(HashJoinScan::new(req, build)),
+        JoinMethod::Merge => Box::new(MergeJoinScan::new(req)?),
+    })
+}
+
+/// Runs exactly one join method to completion — the static baseline the
+/// simulation harness differences the competition against. Returns
+/// `Err(StorageError::Corrupt("infeasible join method"))` when the
+/// request's shapes cannot support `method`.
+pub fn run_join_method(
+    req: &JoinRequest<'_>,
+    method: JoinMethod,
+    cfg: &JoinConfig,
+) -> Result<JoinResult, StorageError> {
+    let before = req.cost.total();
+    let mut scan = build_scan(req, method)?;
+    while scan.step(cfg.batch)? == JoinStepOutcome::Progress {}
+    let pairs = scan.take_pairs();
+    let spent = req.cost.total() - before;
+    let partial = pairs.iter().map(|p| (p.left_rid, p.right_rid)).collect();
+    Ok(JoinResult {
+        pairs,
+        cost: spent,
+        strategy: format!("join: {}", method.label()),
+        candidates: vec![JoinCandidateReport {
+            method,
+            estimate: method_cost(req, method, &req.cost.config()),
+            spent,
+            outcome: CandidateOutcome::Won,
+            partial,
+        }],
+    })
+}
+
+/// One racing candidate's book-keeping.
+struct Lane<'r> {
+    method: JoinMethod,
+    estimate: f64,
+    scan: Option<Box<dyn JoinScan + 'r>>,
+    spent: f64,
+    outcome: Option<(CandidateOutcome, Vec<(rdb_storage::Rid, rdb_storage::Rid)>)>,
+    /// Last emitted refinement bucket (quarters of progress), so the
+    /// trace shows each candidate's projection at most 4 times.
+    refine_bucket: u32,
+}
+
+impl Lane<'_> {
+    /// Projected total cost: observed spend extrapolated through observed
+    /// progress once past `refine_fraction`, the planning estimate before.
+    fn projection(&self, refine_fraction: f64) -> f64 {
+        match &self.scan {
+            Some(scan) => {
+                let p = scan.progress();
+                if p >= refine_fraction && self.spent > 0.0 {
+                    self.spent / p.min(1.0)
+                } else {
+                    self.estimate
+                }
+            }
+            None => self.estimate,
+        }
+    }
+}
+
+/// Races every admitted join method and returns the winner's pairs.
+///
+/// Trace contract: per-candidate [`TraceEvent::JoinCandidate`] estimates,
+/// one [`TraceEvent::JoinStart`], refinements/kills as they happen, then
+/// [`TraceEvent::PhaseCost`] events tiling the run, a
+/// [`TraceEvent::PoolDelta`], and exactly one [`TraceEvent::Winner`]
+/// naming the winning method — the same envelope the single-table
+/// optimizer emits, so `EXPLAIN ANALYZE` renders joins unchanged.
+pub fn run_join(
+    req: &JoinRequest<'_>,
+    cfg: &JoinConfig,
+    tracer: &Tracer,
+) -> Result<JoinResult, StorageError> {
+    let cost_cfg = req.cost.config();
+    let estimates = enumerate(req, &cost_cfg);
+    debug_assert!(!estimates.is_empty(), "nested loop is always feasible");
+    for e in &estimates {
+        tracer.emit_with(|| TraceEvent::JoinCandidate {
+            method: e.method.label(),
+            estimate: e.cost,
+        });
+    }
+    let best_est = estimates.first().map(|e| e.cost).unwrap_or(0.0);
+
+    let mut lanes: Vec<Lane<'_>> = Vec::with_capacity(estimates.len());
+    let mut reports: Vec<JoinCandidateReport> = Vec::new();
+    for e in &estimates {
+        if e.cost > cfg.admission_ratio * best_est.max(f64::MIN_POSITIVE) {
+            // Pruned at planning time: hopeless against the best estimate.
+            tracer.emit_with(|| TraceEvent::JoinKilled {
+                method: e.method.label(),
+                reason: DiscardReason::ProjectedCost,
+                spent: 0.0,
+                guaranteed_best: best_est,
+            });
+            reports.push(JoinCandidateReport {
+                method: e.method,
+                estimate: e.cost,
+                spent: 0.0,
+                outcome: CandidateOutcome::Killed(DiscardReason::ProjectedCost),
+                partial: Vec::new(),
+            });
+            continue;
+        }
+        lanes.push(Lane {
+            method: e.method,
+            estimate: e.cost,
+            scan: Some(build_scan(req, e.method)?),
+            spent: 0.0,
+            outcome: None,
+            refine_bucket: 0,
+        });
+    }
+    let admitted = lanes.len();
+    tracer.emit_with(|| TraceEvent::JoinStart {
+        candidates: estimates.len(),
+        admitted,
+        guaranteed_best: best_est,
+    });
+
+    let meter = &req.cost;
+    let cost_before = meter.total();
+    let pool_before = req.left.table.pool().stats();
+    let mut rt = RunTrace::start(tracer, meter);
+
+    let mut sched = rdb_competition::ProportionalScheduler::new(vec![1.0; admitted]);
+    let mut winner: Option<usize> = None;
+    let mut last_fault: Option<StorageError> = None;
+
+    while let Some(i) = sched.next() {
+        let lane_spent_before = meter.total();
+        let step = lanes[i]
+            .scan
+            .as_mut()
+            .map(|s| s.step(cfg.batch))
+            .unwrap_or(Ok(JoinStepOutcome::Done));
+        lanes[i].spent += meter.total() - lane_spent_before;
+        rt.phase(lanes[i].method.phase());
+        match step {
+            Err(e) => {
+                // The faulting candidate dies; the race survives it as
+                // long as anyone else is still running.
+                sched.deactivate(i);
+                let partial = lanes[i]
+                    .scan
+                    .as_deref()
+                    .map(partial_rids)
+                    .unwrap_or_default();
+                let spent = lanes[i].spent;
+                tracer.emit_with(|| TraceEvent::JoinKilled {
+                    method: lanes[i].method.label(),
+                    reason: DiscardReason::StorageFault,
+                    spent,
+                    guaranteed_best: best_est,
+                });
+                lanes[i].outcome =
+                    Some((CandidateOutcome::Killed(DiscardReason::StorageFault), partial));
+                lanes[i].scan = None;
+                if sched.active_count() == 0 {
+                    return Err(last_fault.unwrap_or(e));
+                }
+                last_fault = Some(e);
+                continue;
+            }
+            Ok(JoinStepOutcome::Done) => {
+                winner = Some(i);
+                break;
+            }
+            Ok(JoinStepOutcome::Progress) => {}
+        }
+
+        // Projection refinement + kill rules over the surviving field.
+        let projections: Vec<(usize, f64)> = (0..lanes.len())
+            .filter(|&j| sched.is_active(j))
+            .map(|j| (j, lanes[j].projection(cfg.refine_fraction)))
+            .collect();
+        if projections.len() < 2 {
+            continue;
+        }
+        // Emit a refinement event when this lane crossed a progress
+        // quarter (bounded trace volume per candidate).
+        if tracer.enabled() {
+            if let Some(scan) = lanes[i].scan.as_deref() {
+                let progress = scan.progress();
+                let bucket = (progress * 4.0).floor() as u32;
+                if bucket > lanes[i].refine_bucket {
+                    lanes[i].refine_bucket = bucket;
+                    let proj = lanes[i].projection(cfg.refine_fraction);
+                    let best_other = projections
+                        .iter()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, p)| *p)
+                        .fold(f64::INFINITY, f64::min);
+                    tracer.emit_with(|| TraceEvent::JoinRefined {
+                        method: lanes[i].method.label(),
+                        progress,
+                        projected_cost: proj,
+                        guaranteed_best: best_other.min(proj),
+                    });
+                }
+            }
+        }
+        let argmin = projections
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(j, _)| *j);
+        for &(j, proj) in &projections {
+            if Some(j) == argmin || sched.active_count() <= 1 {
+                continue;
+            }
+            let g = projections
+                .iter()
+                .filter(|(k, _)| *k != j)
+                .map(|(_, p)| *p)
+                .fold(f64::INFINITY, f64::min);
+            let refined = lanes[j]
+                .scan
+                .as_deref()
+                .map(|s| s.progress() >= cfg.refine_fraction)
+                .unwrap_or(false);
+            let reason = if refined && proj >= cfg.switch_threshold * g {
+                Some(DiscardReason::ProjectedCost)
+            } else if lanes[j].spent >= cfg.scan_spend_limit * g.max(1.0) {
+                Some(DiscardReason::ScanSpend)
+            } else {
+                None
+            };
+            let Some(reason) = reason else { continue };
+            sched.deactivate(j);
+            let partial = lanes[j]
+                .scan
+                .as_deref()
+                .map(partial_rids)
+                .unwrap_or_default();
+            let spent = lanes[j].spent;
+            tracer.emit_with(|| TraceEvent::JoinKilled {
+                method: lanes[j].method.label(),
+                reason,
+                spent,
+                guaranteed_best: g,
+            });
+            lanes[j].outcome = Some((CandidateOutcome::Killed(reason), partial));
+            lanes[j].scan = None;
+        }
+    }
+
+    let Some(w) = winner else {
+        // The scheduler ran dry without a finisher: every lane died on a
+        // fault (kill rules always spare the best lane).
+        return Err(last_fault.unwrap_or(StorageError::Corrupt("join race had no winner")));
+    };
+
+    let mut pairs = Vec::new();
+    let method = lanes[w].method;
+    for (j, lane) in lanes.iter_mut().enumerate() {
+        let (outcome, partial) = if j == w {
+            let scan = lane.scan.as_mut();
+            let won = scan.map(|s| s.take_pairs()).unwrap_or_default();
+            let rids = won.iter().map(|p| (p.left_rid, p.right_rid)).collect();
+            pairs = won;
+            (CandidateOutcome::Won, rids)
+        } else {
+            match lane.outcome.take() {
+                Some(done) => done,
+                None => (
+                    CandidateOutcome::Lost,
+                    lane.scan.as_deref().map(partial_rids).unwrap_or_default(),
+                ),
+            }
+        };
+        reports.push(JoinCandidateReport {
+            method: lane.method,
+            estimate: lane.estimate,
+            spent: lane.spent,
+            outcome,
+            partial,
+        });
+    }
+
+    rt.finish();
+    let total = meter.total() - cost_before;
+    if tracer.enabled() {
+        let delta = req.left.table.pool().stats().since(&pool_before);
+        tracer.emit_with(|| TraceEvent::PoolDelta {
+            hits: delta.hits,
+            misses: delta.misses,
+        });
+    }
+    let strategy = format!("join: {}", method.label());
+    tracer.emit_with(|| TraceEvent::Winner {
+        strategy: strategy.clone(),
+        cost: total,
+        rows: pairs.len(),
+    });
+    Ok(JoinResult {
+        pairs,
+        cost: total,
+        strategy,
+        candidates: reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use rdb_btree::BTree;
+    use rdb_storage::{
+        shared_meter, shared_pool, Column, CostConfig, FileId, HeapTable, Record, Rid, Schema,
+        SharedPool, Value, ValueType,
+    };
+
+    use super::super::{JoinOp, JoinRequest, JoinSide, SideId};
+    use super::*;
+
+    struct World {
+        pool: SharedPool,
+        left: HeapTable,
+        right: HeapTable,
+        right_idx: BTree,
+        left_rows: Vec<(Rid, Vec<Value>)>,
+        right_rows: Vec<(Rid, Vec<Value>)>,
+    }
+
+    /// L(ID, V) with serial IDs; R(FK, X) with FK = i % 7 (every FK value
+    /// matches several left IDs below 7, none at or above).
+    fn world(l_rows: i64, r_rows: i64) -> World {
+        let pool = shared_pool(10_000, shared_meter(CostConfig::default()));
+        let mut left = HeapTable::with_page_bytes(
+            "L",
+            FileId(0),
+            Schema::new(vec![
+                Column::new("ID", ValueType::Int),
+                Column::new("V", ValueType::Int),
+            ]),
+            pool.clone(),
+            256,
+        );
+        let mut right = HeapTable::with_page_bytes(
+            "R",
+            FileId(1),
+            Schema::new(vec![
+                Column::new("FK", ValueType::Int),
+                Column::new("X", ValueType::Int),
+            ]),
+            pool.clone(),
+            256,
+        );
+        let mut right_idx = BTree::new("IDX_R_FK", FileId(2), pool.clone(), vec![0], 16);
+        let mut left_rows = Vec::new();
+        for i in 0..l_rows {
+            let row = vec![Value::Int(i), Value::Int(i * 10)];
+            let rid = left.insert(Record::new(row.clone())).unwrap();
+            left_rows.push((rid, row));
+        }
+        let mut right_rows = Vec::new();
+        for i in 0..r_rows {
+            let row = vec![Value::Int(i % 7), Value::Int(i)];
+            let rid = right.insert(Record::new(row.clone())).unwrap();
+            right_idx.insert(vec![row[0].clone()], rid);
+            right_rows.push((rid, row));
+        }
+        World {
+            pool,
+            left,
+            right,
+            right_idx,
+            left_rows,
+            right_rows,
+        }
+    }
+
+    fn oracle(w: &World, op: JoinOp) -> Vec<(Rid, Rid)> {
+        let mut out = Vec::new();
+        for (lrid, l) in &w.left_rows {
+            for (rrid, r) in &w.right_rows {
+                if op.eval(&l[0], &r[0]) {
+                    out.push((*lrid, *rrid));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn sorted_rids(result: &super::super::JoinResult) -> Vec<(Rid, Rid)> {
+        let mut v: Vec<(Rid, Rid)> = result
+            .pairs
+            .iter()
+            .map(|p| (p.left_rid, p.right_rid))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn request<'a>(w: &'a World, op: JoinOp) -> JoinRequest<'a> {
+        JoinRequest::new(
+            JoinSide::new(&w.left).on_column(0),
+            JoinSide::new(&w.right).on_column(0).with_index(&w.right_idx),
+            op,
+            w.pool.cost().clone(),
+        )
+    }
+
+    #[test]
+    fn every_method_matches_the_naive_oracle() {
+        let w = world(40, 60);
+        let expected = oracle(&w, JoinOp::Eq);
+        assert!(!expected.is_empty());
+        for method in [
+            JoinMethod::NestedLoop { outer: SideId::Left },
+            JoinMethod::NestedLoop { outer: SideId::Right },
+            JoinMethod::IndexNested { outer: SideId::Left },
+            JoinMethod::Hash { build: SideId::Left },
+            JoinMethod::Hash { build: SideId::Right },
+        ] {
+            let req = request(&w, JoinOp::Eq);
+            let result = run_join_method(&req, method, &JoinConfig::default()).unwrap();
+            assert_eq!(sorted_rids(&result), expected, "{method}");
+        }
+    }
+
+    #[test]
+    fn inequality_join_through_the_index_probe() {
+        let w = world(10, 20);
+        for op in [JoinOp::Lt, JoinOp::Ge, JoinOp::Ne] {
+            let expected = oracle(&w, op);
+            let req = request(&w, op);
+            let result =
+                run_join_method(&req, JoinMethod::IndexNested { outer: SideId::Left }, &JoinConfig::default())
+                    .unwrap();
+            assert_eq!(sorted_rids(&result), expected, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn competition_wins_with_the_oracle_row_set_and_reports_candidates() {
+        let w = world(40, 60);
+        let expected = oracle(&w, JoinOp::Eq);
+        let req = request(&w, JoinOp::Eq);
+        let result = run_join(&req, &JoinConfig::default(), &Tracer::disabled()).unwrap();
+        assert_eq!(sorted_rids(&result), expected);
+        assert!(result.strategy.starts_with("join: "));
+        // Exactly one winner; every killed/losing candidate's partial
+        // pairs are contained in the true result.
+        let winners = result
+            .candidates
+            .iter()
+            .filter(|c| c.outcome == CandidateOutcome::Won)
+            .count();
+        assert_eq!(winners, 1);
+        for cand in &result.candidates {
+            for pair in &cand.partial {
+                assert!(
+                    expected.binary_search(pair).is_ok(),
+                    "{} produced a pair outside the join result",
+                    cand.method
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residuals_and_pair_filters_restrict_the_result() {
+        let w = world(40, 60);
+        let req = JoinRequest::new(
+            JoinSide::new(&w.left)
+                .on_column(0)
+                .with_residual(Arc::new(|r: &Record| r[0] >= Value::Int(3)), 37.0),
+            JoinSide::new(&w.right).on_column(0).with_index(&w.right_idx),
+            JoinOp::Eq,
+            w.pool.cost().clone(),
+        )
+        .with_pair_filter(Arc::new(|l: &Record, r: &Record| l[1] != r[1]));
+        let result = run_join(&req, &JoinConfig::default(), &Tracer::disabled()).unwrap();
+        let expected: Vec<(Rid, Rid)> = {
+            let mut v: Vec<(Rid, Rid)> = w
+                .left_rows
+                .iter()
+                .filter(|(_, l)| l[0] >= Value::Int(3))
+                .flat_map(|(lrid, l)| {
+                    w.right_rows
+                        .iter()
+                        .filter(move |(_, r)| l[0] == r[0] && l[1] != r[1])
+                        .map(move |(rrid, _)| (*lrid, *rrid))
+                })
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted_rids(&result), expected);
+    }
+
+    #[test]
+    fn limit_caps_the_pair_count() {
+        let w = world(40, 60);
+        let req = request(&w, JoinOp::Eq).with_limit(Some(5));
+        let result = run_join(&req, &JoinConfig::default(), &Tracer::disabled()).unwrap();
+        assert_eq!(result.pairs.len(), 5);
+        let expected = oracle(&w, JoinOp::Eq);
+        for p in sorted_rids(&result) {
+            assert!(expected.binary_search(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_sides_join_to_empty() {
+        let w = world(0, 20);
+        let req = request(&w, JoinOp::Eq);
+        let result = run_join(&req, &JoinConfig::default(), &Tracer::disabled()).unwrap();
+        assert!(result.pairs.is_empty());
+        let w = world(20, 0);
+        let req = request(&w, JoinOp::Eq);
+        let result = run_join(&req, &JoinConfig::default(), &Tracer::disabled()).unwrap();
+        assert!(result.pairs.is_empty());
+    }
+
+    #[test]
+    fn infeasible_method_is_a_typed_error() {
+        let w = world(5, 5);
+        let req = request(&w, JoinOp::Lt);
+        let err = run_join_method(&req, JoinMethod::Merge, &JoinConfig::default()).unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt(_)));
+    }
+
+    #[test]
+    fn trace_phases_tile_the_join_run() {
+        let w = world(40, 60);
+        let req = request(&w, JoinOp::Eq);
+        let buffer = crate::trace::TraceBuffer::shared(4096);
+        let tracer = Tracer::new(buffer.clone());
+        let result = run_join(&req, &JoinConfig::default(), &tracer).unwrap();
+        let events = buffer.take();
+        let phase_sum: f64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::PhaseCost { cost, .. } => Some(*cost),
+                _ => None,
+            })
+            .sum();
+        let eps = 1e-6 * result.cost.max(1.0);
+        assert!(
+            (phase_sum - result.cost).abs() < eps,
+            "phases {phase_sum} vs total {}",
+            result.cost
+        );
+        let winners: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Winner { .. }))
+            .collect();
+        assert_eq!(winners.len(), 1);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::JoinStart { .. })));
+    }
+}

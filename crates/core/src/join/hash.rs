@@ -1,0 +1,144 @@
+//! Build/probe hash join, spill-free: the build side streams through the
+//! buffer pool into an in-memory bucket arena keyed by the canonical
+//! join-key hash; the probe side then streams once, probing the arena.
+//!
+//! Equality is decided by [`Value`](rdb_storage::Value)'s `Ord` (`cmp == Equal`), never by
+//! the hash alone — [`super::join_key_hash`] is consistent with that
+//! order (Int/Float coerce identically), so a bucket hit is a candidate,
+//! not a match. NULL join keys are skipped on both sides, matching SQL
+//! semantics.
+
+use std::collections::HashMap;
+
+use rdb_storage::{HeapScan, Record, Rid, StorageError};
+
+use super::nested::{orient, pair_matches, JoinScan, JoinStepOutcome};
+use super::{join_key_hash, JoinPair, JoinRequest, JoinSide, SideId};
+
+enum Phase {
+    /// Streaming the build side into the arena.
+    Build(HeapScan),
+    /// Streaming the probe side against the arena.
+    Probe(HeapScan),
+    Done,
+}
+
+/// The hash-join candidate. `build` names the side held in memory.
+pub struct HashJoinScan<'a, 'r> {
+    req: &'r JoinRequest<'a>,
+    build: SideId,
+    phase: Phase,
+    /// Arena of build rows that passed the residual and have a non-NULL
+    /// join key.
+    arena: Vec<(Rid, Record)>,
+    /// Canonical-hash buckets into the arena.
+    buckets: HashMap<u64, Vec<u32>>,
+    pairs: Vec<JoinPair>,
+}
+
+impl<'a, 'r> HashJoinScan<'a, 'r> {
+    /// A hash join building on `build`. Requires an equi-join; callers
+    /// check [`super::estimate::feasible`].
+    pub fn new(req: &'r JoinRequest<'a>, build: SideId) -> Self {
+        let scan = side(req, build).table.scan();
+        HashJoinScan {
+            req,
+            build,
+            phase: Phase::Build(scan),
+            arena: Vec::new(),
+            buckets: HashMap::new(),
+            pairs: Vec::new(),
+        }
+    }
+}
+
+fn side<'r, 'a>(req: &'r JoinRequest<'a>, id: SideId) -> &'r JoinSide<'a> {
+    match id {
+        SideId::Left => &req.left,
+        SideId::Right => &req.right,
+    }
+}
+
+impl JoinScan for HashJoinScan<'_, '_> {
+    fn step(&mut self, batch: usize) -> Result<JoinStepOutcome, StorageError> {
+        let b = side(self.req, self.build);
+        let p = side(self.req, self.build.other());
+        let cost = &self.req.cost;
+        let limit = self.req.limit_or_max();
+        for _ in 0..batch.max(1) {
+            if self.pairs.len() >= limit {
+                self.phase = Phase::Done;
+                return Ok(JoinStepOutcome::Done);
+            }
+            match &mut self.phase {
+                Phase::Build(scan) => match scan.next(b.table, cost)? {
+                    None => {
+                        self.phase = Phase::Probe(p.table.scan());
+                    }
+                    Some((rid, rec)) => {
+                        let key = &rec[b.join_col];
+                        if !key.is_null() && (b.residual)(&rec) {
+                            let h = join_key_hash(key);
+                            let slot = self.arena.len() as u32;
+                            self.arena.push((rid, rec));
+                            self.buckets.entry(h).or_default().push(slot);
+                        }
+                    }
+                },
+                Phase::Probe(scan) => match scan.next(p.table, cost)? {
+                    None => {
+                        self.phase = Phase::Done;
+                        return Ok(JoinStepOutcome::Done);
+                    }
+                    Some((prid, prec)) => {
+                        let key = &prec[p.join_col];
+                        if key.is_null() || !(p.residual)(&prec) {
+                            continue;
+                        }
+                        let Some(bucket) = self.buckets.get(&join_key_hash(key)) else {
+                            continue;
+                        };
+                        for &slot in bucket {
+                            let (brid, brec) = &self.arena[slot as usize];
+                            // Bucket hits are candidates; the pair check
+                            // re-verifies true equality plus any extra
+                            // pair filter.
+                            let pair =
+                                orient(self.build, *brid, brec.clone(), prid, prec.clone());
+                            if pair_matches(self.req, &pair.left, &pair.right) {
+                                self.pairs.push(pair);
+                                if self.pairs.len() >= limit {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                },
+                Phase::Done => return Ok(JoinStepOutcome::Done),
+            }
+        }
+        Ok(JoinStepOutcome::Progress)
+    }
+
+    fn progress(&self) -> f64 {
+        let b = side(self.req, self.build);
+        let p = side(self.req, self.build.other());
+        // Both sides stream exactly once: weight each by its page share.
+        let bp = b.table.page_count().max(1) as f64;
+        let pp = p.table.page_count().max(1) as f64;
+        let total = bp + pp;
+        match &self.phase {
+            Phase::Build(scan) => scan.progress(b.table) * bp / total,
+            Phase::Probe(scan) => (bp + scan.progress(p.table) * pp) / total,
+            Phase::Done => 1.0,
+        }
+    }
+
+    fn pairs(&self) -> &[JoinPair] {
+        &self.pairs
+    }
+
+    fn take_pairs(&mut self) -> Vec<JoinPair> {
+        std::mem::take(&mut self.pairs)
+    }
+}

@@ -1,0 +1,316 @@
+//! Nested-loop join candidates: the naive rescan loop (always feasible,
+//! the competition's guaranteed fallback) and the index-nested-loop
+//! variant that probes the inner side's join-column B-tree per outer row.
+//!
+//! Both are resumable: [`JoinScan::step`] consumes a bounded batch of
+//! work units (rows examined) and returns, so the competition can
+//! interleave candidates on the proportional scheduler exactly as Jscan
+//! interleaves index scans. All storage access is fallible (rdb-lint
+//! F002); a fault surfaces as `Err` and the competition decides whether
+//! to absorb it.
+
+use rdb_btree::{KeyBound, KeyRange, RangeScan};
+use rdb_storage::{HeapScan, Record, Rid, StorageError};
+
+use super::{JoinOp, JoinPair, JoinRequest, JoinSide, SideId};
+
+/// Outcome of one scheduling quantum of a join candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStepOutcome {
+    /// More work remains.
+    Progress,
+    /// The candidate has produced its complete pair set (or reached the
+    /// request limit).
+    Done,
+}
+
+/// The resumable-candidate contract shared by every join method.
+pub trait JoinScan {
+    /// Runs up to `batch` work units. Fallible: storage faults propagate.
+    fn step(&mut self, batch: usize) -> Result<JoinStepOutcome, StorageError>;
+
+    /// Fraction of this candidate's input consumed, in `[0, 1]` — the
+    /// denominator of the competition's cost projection.
+    fn progress(&self) -> f64;
+
+    /// Pairs produced so far (delivery order).
+    fn pairs(&self) -> &[JoinPair];
+
+    /// Takes ownership of the produced pairs (winner path).
+    fn take_pairs(&mut self) -> Vec<JoinPair>;
+}
+
+/// RID pairs of everything a candidate produced — the containment
+/// contract's view of partial work.
+pub fn partial_rids(scan: &dyn JoinScan) -> Vec<(Rid, Rid)> {
+    scan.pairs()
+        .iter()
+        .map(|p| (p.left_rid, p.right_rid))
+        .collect()
+}
+
+/// Evaluates the full pair predicate: driving comparison on the join
+/// columns plus the optional extra pair filter. Both records must already
+/// have passed their side residuals.
+pub(crate) fn pair_matches(req: &JoinRequest<'_>, left: &Record, right: &Record) -> bool {
+    if !req.op.eval(&left[req.left.join_col], &right[req.right.join_col]) {
+        return false;
+    }
+    match &req.pair_filter {
+        Some(f) => f(left, right),
+        None => true,
+    }
+}
+
+/// Orients an outer-row record into a (left, right) pair with an inner
+/// record, preserving the request's side labels.
+pub(crate) fn orient(
+    outer: SideId,
+    outer_rid: Rid,
+    outer_rec: Record,
+    inner_rid: Rid,
+    inner_rec: Record,
+) -> JoinPair {
+    match outer {
+        SideId::Left => JoinPair {
+            left_rid: outer_rid,
+            right_rid: inner_rid,
+            left: outer_rec,
+            right: inner_rec,
+        },
+        SideId::Right => JoinPair {
+            left_rid: inner_rid,
+            right_rid: outer_rid,
+            left: inner_rec,
+            right: outer_rec,
+        },
+    }
+}
+
+/// Naive nested loop: full outer scan, full inner rescan per surviving
+/// outer row. Never needs an index, never needs an equi-join — this is
+/// the candidate that guarantees the competition always terminates with
+/// a correct answer.
+pub struct NestedLoopScan<'a, 'r> {
+    req: &'r JoinRequest<'a>,
+    outer: SideId,
+    outer_scan: HeapScan,
+    /// Current surviving outer row, with its inner rescan cursor.
+    current: Option<(Rid, Record, HeapScan)>,
+    pairs: Vec<JoinPair>,
+    done: bool,
+}
+
+impl<'a, 'r> NestedLoopScan<'a, 'r> {
+    /// A nested loop driven by `outer`.
+    pub fn new(req: &'r JoinRequest<'a>, outer: SideId) -> Self {
+        let outer_scan = outer_side(req, outer).table.scan();
+        NestedLoopScan {
+            req,
+            outer,
+            outer_scan,
+            current: None,
+            pairs: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+fn outer_side<'r, 'a>(req: &'r JoinRequest<'a>, outer: SideId) -> &'r JoinSide<'a> {
+    match outer {
+        SideId::Left => &req.left,
+        SideId::Right => &req.right,
+    }
+}
+
+impl JoinScan for NestedLoopScan<'_, '_> {
+    fn step(&mut self, batch: usize) -> Result<JoinStepOutcome, StorageError> {
+        if self.done {
+            return Ok(JoinStepOutcome::Done);
+        }
+        let o = outer_side(self.req, self.outer);
+        let i = outer_side(self.req, self.outer.other());
+        let cost = &self.req.cost;
+        let limit = self.req.limit_or_max();
+        for _ in 0..batch.max(1) {
+            if self.pairs.len() >= limit {
+                self.done = true;
+                return Ok(JoinStepOutcome::Done);
+            }
+            match &mut self.current {
+                None => match self.outer_scan.next(o.table, cost)? {
+                    None => {
+                        self.done = true;
+                        return Ok(JoinStepOutcome::Done);
+                    }
+                    Some((rid, rec)) => {
+                        if (o.residual)(&rec) {
+                            self.current = Some((rid, rec, i.table.scan()));
+                        }
+                    }
+                },
+                Some((orid, orec, inner)) => match inner.next(i.table, cost)? {
+                    None => {
+                        self.current = None;
+                    }
+                    Some((irid, irec)) => {
+                        if (i.residual)(&irec) {
+                            let pair = orient(self.outer, *orid, orec.clone(), irid, irec);
+                            if pair_matches(self.req, &pair.left, &pair.right) {
+                                self.pairs.push(pair);
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        Ok(JoinStepOutcome::Progress)
+    }
+
+    fn progress(&self) -> f64 {
+        let o = outer_side(self.req, self.outer);
+        let i = outer_side(self.req, self.outer.other());
+        let outer_pages = o.table.page_count().max(1) as f64;
+        let inner = self
+            .current
+            .as_ref()
+            .map(|(_, _, s)| s.progress(i.table))
+            .unwrap_or(0.0);
+        (self.outer_scan.progress(o.table) + inner / outer_pages).min(1.0)
+    }
+
+    fn pairs(&self) -> &[JoinPair] {
+        &self.pairs
+    }
+
+    fn take_pairs(&mut self) -> Vec<JoinPair> {
+        std::mem::take(&mut self.pairs)
+    }
+}
+
+/// The index probe range on the inner side's join column for one outer
+/// value `v`: all inner keys `x` with `v VIEW x`, where `VIEW` is the
+/// request operator seen from the outer side.
+pub(crate) fn probe_range(view: JoinOp, v: &rdb_storage::Value) -> KeyRange {
+    match view {
+        JoinOp::Eq => KeyRange::eq(v.clone()),
+        JoinOp::Ne => KeyRange::all(),
+        // v < x  ⇒  x ∈ (v, ∞)
+        JoinOp::Lt => KeyRange {
+            lo: KeyBound::exclusive(v.clone()),
+            hi: KeyBound::Unbounded,
+        },
+        // v <= x  ⇒  x ∈ [v, ∞)
+        JoinOp::Le => KeyRange::at_least(v.clone()),
+        // v > x  ⇒  x ∈ (-∞, v)
+        JoinOp::Gt => KeyRange {
+            lo: KeyBound::Unbounded,
+            hi: KeyBound::exclusive(v.clone()),
+        },
+        // v >= x  ⇒  x ∈ (-∞, v]
+        JoinOp::Ge => KeyRange::at_most(v.clone()),
+    }
+}
+
+/// Index nested loop (dumbdb's `IndexJoinScan` shape, rebuilt on the
+/// fallibility split): the outer heap scan drives; each surviving outer
+/// row descends the inner side's join-column B-tree for its probe range
+/// and fetches the matching inner rows. Every delivered pair is
+/// re-verified against the actual record values — the index is an
+/// accelerator, never the source of truth.
+pub struct IndexNestedScan<'a, 'r> {
+    req: &'r JoinRequest<'a>,
+    outer: SideId,
+    /// The operator as seen from the outer side (`v VIEW inner_key`).
+    view: JoinOp,
+    outer_scan: HeapScan,
+    /// Current surviving outer row and its in-flight index probe.
+    current: Option<(Rid, Record, RangeScan)>,
+    pairs: Vec<JoinPair>,
+    done: bool,
+}
+
+impl<'a, 'r> IndexNestedScan<'a, 'r> {
+    /// An index nested loop driven by `outer`. The inner side must carry
+    /// a join-column index; callers check [`super::estimate::feasible`].
+    pub fn new(req: &'r JoinRequest<'a>, outer: SideId) -> Self {
+        let view = match outer {
+            SideId::Left => req.op,
+            SideId::Right => req.op.flip(),
+        };
+        IndexNestedScan {
+            req,
+            outer,
+            view,
+            outer_scan: outer_side(req, outer).table.scan(),
+            current: None,
+            pairs: Vec::new(),
+            done: false,
+        }
+    }
+}
+
+impl JoinScan for IndexNestedScan<'_, '_> {
+    fn step(&mut self, batch: usize) -> Result<JoinStepOutcome, StorageError> {
+        if self.done {
+            return Ok(JoinStepOutcome::Done);
+        }
+        let o = outer_side(self.req, self.outer);
+        let i = outer_side(self.req, self.outer.other());
+        let tree = i
+            .join_index
+            .ok_or(StorageError::Corrupt("index-nested-loop without inner index"))?;
+        let cost = &self.req.cost;
+        let limit = self.req.limit_or_max();
+        for _ in 0..batch.max(1) {
+            if self.pairs.len() >= limit {
+                self.done = true;
+                return Ok(JoinStepOutcome::Done);
+            }
+            match &mut self.current {
+                None => match self.outer_scan.next(o.table, cost)? {
+                    None => {
+                        self.done = true;
+                        return Ok(JoinStepOutcome::Done);
+                    }
+                    Some((rid, rec)) => {
+                        let v = &rec[o.join_col];
+                        // NULL never joins; skip the probe entirely.
+                        if !v.is_null() && (o.residual)(&rec) {
+                            let probe = tree.range_scan(probe_range(self.view, v), cost);
+                            self.current = Some((rid, rec, probe));
+                        }
+                    }
+                },
+                Some((orid, orec, probe)) => match probe.next(tree, cost)? {
+                    None => {
+                        self.current = None;
+                    }
+                    Some((_key, irid)) => {
+                        let irec = i.table.fetch(irid, cost)?;
+                        if (i.residual)(&irec) {
+                            let pair = orient(self.outer, *orid, orec.clone(), irid, irec);
+                            if pair_matches(self.req, &pair.left, &pair.right) {
+                                self.pairs.push(pair);
+                            }
+                        }
+                    }
+                },
+            }
+        }
+        Ok(JoinStepOutcome::Progress)
+    }
+
+    fn progress(&self) -> f64 {
+        let o = outer_side(self.req, self.outer);
+        self.outer_scan.progress(o.table)
+    }
+
+    fn pairs(&self) -> &[JoinPair] {
+        &self.pairs
+    }
+
+    fn take_pairs(&mut self) -> Vec<JoinPair> {
+        std::mem::take(&mut self.pairs)
+    }
+}

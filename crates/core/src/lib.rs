@@ -29,12 +29,17 @@
 //! * The **baselines** the paper argues against ([`baseline`]): a
 //!   Selinger-style static optimizer and the statically-thresholded
 //!   multi-index scan of Mohan et al. \[MoHa90\].
+//! * The **join layer** ([`join`]): two-table retrieval as a competition
+//!   arena — nested-loop, index-nested-loop, hash, and Jscan-style
+//!   RID-intersection joins raced under the same kill rules, applying
+//!   Section 2's JOIN selectivity transformation at planning time.
 
 pub mod baseline;
 pub mod dynamic;
 pub mod filter;
 pub mod fscan;
 pub mod initial;
+pub mod join;
 pub mod jscan;
 pub mod parallel;
 pub mod request;
@@ -52,6 +57,12 @@ pub use dynamic::{
 pub use filter::Filter;
 pub use fscan::Fscan;
 pub use initial::{InitialPlan, InitialStage, ShortcutKind};
+pub use join::competition::{run_join, run_join_method};
+pub use join::nested::{JoinScan, JoinStepOutcome};
+pub use join::{
+    CandidateOutcome, JoinCandidateReport, JoinConfig, JoinMethod, JoinOp, JoinPair, JoinRequest,
+    JoinResult, JoinSide, PairPred, SideId,
+};
 pub use jscan::{DiscardReason, Jscan, JscanConfig, JscanEvent, JscanIndex, JscanOutcome};
 pub use request::{
     Delivery, DeliveryObserver, IndexChoice, KeyPred, OptimizeGoal, RecordPred, RetrievalRequest,

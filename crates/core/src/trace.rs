@@ -152,6 +152,47 @@ pub enum TraceEvent {
         /// Rows delivered.
         rows: usize,
     },
+    /// One candidate join method with its planning-time cost estimate,
+    /// in competition (ascending-cost) order.
+    JoinCandidate {
+        /// Method label, e.g. `"hash(build=left)"`.
+        method: String,
+        /// Estimated total cost if this method runs alone.
+        estimate: f64,
+    },
+    /// The join competition started.
+    JoinStart {
+        /// Feasible join methods enumerated.
+        candidates: usize,
+        /// Methods admitted into the race (the rest were pruned at
+        /// planning time as hopeless).
+        admitted: usize,
+        /// The cheapest candidate estimate — the initial guaranteed best.
+        guaranteed_best: f64,
+    },
+    /// An active join candidate refined its projected cost from observed
+    /// progress (the two-stage estimation applied to joins).
+    JoinRefined {
+        /// Method whose projection moved.
+        method: String,
+        /// Fraction of the candidate's input consumed, in `[0, 1]`.
+        progress: f64,
+        /// Projected total cost if this candidate is allowed to finish.
+        projected_cost: f64,
+        /// Guaranteed best it competes against.
+        guaranteed_best: f64,
+    },
+    /// A join candidate lost the competition and was killed.
+    JoinKilled {
+        /// Method that lost.
+        method: String,
+        /// Why (projected cost, scan spend, storage fault).
+        reason: DiscardReason,
+        /// Cost this candidate had spent when killed.
+        spent: f64,
+        /// Guaranteed best it was compared against.
+        guaranteed_best: f64,
+    },
     /// A prepared-statement plan-cache decision (hit, miss, invalidation).
     PlanCache {
         /// What happened: `"hit"`, `"miss"`, `"invalidated"` or
@@ -186,6 +227,10 @@ impl TraceEvent {
             TraceEvent::PhaseCost { .. } => "phase_cost",
             TraceEvent::PoolDelta { .. } => "pool_delta",
             TraceEvent::Winner { .. } => "winner",
+            TraceEvent::JoinCandidate { .. } => "join_candidate",
+            TraceEvent::JoinStart { .. } => "join_start",
+            TraceEvent::JoinRefined { .. } => "join_refined",
+            TraceEvent::JoinKilled { .. } => "join_killed",
             TraceEvent::PlanCache { .. } => "plan_cache",
             TraceEvent::Note { .. } => "note",
         }
@@ -261,6 +306,38 @@ impl fmt::Display for TraceEvent {
                 cost,
                 rows,
             } => write!(f, "winner: {strategy} ({rows} row(s), cost {cost:.1})"),
+            TraceEvent::JoinCandidate { method, estimate } => {
+                write!(f, "join candidate {method}: estimated {estimate:.1}")
+            }
+            TraceEvent::JoinStart {
+                candidates,
+                admitted,
+                guaranteed_best,
+            } => write!(
+                f,
+                "join competition start: {admitted}/{candidates} method(s) admitted, \
+                 best estimate {guaranteed_best:.1}"
+            ),
+            TraceEvent::JoinRefined {
+                method,
+                progress,
+                projected_cost,
+                guaranteed_best,
+            } => write!(
+                f,
+                "{method} refined: {:.0}% done, projected {projected_cost:.1} vs best \
+                 {guaranteed_best:.1}",
+                progress * 100.0
+            ),
+            TraceEvent::JoinKilled {
+                method,
+                reason,
+                spent,
+                guaranteed_best,
+            } => write!(
+                f,
+                "{method} killed ({reason:?}): spent {spent:.1}, best {guaranteed_best:.1}"
+            ),
             TraceEvent::PlanCache {
                 outcome,
                 statement,
@@ -555,7 +632,9 @@ pub fn render_timeline(events: &[TraceEvent]) -> String {
             TraceEvent::EstimateRefined { .. }
             | TraceEvent::IndexDiscarded { .. }
             | TraceEvent::FaultAbsorbed { .. }
-            | TraceEvent::ScanCompleted { .. } => "    ",
+            | TraceEvent::ScanCompleted { .. }
+            | TraceEvent::JoinRefined { .. }
+            | TraceEvent::JoinKilled { .. } => "    ",
             _ => "  ",
         };
         out.push_str(indent);
@@ -716,6 +795,41 @@ pub fn event_json(event: &TraceEvent) -> String {
             str_field!("strategy", strategy);
             f64_field!("cost", *cost);
             num_field!("rows", rows);
+        }
+        TraceEvent::JoinCandidate { method, estimate } => {
+            str_field!("method", method);
+            f64_field!("estimate", *estimate);
+        }
+        TraceEvent::JoinStart {
+            candidates,
+            admitted,
+            guaranteed_best,
+        } => {
+            num_field!("candidates", candidates);
+            num_field!("admitted", admitted);
+            f64_field!("guaranteed_best", *guaranteed_best);
+        }
+        TraceEvent::JoinRefined {
+            method,
+            progress,
+            projected_cost,
+            guaranteed_best,
+        } => {
+            str_field!("method", method);
+            f64_field!("progress", *progress);
+            f64_field!("projected_cost", *projected_cost);
+            f64_field!("guaranteed_best", *guaranteed_best);
+        }
+        TraceEvent::JoinKilled {
+            method,
+            reason,
+            spent,
+            guaranteed_best,
+        } => {
+            str_field!("method", method);
+            str_field!("reason", &format!("{reason:?}"));
+            f64_field!("spent", *spent);
+            f64_field!("guaranteed_best", *guaranteed_best);
         }
         TraceEvent::PlanCache {
             outcome,

@@ -93,6 +93,9 @@ impl Policy {
             ],
             planning_modules: vec![
                 "crates/core/src/initial.rs".into(),
+                // Join cost/cardinality model: estimation never touches
+                // fallible storage, same contract as the scan estimators.
+                "crates/core/src/join/estimate.rs".into(),
                 "crates/btree/src/estimate.rs".into(),
                 "crates/btree/src/histogram.rs".into(),
                 "crates/btree/src/stats.rs".into(),
@@ -106,6 +109,10 @@ impl Policy {
                 "crates/core/src/union.rs".into(),
                 "crates/core/src/dynamic.rs".into(),
                 "crates/core/src/baseline.rs".into(),
+                "crates/core/src/join/nested.rs".into(),
+                "crates/core/src/join/hash.rs".into(),
+                "crates/core/src/join/merge.rs".into(),
+                "crates/core/src/join/competition.rs".into(),
             ],
             scan_entry_exempt: vec![
                 (
@@ -135,6 +142,7 @@ impl Policy {
                 "crates/core/src/tactics.rs".into(),
                 "crates/core/src/dynamic.rs".into(),
                 "crates/core/src/baseline.rs".into(),
+                "crates/core/src/join/".into(),
             ],
             ratchet_path: "lint-ratchet.toml".into(),
         }

@@ -53,9 +53,9 @@ impl Default for DbConfig {
     }
 }
 
-struct TableEntry {
-    heap: HeapTable,
-    indexes: Vec<BTree>,
+pub(crate) struct TableEntry {
+    pub(crate) heap: HeapTable,
+    pub(crate) indexes: Vec<BTree>,
 }
 
 /// Binding-independent facts about one index of the queried table,
@@ -98,6 +98,17 @@ pub(crate) struct ResolvedQuery {
     order_idx: Option<usize>,
     pred: Arc<CompiledPred>,
     index_meta: Vec<IndexMeta>,
+}
+
+/// A resolved statement skeleton: the single-table retrieval shape or the
+/// two-table join shape, depending on the statement's FROM list. Prepared
+/// statements cache one of these per catalog generation.
+#[derive(Debug, Clone)]
+pub(crate) enum Resolved {
+    /// Single-table retrieval skeleton.
+    Single(ResolvedQuery),
+    /// Two-table join skeleton.
+    Join(crate::join::ResolvedJoin),
 }
 
 /// Outcome bundle of [`Db::execute_resolved`]: the query result plus the
@@ -265,7 +276,7 @@ pub struct QueryResult {
 /// # Ok::<(), QueryError>(())
 /// ```
 pub struct Db {
-    config: DbConfig,
+    pub(crate) config: DbConfig,
     cost: SharedCost,
     pool: SharedPool,
     tables: BTreeMap<String, TableEntry>,
@@ -593,6 +604,12 @@ impl Db {
         use rdb_core::ShortcutKind;
         let spec = parse_query(sql)?;
         let entry = self.table(&spec.table)?;
+        if let Some(right_name) = spec.join_table.as_deref() {
+            let right = self.table(right_name)?;
+            let resolved =
+                crate::join::resolve_join(&spec.table, entry, right_name, right, &spec)?;
+            return crate::join::explain_join(self, entry, right, &resolved, opts);
+        }
         let schema = entry.heap.schema();
         let bound = spec.predicate.bind(opts.params())?;
         check_expr_columns(&spec.table, schema, &bound)?;
@@ -722,10 +739,34 @@ impl Db {
         cost: &SharedCost,
     ) -> Result<QueryResult, QueryError> {
         let entry = self.table(&spec.table)?;
+        if let Some(right_name) = spec.join_table.as_deref() {
+            let right = self.table(right_name)?;
+            let resolved =
+                crate::join::resolve_join(&spec.table, entry, right_name, right, spec)?;
+            return crate::join::execute_join(self, entry, right, spec, &resolved, opts, cost);
+        }
         let resolved = resolve_query(entry, spec)?;
         Ok(self
             .execute_resolved(entry, spec, &resolved, opts, cost, None)?
             .result)
+    }
+
+    /// Resolves `spec` against the current catalog into whichever skeleton
+    /// shape its FROM list calls for.
+    fn resolve_any(&self, entry: &TableEntry, spec: &QuerySpec) -> Result<Resolved, QueryError> {
+        match spec.join_table.as_deref() {
+            None => Ok(Resolved::Single(resolve_query(entry, spec)?)),
+            Some(right_name) => {
+                let right = self.table(right_name)?;
+                Ok(Resolved::Join(crate::join::resolve_join(
+                    &spec.table,
+                    entry,
+                    right_name,
+                    right,
+                    spec,
+                )?))
+            }
+        }
     }
 
     /// Executes a resolved query. This is **the** execution path: ad-hoc
@@ -1091,7 +1132,7 @@ impl Db {
                 (skel, true, "hit", "reused cached plan skeleton")
             } else {
                 let invalidated = slot.skel.is_some();
-                let skel = std::sync::Arc::new(resolve_query(entry, &plan.spec)?);
+                let skel = std::sync::Arc::new(self.resolve_any(entry, &plan.spec)?);
                 slot.skel = Some((tag, std::sync::Arc::clone(&skel)));
                 slot.misses += 1;
                 if invalidated {
@@ -1118,30 +1159,51 @@ impl Db {
             detail: detail.into(),
         });
 
-        let hint = lock_hint().clone();
-        let executed = self.execute_resolved(entry, &plan.spec, &resolved, opts, cost, hint.as_ref())?;
-        *lock_hint() = executed.hint;
-        // The clone happens inside the closure: untraced executions (the
-        // common case) never materialize the event strings.
-        match &executed.disposition {
-            rdb_core::HintDisposition::Applied(why) => {
-                tracer.emit_with(|| rdb_core::TraceEvent::PlanCache {
-                    outcome: "hint-applied".into(),
-                    statement: plan.statement.clone(),
-                    detail: why.clone(),
-                });
+        let mut result = match &*resolved {
+            Resolved::Single(skel) => {
+                let hint = lock_hint().clone();
+                let executed =
+                    self.execute_resolved(entry, &plan.spec, skel, opts, cost, hint.as_ref())?;
+                *lock_hint() = executed.hint;
+                // The clone happens inside the closure: untraced executions
+                // (the common case) never materialize the event strings.
+                match &executed.disposition {
+                    rdb_core::HintDisposition::Applied(why) => {
+                        tracer.emit_with(|| rdb_core::TraceEvent::PlanCache {
+                            outcome: "hint-applied".into(),
+                            statement: plan.statement.clone(),
+                            detail: why.clone(),
+                        });
+                    }
+                    rdb_core::HintDisposition::Dropped(why) => {
+                        tracer.emit_with(|| rdb_core::TraceEvent::PlanCache {
+                            outcome: "hint-dropped".into(),
+                            statement: plan.statement.clone(),
+                            detail: why.clone(),
+                        });
+                    }
+                    rdb_core::HintDisposition::NotProvided => {}
+                }
+                executed.result
             }
-            rdb_core::HintDisposition::Dropped(why) => {
-                tracer.emit_with(|| rdb_core::TraceEvent::PlanCache {
-                    outcome: "hint-dropped".into(),
-                    statement: plan.statement.clone(),
-                    detail: why.clone(),
-                });
+            Resolved::Join(join_skel) => {
+                // A remembered single-table tactic has no meaning for a
+                // join: the competition re-races every candidate per
+                // binding, so any stale hint is dropped on the floor.
+                if lock_hint().take().is_some() {
+                    tracer.emit_with(|| rdb_core::TraceEvent::PlanCache {
+                        outcome: "hint-dropped".into(),
+                        statement: plan.statement.clone(),
+                        detail: "join queries re-race all candidates per binding".into(),
+                    });
+                }
+                let right_name = plan.spec.join_table.as_deref().ok_or_else(|| {
+                    QueryError::Unsupported("join skeleton for a single-table statement".into())
+                })?;
+                let right = self.table(right_name)?;
+                crate::join::execute_join(self, entry, right, &plan.spec, join_skel, opts, cost)?
             }
-            rdb_core::HintDisposition::NotProvided => {}
-        }
-
-        let mut result = executed.result;
+        };
         let delta = cost.snapshot().since(&before);
         result.metrics = QueryMetrics {
             pool_hits: delta.cache_hits,

@@ -46,6 +46,10 @@ pub enum QueryError {
     },
     /// A host variable (`:name`) had no binding in the run's parameters.
     UnboundVar(String),
+    /// The statement is well-formed but outside the supported dialect
+    /// (e.g. an ambiguous unqualified column in a join, or a cross-table
+    /// predicate the join layer cannot decompose). The payload says what.
+    Unsupported(String),
     /// `create_table` for a name that already exists.
     DuplicateTable(String),
     /// The storage substrate failed (I/O fault, corrupt page, bad RID).
@@ -81,6 +85,7 @@ impl fmt::Display for QueryError {
                 got,
             } => write!(f, "table {table} has {expected} column(s), got {got} value(s)"),
             QueryError::UnboundVar(name) => write!(f, "unbound host variable :{name}"),
+            QueryError::Unsupported(what) => write!(f, "unsupported: {what}"),
             QueryError::DuplicateTable(table) => write!(f, "table {table} already exists"),
             QueryError::Storage(e) => write!(f, "storage error: {e}"),
         }

@@ -34,7 +34,7 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+    pub(crate) fn eval(self, lhs: &Value, rhs: &Value) -> bool {
         if lhs.is_null() || rhs.is_null() {
             return false; // SQL-style: comparisons with NULL are not TRUE
         }
@@ -106,6 +106,16 @@ pub enum Expr {
         /// Upper bound.
         hi: Scalar,
     },
+    /// `left op right` comparing two columns (the join-predicate form;
+    /// also legal within one table). NULL on either side never matches.
+    ColCmp {
+        /// Left column name (possibly `TABLE.COLUMN`-qualified).
+        left: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right column name (possibly `TABLE.COLUMN`-qualified).
+        right: String,
+    },
     /// Conjunction.
     And(Vec<Expr>),
     /// Disjunction.
@@ -146,6 +156,7 @@ impl Expr {
             Expr::Between { lo, hi, .. } => {
                 matches!(lo, Scalar::Literal(_)) && matches!(hi, Scalar::Literal(_))
             }
+            Expr::ColCmp { .. } => true,
             Expr::And(es) | Expr::Or(es) => es.iter().all(Expr::is_bound),
             Expr::Not(e) => e.is_bound(),
         }
@@ -165,6 +176,7 @@ impl Expr {
                 lo: Scalar::Literal(lo.bound(params)?),
                 hi: Scalar::Literal(hi.bound(params)?),
             },
+            Expr::ColCmp { .. } => self.clone(),
             Expr::And(es) => Expr::And(
                 es.iter()
                     .map(|e| e.bind(params))
@@ -191,6 +203,10 @@ impl Expr {
             Expr::True => {}
             Expr::Cmp { column, .. } | Expr::Between { column, .. } => {
                 out.insert(column.clone());
+            }
+            Expr::ColCmp { left, right, .. } => {
+                out.insert(left.clone());
+                out.insert(right.clone());
             }
             Expr::And(es) | Expr::Or(es) => {
                 for e in es {
@@ -227,6 +243,15 @@ impl Expr {
                 };
                 let v = &record[idx];
                 !v.is_null() && v >= lo && v <= hi
+            }
+            Expr::ColCmp { left, op, right } => {
+                let li = schema
+                    .column_index(left)
+                    .unwrap_or_else(|| panic!("unknown column {left}"));
+                let ri = schema
+                    .column_index(right)
+                    .unwrap_or_else(|| panic!("unknown column {right}"));
+                op.eval(&record[li], &record[ri])
             }
             Expr::And(es) => es.iter().all(|e| e.eval(schema, record)),
             Expr::Or(es) => es.iter().any(|e| e.eval(schema, record)),
@@ -387,6 +412,17 @@ fn eval_on_named_values(expr: &Expr, names: &[String], values: &[Value]) -> bool
             let v = &values[idx];
             !v.is_null() && v >= lo && v <= hi
         }
+        Expr::ColCmp { left, op, right } => {
+            let li = names
+                .iter()
+                .position(|n| n == left)
+                .expect("key pred covers all columns");
+            let ri = names
+                .iter()
+                .position(|n| n == right)
+                .expect("key pred covers all columns");
+            op.eval(&values[li], &values[ri])
+        }
         Expr::And(es) => es.iter().all(|e| eval_on_named_values(e, names, values)),
         Expr::Or(es) => es.iter().any(|e| eval_on_named_values(e, names, values)),
         Expr::Not(e) => !eval_on_named_values(e, names, values),
@@ -441,6 +477,7 @@ enum Node {
     True,
     Cmp { col: usize, op: CmpOp, rhs: Arg },
     Between { col: usize, lo: Arg, hi: Arg },
+    ColCmp { left: usize, op: CmpOp, right: usize },
     And(Vec<Node>),
     Or(Vec<Node>),
     Not(Box<Node>),
@@ -597,6 +634,11 @@ fn lower(expr: &Expr, schema: &Schema, params: &mut Vec<String>) -> Node {
             lo: slot(lo, params),
             hi: slot(hi, params),
         },
+        Expr::ColCmp { left, op, right } => Node::ColCmp {
+            left: col(left),
+            op: *op,
+            right: col(right),
+        },
         Expr::And(es) => Node::And(es.iter().map(|e| lower(e, schema, params)).collect()),
         Expr::Or(es) => Node::Or(es.iter().map(|e| lower(e, schema, params)).collect()),
         Expr::Not(e) => Node::Not(Box::new(lower(e, schema, params))),
@@ -612,6 +654,7 @@ impl Node {
                 let v = &values[*col];
                 !v.is_null() && v >= lo.get(args) && v <= hi.get(args)
             }
+            Node::ColCmp { left, op, right } => op.eval(&values[*left], &values[*right]),
             Node::And(ns) => ns.iter().all(|n| n.eval(args, values)),
             Node::Or(ns) => ns.iter().any(|n| n.eval(args, values)),
             Node::Not(n) => !n.eval(args, values),
@@ -630,6 +673,11 @@ impl Node {
                 col: map(*col)?,
                 lo: lo.clone(),
                 hi: hi.clone(),
+            },
+            Node::ColCmp { left, op, right } => Node::ColCmp {
+                left: map(*left)?,
+                op: *op,
+                right: map(*right)?,
             },
             Node::And(ns) => Node::And(ns.iter().map(|n| n.remap(map)).collect::<Option<_>>()?),
             Node::Or(ns) => Node::Or(ns.iter().map(|n| n.remap(map)).collect::<Option<_>>()?),
@@ -760,6 +808,35 @@ mod tests {
             hi: Scalar::Literal(Value::Int(9)),
         }
         .eval(&s, &r));
+    }
+
+    #[test]
+    fn col_cmp_compares_two_columns_with_null_semantics() {
+        let s = Schema::new(vec![
+            Column::nullable("a", ValueType::Int),
+            Column::nullable("b", ValueType::Int),
+        ]);
+        let e = Expr::ColCmp {
+            left: "a".into(),
+            op: CmpOp::Lt,
+            right: "b".into(),
+        };
+        assert!(e.is_bound());
+        assert!(e.eval(&s, &rec(1, 2)));
+        assert!(!e.eval(&s, &rec(2, 2)));
+        assert!(!e.eval(&s, &Record::new(vec![Value::Null, Value::Int(5)])));
+        // The compiled lowering agrees, including under a column remap.
+        let c = Arc::new(CompiledPred::compile(&e, &s));
+        let args = c.bind_args(&HashMap::new()).unwrap();
+        assert!(c.matches(&args, &rec(1, 2)));
+        assert!(!c.matches(&args, &rec(3, 2)));
+        let swapped = Arc::new(
+            c.remap_columns(|col| Some(1 - col)).expect("total map"),
+        );
+        assert!(swapped.matches(&args, &rec(2, 1)), "columns swapped");
+        // ColCmp never tightens an index range.
+        assert_eq!(e.range_for("a"), KeyRange::all());
+        assert_eq!(c.range_for(&args, 0), KeyRange::all());
     }
 
     #[test]

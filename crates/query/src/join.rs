@@ -1,0 +1,721 @@
+//! Two-table queries through the join competition.
+//!
+//! A `FROM A, B` statement is resolved into a `ResolvedJoin`: the WHERE
+//! clause is flattened into top-level conjuncts, each classified as a
+//! left-side residual, a right-side residual, or a cross-table
+//! column-to-column comparison. The first cross-table equality (falling
+//! back to the first cross-table comparison of any kind) becomes the
+//! driving join predicate; remaining cross-table conjuncts become the
+//! pair filter. Both residuals are lowered to [`CompiledPred`]s against
+//! their side's schema, so prepared statements re-bind host variables
+//! positionally exactly like single-table ones.
+//!
+//! Execution hands the request to [`rdb_core::run_join`]: every feasible
+//! join method and orientation races under the paper's two kill rules,
+//! so the dynamic optimizer picks join method *and* join order per query
+//! (per binding — a residual that empties one side changes which method
+//! wins, with no re-prepare).
+
+use std::sync::Arc;
+
+use rdb_core::{run_join, JoinConfig, JoinOp, JoinRequest, JoinSide, SideId};
+use rdb_storage::{Record, SharedCost, Value};
+
+use crate::db::{Db, QueryMetrics, QueryResult, TableEntry};
+use crate::error::QueryError;
+use crate::expr::{CmpOp, CompiledPred, Expr};
+use crate::options::QueryOptions;
+use crate::parser::QuerySpec;
+
+/// The cacheable skeleton of a resolved two-table query — the join
+/// sibling of `ResolvedQuery`. Everything here is binding-independent;
+/// each execution only re-binds the two residuals' host variables.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedJoin {
+    /// Output column names (display form: as written, or
+    /// `TABLE.COLUMN`-qualified for `*`).
+    out_columns: Vec<String>,
+    /// Positional projection across both records.
+    out_pos: Vec<(SideId, usize)>,
+    /// ORDER BY target (joins always post-sort; indexes order single
+    /// tables, not pair streams).
+    order_pos: Option<(SideId, usize)>,
+    /// The driving cross-table comparison.
+    op: JoinOp,
+    /// Left side's join column (record position).
+    left_col: usize,
+    /// Right side's join column (record position).
+    right_col: usize,
+    /// Extra cross-table conjuncts, oriented `(left col, op, right col)`.
+    extras: Vec<(usize, CmpOp, usize)>,
+    /// Left side's residual restriction, lowered against its schema.
+    left_pred: Arc<CompiledPred>,
+    /// Right side's residual restriction, lowered against its schema.
+    right_pred: Arc<CompiledPred>,
+    /// Position (into the side's index list) of a B-tree whose leading
+    /// key is the join column, when one exists.
+    left_index: Option<usize>,
+    right_index: Option<usize>,
+}
+
+fn unsupported(what: impl Into<String>) -> QueryError {
+    QueryError::Unsupported(what.into())
+}
+
+/// Resolves one (possibly qualified) column reference against the two
+/// joined tables.
+fn resolve_column(
+    name: &str,
+    left_name: &str,
+    left: &TableEntry,
+    right_name: &str,
+    right: &TableEntry,
+) -> Result<(SideId, usize), QueryError> {
+    if let Some((table, column)) = name.split_once('.') {
+        let (side, entry) = if table == left_name {
+            (SideId::Left, left)
+        } else if table == right_name {
+            (SideId::Right, right)
+        } else {
+            return Err(QueryError::UnknownTable(table.to_string()));
+        };
+        return entry
+            .heap
+            .schema()
+            .column_index(column)
+            .map(|i| (side, i))
+            .ok_or_else(|| QueryError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            });
+    }
+    match (
+        left.heap.schema().column_index(name),
+        right.heap.schema().column_index(name),
+    ) {
+        (Some(_), Some(_)) => Err(unsupported(format!(
+            "column {name} is ambiguous between {left_name} and {right_name}; qualify it"
+        ))),
+        (Some(i), None) => Ok((SideId::Left, i)),
+        (None, Some(i)) => Ok((SideId::Right, i)),
+        (None, None) => Err(QueryError::UnknownColumn {
+            table: format!("{left_name} or {right_name}"),
+            column: name.to_string(),
+        }),
+    }
+}
+
+/// Flattens a top-level conjunction; `True` contributes nothing.
+fn flatten(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::True => Vec::new(),
+        Expr::And(es) => es.iter().flat_map(flatten).collect(),
+        other => vec![other],
+    }
+}
+
+/// Rewrites every column reference in a one-side conjunct to its plain
+/// schema name, verifying all of them land on `side`. Returns `None`
+/// when some column resolves to the other side (the caller then knows
+/// the conjunct is cross-table).
+fn rewrite_to_side(
+    expr: &Expr,
+    side: SideId,
+    resolve: &impl Fn(&str) -> Result<(SideId, usize), QueryError>,
+    plain: &impl Fn(SideId, usize) -> String,
+) -> Result<Option<Expr>, QueryError> {
+    let col = |name: &str| -> Result<Option<String>, QueryError> {
+        let (s, i) = resolve(name)?;
+        Ok((s == side).then(|| plain(s, i)))
+    };
+    Ok(Some(match expr {
+        Expr::True => Expr::True,
+        Expr::Cmp { column, op, rhs } => match col(column)? {
+            Some(column) => Expr::Cmp {
+                column,
+                op: *op,
+                rhs: rhs.clone(),
+            },
+            None => return Ok(None),
+        },
+        Expr::Between { column, lo, hi } => match col(column)? {
+            Some(column) => Expr::Between {
+                column,
+                lo: lo.clone(),
+                hi: hi.clone(),
+            },
+            None => return Ok(None),
+        },
+        Expr::ColCmp { left, op, right } => match (col(left)?, col(right)?) {
+            (Some(left), Some(right)) => Expr::ColCmp {
+                left,
+                op: *op,
+                right,
+            },
+            _ => return Ok(None),
+        },
+        Expr::And(es) | Expr::Or(es) => {
+            let mut parts = Vec::with_capacity(es.len());
+            for e in es {
+                match rewrite_to_side(e, side, resolve, plain)? {
+                    Some(p) => parts.push(p),
+                    None => return Ok(None),
+                }
+            }
+            if matches!(expr, Expr::And(_)) {
+                Expr::And(parts)
+            } else {
+                Expr::Or(parts)
+            }
+        }
+        Expr::Not(e) => match rewrite_to_side(e, side, resolve, plain)? {
+            Some(p) => Expr::Not(Box::new(p)),
+            None => return Ok(None),
+        },
+    }))
+}
+
+fn join_op(op: CmpOp) -> JoinOp {
+    match op {
+        CmpOp::Eq => JoinOp::Eq,
+        CmpOp::Ne => JoinOp::Ne,
+        CmpOp::Lt => JoinOp::Lt,
+        CmpOp::Le => JoinOp::Le,
+        CmpOp::Gt => JoinOp::Gt,
+        CmpOp::Ge => JoinOp::Ge,
+    }
+}
+
+/// Resolves a two-table query against the catalog. See the module doc
+/// for the decomposition rules; anything outside them comes back as
+/// [`QueryError::Unsupported`] rather than a wrong answer.
+pub(crate) fn resolve_join(
+    left_name: &str,
+    left: &TableEntry,
+    right_name: &str,
+    right: &TableEntry,
+    spec: &QuerySpec,
+) -> Result<ResolvedJoin, QueryError> {
+    if left_name == right_name {
+        return Err(unsupported(
+            "self-joins need distinct table names (aliases are not supported)",
+        ));
+    }
+    let resolve =
+        |name: &str| resolve_column(name, left_name, left, right_name, right);
+    let plain = |side: SideId, i: usize| -> String {
+        let entry = match side {
+            SideId::Left => left,
+            SideId::Right => right,
+        };
+        entry.heap.schema().column(i).expect("resolved position").name.clone()
+    };
+
+    // Projection: explicit names resolve as written; `*` is every left
+    // column then every right column, displayed qualified.
+    let (out_columns, out_pos) = match &spec.projection {
+        Some(cols) => {
+            let mut pos = Vec::with_capacity(cols.len());
+            for c in cols {
+                pos.push(resolve(c)?);
+            }
+            (cols.clone(), pos)
+        }
+        None => {
+            let mut names = Vec::new();
+            let mut pos = Vec::new();
+            for (side, name, entry) in [
+                (SideId::Left, left_name, left),
+                (SideId::Right, right_name, right),
+            ] {
+                for (i, col) in entry.heap.schema().columns().iter().enumerate() {
+                    names.push(format!("{name}.{}", col.name));
+                    pos.push((side, i));
+                }
+            }
+            (names, pos)
+        }
+    };
+    let order_pos = spec
+        .order_by
+        .as_deref()
+        .map(&resolve)
+        .transpose()?;
+
+    // Classify top-level conjuncts.
+    let mut cross: Vec<(usize, CmpOp, usize)> = Vec::new();
+    let mut left_parts: Vec<Expr> = Vec::new();
+    let mut right_parts: Vec<Expr> = Vec::new();
+    for conj in flatten(&spec.predicate) {
+        if let Expr::ColCmp { left: l, op, right: r } = conj {
+            let (ls, li) = resolve(l)?;
+            let (rs, ri) = resolve(r)?;
+            if ls != rs {
+                // Orient left-to-right; flip the operator if written
+                // right-to-left.
+                let oriented = match ls {
+                    SideId::Left => (li, *op, ri),
+                    SideId::Right => (ri, flip_cmp(*op), li),
+                };
+                cross.push(oriented);
+                continue;
+            }
+        }
+        if let Some(e) = rewrite_to_side(conj, SideId::Left, &resolve, &plain)? {
+            left_parts.push(e);
+        } else if let Some(e) = rewrite_to_side(conj, SideId::Right, &resolve, &plain)? {
+            right_parts.push(e);
+        } else {
+            return Err(unsupported(
+                "a WHERE conjunct mixes both tables and is not a plain column comparison",
+            ));
+        }
+    }
+
+    // The driving comparison: first cross-table equality, else the first
+    // cross-table comparison of any kind.
+    let driving = cross
+        .iter()
+        .position(|&(_, op, _)| op == CmpOp::Eq)
+        .unwrap_or(0);
+    if cross.is_empty() {
+        return Err(unsupported(
+            "a join needs at least one cross-table column comparison",
+        ));
+    }
+    let (left_col, op, right_col) = cross.remove(driving);
+
+    let conj = |parts: Vec<Expr>| match parts.len() {
+        0 => Expr::True,
+        1 => parts.into_iter().next().expect("one element"),
+        _ => Expr::And(parts),
+    };
+    let left_pred = Arc::new(CompiledPred::compile(
+        &conj(left_parts),
+        left.heap.schema(),
+    ));
+    let right_pred = Arc::new(CompiledPred::compile(
+        &conj(right_parts),
+        right.heap.schema(),
+    ));
+
+    // A join-column index (leading key position) enables the index probe
+    // and RID-merge methods on that side.
+    let join_index = |entry: &TableEntry, col: usize| {
+        entry
+            .indexes
+            .iter()
+            .position(|tree| tree.key_columns().first() == Some(&col))
+    };
+
+    Ok(ResolvedJoin {
+        out_columns,
+        out_pos,
+        order_pos,
+        op: join_op(op),
+        left_col,
+        right_col,
+        extras: cross,
+        left_index: join_index(left, left_col),
+        right_index: join_index(right, right_col),
+        left_pred,
+        right_pred,
+    })
+}
+
+fn flip_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Builds the core-layer join request for this run's bindings and hands
+/// the caller a closure-free view of it via `f` (the request borrows the
+/// table entries, so it cannot outlive this call).
+fn with_request<T>(
+    left: &TableEntry,
+    right: &TableEntry,
+    resolved: &ResolvedJoin,
+    opts: &QueryOptions,
+    limit: Option<usize>,
+    cost: &SharedCost,
+    f: impl FnOnce(&JoinRequest<'_>) -> T,
+) -> Result<T, QueryError> {
+    let largs = resolved.left_pred.bind_args(opts.params())?;
+    let rargs = resolved.right_pred.bind_args(opts.params())?;
+    let mut lside = JoinSide::new(&left.heap)
+        .on_column(resolved.left_col)
+        .with_residual(
+            resolved.left_pred.record_pred(&largs),
+            left.heap.cardinality() as f64,
+        );
+    if let Some(i) = resolved.left_index {
+        lside = lside.with_index(&left.indexes[i]);
+    }
+    let mut rside = JoinSide::new(&right.heap)
+        .on_column(resolved.right_col)
+        .with_residual(
+            resolved.right_pred.record_pred(&rargs),
+            right.heap.cardinality() as f64,
+        );
+    if let Some(i) = resolved.right_index {
+        rside = rside.with_index(&right.indexes[i]);
+    }
+    let mut req = JoinRequest::new(lside, rside, resolved.op, cost.clone()).with_limit(limit);
+    if !resolved.extras.is_empty() {
+        let extras = resolved.extras.clone();
+        req = req.with_pair_filter(Arc::new(move |l: &Record, r: &Record| {
+            extras.iter().all(|&(lc, op, rc)| op.eval(&l[lc], &r[rc]))
+        }));
+    }
+    Ok(f(&req))
+}
+
+/// Executes a resolved join: races the candidates, projects surviving
+/// pairs positionally across both records, post-sorts for ORDER BY, and
+/// applies COUNT(*) / LIMIT semantics like the single-table path.
+pub(crate) fn execute_join(
+    db: &Db,
+    left: &TableEntry,
+    right: &TableEntry,
+    spec: &QuerySpec,
+    resolved: &ResolvedJoin,
+    opts: &QueryOptions,
+    cost: &SharedCost,
+) -> Result<QueryResult, QueryError> {
+    let tracer = opts.tracer();
+    let limit = opts.limit().or(spec.limit);
+    let needs_post_sort = spec.order_by.is_some();
+    // With a post-sort or count pending, every pair must be produced
+    // before the limit applies.
+    let race_limit = if needs_post_sort || spec.count_star {
+        None
+    } else {
+        limit
+    };
+    let result = with_request(left, right, resolved, opts, race_limit, cost, |req| {
+        run_join(req, &JoinConfig::default(), &tracer)
+    })??;
+
+    let events: Vec<String> = result
+        .candidates
+        .iter()
+        .map(|c| {
+            format!(
+                "join candidate {}: estimate {:.1}, spent {:.1}, {:?}",
+                c.method.label(),
+                c.estimate,
+                c.spent,
+                c.outcome
+            )
+        })
+        .collect();
+
+    if spec.count_star {
+        return Ok(QueryResult {
+            columns: vec!["COUNT".to_string()],
+            rows: vec![vec![Value::Int(result.pairs.len() as i64)]],
+            cost: result.cost,
+            strategy: result.strategy,
+            events,
+            metrics: QueryMetrics::default(),
+        });
+    }
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(result.pairs.len());
+    let mut sort_keys: Vec<Value> = Vec::new();
+    for pair in &result.pairs {
+        let pick = |&(side, i): &(SideId, usize)| match side {
+            SideId::Left => pair.left[i].clone(),
+            SideId::Right => pair.right[i].clone(),
+        };
+        if let Some(op) = &resolved.order_pos {
+            sort_keys.push(pick(op));
+        }
+        rows.push(resolved.out_pos.iter().map(pick).collect());
+    }
+
+    if needs_post_sort {
+        let paired: Vec<(Value, Vec<Value>)> = sort_keys.into_iter().zip(rows).collect();
+        let (sorted, _) = crate::sort::sort_rows_dir(
+            paired,
+            db.pool(),
+            &db.config.sort,
+            spec.order_desc,
+            cost,
+        );
+        rows = sorted;
+        if let Some(limit) = limit {
+            rows.truncate(limit);
+        }
+    }
+
+    Ok(QueryResult {
+        columns: resolved.out_columns.clone(),
+        rows,
+        cost: result.cost,
+        strategy: result.strategy,
+        events,
+        metrics: QueryMetrics::default(),
+    })
+}
+
+/// `EXPLAIN` for a join: the candidate space with planning-time
+/// estimates, cheapest first — what the competition would admit for this
+/// binding, without running it.
+pub(crate) fn explain_join(
+    db: &Db,
+    left: &TableEntry,
+    right: &TableEntry,
+    resolved: &ResolvedJoin,
+    opts: &QueryOptions,
+) -> Result<String, QueryError> {
+    let cost = db.cost().clone();
+    let listing = with_request(left, right, resolved, opts, None, &cost, |req| {
+        let cfg = req.cost.config();
+        rdb_core::join::estimate::enumerate(req, &cfg)
+            .iter()
+            .map(|e| format!("{}~{:.0}", e.method.label(), e.cost))
+            .collect::<Vec<_>>()
+            .join(", ")
+    })?;
+    Ok(format!("JoinCompetition [{listing}]"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{Db, DbConfig};
+    use rdb_storage::{Column, Schema, ValueType};
+
+    /// PARENT(ID, KIND) with unique IDs 0..n, CHILD(FK, X) with FK = i % n
+    /// — a classic PK/FK pair; both join columns indexed.
+    fn two_table_db(parents: i64, children: i64) -> Db {
+        let mut db = Db::new(DbConfig {
+            page_bytes: 1024,
+            ..DbConfig::default()
+        });
+        db.create_table(
+            "PARENT",
+            Schema::new(vec![
+                Column::new("ID", ValueType::Int),
+                Column::new("KIND", ValueType::Int),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "CHILD",
+            Schema::new(vec![
+                Column::new("FK", ValueType::Int),
+                Column::new("X", ValueType::Int),
+            ]),
+        )
+        .unwrap();
+        for i in 0..parents {
+            db.insert("PARENT", vec![Value::Int(i), Value::Int(i % 5)])
+                .unwrap();
+        }
+        for i in 0..children {
+            db.insert("CHILD", vec![Value::Int(i % parents), Value::Int(i)])
+                .unwrap();
+        }
+        db.create_index("IDX_P_ID", "PARENT", &["ID"]).unwrap();
+        db.create_index("IDX_C_FK", "CHILD", &["FK"]).unwrap();
+        db
+    }
+
+    fn no_params() -> QueryOptions {
+        QueryOptions::new()
+    }
+
+    #[test]
+    fn equi_join_matches_hand_computed_pairs() {
+        let db = two_table_db(50, 400);
+        let r = db
+            .query(
+                "select PARENT.ID, CHILD.X from PARENT, CHILD where PARENT.ID = CHILD.FK",
+                &no_params(),
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["PARENT.ID", "CHILD.X"]);
+        // Every child matches exactly one parent.
+        assert_eq!(r.rows.len(), 400);
+        assert!(r.strategy.starts_with("join: "), "strategy {}", r.strategy);
+        assert!(!r.events.is_empty(), "candidate log should be populated");
+        for row in &r.rows {
+            let (id, x) = (row[0].as_i64().unwrap(), row[1].as_i64().unwrap());
+            assert_eq!(id, x % 50, "pair ({id}, {x}) violates FK correlation");
+        }
+    }
+
+    #[test]
+    fn residuals_and_extra_cross_conjuncts_apply() {
+        let db = two_table_db(50, 400);
+        // KIND = 0 keeps parents {0,5,10,...}; X < 100 keeps the first 100
+        // children; the extra cross conjunct ID <= X always holds here
+        // (X = 8*ID + ... no — verify against a hand loop instead).
+        let r = db
+            .query(
+                "select ID, X from PARENT, CHILD \
+                 where ID = FK and KIND = 0 and X < 100 and ID <= X",
+                &no_params(),
+            )
+            .unwrap();
+        let mut expect = Vec::new();
+        for x in 0..100i64 {
+            let fk = x % 50;
+            if fk % 5 == 0 && fk <= x {
+                expect.push((fk, x));
+            }
+        }
+        let mut got: Vec<(i64, i64)> = r
+            .rows
+            .iter()
+            .map(|row| (row[0].as_i64().unwrap(), row[1].as_i64().unwrap()))
+            .collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn star_projection_order_by_limit_and_count() {
+        let db = two_table_db(20, 100);
+        let r = db
+            .query(
+                "select * from PARENT, CHILD where ID = FK order by X limit 7",
+                &no_params(),
+            )
+            .unwrap();
+        assert_eq!(
+            r.columns,
+            vec!["PARENT.ID", "PARENT.KIND", "CHILD.FK", "CHILD.X"]
+        );
+        let xs: Vec<i64> = r.rows.iter().map(|row| row[3].as_i64().unwrap()).collect();
+        assert_eq!(xs, vec![0, 1, 2, 3, 4, 5, 6], "ordered prefix");
+
+        let c = db
+            .query(
+                "select count(*) from PARENT, CHILD where ID = FK",
+                &no_params(),
+            )
+            .unwrap();
+        assert_eq!(c.rows, vec![vec![Value::Int(100)]]);
+    }
+
+    #[test]
+    fn inequality_join_races_without_indexes_on_op() {
+        let db = two_table_db(10, 30);
+        let r = db
+            .query(
+                "select ID, X from PARENT, CHILD where ID > FK and X < 3",
+                &no_params(),
+            )
+            .unwrap();
+        // X < 3 ⇒ children (FK=0,X=0), (1,1), (2,2); parents with ID > FK.
+        let expect_len = (0..3i64).map(|fk| 10 - fk - 1).sum::<i64>() as usize;
+        assert_eq!(r.rows.len(), expect_len);
+        assert!(r
+            .rows
+            .iter()
+            .all(|row| row[0].as_i64().unwrap() > row[1].as_i64().unwrap() % 10));
+    }
+
+    #[test]
+    fn prepared_join_rebinds_host_variables_and_caches_skeleton() {
+        let db = two_table_db(50, 400);
+        let stmt = db
+            .prepare("select ID, X from PARENT, CHILD where ID = FK and X >= :A1")
+            .unwrap();
+        let first = stmt
+            .execute(&QueryOptions::new().with_param("A1", 390i64))
+            .unwrap();
+        assert_eq!(first.rows.len(), 10);
+        assert_eq!(first.metrics.plan_cache_misses, 1);
+        let again = stmt
+            .execute(&QueryOptions::new().with_param("A1", 0i64))
+            .unwrap();
+        assert_eq!(again.rows.len(), 400);
+        assert_eq!(again.metrics.plan_cache_hits, 1, "skeleton reused");
+    }
+
+    #[test]
+    fn explain_lists_join_candidates() {
+        let db = two_table_db(50, 400);
+        let e = db
+            .explain(
+                "select ID, X from PARENT, CHILD where ID = FK",
+                &no_params(),
+            )
+            .unwrap();
+        assert!(e.starts_with("JoinCompetition ["), "explain: {e}");
+        // Both-side indexes on the join columns: the full method space.
+        for label in ["index-nested", "hash(build=", "merge-rid", "nested(outer="] {
+            assert!(e.contains(label), "missing {label} in {e}");
+        }
+    }
+
+    #[test]
+    fn unsupported_shapes_come_back_typed() {
+        let db = two_table_db(10, 10);
+        // No cross-table comparison at all.
+        let e = db
+            .query("select ID from PARENT, CHILD where KIND = 1", &no_params())
+            .unwrap_err();
+        assert!(matches!(e, QueryError::Unsupported(_)), "{e}");
+        // Ambiguous unqualified column (both tables would need one; use a
+        // column present in both by adding none — FK/ID are distinct, so
+        // instead check an unknown qualifier).
+        let e = db
+            .query(
+                "select ID from PARENT, CHILD where NOPE.ID = FK",
+                &no_params(),
+            )
+            .unwrap_err();
+        assert!(matches!(e, QueryError::UnknownTable(t) if t == "NOPE"));
+        // A cross-table disjunction is outside the dialect.
+        let e = db
+            .query(
+                "select ID from PARENT, CHILD where ID = FK or KIND > X",
+                &no_params(),
+            )
+            .unwrap_err();
+        assert!(matches!(e, QueryError::Unsupported(_)), "{e}");
+    }
+
+    #[test]
+    fn join_results_agree_with_naive_nested_loop() {
+        let db = two_table_db(30, 200);
+        let r = db
+            .query(
+                "select ID, KIND, X from PARENT, CHILD where ID = FK and KIND <> 2",
+                &no_params(),
+            )
+            .unwrap();
+        // Shadow oracle: materialize both tables through single-table
+        // scans and join in plain Rust.
+        let parents = db.query("select * from PARENT", &no_params()).unwrap();
+        let children = db.query("select * from CHILD", &no_params()).unwrap();
+        let mut expect: Vec<Vec<Value>> = Vec::new();
+        for p in &parents.rows {
+            if p[1] == Value::Int(2) {
+                continue;
+            }
+            for c in &children.rows {
+                if p[0] == c[0] {
+                    expect.push(vec![p[0].clone(), p[1].clone(), c[1].clone()]);
+                }
+            }
+        }
+        let sort = |mut v: Vec<Vec<Value>>| {
+            v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            v
+        };
+        assert_eq!(sort(r.rows), sort(expect));
+    }
+}

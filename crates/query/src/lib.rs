@@ -27,6 +27,10 @@
 //! * [`explain`] — [`ExplainAnalyze`]: the executed query's result plus
 //!   its full competition timeline, rendered for terminals or serialized
 //!   as JSON.
+//! * [`join`] — two-table `FROM A, B` statements: the WHERE clause is
+//!   decomposed into per-side residuals plus cross-table comparisons, and
+//!   execution races every feasible join method and orientation through
+//!   [`rdb_core::run_join`] with the paper's kill rules armed.
 //!
 //! Most applications only need the [`prelude`]:
 //!
@@ -45,6 +49,7 @@ pub mod db;
 pub mod error;
 pub mod explain;
 pub mod expr;
+pub mod join;
 pub mod options;
 pub mod parser;
 pub mod plan;

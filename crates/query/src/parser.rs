@@ -4,9 +4,14 @@
 //! select * from FAMILIES where AGE >= :A1;
 //! select NAME, AGE from T where AGE between 30 and 32 and CITY = 'NH'
 //!   order by AGE limit to 5 rows optimize for fast first;
+//! select L.ID, R.X from L, R where L.ID = R.FK and R.X > 10;
 //! ```
 //!
 //! Keywords are case-insensitive; identifiers are case-sensitive.
+//! Two-table `FROM` lists introduce a join; columns may be qualified as
+//! `TABLE.COLUMN` (required when a plain name is ambiguous between the
+//! two tables), and a comparison whose right-hand side is a column
+//! reference parses as a column-to-column predicate ([`Expr::ColCmp`]).
 
 use rdb_core::OptimizeGoal;
 use rdb_storage::Value;
@@ -23,8 +28,11 @@ pub struct QuerySpec {
     pub count_star: bool,
     /// Projected column names; `None` for `*`.
     pub projection: Option<Vec<String>>,
-    /// Table name.
+    /// Table name (the left side when `join_table` is present).
     pub table: String,
+    /// Second table of a two-table `FROM` list (`from A, B`): the join's
+    /// right side. `None` for single-table queries.
+    pub join_table: Option<String>,
     /// WHERE restriction ([`Expr::True`] when absent).
     pub predicate: Expr,
     /// ORDER BY column.
@@ -46,6 +54,7 @@ enum Tok {
     HostVar(String),
     Star,
     Comma,
+    Dot,
     LParen,
     RParen,
     Op(CmpOp),
@@ -54,6 +63,16 @@ enum Tok {
 
 fn keyword(t: &Tok, kw: &str) -> bool {
     matches!(t, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+}
+
+/// Words that begin (or continue) a clause and therefore cannot be a
+/// column reference on the right-hand side of a comparison.
+fn is_clause_keyword(s: &str) -> bool {
+    [
+        "and", "or", "not", "between", "order", "limit", "optimize", "select", "from", "where",
+    ]
+    .iter()
+    .any(|kw| s.eq_ignore_ascii_case(kw))
 }
 
 fn tokenize(input: &str) -> Result<Vec<Tok>, String> {
@@ -70,6 +89,10 @@ fn tokenize(input: &str) -> Result<Vec<Tok>, String> {
             }
             ',' => {
                 toks.push(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
                 i += 1;
             }
             '(' => {
@@ -213,6 +236,19 @@ impl Parser {
         }
     }
 
+    /// A possibly-qualified column reference: `C` or `T.C`, kept as one
+    /// dotted string (resolution splits it against the catalog).
+    fn column_ref(&mut self) -> Result<String, String> {
+        let first = self.ident()?;
+        if matches!(self.peek(), Some(Tok::Dot)) {
+            self.pos += 1;
+            let second = self.ident()?;
+            Ok(format!("{first}.{second}"))
+        } else {
+            Ok(first)
+        }
+    }
+
     fn scalar(&mut self) -> Result<Scalar, String> {
         match self.next() {
             Some(Tok::Int(v)) => Ok(Scalar::Literal(Value::Int(v))),
@@ -268,7 +304,7 @@ impl Parser {
                 other => Err(format!("expected ')', got {other:?}")),
             }
         } else {
-            let column = self.ident()?;
+            let column = self.column_ref()?;
             if self.eat_kw("between") {
                 let lo = self.scalar()?;
                 self.expect_kw("and")?;
@@ -276,11 +312,28 @@ impl Parser {
                 return Ok(Expr::Between { column, lo, hi });
             }
             match self.next() {
-                Some(Tok::Op(op)) => Ok(Expr::Cmp {
-                    column,
-                    op,
-                    rhs: self.scalar()?,
-                }),
+                Some(Tok::Op(op)) => {
+                    // A column reference on the right-hand side makes this
+                    // a column-to-column comparison (the join predicate
+                    // form) — but only if it is not a keyword starting the
+                    // next clause.
+                    let rhs_is_column = matches!(self.peek(), Some(Tok::Ident(s))
+                        if !is_clause_keyword(s));
+                    if rhs_is_column {
+                        let right = self.column_ref()?;
+                        Ok(Expr::ColCmp {
+                            left: column,
+                            op,
+                            right,
+                        })
+                    } else {
+                        Ok(Expr::Cmp {
+                            column,
+                            op,
+                            rhs: self.scalar()?,
+                        })
+                    }
+                }
                 other => Err(format!("expected comparison operator, got {other:?}")),
             }
         }
@@ -313,16 +366,22 @@ fn parse_query_impl(input: &str) -> Result<QuerySpec, String> {
             other => return Err(format!("expected count(*), got {other:?}")),
         }
     } else {
-        let mut cols = vec![p.ident()?];
+        let mut cols = vec![p.column_ref()?];
         while matches!(p.peek(), Some(Tok::Comma)) {
             p.pos += 1;
-            cols.push(p.ident()?);
+            cols.push(p.column_ref()?);
         }
         Some(cols)
     };
 
     p.expect_kw("from")?;
     let table = p.ident()?;
+    let join_table = if matches!(p.peek(), Some(Tok::Comma)) {
+        p.pos += 1;
+        Some(p.ident()?)
+    } else {
+        None
+    };
 
     let predicate = if p.eat_kw("where") {
         p.expr()?
@@ -334,7 +393,7 @@ fn parse_query_impl(input: &str) -> Result<QuerySpec, String> {
     let mut order_desc = false;
     if p.eat_kw("order") {
         p.expect_kw("by")?;
-        order_by = Some(p.ident()?);
+        order_by = Some(p.column_ref()?);
         if p.eat_kw("desc") {
             order_desc = true;
         } else {
@@ -379,6 +438,7 @@ fn parse_query_impl(input: &str) -> Result<QuerySpec, String> {
         count_star,
         projection,
         table,
+        join_table,
         predicate,
         order_by,
         order_desc,
@@ -485,6 +545,50 @@ mod tests {
         assert!(q.count_star);
         assert!(q.projection.is_none());
         assert!(parse_query("select count(a) from T").is_err());
+    }
+
+    #[test]
+    fn parses_two_table_from_with_join_predicate() {
+        let q = parse_query(
+            "select L.ID, R.X from L, R where L.ID = R.FK and R.X > 10 order by L.ID limit 5",
+        )
+        .unwrap();
+        assert_eq!(q.table, "L");
+        assert_eq!(q.join_table.as_deref(), Some("R"));
+        assert_eq!(q.projection, Some(vec!["L.ID".into(), "R.X".into()]));
+        assert_eq!(q.order_by.as_deref(), Some("L.ID"));
+        match &q.predicate {
+            Expr::And(parts) => {
+                assert_eq!(
+                    parts[0],
+                    Expr::ColCmp {
+                        left: "L.ID".into(),
+                        op: CmpOp::Eq,
+                        right: "R.FK".into(),
+                    }
+                );
+                assert_eq!(parts[1], Expr::cmp("R.X", CmpOp::Gt, 10i64));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Single-table queries keep join_table empty.
+        let single = parse_query("select * from T where a = 1").unwrap();
+        assert_eq!(single.join_table, None);
+    }
+
+    #[test]
+    fn column_to_column_comparison_in_one_table() {
+        let q = parse_query("select * from T where a < b").unwrap();
+        assert_eq!(
+            q.predicate,
+            Expr::ColCmp {
+                left: "a".into(),
+                op: CmpOp::Lt,
+                right: "b".into(),
+            }
+        );
+        // A clause keyword after the operator is not a column reference.
+        assert!(parse_query("select * from T where a = order by b").is_err());
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use rdb_core::TacticHint;
 use rdb_storage::SharedCost;
 
-use crate::db::{Db, QueryResult, ResolvedQuery};
+use crate::db::{Db, QueryResult, Resolved};
 use crate::error::QueryError;
 use crate::options::QueryOptions;
 use crate::parser::QuerySpec;
@@ -59,8 +59,9 @@ pub(crate) type PlanTag = u64;
 pub(crate) struct SkeletonSlot {
     /// `Some((tag, skeleton))` once resolved; rebuilt when the tag goes
     /// stale. The skeleton is behind an `Arc` so a warm execution
-    /// borrows it with a refcount bump instead of a deep clone.
-    pub(crate) skel: Option<(PlanTag, Arc<ResolvedQuery>)>,
+    /// borrows it with a refcount bump instead of a deep clone. Holds
+    /// either shape: single-table retrieval or two-table join.
+    pub(crate) skel: Option<(PlanTag, Arc<Resolved>)>,
     /// Executions that reused a valid skeleton.
     pub(crate) hits: u64,
     /// Executions that built (or rebuilt) the skeleton.

@@ -23,6 +23,14 @@
 //!   returns *exactly* the right rows, and that a dead index mid-Jscan
 //!   degrades gracefully instead of corrupting the result.
 //!
+//! * [`join`] grows seeded *two-table* worlds (PK/FK-correlated, skewed,
+//!   disjoint, and NULL-heavy key distributions), runs every generated
+//!   join query through the SQL layer's join competition, and differences
+//!   the rows against a naive nested-loop shadow oracle — plus a
+//!   core-layer contract pass: dynamic join cost bounded by the best
+//!   static join plan, and every killed candidate's partial pairs a
+//!   subset of the true result (`--joins` on the binary).
+//!
 //! The `simtest` binary drives seed campaigns
 //! (`cargo run -p rdb-simtest -- --seeds 500`) and replays a single
 //! failing seed verbatim (`--replay <seed>`). A failing seed is printed
@@ -34,10 +42,12 @@
 pub mod concurrency;
 pub mod failure;
 pub mod harness;
+pub mod join;
 pub mod oracle;
 pub mod scenario;
 
 pub use concurrency::{concurrency_check, ConcurrencyReport};
 pub use failure::{FailureKind, SimFailure};
 pub use harness::{mutation_check, run_seed, SeedReport, SimConfig};
+pub use join::{join_mutation_check, run_join_seed, JoinQuery, JoinReport, JoinScenario, KeyMode};
 pub use scenario::{Conjunct, Query, Scenario};

@@ -13,13 +13,17 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
-use rdb_simtest::{concurrency_check, mutation_check, run_seed, SeedReport, SimConfig};
+use rdb_simtest::{
+    concurrency_check, join_mutation_check, mutation_check, run_join_seed, run_seed, JoinReport,
+    SeedReport, SimConfig,
+};
 
 struct Args {
     seeds: u64,
     start_seed: u64,
     replay: Option<u64>,
     threads: usize,
+    joins: bool,
     config: SimConfig,
     skip_mutation_check: bool,
 }
@@ -30,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         start_seed: 1,
         replay: None,
         threads: 1,
+        joins: false,
         config: SimConfig::default(),
         skip_mutation_check: false,
     };
@@ -74,20 +79,25 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cost-slack: {e}"))?
             }
+            "--joins" => args.joins = true,
             "--skip-mutation-check" => args.skip_mutation_check = true,
             "--help" | "-h" => {
                 println!(
                     "simtest: deterministic differential fuzzing of the dynamic optimizer\n\n\
                      USAGE: simtest [--seeds N] [--start-seed S] [--replay SEED]\n\
-                            [--threads T] [--fault-rate R]... [--cost-mult M]\n\
-                            [--cost-slack S] [--skip-mutation-check]\n\n\
+                            [--threads T] [--joins] [--fault-rate R]...\n\
+                            [--cost-mult M] [--cost-slack S] [--skip-mutation-check]\n\n\
                      Fault rates 0 < R < 1 arm random storage faults; the clean\n\
                      differential and a scoped index-death scenario always run.\n\
                      Default fault rates: 0.01 and 0.1.\n\
                      --threads T (T >= 2) additionally runs each seed's query\n\
                      batch concurrently on T OS threads over the shared engine,\n\
                      differencing every thread against the sequential oracle —\n\
-                     with and without storage faults armed."
+                     with and without storage faults armed.\n\
+                     --joins runs the multi-table campaign instead: seeded\n\
+                     two-table worlds whose join queries race the join\n\
+                     competition and are differenced against a naive\n\
+                     nested-loop shadow oracle."
                 );
                 std::process::exit(0);
             }
@@ -113,6 +123,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.joins {
+        return run_joins_campaign(&args);
+    }
 
     if !args.skip_mutation_check {
         match mutation_check(args.replay.unwrap_or(args.start_seed)) {
@@ -225,6 +239,86 @@ fn main() -> ExitCode {
             eprintln!("  replay with: cargo run -p rdb-simtest -- --replay {seed}");
         }
         eprintln!("simtest: {} of {} seeds failed", failures.len(), seeds.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The multi-table campaign: every seed grows a two-table world and runs
+/// its join queries through the SQL layer's join competition, differenced
+/// against the naive nested-loop shadow oracle (see `rdb_simtest::join`).
+fn run_joins_campaign(args: &Args) -> ExitCode {
+    if !args.skip_mutation_check {
+        match join_mutation_check(args.replay.unwrap_or(args.start_seed)) {
+            Ok(()) => println!("join mutation smoke check: oracle caught the injected row drop"),
+            Err(e) => {
+                eprintln!("simtest: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let seeds: Vec<u64> = match args.replay {
+        Some(seed) => vec![seed],
+        None => (args.start_seed..args.start_seed + args.seeds).collect(),
+    };
+
+    let mut total = JoinReport::default();
+    let mut failures: Vec<(u64, String)> = Vec::new();
+    for &seed in &seeds {
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_join_seed(seed, &args.config)));
+        match outcome {
+            Ok(Ok(report)) => {
+                if args.replay.is_some() {
+                    println!("{report:#?}");
+                }
+                total.left_rows += report.left_rows;
+                total.right_rows += report.right_rows;
+                total.queries += report.queries;
+                total.checks += report.checks;
+                total.cost_checks += report.cost_checks;
+                total.containment_checks += report.containment_checks;
+                total.fault_runs += report.fault_runs;
+                total.fault_errors += report.fault_errors;
+                total.fault_ok += report.fault_ok;
+            }
+            Ok(Err(e)) => failures.push((seed, format!("[{:?}] {e}", e.kind))),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                failures.push((seed, format!("PANIC: {msg}")));
+            }
+        }
+    }
+
+    println!(
+        "simtest joins: {} seeds, {} join queries, {} oracle checks, {} cost-bound checks, \
+         {} containment checks, {} faulted runs ({} clean errors, {} exact results)",
+        seeds.len() - failures.len(),
+        total.queries,
+        total.checks,
+        total.cost_checks,
+        total.containment_checks,
+        total.fault_runs,
+        total.fault_errors,
+        total.fault_ok,
+    );
+
+    if failures.is_empty() {
+        println!("simtest joins: all seeds passed");
+        ExitCode::SUCCESS
+    } else {
+        for (seed, e) in &failures {
+            eprintln!("simtest joins: seed {seed} FAILED: {e}");
+            eprintln!("  replay with: cargo run -p rdb-simtest -- --joins --replay {seed}");
+        }
+        eprintln!(
+            "simtest joins: {} of {} seeds failed",
+            failures.len(),
+            seeds.len()
+        );
         ExitCode::FAILURE
     }
 }

@@ -43,6 +43,52 @@ fn pinned_db() -> Db {
     db
 }
 
+/// A pinned two-table world (LCG-generated, fixed seed): PARENT(ID, KIND)
+/// with a unique-key index, CHILD(FK, X) with an FK index — every join
+/// method and orientation is feasible, so the join competition timeline
+/// exercises estimates, kills, and the winner.
+fn pinned_join_db() -> Db {
+    let mut db = Db::new(DbConfig {
+        page_bytes: 1024,
+        ..DbConfig::default()
+    });
+    db.create_table(
+        "PARENT",
+        Schema::new(vec![
+            Column::new("ID", ValueType::Int),
+            Column::new("KIND", ValueType::Int),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "CHILD",
+        Schema::new(vec![
+            Column::new("FK", ValueType::Int),
+            Column::new("X", ValueType::Int),
+        ]),
+    )
+    .unwrap();
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for i in 0..300i64 {
+        db.insert("PARENT", vec![Value::Int(i), Value::Int((next() % 5) as i64)])
+            .unwrap();
+    }
+    for _ in 0..900 {
+        let fk = (next() % 300) as i64;
+        let x = (next() % 10) as i64;
+        db.insert("CHILD", vec![Value::Int(fk), Value::Int(x)]).unwrap();
+    }
+    db.create_index("IDX_P_ID", "PARENT", &["ID"]).unwrap();
+    db.create_index("IDX_C_FK", "CHILD", &["FK"]).unwrap();
+    db
+}
+
 #[test]
 fn explain_analyze_timeline_matches_golden() {
     let db = pinned_db();
@@ -75,4 +121,37 @@ fn explain_analyze_timeline_matches_golden() {
     assert!(json.contains("\"event\":\"winner\""), "{json}");
     assert!(json.contains("\"event\":\"phase_cost\""), "{json}");
     assert!(json.contains("\"pool\":{"), "{json}");
+}
+
+#[test]
+fn explain_analyze_join_timeline_matches_golden() {
+    let db = pinned_join_db();
+    db.clear_cache();
+    let sql = "select PARENT.ID, CHILD.X from PARENT, CHILD \
+               where PARENT.ID = CHILD.FK and CHILD.X < 3 and PARENT.KIND = 2";
+    let ea = db.explain_analyze(sql, &QueryOptions::new()).unwrap();
+    let rendered = ea.render();
+
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/explain_analyze_join.txt");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {}: {e}\nbless it with: UPDATE_GOLDEN=1 cargo test -p rdb-simtest",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        rendered, golden,
+        "join EXPLAIN ANALYZE timeline drifted from the golden file; if the \
+         change is intended, re-bless with UPDATE_GOLDEN=1"
+    );
+
+    // The join competition's trace must be present end to end: candidate
+    // estimates, the raced methods, and a join winner tiling the cost.
+    let json = ea.to_json();
+    assert!(json.contains("\"event\":\"winner\""), "{json}");
+    assert!(json.contains("join"), "{json}");
 }

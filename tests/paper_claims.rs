@@ -15,7 +15,9 @@ use rdb_core::{
     DynamicOptimizer, IndexChoice, OptimizeGoal, RecordPred, RetrievalRequest, StaticJscan,
     StaticJscanConfig, StaticOptimizer, StaticPlan,
 };
-use rdb_dist::{apply_spec, fit_hyperbola, Correlation, Pdf, ShapeSummary};
+use rdb_core::join::estimate::result_cardinality;
+use rdb_core::join::JoinOp;
+use rdb_dist::{and, apply_spec, fit_hyperbola, join_unique, Correlation, Pdf, ShapeSummary};
 use rdb_storage::{Record, Value};
 use rdb_workload::{families_db, FamiliesConfig};
 
@@ -59,6 +61,55 @@ fn claim_hyperbola_fit_errors_match_paper() {
         assert!(
             err > bound / 20.0,
             "{spec}: fit error {err:.6} is implausibly small — fitter degenerate?"
+        );
+    }
+}
+
+/// Section 2, pinned: the JOIN selectivity transformation. A join on a
+/// key unique in all underlying tables "behaves almost identically to
+/// the AND operator", so the dist layer's `join_unique` must coincide
+/// with `and` bin-for-bin under every correlation assumption; and the
+/// planner's closed-form rewrite must keep the paper's fractions of the
+/// cross product — `1/d` for equality, `1 − 1/d` for `<>`, and one half
+/// for the range comparisons.
+#[test]
+fn claim_join_selectivity_transformation() {
+    // Dist layer: JOIN ≡ AND once selectivity is defined over the key
+    // domain, whatever the correlation assumption.
+    let u = Pdf::uniform();
+    let b = Pdf::bell(0.2, 0.01);
+    for corr in [
+        Correlation::Unknown,
+        Correlation::Exact(0.0),
+        Correlation::Exact(1.0),
+    ] {
+        let j = join_unique(&u, &b, corr);
+        let a = and(&u, &b, corr);
+        assert_eq!(j.bins(), a.bins());
+        for i in 0..j.bins() {
+            assert!(
+                (j.weight(i) - a.weight(i)).abs() < 1e-12,
+                "{corr:?}: join_unique must match the AND operator at bin {i}"
+            );
+        }
+    }
+
+    // Planner layer: anchors of the cardinality rewrite.
+    // (l_rows, r_rows, distinct, op, expected |L JOIN R|)
+    let anchors = [
+        (100.0, 500.0, 500.0, JoinOp::Eq, 100.0),    // |L|·|R| / d
+        (100.0, 500.0, 0.0, JoinOp::Eq, 50_000.0),   // empty domain clamps to 1
+        (100.0, 500.0, 500.0, JoinOp::Ne, 49_900.0), // cross · (1 − 1/d)
+        (10.0, 20.0, 50.0, JoinOp::Lt, 100.0),       // inequalities keep half
+        (10.0, 20.0, 50.0, JoinOp::Le, 100.0),
+        (10.0, 20.0, 50.0, JoinOp::Gt, 100.0),
+        (10.0, 20.0, 50.0, JoinOp::Ge, 100.0),
+    ];
+    for (l, r, d, op, want) in anchors {
+        let got = result_cardinality(l, r, d, op);
+        assert!(
+            (got - want).abs() < 1e-9,
+            "{op:?} with l={l} r={r} d={d}: got {got}, want {want}"
         );
     }
 }
