@@ -8,14 +8,19 @@
 //! a warm-up pass), cost-meter units, and delivered pairs; pair counts
 //! are cross-checked between every method before anything is timed.
 //!
-//! There is **no gate floor yet** — this binary reports and writes the
-//! machine-readable artifact; a ratio gate (dynamic vs best static) can
-//! ratchet on once a few CI runs establish the noise band.
+//! **Gate:** the dynamic competition's cost must stay within
+//! `JOIN_GATE_MAX` (default 1.5×) of the best static method on every
+//! shape. The committed `BENCH_join.json` baseline observed ratios of
+//! 1.05/1.05/1.28, so 1.5 leaves a noise band without letting a real
+//! regression (a lost race, a broken kill heuristic) through. Cost units
+//! are deterministic, so the gate is not wall-clock flaky.
 //!
 //! Environment knobs:
 //!
 //! * `JOIN_JSON` — path to write the machine-readable report (the
 //!   committed `BENCH_join.json` at the repo root).
+//! * `JOIN_GATE_MAX` — dynamic-over-best-static cost ceiling (default
+//!   `1.5`; set it empty or huge to effectively disable).
 //!
 //! Run: `cargo run --release -p rdb-bench --bin join_methods`
 
@@ -167,6 +172,11 @@ fn time_run(label: String, mut run: impl FnMut() -> (usize, f64)) -> Timed {
 }
 
 fn main() {
+    let gate_max: f64 = std::env::var("JOIN_GATE_MAX")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.5);
+    let mut gate_violations: Vec<String> = Vec::new();
     let cfg = JoinConfig::default();
     let methods = [
         JoinMethod::NestedLoop { outer: SideId::Left },
@@ -219,6 +229,14 @@ fn main() {
             .map(|r| r.cost)
             .fold(f64::INFINITY, f64::min);
         let dynamic = runs.last().expect("dynamic run");
+        let ratio = dynamic.cost / best_static_cost;
+        if ratio > gate_max {
+            gate_violations.push(format!(
+                "shape {}: dynamic cost {:.1} is {ratio:.2}x the best static \
+                 {best_static_cost:.1} (gate {gate_max:.2}x)",
+                shape.name, dynamic.cost
+            ));
+        }
         let entries: Vec<String> = runs
             .iter()
             .map(|r| {
@@ -247,11 +265,21 @@ fn main() {
              \"command\": \"JOIN_JSON=BENCH_join.json cargo run --release -p rdb-bench --bin join_methods\",\n  \
              \"note\": \"Every join method forced to completion, then the dynamic competition, on \
              three canonical two-table shapes. Pair counts are cross-checked between all methods \
-             before timing. No gate floor yet: the artifact establishes the baseline; a \
-             dynamic-vs-best-static ratio gate can ratchet on later.\",\n  \"shapes\": [\n{}\n  ]\n}}\n",
+             before timing. Gated: dynamic cost must stay within JOIN_GATE_MAX (default 1.5x) of \
+             the best static method on every shape.\",\n  \"gate_max\": {:.2},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+            gate_max,
             json_shapes.join(",\n")
         );
         std::fs::write(&path, out).expect("write join json");
         println!("wrote {path}");
+    }
+
+    if gate_violations.is_empty() {
+        println!("join gate: every shape within {gate_max:.2}x of its best static method");
+    } else {
+        for v in &gate_violations {
+            eprintln!("join gate FAILED: {v}");
+        }
+        std::process::exit(1);
     }
 }

@@ -102,6 +102,13 @@ impl Policy {
                 "crates/dist/src/".into(),
             ],
             scan_entry_files: vec![
+                // Durable backend: every page-store/WAL/recovery entry
+                // point is on the real-I/O path and must surface typed
+                // errors, never panic.
+                "crates/storage/src/store.rs".into(),
+                "crates/storage/src/file_store.rs".into(),
+                "crates/storage/src/wal.rs".into(),
+                "crates/storage/src/durable.rs".into(),
                 "crates/core/src/tscan.rs".into(),
                 "crates/core/src/sscan.rs".into(),
                 "crates/core/src/fscan.rs".into(),

@@ -1,0 +1,295 @@
+//! The durable catalog: a byte codec for table and index definitions.
+//!
+//! Only *definitions* persist — heap pages carry the data, and indexes are
+//! rebuilt from their tables on open (bulk-loaded bottom-up, the same path
+//! `CREATE INDEX` backfill uses). Every DDL statement logs a fresh snapshot
+//! through [`rdb_storage::DurableCtx::log_catalog`]; a checkpoint makes the
+//! latest one the durable baseline, and recovery honours the last snapshot
+//! in the surviving log.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! u32 magic "RDBC"  u16 version
+//! u16 table_count
+//!   per table:  str name | u32 file | u32 page_bytes | u16 column_count
+//!     per column:  str name | u8 type | u8 nullable
+//! u16 index_count
+//!   per index:  str name | str table | u32 file | u32 fanout
+//!               u16 key_count | u16 key_column_index ...
+//! ```
+//!
+//! where `str` is `u16 len | bytes` (UTF-8).
+
+use rdb_storage::{Column, Schema, StorageError, ValueType};
+
+const CATALOG_MAGIC: u32 = 0x4342_4452; // "RDBC" little-endian
+const CATALOG_VERSION: u16 = 1;
+
+/// One table definition as persisted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Heap file id.
+    pub file: u32,
+    /// Heap page payload bytes the table was created with.
+    pub page_bytes: u32,
+    /// Column definitions in order.
+    pub schema: Schema,
+}
+
+/// One index definition as persisted (rebuilt, not stored, on open).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name.
+    pub name: String,
+    /// Table the index belongs to.
+    pub table: String,
+    /// Index file id (for buffer-pool page identity).
+    pub file: u32,
+    /// B-tree fanout the index was built with.
+    pub fanout: u32,
+    /// Record positions of the key columns, in key order.
+    pub key_columns: Vec<usize>,
+}
+
+/// The whole catalog snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    /// Tables in creation order.
+    pub tables: Vec<TableDef>,
+    /// Indexes in creation order.
+    pub indexes: Vec<IndexDef>,
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn ty_code(ty: ValueType) -> u8 {
+    match ty {
+        ValueType::Int => 1,
+        ValueType::Float => 2,
+        ValueType::Str => 3,
+    }
+}
+
+fn ty_from(code: u8) -> Result<ValueType, StorageError> {
+    match code {
+        1 => Ok(ValueType::Int),
+        2 => Ok(ValueType::Float),
+        3 => Ok(ValueType::Str),
+        _ => Err(StorageError::Corrupt("catalog column type")),
+    }
+}
+
+/// A bounds-checked little-endian reader (no slice indexing, so decode
+/// stays panic-free on truncated or garbage input).
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        let bytes = self
+            .buf
+            .get(self.at..self.at + n)
+            .ok_or(StorageError::Corrupt("catalog truncated"))?;
+        self.at += n;
+        Ok(bytes)
+    }
+
+    fn u8(&mut self) -> Result<u8, StorageError> {
+        Ok(*self
+            .take(1)?
+            .first()
+            .ok_or(StorageError::Corrupt("catalog truncated"))?)
+    }
+
+    fn u16(&mut self) -> Result<u16, StorageError> {
+        let b = self.take(2)?;
+        b.try_into()
+            .map(u16::from_le_bytes)
+            .map_err(|_| StorageError::Corrupt("catalog truncated"))
+    }
+
+    fn u32(&mut self) -> Result<u32, StorageError> {
+        let b = self.take(4)?;
+        b.try_into()
+            .map(u32::from_le_bytes)
+            .map_err(|_| StorageError::Corrupt("catalog truncated"))
+    }
+
+    fn str(&mut self) -> Result<String, StorageError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| StorageError::Corrupt("catalog string"))
+    }
+}
+
+impl Catalog {
+    /// Serializes the catalog to its byte snapshot.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&CATALOG_MAGIC.to_le_bytes());
+        out.extend_from_slice(&CATALOG_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.tables.len() as u16).to_le_bytes());
+        for t in &self.tables {
+            put_str(&mut out, &t.name);
+            out.extend_from_slice(&t.file.to_le_bytes());
+            out.extend_from_slice(&t.page_bytes.to_le_bytes());
+            out.extend_from_slice(&(t.schema.len() as u16).to_le_bytes());
+            for c in t.schema.columns() {
+                put_str(&mut out, &c.name);
+                out.push(ty_code(c.ty));
+                out.push(u8::from(c.nullable));
+            }
+        }
+        out.extend_from_slice(&(self.indexes.len() as u16).to_le_bytes());
+        for i in &self.indexes {
+            put_str(&mut out, &i.name);
+            put_str(&mut out, &i.table);
+            out.extend_from_slice(&i.file.to_le_bytes());
+            out.extend_from_slice(&i.fanout.to_le_bytes());
+            out.extend_from_slice(&(i.key_columns.len() as u16).to_le_bytes());
+            for &k in &i.key_columns {
+                out.extend_from_slice(&(k as u16).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a snapshot, rejecting truncation, trailing bytes, and
+    /// unknown versions with typed errors.
+    pub fn decode(buf: &[u8]) -> Result<Catalog, StorageError> {
+        let mut r = Reader { buf, at: 0 };
+        if r.u32()? != CATALOG_MAGIC {
+            return Err(StorageError::Corrupt("catalog magic"));
+        }
+        if r.u16()? != CATALOG_VERSION {
+            return Err(StorageError::Corrupt("catalog version"));
+        }
+        let table_count = r.u16()?;
+        let mut tables = Vec::with_capacity(table_count as usize);
+        for _ in 0..table_count {
+            let name = r.str()?;
+            let file = r.u32()?;
+            let page_bytes = r.u32()?;
+            let column_count = r.u16()?;
+            let mut columns = Vec::with_capacity(column_count as usize);
+            for _ in 0..column_count {
+                let cname = r.str()?;
+                let ty = ty_from(r.u8()?)?;
+                let nullable = r.u8()? != 0;
+                columns.push(if nullable {
+                    Column::nullable(cname, ty)
+                } else {
+                    Column::new(cname, ty)
+                });
+            }
+            tables.push(TableDef {
+                name,
+                file,
+                page_bytes,
+                schema: Schema::new(columns),
+            });
+        }
+        let index_count = r.u16()?;
+        let mut indexes = Vec::with_capacity(index_count as usize);
+        for _ in 0..index_count {
+            let name = r.str()?;
+            let table = r.str()?;
+            let file = r.u32()?;
+            let fanout = r.u32()?;
+            let key_count = r.u16()?;
+            let mut key_columns = Vec::with_capacity(key_count as usize);
+            for _ in 0..key_count {
+                key_columns.push(r.u16()? as usize);
+            }
+            indexes.push(IndexDef {
+                name,
+                table,
+                file,
+                fanout,
+                key_columns,
+            });
+        }
+        if r.at != buf.len() {
+            return Err(StorageError::Corrupt("catalog trailing bytes"));
+        }
+        Ok(Catalog { tables, indexes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Catalog {
+        Catalog {
+            tables: vec![TableDef {
+                name: "FAMILIES".into(),
+                file: 0,
+                page_bytes: 4000,
+                schema: Schema::new(vec![
+                    Column::new("ID", ValueType::Int),
+                    Column::nullable("NAME", ValueType::Str),
+                    Column::new("W", ValueType::Float),
+                ]),
+            }],
+            indexes: vec![IndexDef {
+                name: "IDX_ID".into(),
+                table: "FAMILIES".into(),
+                file: 1,
+                fanout: 64,
+                key_columns: vec![0, 2],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cat = sample();
+        let bytes = cat.encode();
+        assert_eq!(Catalog::decode(&bytes).unwrap(), cat);
+    }
+
+    #[test]
+    fn rejects_truncation_and_trailing_bytes() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert!(matches!(
+            Catalog::decode(&bytes),
+            Err(StorageError::Corrupt("catalog trailing bytes"))
+        ));
+        for cut in 1..bytes.len() - 1 {
+            assert!(
+                Catalog::decode(bytes.get(..cut).unwrap_or(&[])).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        let mut bytes = sample().encode();
+        if let Some(b) = bytes.first_mut() {
+            *b ^= 0xFF;
+        }
+        assert!(matches!(
+            Catalog::decode(&bytes),
+            Err(StorageError::Corrupt("catalog magic"))
+        ));
+        let mut bytes = sample().encode();
+        if let Some(b) = bytes.get_mut(4) {
+            *b = 0xEE;
+        }
+        assert!(matches!(
+            Catalog::decode(&bytes),
+            Err(StorageError::Corrupt("catalog version"))
+        ));
+    }
+}

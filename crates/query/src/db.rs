@@ -10,10 +10,12 @@ use rdb_core::{
     DynamicConfig, DynamicOptimizer, IndexChoice, OptimizeGoal, RetrievalRequest, TraceBuffer,
 };
 use rdb_storage::{
-    shared_meter, shared_pool, CostConfig, FileId, HeapTable, Record, Schema, SharedCost,
-    SharedPool, Value,
+    recover, shared_meter, shared_pool, CheckpointStats, CostConfig, DurableCtx, FileId,
+    FilePageStore, HeapTable, PageId, Record, RecoveryReport, Schema, SharedCost, SharedPool,
+    SharedStore, Value,
 };
 
+use crate::catalog::{Catalog, IndexDef, TableDef};
 use crate::error::QueryError;
 use crate::explain::ExplainAnalyze;
 use crate::expr::{CompiledPred, Expr};
@@ -259,7 +261,7 @@ pub struct QueryResult {
 /// use rdb_query::prelude::*;
 /// use rdb_storage::{Column, Schema, ValueType};
 ///
-/// let mut db = Db::new(DbConfig::default());
+/// let mut db = Db::builder().open()?;
 /// db.create_table("FAMILIES", Schema::new(vec![
 ///     Column::new("ID", ValueType::Int),
 ///     Column::new("AGE", ValueType::Int),
@@ -289,6 +291,11 @@ pub struct Db {
     /// plan skeletons are tagged with the generation they were resolved
     /// under and rebuild themselves when it moves.
     catalog_gen: u64,
+    /// Present on durable databases: the WAL/checkpoint machinery shared
+    /// by every table.
+    durable: Option<Arc<DurableCtx>>,
+    /// What recovery did when this database was opened from disk.
+    recovery: Option<RecoveryReport>,
 }
 
 fn unknown_column(table: &str, column: &str) -> QueryError {
@@ -308,8 +315,21 @@ fn check_expr_columns(table: &str, schema: &Schema, expr: &Expr) -> Result<(), Q
 }
 
 impl Db {
-    /// Creates an empty database.
+    /// Starts building a database: `Db::builder().open()` for in-memory,
+    /// `Db::builder().path(dir).open()` for one that survives the process
+    /// (see [`crate::DbBuilder`]).
+    pub fn builder() -> crate::DbBuilder {
+        crate::DbBuilder::new()
+    }
+
+    /// Creates an empty in-memory database.
+    #[deprecated(note = "use Db::builder().open() (this shim lasts one release)")]
     pub fn new(config: DbConfig) -> Self {
+        Self::open_in_memory(config)
+    }
+
+    /// In-memory construction (the builder's `in_memory` target).
+    pub(crate) fn open_in_memory(config: DbConfig) -> Self {
         let cost = shared_meter(config.cost);
         let pool = shared_pool(config.pool_pages, cost.clone());
         Db {
@@ -321,7 +341,177 @@ impl Db {
             plan_cache: PlanCache::new(),
             catalog_gen: 0,
             config,
+            durable: None,
+            recovery: None,
         }
+    }
+
+    /// Durable construction (the builder's `path` target): opens or
+    /// creates the page files under `dir`, runs redo recovery, rebuilds
+    /// every cataloged table from its recovered pages and every index from
+    /// its table, and marks redo-touched pages dirty so the next
+    /// checkpoint writes them back.
+    pub(crate) fn open_durable(mut config: DbConfig, dir: &std::path::Path) -> Result<Self, QueryError> {
+        let store: SharedStore = Arc::new(FilePageStore::open(dir, config.page_bytes)?);
+        // An existing database's on-disk page size wins over the config.
+        config.page_bytes = store.page_bytes();
+        let recovered = recover(&store)?;
+        let cost = shared_meter(config.cost);
+        let pool = shared_pool(config.pool_pages, cost.clone());
+        let ctx = DurableCtx::new(
+            store.clone(),
+            pool.clone(),
+            recovered.imaged.clone(),
+            recovered.page_lsns(),
+        );
+        let catalog = match &recovered.catalog {
+            Some(blob) => Catalog::decode(blob)?,
+            None => Catalog::default(),
+        };
+
+        let mut tables = BTreeMap::new();
+        let mut next_file = 0u32;
+        for def in &catalog.tables {
+            next_file = next_file.max(def.file + 1);
+            let file = FileId(def.file);
+            let pages = recovered
+                .files
+                .get(&def.file)
+                .map(|rec| rec.pages.clone())
+                .unwrap_or_default();
+            let heap = HeapTable::from_recovered(
+                def.name.clone(),
+                file,
+                def.schema.clone(),
+                pool.clone(),
+                def.page_bytes as usize,
+                pages,
+                ctx.clone(),
+                store.file_pages(file)?,
+            );
+            tables.insert(
+                def.name.clone(),
+                TableEntry {
+                    heap,
+                    indexes: Vec::new(),
+                },
+            );
+        }
+        // Redo-touched pages are dirty: their frames are stale until the
+        // next checkpoint writes them back.
+        for (file, rec) in &recovered.files {
+            for &page_no in &rec.dirty {
+                pool.mark_dirty(PageId::new(FileId(*file), page_no));
+            }
+        }
+        // Indexes are definitions, not data: rebuild each from its table
+        // through the same bulk loader `CREATE INDEX` backfill uses.
+        for idef in &catalog.indexes {
+            next_file = next_file.max(idef.file + 1);
+            let entry = tables
+                .get_mut(&idef.table)
+                .ok_or(QueryError::Storage(rdb_storage::StorageError::Corrupt(
+                    "catalog index references unknown table",
+                )))?;
+            let mut entries: Vec<(Vec<Value>, rdb_storage::Rid)> = Vec::new();
+            let mut scan = entry.heap.scan();
+            while let Some((rid, record)) = scan.next(&entry.heap, &cost)? {
+                let key: Vec<Value> = idef.key_columns.iter().map(|&c| record[c].clone()).collect();
+                entries.push((key, rid));
+            }
+            entry.indexes.push(BTree::bulk_load(
+                idef.name.clone(),
+                FileId(idef.file),
+                pool.clone(),
+                idef.key_columns.clone(),
+                idef.fanout as usize,
+                entries,
+            ));
+        }
+
+        Ok(Db {
+            cost,
+            pool,
+            tables,
+            next_file,
+            optimizer: DynamicOptimizer::new(config.optimizer),
+            plan_cache: PlanCache::new(),
+            catalog_gen: 0,
+            config,
+            durable: Some(ctx),
+            recovery: Some(recovered.report),
+        })
+    }
+
+    /// The catalog as currently defined (the blob DDL logs and checkpoints
+    /// persist).
+    fn snapshot_catalog(&self) -> Catalog {
+        let mut cat = Catalog::default();
+        for (name, entry) in &self.tables {
+            cat.tables.push(TableDef {
+                name: name.clone(),
+                file: entry.heap.file().0,
+                page_bytes: entry.heap.page_bytes() as u32,
+                schema: entry.heap.schema().clone(),
+            });
+            for tree in &entry.indexes {
+                cat.indexes.push(IndexDef {
+                    name: tree.name().to_string(),
+                    table: name.clone(),
+                    file: tree.file().0,
+                    fanout: tree.max_fanout() as u32,
+                    key_columns: tree.key_columns().to_vec(),
+                });
+            }
+        }
+        cat
+    }
+
+    /// True when the database is backed by files (survives the process).
+    pub fn is_durable(&self) -> bool {
+        self.durable.as_ref().is_some_and(|c| c.is_durable())
+    }
+
+    /// The page store behind a durable database (real-I/O counters live
+    /// here), `None` for in-memory databases.
+    pub fn store(&self) -> Option<&SharedStore> {
+        self.durable.as_ref().map(|c| c.store())
+    }
+
+    /// What recovery did when this database was opened from disk, `None`
+    /// for in-memory databases.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.recovery
+    }
+
+    /// Checkpoints a durable database: writes every dirty page back to its
+    /// disk frame, makes the current catalog durable, and truncates the
+    /// WAL. A no-op `Ok` on in-memory databases. There is **no** implicit
+    /// checkpoint on drop — callers that want durability at shutdown use
+    /// [`Db::close`] (dropping without it is exactly the crash the
+    /// recovery path handles).
+    pub fn checkpoint(&mut self) -> Result<CheckpointStats, QueryError> {
+        let Some(ctx) = self.durable.clone() else {
+            return Ok(CheckpointStats::default());
+        };
+        let blob = self.snapshot_catalog().encode();
+        let tables = &self.tables;
+        let stats = ctx.checkpoint(&blob, |pid| {
+            tables
+                .values()
+                .find(|t| t.heap.file() == pid.file)
+                .and_then(|t| t.heap.page_clone(pid.page))
+        })?;
+        for entry in self.tables.values_mut() {
+            entry.heap.note_checkpointed();
+        }
+        Ok(stats)
+    }
+
+    /// Checkpoints (durable databases) and consumes the handle — the clean
+    /// shutdown. Reopening after `close` replays nothing.
+    pub fn close(mut self) -> Result<(), QueryError> {
+        self.checkpoint().map(|_| ())
     }
 
     /// Shared cost meter (for experiments).
@@ -363,13 +553,16 @@ impl Db {
             return Err(QueryError::DuplicateTable(name));
         }
         let file = self.alloc_file();
-        let heap = HeapTable::with_page_bytes(
+        let mut heap = HeapTable::with_page_bytes(
             name.clone(),
             file,
             schema,
             self.pool.clone(),
             self.config.page_bytes,
         );
+        if let Some(ctx) = &self.durable {
+            heap.attach_durable(ctx.clone());
+        }
         self.tables.insert(
             name,
             TableEntry {
@@ -378,6 +571,17 @@ impl Db {
             },
         );
         self.catalog_gen += 1;
+        self.log_catalog()?;
+        Ok(())
+    }
+
+    /// WAL-logs the current catalog snapshot (durable databases; every DDL
+    /// statement calls this so recovery sees definitions without waiting
+    /// for a checkpoint).
+    fn log_catalog(&self) -> Result<(), QueryError> {
+        if let Some(ctx) = &self.durable {
+            ctx.log_catalog(self.snapshot_catalog().encode())?;
+        }
         Ok(())
     }
 
@@ -414,6 +618,7 @@ impl Db {
         let tree = BTree::bulk_load(index_name, file, pool, key_columns, fanout, entries);
         entry.indexes.push(tree);
         self.catalog_gen += 1;
+        self.log_catalog()?;
         Ok(())
     }
 
@@ -671,7 +876,7 @@ impl Db {
     /// use rdb_query::prelude::*;
     /// use rdb_storage::{Column, Schema, ValueType};
     ///
-    /// let mut db = Db::new(DbConfig::default());
+    /// let mut db = Db::builder().open()?;
     /// db.create_table("T", Schema::new(vec![Column::new("X", ValueType::Int)]))?;
     /// for i in 0..500 {
     ///     db.insert("T", vec![Value::Int(i % 50)])?;
@@ -1062,7 +1267,7 @@ impl Db {
     /// use rdb_query::prelude::*;
     /// use rdb_storage::{Column, Schema, ValueType};
     ///
-    /// let mut db = Db::new(DbConfig::default());
+    /// let mut db = Db::builder().open()?;
     /// db.create_table("T", Schema::new(vec![Column::new("X", ValueType::Int)]))?;
     /// for i in 0..200 {
     ///     db.insert("T", vec![Value::Int(i % 50)])?;
@@ -1239,7 +1444,7 @@ impl Db {
     /// use rdb_query::prelude::*;
     /// use rdb_storage::{Column, Schema, ValueType};
     ///
-    /// let mut db = Db::new(DbConfig::default());
+    /// let mut db = Db::builder().open()?;
     /// db.create_table("T", Schema::new(vec![Column::new("X", ValueType::Int)]))?;
     /// for i in 0..100 {
     ///     db.insert("T", vec![Value::Int(i)])?;
@@ -1324,10 +1529,7 @@ mod tests {
     use rdb_storage::{Column, ValueType};
 
     fn db_with_families(n: i64) -> Db {
-        let mut db = Db::new(DbConfig {
-            page_bytes: 1024,
-            ..DbConfig::default()
-        });
+        let mut db = Db::builder().page_bytes(1024).open().unwrap();
         db.create_table(
             "FAMILIES",
             Schema::new(vec![
@@ -1544,7 +1746,7 @@ mod tests {
 
     #[test]
     fn create_index_backfills_existing_rows() {
-        let mut db = Db::new(DbConfig::default());
+        let mut db = Db::builder().open().unwrap();
         db.create_table("T", Schema::new(vec![Column::new("x", ValueType::Int)]))
             .unwrap();
         for i in 0..100 {
@@ -1618,10 +1820,7 @@ mod tests {
 
     #[test]
     fn composite_index_prefix_range_used() {
-        let mut db = Db::new(DbConfig {
-            page_bytes: 1024,
-            ..DbConfig::default()
-        });
+        let mut db = Db::builder().page_bytes(1024).open().unwrap();
         db.create_table(
             "T",
             Schema::new(vec![
@@ -1749,7 +1948,7 @@ mod tests {
 
     #[test]
     fn duplicate_table_rejected() {
-        let mut db = Db::new(DbConfig::default());
+        let mut db = Db::builder().open().unwrap();
         db.create_table("T", Schema::new(vec![Column::new("x", ValueType::Int)]))
             .unwrap();
         assert!(matches!(

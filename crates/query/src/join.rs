@@ -490,16 +490,13 @@ pub(crate) fn explain_join(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::db::{Db, DbConfig};
+    use crate::db::Db;
     use rdb_storage::{Column, Schema, ValueType};
 
     /// PARENT(ID, KIND) with unique IDs 0..n, CHILD(FK, X) with FK = i % n
     /// — a classic PK/FK pair; both join columns indexed.
     fn two_table_db(parents: i64, children: i64) -> Db {
-        let mut db = Db::new(DbConfig {
-            page_bytes: 1024,
-            ..DbConfig::default()
-        });
+        let mut db = Db::builder().page_bytes(1024).open().unwrap();
         db.create_table(
             "PARENT",
             Schema::new(vec![

@@ -31,13 +31,17 @@
 //!   decomposed into per-side residuals plus cross-table comparisons, and
 //!   execution races every feasible join method and orientation through
 //!   [`rdb_core::run_join`] with the paper's kill rules armed.
+//! * [`builder`] / [`catalog`] — database construction through
+//!   [`DbBuilder`] (`Db::builder().open()` in memory,
+//!   `Db::builder().path(dir).open()` for a durable database with WAL +
+//!   crash recovery) and the persisted catalog of table/index definitions.
 //!
 //! Most applications only need the [`prelude`]:
 //!
 //! ```
 //! use rdb_query::prelude::*;
 //!
-//! let mut db = Db::new(DbConfig::default());
+//! let mut db = Db::builder().open()?;
 //! db.create_table("T", Schema::new(vec![Column::new("X", ValueType::Int)]))?;
 //! db.insert("T", vec![Value::Int(7)])?;
 //! let result = db.query("select * from T where X = 7", &QueryOptions::new())?;
@@ -45,6 +49,8 @@
 //! # Ok::<(), QueryError>(())
 //! ```
 
+pub mod builder;
+pub mod catalog;
 pub mod db;
 pub mod error;
 pub mod explain;
@@ -56,6 +62,8 @@ pub mod plan;
 pub mod prepared;
 pub mod sort;
 
+pub use builder::DbBuilder;
+pub use catalog::{Catalog, IndexDef, TableDef};
 pub use db::{Db, DbConfig, QueryMetrics, QueryResult, Session};
 pub use error::QueryError;
 pub use explain::ExplainAnalyze;
@@ -72,6 +80,7 @@ pub use sort::{sort_rows, sort_rows_dir, SortConfig, SortStats};
 /// ANALYZE`, and the storage-layer vocabulary (values, schemas) needed to
 /// define tables and rows.
 pub mod prelude {
+    pub use crate::builder::DbBuilder;
     pub use crate::db::{Db, DbConfig, QueryMetrics, QueryResult, Session};
     pub use crate::error::QueryError;
     pub use crate::explain::ExplainAnalyze;

@@ -226,7 +226,7 @@ impl PlanCache {
 /// use rdb_query::prelude::*;
 /// use rdb_storage::{Column, Schema, ValueType};
 ///
-/// let mut db = Db::new(DbConfig::default());
+/// let mut db = Db::builder().open()?;
 /// db.create_table("T", Schema::new(vec![Column::new("X", ValueType::Int)]))?;
 /// for i in 0..100 {
 ///     db.insert("T", vec![Value::Int(i)])?;

@@ -1,0 +1,204 @@
+//! Durable-database integration: builder construction, crash recovery,
+//! and the contract that the simulated cost meter's I/O unit is grounded
+//! in real page reads on a cold cache.
+
+use std::path::PathBuf;
+
+use rdb_query::prelude::*;
+use rdb_storage::{Column, Schema, ValueType};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rdb-durable-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn families_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("ID", ValueType::Int),
+        Column::new("AGE", ValueType::Int),
+    ])
+}
+
+fn build(dir: &PathBuf, rows: i64) -> Db {
+    let mut db = Db::builder().path(dir).page_bytes(512).open().unwrap();
+    db.create_table("FAMILIES", families_schema()).unwrap();
+    for i in 0..rows {
+        db.insert("FAMILIES", vec![Value::Int(i), Value::Int(i % 100)])
+            .unwrap();
+    }
+    db.create_index("IDX_AGE", "FAMILIES", &["AGE"]).unwrap();
+    db
+}
+
+fn ids(db: &Db, sql: &str) -> Vec<i64> {
+    let mut out: Vec<i64> = db
+        .query(sql, &QueryOptions::new())
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[test]
+fn clean_close_and_reopen_preserves_everything() {
+    let dir = temp_dir("clean");
+    let db = build(&dir, 500);
+    let before = ids(&db, "select ID from FAMILIES where AGE >= 90");
+    db.close().unwrap();
+
+    let db = Db::builder().path(&dir).open().unwrap();
+    assert!(db.is_durable());
+    let report = db.recovery_report().unwrap();
+    assert_eq!(report.records_applied, 0, "clean close replays nothing");
+    assert_eq!(db.row_count("FAMILIES"), Some(500));
+    assert_eq!(ids(&db, "select ID from FAMILIES where AGE >= 90"), before);
+    // The rebuilt index serves the query (not just the heap).
+    let explained = db
+        .explain("select ID from FAMILIES where AGE >= 99", &QueryOptions::new())
+        .unwrap();
+    assert!(
+        explained.contains("IDX_AGE") || !explained.contains("Tscan"),
+        "index survives reopen: {explained}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_without_checkpoint_recovers_from_wal() {
+    let dir = temp_dir("crash");
+    let db = build(&dir, 300);
+    let before = ids(&db, "select ID from FAMILIES where AGE < 10");
+    // Crash: plain drop, no checkpoint. Everything lives in the WAL.
+    drop(db);
+
+    let db = Db::builder().path(&dir).open().unwrap();
+    let report = db.recovery_report().unwrap();
+    assert!(report.records_applied > 0, "WAL replay did the rebuild");
+    assert_eq!(db.row_count("FAMILIES"), Some(300));
+    assert_eq!(ids(&db, "select ID from FAMILIES where AGE < 10"), before);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crash_after_checkpoint_replays_only_the_tail() {
+    let dir = temp_dir("tail");
+    let mut db = build(&dir, 200);
+    let stats = db.checkpoint().unwrap();
+    assert!(stats.pages_written > 0);
+    // Post-checkpoint mutations: these live only in the WAL.
+    let opts = QueryOptions::new();
+    let deleted = db
+        .delete_where(
+            "FAMILIES",
+            &rdb_query::Expr::cmp("AGE", rdb_query::CmpOp::Eq, 7i64),
+            &opts,
+        )
+        .unwrap();
+    assert_eq!(deleted, 2);
+    db.insert("FAMILIES", vec![Value::Int(9999), Value::Int(7)])
+        .unwrap();
+    let before = ids(&db, "select ID from FAMILIES where AGE = 7");
+    drop(db);
+
+    let db = Db::builder().path(&dir).open().unwrap();
+    assert_eq!(db.row_count("FAMILIES"), Some(199));
+    assert_eq!(ids(&db, "select ID from FAMILIES where AGE = 7"), before);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The acceptance contract: on a cold cache, the cost meter's simulated
+/// page reads for a table scan equal the *real* page reads the store
+/// performed (verify-reads of checksummed disk frames), which equal the
+/// table's page count.
+#[test]
+fn cost_meter_io_unit_matches_real_page_reads_on_cold_cache() {
+    let dir = temp_dir("costunit");
+    let mut db = build(&dir, 400);
+    db.checkpoint().unwrap();
+
+    let store = db.store().unwrap().clone();
+    let pages = u64::from(db.heap("FAMILIES").unwrap().page_count());
+    assert!(pages > 3, "need a multi-page table, got {pages}");
+
+    db.clear_cache(); // cold restart
+    let real_before = store.stats();
+    let result = db
+        .query("select * from FAMILIES", &QueryOptions::new())
+        .unwrap();
+    let real = store.stats().since(&real_before);
+    assert_eq!(result.rows.len(), 400);
+    assert_eq!(
+        real.page_reads, pages,
+        "every cold miss of a checkpointed page is one real frame read"
+    );
+    assert_eq!(
+        result.metrics.pool_misses, real.page_reads,
+        "simulated I/O unit == real page reads"
+    );
+
+    // Warm run: all hits, zero real I/O.
+    let real_before = store.stats();
+    let warm = db
+        .query("select * from FAMILIES", &QueryOptions::new())
+        .unwrap();
+    assert_eq!(warm.rows.len(), 400);
+    assert_eq!(store.stats().since(&real_before).page_reads, 0);
+    assert_eq!(warm.metrics.pool_misses, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn torn_frame_without_covering_image_is_a_typed_error() {
+    let dir = temp_dir("torn");
+    let mut db = build(&dir, 200);
+    db.checkpoint().unwrap();
+    db.close().unwrap();
+
+    // Corrupt one payload byte of the first data frame of file 0.
+    let data = rdb_storage::file_store::FilePageStore::data_path(&dir, rdb_storage::FileId(0));
+    let mut bytes = std::fs::read(&data).unwrap();
+    let at = rdb_storage::file_store::FRAME_HEADER + 3;
+    bytes[at] ^= 0xFF;
+    std::fs::write(&data, &bytes).unwrap();
+
+    let err = match Db::builder().path(&dir).open() {
+        Ok(_) => panic!("open must fail on the torn frame"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(
+            err,
+            QueryError::Storage(rdb_storage::StorageError::TornPage { .. })
+        ),
+        "got {err:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn explicit_page_bytes_over_frame_budget_is_a_typed_error() {
+    let dir = temp_dir("toolarge");
+    let err = match Db::builder().path(&dir).page_bytes(64 * 1024).open() {
+        Ok(_) => panic!("oversized page_bytes must be rejected"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, QueryError::Storage(_)), "got {err:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_db_new_shim_still_works() {
+    let mut db = Db::new(DbConfig::default());
+    db.create_table("T", families_schema()).unwrap();
+    db.insert("T", vec![Value::Int(1), Value::Int(2)]).unwrap();
+    assert_eq!(db.row_count("T"), Some(1));
+    assert!(!db.is_durable());
+}

@@ -31,10 +31,7 @@ fn arb_op() -> impl Strategy<Value = PrepOp> {
 }
 
 fn build_db(rows: i64, rng_seed: u64) -> Db {
-    let mut db = Db::new(DbConfig {
-        page_bytes: 1024,
-        ..DbConfig::default()
-    });
+    let mut db = Db::builder().page_bytes(1024).open().unwrap();
     db.create_table(
         "FAMILIES",
         Schema::new(vec![

@@ -1,0 +1,649 @@
+//! Durable crash simulation: seeded on-disk worlds killed at arbitrary
+//! points and recovered against a shadow oracle.
+//!
+//! One seed determines a mutation script (inserts, predicate deletes,
+//! fuzzy checkpoints) over a file-backed database. The script runs under
+//! a shadow oracle that records, **after every operation**, the exact
+//! live row set and the WAL's byte length — so any prefix of the history
+//! has a known ground truth and a known on-disk boundary. The campaign
+//! then replays the same world under six crash styles, each in its own
+//! directory:
+//!
+//! 1. **Clean close** — `close()` checkpoints; reopen must replay zero
+//!    records and serve the full oracle.
+//! 2. **Crash** — plain drop, no checkpoint; reopen rebuilds everything
+//!    from the WAL (and the fault campaign then hammers the reopened
+//!    database: every armed run either fails with the injected fault or
+//!    returns exactly the oracle rows).
+//! 3. **WAL boundary cut** — the log is truncated at the recorded
+//!    boundary of operation *j*; recovery must land on *exactly* the
+//!    oracle state after operation *j*.
+//! 4. **Ragged cut** — the log is cut *mid-record*; the torn tail must
+//!    be discarded silently and recovery lands on operation *j* again.
+//! 5. **Covered torn frame** — a checkpointed data frame whose full-page
+//!    image survives in the WAL is corrupted; recovery must repair it
+//!    from the image and serve the full oracle.
+//! 6. **Uncovered torn frame** — a frame corrupted after a clean
+//!    shutdown (empty WAL, nothing to repair from) must surface as a
+//!    typed [`StorageError::TornPage`], never as wrong rows.
+//!
+//! Every check failure is a [`FailureKind::Durability`] with full replay
+//! context. Like the other campaigns, a mutation smoke check proves the
+//! oracle has teeth before any seeds run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdb_query::prelude::*;
+use rdb_query::{CmpOp, Expr};
+use rdb_storage::wal::decode_stream;
+use rdb_storage::{FaultPolicy, FilePageStore, StorageError};
+
+use crate::failure::SimFailure;
+use crate::harness::SimConfig;
+
+#[allow(unused_imports)] // rustdoc link target
+use crate::failure::FailureKind;
+
+/// One scripted mutation against the durable world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurableOp {
+    /// Insert `(id, k)` into T.
+    Insert {
+        /// The (unique) ID column value.
+        id: i64,
+        /// The (skewed, indexed) K column value.
+        k: i64,
+    },
+    /// Delete every row whose K equals `k` (exercises multi-victim
+    /// deletes and index maintenance on the WAL path).
+    DeleteK {
+        /// The K value to delete.
+        k: i64,
+    },
+    /// A fuzzy checkpoint: dirty pages flushed, WAL truncated.
+    Checkpoint,
+}
+
+/// The seeded mutation script. Same seed, same script.
+#[derive(Debug, Clone)]
+pub struct DurableScenario {
+    /// The generating seed.
+    pub seed: u64,
+    /// The mutation script, in execution order.
+    pub ops: Vec<DurableOp>,
+    /// K values are drawn from `0..k_dom`.
+    pub k_dom: i64,
+}
+
+impl DurableScenario {
+    /// Generates the script for `seed`: a bulk load, a guaranteed
+    /// mid-script checkpoint (so later styles always have checkpointed
+    /// frames to tear), then a mixed tail of inserts, deletes, and
+    /// occasional extra checkpoints.
+    pub fn generate(seed: u64) -> DurableScenario {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ seed);
+        let k_dom = rng.gen_range(3i64..=12);
+        let n_init = rng.gen_range(60usize..=160);
+        let n_tail = rng.gen_range(30usize..=80);
+        let mut ops = Vec::with_capacity(n_init + n_tail + 1);
+        let mut next_id = 0i64;
+        let mut insert = |rng: &mut StdRng, ops: &mut Vec<DurableOp>| {
+            ops.push(DurableOp::Insert {
+                id: next_id,
+                k: rng.gen_range(0..k_dom),
+            });
+            next_id += 1;
+        };
+        for _ in 0..n_init {
+            insert(&mut rng, &mut ops);
+        }
+        // The guaranteed checkpoint: every page of the bulk load gets a
+        // disk frame, and every later first-touch logs a full-page image.
+        ops.push(DurableOp::Checkpoint);
+        for _ in 0..n_tail {
+            match rng.gen_range(0u32..10) {
+                0..=6 => insert(&mut rng, &mut ops),
+                7..=8 => ops.push(DurableOp::DeleteK {
+                    k: rng.gen_range(0..k_dom),
+                }),
+                _ => ops.push(DurableOp::Checkpoint),
+            }
+        }
+        DurableScenario { seed, ops, k_dom }
+    }
+}
+
+/// What one seed's durable campaign did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurableReport {
+    /// The seed.
+    pub seed: u64,
+    /// Operations in the script.
+    pub ops: usize,
+    /// Crash-and-recover scenarios executed (styles that ran).
+    pub crashes: u64,
+    /// Oracle comparisons performed against recovered databases.
+    pub checks: u64,
+    /// WAL records replayed across all recoveries.
+    pub replayed: u64,
+    /// Torn frames repaired from full-page images.
+    pub torn_repaired: u64,
+    /// Torn frames correctly surfaced as typed errors.
+    pub torn_errors: u64,
+    /// Queries run against a recovered database with faults armed.
+    pub fault_runs: u64,
+    /// Faulted runs that surfaced a clean injected-fault error.
+    pub fault_errors: u64,
+    /// Faulted runs that completed with a provably exact result.
+    pub fault_ok: u64,
+}
+
+/// The oracle's trajectory through one execution of the script.
+struct WorldRun {
+    /// Live `(id, k)` rows after each operation.
+    shadows: Vec<Vec<(i64, i64)>>,
+    /// WAL byte length after each operation (a clean record boundary —
+    /// appends are write-through).
+    wal_bytes: Vec<u64>,
+    /// Index of the last `Checkpoint` op, if any.
+    last_checkpoint: Option<usize>,
+}
+
+fn exec_err(what: &str) -> impl FnOnce(QueryError) -> SimFailure + '_ {
+    move |e| SimFailure::durability(format!("{what}: {e}"))
+}
+
+fn table_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("ID", ValueType::Int),
+        Column::new("K", ValueType::Int),
+    ])
+}
+
+/// Builds the world at `dir` by running the full script, recording the
+/// oracle trajectory. The caller decides how to kill the returned handle.
+fn execute(dir: &Path, sc: &DurableScenario) -> Result<(Db, WorldRun), SimFailure> {
+    let _ = fs::remove_dir_all(dir);
+    let mut db = Db::builder()
+        .path(dir)
+        .page_bytes(512)
+        .open()
+        .map_err(exec_err("open fresh world"))?;
+    db.create_table("T", table_schema())
+        .map_err(exec_err("create table"))?;
+    db.create_index("IDX_K", "T", &["K"])
+        .map_err(exec_err("create index"))?;
+
+    let opts = QueryOptions::new();
+    let wal_path = FilePageStore::wal_path(dir);
+    let mut shadow: Vec<(i64, i64)> = Vec::new();
+    let mut run = WorldRun {
+        shadows: Vec::with_capacity(sc.ops.len()),
+        wal_bytes: Vec::with_capacity(sc.ops.len()),
+        last_checkpoint: None,
+    };
+    for (i, op) in sc.ops.iter().enumerate() {
+        match *op {
+            DurableOp::Insert { id, k } => {
+                db.insert("T", vec![Value::Int(id), Value::Int(k)])
+                    .map_err(exec_err("insert"))?;
+                shadow.push((id, k));
+            }
+            DurableOp::DeleteK { k } => {
+                let deleted = db
+                    .delete_where("T", &Expr::cmp("K", CmpOp::Eq, k), &opts)
+                    .map_err(exec_err("delete_where"))?;
+                let before = shadow.len();
+                shadow.retain(|&(_, sk)| sk != k);
+                if deleted != before - shadow.len() {
+                    return Err(SimFailure::durability(format!(
+                        "op {i}: delete K={k} removed {deleted} rows, oracle says {}",
+                        before - shadow.len()
+                    )));
+                }
+            }
+            DurableOp::Checkpoint => {
+                db.checkpoint().map_err(exec_err("checkpoint"))?;
+                run.last_checkpoint = Some(i);
+            }
+        }
+        run.wal_bytes
+            .push(fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0));
+        run.shadows.push(shadow.clone());
+    }
+    Ok((db, run))
+}
+
+/// Sorted IDs delivered by `sql`.
+fn ids(db: &Db, sql: &str, what: &str) -> Result<Vec<i64>, SimFailure> {
+    let result = db
+        .query(sql, &QueryOptions::new())
+        .map_err(|e| SimFailure::durability(format!("{what}: query died: {e}")))?;
+    let mut out: Vec<i64> = result
+        .rows
+        .iter()
+        .map(|r| r.first().and_then(Value::as_i64).unwrap_or(i64::MIN))
+        .collect();
+    out.sort_unstable();
+    Ok(out)
+}
+
+/// Differences a recovered database against an oracle snapshot: row
+/// count, full scan, and an indexed predicate. Returns checks performed.
+fn verify(db: &Db, shadow: &[(i64, i64)], k_dom: i64, what: &str) -> Result<u64, SimFailure> {
+    let mut checks = 0u64;
+    if db.row_count("T") != Some(shadow.len() as u64) {
+        return Err(SimFailure::durability(format!(
+            "{what}: row_count {:?}, oracle says {}",
+            db.row_count("T"),
+            shadow.len()
+        )));
+    }
+    checks += 1;
+
+    let got = ids(db, "select ID from T", what)?;
+    let mut want: Vec<i64> = shadow.iter().map(|&(id, _)| id).collect();
+    want.sort_unstable();
+    if got != want {
+        return Err(SimFailure::durability(format!(
+            "{what}: full scan delivered {} rows ({:?}...), oracle has {} ({:?}...)",
+            got.len(),
+            got.iter().take(8).collect::<Vec<_>>(),
+            want.len(),
+            want.iter().take(8).collect::<Vec<_>>()
+        )));
+    }
+    checks += 1;
+
+    let mid = k_dom / 2;
+    let got = ids(db, &format!("select ID from T where K >= {mid}"), what)?;
+    let mut want: Vec<i64> = shadow
+        .iter()
+        .filter(|&&(_, k)| k >= mid)
+        .map(|&(id, _)| id)
+        .collect();
+    want.sort_unstable();
+    if got != want {
+        return Err(SimFailure::durability(format!(
+            "{what}: K >= {mid} delivered {} rows, oracle has {}",
+            got.len(),
+            want.len()
+        )));
+    }
+    checks += 1;
+    Ok(checks)
+}
+
+fn reopen(dir: &Path, what: &str) -> Result<Db, SimFailure> {
+    Db::builder()
+        .path(dir)
+        .open()
+        .map_err(|e| SimFailure::durability(format!("{what}: reopen died: {e}")))
+}
+
+fn world_dir(seed: u64, style: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "rdb-simtest-durable-{}-{seed}-{style}",
+        std::process::id()
+    ))
+}
+
+/// Picks the cut point for the WAL-cut styles: an operation after the
+/// last checkpoint (earlier boundaries no longer exist — the checkpoint
+/// truncated the log). Returns `None` when no such tail exists.
+fn cut_index(sc: &DurableScenario, run: &WorldRun) -> Option<usize> {
+    let first = run.last_checkpoint.map(|c| c + 1).unwrap_or(0);
+    if first >= sc.ops.len() {
+        return None;
+    }
+    // The midpoint of the surviving tail: deterministic, and far enough
+    // from both ends that real records land on each side.
+    Some(first + (sc.ops.len() - first) / 2)
+}
+
+/// Runs the full durable crash campaign for one seed.
+pub fn run_durable_seed(seed: u64, cfg: &SimConfig) -> Result<DurableReport, SimFailure> {
+    let sc = DurableScenario::generate(seed);
+    let mut report = DurableReport {
+        seed,
+        ops: sc.ops.len(),
+        ..DurableReport::default()
+    };
+    let ctx = |style: &str, what: &str| format!("seed {seed} durable [{style}] {what}");
+    let final_shadow = |run: &WorldRun| run.shadows.last().cloned().unwrap_or_default();
+
+    // 1. Clean close: checkpoint-at-shutdown, recovery replays nothing.
+    {
+        let dir = world_dir(seed, "clean");
+        let (db, run) = execute(&dir, &sc)?;
+        db.close()
+            .map_err(|e| SimFailure::durability(ctx("clean", &format!("close died: {e}"))))?;
+        let db = reopen(&dir, &ctx("clean", "after close"))?;
+        let recovered = db.recovery_report().unwrap_or_default();
+        if recovered.records_applied != 0 {
+            return Err(SimFailure::durability(ctx(
+                "clean",
+                &format!(
+                    "close checkpointed, yet recovery replayed {} records",
+                    recovered.records_applied
+                ),
+            )));
+        }
+        report.checks += verify(&db, &final_shadow(&run), sc.k_dom, &ctx("clean", "verify"))?;
+        report.crashes += 1;
+        drop(db);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // 2. Crash without checkpoint: the WAL is the only truth — and the
+    // recovered database must survive the fault campaign.
+    {
+        let dir = world_dir(seed, "crash");
+        let (db, run) = execute(&dir, &sc)?;
+        drop(db); // the crash: no checkpoint, no close
+        let db = reopen(&dir, &ctx("crash", "after drop"))?;
+        let recovered = db.recovery_report().unwrap_or_default();
+        report.replayed += recovered.records_applied;
+        let shadow = final_shadow(&run);
+        report.checks += verify(&db, &shadow, sc.k_dom, &ctx("crash", "verify"))?;
+        report.crashes += 1;
+
+        let sql = format!("select ID from T where K >= {}", sc.k_dom / 2);
+        let mut want: Vec<i64> = shadow
+            .iter()
+            .filter(|&&(_, k)| k >= sc.k_dom / 2)
+            .map(|&(id, _)| id)
+            .collect();
+        want.sort_unstable();
+        for &rate in &cfg.fault_rates {
+            let fault_seed = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ rate.to_bits();
+            db.pool()
+                .set_fault_policy(Some(FaultPolicy::random(fault_seed, rate)));
+            db.clear_cache();
+            let outcome = db.query(&sql, &QueryOptions::new());
+            db.pool().set_fault_policy(None);
+            report.fault_runs += 1;
+            match outcome {
+                Ok(result) => {
+                    let mut got: Vec<i64> = result
+                        .rows
+                        .iter()
+                        .map(|r| r.first().and_then(Value::as_i64).unwrap_or(i64::MIN))
+                        .collect();
+                    got.sort_unstable();
+                    if got != want {
+                        return Err(SimFailure::durability(ctx(
+                            "crash",
+                            &format!(
+                                "fault rate {rate}: Ok run returned {} rows, oracle has {}",
+                                got.len(),
+                                want.len()
+                            ),
+                        )));
+                    }
+                    report.fault_ok += 1;
+                    report.checks += 1;
+                }
+                Err(QueryError::Storage(StorageError::InjectedFault { .. })) => {
+                    report.fault_errors += 1;
+                }
+                Err(e) => {
+                    return Err(SimFailure::durability(ctx(
+                        "crash",
+                        &format!("fault rate {rate}: surfaced a non-injected error: {e}"),
+                    )));
+                }
+            }
+            // Aftermath: disarmed, the same query must be exact.
+            db.clear_cache();
+            let got = ids(&db, &sql, &ctx("crash", "post-fault"))?;
+            if got != want {
+                return Err(SimFailure::durability(ctx(
+                    "crash",
+                    "state damaged after disarming faults",
+                )));
+            }
+            report.checks += 1;
+        }
+        drop(db);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // 3 & 4. WAL cuts: truncate the log at (and then *inside*) a recorded
+    // operation boundary; recovery must land exactly on that operation's
+    // oracle snapshot.
+    if let Some(j) = {
+        let dir = world_dir(seed, "walcut");
+        let (db, run) = execute(&dir, &sc)?;
+        drop(db);
+        let j = cut_index(&sc, &run);
+        if let Some(j) = j {
+            let wal_path = FilePageStore::wal_path(&dir);
+            let f = fs::OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .map_err(|e| SimFailure::durability(ctx("walcut", &format!("open wal: {e}"))))?;
+            f.set_len(run.wal_bytes[j])
+                .map_err(|e| SimFailure::durability(ctx("walcut", &format!("truncate: {e}"))))?;
+            drop(f);
+            let db = reopen(&dir, &ctx("walcut", &format!("cut at op {j}")))?;
+            report.replayed += db.recovery_report().unwrap_or_default().records_applied;
+            report.checks += verify(
+                &db,
+                &run.shadows[j],
+                sc.k_dom,
+                &ctx("walcut", &format!("verify at op {j}")),
+            )?;
+            report.crashes += 1;
+        }
+        let _ = fs::remove_dir_all(&dir);
+        j
+    } {
+        // Ragged cut: re-grow the world, slice into the middle of the
+        // record that follows boundary j — the torn tail must vanish.
+        let dir = world_dir(seed, "ragged");
+        let (db, run) = execute(&dir, &sc)?;
+        drop(db);
+        // Find a boundary at or after j whose successor op actually
+        // appended bytes (a no-op delete leaves nothing to tear into).
+        let grown = (j..run.wal_bytes.len() - 1).find(|&i| run.wal_bytes[i + 1] > run.wal_bytes[i]);
+        if let Some(i) = grown {
+            let cut = run.wal_bytes[i] + (run.wal_bytes[i + 1] - run.wal_bytes[i]).div_ceil(2);
+            let wal_path = FilePageStore::wal_path(&dir);
+            let f = fs::OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .map_err(|e| SimFailure::durability(ctx("ragged", &format!("open wal: {e}"))))?;
+            f.set_len(cut)
+                .map_err(|e| SimFailure::durability(ctx("ragged", &format!("truncate: {e}"))))?;
+            drop(f);
+            let db = reopen(&dir, &ctx("ragged", &format!("mid-record cut after op {i}")))?;
+            // The open silently discards the torn tail *before* replay:
+            // the file must be physically back at the clean boundary.
+            let now = fs::metadata(&wal_path)
+                .map(|m| m.len())
+                .map_err(|e| SimFailure::durability(ctx("ragged", &format!("stat wal: {e}"))))?;
+            if now != run.wal_bytes[i] {
+                return Err(SimFailure::durability(ctx(
+                    "ragged",
+                    &format!(
+                        "open left the WAL at {now} bytes; torn tail should be \
+                         truncated back to the op-{i} boundary ({})",
+                        run.wal_bytes[i]
+                    ),
+                )));
+            }
+            report.replayed += db.recovery_report().unwrap_or_default().records_applied;
+            report.checks += verify(
+                &db,
+                &run.shadows[i],
+                sc.k_dom,
+                &ctx("ragged", &format!("verify at op {i}")),
+            )?;
+            report.crashes += 1;
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // 5. Covered torn frame: corrupt a checkpointed frame whose full-page
+    // image survives in the WAL — recovery repairs it silently.
+    {
+        let dir = world_dir(seed, "covered");
+        let (db, run) = execute(&dir, &sc)?;
+        drop(db);
+        if let Some((pid_file, pid_page)) = covered_frame(&dir)? {
+            tear_frame(&dir, pid_file, pid_page, &ctx("covered", "tear"))?;
+            let db = reopen(&dir, &ctx("covered", "after tear"))?;
+            let recovered = db.recovery_report().unwrap_or_default();
+            if recovered.pages_repaired == 0 {
+                return Err(SimFailure::durability(ctx(
+                    "covered",
+                    "recovery reported no repaired pages for a torn covered frame",
+                )));
+            }
+            report.torn_repaired += recovered.pages_repaired;
+            report.replayed += recovered.records_applied;
+            report.checks += verify(&db, &final_shadow(&run), sc.k_dom, &ctx("covered", "verify"))?;
+            report.crashes += 1;
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    // 6. Uncovered torn frame: after a clean shutdown the WAL is empty,
+    // so a corrupted frame has no repair source — the open must fail with
+    // the typed error, never serve damaged rows.
+    {
+        let dir = world_dir(seed, "uncovered");
+        let (db, _run) = execute(&dir, &sc)?;
+        db.close()
+            .map_err(|e| SimFailure::durability(ctx("uncovered", &format!("close died: {e}"))))?;
+        tear_frame(&dir, 0, 0, &ctx("uncovered", "tear"))?;
+        match Db::builder().path(&dir).open() {
+            Ok(_) => {
+                return Err(SimFailure::durability(ctx(
+                    "uncovered",
+                    "open succeeded on an unrepairable torn frame",
+                )));
+            }
+            Err(QueryError::Storage(StorageError::TornPage { .. })) => {
+                report.torn_errors += 1;
+                report.crashes += 1;
+            }
+            Err(e) => {
+                return Err(SimFailure::durability(ctx(
+                    "uncovered",
+                    &format!("open failed with the wrong error: {e}"),
+                )));
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    Ok(report)
+}
+
+/// Finds a page whose full image survives in the WAL *and* whose disk
+/// frame exists — the repairable-tear candidate.
+fn covered_frame(dir: &Path) -> Result<Option<(u32, u32)>, SimFailure> {
+    let wal = fs::read(FilePageStore::wal_path(dir))
+        .map_err(|e| SimFailure::durability(format!("read wal for tear scan: {e}")))?;
+    for (_, record) in decode_stream(&wal).entries {
+        if let rdb_storage::WalRecord::PageImage { page, .. } = record {
+            if frame_exists(dir, page.file.0, page.page) {
+                return Ok(Some((page.file.0, page.page)));
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// True when `page_no` of data file `file` has a written (non-hole) frame.
+fn frame_exists(dir: &Path, file: u32, page_no: u32) -> bool {
+    use rdb_storage::file_store::{FRAME_BYTES, FRAME_HEADER};
+    let path = FilePageStore::data_path(dir, rdb_storage::FileId(file));
+    let Ok(bytes) = fs::read(&path) else {
+        return false;
+    };
+    let at = page_no as usize * FRAME_BYTES;
+    // A written frame starts with the "RDBP" magic; holes are all-zero.
+    bytes.get(at..at + FRAME_HEADER).is_some_and(|h| h[0] != 0)
+}
+
+/// Flips one payload byte of the given frame — the torn write.
+fn tear_frame(dir: &Path, file: u32, page_no: u32, what: &str) -> Result<(), SimFailure> {
+    use rdb_storage::file_store::{FRAME_BYTES, FRAME_HEADER};
+    let path = FilePageStore::data_path(dir, rdb_storage::FileId(file));
+    let mut bytes =
+        fs::read(&path).map_err(|e| SimFailure::durability(format!("{what}: read: {e}")))?;
+    let at = page_no as usize * FRAME_BYTES + FRAME_HEADER + 1;
+    let Some(b) = bytes.get_mut(at) else {
+        return Err(SimFailure::durability(format!(
+            "{what}: frame ({file}, {page_no}) not in data file"
+        )));
+    };
+    *b ^= 0xFF;
+    fs::write(&path, &bytes).map_err(|e| SimFailure::durability(format!("{what}: write: {e}")))
+}
+
+/// The durable harness's self-test: recover a crashed world, tamper with
+/// the oracle snapshot, and verify the differential comparison fails.
+pub fn durable_mutation_check(start_seed: u64) -> Result<(), SimFailure> {
+    let seed = start_seed;
+    let sc = DurableScenario::generate(seed);
+    let dir = world_dir(seed, "mutation");
+    let (db, run) = execute(&dir, &sc)?;
+    drop(db);
+    let db = reopen(&dir, "mutation check")?;
+    let mut shadow = run.shadows.last().cloned().unwrap_or_default();
+    verify(&db, &shadow, sc.k_dom, "mutation check baseline")?;
+    shadow.pop(); // the deliberately injected oracle divergence
+    let caught = verify(&db, &shadow, sc.k_dom, "mutation").is_err();
+    drop(db);
+    let _ = fs::remove_dir_all(&dir);
+    if caught {
+        Ok(())
+    } else {
+        Err(SimFailure::mutation(format!(
+            "durable mutation check FAILED: recovery verifier did not notice \
+             a dropped oracle row (seed {seed})"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DurableScenario::generate(7);
+        let b = DurableScenario::generate(7);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.k_dom, b.k_dom);
+    }
+
+    #[test]
+    fn script_always_contains_a_checkpoint() {
+        for seed in 0..20 {
+            let sc = DurableScenario::generate(seed);
+            assert!(sc.ops.contains(&DurableOp::Checkpoint), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn one_seed_survives_all_crash_styles() {
+        let report = run_durable_seed(0x5EED, &SimConfig::default()).unwrap();
+        assert!(report.crashes >= 4, "styles ran: {report:#?}");
+        assert!(report.replayed > 0, "some WAL replay happened");
+        assert!(report.torn_errors >= 1, "uncovered tear surfaced typed error");
+        assert!(report.checks > 0);
+    }
+
+    #[test]
+    fn mutation_check_has_teeth() {
+        durable_mutation_check(0x5EED).unwrap();
+    }
+}

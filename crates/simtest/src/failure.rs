@@ -36,6 +36,10 @@ pub enum FailureKind {
     Concurrency,
     /// The mutation smoke check could not prove the oracle has teeth.
     Mutation,
+    /// A durable crash scenario broke its contract: recovery lost or
+    /// invented rows, a torn frame slipped past the checksum, or an
+    /// injected storage fault surfaced as anything but a typed error.
+    Durability,
 }
 
 /// A differential-harness failure: which check family tripped, and the
@@ -100,6 +104,11 @@ impl SimFailure {
     /// Shorthand for [`FailureKind::Mutation`].
     pub fn mutation(detail: impl Into<String>) -> Self {
         SimFailure::new(FailureKind::Mutation, detail)
+    }
+
+    /// Shorthand for [`FailureKind::Durability`].
+    pub fn durability(detail: impl Into<String>) -> Self {
+        SimFailure::new(FailureKind::Durability, detail)
     }
 
     /// Prepends replay context (`"{prefix}: {detail}"`), keeping the kind.

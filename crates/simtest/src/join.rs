@@ -121,10 +121,7 @@ impl JoinScenario {
             _ => KeyMode::NullHeavy,
         };
 
-        let mut db = Db::new(DbConfig {
-            page_bytes: 1024,
-            ..DbConfig::default()
-        });
+        let mut db = Db::builder().page_bytes(1024).open().unwrap();
         db.create_table(
             "L",
             Schema::new(vec![

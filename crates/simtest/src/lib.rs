@@ -31,6 +31,13 @@
 //!   static join plan, and every killed candidate's partial pairs a
 //!   subset of the true result (`--joins` on the binary).
 //!
+//! * [`durable`] grows seeded *on-disk* worlds, kills them at arbitrary
+//!   points — clean close, hard crash, WAL boundary cuts, ragged
+//!   mid-record cuts, torn data frames with and without a covering
+//!   full-page image — and differences every recovered database against
+//!   the shadow oracle's snapshot at the kill point, including a fault
+//!   campaign over the recovered state (`--durable` on the binary).
+//!
 //! The `simtest` binary drives seed campaigns
 //! (`cargo run -p rdb-simtest -- --seeds 500`) and replays a single
 //! failing seed verbatim (`--replay <seed>`). A failing seed is printed
@@ -40,6 +47,7 @@
 //! comparison has teeth.
 
 pub mod concurrency;
+pub mod durable;
 pub mod failure;
 pub mod harness;
 pub mod join;
@@ -47,6 +55,9 @@ pub mod oracle;
 pub mod scenario;
 
 pub use concurrency::{concurrency_check, ConcurrencyReport};
+pub use durable::{
+    durable_mutation_check, run_durable_seed, DurableOp, DurableReport, DurableScenario,
+};
 pub use failure::{FailureKind, SimFailure};
 pub use harness::{mutation_check, run_seed, SeedReport, SimConfig};
 pub use join::{join_mutation_check, run_join_seed, JoinQuery, JoinReport, JoinScenario, KeyMode};

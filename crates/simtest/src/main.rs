@@ -14,8 +14,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
 use rdb_simtest::{
-    concurrency_check, join_mutation_check, mutation_check, run_join_seed, run_seed, JoinReport,
-    SeedReport, SimConfig,
+    concurrency_check, durable_mutation_check, join_mutation_check, mutation_check,
+    run_durable_seed, run_join_seed, run_seed, DurableReport, JoinReport, SeedReport, SimConfig,
 };
 
 struct Args {
@@ -24,6 +24,7 @@ struct Args {
     replay: Option<u64>,
     threads: usize,
     joins: bool,
+    durable: bool,
     config: SimConfig,
     skip_mutation_check: bool,
 }
@@ -35,6 +36,7 @@ fn parse_args() -> Result<Args, String> {
         replay: None,
         threads: 1,
         joins: false,
+        durable: false,
         config: SimConfig::default(),
         skip_mutation_check: false,
     };
@@ -80,12 +82,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--cost-slack: {e}"))?
             }
             "--joins" => args.joins = true,
+            "--durable" => args.durable = true,
             "--skip-mutation-check" => args.skip_mutation_check = true,
             "--help" | "-h" => {
                 println!(
                     "simtest: deterministic differential fuzzing of the dynamic optimizer\n\n\
                      USAGE: simtest [--seeds N] [--start-seed S] [--replay SEED]\n\
-                            [--threads T] [--joins] [--fault-rate R]...\n\
+                            [--threads T] [--joins] [--durable] [--fault-rate R]...\n\
                             [--cost-mult M] [--cost-slack S] [--skip-mutation-check]\n\n\
                      Fault rates 0 < R < 1 arm random storage faults; the clean\n\
                      differential and a scoped index-death scenario always run.\n\
@@ -97,7 +100,12 @@ fn parse_args() -> Result<Args, String> {
                      --joins runs the multi-table campaign instead: seeded\n\
                      two-table worlds whose join queries race the join\n\
                      competition and are differenced against a naive\n\
-                     nested-loop shadow oracle."
+                     nested-loop shadow oracle.\n\
+                     --durable runs the crash campaign instead: seeded\n\
+                     on-disk worlds killed at arbitrary points (clean close,\n\
+                     hard crash, WAL boundary/mid-record cuts, torn data\n\
+                     frames) whose recovered state is differenced against\n\
+                     the shadow oracle's snapshot at the kill point."
                 );
                 std::process::exit(0);
             }
@@ -126,6 +134,9 @@ fn main() -> ExitCode {
 
     if args.joins {
         return run_joins_campaign(&args);
+    }
+    if args.durable {
+        return run_durable_campaign(&args);
     }
 
     if !args.skip_mutation_check {
@@ -316,6 +327,91 @@ fn run_joins_campaign(args: &Args) -> ExitCode {
         }
         eprintln!(
             "simtest joins: {} of {} seeds failed",
+            failures.len(),
+            seeds.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The durable crash campaign: every seed grows an on-disk world, kills
+/// it six ways, and differences each recovered database against the
+/// shadow oracle's snapshot at the kill point (see `rdb_simtest::durable`).
+fn run_durable_campaign(args: &Args) -> ExitCode {
+    if !args.skip_mutation_check {
+        match durable_mutation_check(args.replay.unwrap_or(args.start_seed)) {
+            Ok(()) => println!(
+                "durable mutation smoke check: recovery verifier caught the dropped oracle row"
+            ),
+            Err(e) => {
+                eprintln!("simtest: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let seeds: Vec<u64> = match args.replay {
+        Some(seed) => vec![seed],
+        None => (args.start_seed..args.start_seed + args.seeds).collect(),
+    };
+
+    let mut total = DurableReport::default();
+    let mut failures: Vec<(u64, String)> = Vec::new();
+    for &seed in &seeds {
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_durable_seed(seed, &args.config)));
+        match outcome {
+            Ok(Ok(report)) => {
+                if args.replay.is_some() {
+                    println!("{report:#?}");
+                }
+                total.ops += report.ops;
+                total.crashes += report.crashes;
+                total.checks += report.checks;
+                total.replayed += report.replayed;
+                total.torn_repaired += report.torn_repaired;
+                total.torn_errors += report.torn_errors;
+                total.fault_runs += report.fault_runs;
+                total.fault_errors += report.fault_errors;
+                total.fault_ok += report.fault_ok;
+            }
+            Ok(Err(e)) => failures.push((seed, format!("[{:?}] {e}", e.kind))),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                failures.push((seed, format!("PANIC: {msg}")));
+            }
+        }
+    }
+
+    println!(
+        "simtest durable: {} seeds, {} ops, {} crash recoveries, {} oracle checks, \
+         {} WAL records replayed, {} torn frames repaired, {} unrepairable tears \
+         surfaced as typed errors, {} faulted runs ({} clean errors, {} exact results)",
+        seeds.len() - failures.len(),
+        total.ops,
+        total.crashes,
+        total.checks,
+        total.replayed,
+        total.torn_repaired,
+        total.torn_errors,
+        total.fault_runs,
+        total.fault_errors,
+        total.fault_ok,
+    );
+
+    if failures.is_empty() {
+        println!("simtest durable: all seeds passed");
+        ExitCode::SUCCESS
+    } else {
+        for (seed, e) in &failures {
+            eprintln!("simtest durable: seed {seed} FAILED: {e}");
+            eprintln!("  replay with: cargo run -p rdb-simtest -- --durable --replay {seed}");
+        }
+        eprintln!(
+            "simtest durable: {} of {} seeds failed",
             failures.len(),
             seeds.len()
         );

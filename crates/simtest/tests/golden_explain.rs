@@ -13,10 +13,7 @@ use rdb_query::prelude::*;
 /// A pinned FAMILIES table (LCG-generated, fixed seed) with indexes on AGE
 /// and SIZE — enough structure for a real index competition.
 fn pinned_db() -> Db {
-    let mut db = Db::new(DbConfig {
-        page_bytes: 1024,
-        ..DbConfig::default()
-    });
+    let mut db = Db::builder().page_bytes(1024).open().unwrap();
     db.create_table(
         "FAMILIES",
         Schema::new(vec![
@@ -48,10 +45,7 @@ fn pinned_db() -> Db {
 /// method and orientation is feasible, so the join competition timeline
 /// exercises estimates, kills, and the winner.
 fn pinned_join_db() -> Db {
-    let mut db = Db::new(DbConfig {
-        page_bytes: 1024,
-        ..DbConfig::default()
-    });
+    let mut db = Db::builder().page_bytes(1024).open().unwrap();
     db.create_table(
         "PARENT",
         Schema::new(vec![

@@ -84,6 +84,7 @@
 //! meter to charge, so concurrent sessions sharing the pool each pay for
 //! exactly their own page touches.
 
+use std::collections::BTreeSet;
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
@@ -697,6 +698,12 @@ pub struct BufferPool {
     /// Fast-path flag: fault checks are skipped entirely unless armed.
     fault_armed: AtomicBool,
     fault: Mutex<Option<FaultPolicy>>,
+    /// Pages modified since the last checkpoint write-back. A sorted set
+    /// (not per-shard) because it is touched only on the cold write path;
+    /// reads never mark. Eviction ignores it: page *bytes* live in the
+    /// owning data structures, so evicting a dirty page loses residency,
+    /// never data — write-back is driven by checkpoints, not eviction.
+    dirty: Mutex<BTreeSet<u64>>,
 }
 
 impl BufferPool {
@@ -726,6 +733,7 @@ impl BufferPool {
             deferred: Arc::new(DeferredCounters::default()),
             fault_armed: AtomicBool::new(false),
             fault: Mutex::new(None),
+            dirty: Mutex::new(BTreeSet::new()),
         }
     }
 
@@ -1022,6 +1030,35 @@ impl BufferPool {
     /// Records `n` sequential page writes with one batched charge.
     pub fn write_run(&self, _file: FileId, _first_page: u32, n: u32, cost: &CostMeter) {
         cost.charge_page_writes(n as u64);
+    }
+
+    /// Marks `page` dirty: modified in memory since the last checkpoint
+    /// write-back. Durable tables call this on every insert/delete; the
+    /// next checkpoint drains the set via [`BufferPool::take_dirty`].
+    pub fn mark_dirty(&self, page: PageId) {
+        lock(&self.dirty).insert(page.pack());
+    }
+
+    /// True when `page` has unwritten-back modifications. Durable reads
+    /// use this to skip disk verification for pages whose frame is
+    /// legitimately stale (or absent) until the next checkpoint.
+    pub fn is_dirty(&self, page: PageId) -> bool {
+        lock(&self.dirty).contains(&page.pack())
+    }
+
+    /// Number of dirty pages awaiting write-back.
+    pub fn dirty_len(&self) -> usize {
+        lock(&self.dirty).len()
+    }
+
+    /// Drains the dirty set in sorted page order (the checkpoint's
+    /// write-back worklist). A failed checkpoint must re-mark what it
+    /// could not write.
+    pub fn take_dirty(&self) -> Vec<PageId> {
+        std::mem::take(&mut *lock(&self.dirty))
+            .into_iter()
+            .map(PageId::unpack)
+            .collect()
     }
 
     /// True if `page` is currently resident (no cost charged, no LRU

@@ -41,6 +41,25 @@ pub enum StorageError {
         /// Page whose read failed.
         page: u32,
     },
+    /// A real file-system operation failed (durable backend only). The
+    /// underlying `std::io::Error` is flattened to text so the error stays
+    /// `Clone + Eq` like the rest of the enum.
+    Io {
+        /// The operation that failed (`"open"`, `"read"`, `"append"`, …).
+        op: &'static str,
+        /// Path the operation was against.
+        path: String,
+        /// The OS error rendered as text.
+        detail: String,
+    },
+    /// An on-disk page frame failed its checksum (a torn or bit-rotted
+    /// write) and no full-page image in the redo span could repair it.
+    TornPage {
+        /// File holding the torn frame.
+        file: FileId,
+        /// Page number of the torn frame.
+        page: u32,
+    },
 }
 
 impl StorageError {
@@ -52,6 +71,16 @@ impl StorageError {
             self,
             StorageError::PageOutOfRange { .. } | StorageError::InvalidSlot { .. }
         )
+    }
+
+    /// Wraps a `std::io::Error` from `op` against `path` into the typed
+    /// [`StorageError::Io`] variant.
+    pub fn io(op: &'static str, path: &std::path::Path, err: &std::io::Error) -> StorageError {
+        StorageError::Io {
+            op,
+            path: path.display().to_string(),
+            detail: err.to_string(),
+        }
     }
 }
 
@@ -71,6 +100,17 @@ impl fmt::Display for StorageError {
             }
             StorageError::InjectedFault { file, page } => {
                 write!(f, "injected I/O fault reading page {page} of file {}", file.0)
+            }
+            StorageError::Io { op, path, detail } => {
+                write!(f, "I/O error during {op} on {path}: {detail}")
+            }
+            StorageError::TornPage { file, page } => {
+                write!(
+                    f,
+                    "torn page: frame {page} of file {} failed its checksum and no \
+                     full-page image covers it",
+                    file.0
+                )
             }
         }
     }

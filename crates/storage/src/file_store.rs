@@ -1,0 +1,602 @@
+//! [`FilePageStore`]: the file-backed [`PageStore`].
+//!
+//! A database is a directory:
+//!
+//! ```text
+//! db/
+//!   rdb.meta      header: magic, version, page_bytes, base LSN (atomically
+//!                 replaced via tmp+rename at every checkpoint)
+//!   catalog.rdb   last checkpointed catalog blob (tmp+rename)
+//!   wal.rdb       append-only WAL (see crate::wal for framing)
+//!   f<N>.rdb      page frames for FileId(N), 4096 bytes per frame
+//! ```
+//!
+//! Each data frame is:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "RDBP" (all-zero frame = hole, reads as None)
+//!      4     4  file id
+//!      8     4  page number
+//!     12     8  page LSN (last record applied when the frame was written)
+//!     20     4  payload length
+//!     24     8  FNV-1a checksum over bytes [4, 24) + payload
+//!     32  4064  payload: the page image (Page::encode_image)
+//! ```
+//!
+//! A frame whose checksum does not verify is reported as
+//! [`StorageError::TornPage`]; recovery repairs it from a full-page image
+//! in the WAL or surfaces the error. The WAL's own torn tail is truncated
+//! silently at open (crash semantics: the tail never happened).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::buffer::{FileId, PageId};
+use crate::error::StorageError;
+use crate::page::Page;
+use crate::store::{lock, PageStore, StoreStats};
+use crate::wal::{checksum64, decode_stream, encode_entry, Lsn, WalRecord, WalView};
+
+/// Size of one on-disk data frame, header included.
+pub const FRAME_BYTES: usize = 4096;
+/// Bytes of frame header before the page-image payload.
+pub const FRAME_HEADER: usize = 32;
+/// Largest page image a frame can hold.
+pub const FRAME_PAYLOAD_MAX: usize = FRAME_BYTES - FRAME_HEADER;
+/// Recommended page payload capacity for durable databases: leaves
+/// image-encoding slack (a length word per slot, tombstones) inside the
+/// 4064-byte frame payload for pages that have seen delete churn.
+pub const DURABLE_PAGE_BYTES: usize = 4000;
+
+const FRAME_MAGIC: u32 = 0x5042_4452; // "RDBP" little-endian
+const META_MAGIC: u32 = 0x4D42_4452; // "RDBM"
+const META_VERSION: u32 = 1;
+
+#[derive(Debug)]
+struct Inner {
+    wal: File,
+    next_lsn: Lsn,
+    base_lsn: Lsn,
+    stats: StoreStats,
+    /// Data files written since the last sync (flushed by `sync`).
+    touched: Vec<FileId>,
+}
+
+/// The file-backed page store. See the module docs for the layout.
+#[derive(Debug)]
+pub struct FilePageStore {
+    dir: PathBuf,
+    page_bytes: usize,
+    inner: Mutex<Inner>,
+}
+
+fn io_err<'a>(
+    op: &'static str,
+    path: &'a Path,
+) -> impl FnOnce(std::io::Error) -> StorageError + 'a {
+    move |e| StorageError::io(op, path, &e)
+}
+
+/// Reads exactly `buf.len()` bytes at `offset`, or reports how many bytes
+/// were available (a short read near EOF is not an error here; callers
+/// decide what a partial frame means).
+fn read_at(file: &mut File, offset: u64, buf: &mut [u8]) -> std::io::Result<usize> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        let mut done = 0usize;
+        while let Some(rest) = buf.get_mut(done..).filter(|r| !r.is_empty()) {
+            let n = file.read_at(rest, offset + done as u64)?;
+            if n == 0 {
+                break;
+            }
+            done += n;
+        }
+        Ok(done)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom};
+        file.seek(SeekFrom::Start(offset))?;
+        let mut done = 0usize;
+        while let Some(rest) = buf.get_mut(done..).filter(|r| !r.is_empty()) {
+            let n = file.read(rest)?;
+            if n == 0 {
+                break;
+            }
+            done += n;
+        }
+        Ok(done)
+    }
+}
+
+/// Writes all of `buf` at `offset`.
+fn write_at(file: &mut File, offset: u64, buf: &[u8]) -> std::io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt;
+        file.write_all_at(buf, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek, SeekFrom};
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(buf)
+    }
+}
+
+/// Atomically replaces `path` with `bytes` via a tmp file and rename.
+fn replace_file(path: &Path, bytes: &[u8]) -> Result<(), StorageError> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp).map_err(io_err("create", &tmp))?;
+    f.write_all(bytes).map_err(io_err("write", &tmp))?;
+    f.sync_data().map_err(io_err("sync", &tmp))?;
+    fs::rename(&tmp, path).map_err(io_err("rename", path))
+}
+
+fn le32(buf: &[u8], at: usize) -> Option<u32> {
+    buf.get(at..at + 4)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes)
+}
+
+fn le64(buf: &[u8], at: usize) -> Option<u64> {
+    buf.get(at..at + 8)
+        .and_then(|b| b.try_into().ok())
+        .map(u64::from_le_bytes)
+}
+
+impl FilePageStore {
+    /// Opens (or initializes) the database directory at `dir`.
+    ///
+    /// A fresh or empty directory is initialized with `page_bytes` page
+    /// capacity; an existing database keeps the capacity recorded in its
+    /// header (callers read it back via [`PageStore::page_bytes`]). The
+    /// WAL's torn tail, if any, is truncated here.
+    pub fn open(dir: impl Into<PathBuf>, page_bytes: usize) -> Result<FilePageStore, StorageError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(io_err("create_dir", &dir))?;
+        let meta_path = dir.join("rdb.meta");
+        let (page_bytes, base_lsn) = if meta_path.exists() {
+            Self::read_meta(&meta_path)?
+        } else {
+            if !(64..=FRAME_PAYLOAD_MAX - 16).contains(&page_bytes) {
+                return Err(StorageError::RecordTooLarge {
+                    size: page_bytes,
+                    max: FRAME_PAYLOAD_MAX - 16,
+                });
+            }
+            write_meta(&meta_path, page_bytes, 0)?;
+            (page_bytes, 0)
+        };
+
+        let wal_path = dir.join("wal.rdb");
+        let mut wal = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&wal_path)
+            .map_err(io_err("open", &wal_path))?;
+        let mut bytes = Vec::new();
+        wal.read_to_end(&mut bytes)
+            .map_err(io_err("read", &wal_path))?;
+        let view = decode_stream(&bytes);
+        if view.truncated {
+            // Crash mid-append: discard the torn tail so new appends start
+            // at a clean record boundary.
+            wal.set_len(view.clean_bytes as u64)
+                .map_err(io_err("truncate", &wal_path))?;
+        }
+        let max_wal_lsn = view.entries.last().map(|(lsn, _)| *lsn).unwrap_or(0);
+        let next_lsn = base_lsn.max(max_wal_lsn) + 1;
+
+        Ok(FilePageStore {
+            dir,
+            page_bytes,
+            inner: Mutex::new(Inner {
+                wal,
+                next_lsn,
+                base_lsn,
+                stats: StoreStats::default(),
+                touched: Vec::new(),
+            }),
+        })
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the data-frame file backing `file` under `dir` (exposed so
+    /// crash harnesses can tear specific frames).
+    pub fn data_path(dir: &Path, file: FileId) -> PathBuf {
+        dir.join(format!("f{}.rdb", file.0))
+    }
+
+    /// Path of the WAL under `dir` (exposed so crash harnesses can cut it).
+    pub fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("wal.rdb")
+    }
+
+    fn read_meta(path: &Path) -> Result<(usize, Lsn), StorageError> {
+        let bytes = fs::read(path).map_err(io_err("read", path))?;
+        let parsed = (|| {
+            let magic = le32(&bytes, 0)?;
+            let version = le32(&bytes, 4)?;
+            let page_bytes = le32(&bytes, 8)? as usize;
+            let base_lsn = le64(&bytes, 12)?;
+            let crc = le64(&bytes, 20)?;
+            if magic != META_MAGIC || version != META_VERSION {
+                return None;
+            }
+            if checksum64(bytes.get(0..20)?) != crc {
+                return None;
+            }
+            Some((page_bytes, base_lsn))
+        })();
+        parsed.ok_or(StorageError::Corrupt("database header (rdb.meta)"))
+    }
+
+    fn frame_file(&self, file: FileId, create: bool) -> Result<Option<File>, StorageError> {
+        let path = Self::data_path(&self.dir, file);
+        let open = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(create)
+            .open(&path);
+        match open {
+            Ok(f) => Ok(Some(f)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound && !create => Ok(None),
+            Err(e) => Err(StorageError::io("open", &path, &e)),
+        }
+    }
+}
+
+fn write_meta(path: &Path, page_bytes: usize, base_lsn: Lsn) -> Result<(), StorageError> {
+    let mut bytes = Vec::with_capacity(28);
+    bytes.extend_from_slice(&META_MAGIC.to_le_bytes());
+    bytes.extend_from_slice(&META_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(page_bytes as u32).to_le_bytes());
+    bytes.extend_from_slice(&base_lsn.to_le_bytes());
+    let crc = checksum64(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    replace_file(path, &bytes)
+}
+
+impl PageStore for FilePageStore {
+    fn is_durable(&self) -> bool {
+        true
+    }
+
+    fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    fn max_image_len(&self) -> usize {
+        FRAME_PAYLOAD_MAX
+    }
+
+    fn read_page(&self, page: PageId) -> Result<Option<(Page, Lsn)>, StorageError> {
+        let Some(mut file) = self.frame_file(page.file, false)? else {
+            return Ok(None);
+        };
+        let path = Self::data_path(&self.dir, page.file);
+        let mut frame = vec![0u8; FRAME_BYTES];
+        let offset = page.page as u64 * FRAME_BYTES as u64;
+        let got = read_at(&mut file, offset, &mut frame).map_err(io_err("read", &path))?;
+        if got < FRAME_HEADER {
+            return Ok(None); // past EOF: no frame for this page
+        }
+        frame.truncate(got);
+        let torn = Err(StorageError::TornPage {
+            file: page.file,
+            page: page.page,
+        });
+        let Some(magic) = le32(&frame, 0) else {
+            return torn;
+        };
+        if magic == 0 && frame.iter().all(|&b| b == 0) {
+            return Ok(None); // hole: frame never written
+        }
+        if magic != FRAME_MAGIC {
+            return torn;
+        }
+        let header = (|| {
+            let file_id = le32(&frame, 4)?;
+            let page_no = le32(&frame, 8)?;
+            let lsn = le64(&frame, 12)?;
+            let len = le32(&frame, 20)? as usize;
+            let crc = le64(&frame, 24)?;
+            Some((file_id, page_no, lsn, len, crc))
+        })();
+        let Some((file_id, page_no, lsn, len, crc)) = header else {
+            return torn;
+        };
+        if file_id != page.file.0 || page_no != page.page || len > FRAME_PAYLOAD_MAX {
+            return torn;
+        }
+        let Some(payload) = frame.get(FRAME_HEADER..FRAME_HEADER + len) else {
+            return torn;
+        };
+        let mut summed = frame.get(4..24).unwrap_or(&[]).to_vec();
+        summed.extend_from_slice(payload);
+        if checksum64(&summed) != crc {
+            return torn;
+        }
+        let image = match Page::decode_image(self.page_bytes, payload) {
+            Ok(p) => p,
+            Err(_) => return torn,
+        };
+        lock(&self.inner).stats.page_reads += 1;
+        Ok(Some((image, lsn)))
+    }
+
+    fn write_page(&self, page: PageId, image: &Page, lsn: Lsn) -> Result<(), StorageError> {
+        let mut payload = Vec::with_capacity(image.image_len());
+        image.encode_image(&mut payload)?;
+        if payload.len() > FRAME_PAYLOAD_MAX {
+            return Err(StorageError::RecordTooLarge {
+                size: payload.len(),
+                max: FRAME_PAYLOAD_MAX,
+            });
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+        frame.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
+        frame.extend_from_slice(&page.file.0.to_le_bytes());
+        frame.extend_from_slice(&page.page.to_le_bytes());
+        frame.extend_from_slice(&lsn.to_le_bytes());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        let mut summed = frame.get(4..24).unwrap_or(&[]).to_vec();
+        summed.extend_from_slice(&payload);
+        frame.extend_from_slice(&checksum64(&summed).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame.resize(FRAME_BYTES, 0);
+
+        let path = Self::data_path(&self.dir, page.file);
+        let Some(mut file) = self.frame_file(page.file, true)? else {
+            return Err(StorageError::Io {
+                op: "open",
+                path: path.display().to_string(),
+                detail: "data file vanished".into(),
+            });
+        };
+        let offset = page.page as u64 * FRAME_BYTES as u64;
+        write_at(&mut file, offset, &frame).map_err(io_err("write", &path))?;
+        let mut inner = lock(&self.inner);
+        inner.stats.page_writes += 1;
+        if !inner.touched.contains(&page.file) {
+            inner.touched.push(page.file);
+        }
+        Ok(())
+    }
+
+    fn file_pages(&self, file: FileId) -> Result<u32, StorageError> {
+        let path = Self::data_path(&self.dir, file);
+        match fs::metadata(&path) {
+            Ok(m) => Ok((m.len() / FRAME_BYTES as u64) as u32),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(StorageError::io("stat", &path, &e)),
+        }
+    }
+
+    fn files(&self) -> Result<Vec<FileId>, StorageError> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(io_err("read_dir", &self.dir))?;
+        for entry in entries {
+            let entry = entry.map_err(io_err("read_dir", &self.dir))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name
+                .strip_prefix('f')
+                .and_then(|rest| rest.strip_suffix(".rdb"))
+                .and_then(|n| n.parse::<u32>().ok())
+            {
+                out.push(FileId(id));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn append(&self, record: &WalRecord) -> Result<Lsn, StorageError> {
+        let mut inner = lock(&self.inner);
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        let mut bytes = Vec::with_capacity(64);
+        encode_entry(lsn, record, &mut bytes);
+        let path = Self::wal_path(&self.dir);
+        inner
+            .wal
+            .write_all(&bytes)
+            .map_err(io_err("append", &path))?;
+        inner.stats.wal_appends += 1;
+        Ok(lsn)
+    }
+
+    fn wal(&self) -> Result<WalView, StorageError> {
+        let path = Self::wal_path(&self.dir);
+        let bytes = fs::read(&path).map_err(io_err("read", &path))?;
+        let mut view = decode_stream(&bytes);
+        let base = lock(&self.inner).base_lsn;
+        view.entries.retain(|(lsn, _)| *lsn > base);
+        Ok(view)
+    }
+
+    fn base_lsn(&self) -> Lsn {
+        lock(&self.inner).base_lsn
+    }
+
+    fn read_catalog(&self) -> Result<Option<Vec<u8>>, StorageError> {
+        let path = self.dir.join("catalog.rdb");
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StorageError::io("read", &path, &e)),
+        };
+        let parsed = (|| {
+            let len = le32(&bytes, 0)? as usize;
+            let crc = le64(&bytes, 4)?;
+            let blob = bytes.get(12..12 + len)?;
+            if bytes.len() != 12 + len || checksum64(blob) != crc {
+                return None;
+            }
+            Some(blob.to_vec())
+        })();
+        parsed
+            .map(Some)
+            .ok_or(StorageError::Corrupt("catalog blob (catalog.rdb)"))
+    }
+
+    fn checkpoint_done(&self, catalog: &[u8], end_lsn: Lsn) -> Result<(), StorageError> {
+        let mut framed = Vec::with_capacity(12 + catalog.len());
+        framed.extend_from_slice(&(catalog.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&checksum64(catalog).to_le_bytes());
+        framed.extend_from_slice(catalog);
+        replace_file(&self.dir.join("catalog.rdb"), &framed)?;
+        // Header advance is the commit point of the checkpoint: a crash
+        // before it replays from the old base (data frames may be newer —
+        // the per-page LSN guard skips those records); a crash after it
+        // replays nothing older than `end_lsn`.
+        write_meta(&self.dir.join("rdb.meta"), self.page_bytes, end_lsn)?;
+        let mut inner = lock(&self.inner);
+        inner.base_lsn = end_lsn;
+        let path = Self::wal_path(&self.dir);
+        inner
+            .wal
+            .set_len(0)
+            .map_err(io_err("truncate", &path))?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<(), StorageError> {
+        let mut inner = lock(&self.inner);
+        let path = Self::wal_path(&self.dir);
+        inner.wal.sync_data().map_err(io_err("sync", &path))?;
+        let touched = std::mem::take(&mut inner.touched);
+        for file in touched {
+            let path = Self::data_path(&self.dir, file);
+            match File::open(&path) {
+                Ok(f) => f.sync_data().map_err(io_err("sync", &path))?,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(StorageError::io("open", &path, &e)),
+            }
+        }
+        inner.stats.syncs += 1;
+        Ok(())
+    }
+
+    fn stats(&self) -> StoreStats {
+        lock(&self.inner).stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rdb-filestore-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn page_with(bytes: &[u8]) -> Page {
+        let mut p = Page::new(DURABLE_PAGE_BYTES);
+        p.insert(bytes.to_vec()).unwrap();
+        p
+    }
+
+    #[test]
+    fn frames_roundtrip_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        let pid = PageId::new(FileId(3), 2);
+        {
+            let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+            store.write_page(pid, &page_with(b"hello"), 17).unwrap();
+            store.sync().unwrap();
+            assert_eq!(store.file_pages(FileId(3)).unwrap(), 3);
+        }
+        let store = FilePageStore::open(&dir, 123).unwrap();
+        assert_eq!(store.page_bytes(), DURABLE_PAGE_BYTES, "header wins over arg");
+        let (page, lsn) = store.read_page(pid).unwrap().unwrap();
+        assert_eq!(lsn, 17);
+        assert_eq!(page.slot_bytes(0), Some(&b"hello"[..]));
+        // Holes before the written frame read as None.
+        assert_eq!(store.read_page(PageId::new(FileId(3), 0)).unwrap(), None);
+        assert_eq!(store.read_page(PageId::new(FileId(3), 9)).unwrap(), None);
+        assert_eq!(store.stats().page_reads, 1, "holes are not real reads");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_frame_is_a_typed_error() {
+        let dir = temp_dir("torn");
+        let pid = PageId::new(FileId(0), 0);
+        let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+        store.write_page(pid, &page_with(b"data"), 5).unwrap();
+        drop(store);
+        // Flip a payload byte.
+        let path = FilePageStore::data_path(&dir, FileId(0));
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[FRAME_HEADER + 2] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+        assert_eq!(
+            store.read_page(pid),
+            Err(StorageError::TornPage {
+                file: FileId(0),
+                page: 0
+            })
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_appends_survive_reopen_and_tail_tear() {
+        let dir = temp_dir("wal");
+        {
+            let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+            store.append(&WalRecord::CheckpointBegin).unwrap();
+            store
+                .append(&WalRecord::Catalog { blob: vec![1, 2] })
+                .unwrap();
+        }
+        // Tear the tail mid-record.
+        let wal_path = FilePageStore::wal_path(&dir);
+        let len = fs::metadata(&wal_path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&wal_path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+        let view = store.wal().unwrap();
+        assert_eq!(view.entries.len(), 1, "torn record discarded");
+        // New appends continue past the surviving log: the torn record was
+        // never durable, so its LSN is legitimately reusable.
+        let lsn = store.append(&WalRecord::CheckpointBegin).unwrap();
+        assert!(lsn > 1, "LSNs stay monotonic after a tear (got {lsn})");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_persists_catalog_and_releases_wal() {
+        let dir = temp_dir("ckpt");
+        let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+        store.append(&WalRecord::CheckpointBegin).unwrap();
+        let end = store
+            .append(&WalRecord::CheckpointEnd { begin: 1 })
+            .unwrap();
+        store.checkpoint_done(b"CATALOG", end).unwrap();
+        assert!(store.wal().unwrap().entries.is_empty());
+        drop(store);
+        let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+        assert_eq!(store.base_lsn(), end);
+        assert_eq!(store.read_catalog().unwrap(), Some(b"CATALOG".to_vec()));
+        assert!(store.wal().unwrap().entries.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

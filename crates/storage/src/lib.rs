@@ -15,37 +15,55 @@
 //!   page touch is classified hit/miss and charged to a shared [`CostMeter`].
 //! * [`TempTable`] — the spill target for RID lists that overflow main
 //!   memory during Jscan (Section 6 of the paper).
+//! * A durable backend behind the [`PageStore`] seam: [`FilePageStore`]
+//!   keeps 4KB checksummed page frames plus an LSN-stamped write-ahead
+//!   log on disk, [`MemPageStore`] speaks the same protocol in memory,
+//!   and [`DurableCtx`] / [`durable::recover`] implement WAL logging,
+//!   fuzzy checkpoints, and ARIES-lite redo recovery on open.
 //!
 //! Costs are *simulated units*, not wall time: a miss costs one I/O unit, a
-//! hit a small fraction, CPU work smaller still (see [`CostConfig`]). This
-//! mirrors the I/O-dominated cost reasoning of the paper while keeping every
+//! hit a small fraction, CPU work smaller still (see [`CostConfig`]). On a
+//! durable database the unit is grounded: every cold-cache miss of a
+//! checkpointed page performs (and checksum-verifies) a real frame read,
+//! and [`StoreStats`] counts the genuine traffic. This mirrors the
+//! I/O-dominated cost reasoning of the paper while keeping every
 //! experiment reproducible.
 
 pub mod buffer;
 pub mod cost;
+pub mod durable;
 pub mod error;
 pub mod fault;
+pub mod file_store;
 pub mod heap;
 pub mod page;
 pub mod record;
 pub mod reference;
 pub mod rid;
 pub mod schema;
+pub mod store;
 pub mod temp;
 pub(crate) mod touch;
 pub mod value;
+pub mod wal;
 
 pub use buffer::{
     shared_pool, shared_pool_sharded, Access, BufferPool, FileId, PageId, PoolStats, SharedPool,
 };
 pub use cost::shared_meter;
 pub use cost::{CostConfig, CostMeter, CostSnapshot, SharedCost};
+pub use durable::{
+    recover, CheckpointStats, DurableCtx, Recovered, RecoveredFile, RecoveryReport,
+};
 pub use error::StorageError;
 pub use fault::FaultPolicy;
+pub use file_store::{FilePageStore, DURABLE_PAGE_BYTES, FRAME_BYTES};
 pub use heap::{HeapScan, HeapTable};
 pub use record::Record;
 pub use reference::ReferencePool;
 pub use rid::Rid;
 pub use schema::{Column, Schema};
+pub use store::{MemPageStore, PageStore, SharedStore, StoreStats};
 pub use temp::TempTable;
 pub use value::{Value, ValueType};
+pub use wal::{Lsn, WalRecord, WalView};

@@ -16,7 +16,7 @@ pub const DEFAULT_PAGE_BYTES: usize = 8192;
 const SLOT_OVERHEAD: usize = 4;
 
 /// One slotted page of serialized records.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Page {
     capacity: usize,
     used: usize,
@@ -115,6 +115,111 @@ impl Page {
             .enumerate()
             .filter_map(|(i, s)| s.as_deref().map(|b| (i as u16, b)))
     }
+
+    /// Size in bytes of this page's serialized image (see
+    /// [`Page::encode_image`]): the slot-count word plus a length word per
+    /// slot (tombstones included) plus the live payload bytes.
+    pub fn image_len(&self) -> usize {
+        2 + self
+            .slots
+            .iter()
+            .map(|s| 2 + s.as_ref().map_or(0, Vec::len))
+            .sum::<usize>()
+    }
+
+    /// Serializes the page into `out` as a self-describing image:
+    ///
+    /// ```text
+    /// u16 slot_count | per slot: u16 len + bytes, or 0xFFFF (tombstone)
+    /// ```
+    ///
+    /// Slot numbers — and therefore RIDs — survive the round trip exactly,
+    /// tombstones included. Errors only if a record is too long for the
+    /// `u16` length word (impossible for disk-sized pages).
+    pub fn encode_image(&self, out: &mut Vec<u8>) -> Result<(), StorageError> {
+        const TOMBSTONE: u16 = u16::MAX;
+        out.extend_from_slice(&(self.slots.len() as u16).to_le_bytes());
+        for slot in &self.slots {
+            match slot {
+                Some(bytes) => {
+                    if bytes.len() >= TOMBSTONE as usize {
+                        return Err(StorageError::Corrupt("record too long for page image"));
+                    }
+                    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+                    out.extend_from_slice(bytes);
+                }
+                None => out.extend_from_slice(&TOMBSTONE.to_le_bytes()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs a page of `capacity` payload bytes from an image
+    /// produced by [`Page::encode_image`]. Byte accounting (`used`, live
+    /// count) is recomputed from the decoded slots.
+    pub fn decode_image(capacity: usize, buf: &[u8]) -> Result<Page, StorageError> {
+        const TOMBSTONE: u16 = u16::MAX;
+        let word = |at: usize| -> Result<u16, StorageError> {
+            let bytes: [u8; 2] = buf
+                .get(at..at + 2)
+                .and_then(|b| b.try_into().ok())
+                .ok_or(StorageError::Corrupt("truncated page image"))?;
+            Ok(u16::from_le_bytes(bytes))
+        };
+        let slot_count = word(0)? as usize;
+        let mut page = Page::new(capacity);
+        let mut at = 2usize;
+        for _ in 0..slot_count {
+            let len = word(at)?;
+            at += 2;
+            if len == TOMBSTONE {
+                page.slots.push(None);
+                continue;
+            }
+            let bytes = buf
+                .get(at..at + len as usize)
+                .ok_or(StorageError::Corrupt("truncated page image payload"))?;
+            at += len as usize;
+            page.used += bytes.len() + SLOT_OVERHEAD;
+            page.live += 1;
+            page.slots.push(Some(bytes.to_vec()));
+        }
+        if at != buf.len() {
+            return Err(StorageError::Corrupt("trailing bytes after page image"));
+        }
+        Ok(page)
+    }
+
+    /// Redo-applies an insert of `bytes` at exactly `slot`, growing the
+    /// slot array with tombstones if needed. Used only by WAL replay, which
+    /// knows the slot a logged insert landed on; an already-occupied slot
+    /// is overwritten (replay is idempotent under the caller's LSN guard).
+    pub fn apply_insert_at(&mut self, slot: u16, bytes: Vec<u8>) {
+        let at = slot as usize;
+        while self.slots.len() <= at {
+            self.slots.push(None);
+        }
+        if let Some(entry) = self.slots.get_mut(at) {
+            if let Some(old) = entry.take() {
+                self.used -= old.len() + SLOT_OVERHEAD;
+                self.live -= 1;
+            }
+            self.used += bytes.len() + SLOT_OVERHEAD;
+            self.live += 1;
+            *entry = Some(bytes);
+        }
+    }
+
+    /// Redo-applies a delete of `slot`. Deleting an absent or already-dead
+    /// slot is a no-op (replay is idempotent under the caller's LSN guard).
+    pub fn apply_delete_at(&mut self, slot: u16) {
+        if let Some(entry) = self.slots.get_mut(slot as usize) {
+            if let Some(old) = entry.take() {
+                self.used -= old.len() + SLOT_OVERHEAD;
+                self.live -= 1;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -169,6 +274,56 @@ mod tests {
             .unwrap();
         page.delete(slot).unwrap();
         assert!(page.delete(slot).is_err());
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_slots_and_tombstones() {
+        let mut page = Page::new(DEFAULT_PAGE_BYTES);
+        for i in 0..6 {
+            page.insert(encoded(&Record::new(vec![Value::Int(i)]))).unwrap();
+        }
+        page.delete(1).unwrap();
+        page.delete(4).unwrap();
+        let mut buf = Vec::new();
+        page.encode_image(&mut buf).unwrap();
+        assert_eq!(buf.len(), page.image_len());
+        let back = Page::decode_image(DEFAULT_PAGE_BYTES, &buf).unwrap();
+        assert_eq!(back.used(), page.used());
+        assert_eq!(back.live_records(), page.live_records());
+        assert_eq!(back.slot_count(), page.slot_count());
+        for slot in 0..page.slot_count() {
+            assert_eq!(back.slot_bytes(slot), page.slot_bytes(slot));
+        }
+    }
+
+    #[test]
+    fn image_decode_rejects_truncation_and_trailing_garbage() {
+        let mut page = Page::new(DEFAULT_PAGE_BYTES);
+        page.insert(encoded(&Record::new(vec![Value::Int(9)]))).unwrap();
+        let mut buf = Vec::new();
+        page.encode_image(&mut buf).unwrap();
+        assert!(Page::decode_image(DEFAULT_PAGE_BYTES, &buf[..buf.len() - 1]).is_err());
+        let mut long = buf.clone();
+        long.push(0);
+        assert!(Page::decode_image(DEFAULT_PAGE_BYTES, &long).is_err());
+    }
+
+    #[test]
+    fn apply_insert_and_delete_replay_exact_slots() {
+        let mut page = Page::new(DEFAULT_PAGE_BYTES);
+        let bytes = encoded(&Record::new(vec![Value::Int(3)]));
+        page.apply_insert_at(2, bytes.clone());
+        assert_eq!(page.slot_count(), 3);
+        assert_eq!(page.slot_bytes(2), Some(bytes.as_slice()));
+        assert!(page.slot_bytes(0).is_none());
+        assert_eq!(page.live_records(), 1);
+        page.apply_delete_at(2);
+        assert_eq!(page.live_records(), 0);
+        assert_eq!(page.used(), 0);
+        // Idempotent on dead/absent slots.
+        page.apply_delete_at(2);
+        page.apply_delete_at(40);
+        assert_eq!(page.live_records(), 0);
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl Default for FamiliesConfig {
 /// INCOME_BAND correlated-with-AGE)` with indexes on AGE, CITY, REGION,
 /// and INCOME_BAND.
 pub fn families_db(config: &FamiliesConfig) -> Db {
-    let mut db = Db::new(config.db);
+    let mut db = Db::builder().config(config.db).open().expect("in-memory open cannot fail");
     db.create_table(
         "FAMILIES",
         Schema::new(vec![
@@ -135,7 +135,7 @@ impl Default for OrdersConfig {
 /// zipf-of-3)` with a composite index on `(REGION, DAY)` and single-column
 /// indexes on `AMOUNT` and `DAY`.
 pub fn orders_db(config: &OrdersConfig) -> Db {
-    let mut db = Db::new(config.db);
+    let mut db = Db::builder().config(config.db).open().expect("in-memory open cannot fail");
     db.create_table(
         "ORDERS",
         Schema::new(vec![

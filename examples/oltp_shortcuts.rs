@@ -8,10 +8,7 @@
 use rdb_query::prelude::*;
 
 fn main() {
-    let mut db = Db::new(DbConfig {
-        page_bytes: 1024,
-        ..DbConfig::default()
-    });
+    let mut db = Db::builder().page_bytes(1024).open().unwrap();
     db.create_table(
         "ORDERS",
         Schema::new(vec![

@@ -9,10 +9,7 @@ use rdb_query::prelude::*;
 fn main() {
     // 1. A database with a simulated buffer pool and cost meter. Small
     //    pages give the table a realistic page count at this row count.
-    let mut db = Db::new(DbConfig {
-        page_bytes: 1024,
-        ..DbConfig::default()
-    });
+    let mut db = Db::builder().page_bytes(1024).open().unwrap();
 
     // 2. The FAMILIES table of the paper's Section 4 example.
     db.create_table(

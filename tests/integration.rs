@@ -2,7 +2,7 @@
 //! parsing, binding, dynamic optimization, tiered execution, and row
 //! projection — cross-checked against brute-force ground truth.
 
-use rdb_query::{Db, DbConfig, QueryOptions};
+use rdb_query::{Db, QueryOptions};
 use rdb_storage::{Column, Schema, Value, ValueType};
 use rdb_workload::{families_db, FamiliesConfig};
 
@@ -52,7 +52,7 @@ fn all_tactics_agree_with_brute_force() {
 /// Brute-force evaluation through an index-free copy of the data.
 fn brute_force(db: &Db, sql: &str) -> Vec<i64> {
     let heap = db.heap("FAMILIES").expect("fixture");
-    let mut copy = Db::new(DbConfig::default());
+    let mut copy = Db::builder().open().unwrap();
     copy.create_table("FAMILIES", heap.schema().clone()).expect("copy");
     let mut scan = heap.scan();
     while let Some((_, record)) = scan.next(heap, heap.pool().cost()).unwrap() {
@@ -123,7 +123,7 @@ fn cache_perturbation_degrades_but_preserves_results() {
 
 #[test]
 fn mixed_type_table_roundtrip() {
-    let mut db = Db::new(DbConfig::default());
+    let mut db = Db::builder().open().unwrap();
     db.create_table(
         "EMP",
         Schema::new(vec![
@@ -161,7 +161,7 @@ fn mixed_type_table_roundtrip() {
 
 #[test]
 fn string_keyed_index_retrieval() {
-    let mut db = Db::new(DbConfig::default());
+    let mut db = Db::builder().open().unwrap();
     db.create_table(
         "CITIES",
         Schema::new(vec![
@@ -204,7 +204,7 @@ fn string_keyed_index_retrieval() {
 #[test]
 fn dml_and_query_interleave() {
     use rdb_query::{CmpOp, Expr};
-    let mut db = Db::new(DbConfig::default());
+    let mut db = Db::builder().open().unwrap();
     db.create_table(
         "ACCOUNTS",
         Schema::new(vec![
