@@ -10,10 +10,11 @@
 //!
 //! **Gate:** the dynamic competition's cost must stay within
 //! `JOIN_GATE_MAX` (default 1.5×) of the best static method on every
-//! shape. The committed `BENCH_join.json` baseline observed ratios of
-//! 1.05/1.05/1.28, so 1.5 leaves a noise band without letting a real
-//! regression (a lost race, a broken kill heuristic) through. Cost units
-//! are deterministic, so the gate is not wall-clock flaky.
+//! shape. The committed `BENCH_join.json` baseline (bounded 128-page
+//! pool, cold pool before every pass) observed ratios of 1.00/1.00/1.14,
+//! so 1.5 leaves a noise band without letting a real regression (a lost
+//! race, a broken kill heuristic) through. Cost units are deterministic,
+//! so the gate is not wall-clock flaky.
 //!
 //! Environment knobs:
 //!
@@ -21,6 +22,10 @@
 //!   committed `BENCH_join.json` at the repo root).
 //! * `JOIN_GATE_MAX` — dynamic-over-best-static cost ceiling (default
 //!   `1.5`; set it empty or huge to effectively disable).
+//! * `JOIN_POOL_PAGES` — buffer-pool capacity each shape runs under
+//!   (default 128: smaller than the two heaps plus indexes, so every
+//!   method races in the beyond-RAM eviction regime rather than with
+//!   both tables fully resident).
 //!
 //! Run: `cargo run --release -p rdb-bench --bin join_methods`
 
@@ -56,6 +61,14 @@ fn lcg(state: &mut u64) -> u64 {
     *state >> 33
 }
 
+fn pool_pages() -> usize {
+    std::env::var("JOIN_POOL_PAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(128)
+}
+
 fn build_shape(
     name: &'static str,
     note: &'static str,
@@ -64,7 +77,7 @@ fn build_shape(
     fk: impl Fn(&mut u64) -> i64,
     left_residual: Option<(RecordPred, f64)>,
 ) -> Shape {
-    let pool = shared_pool(200_000, shared_meter(CostConfig::default()));
+    let pool = shared_pool(pool_pages(), shared_meter(CostConfig::default()));
     let schema = || {
         Schema::new(vec![
             Column::new("K", ValueType::Int),
@@ -192,6 +205,10 @@ fn main() {
         let mut runs: Vec<Timed> = Vec::new();
         for method in methods {
             runs.push(time_run(method.label(), || {
+                // Every pass starts cold: under the bounded pool, pages a
+                // previous method left resident would otherwise subsidise
+                // whoever happens to run next.
+                shape.pool.clear();
                 let out = run_join_method(&shape.request(), method, &cfg).expect("forced method");
                 (out.pairs.len(), out.cost)
             }));
@@ -202,6 +219,7 @@ fn main() {
         }
         let mut winner = String::new();
         runs.push(time_run("dynamic".into(), || {
+            shape.pool.clear();
             let out =
                 run_join(&shape.request(), &cfg, &Tracer::disabled()).expect("join competition");
             assert_eq!(out.pairs.len(), truth, "dynamic disagrees on pairs");
@@ -264,10 +282,13 @@ fn main() {
             "{{\n  \"bench\": \"crates/bench/src/bin/join_methods.rs\",\n  \
              \"command\": \"JOIN_JSON=BENCH_join.json cargo run --release -p rdb-bench --bin join_methods\",\n  \
              \"note\": \"Every join method forced to completion, then the dynamic competition, on \
-             three canonical two-table shapes. Pair counts are cross-checked between all methods \
-             before timing. Gated: dynamic cost must stay within JOIN_GATE_MAX (default 1.5x) of \
-             the best static method on every shape.\",\n  \"gate_max\": {:.2},\n  \"shapes\": [\n{}\n  ]\n}}\n",
+             three canonical two-table shapes, all under a bounded buffer pool (JOIN_POOL_PAGES, \
+             smaller than the heaps plus indexes) so the race runs in the beyond-RAM eviction \
+             regime. Pair counts are cross-checked between all methods before timing. Gated: \
+             dynamic cost must stay within JOIN_GATE_MAX (default 1.5x) of the best static method \
+             on every shape.\",\n  \"gate_max\": {:.2},\n  \"pool_pages\": {},\n  \"shapes\": [\n{}\n  ]\n}}\n",
             gate_max,
+            pool_pages(),
             json_shapes.join(",\n")
         );
         std::fs::write(&path, out).expect("write join json");

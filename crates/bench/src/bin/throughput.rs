@@ -20,6 +20,10 @@
 //!   while any ≥4-core machine still demands the full 3x.
 //! * `THROUGHPUT_JSON` — path to write the machine-readable report
 //!   (the committed `BENCH_concurrency.json` at the repo root).
+//! * `THROUGHPUT_POOL_PAGES` — buffer-pool capacity (default 512:
+//!   smaller than the FAMILIES heap plus its four indexes, so the mix
+//!   runs in the beyond-RAM eviction regime and threads contend for
+//!   frames, not just shard locks).
 //!
 //! Run: `cargo run --release -p rdb-bench --bin throughput`
 
@@ -177,6 +181,7 @@ fn measure(db: &Db, workload: &[Case], threads: usize, window_ms: u64) -> Measur
 fn write_json(
     path: &str,
     rows: usize,
+    pool_pages: usize,
     window_ms: u64,
     cores: usize,
     runs: &[Measurement],
@@ -188,10 +193,12 @@ fn write_json(
         "  \"command\": \"THROUGHPUT_JSON=BENCH_concurrency.json cargo run --release -p rdb-bench --bin throughput\",\n",
     );
     out.push_str(&format!("  \"rows\": {rows},\n"));
+    out.push_str(&format!("  \"pool_pages\": {pool_pages},\n"));
     out.push_str(&format!("  \"measure_ms_per_thread_count\": {window_ms},\n"));
     out.push_str(&format!("  \"host_parallelism\": {cores},\n"));
     out.push_str(
-        "  \"note\": \"One shared Db; each OS thread drives its own Session (private cost meter) \
+        "  \"note\": \"One shared Db under a bounded buffer pool (pool_pages < heap + indexes, \
+         the beyond-RAM regime); each OS thread drives its own Session (private cost meter) \
          through the mixed FAMILIES workload. Row counts are asserted against the sequential \
          expectation on every query, so these numbers are from verified-correct runs. \
          p50_us/p95_us are per-query wall-clock latency percentiles pooled across all \
@@ -236,14 +243,17 @@ fn main() {
         .unwrap_or(1);
     let gate = env_f64("THROUGHPUT_MIN_SPEEDUP", 3.0).min(0.75 * cores as f64);
     let rows = 40_000;
-    let db = families_db(&FamiliesConfig {
+    let pool_pages = env_f64("THROUGHPUT_POOL_PAGES", 512.0) as usize;
+    let mut config = FamiliesConfig {
         rows,
         ..FamiliesConfig::default()
-    });
+    };
+    config.db.pool_pages = pool_pages;
+    let db = families_db(&config);
     let workload = build_workload(&db);
     println!(
-        "throughput: {} queries/mix, {} rows, {window_ms} ms per thread count, \
-         {cores} cores (effective gate {gate:.2}x)\n",
+        "throughput: {} queries/mix, {} rows, {pool_pages}-page pool, {window_ms} ms per \
+         thread count, {cores} cores (effective gate {gate:.2}x)\n",
         workload.len(),
         rows
     );
@@ -283,7 +293,7 @@ fn main() {
     );
 
     if let Ok(path) = std::env::var("THROUGHPUT_JSON") {
-        write_json(&path, rows, window_ms, cores, &runs, gate);
+        write_json(&path, rows, pool_pages, window_ms, cores, &runs, gate);
     }
 
     let achieved = runs.last().expect("runs").qps / base_qps;

@@ -4,7 +4,7 @@
 //! use rdb_query::prelude::*;
 //! use rdb_storage::{Column, Schema, ValueType};
 //!
-//! // In-memory (the default): same behaviour as the historical Db::new.
+//! // In-memory (the default).
 //! let mut db = Db::builder().open()?;
 //! db.create_table("T", Schema::new(vec![Column::new("X", ValueType::Int)]))?;
 //! # Ok::<(), QueryError>(())
@@ -119,6 +119,23 @@ impl DbBuilder {
     /// ORDER BY sort tuning.
     pub fn sort(mut self, sort: SortConfig) -> Self {
         self.config.sort = sort;
+        self
+    }
+
+    /// WAL segment cap in bytes (durable targets only): the log rotates
+    /// into a fresh `wal-<seq>.rdb` once the live segment would exceed
+    /// this, and checkpoints recycle whole segments. Small caps force
+    /// frequent rotation — useful for crash harnesses.
+    pub fn wal_segment_bytes(mut self, bytes: u64) -> Self {
+        self.config.wal_segment_bytes = bytes;
+        self
+    }
+
+    /// Toggles sequential read-ahead on cold heap scans (durable targets
+    /// only; on by default). Off, every cold miss performs its own frame
+    /// read — the baseline the `beyond_ram` bench gates against.
+    pub fn read_ahead(mut self, enabled: bool) -> Self {
+        self.config.read_ahead = enabled;
         self
     }
 

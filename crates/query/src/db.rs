@@ -40,6 +40,12 @@ pub struct DbConfig {
     pub optimizer: DynamicConfig,
     /// ORDER BY sort tuning (memory threshold, spill page size).
     pub sort: SortConfig,
+    /// WAL segment cap in bytes (durable databases): the log rotates into
+    /// a fresh `wal-<seq>.rdb` once the current segment would exceed this.
+    pub wal_segment_bytes: u64,
+    /// Sequential read-ahead on cold heap scans (durable databases):
+    /// batch upcoming clean pages into one positioned read per window.
+    pub read_ahead: bool,
 }
 
 impl Default for DbConfig {
@@ -51,6 +57,8 @@ impl Default for DbConfig {
             index_fanout: 64,
             optimizer: DynamicConfig::default(),
             sort: SortConfig::default(),
+            wal_segment_bytes: rdb_storage::DEFAULT_WAL_SEGMENT_BYTES,
+            read_ahead: true,
         }
     }
 }
@@ -234,6 +242,14 @@ pub struct QueryMetrics {
     /// first run of a prepared statement, or any run after a catalog
     /// change / [`Db::clear_plan_cache`].
     pub plan_cache_misses: u64,
+    /// Pages fetched ahead of the scan cursor by sequential read-ahead
+    /// during this run. Pool-wide counter delta: on a shared pool,
+    /// concurrent sessions' prefetches land in whichever run is active.
+    pub prefetched_pages: u64,
+    /// Prefetched frames the scan actually reached. The gap to
+    /// `prefetched_pages` is wasted read-ahead — the adaptive window
+    /// shrinks when it grows.
+    pub prefetch_consumed: u64,
 }
 
 /// Result of one query run.
@@ -322,12 +338,6 @@ impl Db {
         crate::DbBuilder::new()
     }
 
-    /// Creates an empty in-memory database.
-    #[deprecated(note = "use Db::builder().open() (this shim lasts one release)")]
-    pub fn new(config: DbConfig) -> Self {
-        Self::open_in_memory(config)
-    }
-
     /// In-memory construction (the builder's `in_memory` target).
     pub(crate) fn open_in_memory(config: DbConfig) -> Self {
         let cost = shared_meter(config.cost);
@@ -352,12 +362,17 @@ impl Db {
     /// its table, and marks redo-touched pages dirty so the next
     /// checkpoint writes them back.
     pub(crate) fn open_durable(mut config: DbConfig, dir: &std::path::Path) -> Result<Self, QueryError> {
-        let store: SharedStore = Arc::new(FilePageStore::open(dir, config.page_bytes)?);
+        let store: SharedStore = Arc::new(FilePageStore::open_with(
+            dir,
+            config.page_bytes,
+            config.wal_segment_bytes,
+        )?);
         // An existing database's on-disk page size wins over the config.
         config.page_bytes = store.page_bytes();
         let recovered = recover(&store)?;
         let cost = shared_meter(config.cost);
         let pool = shared_pool(config.pool_pages, cost.clone());
+        pool.set_read_ahead(config.read_ahead);
         let ctx = DurableCtx::new(
             store.clone(),
             pool.clone(),
@@ -927,11 +942,15 @@ impl Db {
         cost: &SharedCost,
     ) -> Result<QueryResult, QueryError> {
         let before = cost.snapshot();
+        let pf_before = self.pool.prefetch_stats();
         let mut result = self.query_spec_inner(spec, opts, cost)?;
         let delta = cost.snapshot().since(&before);
+        let pf = self.pool.prefetch_stats().since(&pf_before);
         result.metrics = QueryMetrics {
             pool_hits: delta.cache_hits,
             pool_misses: delta.page_reads,
+            prefetched_pages: pf.prefetched_pages,
+            prefetch_consumed: pf.consumed_pages,
             ..QueryMetrics::default()
         };
         Ok(result)
@@ -1313,6 +1332,7 @@ impl Db {
     ) -> Result<QueryResult, QueryError> {
         use std::sync::PoisonError;
         let before = cost.snapshot();
+        let pf_before = self.pool.prefetch_stats();
         let entry = self.table(&plan.spec.table)?;
         let tag: crate::prepared::PlanTag = self.catalog_gen;
         let tracer = opts.tracer();
@@ -1410,11 +1430,14 @@ impl Db {
             }
         };
         let delta = cost.snapshot().since(&before);
+        let pf = self.pool.prefetch_stats().since(&pf_before);
         result.metrics = QueryMetrics {
             pool_hits: delta.cache_hits,
             pool_misses: delta.page_reads,
             plan_cache_hits: u64::from(cache_hit),
             plan_cache_misses: u64::from(!cache_hit),
+            prefetched_pages: pf.prefetched_pages,
+            prefetch_consumed: pf.consumed_pages,
         };
         Ok(result)
     }

@@ -39,6 +39,12 @@ impl ExplainAnalyze {
             self.result.metrics.pool_hits,
             self.result.metrics.pool_misses,
         ));
+        if self.result.metrics.prefetched_pages > 0 {
+            out.push_str(&format!(
+                "read-ahead {} page(s) prefetched / {} consumed\n",
+                self.result.metrics.prefetched_pages, self.result.metrics.prefetch_consumed,
+            ));
+        }
         out.push_str(&render_timeline(&self.events));
         out
     }
@@ -49,13 +55,16 @@ impl ExplainAnalyze {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"sql\":{},\"strategy\":{},\"rows\":{},\"cost\":{:.6},\
-             \"pool\":{{\"hits\":{},\"misses\":{}}},\"events\":{}}}",
+             \"pool\":{{\"hits\":{},\"misses\":{}}},\
+             \"read_ahead\":{{\"prefetched\":{},\"consumed\":{}}},\"events\":{}}}",
             json_string(&self.sql),
             json_string(&self.result.strategy),
             self.result.rows.len(),
             self.result.cost,
             self.result.metrics.pool_hits,
             self.result.metrics.pool_misses,
+            self.result.metrics.prefetched_pages,
+            self.result.metrics.prefetch_consumed,
             trace_json(&self.events),
         )
     }

@@ -194,9 +194,61 @@ fn explicit_page_bytes_over_frame_budget_is_a_typed_error() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_db_new_shim_still_works() {
-    let mut db = Db::new(DbConfig::default());
+fn cold_scan_read_ahead_surfaces_in_query_metrics() {
+    let dir = temp_dir("readahead");
+    let mut db = build(&dir, 800);
+    db.checkpoint().unwrap();
+    db.clear_cache();
+    let result = db
+        .query("select ID from FAMILIES", &QueryOptions::new())
+        .unwrap();
+    assert_eq!(result.rows.len(), 800);
+    assert!(
+        result.metrics.prefetched_pages > 0,
+        "cold sequential scan should prefetch: {:?}",
+        result.metrics
+    );
+    assert_eq!(
+        result.metrics.prefetch_consumed, result.metrics.prefetched_pages,
+        "a full scan consumes its whole window: {:?}",
+        result.metrics
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn read_ahead_off_performs_no_prefetch() {
+    let dir = temp_dir("readahead-off");
+    let mut db = Db::builder()
+        .path(&dir)
+        .page_bytes(512)
+        .read_ahead(false)
+        .open()
+        .unwrap();
+    db.create_table("FAMILIES", families_schema()).unwrap();
+    for i in 0..400 {
+        db.insert("FAMILIES", vec![Value::Int(i), Value::Int(i % 100)])
+            .unwrap();
+    }
+    db.checkpoint().unwrap();
+    db.clear_cache();
+    let result = db
+        .query("select ID from FAMILIES", &QueryOptions::new())
+        .unwrap();
+    assert_eq!(result.rows.len(), 400);
+    assert_eq!(
+        result.metrics.prefetched_pages, 0,
+        "read_ahead(false) must disable prefetch: {:?}",
+        result.metrics
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn builder_default_target_is_in_memory() {
+    let mut db = Db::builder().config(DbConfig::default()).open().unwrap();
     db.create_table("T", families_schema()).unwrap();
     db.insert("T", vec![Value::Int(1), Value::Int(2)]).unwrap();
     assert_eq!(db.row_count("T"), Some(1));

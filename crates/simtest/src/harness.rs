@@ -30,6 +30,10 @@ pub struct SimConfig {
     /// Fault probabilities for the random-fault campaigns (rate 0 — the
     /// clean differential — always runs first and is implied).
     pub fault_rates: Vec<f64>,
+    /// Buffer-pool capacity for durable crash worlds; `None` keeps the
+    /// database default. Small values force the beyond-RAM regime, where
+    /// recovery and verification evict and re-read pages constantly.
+    pub pool_pages: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -38,6 +42,7 @@ impl Default for SimConfig {
             cost_mult: 3.0,
             cost_slack: 60.0,
             fault_rates: vec![0.01, 0.1],
+            pool_pages: None,
         }
     }
 }

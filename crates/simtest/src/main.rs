@@ -81,6 +81,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--cost-slack: {e}"))?
             }
+            "--pool-pages" => {
+                let pages: usize = value("--pool-pages")?
+                    .parse()
+                    .map_err(|e| format!("--pool-pages: {e}"))?;
+                if pages == 0 {
+                    return Err("--pool-pages must be at least 1".into());
+                }
+                args.config.pool_pages = Some(pages);
+            }
             "--joins" => args.joins = true,
             "--durable" => args.durable = true,
             "--skip-mutation-check" => args.skip_mutation_check = true,
@@ -89,7 +98,8 @@ fn parse_args() -> Result<Args, String> {
                     "simtest: deterministic differential fuzzing of the dynamic optimizer\n\n\
                      USAGE: simtest [--seeds N] [--start-seed S] [--replay SEED]\n\
                             [--threads T] [--joins] [--durable] [--fault-rate R]...\n\
-                            [--cost-mult M] [--cost-slack S] [--skip-mutation-check]\n\n\
+                            [--cost-mult M] [--cost-slack S] [--pool-pages P]\n\
+                            [--skip-mutation-check]\n\n\
                      Fault rates 0 < R < 1 arm random storage faults; the clean\n\
                      differential and a scoped index-death scenario always run.\n\
                      Default fault rates: 0.01 and 0.1.\n\
@@ -103,9 +113,13 @@ fn parse_args() -> Result<Args, String> {
                      nested-loop shadow oracle.\n\
                      --durable runs the crash campaign instead: seeded\n\
                      on-disk worlds killed at arbitrary points (clean close,\n\
-                     hard crash, WAL boundary/mid-record cuts, torn data\n\
-                     frames) whose recovered state is differenced against\n\
-                     the shadow oracle's snapshot at the kill point."
+                     hard crash, WAL segment boundary/mid-record cuts, torn\n\
+                     data frames, rotation-window crashes) whose recovered\n\
+                     state is differenced against the shadow oracle's\n\
+                     snapshot at the kill point.\n\
+                     --pool-pages P caps the durable worlds' buffer pool at\n\
+                     P pages, forcing the beyond-RAM regime during recovery\n\
+                     and verification."
                 );
                 std::process::exit(0);
             }
@@ -335,7 +349,7 @@ fn run_joins_campaign(args: &Args) -> ExitCode {
 }
 
 /// The durable crash campaign: every seed grows an on-disk world, kills
-/// it six ways, and differences each recovered database against the
+/// it eight ways, and differences each recovered database against the
 /// shadow oracle's snapshot at the kill point (see `rdb_simtest::durable`).
 fn run_durable_campaign(args: &Args) -> ExitCode {
     if !args.skip_mutation_check {

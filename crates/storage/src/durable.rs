@@ -167,6 +167,24 @@ impl DurableCtx {
         self.store.read_page(page_id).map(|_| ())
     }
 
+    /// Batched [`DurableCtx::verify_read`] over `n` consecutive frames of
+    /// `file` starting at `first` — the sequential read-ahead path. One
+    /// per-frame outcome in page order; a torn frame poisons only its own
+    /// slot, so the caller can defer that error until the scan reaches the
+    /// page (see [`crate::readahead::ReadAhead`]).
+    pub fn verify_read_run(
+        &self,
+        file: crate::buffer::FileId,
+        first: u32,
+        n: u32,
+    ) -> Vec<Result<(), StorageError>> {
+        self.store
+            .read_run(file, first, n)
+            .into_iter()
+            .map(|r| r.map(|_| ()))
+            .collect()
+    }
+
     /// Runs a checkpoint: drains the pool's dirty set, writes each page's
     /// image (fetched from the owning table via `page_image`) stamped with
     /// its last LSN, syncs, and seals with the new `catalog`. Write-backs

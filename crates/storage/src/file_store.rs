@@ -4,12 +4,30 @@
 //!
 //! ```text
 //! db/
-//!   rdb.meta      header: magic, version, page_bytes, base LSN (atomically
-//!                 replaced via tmp+rename at every checkpoint)
-//!   catalog.rdb   last checkpointed catalog blob (tmp+rename)
-//!   wal.rdb       append-only WAL (see crate::wal for framing)
-//!   f<N>.rdb      page frames for FileId(N), 4096 bytes per frame
+//!   rdb.meta        header: magic, version, page_bytes, base LSN (atomically
+//!                   replaced via tmp+rename at every checkpoint)
+//!   catalog.rdb     last checkpointed catalog blob (tmp+rename)
+//!   wal-<seq>.rdb   append-only WAL segments (see crate::wal for record
+//!                   framing); appends rotate into a fresh segment when the
+//!                   current one exceeds the segment cap
+//!   f<N>.rdb        page frames for FileId(N), 4096 bytes per frame
 //! ```
+//!
+//! # WAL segments
+//!
+//! The log is a chain of capped segment files, each starting with a
+//! 24-byte header (`magic "RDBW" | version | u64 seq | crc over the first
+//! 16 bytes`) followed by the usual record stream. Sequence numbers are
+//! assigned once and never reused; the logical log is the concatenation of
+//! the record streams in sequence order. [`FilePageStore::open`] walks the
+//! segments and applies crash semantics at the first damage it meets — a
+//! torn record tail truncates that segment, and a bad header, a
+//! filename/header sequence mismatch, or a gap in the chain ends the log
+//! there; later segments were never durably reachable and are deleted.
+//! A checkpoint recycles the chain: after the header advance (the commit
+//! point) it starts a fresh segment and deletes every released one, so
+//! steady-state disk usage is bounded by the checkpoint cadence rather
+//! than database lifetime.
 //!
 //! Each data frame is:
 //!
@@ -30,7 +48,7 @@
 //! silently at open (crash semantics: the tail never happened).
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
@@ -51,13 +69,27 @@ pub const FRAME_PAYLOAD_MAX: usize = FRAME_BYTES - FRAME_HEADER;
 /// 4064-byte frame payload for pages that have seen delete churn.
 pub const DURABLE_PAGE_BYTES: usize = 4000;
 
+/// Default cap on one WAL segment's size. Appends rotate into a fresh
+/// segment once the current one would exceed it.
+pub const DEFAULT_WAL_SEGMENT_BYTES: u64 = 1 << 20;
+
+/// Bytes of header at the front of every WAL segment file.
+pub const WAL_SEGMENT_HEADER: usize = 24;
+
 const FRAME_MAGIC: u32 = 0x5042_4452; // "RDBP" little-endian
 const META_MAGIC: u32 = 0x4D42_4452; // "RDBM"
-const META_VERSION: u32 = 1;
+const WAL_MAGIC: u32 = 0x5742_4452; // "RDBW"
+const WAL_VERSION: u32 = 1;
+const META_VERSION: u32 = 2; // v2: segmented WAL (wal-<seq>.rdb)
 
 #[derive(Debug)]
 struct Inner {
+    /// The current (highest-sequence) WAL segment, append-positioned.
     wal: File,
+    /// Sequence number of the current segment.
+    wal_seq: u64,
+    /// Bytes in the current segment, header included (the rotation gauge).
+    wal_len: u64,
     next_lsn: Lsn,
     base_lsn: Lsn,
     stats: StoreStats,
@@ -70,6 +102,9 @@ struct Inner {
 pub struct FilePageStore {
     dir: PathBuf,
     page_bytes: usize,
+    /// Segment-size cap appends rotate at (an open-time knob, not part of
+    /// the persistent format — reopening with a different cap is fine).
+    segment_bytes: u64,
     inner: Mutex<Inner>,
 }
 
@@ -149,6 +184,22 @@ fn le64(buf: &[u8], at: usize) -> Option<u64> {
         .map(u64::from_le_bytes)
 }
 
+/// Parses a WAL segment header, returning its sequence number when the
+/// magic, version, and checksum all verify.
+fn parse_segment_header(bytes: &[u8]) -> Option<u64> {
+    let magic = le32(bytes, 0)?;
+    let version = le32(bytes, 4)?;
+    let seq = le64(bytes, 8)?;
+    let crc = le64(bytes, 16)?;
+    if magic != WAL_MAGIC || version != WAL_VERSION {
+        return None;
+    }
+    if checksum64(bytes.get(0..16)?) != crc {
+        return None;
+    }
+    Some(seq)
+}
+
 impl FilePageStore {
     /// Opens (or initializes) the database directory at `dir`.
     ///
@@ -157,7 +208,19 @@ impl FilePageStore {
     /// header (callers read it back via [`PageStore::page_bytes`]). The
     /// WAL's torn tail, if any, is truncated here.
     pub fn open(dir: impl Into<PathBuf>, page_bytes: usize) -> Result<FilePageStore, StorageError> {
+        Self::open_with(dir, page_bytes, DEFAULT_WAL_SEGMENT_BYTES)
+    }
+
+    /// [`FilePageStore::open`] with an explicit WAL segment-size cap
+    /// (floored at twice the segment header; tiny caps are useful to
+    /// exercise rotation in tests and crash campaigns).
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        page_bytes: usize,
+        segment_bytes: u64,
+    ) -> Result<FilePageStore, StorageError> {
         let dir = dir.into();
+        let segment_bytes = segment_bytes.max(2 * WAL_SEGMENT_HEADER as u64);
         fs::create_dir_all(&dir).map_err(io_err("create_dir", &dir))?;
         let meta_path = dir.join("rdb.meta");
         let (page_bytes, base_lsn) = if meta_path.exists() {
@@ -173,31 +236,76 @@ impl FilePageStore {
             (page_bytes, 0)
         };
 
-        let wal_path = dir.join("wal.rdb");
-        let mut wal = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(&wal_path)
-            .map_err(io_err("open", &wal_path))?;
-        let mut bytes = Vec::new();
-        wal.read_to_end(&mut bytes)
-            .map_err(io_err("read", &wal_path))?;
-        let view = decode_stream(&bytes);
-        if view.truncated {
-            // Crash mid-append: discard the torn tail so new appends start
-            // at a clean record boundary.
-            wal.set_len(view.clean_bytes as u64)
-                .map_err(io_err("truncate", &wal_path))?;
+        // Walk the segment chain in sequence order, applying crash
+        // semantics at the first damage: a torn record tail truncates that
+        // segment; a bad or mismatched header, or a sequence gap, ends the
+        // log there. Everything past the end was never durably reachable
+        // and is deleted.
+        let mut entries_max_lsn = 0;
+        let mut last_good: Option<(u64, PathBuf)> = None;
+        let mut ended = false;
+        for (seq, path) in Self::wal_segments(&dir)? {
+            if ended {
+                fs::remove_file(&path).map_err(io_err("remove", &path))?;
+                continue;
+            }
+            if let Some((prev, _)) = &last_good {
+                if seq != prev + 1 {
+                    ended = true;
+                    fs::remove_file(&path).map_err(io_err("remove", &path))?;
+                    continue;
+                }
+            }
+            let bytes = fs::read(&path).map_err(io_err("read", &path))?;
+            if parse_segment_header(&bytes) != Some(seq) {
+                ended = true;
+                fs::remove_file(&path).map_err(io_err("remove", &path))?;
+                continue;
+            }
+            let body = bytes.get(WAL_SEGMENT_HEADER..).unwrap_or(&[]);
+            let view = decode_stream(body);
+            if let Some((lsn, _)) = view.entries.last() {
+                entries_max_lsn = entries_max_lsn.max(*lsn);
+            }
+            if view.truncated {
+                // Crash mid-append: discard the torn tail so new appends
+                // start at a clean record boundary.
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(io_err("open", &path))?;
+                f.set_len((WAL_SEGMENT_HEADER + view.clean_bytes) as u64)
+                    .map_err(io_err("truncate", &path))?;
+                ended = true;
+            }
+            last_good = Some((seq, path));
         }
-        let max_wal_lsn = view.entries.last().map(|(lsn, _)| *lsn).unwrap_or(0);
-        let next_lsn = base_lsn.max(max_wal_lsn) + 1;
+
+        let (wal, wal_seq, wal_len) = match last_good {
+            Some((seq, path)) => {
+                let wal = OpenOptions::new()
+                    .read(true)
+                    .append(true)
+                    .open(&path)
+                    .map_err(io_err("open", &path))?;
+                let len = wal.metadata().map_err(io_err("stat", &path))?.len();
+                (wal, seq, len)
+            }
+            None => {
+                let (wal, len) = Self::create_segment(&dir, 1)?;
+                (wal, 1, len)
+            }
+        };
+        let next_lsn = base_lsn.max(entries_max_lsn) + 1;
 
         Ok(FilePageStore {
             dir,
             page_bytes,
+            segment_bytes,
             inner: Mutex::new(Inner {
                 wal,
+                wal_seq,
+                wal_len,
                 next_lsn,
                 base_lsn,
                 stats: StoreStats::default(),
@@ -217,9 +325,63 @@ impl FilePageStore {
         dir.join(format!("f{}.rdb", file.0))
     }
 
-    /// Path of the WAL under `dir` (exposed so crash harnesses can cut it).
-    pub fn wal_path(dir: &Path) -> PathBuf {
-        dir.join("wal.rdb")
+    /// Path of WAL segment `seq` under `dir` (exposed so crash harnesses
+    /// can cut specific segments).
+    pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+        dir.join(format!("wal-{seq:08}.rdb"))
+    }
+
+    /// The WAL segments present under `dir`, sorted by sequence number
+    /// (exposed for crash harnesses; no validation beyond the filename).
+    pub fn wal_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(dir).map_err(io_err("read_dir", dir))?;
+        for entry in entries {
+            let entry = entry.map_err(io_err("read_dir", dir))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(seq) = name
+                .strip_prefix("wal-")
+                .and_then(|rest| rest.strip_suffix(".rdb"))
+                .and_then(|n| n.parse::<u64>().ok())
+            {
+                out.push((seq, entry.path()));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// The 24-byte header opening WAL segment `seq` (exposed so crash
+    /// harnesses can fabricate segments byte-for-byte).
+    pub fn encode_segment_header(seq: u64) -> [u8; WAL_SEGMENT_HEADER] {
+        let mut out = [0u8; WAL_SEGMENT_HEADER];
+        out[0..4].copy_from_slice(&WAL_MAGIC.to_le_bytes());
+        out[4..8].copy_from_slice(&WAL_VERSION.to_le_bytes());
+        out[8..16].copy_from_slice(&seq.to_le_bytes());
+        let crc = checksum64(&out[0..16]);
+        out[16..24].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Creates WAL segment `seq` holding just its header, synced, and
+    /// returns the write handle positioned for appends plus the current
+    /// length. An existing file of the same name is truncated: segments
+    /// are created only at rotation points, where any leftover content was
+    /// never acknowledged.
+    fn create_segment(dir: &Path, seq: u64) -> Result<(File, u64), StorageError> {
+        let path = Self::segment_path(dir, seq);
+        let mut f = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(io_err("open", &path))?;
+        f.write_all(&Self::encode_segment_header(seq))
+            .map_err(io_err("write", &path))?;
+        f.sync_data().map_err(io_err("sync", &path))?;
+        Ok((f, WAL_SEGMENT_HEADER as u64))
     }
 
     fn read_meta(path: &Path) -> Result<(usize, Lsn), StorageError> {
@@ -252,6 +414,55 @@ impl FilePageStore {
             Ok(f) => Ok(Some(f)),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound && !create => Ok(None),
             Err(e) => Err(StorageError::io("open", &path, &e)),
+        }
+    }
+
+    /// Decodes one on-disk frame into what [`PageStore::read_page`] returns
+    /// for `page`. `frame` may be short (a read past EOF — no frame) or
+    /// all-zero (a hole); both read as `None`. Pure — counters are the
+    /// caller's job.
+    fn decode_frame(&self, page: PageId, frame: &[u8]) -> Result<Option<(Page, Lsn)>, StorageError> {
+        if frame.len() < FRAME_HEADER {
+            return Ok(None); // past EOF: no frame for this page
+        }
+        let torn = Err(StorageError::TornPage {
+            file: page.file,
+            page: page.page,
+        });
+        let Some(magic) = le32(frame, 0) else {
+            return torn;
+        };
+        if magic == 0 && frame.iter().all(|&b| b == 0) {
+            return Ok(None); // hole: frame never written
+        }
+        if magic != FRAME_MAGIC {
+            return torn;
+        }
+        let header = (|| {
+            let file_id = le32(frame, 4)?;
+            let page_no = le32(frame, 8)?;
+            let lsn = le64(frame, 12)?;
+            let len = le32(frame, 20)? as usize;
+            let crc = le64(frame, 24)?;
+            Some((file_id, page_no, lsn, len, crc))
+        })();
+        let Some((file_id, page_no, lsn, len, crc)) = header else {
+            return torn;
+        };
+        if file_id != page.file.0 || page_no != page.page || len > FRAME_PAYLOAD_MAX {
+            return torn;
+        }
+        let Some(payload) = frame.get(FRAME_HEADER..FRAME_HEADER + len) else {
+            return torn;
+        };
+        let mut summed = frame.get(4..24).unwrap_or(&[]).to_vec();
+        summed.extend_from_slice(payload);
+        if checksum64(&summed) != crc {
+            return torn;
+        }
+        match Page::decode_image(self.page_bytes, payload) {
+            Ok(image) => Ok(Some((image, lsn))),
+            Err(_) => torn,
         }
     }
 }
@@ -288,51 +499,56 @@ impl PageStore for FilePageStore {
         let mut frame = vec![0u8; FRAME_BYTES];
         let offset = page.page as u64 * FRAME_BYTES as u64;
         let got = read_at(&mut file, offset, &mut frame).map_err(io_err("read", &path))?;
-        if got < FRAME_HEADER {
-            return Ok(None); // past EOF: no frame for this page
-        }
         frame.truncate(got);
-        let torn = Err(StorageError::TornPage {
-            file: page.file,
-            page: page.page,
-        });
-        let Some(magic) = le32(&frame, 0) else {
-            return torn;
-        };
-        if magic == 0 && frame.iter().all(|&b| b == 0) {
-            return Ok(None); // hole: frame never written
+        let out = self.decode_frame(page, &frame);
+        if matches!(out, Ok(Some(_))) {
+            lock(&self.inner).stats.page_reads += 1;
         }
-        if magic != FRAME_MAGIC {
-            return torn;
+        out
+    }
+
+    fn read_run(
+        &self,
+        file: FileId,
+        first: u32,
+        n: u32,
+    ) -> Vec<Result<Option<(Page, Lsn)>, StorageError>> {
+        if n == 0 {
+            return Vec::new();
         }
-        let header = (|| {
-            let file_id = le32(&frame, 4)?;
-            let page_no = le32(&frame, 8)?;
-            let lsn = le64(&frame, 12)?;
-            let len = le32(&frame, 20)? as usize;
-            let crc = le64(&frame, 24)?;
-            Some((file_id, page_no, lsn, len, crc))
-        })();
-        let Some((file_id, page_no, lsn, len, crc)) = header else {
-            return torn;
+        let pages = || (0..n).map(|i| PageId::new(file, first.saturating_add(i)));
+        let handle = match self.frame_file(file, false) {
+            Ok(Some(f)) => f,
+            Ok(None) => return pages().map(|_| Ok(None)).collect(),
+            Err(e) => return pages().map(|_| Err(e.clone())).collect(),
         };
-        if file_id != page.file.0 || page_no != page.page || len > FRAME_PAYLOAD_MAX {
-            return torn;
-        }
-        let Some(payload) = frame.get(FRAME_HEADER..FRAME_HEADER + len) else {
-            return torn;
+        let mut handle = handle;
+        let path = Self::data_path(&self.dir, file);
+        // One positioned read covers the whole run — this is the syscall
+        // batching the read-ahead exists for. Frames still verify
+        // individually, so a torn frame poisons only its own slot.
+        let mut buf = vec![0u8; n as usize * FRAME_BYTES];
+        let offset = first as u64 * FRAME_BYTES as u64;
+        let got = match read_at(&mut handle, offset, &mut buf).map_err(io_err("read", &path)) {
+            Ok(got) => got,
+            Err(e) => return pages().map(|_| Err(e.clone())).collect(),
         };
-        let mut summed = frame.get(4..24).unwrap_or(&[]).to_vec();
-        summed.extend_from_slice(payload);
-        if checksum64(&summed) != crc {
-            return torn;
-        }
-        let image = match Page::decode_image(self.page_bytes, payload) {
-            Ok(p) => p,
-            Err(_) => return torn,
-        };
-        lock(&self.inner).stats.page_reads += 1;
-        Ok(Some((image, lsn)))
+        buf.truncate(got);
+        let out: Vec<Result<Option<(Page, Lsn)>, StorageError>> = pages()
+            .enumerate()
+            .map(|(i, page)| {
+                let start = i * FRAME_BYTES;
+                let frame = buf.get(start..).map_or(&[][..], |rest| {
+                    &rest[..FRAME_BYTES.min(rest.len())]
+                });
+                self.decode_frame(page, frame)
+            })
+            .collect();
+        let read = out.iter().filter(|r| matches!(r, Ok(Some(_)))).count() as u64;
+        let mut inner = lock(&self.inner);
+        inner.stats.page_reads += read;
+        inner.stats.batch_reads += 1;
+        out
     }
 
     fn write_page(&self, page: PageId, image: &Page, lsn: Lsn) -> Result<(), StorageError> {
@@ -408,22 +624,58 @@ impl PageStore for FilePageStore {
         inner.next_lsn += 1;
         let mut bytes = Vec::with_capacity(64);
         encode_entry(lsn, record, &mut bytes);
-        let path = Self::wal_path(&self.dir);
+        // Rotate when this record would push the segment past its cap —
+        // unless the segment is still empty (a record larger than the cap
+        // gets an oversize segment to itself rather than rotating forever).
+        if inner.wal_len > WAL_SEGMENT_HEADER as u64
+            && inner.wal_len + bytes.len() as u64 > self.segment_bytes
+        {
+            let old_path = Self::segment_path(&self.dir, inner.wal_seq);
+            inner
+                .wal
+                .sync_data()
+                .map_err(io_err("sync", &old_path))?;
+            let (wal, len) = Self::create_segment(&self.dir, inner.wal_seq + 1)?;
+            inner.wal = wal;
+            inner.wal_seq += 1;
+            inner.wal_len = len;
+        }
+        let path = Self::segment_path(&self.dir, inner.wal_seq);
         inner
             .wal
             .write_all(&bytes)
             .map_err(io_err("append", &path))?;
+        inner.wal_len += bytes.len() as u64;
         inner.stats.wal_appends += 1;
         Ok(lsn)
     }
 
     fn wal(&self) -> Result<WalView, StorageError> {
-        let path = Self::wal_path(&self.dir);
-        let bytes = fs::read(&path).map_err(io_err("read", &path))?;
-        let mut view = decode_stream(&bytes);
         let base = lock(&self.inner).base_lsn;
-        view.entries.retain(|(lsn, _)| *lsn > base);
-        Ok(view)
+        let mut out = WalView::default();
+        let mut prev_seq: Option<u64> = None;
+        for (seq, path) in Self::wal_segments(&self.dir)? {
+            if prev_seq.is_some_and(|p| seq != p + 1) {
+                out.truncated = true;
+                break;
+            }
+            let bytes = fs::read(&path).map_err(io_err("read", &path))?;
+            if parse_segment_header(&bytes) != Some(seq) {
+                out.truncated = true;
+                break;
+            }
+            let body = bytes.get(WAL_SEGMENT_HEADER..).unwrap_or(&[]);
+            let view = decode_stream(body);
+            out.clean_bytes += view.clean_bytes;
+            out.entries.extend(view.entries);
+            if view.truncated {
+                out.truncated = true;
+                break;
+            }
+            prev_seq = Some(seq);
+        }
+        out.entries.retain(|(lsn, _)| *lsn > base);
+        Ok(out)
     }
 
     fn base_lsn(&self) -> Lsn {
@@ -464,17 +716,30 @@ impl PageStore for FilePageStore {
         write_meta(&self.dir.join("rdb.meta"), self.page_bytes, end_lsn)?;
         let mut inner = lock(&self.inner);
         inner.base_lsn = end_lsn;
-        let path = Self::wal_path(&self.dir);
-        inner
-            .wal
-            .set_len(0)
-            .map_err(io_err("truncate", &path))?;
+        // Recycle the chain: start a fresh segment, then delete every
+        // released one. A crash anywhere in here is harmless — the header
+        // already advanced, so surviving old segments replay to nothing.
+        let released = inner.wal_seq;
+        let (wal, len) = Self::create_segment(&self.dir, released + 1)?;
+        inner.wal = wal;
+        inner.wal_seq = released + 1;
+        inner.wal_len = len;
+        drop(inner);
+        for (seq, path) in Self::wal_segments(&self.dir)? {
+            if seq <= released {
+                match fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(StorageError::io("remove", &path, &e)),
+                }
+            }
+        }
         Ok(())
     }
 
     fn sync(&self) -> Result<(), StorageError> {
         let mut inner = lock(&self.inner);
-        let path = Self::wal_path(&self.dir);
+        let path = Self::segment_path(&self.dir, inner.wal_seq);
         inner.wal.sync_data().map_err(io_err("sync", &path))?;
         let touched = std::mem::take(&mut inner.touched);
         for file in touched {
@@ -567,7 +832,7 @@ mod tests {
                 .unwrap();
         }
         // Tear the tail mid-record.
-        let wal_path = FilePageStore::wal_path(&dir);
+        let wal_path = FilePageStore::segment_path(&dir, 1);
         let len = fs::metadata(&wal_path).unwrap().len();
         let f = OpenOptions::new().write(true).open(&wal_path).unwrap();
         f.set_len(len - 3).unwrap();
@@ -579,6 +844,179 @@ mod tests {
         // never durable, so its LSN is legitimately reusable.
         let lsn = store.append(&WalRecord::CheckpointBegin).unwrap();
         assert!(lsn > 1, "LSNs stay monotonic after a tear (got {lsn})");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn read_run_matches_read_page_and_isolates_torn_frames() {
+        let dir = temp_dir("readrun");
+        let fid = FileId(1);
+        {
+            let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+            for p in [0u32, 1, 3, 4] {
+                // Page 2 stays a hole.
+                let image = page_with(format!("p{p}").as_bytes());
+                store
+                    .write_page(PageId::new(fid, p), &image, p as Lsn + 1)
+                    .unwrap();
+            }
+        }
+        // Tear frame 3's payload.
+        let path = FilePageStore::data_path(&dir, fid);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[3 * FRAME_BYTES + FRAME_HEADER] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+        // The run spans a hole, a torn frame, and EOF (pages 5..7).
+        let run = store.read_run(fid, 0, 7);
+        assert_eq!(run.len(), 7);
+        let stats = store.stats();
+        assert_eq!(stats.batch_reads, 1, "one positioned read for the run");
+        assert_eq!(stats.page_reads, 3, "only intact frames count as reads");
+        for (i, got) in run.into_iter().enumerate() {
+            let single = store.read_page(PageId::new(fid, i as u32));
+            assert_eq!(got, single, "page {i} must match the per-page path");
+        }
+        assert_eq!(
+            store.read_run(FileId(42), 0, 3),
+            vec![Ok(None), Ok(None), Ok(None)],
+            "missing data file reads as holes"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_rotates_into_capped_segments_and_replays_across_them() {
+        let dir = temp_dir("segrotate");
+        let n = 40u64;
+        {
+            // A tiny cap forces rotation every couple of records.
+            let store = FilePageStore::open_with(&dir, DURABLE_PAGE_BYTES, 96).unwrap();
+            for i in 0..n {
+                store
+                    .append(&WalRecord::Catalog { blob: vec![i as u8; 16] })
+                    .unwrap();
+            }
+            let segments = FilePageStore::wal_segments(&dir).unwrap();
+            assert!(
+                segments.len() > 3,
+                "the cap must force rotation ({} segments)",
+                segments.len()
+            );
+            for (seq, path) in &segments {
+                let bytes = fs::read(path).unwrap();
+                assert_eq!(parse_segment_header(&bytes), Some(*seq));
+            }
+            let view = store.wal().unwrap();
+            assert_eq!(view.entries.len() as u64, n);
+        }
+        // Reopen: recovery walks the whole chain in order.
+        let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+        let view = store.wal().unwrap();
+        assert_eq!(view.entries.len() as u64, n);
+        let lsns: Vec<Lsn> = view.entries.iter().map(|(l, _)| *l).collect();
+        assert!(lsns.windows(2).all(|w| w[0] < w[1]), "LSNs stay ordered");
+        // New appends continue the chain past everything recovered.
+        let lsn = store.append(&WalRecord::CheckpointBegin).unwrap();
+        assert_eq!(lsn, n + 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cut_inside_a_segment_drops_everything_after_it() {
+        let dir = temp_dir("segcut");
+        {
+            let store = FilePageStore::open_with(&dir, DURABLE_PAGE_BYTES, 96).unwrap();
+            for i in 0..20u64 {
+                store
+                    .append(&WalRecord::Catalog { blob: vec![i as u8; 16] })
+                    .unwrap();
+            }
+        }
+        let segments = FilePageStore::wal_segments(&dir).unwrap();
+        assert!(segments.len() >= 4, "need a chain to cut into");
+        // Cut a few bytes into the *second* segment's record stream.
+        let (victim_seq, victim_path) = segments[1].clone();
+        let len = fs::metadata(&victim_path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&victim_path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+        let view = store.wal().unwrap();
+        assert!(!view.entries.is_empty(), "records before the cut survive");
+        // Every surviving record predates the victim's torn tail, and the
+        // segments after the victim are gone.
+        let survivors = FilePageStore::wal_segments(&dir).unwrap();
+        assert!(
+            survivors.iter().all(|(seq, _)| *seq <= victim_seq),
+            "segments after the cut must be deleted: {survivors:?}"
+        );
+        // Appends resume on the truncated segment and stay readable.
+        store.append(&WalRecord::CheckpointBegin).unwrap();
+        let after = store.wal().unwrap();
+        assert_eq!(after.entries.len(), view.entries.len() + 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_segment_header_ends_the_log_there() {
+        let dir = temp_dir("seghdr");
+        {
+            let store = FilePageStore::open_with(&dir, DURABLE_PAGE_BYTES, 96).unwrap();
+            for i in 0..20u64 {
+                store
+                    .append(&WalRecord::Catalog { blob: vec![i as u8; 16] })
+                    .unwrap();
+            }
+        }
+        let segments = FilePageStore::wal_segments(&dir).unwrap();
+        assert!(segments.len() >= 3);
+        // Corrupt the third segment's header checksum.
+        let (_, path) = segments[2].clone();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[17] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let before_cut: usize = segments[..2]
+            .iter()
+            .map(|(_, p)| {
+                let b = fs::read(p).unwrap();
+                decode_stream(&b[WAL_SEGMENT_HEADER..]).entries.len()
+            })
+            .sum();
+        let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+        assert_eq!(store.wal().unwrap().entries.len(), before_cut);
+        let survivors = FilePageStore::wal_segments(&dir).unwrap();
+        assert_eq!(survivors.len(), 2, "bad segment and later ones deleted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_recycles_the_segment_chain() {
+        let dir = temp_dir("segrecycle");
+        let store = FilePageStore::open_with(&dir, DURABLE_PAGE_BYTES, 96).unwrap();
+        for i in 0..20u64 {
+            store
+                .append(&WalRecord::Catalog { blob: vec![i as u8; 16] })
+                .unwrap();
+        }
+        let before = FilePageStore::wal_segments(&dir).unwrap();
+        assert!(before.len() > 2);
+        let high = before.last().unwrap().0;
+        let end = store.append(&WalRecord::CheckpointEnd { begin: 1 }).unwrap();
+        store.checkpoint_done(b"CAT", end).unwrap();
+        let after = FilePageStore::wal_segments(&dir).unwrap();
+        assert_eq!(after.len(), 1, "one fresh segment after recycle");
+        assert_eq!(after[0].0, high + 1, "sequence numbers never reused");
+        assert!(store.wal().unwrap().entries.is_empty());
+        // The recycled chain keeps working across reopen.
+        drop(store);
+        let store = FilePageStore::open(&dir, DURABLE_PAGE_BYTES).unwrap();
+        assert_eq!(store.base_lsn(), end);
+        store.append(&WalRecord::CheckpointBegin).unwrap();
+        assert_eq!(store.wal().unwrap().entries.len(), 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -13,6 +13,7 @@ use crate::cost::CostMeter;
 use crate::durable::DurableCtx;
 use crate::error::StorageError;
 use crate::page::{Page, DEFAULT_PAGE_BYTES};
+use crate::readahead::ReadAhead;
 use crate::record::Record;
 use crate::rid::Rid;
 use crate::schema::Schema;
@@ -242,6 +243,59 @@ impl HeapTable {
         ctx.verify_read(pid)
     }
 
+    /// The sequential-scan variant of [`HeapTable::verify_disk`]: with
+    /// read-ahead enabled, a miss that no window covers fetches the missed
+    /// frame *and* a run of upcoming clean, on-disk, not-yet-resident
+    /// frames in one batched store read, parking the per-frame outcomes in
+    /// `ra`. Later misses consume their parked outcome instead of touching
+    /// the store, so a torn frame still surfaces exactly on its own page.
+    fn verify_disk_sequential(
+        &self,
+        page_no: u32,
+        ra: &mut ReadAhead,
+    ) -> Result<(), StorageError> {
+        let Some(ctx) = &self.durable else {
+            return Ok(());
+        };
+        if page_no >= self.disk_pages {
+            return Ok(());
+        }
+        let pid = PageId::new(self.file, page_no);
+        if self.pool.is_dirty(pid) {
+            return Ok(());
+        }
+        if !self.pool.read_ahead_enabled() {
+            return ctx.verify_read(pid);
+        }
+        if let Some(out) = ra.take(page_no) {
+            self.pool.note_prefetch_consumed();
+            return out;
+        }
+        // Build a fresh window: the missed page unconditionally, then
+        // upcoming pages for as long as they are on disk, clean, and not
+        // already resident (a resident page would be a hit — fetching its
+        // frame ahead of time is guaranteed waste).
+        let mut n = 1u32;
+        while n < ra.depth() {
+            let Some(q) = page_no.checked_add(n) else {
+                break;
+            };
+            if q >= self.disk_pages {
+                break;
+            }
+            let qid = PageId::new(self.file, q);
+            if self.pool.is_dirty(qid) || self.pool.contains(qid) {
+                break;
+            }
+            n += 1;
+        }
+        ra.fill(page_no, ctx.verify_read_run(self.file, page_no, n));
+        self.pool.note_prefetch(u64::from(n));
+        let out = ra.take(page_no).unwrap_or(Ok(()));
+        self.pool.note_prefetch_consumed();
+        out
+    }
+
     /// Fetches the record at `rid`, charging a buffer access for its page
     /// and one record's CPU cost to `cost` (the calling session's meter).
     pub fn fetch(&self, rid: Rid, cost: &CostMeter) -> Result<Record, StorageError> {
@@ -305,6 +359,7 @@ impl HeapTable {
             page: 0,
             slot: 0,
             page_opened: false,
+            ra: ReadAhead::new(),
         }
     }
 }
@@ -319,6 +374,10 @@ pub struct HeapScan {
     page: u32,
     slot: u16,
     page_opened: bool,
+    /// Sequential read-ahead window for this cursor's miss path (cloned
+    /// cursors each carry their own window; a deferred outcome consumed
+    /// from one clone re-reads in the other — correct, merely unbatched).
+    ra: ReadAhead,
 }
 
 impl HeapScan {
@@ -343,7 +402,7 @@ impl HeapScan {
                     .try_access(PageId::new(table.file, self.page), cost)?
                     == Access::Miss
                 {
-                    table.verify_disk(self.page)?;
+                    table.verify_disk_sequential(self.page, &mut self.ra)?;
                 }
                 self.page_opened = true;
             }
@@ -671,6 +730,116 @@ mod tests {
         let mut scan = t.scan();
         while scan.next(&t, &cost).unwrap().is_some() {}
         assert_eq!(mem.stats().since(&before).page_reads, 0);
+    }
+
+    #[test]
+    fn sequential_read_ahead_batches_cold_scan_reads() {
+        use crate::durable::DurableCtx;
+        use crate::store::{MemPageStore, PageStore, SharedStore};
+
+        let mem = Arc::new(MemPageStore::new(128));
+        let store: SharedStore = mem.clone();
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(256, cost.clone());
+        let ctx = DurableCtx::new(store, pool.clone(), Vec::new(), Vec::new());
+        let mut t = HeapTable::with_page_bytes(
+            "t",
+            FileId(0),
+            Schema::new(vec![Column::new("x", ValueType::Int)]),
+            pool.clone(),
+            128,
+        );
+        t.attach_durable(ctx.clone());
+        for i in 0..200 {
+            t.insert(rec(i)).unwrap();
+        }
+        ctx.checkpoint(b"CAT", |pid| t.page_clone(pid.page)).unwrap();
+        t.note_checkpointed();
+
+        // Cold scan with read-ahead: the window tiles the file, so real
+        // reads still equal simulated misses, but far fewer store calls
+        // (windows) were issued than pages read.
+        pool.clear();
+        let before = mem.stats();
+        let pf_before = pool.prefetch_stats();
+        let cost_before = cost.snapshot();
+        let mut scan = t.scan();
+        while scan.next(&t, &cost).unwrap().is_some() {}
+        let real = mem.stats().since(&before);
+        let pf = pool.prefetch_stats().since(&pf_before);
+        let simulated = cost.snapshot().since(&cost_before);
+        let pages = u64::from(t.page_count());
+        assert_eq!(real.page_reads, pages, "read-ahead fetches no extra frames");
+        assert_eq!(simulated.page_reads, real.page_reads);
+        assert_eq!(pf.prefetched_pages, pages, "windows tile the whole file");
+        assert_eq!(pf.consumed_pages, pages, "sequential scan wastes nothing");
+        assert_eq!(pf.unused_pages(), 0);
+        assert!(
+            pf.runs < pages,
+            "windows must batch: {} runs for {} pages",
+            pf.runs,
+            pages
+        );
+        // The window grows while the scan proves sequential: strictly
+        // better than one run per MIN_DEPTH pages.
+        assert!(pf.runs <= pages.div_ceil(u64::from(crate::readahead::MIN_DEPTH)));
+
+        // With read-ahead off, the same cold scan issues one store call
+        // per page and the prefetch counters stay put.
+        pool.set_read_ahead(false);
+        pool.clear();
+        let before = mem.stats();
+        let pf_before = pool.prefetch_stats();
+        let mut scan = t.scan();
+        while scan.next(&t, &cost).unwrap().is_some() {}
+        assert_eq!(mem.stats().since(&before).page_reads, pages);
+        assert_eq!(pool.prefetch_stats().since(&pf_before), Default::default());
+    }
+
+    #[test]
+    fn read_ahead_window_stops_at_dirty_and_resident_pages() {
+        use crate::durable::DurableCtx;
+        use crate::store::{MemPageStore, PageStore, SharedStore};
+
+        let mem = Arc::new(MemPageStore::new(128));
+        let store: SharedStore = mem.clone();
+        let cost = shared_meter(CostConfig::default());
+        let pool = shared_pool(256, cost.clone());
+        let ctx = DurableCtx::new(store, pool.clone(), Vec::new(), Vec::new());
+        let mut t = HeapTable::with_page_bytes(
+            "t",
+            FileId(0),
+            Schema::new(vec![Column::new("x", ValueType::Int)]),
+            pool.clone(),
+            128,
+        );
+        t.attach_durable(ctx.clone());
+        for i in 0..200 {
+            t.insert(rec(i)).unwrap();
+        }
+        ctx.checkpoint(b"CAT", |pid| t.page_clone(pid.page)).unwrap();
+        t.note_checkpointed();
+        let pages = u64::from(t.page_count());
+        assert!(pages >= 8, "need a few pages to carve up");
+
+        // Dirty one mid-file page; fault another in so it is resident.
+        pool.clear();
+        let dirty_page = 3u32;
+        let resident_page = 6u32;
+        pool.mark_dirty(PageId::new(FileId(0), dirty_page));
+        // Fault the page in through the pool alone (no disk traffic), as a
+        // concurrent reader would have.
+        pool.access(PageId::new(FileId(0), resident_page), &cost);
+        let before = mem.stats();
+        let mut scan = t.scan();
+        while scan.next(&t, &cost).unwrap().is_some() {}
+        // The dirty page and the resident page are both excluded from
+        // verify traffic: dirty frames are stale, resident pages are hits.
+        assert_eq!(
+            mem.stats().since(&before).page_reads,
+            pages - 2,
+            "windows must step around dirty and resident pages"
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod fault;
 pub mod file_store;
 pub mod heap;
 pub mod page;
+pub mod readahead;
 pub mod record;
 pub mod reference;
 pub mod rid;
@@ -48,7 +49,8 @@ pub mod value;
 pub mod wal;
 
 pub use buffer::{
-    shared_pool, shared_pool_sharded, Access, BufferPool, FileId, PageId, PoolStats, SharedPool,
+    shared_pool, shared_pool_sharded, Access, BufferPool, EvictionPolicy, FileId, PageId,
+    PoolStats, PrefetchStats, SharedPool,
 };
 pub use cost::shared_meter;
 pub use cost::{CostConfig, CostMeter, CostSnapshot, SharedCost};
@@ -57,8 +59,11 @@ pub use durable::{
 };
 pub use error::StorageError;
 pub use fault::FaultPolicy;
-pub use file_store::{FilePageStore, DURABLE_PAGE_BYTES, FRAME_BYTES};
+pub use file_store::{
+    FilePageStore, DEFAULT_WAL_SEGMENT_BYTES, DURABLE_PAGE_BYTES, FRAME_BYTES, WAL_SEGMENT_HEADER,
+};
 pub use heap::{HeapScan, HeapTable};
+pub use readahead::ReadAhead;
 pub use record::Record;
 pub use reference::ReferencePool;
 pub use rid::Rid;

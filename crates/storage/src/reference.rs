@@ -1,16 +1,41 @@
-//! Reference buffer-pool model: the original `HashMap`-plus-slab true-LRU
-//! implementation, kept verbatim as an executable specification.
+//! Reference buffer-pool model: `HashMap`-plus-slab midpoint-insertion
+//! LRU, kept as an executable specification.
 //!
-//! [`crate::BufferPool`] replaced this with an open-addressed table for
-//! speed; correctness of that replacement is defined as *observable
-//! equivalence to this model* — identical hit/miss classification, eviction
-//! order, counters and charges on any access/perturb/clear interleaving.
-//! The property test in `tests/proptests.rs` checks exactly that, and the
-//! `hotpath` benchmark measures the speedup against this baseline.
+//! [`crate::BufferPool`] implements the same policy over an open-addressed
+//! table for speed; correctness of that implementation is defined as
+//! *observable equivalence to this model* — identical hit/miss
+//! classification, eviction order, counters and charges on any
+//! access/perturb/clear interleaving. The property tests in
+//! `tests/proptests.rs` check exactly that (for both eviction policies),
+//! and the `hotpath` benchmark measures the speedup against this baseline.
+//!
+//! # The midpoint policy
+//!
+//! The LRU list is split into a **young** prefix (head side) and an **old**
+//! suffix (tail side) of target length `T = policy.old_target(len)` —
+//! 3/8 of the *current* list length for
+//! [`EvictionPolicy::Midpoint`]. The invariant restored after every
+//! operation is `old_len >= T` — old pages always form a contiguous
+//! suffix, and the young sublist (membership earned only by
+//! re-reference) never exceeds `len - T`.
+//!
+//! * A **miss** inserts the new page at the *old-sublist head* (the
+//!   midpoint), not the global head: one touch is not yet evidence of a
+//!   working set.
+//! * A **hit** — second touch or later — moves the page to the global head
+//!   and marks it young: promotion happens only on re-reference.
+//! * **Eviction** takes the global tail, which is always an old page.
+//!
+//! A beyond-RAM sequential scan therefore churns through the old sublist
+//! only, while the re-referenced working set rides the young sublist —
+//! scan-resistant caching. Pure LRU is the degenerate `T == len`:
+//! every page is old, the midpoint is the head, and insert/promote/evict
+//! reduce to classic LRU positions, which is how
+//! [`EvictionPolicy::Lru`] is implemented (one code path, no branches).
 
 use std::collections::HashMap;
 
-use crate::buffer::{Access, FileId, PageId};
+use crate::buffer::{Access, EvictionPolicy, FileId, PageId};
 use crate::cost::SharedCost;
 
 const NIL: usize = usize::MAX;
@@ -21,34 +46,53 @@ struct Node {
     page: PageId,
     prev: usize,
     next: usize,
+    /// True while the node sits in the old (tail-side) sublist.
+    old: bool,
 }
 
-/// The seed `BufferPool`: `HashMap` index into a slab of LRU nodes.
+/// The reference pool: `HashMap` index into a slab of LRU nodes, with the
+/// young/old midpoint boundary tracked explicitly.
 #[derive(Debug)]
 pub struct ReferencePool {
     cost: SharedCost,
     capacity: usize,
+    /// Replacement policy — determines the old-sublist target length
+    /// (see module docs).
+    policy: EvictionPolicy,
     map: HashMap<PageId, usize>,
     slab: Vec<Node>,
     free: Vec<usize>,
     head: usize, // most recently used
-    tail: usize, // least recently used
+    tail: usize, // least recently used (always old when non-empty)
+    /// First old node walking head→tail, or `NIL` when the old sublist is
+    /// empty.
+    mid: usize,
+    old_len: usize,
     hits: u64,
     misses: u64,
 }
 
 impl ReferencePool {
-    /// Creates a pool that can hold `capacity` pages (`capacity >= 1`).
+    /// Creates a pool that can hold `capacity` pages (`capacity >= 1`)
+    /// under the default [`EvictionPolicy::Midpoint`] policy.
     pub fn new(capacity: usize, cost: SharedCost) -> Self {
+        Self::with_policy(capacity, EvictionPolicy::Midpoint, cost)
+    }
+
+    /// Creates a pool with an explicit eviction policy.
+    pub fn with_policy(capacity: usize, policy: EvictionPolicy, cost: SharedCost) -> Self {
         assert!(capacity >= 1, "buffer pool capacity must be at least 1");
         ReferencePool {
             cost,
             capacity,
+            policy,
             map: HashMap::with_capacity(capacity),
             slab: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            mid: NIL,
+            old_len: 0,
             hits: 0,
             misses: 0,
         }
@@ -77,20 +121,14 @@ impl ReferencePool {
     /// Touches `page`, classifying the access and charging the meter.
     pub fn access(&mut self, page: PageId) -> Access {
         if let Some(&idx) = self.map.get(&page) {
-            self.unlink(idx);
-            self.push_front(idx);
+            self.promote(idx);
             self.hits += 1;
             self.cost.charge_cache_hit();
             return Access::Hit;
         }
         self.misses += 1;
         self.cost.charge_page_read();
-        if self.map.len() == self.capacity {
-            self.evict_lru();
-        }
-        let idx = self.alloc(page);
-        self.push_front(idx);
-        self.map.insert(page, idx);
+        self.admit(page);
         Access::Miss
     }
 
@@ -106,6 +144,8 @@ impl ReferencePool {
         self.free.clear();
         self.head = NIL;
         self.tail = NIL;
+        self.mid = NIL;
+        self.old_len = 0;
     }
 
     /// Faults in `foreign_pages` pages of `foreign_file` without charging;
@@ -123,28 +163,72 @@ impl ReferencePool {
         if self.map.contains_key(&page) {
             return;
         }
+        self.admit(page);
+    }
+
+    /// The miss/fault insertion path: evict if full, link the new page at
+    /// the midpoint, restore the sublist invariant.
+    fn admit(&mut self, page: PageId) {
         if self.map.len() == self.capacity {
             self.evict_lru();
         }
         let idx = self.alloc(page);
-        self.push_front(idx);
+        self.insert_at_mid(idx);
         self.map.insert(page, idx);
+        self.rebalance();
+    }
+
+    /// The hit path: move `idx` to the global head as a young node,
+    /// restore the sublist invariant.
+    fn promote(&mut self, idx: usize) {
+        if self.slab[idx].old {
+            self.old_len -= 1;
+            if self.mid == idx {
+                self.mid = self.slab[idx].next;
+            }
+            self.slab[idx].old = false;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+        self.rebalance();
+    }
+
+    /// Restores `old_len >= policy.old_target(len)` by demoting young-tail
+    /// nodes into the old sublist (no node is repositioned, only
+    /// re-labelled). One-sided on purpose: the old sublist may *exceed*
+    /// its target — misses stay old until genuinely re-referenced — and
+    /// only a hit's promotion can shrink it, so the bound caps the young
+    /// sublist at `len - target` without ever promoting a page the
+    /// workload did not touch twice.
+    fn rebalance(&mut self) {
+        let target = self.policy.old_target(self.map.len());
+        while self.old_len < target {
+            // Demote the young node adjacent to the boundary (the young
+            // tail) into the old sublist.
+            let idx = if self.mid == NIL {
+                self.tail
+            } else {
+                self.slab[self.mid].prev
+            };
+            debug_assert_ne!(idx, NIL, "demote with no young node");
+            self.slab[idx].old = true;
+            self.mid = idx;
+            self.old_len += 1;
+        }
     }
 
     fn alloc(&mut self, page: PageId) -> usize {
+        let node = Node {
+            page,
+            prev: NIL,
+            next: NIL,
+            old: false,
+        };
         if let Some(idx) = self.free.pop() {
-            self.slab[idx] = Node {
-                page,
-                prev: NIL,
-                next: NIL,
-            };
+            self.slab[idx] = node;
             idx
         } else {
-            self.slab.push(Node {
-                page,
-                prev: NIL,
-                next: NIL,
-            });
+            self.slab.push(node);
             self.slab.len() - 1
         }
     }
@@ -152,7 +236,12 @@ impl ReferencePool {
     fn evict_lru(&mut self) {
         let idx = self.tail;
         debug_assert_ne!(idx, NIL, "evict from empty pool");
+        debug_assert!(self.slab[idx].old, "the tail is always an old page");
         let page = self.slab[idx].page;
+        self.old_len -= 1;
+        if self.mid == idx {
+            self.mid = NIL; // idx was the only old node
+        }
         self.unlink(idx);
         self.map.remove(&page);
         self.free.push(idx);
@@ -184,5 +273,37 @@ impl ReferencePool {
         if self.tail == NIL {
             self.tail = idx;
         }
+    }
+
+    /// Links `idx` just above the old-sublist head (the midpoint) and
+    /// marks it old. With an empty old sublist the midpoint is the tail
+    /// end, so the node is appended there.
+    fn insert_at_mid(&mut self, idx: usize) {
+        self.slab[idx].old = true;
+        if self.mid == NIL {
+            // Old sublist empty: the midpoint is the list's back.
+            self.slab[idx].prev = self.tail;
+            self.slab[idx].next = NIL;
+            if self.tail != NIL {
+                self.slab[self.tail].next = idx;
+            }
+            self.tail = idx;
+            if self.head == NIL {
+                self.head = idx;
+            }
+        } else {
+            let mid = self.mid;
+            let prev = self.slab[mid].prev;
+            self.slab[idx].prev = prev;
+            self.slab[idx].next = mid;
+            self.slab[mid].prev = idx;
+            if prev == NIL {
+                self.head = idx;
+            } else {
+                self.slab[prev].next = idx;
+            }
+        }
+        self.mid = idx;
+        self.old_len += 1;
     }
 }

@@ -34,6 +34,11 @@ pub struct StoreStats {
     pub page_reads: u64,
     /// Page images written to the backend.
     pub page_writes: u64,
+    /// Batched multi-frame reads issued via [`PageStore::read_run`]; the
+    /// per-frame outcomes still count in `page_reads`, so
+    /// `page_reads / batch_reads` is the realized read-ahead batching
+    /// factor.
+    pub batch_reads: u64,
     /// WAL records appended.
     pub wal_appends: u64,
     /// Explicit durability barriers (fsync or equivalent).
@@ -46,6 +51,7 @@ impl StoreStats {
         StoreStats {
             page_reads: self.page_reads - earlier.page_reads,
             page_writes: self.page_writes - earlier.page_writes,
+            batch_reads: self.batch_reads - earlier.batch_reads,
             wal_appends: self.wal_appends - earlier.wal_appends,
             syncs: self.syncs - earlier.syncs,
         }
@@ -78,6 +84,25 @@ pub trait PageStore: Send + Sync + fmt::Debug {
     /// the store holds no frame for it (never checkpointed, or a hole);
     /// a frame that fails its checksum is [`StorageError::TornPage`].
     fn read_page(&self, page: PageId) -> Result<Option<(Page, Lsn)>, StorageError>;
+
+    /// Reads `n` consecutive frames of `file` starting at `first` — the
+    /// sequential read-ahead entry point. The result holds one per-frame
+    /// outcome in page order, each exactly what [`PageStore::read_page`]
+    /// would have returned, so a torn frame poisons only its own slot and
+    /// the caller can defer that error until the scan actually reaches the
+    /// page. The default implementation loops over `read_page`; backends
+    /// with a cheaper batched path (one positioned read for the whole run)
+    /// override it and additionally count one `batch_reads` per call.
+    fn read_run(
+        &self,
+        file: FileId,
+        first: u32,
+        n: u32,
+    ) -> Vec<Result<Option<(Page, Lsn)>, StorageError>> {
+        (first..first.saturating_add(n))
+            .map(|p| self.read_page(PageId::new(file, p)))
+            .collect()
+    }
 
     /// Writes the image of `page` stamped with `lsn` (checkpoint
     /// write-back).

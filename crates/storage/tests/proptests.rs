@@ -2,9 +2,13 @@
 
 use proptest::prelude::*;
 use rdb_storage::{
-    shared_meter, shared_pool, BufferPool, Column, CostConfig, CostMeter, FileId, HeapTable,
-    PageId, Record, ReferencePool, Rid, Schema, Value, ValueType,
+    shared_meter, shared_pool, BufferPool, Column, CostConfig, CostMeter, EvictionPolicy, FileId,
+    HeapTable, PageId, Record, ReferencePool, Rid, Schema, Value, ValueType,
 };
+
+fn arb_policy() -> impl Strategy<Value = EvictionPolicy> {
+    prop_oneof![Just(EvictionPolicy::Lru), Just(EvictionPolicy::Midpoint)]
+}
 
 /// One step of a buffer-pool workload for the differential test below.
 #[derive(Debug, Clone)]
@@ -115,18 +119,20 @@ proptest! {
     }
 
     /// The open-addressed pool is defined to be observably equivalent to
-    /// the seed `HashMap`+slab implementation: same hit/miss sequence,
+    /// the `HashMap`+slab reference model: same hit/miss sequence,
     /// counters, residency, and cost on any interleaving of accesses,
-    /// batched runs, perturbations, and cold restarts, at any capacity.
+    /// batched runs, perturbations, and cold restarts, at any capacity —
+    /// under both eviction policies.
     #[test]
     fn pool_matches_reference_lru(
         capacity in 1usize..40,
+        policy in arb_policy(),
         ops in prop::collection::vec(arb_pool_op(5, 64), 1..400),
     ) {
         let cost_new = shared_meter(CostConfig::default());
         let cost_ref = shared_meter(CostConfig::default());
-        let pool = BufferPool::new(capacity, cost_new.clone());
-        let mut reference = ReferencePool::new(capacity, cost_ref.clone());
+        let pool = BufferPool::with_policy(capacity, 1, policy, cost_new.clone());
+        let mut reference = ReferencePool::with_policy(capacity, policy, cost_ref.clone());
         for op in &ops {
             match *op {
                 PoolOp::Access { file, page } => {
@@ -180,14 +186,15 @@ proptest! {
     fn sharded_pool_matches_per_shard_reference_lrus(
         capacity in 1usize..60,
         shards in prop_oneof![Just(2usize), Just(4usize), Just(8usize)],
+        policy in arb_policy(),
         ops in prop::collection::vec(arb_pool_op(5, 64), 1..400),
     ) {
         let cost_new = shared_meter(CostConfig::default());
         let cost_ref = shared_meter(CostConfig::default());
-        let pool = BufferPool::with_shards(capacity, shards, cost_new.clone());
+        let pool = BufferPool::with_policy(capacity, shards, policy, cost_new.clone());
         let per_shard = pool.capacity() / pool.num_shards();
         let mut refs: Vec<ReferencePool> = (0..pool.num_shards())
-            .map(|_| ReferencePool::new(per_shard, cost_ref.clone()))
+            .map(|_| ReferencePool::with_policy(per_shard, policy, cost_ref.clone()))
             .collect();
         for op in &ops {
             match *op {
