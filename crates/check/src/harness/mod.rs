@@ -1,0 +1,90 @@
+//! Protocol harnesses: each exhaustively verifies one storage invariant
+//! under the interleaving engine, and ships seeded-bug mutants the
+//! checker must catch — a mutant the exploration fails to refute is
+//! itself a failure (the mutant ratchet).
+
+pub mod promotion;
+pub mod seqlock;
+pub mod teardown;
+pub mod walcut;
+
+use crate::engine::{explore, Config, Outcome};
+
+/// A runnable program instance (the engine re-executes it per schedule).
+pub type BoxProgram = Box<dyn Fn() + Send + Sync>;
+
+/// One program variant of a harness: the real protocol, or a seeded bug.
+pub struct Variant {
+    /// Variant name (`real` or the mutant's name).
+    pub name: &'static str,
+    /// One-line description.
+    pub about: &'static str,
+    /// True for mutants: exploration MUST find a failing schedule.
+    pub expect_caught: bool,
+    /// Builds a fresh program instance.
+    pub make: Box<dyn Fn() -> BoxProgram + Send + Sync>,
+}
+
+/// A named harness: one invariant, several variants.
+pub struct Harness {
+    /// Harness name, as accepted by `--harness`.
+    pub name: &'static str,
+    /// The invariant under check.
+    pub about: &'static str,
+    /// `real` first, then the mutants.
+    pub variants: Vec<Variant>,
+}
+
+/// Every registered harness, in reporting order.
+pub fn all() -> Vec<Harness> {
+    vec![
+        Harness {
+            name: "seqlock",
+            about: "validated mirror probes never observe a torn key set",
+            variants: seqlock::variants(),
+        },
+        Harness {
+            name: "promotion",
+            about: "deferred promotion is equivalent to immediate promotion",
+            variants: promotion::variants(),
+        },
+        Harness {
+            name: "teardown",
+            about: "tally drop guards conserve counters on every exit path",
+            variants: teardown::variants(),
+        },
+        Harness {
+            name: "walcut",
+            about: "no LSN is published before its WAL record is framed",
+            variants: walcut::variants(),
+        },
+    ]
+}
+
+/// Outcome of checking one variant, judged against its expectation.
+#[derive(Debug, Clone)]
+pub struct VariantReport {
+    /// `harness/variant` label.
+    pub label: String,
+    /// What exploration returned.
+    pub outcome: Outcome,
+    /// True when the outcome matches the variant's expectation (real
+    /// code passes; mutants are caught).
+    pub ok: bool,
+}
+
+/// Explores one variant and judges it: real variants must pass every
+/// schedule, mutants must be refuted.
+pub fn check_variant(cfg: &Config, harness: &str, v: &Variant) -> VariantReport {
+    let outcome = explore(cfg, (v.make)());
+    let ok = if v.expect_caught {
+        matches!(outcome, Outcome::Fail(_))
+    } else {
+        outcome.passed()
+    };
+    VariantReport {
+        label: format!("{harness}/{}", v.name),
+        outcome,
+        ok,
+    }
+}

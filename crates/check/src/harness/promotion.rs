@@ -1,0 +1,345 @@
+//! Harness (b): deferred promotion is observationally equivalent to
+//! immediate promotion.
+//!
+//! Two complementary checks:
+//!
+//! * **Concurrent protocol check** ([`variants`], run under the
+//!   interleaving engine): a capacity-2 mini shard — entries and
+//!   counters as hashed ghost state behind a [`ModelMutex`], residency
+//!   mirrored in a real [`ProbeMirror`] — is driven by one thread taking
+//!   validated optimistic hits (deferred tally + touch buffer, drained
+//!   later under the lock with residency verification, exactly the
+//!   `BufferPool` replay contract) while another faults a new page in
+//!   and evicts. Invariants at every quiescent point: counter
+//!   conservation (`deferred + locked hits + misses == accesses`),
+//!   capacity, entry uniqueness, and mirror/table agreement. The mutant
+//!   replays promotions *without* verifying residency, resurrecting
+//!   evicted pages.
+//!
+//! * **Exhaustive drain-point equivalence** ([`equivalence_exhaustive`],
+//!   deterministic): every access sequence over a small page set, at
+//!   several capacities and both eviction policies, with `flush_session`
+//!   forced at every combination of positions, must classify identically
+//!   to the immediate-promotion [`ReferencePool`] — the "equivalent
+//!   under deferred promotion" relaxation documented in `buffer.rs`,
+//!   checked over the whole bounded space instead of sampled.
+
+use std::sync::Arc;
+
+use rdb_storage::mirror::{ProbeMirror, MIRROR_VACANT};
+use rdb_storage::touch::{DeferredCounters, PendingTally};
+use rdb_storage::{
+    shared_meter, BufferPool, CostConfig, EvictionPolicy, FileId, PageId, ReferencePool,
+};
+
+use super::{BoxProgram, Variant};
+use crate::engine::spawn;
+use crate::sync::{Ghost, ModelMutex, ModelSync};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bug {
+    /// The real replay contract: a drained touch promotes only an entry
+    /// still resident.
+    None,
+    /// Drain replays touches as unconditional MRU inserts, resurrecting
+    /// evicted pages.
+    PromoteUnverified,
+}
+
+/// Shard capacity under check.
+const CAP: usize = 2;
+/// Mirror table length.
+const TABLE: usize = 4;
+/// Accesses the workload performs (the conserved access count).
+const ACCESSES: u64 = 2;
+
+/// The mini shard: MRU-ordered `(key, slot)` entries plus locked-path
+/// counters. Ghost-held so its content participates in pruning.
+#[derive(Debug, Default, Hash)]
+struct MiniShard {
+    entries: Vec<(u64, usize)>,
+    locked_hits: u64,
+    misses: u64,
+}
+
+struct World {
+    lock: ModelMutex<()>,
+    shard: Ghost<MiniShard>,
+    mirror: ProbeMirror<ModelSync>,
+    counters: Arc<DeferredCounters<ModelSync>>,
+}
+
+/// The locked access path: classify against the authoritative entry
+/// list, evicting the LRU entry (mirror vacated inside one writer
+/// section with the insert) on a full miss.
+fn locked_access(w: &World, key: u64) {
+    w.lock.with(|()| {
+        let pos = w.shard.with(|sh| sh.entries.iter().position(|e| e.0 == key));
+        if let Some(p) = pos {
+            w.shard.with(|sh| {
+                let e = sh.entries.remove(p);
+                sh.entries.insert(0, e);
+                sh.locked_hits += 1;
+            });
+            return;
+        }
+        let evicted = w.shard.with(|sh| {
+            sh.misses += 1;
+            if sh.entries.len() == CAP {
+                sh.entries.pop()
+            } else {
+                None
+            }
+        });
+        w.mirror.begin_write();
+        if let Some((_, vslot)) = evicted {
+            w.mirror.set(vslot, MIRROR_VACANT);
+        }
+        let slot = w.shard.with(|sh| {
+            (0..TABLE)
+                .find(|i| !sh.entries.iter().any(|e| e.1 == *i))
+                .expect("shard smaller than table")
+        });
+        w.mirror.set(slot, key);
+        w.mirror.end_write();
+        w.shard.with(|sh| sh.entries.insert(0, (key, slot)));
+    });
+}
+
+/// The optimistic access path: a validated resident probe defers the
+/// hit (tally + touch buffer); anything else falls back to the lock.
+fn optimistic_access(
+    w: &World,
+    key: u64,
+    tally: &mut PendingTally<ModelSync>,
+    touches: &mut Vec<(u64, usize)>,
+) {
+    match w.mirror.probe_resident(key) {
+        Some((true, slot)) => {
+            tally.record();
+            touches.push((key, slot as usize));
+        }
+        _ => locked_access(w, key),
+    }
+}
+
+/// Drains a thread's deferred state under the lock: absorb the tally,
+/// replay touches as promotions — verified against residency for the
+/// real protocol, blindly for the mutant.
+fn drain(w: &World, bug: Bug, tally: &mut PendingTally<ModelSync>, touches: &mut Vec<(u64, usize)>) {
+    w.lock.with(|()| {
+        tally.absorb();
+        for (key, slot) in touches.drain(..) {
+            w.shard.with(|sh| match bug {
+                Bug::None => {
+                    if let Some(p) = sh.entries.iter().position(|e| e.0 == key) {
+                        let e = sh.entries.remove(p);
+                        sh.entries.insert(0, e);
+                    }
+                }
+                Bug::PromoteUnverified => sh.entries.insert(0, (key, slot)),
+            });
+        }
+    });
+}
+
+fn program(bug: Bug) {
+    let mirror = ProbeMirror::<ModelSync>::new(TABLE);
+    // Keys: k1 is probed optimistically, so it must sit at its home
+    // slot; k2 takes any other slot; k3 is the faulting page.
+    let k1 = 1u64;
+    let (k2, k3) = (2u64, 3u64);
+    let h1 = mirror.home_slot(k1);
+    let s2 = (h1 + 2) & (TABLE - 1);
+
+    let w = Arc::new(World {
+        lock: ModelMutex::new(()),
+        shard: Ghost::new(MiniShard::default()),
+        mirror,
+        counters: Arc::new(DeferredCounters::default()),
+    });
+
+    // Seed: k2 at MRU, k1 at LRU (the eviction victim while its
+    // promotion is still deferred), shard full.
+    w.mirror.begin_write();
+    w.mirror.set(h1, k1);
+    w.mirror.set(s2, k2);
+    w.mirror.end_write();
+    w.shard
+        .with(|sh| sh.entries = vec![(k2, s2), (k1, h1)]);
+
+    // Thread 1: optimistic hit on k1, then drain (the deferred
+    // promotion racing the eviction below).
+    let w1 = Arc::clone(&w);
+    let t1 = spawn(move || {
+        let mut tally = PendingTally::new(Arc::clone(&w1.counters));
+        let mut touches = Vec::new();
+        optimistic_access(&w1, k1, &mut tally, &mut touches);
+        drain(&w1, bug, &mut tally, &mut touches);
+    });
+
+    // Thread 2: fault k3 in — a full miss that evicts the LRU entry.
+    let w2 = Arc::clone(&w);
+    let t2 = spawn(move || locked_access(&w2, k3));
+
+    t1.join();
+    t2.join();
+
+    // Quiescent invariants.
+    let deferred = w.counters.total();
+    w.shard.with(|sh| {
+        assert!(sh.entries.len() <= CAP, "capacity exceeded: {:?}", sh.entries);
+        assert_eq!(
+            deferred + sh.locked_hits + sh.misses,
+            ACCESSES,
+            "classification not conserved"
+        );
+        for i in 0..sh.entries.len() {
+            for j in i + 1..sh.entries.len() {
+                assert_ne!(sh.entries[i].0, sh.entries[j].0, "duplicate entry");
+                assert_ne!(sh.entries[i].1, sh.entries[j].1, "slot collision");
+            }
+        }
+    });
+    for i in 0..TABLE {
+        let k = w.mirror.peek(i);
+        w.shard.with(|sh| {
+            let entry = sh.entries.iter().find(|e| e.1 == i).map(|e| e.0);
+            if k == MIRROR_VACANT {
+                assert_eq!(entry, None, "mirror slot {i} vacant but table occupied");
+            } else {
+                assert_eq!(entry, Some(k), "mirror slot {i} disagrees with table");
+            }
+        });
+    }
+}
+
+/// The harness's program variants: the real protocol plus its mutant.
+pub fn variants() -> Vec<Variant> {
+    fn make(bug: Bug) -> BoxProgram {
+        Box::new(move || program(bug))
+    }
+    vec![
+        Variant {
+            name: "real",
+            about: "drain verifies residency before promoting",
+            expect_caught: false,
+            make: Box::new(|| make(Bug::None)),
+        },
+        Variant {
+            name: "promote-unverified",
+            about: "drain re-inserts touched keys blindly",
+            expect_caught: true,
+            make: Box::new(|| make(Bug::PromoteUnverified)),
+        },
+    ]
+}
+
+/// Tallies from the deterministic sweep, for reporting.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EquivStats {
+    /// `(sequence, drain mask, capacity, policy)` programs executed.
+    pub programs: u64,
+    /// Individual page accesses classified.
+    pub accesses: u64,
+}
+
+/// The first divergence the deterministic sweep found, with the full
+/// program coordinates needed to reproduce it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Human-readable description: program coordinates and the two
+    /// classifications that disagreed.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Exhaustive drain-point equivalence on the *real* [`BufferPool`]:
+/// every access sequence of length 1..=`max_len` over `pages` pages,
+/// under every drain mask (forcing `flush_session` after each chosen
+/// position), at each capacity and policy, must classify exactly like
+/// the immediate-promotion [`ReferencePool`]. Returns the sweep size, or
+/// the first divergence.
+pub fn equivalence_exhaustive(pages: u32, max_len: u32) -> Result<EquivStats, Divergence> {
+    let mut stats = EquivStats::default();
+    for policy in [EvictionPolicy::Lru, EvictionPolicy::Midpoint] {
+        for capacity in 1..=3usize {
+            for len in 1..=max_len {
+                let seqs = u64::from(pages).pow(len);
+                for seq_code in 0..seqs {
+                    for drain_mask in 0u32..(1 << len) {
+                        stats.programs += 1;
+                        run_one(
+                            policy, capacity, pages, len, seq_code, drain_mask, &mut stats,
+                        )?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(stats)
+}
+
+fn divergence(detail: String) -> Divergence {
+    Divergence { detail }
+}
+
+fn run_one(
+    policy: EvictionPolicy,
+    capacity: usize,
+    pages: u32,
+    len: u32,
+    seq_code: u64,
+    drain_mask: u32,
+    stats: &mut EquivStats,
+) -> Result<(), Divergence> {
+    let cost_pool = shared_meter(CostConfig::default());
+    let cost_ref = shared_meter(CostConfig::default());
+    let pool = BufferPool::with_policy(capacity, 1, policy, cost_pool.clone());
+    let mut reference = ReferencePool::with_policy(capacity, policy, cost_ref);
+    let mut code = seq_code;
+    for pos in 0..len {
+        let page = PageId::new(FileId(7), (code % u64::from(pages)) as u32);
+        code /= u64::from(pages);
+        stats.accesses += 1;
+        let got = pool.access(page, &cost_pool);
+        let want = reference.access(page);
+        if got != want {
+            return Err(divergence(format!(
+                "divergence: policy {policy:?} cap {capacity} seq {seq_code} len {len} \
+                 mask {drain_mask:#b} pos {pos} page {page:?}: pool {got:?} vs reference {want:?}"
+            )));
+        }
+        if drain_mask & (1 << pos) != 0 {
+            pool.flush_session();
+        }
+    }
+    pool.flush_session();
+    if pool.hits() != reference.hits() || pool.misses() != reference.misses() {
+        return Err(divergence(format!(
+            "counter divergence: policy {policy:?} cap {capacity} seq {seq_code} mask \
+             {drain_mask:#b}: pool {}h/{}m vs reference {}h/{}m",
+            pool.hits(),
+            pool.misses(),
+            reference.hits(),
+            reference.misses()
+        )));
+    }
+    for p in 0..pages {
+        let page = PageId::new(FileId(7), p);
+        if pool.contains(page) != reference.contains(page) {
+            return Err(divergence(format!(
+                "residency divergence on {page:?}: policy {policy:?} cap {capacity} \
+                 seq {seq_code} mask {drain_mask:#b}"
+            )));
+        }
+    }
+    Ok(())
+}

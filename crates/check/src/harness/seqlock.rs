@@ -1,0 +1,114 @@
+//! Harness (a): a validated [`ProbeMirror`] walk never observes a torn
+//! key set.
+//!
+//! Setup: a 4-slot mirror holding key `A` at its home slot. A writer —
+//! the shard-mutex holder in production — displaces `A` with a colliding
+//! key `B` and moves `A` one slot down the probe chain, the exact key
+//! movement an eviction-plus-insert performs. `A` is logically resident
+//! throughout, so any **validated** probe for `A` must report it
+//! resident; observing the mid-move hole (`B` at home, vacancy behind
+//! it) is a torn read. The checker explores every interleaving of the
+//! reader's walk against the writer's stores, plus every stale value a
+//! relaxed load may return.
+
+use std::sync::Arc;
+
+use rdb_storage::mirror::{ProbeMirror, MIRROR_VACANT};
+
+use super::{BoxProgram, Variant};
+use crate::engine::spawn;
+use crate::sync::ModelSync;
+
+/// Seeded bugs for the mutant ratchet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bug {
+    /// The real protocol: moves bracketed by `begin_write`/`end_write`.
+    None,
+    /// Writer moves keys with no writer section at all: the version
+    /// never changes, so readers validate torn walks.
+    NoWriterSection,
+    /// Writer closes the section *before* moving keys: the new even
+    /// version is published while the chain is still mid-move.
+    PublishBeforeMove,
+}
+
+/// Two distinct keys sharing a home slot on a mirror of `len` slots —
+/// the collision the probe chain needs.
+fn colliding_pair(mirror: &ProbeMirror<ModelSync>) -> (u64, u64) {
+    let a = 1u64;
+    let home = mirror.home_slot(a);
+    let mut b = 2u64;
+    while mirror.home_slot(b) != home || b == MIRROR_VACANT {
+        b += 1;
+    }
+    (a, b)
+}
+
+fn program(bug: Bug) {
+    let mirror = Arc::new(ProbeMirror::<ModelSync>::new(4));
+    let (key_a, key_b) = colliding_pair(&mirror);
+    let home = mirror.home_slot(key_a);
+    let next = (home + 1) & 3;
+
+    // Seed: A resident at its home slot (single-threaded, but keep the
+    // writer discipline).
+    mirror.begin_write();
+    mirror.set(home, key_a);
+    mirror.end_write();
+
+    let m = Arc::clone(&mirror);
+    let writer = spawn(move || match bug {
+        Bug::None => {
+            m.begin_write();
+            m.set(home, key_b);
+            m.set(next, key_a);
+            m.end_write();
+        }
+        Bug::NoWriterSection => {
+            m.set(home, key_b);
+            m.set(next, key_a);
+        }
+        Bug::PublishBeforeMove => {
+            m.begin_write();
+            m.end_write();
+            m.set(home, key_b);
+            m.set(next, key_a);
+        }
+    });
+
+    // Reader: A is logically resident the whole time, so a walk that
+    // validates and still reports it absent observed a torn chain.
+    for _ in 0..2 {
+        if let Some((resident, _slot)) = mirror.probe_resident(key_a) {
+            assert!(resident, "validated probe lost a resident key (torn mirror read)");
+        }
+    }
+    writer.join();
+}
+
+/// The harness's program variants: the real protocol plus its mutants.
+pub fn variants() -> Vec<Variant> {
+    fn make(bug: Bug) -> BoxProgram {
+        Box::new(move || program(bug))
+    }
+    vec![
+        Variant {
+            name: "real",
+            about: "begin_write/end_write-bracketed key moves",
+            expect_caught: false,
+            make: Box::new(|| make(Bug::None)),
+        },
+        Variant {
+            name: "no-writer-section",
+            about: "keys move with the version untouched",
+            expect_caught: true,
+            make: Box::new(|| make(Bug::NoWriterSection)),
+        },
+        Variant {
+            name: "publish-before-move",
+            about: "even version published before the keys move",
+            expect_caught: true,
+            make: Box::new(|| make(Bug::PublishBeforeMove)),
+        },
+    ]
+}

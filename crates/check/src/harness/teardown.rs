@@ -1,0 +1,94 @@
+//! Harness (c): the [`PendingTally`] drop guard loses no counters on any
+//! exit interleaving.
+//!
+//! Threads record deferred hits into per-thread tallies and exit —
+//! some absorbing mid-way, some relying entirely on the `Drop` guard,
+//! exactly what thread teardown does to the thread-local touch buffers.
+//! A concurrent reader checks the shared tally is monotone and never
+//! overshoots; after all joins the total must equal every hit recorded
+//! on every path: the `hits + misses == accesses` conservation property.
+
+use std::sync::Arc;
+
+use rdb_storage::touch::{DeferredCounters, PendingTally};
+
+use super::{BoxProgram, Variant};
+use crate::engine::spawn;
+use crate::sync::ModelSync;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bug {
+    /// The real protocol: every exit path drops (and thus absorbs) the
+    /// tally.
+    None,
+    /// One exit path leaks its tally (`mem::forget`), dropping two
+    /// recorded hits on the floor.
+    ForgetTally,
+}
+
+/// Hits recorded across all threads; the conserved quantity.
+const TOTAL_HITS: u64 = 4;
+
+fn program(bug: Bug) {
+    let counters = Arc::new(DeferredCounters::<ModelSync>::default());
+
+    let c1 = Arc::clone(&counters);
+    let w1 = spawn(move || {
+        let mut tally = PendingTally::new(c1);
+        tally.record();
+        tally.record();
+        match bug {
+            // Exit with pending count: only the drop guard stands
+            // between these two hits and oblivion.
+            Bug::None => drop(tally),
+            Bug::ForgetTally => std::mem::forget(tally),
+        }
+    });
+
+    let c2 = Arc::clone(&counters);
+    let w2 = spawn(move || {
+        let mut tally = PendingTally::new(c2);
+        tally.record();
+        tally.absorb();
+        tally.record();
+        // Implicit drop: the second hit rides the guard.
+    });
+
+    let c3 = Arc::clone(&counters);
+    let reader = spawn(move || {
+        let first = c3.total();
+        let second = c3.total();
+        assert!(second >= first, "shared tally went backwards");
+        assert!(second <= TOTAL_HITS, "shared tally overshot");
+    });
+
+    w1.join();
+    w2.join();
+    reader.join();
+    assert_eq!(
+        counters.total(),
+        TOTAL_HITS,
+        "deferred hits lost across thread teardown"
+    );
+}
+
+/// The harness's program variants: the real protocol plus its mutant.
+pub fn variants() -> Vec<Variant> {
+    fn make(bug: Bug) -> BoxProgram {
+        Box::new(move || program(bug))
+    }
+    vec![
+        Variant {
+            name: "real",
+            about: "drop-guard absorption on every exit path",
+            expect_caught: false,
+            make: Box::new(|| make(Bug::None)),
+        },
+        Variant {
+            name: "forget-tally",
+            about: "one exit path leaks its tally",
+            expect_caught: true,
+            make: Box::new(|| make(Bug::ForgetTally)),
+        },
+    ]
+}

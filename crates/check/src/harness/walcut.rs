@@ -1,0 +1,134 @@
+//! Harness (d): the WAL tail never publishes an LSN before its record is
+//! framed.
+//!
+//! [`WalTail`] is the `FilePageStore` protocol piece: appenders allocate
+//! LSNs and frame records under the store's inner mutex, then publish
+//! the framed frontier with a release `fetch_max`; `checkpoint_done`
+//! trusts an acquire load of that frontier. Here framing is a ghost
+//! event (a set of framed LSNs updated at the point the real code
+//! completes its `write_all`), segment rotation included: one appender
+//! rotates to a fresh ghost segment before framing, like the real
+//! rotation path. The reader plays `checkpoint_done`: whatever frontier
+//! it loads, every LSN at or below it must already be framed.
+
+use std::sync::Arc;
+
+use rdb_storage::lsn::WalTail;
+
+use super::{BoxProgram, Variant};
+use crate::engine::{spawn, yield_now};
+use crate::sync::{Ghost, ModelMutex, ModelSync};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bug {
+    /// The real protocol: frame, then publish.
+    None,
+    /// Publish the LSN before the frame hits the segment.
+    PublishBeforeFrame,
+}
+
+/// Ghost image of the WAL: which LSNs are framed, and in which segment.
+#[derive(Debug, Default, Hash)]
+struct GhostWal {
+    /// LSNs whose frames are fully written, in framing order.
+    framed: Vec<u64>,
+    /// Segment rotations performed.
+    segments: u64,
+}
+
+/// First LSN handed out (mirrors `WalTail::new(1)`).
+const FIRST_LSN: u64 = 1;
+
+/// Models the frame `write_all`: real work taking real time (a
+/// scheduling point other threads may run across), then the ghost record
+/// of the completed frame.
+fn frame(ghost: &Ghost<GhostWal>, lsn: u64) {
+    yield_now();
+    ghost.with(|g| g.framed.push(lsn));
+}
+
+fn append(
+    tail: &WalTail<ModelSync>,
+    inner: &ModelMutex<()>,
+    ghost: &Ghost<GhostWal>,
+    bug: Bug,
+    rotate: bool,
+) {
+    inner.with(|()| {
+        let lsn = tail.allocate();
+        if rotate {
+            ghost.with(|g| g.segments += 1);
+        }
+        match bug {
+            Bug::None => {
+                frame(ghost, lsn);
+                tail.publish(lsn);
+            }
+            Bug::PublishBeforeFrame => {
+                tail.publish(lsn);
+                frame(ghost, lsn);
+            }
+        }
+    });
+}
+
+fn program(bug: Bug) {
+    let tail = Arc::new(WalTail::<ModelSync>::new(FIRST_LSN));
+    let inner = Arc::new(ModelMutex::new(()));
+    let ghost = Ghost::new(GhostWal::default());
+
+    let (t1, m1, g1) = (Arc::clone(&tail), Arc::clone(&inner), ghost.clone());
+    let a1 = spawn(move || append(&t1, &m1, &g1, bug, false));
+    let (t2, m2, g2) = (Arc::clone(&tail), Arc::clone(&inner), ghost.clone());
+    let a2 = spawn(move || append(&t2, &m2, &g2, bug, true));
+
+    // The checkpoint path: the frontier it loads bounds what it may
+    // truncate, so everything at or below it must already be framed.
+    let (t3, g3) = (Arc::clone(&tail), ghost.clone());
+    let reader = spawn(move || {
+        let p = t3.published();
+        g3.with(|g| {
+            for lsn in FIRST_LSN..=p {
+                assert!(
+                    g.framed.contains(&lsn),
+                    "LSN {lsn} published at frontier {p} before its frame was written"
+                );
+            }
+        });
+        // Acquire loads of a fetch_max frontier are monotone.
+        let p2 = t3.published();
+        assert!(p2 >= p, "published frontier went backwards: {p} -> {p2}");
+    });
+
+    a1.join();
+    a2.join();
+    reader.join();
+    assert_eq!(tail.published(), FIRST_LSN + 1, "final frontier wrong");
+    ghost.with(|g| {
+        let mut sorted = g.framed.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![FIRST_LSN, FIRST_LSN + 1], "framed set wrong");
+        assert_eq!(g.segments, 1, "rotation count wrong");
+    });
+}
+
+/// The harness's program variants: the real protocol plus its mutant.
+pub fn variants() -> Vec<Variant> {
+    fn make(bug: Bug) -> BoxProgram {
+        Box::new(move || program(bug))
+    }
+    vec![
+        Variant {
+            name: "real",
+            about: "frame under the mutex, then release-publish",
+            expect_caught: false,
+            make: Box::new(|| make(Bug::None)),
+        },
+        Variant {
+            name: "publish-before-frame",
+            about: "LSN published before its frame is written",
+            expect_caught: true,
+            make: Box::new(|| make(Bug::PublishBeforeFrame)),
+        },
+    ]
+}

@@ -1,0 +1,30 @@
+//! # rdb-check
+//!
+//! A dependency-free, loom-style exhaustive interleaving checker for the
+//! lock-free protocols in `rdb-storage`.
+//!
+//! The engine runs a bounded concurrent *program* (2–3 virtual threads)
+//! once per schedule, enumerating by depth-first search every
+//! interleaving of its scheduling points — modeled atomic operations,
+//! fences, mutex acquisitions — and, for relaxed loads, every value the
+//! C++11-style per-cell modification order permits. State-hash pruning
+//! collapses schedules that reconverge to an identical modeled state.
+//!
+//! Storage protocols come in unchanged: they are generic over
+//! [`rdb_storage::SyncFacade`], so the same seqlock / deferred-touch /
+//! WAL-tail code that runs in production under
+//! [`rdb_storage::RealSync`] runs here under [`ModelSync`].
+//!
+//! Harnesses (see [`harness`]) assert the four protocol invariants from
+//! the roadmap — torn-read freedom, promotion equivalence, teardown
+//! conservation, and WAL publication order — and each ships a seeded-bug
+//! mutant the checker must catch; a missed mutant fails the run.
+
+pub mod engine;
+pub mod harness;
+pub mod sync;
+
+pub use engine::{
+    explore, parse_schedule, replay, spawn, Config, FailReport, Outcome, RunReport,
+};
+pub use sync::{Ghost, ModelMutex, ModelSync, ModelWord};

@@ -1,0 +1,190 @@
+//! `rdb-check` CLI: runs every protocol harness through the exhaustive
+//! interleaving engine, enforces the mutant ratchet (every seeded bug
+//! must be caught), and replays recorded failing schedules.
+//!
+//! ```text
+//! rdb-check                       # all harnesses + mutants + equivalence sweep
+//! rdb-check --harness seqlock     # one harness (all its variants)
+//! rdb-check --replay 1.0.2 --harness seqlock:publish-before-move
+//! ```
+//!
+//! Exit code is non-zero when a real protocol fails, a mutant goes
+//! uncaught, exploration hits its schedule cap, or the deterministic
+//! promotion-equivalence sweep diverges.
+
+use std::process::ExitCode;
+
+use rdb_check::engine::{parse_schedule, replay, Config, Outcome};
+use rdb_check::harness::{self, check_variant};
+
+struct Args {
+    harness: Option<String>,
+    replay: Option<String>,
+    max_schedules: Option<u64>,
+    no_prune: bool,
+    skip_equiv: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        harness: None,
+        replay: None,
+        max_schedules: None,
+        no_prune: false,
+        skip_equiv: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--harness" => {
+                args.harness = Some(it.next().ok_or("--harness needs a value")?);
+            }
+            "--replay" => {
+                args.replay = Some(it.next().ok_or("--replay needs a schedule")?);
+            }
+            "--max-schedules" => {
+                let v = it.next().ok_or("--max-schedules needs a value")?;
+                args.max_schedules =
+                    Some(v.parse().map_err(|_| format!("bad --max-schedules {v:?}"))?);
+            }
+            "--no-prune" => args.no_prune = true,
+            "--skip-equiv" => args.skip_equiv = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: rdb-check [--harness NAME[:VARIANT]] [--replay SCHEDULE]\n\
+                     \x20                [--max-schedules N] [--no-prune] [--skip-equiv]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn config(args: &Args) -> Config {
+    let mut cfg = Config::default();
+    if let Some(m) = args.max_schedules {
+        cfg.max_schedules = m;
+    }
+    cfg.prune = !args.no_prune;
+    cfg
+}
+
+fn run_replay(args: &Args) -> Result<(), String> {
+    let spec = args
+        .harness
+        .as_deref()
+        .ok_or("--replay needs --harness NAME[:VARIANT]")?;
+    let (hname, vname) = match spec.split_once(':') {
+        Some((h, v)) => (h, v),
+        None => (spec, "real"),
+    };
+    let harnesses = harness::all();
+    let h = harnesses
+        .iter()
+        .find(|h| h.name == hname)
+        .ok_or_else(|| format!("unknown harness {hname:?}"))?;
+    let v = h
+        .variants
+        .iter()
+        .find(|v| v.name == vname)
+        .ok_or_else(|| format!("harness {hname} has no variant {vname:?}"))?;
+    let decisions =
+        parse_schedule(args.replay.as_deref().unwrap_or("")).map_err(|e| e.to_string())?;
+    let report = replay(&config(args), &decisions, (v.make)());
+    println!("replaying {hname}/{vname} schedule {}", report.schedule);
+    for line in &report.trace {
+        println!("  {line}");
+    }
+    match report.failure {
+        Some(msg) => {
+            println!("FAILED: {msg}");
+            Err("replayed schedule failed".into())
+        }
+        None => {
+            println!("schedule passed");
+            Ok(())
+        }
+    }
+}
+
+fn run_checks(args: &Args) -> Result<(), String> {
+    let cfg = config(args);
+    let filter = args.harness.as_deref();
+    let mut failed = 0u32;
+    let mut ran = 0u32;
+    for h in harness::all() {
+        if filter.is_some_and(|f| f != h.name) {
+            continue;
+        }
+        println!("harness {}: {}", h.name, h.about);
+        for v in &h.variants {
+            let report = check_variant(&cfg, h.name, v);
+            ran += 1;
+            let verdict = match (&report.outcome, report.ok) {
+                (Outcome::Pass { schedules, pruned }, true) => {
+                    format!("ok      ({schedules} schedules, {pruned} pruned)")
+                }
+                (Outcome::Fail(f), true) => {
+                    format!("caught  ({}; replay {})", f.message, f.schedule)
+                }
+                (Outcome::Pass { schedules, .. }, false) => {
+                    format!("MISSED  (mutant survived {schedules} schedules)")
+                }
+                (Outcome::Fail(f), false) => {
+                    format!("FAILED  ({}; replay {})", f.message, f.schedule)
+                }
+                (Outcome::Capped { schedules }, _) => {
+                    format!("CAPPED  (gave up after {schedules} schedules)")
+                }
+            };
+            println!("  {:<28} {verdict}", report.label);
+            if !report.ok {
+                failed += 1;
+            }
+        }
+    }
+    if ran == 0 {
+        return Err(format!("no harness matched {:?}", filter.unwrap_or("")));
+    }
+    if !args.skip_equiv && filter.is_none_or(|f| f == "promotion") {
+        match harness::promotion::equivalence_exhaustive(3, 4) {
+            Ok(stats) => println!(
+                "promotion equivalence sweep: ok ({} programs, {} accesses)",
+                stats.programs, stats.accesses
+            ),
+            Err(e) => {
+                println!("promotion equivalence sweep: FAILED ({e})");
+                failed += 1;
+            }
+        }
+    }
+    if failed > 0 {
+        Err(format!("{failed} check(s) failed"))
+    } else {
+        Ok(())
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rdb-check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = if args.replay.is_some() {
+        run_replay(&args)
+    } else {
+        run_checks(&args)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rdb-check: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Litmus tests for the checker's memory model: classic message-passing
+//! shapes that must pass or fail exactly as C11 semantics dictate. These
+//! validate the engine itself before the storage harnesses lean on it.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use rdb_check::engine::{explore, parse_schedule, replay, spawn, Config, Outcome};
+use rdb_check::sync::{ModelMutex, ModelSync, ModelWord};
+use rdb_storage::sync::{AtomicWord, SyncFacade};
+
+fn cfg() -> Config {
+    Config::default()
+}
+
+/// Release store / acquire load message passing: the payload is always
+/// visible once the flag is seen set.
+#[test]
+fn message_passing_release_acquire_passes() {
+    let out = explore(&cfg(), || {
+        let data = Arc::new(ModelWord::new(0));
+        let flag = Arc::new(ModelWord::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let w = spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale payload after acquire");
+        }
+        w.join();
+    });
+    assert!(out.passed(), "unexpected failure: {out:?}");
+    if let Outcome::Pass { schedules, .. } = out {
+        assert!(schedules > 1, "exploration never branched");
+    }
+}
+
+/// With a relaxed flag the payload may lag: the checker must find the
+/// stale interleaving.
+#[test]
+fn message_passing_relaxed_flag_fails() {
+    let out = explore(&cfg(), || {
+        let data = Arc::new(ModelWord::new(0));
+        let flag = Arc::new(ModelWord::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let w = spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale payload");
+        }
+        w.join();
+    });
+    assert!(!out.passed(), "relaxed message passing must be refutable");
+}
+
+/// An acquire fence after a relaxed flag load restores the guarantee
+/// (C11 fence synchronization).
+#[test]
+fn acquire_fence_upgrades_relaxed_load() {
+    let out = explore(&cfg(), || {
+        let data = Arc::new(ModelWord::new(0));
+        let flag = Arc::new(ModelWord::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let w = spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            ModelSync::fence(Ordering::Acquire);
+            assert_eq!(data.load(Ordering::Relaxed), 42, "fence did not upgrade");
+        }
+        w.join();
+    });
+    assert!(out.passed(), "unexpected failure: {out:?}");
+}
+
+/// A relaxed load really can return every admissible value: a run
+/// asserting either fixed outcome is refuted.
+#[test]
+fn relaxed_load_explores_both_values() {
+    for expect in [0u64, 1u64] {
+        let out = explore(&cfg(), move || {
+            let x = Arc::new(ModelWord::new(0));
+            let x2 = Arc::clone(&x);
+            let w = spawn(move || x2.store(1, Ordering::Relaxed));
+            assert_eq!(x.load(Ordering::Relaxed), expect);
+            w.join();
+        });
+        assert!(!out.passed(), "load pinned to {expect} was not refuted");
+    }
+}
+
+/// Two unsynchronized relaxed stores of an invariant pair can be seen
+/// torn; a mutex around both sides cannot.
+#[test]
+fn torn_pair_found_and_mutex_fixes_it() {
+    let torn = explore(&cfg(), || {
+        let a = Arc::new(ModelWord::new(0));
+        let b = Arc::new(ModelWord::new(0));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let w = spawn(move || {
+            a2.store(7, Ordering::Relaxed);
+            b2.store(7, Ordering::Relaxed);
+        });
+        let (x, y) = (a.load(Ordering::Relaxed), b.load(Ordering::Relaxed));
+        assert_eq!(x, y, "torn pair: {x} vs {y}");
+        w.join();
+    });
+    assert!(!torn.passed(), "torn pair must be observable");
+
+    let fixed = explore(&cfg(), || {
+        let pair = Arc::new(ModelMutex::new((0u64, 0u64)));
+        let p2 = Arc::clone(&pair);
+        let w = spawn(move || p2.with(|p| *p = (7, 7)));
+        pair.with(|p| assert_eq!(p.0, p.1, "torn under mutex"));
+        w.join();
+    });
+    assert!(fixed.passed(), "unexpected failure: {fixed:?}");
+}
+
+/// RMW atomicity: concurrent `fetch_add`s never lose an update.
+#[test]
+fn concurrent_fetch_add_never_loses_updates() {
+    let out = explore(&cfg(), || {
+        let n = Arc::new(ModelWord::new(0));
+        let (n1, n2) = (Arc::clone(&n), Arc::clone(&n));
+        let t1 = spawn(move || {
+            n1.fetch_add(1, Ordering::Relaxed);
+        });
+        let t2 = spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        t1.join();
+        t2.join();
+        assert_eq!(n.load(Ordering::Acquire), 2, "lost update");
+    });
+    assert!(out.passed(), "unexpected failure: {out:?}");
+}
+
+/// A failing schedule replays to the same failure, with a trace.
+#[test]
+fn replay_reproduces_reported_failure() {
+    let program = || {
+        let data = Arc::new(ModelWord::new(0));
+        let flag = Arc::new(ModelWord::new(0));
+        let (d, f) = (Arc::clone(&data), Arc::clone(&flag));
+        let w = spawn(move || {
+            d.store(42, Ordering::Relaxed);
+            f.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale payload");
+        }
+        w.join();
+    };
+    let Outcome::Fail(report) = explore(&cfg(), program) else {
+        panic!("expected a failure to replay");
+    };
+    let decisions = parse_schedule(&report.schedule).expect("well-formed schedule");
+    let rerun = replay(&cfg(), &decisions, program);
+    let failure = rerun.failure.expect("replay must fail the same way");
+    assert!(failure.contains("stale payload"), "wrong failure: {failure}");
+    assert!(!rerun.trace.is_empty(), "replay must produce a trace");
+}
+
+/// Deadlock (lock-order inversion) is reported as such.
+#[test]
+fn lock_order_inversion_deadlocks() {
+    let out = explore(&cfg(), || {
+        let a = Arc::new(ModelMutex::new(()));
+        let b = Arc::new(ModelMutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let w = spawn(move || a2.with(|_| b2.with(|_| ())));
+        b.with(|_| a.with(|_| ()));
+        w.join();
+    });
+    let Outcome::Fail(report) = out else {
+        panic!("expected deadlock, got {out:?}");
+    };
+    assert!(report.message.contains("deadlock"), "wrong failure: {}", report.message);
+}

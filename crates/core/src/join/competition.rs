@@ -176,38 +176,42 @@ pub fn run_join(
     let mut rt = RunTrace::start(tracer, meter);
 
     let mut sched = rdb_competition::ProportionalScheduler::new(vec![1.0; admitted]);
-    let mut winner: Option<usize> = None;
+    let mut winner: Option<(usize, JoinMethod)> = None;
     let mut last_fault: Option<StorageError> = None;
 
     while let Some(i) = sched.next() {
         let lane_spent_before = meter.total();
-        let step = lanes[i]
+        let Some(lane) = lanes.get_mut(i) else {
+            // Scheduler lanes and race lanes are created 1:1, so an
+            // out-of-range index can only mean a scheduler bug; retire
+            // it rather than panic mid-race.
+            sched.deactivate(i);
+            continue;
+        };
+        let step = lane
             .scan
             .as_mut()
             .map(|s| s.step(cfg.batch))
             .unwrap_or(Ok(JoinStepOutcome::Done));
-        lanes[i].spent += meter.total() - lane_spent_before;
-        rt.phase(lanes[i].method.phase());
+        lane.spent += meter.total() - lane_spent_before;
+        rt.phase(lane.method.phase());
         match step {
             Err(e) => {
                 // The faulting candidate dies; the race survives it as
                 // long as anyone else is still running.
                 sched.deactivate(i);
-                let partial = lanes[i]
-                    .scan
-                    .as_deref()
-                    .map(partial_rids)
-                    .unwrap_or_default();
-                let spent = lanes[i].spent;
+                let partial = lane.scan.as_deref().map(partial_rids).unwrap_or_default();
+                let spent = lane.spent;
+                let label = lane.method.label();
                 tracer.emit_with(|| TraceEvent::JoinKilled {
-                    method: lanes[i].method.label(),
+                    method: label,
                     reason: DiscardReason::StorageFault,
                     spent,
                     guaranteed_best: best_est,
                 });
-                lanes[i].outcome =
+                lane.outcome =
                     Some((CandidateOutcome::Killed(DiscardReason::StorageFault), partial));
-                lanes[i].scan = None;
+                lane.scan = None;
                 if sched.active_count() == 0 {
                     return Err(last_fault.unwrap_or(e));
                 }
@@ -215,16 +219,18 @@ pub fn run_join(
                 continue;
             }
             Ok(JoinStepOutcome::Done) => {
-                winner = Some(i);
+                winner = Some((i, lane.method));
                 break;
             }
             Ok(JoinStepOutcome::Progress) => {}
         }
 
         // Projection refinement + kill rules over the surviving field.
-        let projections: Vec<(usize, f64)> = (0..lanes.len())
-            .filter(|&j| sched.is_active(j))
-            .map(|j| (j, lanes[j].projection(cfg.refine_fraction)))
+        let projections: Vec<(usize, f64)> = lanes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| sched.is_active(j))
+            .map(|(j, lane)| (j, lane.projection(cfg.refine_fraction)))
             .collect();
         if projections.len() < 2 {
             continue;
@@ -232,23 +238,26 @@ pub fn run_join(
         // Emit a refinement event when this lane crossed a progress
         // quarter (bounded trace volume per candidate).
         if tracer.enabled() {
-            if let Some(scan) = lanes[i].scan.as_deref() {
-                let progress = scan.progress();
-                let bucket = (progress * 4.0).floor() as u32;
-                if bucket > lanes[i].refine_bucket {
-                    lanes[i].refine_bucket = bucket;
-                    let proj = lanes[i].projection(cfg.refine_fraction);
-                    let best_other = projections
-                        .iter()
-                        .filter(|(j, _)| *j != i)
-                        .map(|(_, p)| *p)
-                        .fold(f64::INFINITY, f64::min);
-                    tracer.emit_with(|| TraceEvent::JoinRefined {
-                        method: lanes[i].method.label(),
-                        progress,
-                        projected_cost: proj,
-                        guaranteed_best: best_other.min(proj),
-                    });
+            if let Some(lane) = lanes.get_mut(i) {
+                if let Some(scan) = lane.scan.as_deref() {
+                    let progress = scan.progress();
+                    let bucket = (progress * 4.0).floor() as u32;
+                    if bucket > lane.refine_bucket {
+                        lane.refine_bucket = bucket;
+                        let proj = lane.projection(cfg.refine_fraction);
+                        let label = lane.method.label();
+                        let best_other = projections
+                            .iter()
+                            .filter(|(j, _)| *j != i)
+                            .map(|(_, p)| *p)
+                            .fold(f64::INFINITY, f64::min);
+                        tracer.emit_with(|| TraceEvent::JoinRefined {
+                            method: label,
+                            progress,
+                            projected_cost: proj,
+                            guaranteed_best: best_other.min(proj),
+                        });
+                    }
                 }
             }
         }
@@ -265,45 +274,42 @@ pub fn run_join(
                 .filter(|(k, _)| *k != j)
                 .map(|(_, p)| *p)
                 .fold(f64::INFINITY, f64::min);
-            let refined = lanes[j]
+            let Some(lane) = lanes.get_mut(j) else { continue };
+            let refined = lane
                 .scan
                 .as_deref()
                 .map(|s| s.progress() >= cfg.refine_fraction)
                 .unwrap_or(false);
             let reason = if refined && proj >= cfg.switch_threshold * g {
                 Some(DiscardReason::ProjectedCost)
-            } else if lanes[j].spent >= cfg.scan_spend_limit * g.max(1.0) {
+            } else if lane.spent >= cfg.scan_spend_limit * g.max(1.0) {
                 Some(DiscardReason::ScanSpend)
             } else {
                 None
             };
             let Some(reason) = reason else { continue };
             sched.deactivate(j);
-            let partial = lanes[j]
-                .scan
-                .as_deref()
-                .map(partial_rids)
-                .unwrap_or_default();
-            let spent = lanes[j].spent;
+            let partial = lane.scan.as_deref().map(partial_rids).unwrap_or_default();
+            let spent = lane.spent;
+            let label = lane.method.label();
             tracer.emit_with(|| TraceEvent::JoinKilled {
-                method: lanes[j].method.label(),
+                method: label,
                 reason,
                 spent,
                 guaranteed_best: g,
             });
-            lanes[j].outcome = Some((CandidateOutcome::Killed(reason), partial));
-            lanes[j].scan = None;
+            lane.outcome = Some((CandidateOutcome::Killed(reason), partial));
+            lane.scan = None;
         }
     }
 
-    let Some(w) = winner else {
+    let Some((w, method)) = winner else {
         // The scheduler ran dry without a finisher: every lane died on a
         // fault (kill rules always spare the best lane).
         return Err(last_fault.unwrap_or(StorageError::Corrupt("join race had no winner")));
     };
 
     let mut pairs = Vec::new();
-    let method = lanes[w].method;
     for (j, lane) in lanes.iter_mut().enumerate() {
         let (outcome, partial) = if j == w {
             let scan = lane.scan.as_mut();

@@ -1,0 +1,69 @@
+//! Output rendering for diagnostics — in particular the **stable JSON
+//! schema** behind `rdb-lint --json`.
+//!
+//! # Schema (stable)
+//!
+//! `--json` prints a single JSON array. Each element is an object with
+//! exactly these five keys, in this order:
+//!
+//! | key       | type   | meaning                                         |
+//! |-----------|--------|-------------------------------------------------|
+//! | `file`    | string | path relative to the workspace root, `/`-separated |
+//! | `line`    | number | 1-based line, or `0` for whole-file diagnostics |
+//! | `rule`    | string | rule id (`U001`, `P002`, `S001`, ...)           |
+//! | `message` | string | human-readable finding                          |
+//! | `hint`    | string | how to fix or silence it                        |
+//!
+//! The array is sorted by `(file, line, rule)` and is `[]` (no newline
+//! padding) when the workspace is clean. Consumers may rely on: the key
+//! set never shrinking, key order as listed, and the sort order. New
+//! keys may be *appended* in a future revision; parsers should ignore
+//! unknown keys. The snapshot test `tests/emit.rs` locks this shape.
+
+use crate::rules::Diagnostic;
+
+/// Renders diagnostics as the stable JSON array described in the module
+/// docs. Infallible: escaping covers every `char`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"hint\": {}}}",
+            json_str(&d.file),
+            d.line,
+            json_str(d.rule),
+            json_str(&d.message),
+            json_str(&d.hint)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a string as a JSON string literal, including the quotes.
+/// Control characters below U+0020 become `\uXXXX`; everything else
+/// passes through (the output is UTF-8, not ASCII-escaped).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -25,6 +25,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod emit;
 pub mod policy;
 pub mod ratchet;
 pub mod rules;

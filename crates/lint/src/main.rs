@@ -5,9 +5,10 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use rdb_lint::emit;
 use rdb_lint::policy::Policy;
-use rdb_lint::rules::{self, Diagnostic};
 use rdb_lint::ratchet;
+use rdb_lint::rules;
 
 const USAGE: &str = "\
 rdb-lint: workspace static-analysis policy pass
@@ -88,7 +89,7 @@ fn main() -> ExitCode {
     };
 
     if json {
-        println!("{}", render_json(&diags));
+        println!("{}", emit::render_json(&diags));
     } else {
         for d in &diags {
             if d.line == 0 {
@@ -102,7 +103,7 @@ fn main() -> ExitCode {
             println!(
                 "rdb-lint: {} files clean ({} rule families)",
                 files.len(),
-                5
+                rules::FAMILIES
             );
         } else {
             println!("rdb-lint: {} policy violation(s)", diags.len());
@@ -133,45 +134,4 @@ fn default_root() -> PathBuf {
             return PathBuf::from(".");
         }
     }
-}
-
-fn render_json(diags: &[Diagnostic]) -> String {
-    let mut out = String::from("[");
-    for (i, d) in diags.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "\n  {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"hint\": {}}}",
-            json_str(&d.file),
-            d.line,
-            json_str(d.rule),
-            json_str(&d.message),
-            json_str(&d.hint)
-        ));
-    }
-    if !diags.is_empty() {
-        out.push('\n');
-    }
-    out.push(']');
-    out
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }

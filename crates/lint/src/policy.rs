@@ -41,6 +41,11 @@ pub struct Policy {
     pub scan_entry_files: Vec<String>,
     /// `(file, fn)` pairs exempt from the scan-entry rule, with a reason.
     pub scan_entry_exempt: Vec<(String, String, String)>,
+    /// Sync-facade modules: the only library files allowed to issue raw
+    /// atomic operations on the protected concurrency fields (the seqlock
+    /// mirror, the WAL publication frontier, the deferred tallies). Rule
+    /// `S003` flags facade-bypassing atomics anywhere else.
+    pub facade_modules: Vec<String>,
     /// Files/prefixes whose panic tokens are counted against the ratchet.
     pub ratchet_scope: Vec<String>,
     /// The committed ratchet baseline, relative to `root`.
@@ -63,6 +68,13 @@ impl Policy {
                 // Open-addressed buffer pool: bounds-proven unchecked slot
                 // access on the hot probe path (see the SAFETY comments).
                 "crates/storage/src/buffer.rs".into(),
+                // Seqlock probe mirror: the same bounds-proven unchecked
+                // walk, factored out of the pool behind the Sync facade.
+                "crates/storage/src/mirror.rs".into(),
+                // Model-checker facade: ghost state and modeled mutex
+                // cells are `UnsafeCell`s made sound by the engine's
+                // one-virtual-thread-at-a-time baton (SAFETY comments).
+                "crates/check/src/sync.rs".into(),
                 // Counting global allocator used by the zero-allocation
                 // proof; `GlobalAlloc` is an unsafe trait.
                 "crates/core/tests/alloc_free.rs".into(),
@@ -70,20 +82,31 @@ impl Policy {
             atomics_allowlist: vec![
                 // Lock-free cost metering.
                 "crates/storage/src/cost.rs".into(),
-                // Sharded pool: fault-policy arming flag, contention
-                // counter, and the seqlock probe mirror.
+                // Sharded pool: fault-policy arming flag and contention
+                // counter.
                 "crates/storage/src/buffer.rs".into(),
+                // Seqlock probe mirror: the fence-based reader/writer
+                // protocol, generic over the Sync facade.
+                "crates/storage/src/mirror.rs".into(),
+                // WAL tail: the allocate/publish LSN handoff.
+                "crates/storage/src/lsn.rs".into(),
                 // Per-session deferred touch buffers: the shared
                 // absorption tally behind the lock-free hit path.
                 "crates/storage/src/touch.rs".into(),
                 // Background-stage abandon flag.
                 "crates/core/src/parallel.rs".into(),
+                // The model checker's ordering interpreter: it *consumes*
+                // `Ordering` values to simulate them.
+                "crates/check/src/engine.rs".into(),
             ],
             deferred_allowlist: vec![
                 // The one home of per-session deferred counters; its
                 // `PoolLocal` drop guard absorbs pending tallies on every
                 // exit path.
                 "crates/storage/src/touch.rs".into(),
+                // The checker's per-OS-thread virtual-thread identity
+                // (`CURRENT`), uninstalled by the `CurrentGuard` drop.
+                "crates/check/src/engine.rs".into(),
             ],
             relaxed_window: 8,
             safety_window: 5,
@@ -134,6 +157,16 @@ impl Policy {
                     "run".into(),
                     "drives step(); same fault-absorption contract".into(),
                 ),
+            ],
+            facade_modules: vec![
+                // The facade definition itself (`RealSync`).
+                "crates/storage/src/sync.rs".into(),
+                // The protocol modules expressed against the facade.
+                "crates/storage/src/mirror.rs".into(),
+                "crates/storage/src/lsn.rs".into(),
+                "crates/storage/src/touch.rs".into(),
+                // The model-side facade implementation.
+                "crates/check/src/sync.rs".into(),
             ],
             ratchet_scope: vec![
                 "crates/storage/src/".into(),

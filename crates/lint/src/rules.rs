@@ -13,6 +13,9 @@
 //! | A002 | atomics      | `Ordering::Relaxed` has an adjacent justification comment |
 //! | D001 | deferred     | `thread_local!` state only in deferred-allowlisted files  |
 //! | D002 | deferred     | per-session deferred counters carry a `Drop` guard        |
+//! | S001 | sync protocol| the static lock-acquisition graph has no cycles           |
+//! | S002 | sync protocol| mirror-slot stores sit inside a seqlock writer section    |
+//! | S003 | sync protocol| no raw atomics on protected fields outside the facade     |
 //! | H001 | hygiene      | no `Result<_, String>` in public library APIs             |
 //! | H002 | hygiene      | no `dbg!`/`println!` in library code                      |
 //! | H003 | hygiene      | every crate root opens with a `//!` doc header            |
@@ -128,11 +131,16 @@ pub fn lint(files: &[SourceFile], policy: &Policy) -> Vec<Diagnostic> {
     rule_fallibility(files, policy, &mut diags);
     rule_atomics(files, policy, &mut diags);
     rule_deferred(files, policy, &mut diags);
+    rule_sync_protocol(files, policy, &mut diags);
     rule_hygiene(files, policy, &mut diags);
     check_allowlists(files, policy, &mut diags);
     diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     diags
 }
+
+/// Rule families in the table above (`U`, `P`, `F`, `A`, `D`, `S`, `H`,
+/// `X`), for reporting.
+pub const FAMILIES: usize = 8;
 
 fn diag(
     diags: &mut Vec<Diagnostic>,
@@ -584,9 +592,11 @@ fn rule_deferred(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnost
             }
         }
         if allowed && uses_tls {
+            // Matches both `impl Drop for T` and the generic
+            // `impl<S: …> Drop for T<S>` form.
             let has_drop_guard = file
                 .non_test()
-                .any(|(_, l)| l.code.contains("impl Drop for"));
+                .any(|(_, l)| l.code.contains("impl") && l.code.contains("Drop for"));
             if !has_drop_guard {
                 diag(
                     diags,
@@ -599,6 +609,535 @@ fn rule_deferred(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnost
             }
         }
     }
+}
+
+// --------------------------------------------------------- sync protocol
+
+/// One function's lexical extent: 0-based lines `[start, end]`, inclusive
+/// of the `fn` line and the closing brace.
+struct FnSpan {
+    start: usize,
+    end: usize,
+}
+
+/// Lexical spans of every `fn` that has a body, in source order. Nested
+/// functions get their own (contained) span; use [`innermost`] to
+/// attribute a line to the tightest enclosing function.
+fn function_spans(file: &SourceFile) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        for at in word_positions(&line.code, "fn") {
+            // Walk forward from the keyword to the body `{` (or give up
+            // at a `;`: a bodyless trait-method declaration).
+            let mut depth = 0i32;
+            let mut pos = at + 2;
+            let mut row = idx;
+            let body = 'find: loop {
+                let code = &file.lines[row].code;
+                for c in code[pos.min(code.len())..].chars() {
+                    match c {
+                        '{' => break 'find Some(row),
+                        ';' => break 'find None,
+                        _ => {}
+                    }
+                }
+                row += 1;
+                pos = 0;
+                if row >= file.lines.len() || row > idx + 40 {
+                    break None;
+                }
+            };
+            let Some(body_row) = body else { continue };
+            // Brace-match from the body line to the function's end.
+            let mut row = body_row;
+            let mut opened = false;
+            'scan: while row < file.lines.len() {
+                for c in file.lines[row].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if opened && depth == 0 {
+                                break 'scan;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                row += 1;
+            }
+            out.push(FnSpan {
+                start: idx,
+                end: row.min(file.lines.len() - 1),
+            });
+        }
+    }
+    out
+}
+
+/// Index of the tightest span containing `line`, if any.
+fn innermost(spans: &[FnSpan], line: usize) -> Option<usize> {
+    spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.start <= line && line <= s.end)
+        .max_by_key(|(_, s)| s.start)
+        .map(|(i, _)| i)
+}
+
+/// The receiver chain ending at byte offset `end` (exclusive): identifier
+/// segments joined by `.`, index brackets included (`self.shards[i].state`).
+fn receiver_chain(code: &str, end: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if is_ident(c) || c == '.' || c == '[' || c == ']' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    &code[start..end]
+}
+
+/// The last identifier segment of a receiver chain (`state` for
+/// `self.shards[i].state`), or `None` for an empty chain.
+fn chain_tail(chain: &str) -> Option<&str> {
+    let seg = chain.rsplit('.').next()?.trim_end_matches(['[', ']']);
+    let seg: &str = seg.split('[').next().unwrap_or(seg);
+    (!seg.is_empty() && seg.chars().all(is_ident)).then_some(seg)
+}
+
+/// The crate short-name of a workspace path (`storage` for
+/// `crates/storage/src/…`), used to namespace lock nodes: lock names only
+/// unify within one crate, since guards do not cross crate boundaries.
+fn crate_short_name(rel: &str) -> &str {
+    rel.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("workspace")
+}
+
+/// One lock acquisition found by the lexical scan.
+struct Acquisition {
+    /// Namespaced lock node (`storage::state`).
+    node: String,
+    /// 0-based line.
+    line: usize,
+    /// `let`-bound guard: held from here to the end of the function
+    /// (unless explicitly `drop`ped); a plain temporary is released at
+    /// the end of its statement and never *holds*.
+    let_bound: bool,
+    /// The guard's binding name, for `drop(name)` release tracking.
+    binding: Option<String>,
+}
+
+/// Guard-preserving adapters: chaining one of these onto a lock call
+/// still binds the guard itself.
+const GUARD_ADAPTERS: &[&str] = &["unwrap", "expect", "unwrap_or_else"];
+
+/// Byte offset just past the `)` matching the `(` at `open`, same line
+/// only.
+fn close_paren(code: &str, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (i, c) in code[open..].char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// True when the expression continuing at `(row, pos)` ends the `let`
+/// statement with the guard still bound: optional `unwrap`-family
+/// adapters, then `;`. A chain that projects a field or calls anything
+/// else consumes the guard within the statement (so the binding holds a
+/// value, not the lock).
+fn is_guard_stmt(file: &SourceFile, mut row: usize, mut pos: usize) -> bool {
+    let limit = (row + 5).min(file.lines.len().saturating_sub(1));
+    loop {
+        let code = &file.lines[row].code;
+        let from = pos.min(code.len());
+        let Some(off) = code[from..].find(|c: char| !c.is_whitespace()) else {
+            if row >= limit {
+                return false;
+            }
+            row += 1;
+            pos = 0;
+            continue;
+        };
+        let at = from + off;
+        match code[at..].chars().next() {
+            Some(';') => return true,
+            Some('?') => pos = at + 1,
+            Some('.') => {
+                let name: String = code[at + 1..]
+                    .chars()
+                    .take_while(|c| is_ident(*c))
+                    .collect();
+                if !GUARD_ADAPTERS.contains(&name.as_str()) {
+                    return false;
+                }
+                let open = at + 1 + name.len();
+                if next_nonspace(code, open) != Some('(') {
+                    return false;
+                }
+                let open = open + code[open..].find('(').unwrap_or(0);
+                match close_paren(code, open) {
+                    Some(end) => pos = end,
+                    None => return false,
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Lock-acquisition sites on one masked code line: `recv.lock()` method
+/// calls and `lock(&expr)` helper calls. `try_lock` is deliberately
+/// ignored — it cannot block, so it forms no deadlock edge — and a line
+/// containing a closure bar before the call is skipped (the definition
+/// site acquires nothing).
+fn lock_acquisitions(krate: &str, file: &SourceFile, idx: usize) -> Vec<Acquisition> {
+    let code = &file.lines[idx].code;
+    let mut out = Vec::new();
+    let trimmed = code.trim_start();
+    let is_let = trimmed.starts_with("let ");
+    let binding = is_let.then(|| {
+        trimmed["let ".len()..]
+            .trim_start()
+            .trim_start_matches("mut ")
+            .chars()
+            .take_while(|c| is_ident(*c))
+            .collect::<String>()
+    });
+    for at in word_positions(code, "lock") {
+        if next_nonspace(code, at + "lock".len()) != Some('(') {
+            continue;
+        }
+        if code[..at].contains('|') {
+            continue;
+        }
+        let before = code[..at].trim_end();
+        let name = if before.ends_with('.') {
+            // `recv.lock()`: the lock is the receiver's last segment.
+            chain_tail(receiver_chain(code, before.len() - 1)).map(str::to_string)
+        } else if before.ends_with("fn") {
+            // A `fn lock(…)` definition, not an acquisition.
+            None
+        } else {
+            // `lock(&expr)` helper: the lock is the argument's last
+            // segment.
+            let open = code[at..].find('(').map(|p| at + p + 1);
+            open.and_then(|o| {
+                let arg_end = code[o..].find(')').map_or(code.len(), |p| o + p);
+                let arg = code[o..arg_end].trim().trim_start_matches(['&', '*']);
+                chain_tail(arg).map(str::to_string)
+            })
+        };
+        let Some(name) = name else { continue };
+        let call_open = at + code[at..].find('(').unwrap_or(0);
+        let let_bound = is_let
+            && close_paren(code, call_open)
+                .is_some_and(|end| is_guard_stmt(file, idx, end));
+        out.push(Acquisition {
+            node: format!("{krate}::{name}"),
+            line: idx,
+            let_bound,
+            binding: binding.clone(),
+        });
+    }
+    out
+}
+
+/// Rule `S001`: build the workspace's static lock-acquisition graph — an
+/// edge `a → b` wherever a function acquires `b` while (lexically) still
+/// holding `a` — and fail on any cycle, the classic deadlock shape. The
+/// scan is intra-procedural and lexical: `let`-bound guards are assumed
+/// held to the end of the function (or an explicit `drop`), temporaries
+/// to the end of their statement.
+fn rule_lock_order(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    // (from, to) → first site.
+    let mut edges: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    for file in files {
+        if !Policy::is_lib_code(&file.rel) {
+            continue;
+        }
+        let krate = crate_short_name(&file.rel);
+        let spans = function_spans(file);
+        for (si, span) in spans.iter().enumerate() {
+            // Held guards: (binding, node).
+            let mut held: Vec<(Option<String>, String)> = Vec::new();
+            for idx in span.start..=span.end {
+                if file.test_mask[idx] || innermost(&spans, idx) != Some(si) {
+                    continue;
+                }
+                let code = &file.lines[idx].code;
+                // `drop(name)` releases the named guard early.
+                for at in word_positions(code, "drop") {
+                    if next_nonspace(code, at + "drop".len()) != Some('(') {
+                        continue;
+                    }
+                    let open = at + code[at..].find('(').unwrap_or(0) + 1;
+                    let arg: String = code[open..]
+                        .trim_start()
+                        .chars()
+                        .take_while(|c| is_ident(*c))
+                        .collect();
+                    held.retain(|(b, _)| b.as_deref() != Some(arg.as_str()));
+                }
+                for acq in lock_acquisitions(krate, file, idx) {
+                    for (_, h) in &held {
+                        edges
+                            .entry((h.clone(), acq.node.clone()))
+                            .or_insert_with(|| (file.rel.clone(), acq.line + 1));
+                    }
+                    if acq.let_bound {
+                        held.push((acq.binding.clone(), acq.node.clone()));
+                    }
+                }
+            }
+        }
+    }
+    for cycle in graph_cycles(&edges) {
+        let parts: Vec<String> = cycle
+            .iter()
+            .map(|(from, to, file, line)| format!("{from} -> {to} ({file}:{line})"))
+            .collect();
+        let (_, _, file, line) = &cycle[0];
+        diag(
+            diags,
+            file,
+            *line,
+            "S001",
+            format!("lock-acquisition cycle: {}", parts.join(", ")),
+            "pick one global acquisition order for these locks (or collapse them \
+             into a single lock); a cycle in the static graph is the classic \
+             deadlock shape",
+        );
+    }
+}
+
+/// Strongly-connected components with more than one node (or a self
+/// edge), each reported as its sorted intra-component edge list.
+#[allow(clippy::type_complexity)]
+fn graph_cycles(
+    edges: &BTreeMap<(String, String), (String, usize)>,
+) -> Vec<Vec<(String, String, String, usize)>> {
+    use std::collections::BTreeSet;
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let index: BTreeMap<&String, usize> = nodes.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+    let names: Vec<&String> = nodes.into_iter().collect();
+    let mut adj = vec![Vec::new(); names.len()];
+    for (a, b) in edges.keys() {
+        adj[index[a]].push(index[b]);
+    }
+    // Tarjan, iterative for determinism over sorted adjacency.
+    let n = names.len();
+    let (mut idx, mut low, mut on, mut order) = (vec![usize::MAX; n], vec![0; n], vec![false; n], 0);
+    let mut stack = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut ncomp = 0;
+    for root in 0..n {
+        if idx[root] != usize::MAX {
+            continue;
+        }
+        let mut call = vec![(root, 0usize)];
+        while let Some(&mut (v, ref mut ei)) = call.last_mut() {
+            if *ei == 0 {
+                idx[v] = order;
+                low[v] = order;
+                order += 1;
+                stack.push(v);
+                on[v] = true;
+            }
+            if let Some(&w) = adj[v].get(*ei) {
+                *ei += 1;
+                if idx[w] == usize::MAX {
+                    call.push((w, 0));
+                } else if on[w] {
+                    low[v] = low[v].min(idx[w]);
+                }
+            } else {
+                if low[v] == idx[v] {
+                    while let Some(w) = stack.pop() {
+                        on[w] = false;
+                        comp[w] = ncomp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    ncomp += 1;
+                }
+                call.pop();
+                if let Some(&mut (u, _)) = call.last_mut() {
+                    low[u] = low[u].min(low[v]);
+                }
+            }
+        }
+    }
+    let mut cycles = Vec::new();
+    for c in 0..ncomp {
+        let members: Vec<usize> = (0..n).filter(|v| comp[*v] == c).collect();
+        let cyclic = members.len() > 1
+            || members
+                .iter()
+                .any(|&v| edges.contains_key(&(names[v].clone(), names[v].clone())));
+        if !cyclic {
+            continue;
+        }
+        let mut cycle_edges: Vec<(String, String, String, usize)> = edges
+            .iter()
+            .filter(|((a, b), _)| {
+                comp[index[a]] == c && comp[index[b]] == c
+            })
+            .map(|((a, b), (f, l))| (a.clone(), b.clone(), f.clone(), *l))
+            .collect();
+        cycle_edges.sort();
+        cycles.push(cycle_edges);
+    }
+    cycles
+}
+
+/// Rule `S002`: every mirror-slot store (`….mirror.set(…)` or
+/// `….mirror.fill_vacant(…)`) must sit lexically between
+/// `begin_write()` and `end_write()` in the same function, unless the
+/// function is documented as running inside a caller's writer section
+/// (a comment containing "writer section").
+fn rule_writer_section(files: &[SourceFile], diags: &mut Vec<Diagnostic>) {
+    const STORES: &[&str] = &["set", "fill_vacant"];
+    for file in files {
+        if !Policy::is_lib_code(&file.rel) {
+            continue;
+        }
+        let spans = function_spans(file);
+        for (si, span) in spans.iter().enumerate() {
+            let doc_lo = span.start.saturating_sub(6);
+            let exempt = file.lines[doc_lo..=span.end]
+                .iter()
+                .any(|l| l.comment.contains("writer section"));
+            if exempt {
+                continue;
+            }
+            let mut depth = 0i32;
+            for idx in span.start..=span.end {
+                if file.test_mask[idx] || innermost(&spans, idx) != Some(si) {
+                    continue;
+                }
+                let code = &file.lines[idx].code;
+                // Events in byte order: writer-section brackets and
+                // mirror stores.
+                let mut events: Vec<(usize, i32, bool)> = Vec::new();
+                for at in word_positions(code, "begin_write") {
+                    events.push((at, 1, false));
+                }
+                for at in word_positions(code, "end_write") {
+                    events.push((at, -1, false));
+                }
+                for store in STORES {
+                    for at in word_positions(code, store) {
+                        if next_nonspace(code, at + store.len()) != Some('(') {
+                            continue;
+                        }
+                        let before = code[..at].trim_end();
+                        if !before.ends_with('.') {
+                            continue;
+                        }
+                        let chain = receiver_chain(code, before.len() - 1);
+                        let on_mirror = chain
+                            .split('.')
+                            .any(|seg| seg.split('[').next() == Some("mirror"));
+                        if on_mirror {
+                            events.push((at, 0, true));
+                        }
+                    }
+                }
+                events.sort_by_key(|e| e.0);
+                for (_, delta, is_store) in events {
+                    if is_store && depth <= 0 {
+                        diag(
+                            diags,
+                            &file.rel,
+                            idx + 1,
+                            "S002",
+                            "mirror-slot store outside a seqlock writer section",
+                            "bracket the store with begin_write()/end_write(), or \
+                             document the function as running inside a caller's \
+                             writer section",
+                        );
+                    }
+                    depth += delta;
+                }
+            }
+        }
+    }
+}
+
+/// Atomic method-call tokens rule `S003` looks for.
+const ATOMIC_CALLS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".fetch_add(",
+    ".fetch_max(",
+    ".fetch_min(",
+    ".fetch_sub(",
+    ".fetch_or(",
+    ".fetch_and(",
+    ".compare_exchange",
+    ".swap(",
+];
+
+/// Field-name fragments whose atomics are facade-protected.
+const PROTECTED_FIELDS: &[&str] = &["mirror", "published", "deferred", "tally"];
+
+/// Rule `S003`: the protected concurrency fields — the seqlock mirror,
+/// the WAL publication frontier, the deferred tallies — may be touched
+/// with raw atomic operations only inside the designated Sync-facade
+/// modules, where the protocol (and its model-checked twin) lives.
+fn rule_facade_atomics(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnostic>) {
+    for file in files {
+        if !Policy::is_lib_code(&file.rel) || policy.facade_modules.contains(&file.rel) {
+            continue;
+        }
+        for (idx, line) in file.non_test() {
+            if !line.code.contains("Ordering::") {
+                continue;
+            }
+            if !ATOMIC_CALLS.iter().any(|t| line.code.contains(t)) {
+                continue;
+            }
+            if let Some(field) = PROTECTED_FIELDS.iter().find(|f| line.code.contains(**f)) {
+                diag(
+                    diags,
+                    &file.rel,
+                    idx + 1,
+                    "S003",
+                    format!("raw atomic on protected field `{field}` bypasses the Sync facade"),
+                    "go through the facade modules (ProbeMirror / WalTail / \
+                     DeferredCounters) so the model checker covers this access",
+                );
+            }
+        }
+    }
+}
+
+/// The `S` family: concurrency-protocol rules backing the `rdb-check`
+/// model checker — what the checker verifies dynamically, these rules
+/// pin structurally.
+fn rule_sync_protocol(files: &[SourceFile], policy: &Policy, diags: &mut Vec<Diagnostic>) {
+    rule_lock_order(files, diags);
+    rule_writer_section(files, diags);
+    rule_facade_atomics(files, policy, diags);
 }
 
 // --------------------------------------------------------------- hygiene
@@ -747,6 +1286,17 @@ pub fn check_allowlists(files: &[SourceFile], policy: &Policy, diags: &mut Vec<D
                     .any(|l| !word_positions(&l.code, "thread_local").is_empty());
                 if !used {
                     stale(diags, entry, "file no longer declares `thread_local!` state");
+                }
+            }
+        }
+    }
+    for entry in &policy.facade_modules {
+        match find(entry) {
+            None => stale(diags, entry, "facade module no longer exists"),
+            Some(f) => {
+                let used = f.lines.iter().any(|l| l.code.contains("Ordering"));
+                if !used {
+                    stale(diags, entry, "facade module no longer touches atomics");
                 }
             }
         }

@@ -1,0 +1,79 @@
+//! Snapshot tests locking the stable `--json` schema documented in
+//! `rdb_lint::emit`. If one of these fails, either fix the regression
+//! or — for a deliberate schema revision — update the docs, this file,
+//! and anything downstream that parses the output.
+
+use rdb_lint::emit::{json_str, render_json};
+use rdb_lint::rules::Diagnostic;
+
+#[test]
+fn empty_run_is_a_bare_array() {
+    assert_eq!(render_json(&[]), "[]");
+}
+
+#[test]
+fn snapshot_two_diagnostics() {
+    let diags = [
+        Diagnostic {
+            file: "crates/app/src/lib.rs".into(),
+            line: 12,
+            rule: "A001",
+            message: "atomic Ordering outside allowlisted modules".into(),
+            hint: "move it behind the metering facade".into(),
+        },
+        Diagnostic {
+            file: "crates/app/src/scan.rs".into(),
+            line: 0,
+            rule: "P001",
+            message: "panic-prone tokens rose to 3 (baseline 0)".into(),
+            hint: "the ratchet only goes down".into(),
+        },
+    ];
+    let want = concat!(
+        "[\n",
+        "  {\"file\": \"crates/app/src/lib.rs\", \"line\": 12, \"rule\": \"A001\", ",
+        "\"message\": \"atomic Ordering outside allowlisted modules\", ",
+        "\"hint\": \"move it behind the metering facade\"},\n",
+        "  {\"file\": \"crates/app/src/scan.rs\", \"line\": 0, \"rule\": \"P001\", ",
+        "\"message\": \"panic-prone tokens rose to 3 (baseline 0)\", ",
+        "\"hint\": \"the ratchet only goes down\"}\n",
+        "]"
+    );
+    assert_eq!(render_json(&diags), want);
+}
+
+#[test]
+fn string_escaping_covers_specials_and_controls() {
+    assert_eq!(json_str("plain"), "\"plain\"");
+    assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    assert_eq!(json_str("line\nfeed\ttab"), "\"line\\nfeed\\ttab\"");
+    assert_eq!(json_str("bell\u{07}"), "\"bell\\u0007\"");
+    // Non-ASCII passes through as UTF-8 rather than \u escapes.
+    assert_eq!(json_str("résumé"), "\"résumé\"");
+}
+
+#[test]
+fn every_value_round_trips_as_valid_json() {
+    // A hand-rolled sanity check (no serde in this workspace): the
+    // rendered form of a hostile diagnostic must still balance quotes
+    // and braces after unescaping.
+    let d = Diagnostic {
+        file: "weird\"\\\npath.rs".into(),
+        line: 7,
+        rule: "H002",
+        message: "tab\there".into(),
+        hint: "ctrl\u{01}char".into(),
+    };
+    let out = render_json(std::slice::from_ref(&d));
+    // The escaped body must contain no raw control characters and no
+    // unescaped quotes besides the structural ones.
+    assert!(!out.chars().any(|c| (c as u32) < 0x20 && c != '\n'));
+    // Count quotes that are NOT escaped: 5 keys + 4 string values
+    // (file/rule/message/hint) with 2 quotes each = 18 structural quotes.
+    let bytes = out.as_bytes();
+    let structural_quotes = (0..bytes.len())
+        .filter(|&i| bytes[i] == b'"' && (i == 0 || bytes[i - 1] != b'\\'))
+        .count();
+    assert_eq!(structural_quotes, 18);
+    assert!(out.starts_with("[\n  {") && out.ends_with("}\n]"));
+}

@@ -29,6 +29,7 @@ fn violations_policy(ratchet: &str) -> Policy {
         planning_modules: vec!["crates/app/src/plan.rs".into()],
         scan_entry_files: vec!["crates/app/src/scan.rs".into()],
         scan_entry_exempt: vec![],
+        facade_modules: vec![],
         ratchet_scope: vec!["crates/app/src/scan.rs".into()],
         ratchet_path: ratchet.into(),
     }
@@ -135,6 +136,37 @@ fn d002_deferred_state_without_drop_guard() {
 }
 
 #[test]
+fn s001_lock_order_cycle_detected() {
+    let diags = lint_violations("ratchet-p001.toml");
+    // The cycle is reported once, anchored at its smallest edge site
+    // (the second acquisition of `ab`, which closes alpha -> beta).
+    assert_fires(&diags, "crates/app/src/guards.rs", 19, "S001");
+    assert_eq!(
+        diags.iter().filter(|d| d.rule == "S001").count(),
+        1,
+        "one cycle, one diagnostic:\n{diags:#?}"
+    );
+}
+
+#[test]
+fn s002_mirror_store_outside_writer_section() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/app/src/mirrorwrite.rs", 31, "S002");
+    // The bracketed store and the documented in-section helper are clean.
+    assert_eq!(
+        diags.iter().filter(|d| d.rule == "S002").count(),
+        1,
+        "only the bare store may fire:\n{diags:#?}"
+    );
+}
+
+#[test]
+fn s003_protected_atomic_outside_facade() {
+    let diags = lint_violations("ratchet-p001.toml");
+    assert_fires(&diags, "crates/meter/src/lib.rs", 29, "S003");
+}
+
+#[test]
 fn h001_public_fn_returns_result_string() {
     let diags = lint_violations("ratchet-p001.toml");
     assert_fires(&diags, "crates/app/src/lib.rs", 15, "H001");
@@ -160,6 +192,7 @@ fn violations_corpus_fires_exactly_the_expected_set() {
         .map(|d| (d.file.as_str(), d.line, d.rule))
         .collect();
     let want = [
+        ("crates/app/src/guards.rs", 19, "S001"),
         ("crates/app/src/lib.rs", 0, "H003"),
         ("crates/app/src/lib.rs", 0, "U003"),
         ("crates/app/src/lib.rs", 12, "A001"),
@@ -167,6 +200,7 @@ fn violations_corpus_fires_exactly_the_expected_set() {
         ("crates/app/src/lib.rs", 24, "H002"),
         ("crates/app/src/lib.rs", 28, "U001"),
         ("crates/app/src/lib.rs", 31, "D001"),
+        ("crates/app/src/mirrorwrite.rs", 31, "S002"),
         ("crates/app/src/plan.rs", 3, "F001"),
         ("crates/app/src/plan.rs", 5, "F001"),
         ("crates/app/src/scan.rs", 0, "P001"),
@@ -174,6 +208,7 @@ fn violations_corpus_fires_exactly_the_expected_set() {
         ("crates/meter/src/lib.rs", 0, "D002"),
         ("crates/meter/src/lib.rs", 9, "A002"),
         ("crates/meter/src/lib.rs", 13, "U002"),
+        ("crates/meter/src/lib.rs", 29, "S003"),
     ];
     assert_eq!(got, want, "diagnostic set drifted:\n{diags:#?}");
 }
@@ -224,6 +259,7 @@ fn clean_corpus_is_silent() {
         planning_modules: vec![],
         scan_entry_files: vec![],
         scan_entry_exempt: vec![],
+        facade_modules: vec![],
         ratchet_scope: vec!["crates/good/src/".into()],
         ratchet_path: "ratchet.toml".into(),
     };

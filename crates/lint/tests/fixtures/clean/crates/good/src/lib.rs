@@ -16,3 +16,45 @@ pub fn halve(values: &[u64]) -> Result<Vec<u64>, GoodError> {
     }
     Ok(values.iter().map(|v| v / 2).collect())
 }
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// A mirror with the seqlock writer API.
+pub struct Mirror;
+
+impl Mirror {
+    /// Enters the writer section.
+    pub fn begin_write(&self) {}
+    /// Leaves the writer section.
+    pub fn end_write(&self) {}
+    /// Stores a key word.
+    pub fn set(&self, _slot: usize, _key: u64) {}
+}
+
+/// A shard with ordered locks and a seqlock mirror: the S rules must
+/// stay silent on this conforming shape.
+pub struct Shard {
+    /// First in the global acquisition order.
+    meta: Mutex<u32>,
+    /// Second in the global acquisition order.
+    data: Mutex<u32>,
+    /// The residency mirror.
+    mirror: Mirror,
+}
+
+impl Shard {
+    fn lock_pair(&self) -> (MutexGuard<'_, u32>, MutexGuard<'_, u32>) {
+        let meta = self.meta.lock().unwrap_or_else(PoisonError::into_inner);
+        let data = self.data.lock().unwrap_or_else(PoisonError::into_inner);
+        (meta, data)
+    }
+
+    /// Consistent meta-then-data order; the mirror store is bracketed.
+    pub fn publish(&self, key: u64) -> u32 {
+        let (meta, data) = self.lock_pair();
+        self.mirror.begin_write();
+        self.mirror.set(0, key);
+        self.mirror.end_write();
+        *meta + *data
+    }
+}

@@ -1,0 +1,29 @@
+//! Lock-order fixture: `ab` and `ba` acquire the two locks in opposite
+//! orders — the classic deadlock cycle rule S001 must catch.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub struct Two {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Two {
+    /// Acquires alpha, then beta.
+    pub fn ab(&self) -> u32 {
+        let a = lock(&self.alpha);
+        let b = lock(&self.beta);
+        *a + *b
+    }
+
+    /// Acquires beta, then alpha — the reversed order.
+    pub fn ba(&self) -> u32 {
+        let b = lock(&self.beta);
+        let a = lock(&self.alpha);
+        *a - *b
+    }
+}

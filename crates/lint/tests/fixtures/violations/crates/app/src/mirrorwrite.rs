@@ -1,0 +1,37 @@
+//! Seqlock-discipline fixture: a bracketed mirror store (clean), a bare
+//! store rule S002 must flag, and a helper documented as running inside
+//! the caller's writer section (exempt).
+
+/// A stand-in mirror with the seqlock writer API.
+pub struct Mirror;
+
+impl Mirror {
+    /// Bumps the version to odd.
+    pub fn begin_write(&self) {}
+    /// Publishes the even version.
+    pub fn end_write(&self) {}
+    /// Stores a key word.
+    pub fn set(&self, _slot: usize, _key: u64) {}
+}
+
+/// A shard holding its mirror.
+pub struct Shard {
+    /// The residency mirror.
+    pub mirror: Mirror,
+}
+
+/// Properly bracketed store.
+pub fn bracketed(s: &Shard) {
+    s.mirror.begin_write();
+    s.mirror.set(0, 1);
+    s.mirror.end_write();
+}
+
+pub fn bare(s: &Shard) {
+    s.mirror.set(0, 3);
+}
+
+/// Caller must be inside a writer section.
+pub fn helper(s: &Shard) {
+    s.mirror.set(1, 2);
+}

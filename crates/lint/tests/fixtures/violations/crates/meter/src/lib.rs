@@ -17,3 +17,14 @@ thread_local! {
     // D002: deferred-allowlisted, but no Drop guard absorbs this tally.
     static LOCAL_TICKS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
+
+/// A probe holding a facade-protected field.
+pub struct Probe {
+    /// The seqlock version word of a mirror.
+    pub mirror_version: AtomicU64,
+}
+
+/// S003: raw atomic on a protected (mirror) field outside the facade.
+pub fn bypass(p: &Probe) -> u64 {
+    p.mirror_version.load(Ordering::Acquire)
+}

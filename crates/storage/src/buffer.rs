@@ -101,12 +101,13 @@
 //! exactly their own page touches.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use crate::cost::{CostConfig, CostMeter, SharedCost};
 use crate::error::StorageError;
 use crate::fault::FaultPolicy;
+use crate::mirror::{ProbeMirror, FIB, MIRROR_VACANT};
 use crate::touch::{self, DeferredCounters, Recorded};
 
 /// Shared handle to one [`BufferPool`]. All storage structures of one
@@ -248,17 +249,6 @@ const FREE: u32 = u32::MAX;
 /// the list head is not mistaken for a vacant slot.
 const NIL: u32 = u32::MAX - 1;
 
-/// Fibonacci-hashing multiplier (2^64 / φ).
-const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
-
-/// Mirror word marking a vacant slot. Unlike the main table (which encodes
-/// vacancy in the `prev` link), the mirror has only the key word to work
-/// with, so one packed key — `(FileId(u32::MAX), page u32::MAX)` — is
-/// sacrificed: accesses to that single pathological page never validate
-/// optimistically and always take the locked path, where classification
-/// against the main table is authoritative.
-const MIRROR_VACANT: u64 = u64::MAX;
-
 /// Generator for [`BufferPool::id`] — the key per-thread touch buffers use
 /// to tell pools apart.
 static POOL_IDS: AtomicU64 = AtomicU64::new(1);
@@ -288,128 +278,6 @@ const VACANT: Slot = Slot {
 enum Probe {
     Hit(usize),
     Miss(usize),
-}
-
-/// Seqlock-versioned mirror of one shard's slot keys, readable without the
-/// shard lock.
-///
-/// `keys[i]` holds the packed key of the entry occupying `slots[i]`, or
-/// [`MIRROR_VACANT`]. Writers — always under the shard mutex — bracket
-/// every key movement with [`ProbeMirror::begin_write`] (version to odd)
-/// and [`ProbeMirror::end_write`] (version to even), so
-/// [`ProbeMirror::probe_resident`] can validate that no mutation
-/// overlapped its walk. LRU splices never move keys and deliberately do
-/// *not* bump the version: pure-hit traffic stays invisible to readers.
-#[derive(Debug)]
-struct ProbeMirror {
-    /// Seqlock version: even = stable, odd = a writer (holding the shard
-    /// mutex) is moving keys.
-    version: AtomicU64,
-    /// Mirror of `PoolShard::slots[i].key` for occupied slots,
-    /// [`MIRROR_VACANT`] for vacant ones.
-    keys: Box<[AtomicU64]>,
-    mask: usize,
-    shift: u32,
-}
-
-impl ProbeMirror {
-    fn new(table_len: usize) -> Self {
-        debug_assert!(table_len.is_power_of_two());
-        ProbeMirror {
-            version: AtomicU64::new(0),
-            keys: (0..table_len).map(|_| AtomicU64::new(MIRROR_VACANT)).collect(),
-            mask: table_len - 1,
-            shift: 64 - table_len.trailing_zeros(),
-        }
-    }
-
-    /// Enters a writer section. Caller must hold the shard mutex.
-    #[inline]
-    fn begin_write(&self) {
-        // Relaxed: the shard mutex serializes writers, so this
-        // load/store pair cannot race another writer; the release fence
-        // below is what publishes the odd version before any key store
-        // that follows it.
-        let v = self.version.load(Ordering::Relaxed);
-        self.version.store(v.wrapping_add(1), Ordering::Relaxed);
-        fence(Ordering::Release);
-    }
-
-    /// Leaves a writer section. Caller must hold the shard mutex.
-    #[inline]
-    fn end_write(&self) {
-        // Relaxed load: writer-exclusive under the shard mutex. The
-        // Release store publishes every key store of the section before
-        // the new even version becomes visible to an Acquire reader.
-        let v = self.version.load(Ordering::Relaxed);
-        self.version.store(v.wrapping_add(1), Ordering::Release);
-    }
-
-    /// Records that slot `i` now holds `key` ([`MIRROR_VACANT`] to vacate).
-    /// Caller must be inside a writer section.
-    #[inline]
-    fn set(&self, i: usize, key: u64) {
-        // Relaxed: bracketed by begin_write/end_write, whose fences order
-        // these stores against the version for readers.
-        self.keys[i].store(key, Ordering::Relaxed);
-    }
-
-    /// Lock-free residency probe. Returns `Some((resident, slot))` when
-    /// the walk validated (no writer overlapped) — `slot` is where the key
-    /// was seen when resident (0 otherwise) and is remembered by the hit
-    /// path so the deferred replay can splice without re-probing — or
-    /// `None` when the caller must fall back to the locked path. `key`
-    /// must not be [`MIRROR_VACANT`].
-    #[inline]
-    fn probe_resident(&self, key: u64) -> Option<(bool, u32)> {
-        let v1 = self.version.load(Ordering::Acquire);
-        if v1 & 1 == 1 {
-            return None;
-        }
-        let mut i = (key.wrapping_mul(FIB) >> self.shift) as usize;
-        let mut steps = 0usize;
-        let mut slot = 0u32;
-        let resident = loop {
-            // Relaxed: the acquire fence below, paired with the writer's
-            // release fence, invalidates the read (via the version
-            // recheck) if any of these loads observed an in-progress
-            // mutation.
-            // SAFETY: `i` starts reduced by `shift` (table length is a
-            // power of two, `mask == keys.len() - 1`) and wraps with
-            // `& self.mask`, so `i < keys.len()` always.
-            let k = unsafe { self.keys.get_unchecked(i) }.load(Ordering::Relaxed);
-            if k == key {
-                slot = i as u32;
-                break true;
-            }
-            if k == MIRROR_VACANT {
-                break false;
-            }
-            i = (i + 1) & self.mask;
-            steps += 1;
-            if steps > self.mask {
-                // Only reachable if a concurrent writer kept the chain
-                // torn; the version recheck below will reject the walk.
-                break false;
-            }
-        };
-        fence(Ordering::Acquire);
-        // Relaxed: ordered by the acquire fence above; equality with the
-        // acquire-loaded `v1` is what validates the walk.
-        if self.version.load(Ordering::Relaxed) == v1 {
-            Some((resident, slot))
-        } else {
-            None
-        }
-    }
-
-    /// Vacates every mirror word. Caller must be inside a writer section.
-    fn fill_vacant(&self) {
-        for k in self.keys.iter() {
-            // Relaxed: bracketed by begin_write/end_write (see `set`).
-            k.store(MIRROR_VACANT, Ordering::Relaxed);
-        }
-    }
 }
 
 /// One lock stripe: the mutex-guarded open-addressed true-LRU table plus
@@ -1075,10 +943,7 @@ impl BufferPool {
             stats.hits += g.hits;
             stats.misses += g.misses;
         }
-        // Relaxed: monotonic tally of optimistic hits absorbed from the
-        // per-thread buffers; same independent-tally argument as the
-        // CostMeter counters.
-        stats.hits += self.deferred.hits.load(Ordering::Relaxed);
+        stats.hits += self.deferred.total();
         stats
     }
 
@@ -1367,9 +1232,7 @@ impl BufferPool {
             let g = lock(&shard.state);
             for (i, s) in g.slots.iter().enumerate() {
                 let expect = if s.prev == FREE { MIRROR_VACANT } else { s.key };
-                // Relaxed: test-only read under the shard lock (no
-                // concurrent writer can exist).
-                let got = shard.mirror.keys[i].load(Ordering::Relaxed);
+                let got = shard.mirror.peek(i);
                 assert_eq!(got, expect, "mirror drift in shard {si} slot {i}");
             }
         }

@@ -54,6 +54,7 @@ use std::sync::Mutex;
 
 use crate::buffer::{FileId, PageId};
 use crate::error::StorageError;
+use crate::lsn::WalTail;
 use crate::page::Page;
 use crate::store::{lock, PageStore, StoreStats};
 use crate::wal::{checksum64, decode_stream, encode_entry, Lsn, WalRecord, WalView};
@@ -90,7 +91,6 @@ struct Inner {
     wal_seq: u64,
     /// Bytes in the current segment, header included (the rotation gauge).
     wal_len: u64,
-    next_lsn: Lsn,
     base_lsn: Lsn,
     stats: StoreStats,
     /// Data files written since the last sync (flushed by `sync`).
@@ -105,6 +105,10 @@ pub struct FilePageStore {
     /// Segment-size cap appends rotate at (an open-time knob, not part of
     /// the persistent format — reopening with a different cap is fine).
     segment_bytes: u64,
+    /// LSN allocation and framed-high-water publication. Appends allocate
+    /// and publish through it while holding `inner`; `published` may be
+    /// read without the mutex (see [`crate::lsn::WalTail`]).
+    tail: WalTail,
     inner: Mutex<Inner>,
 }
 
@@ -302,11 +306,11 @@ impl FilePageStore {
             dir,
             page_bytes,
             segment_bytes,
+            tail: WalTail::new(next_lsn),
             inner: Mutex::new(Inner {
                 wal,
                 wal_seq,
                 wal_len,
-                next_lsn,
                 base_lsn,
                 stats: StoreStats::default(),
                 touched: Vec::new(),
@@ -620,8 +624,9 @@ impl PageStore for FilePageStore {
 
     fn append(&self, record: &WalRecord) -> Result<Lsn, StorageError> {
         let mut inner = lock(&self.inner);
-        let lsn = inner.next_lsn;
-        inner.next_lsn += 1;
+        // The mutex serializes appends, so allocation order is log order;
+        // publication below is the lock-free handoff a checkpoint trusts.
+        let lsn = self.tail.allocate();
         let mut bytes = Vec::with_capacity(64);
         encode_entry(lsn, record, &mut bytes);
         // Rotate when this record would push the segment past its cap —
@@ -647,6 +652,9 @@ impl PageStore for FilePageStore {
             .map_err(io_err("append", &path))?;
         inner.wal_len += bytes.len() as u64;
         inner.stats.wal_appends += 1;
+        // Only now — the frame is on the segment — may the LSN be
+        // published as framed (the harness (d) invariant).
+        self.tail.publish(lsn);
         Ok(lsn)
     }
 
@@ -704,6 +712,14 @@ impl PageStore for FilePageStore {
     }
 
     fn checkpoint_done(&self, catalog: &[u8], end_lsn: Lsn) -> Result<(), StorageError> {
+        // A checkpoint declares everything up to `end_lsn` durable in the
+        // data files; an `end_lsn` beyond the framed high-water mark would
+        // discard WAL coverage for records that were never logged.
+        if end_lsn > self.tail.published() {
+            return Err(StorageError::Corrupt(
+                "checkpoint end_lsn beyond the framed WAL tail",
+            ));
+        }
         let mut framed = Vec::with_capacity(12 + catalog.len());
         framed.extend_from_slice(&(catalog.len() as u32).to_le_bytes());
         framed.extend_from_slice(&checksum64(catalog).to_le_bytes());

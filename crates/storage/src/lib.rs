@@ -36,6 +36,8 @@ pub mod error;
 pub mod fault;
 pub mod file_store;
 pub mod heap;
+pub mod lsn;
+pub mod mirror;
 pub mod page;
 pub mod readahead;
 pub mod record;
@@ -43,8 +45,9 @@ pub mod reference;
 pub mod rid;
 pub mod schema;
 pub mod store;
+pub mod sync;
 pub mod temp;
-pub(crate) mod touch;
+pub mod touch;
 pub mod value;
 pub mod wal;
 
@@ -63,12 +66,16 @@ pub use file_store::{
     FilePageStore, DEFAULT_WAL_SEGMENT_BYTES, DURABLE_PAGE_BYTES, FRAME_BYTES, WAL_SEGMENT_HEADER,
 };
 pub use heap::{HeapScan, HeapTable};
+pub use lsn::WalTail;
+pub use mirror::{ProbeMirror, MIRROR_VACANT};
 pub use readahead::ReadAhead;
 pub use record::Record;
 pub use reference::ReferencePool;
 pub use rid::Rid;
 pub use schema::{Column, Schema};
 pub use store::{MemPageStore, PageStore, SharedStore, StoreStats};
+pub use sync::{AtomicWord, RealSync, SyncFacade};
 pub use temp::TempTable;
+pub use touch::{DeferredCounters, PendingTally};
 pub use value::{Value, ValueType};
 pub use wal::{Lsn, WalRecord, WalView};

@@ -1,0 +1,70 @@
+//! The WAL-append / checkpoint LSN handoff, generic over the
+//! [`SyncFacade`].
+//!
+//! [`crate::FilePageStore`] allocates log sequence numbers, frames each
+//! record into the current WAL segment (rotating segments at the size
+//! cap), and later checkpoints up to some LSN. The ordering contract
+//! between those steps is the **publication invariant**:
+//!
+//! > an LSN becomes *published* only after its record is fully framed in
+//! > a segment — so any observer (a checkpoint, a durability waiter)
+//! > that reads the published high-water mark can rely on every record
+//! > at or below it being on the log.
+//!
+//! [`WalTail`] makes that handoff explicit: `allocate` hands out the next
+//! LSN, `publish` advances the framed high-water mark with a release
+//! store *after* the frame write, and `published` acquire-loads it. The
+//! mutex serializing appends makes allocation order equal write order;
+//! the atomic publication is what a reader outside that mutex may trust.
+//! Checker harness (d) (`crates/check/src/harness/walcut.rs`)
+//! exhaustively verifies the invariant across append/rotation/checkpoint
+//! interleavings, including the seeded mutant that publishes before
+//! framing.
+
+use std::sync::atomic::Ordering;
+
+use crate::sync::{AtomicWord, RealSync, SyncFacade};
+use crate::wal::Lsn;
+
+/// Allocation and publication state of the WAL tail.
+#[derive(Debug)]
+pub struct WalTail<S: SyncFacade = RealSync> {
+    /// Next LSN to hand out.
+    next: S::Word,
+    /// Highest LSN whose record is fully framed on the log.
+    published: S::Word,
+}
+
+impl<S: SyncFacade> WalTail<S> {
+    /// A tail that will allocate `next_lsn` first; everything below it is
+    /// already on the log (or checkpointed away) and counts as published.
+    pub fn new(next_lsn: Lsn) -> Self {
+        WalTail {
+            next: S::Word::new(next_lsn),
+            published: S::Word::new(next_lsn.saturating_sub(1)),
+        }
+    }
+
+    /// Hands out the next LSN. Callers serialize framing (the store's
+    /// inner mutex), so allocation order equals log order.
+    pub fn allocate(&self) -> Lsn {
+        // Relaxed: allocation needs only atomicity — the caller's mutex
+        // orders the frame writes; `publish` carries the release edge.
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Marks `lsn` (and, by the allocation discipline, everything below
+    /// it) fully framed. Must be called only *after* the record's bytes
+    /// are written to the segment; the release store is the publication
+    /// edge harness (d) checks.
+    pub fn publish(&self, lsn: Lsn) {
+        self.published.fetch_max(lsn, Ordering::Release);
+    }
+
+    /// The framed high-water mark: every LSN at or below the returned
+    /// value has its record on the log. The acquire load pairs with the
+    /// release in [`WalTail::publish`].
+    pub fn published(&self) -> Lsn {
+        self.published.load(Ordering::Acquire)
+    }
+}

@@ -1,0 +1,176 @@
+//! The seqlock probe mirror, generic over the [`SyncFacade`].
+//!
+//! [`ProbeMirror`] is the lock-free residency index behind
+//! [`crate::BufferPool`]'s optimistic hit path: a versioned array of packed
+//! page keys mirroring one shard's open-addressed table. The protocol is
+//! exactly the classic fence-based seqlock:
+//!
+//! * writers (always serialized by the shard mutex) bump the version to
+//!   **odd**, release-fence, move keys with relaxed stores, then publish a
+//!   new **even** version with a release store;
+//! * readers acquire-load the version, walk the keys with relaxed loads,
+//!   acquire-fence, and re-read the version — any mismatch (or an odd
+//!   first read) invalidates the walk and sends the caller to the locked
+//!   path.
+//!
+//! The module is generic so the identical protocol code runs under the
+//! `rdb-check` interleaving checker (`ModelSync`), which exhaustively
+//! verifies that a validated walk never observes a torn key set; see
+//! `crates/check/src/harness/seqlock.rs`. Production code uses the
+//! default [`RealSync`] instantiation — std atomics, zero cost.
+
+use std::sync::atomic::Ordering;
+
+use crate::sync::{AtomicWord, RealSync, SyncFacade};
+
+/// Fibonacci-hashing multiplier (2^64 / φ) shared by the mirror walk and
+/// the main-table probe in `buffer.rs`, which must agree on home slots.
+pub(crate) const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Mirror word marking a vacant slot. Unlike the main table (which encodes
+/// vacancy in the `prev` link), the mirror has only the key word to work
+/// with, so one packed key — `(FileId(u32::MAX), page u32::MAX)` — is
+/// sacrificed: accesses to that single pathological page never validate
+/// optimistically and always take the locked path, where classification
+/// against the main table is authoritative.
+pub const MIRROR_VACANT: u64 = u64::MAX;
+
+/// Seqlock-versioned mirror of one shard's slot keys, readable without the
+/// shard lock.
+///
+/// `keys[i]` holds the packed key of the entry occupying `slots[i]`, or
+/// [`MIRROR_VACANT`]. Writers — always under the shard mutex — bracket
+/// every key movement with [`ProbeMirror::begin_write`] (version to odd)
+/// and [`ProbeMirror::end_write`] (version to even), so
+/// [`ProbeMirror::probe_resident`] can validate that no mutation
+/// overlapped its walk. LRU splices never move keys and deliberately do
+/// *not* bump the version: pure-hit traffic stays invisible to readers.
+#[derive(Debug)]
+pub struct ProbeMirror<S: SyncFacade = RealSync> {
+    /// Seqlock version: even = stable, odd = a writer (holding the shard
+    /// mutex) is moving keys.
+    version: S::Word,
+    /// Mirror of `PoolShard::slots[i].key` for occupied slots,
+    /// [`MIRROR_VACANT`] for vacant ones.
+    keys: Box<[S::Word]>,
+    mask: usize,
+    shift: u32,
+}
+
+impl<S: SyncFacade> ProbeMirror<S> {
+    /// Creates an all-vacant mirror for a table of `table_len` slots
+    /// (must be a power of two).
+    pub fn new(table_len: usize) -> Self {
+        debug_assert!(table_len.is_power_of_two());
+        ProbeMirror {
+            version: S::Word::new(0),
+            keys: (0..table_len).map(|_| S::Word::new(MIRROR_VACANT)).collect(),
+            mask: table_len - 1,
+            shift: 64 - table_len.trailing_zeros(),
+        }
+    }
+
+    /// Enters a writer section. Caller must hold the shard mutex.
+    #[inline]
+    pub fn begin_write(&self) {
+        // Relaxed: the shard mutex serializes writers, so this
+        // load/store pair cannot race another writer; the release fence
+        // below is what publishes the odd version before any key store
+        // that follows it.
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v.wrapping_add(1), Ordering::Relaxed);
+        S::fence(Ordering::Release);
+    }
+
+    /// Leaves a writer section. Caller must hold the shard mutex.
+    #[inline]
+    pub fn end_write(&self) {
+        // Relaxed load: writer-exclusive under the shard mutex. The
+        // Release store publishes every key store of the section before
+        // the new even version becomes visible to an Acquire reader.
+        let v = self.version.load(Ordering::Relaxed);
+        self.version.store(v.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Records that slot `i` now holds `key` ([`MIRROR_VACANT`] to vacate).
+    /// Caller must be inside a writer section.
+    #[inline]
+    pub fn set(&self, i: usize, key: u64) {
+        // Relaxed: bracketed by begin_write/end_write, whose fences order
+        // these stores against the version for readers.
+        self.keys[i].store(key, Ordering::Relaxed);
+    }
+
+    /// Lock-free residency probe. Returns `Some((resident, slot))` when
+    /// the walk validated (no writer overlapped) — `slot` is where the key
+    /// was seen when resident (0 otherwise) and is remembered by the hit
+    /// path so the deferred replay can splice without re-probing — or
+    /// `None` when the caller must fall back to the locked path. `key`
+    /// must not be [`MIRROR_VACANT`].
+    #[inline]
+    pub fn probe_resident(&self, key: u64) -> Option<(bool, u32)> {
+        let v1 = self.version.load(Ordering::Acquire);
+        if v1 & 1 == 1 {
+            return None;
+        }
+        let mut i = (key.wrapping_mul(FIB) >> self.shift) as usize;
+        let mut steps = 0usize;
+        let mut slot = 0u32;
+        let resident = loop {
+            // Relaxed: the acquire fence below, paired with the writer's
+            // release fence, invalidates the read (via the version
+            // recheck) if any of these loads observed an in-progress
+            // mutation.
+            // SAFETY: `i` starts reduced by `shift` (table length is a
+            // power of two, `mask == keys.len() - 1`) and wraps with
+            // `& self.mask`, so `i < keys.len()` always.
+            let k = unsafe { self.keys.get_unchecked(i) }.load(Ordering::Relaxed);
+            if k == key {
+                slot = i as u32;
+                break true;
+            }
+            if k == MIRROR_VACANT {
+                break false;
+            }
+            i = (i + 1) & self.mask;
+            steps += 1;
+            if steps > self.mask {
+                // Only reachable if a concurrent writer kept the chain
+                // torn; the version recheck below will reject the walk.
+                break false;
+            }
+        };
+        S::fence(Ordering::Acquire);
+        // Relaxed: ordered by the acquire fence above; equality with the
+        // acquire-loaded `v1` is what validates the walk.
+        if self.version.load(Ordering::Relaxed) == v1 {
+            Some((resident, slot))
+        } else {
+            None
+        }
+    }
+
+    /// Vacates every mirror word. Caller must be inside a writer section.
+    pub fn fill_vacant(&self) {
+        for k in self.keys.iter() {
+            // Relaxed: bracketed by begin_write/end_write (see `set`).
+            k.store(MIRROR_VACANT, Ordering::Relaxed);
+        }
+    }
+
+    /// Home slot of `key` under this mirror's geometry — the slot the
+    /// residency walk starts from. Test and checker plumbing (harnesses
+    /// need colliding keys to build probe chains).
+    pub fn home_slot(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> self.shift) as usize
+    }
+
+    /// The key mirrored at slot `i` right now, unvalidated. Test and
+    /// checker plumbing only — production readers go through
+    /// [`ProbeMirror::probe_resident`].
+    pub fn peek(&self, i: usize) -> u64 {
+        // Relaxed: diagnostic snapshot; callers (tests, checker ghost
+        // assertions) hold the writer lock or run single-threaded.
+        self.keys[i].load(Ordering::Relaxed)
+    }
+}

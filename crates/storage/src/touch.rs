@@ -7,7 +7,7 @@
 //! to the MRU end of the shard's LRU list — are *deferred* here instead:
 //! each OS thread keeps one small buffer per pool recording the hit count
 //! and the touched keys in access order. The buffer is absorbed at batch
-//! boundaries ([`TOUCH_CAP`] touches, any locked pool entry point, or a
+//! boundaries (`TOUCH_CAP` touches, any locked pool entry point, or a
 //! counter read) by [`crate::BufferPool::flush_session`], which re-locks
 //! the shards and replays the promotions.
 //!
@@ -15,17 +15,20 @@
 //!
 //! Deferred *counters* must be absorbed on **every** exit path — a pool's
 //! `hits + misses == accesses` conservation property is asserted across
-//! thread joins — so [`PoolLocal`] absorbs its pending tally in its `Drop`
-//! impl. Thread teardown drops the thread-local registry, which drops each
-//! `PoolLocal`, which lands the tally in the pool-shared
+//! thread joins — so each buffer's pending count lives in a
+//! [`PendingTally`], whose `Drop` impl absorbs it. Thread teardown drops
+//! the thread-local registry, which drops each `PoolLocal`, which drops
+//! its tally, which lands the count in the pool-shared
 //! [`DeferredCounters`] kept alive by an `Arc`. Deferred *promotions* are
 //! dropped at teardown: losing a recency splice is the documented
 //! "equivalent under deferred promotion" relaxation (see the invariant
 //! note in `buffer.rs`), while losing a count would be a real bug.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+use crate::sync::{AtomicWord, RealSync, SyncFacade};
 
 /// Touches buffered per pool before the recording call asks its caller to
 /// flush. Sized so a flush amortizes one lock acquisition over a block of
@@ -37,10 +40,84 @@ pub(crate) const TOUCH_CAP: usize = 128;
 /// Kept behind an `Arc` (the pool holds one, every thread-local buffer
 /// holds a clone) so a thread exiting *after* the pool was dropped still
 /// has somewhere safe to absorb its pending count.
-#[derive(Debug, Default)]
-pub(crate) struct DeferredCounters {
+///
+/// Generic over the [`SyncFacade`] so the absorption protocol runs under
+/// the `rdb-check` interleaving checker unchanged; production code uses
+/// the default [`RealSync`] world.
+#[derive(Debug)]
+pub struct DeferredCounters<S: SyncFacade = RealSync> {
     /// Hits classified on the optimistic lock-free path.
-    pub(crate) hits: AtomicU64,
+    hits: S::Word,
+}
+
+impl<S: SyncFacade> Default for DeferredCounters<S> {
+    fn default() -> Self {
+        DeferredCounters {
+            hits: S::Word::new(0),
+        }
+    }
+}
+
+impl<S: SyncFacade> DeferredCounters<S> {
+    /// Absorbs `n` deferred hits into the shared tally.
+    pub fn add(&self, n: u64) {
+        // Relaxed: an independent monotonic tally, same argument as the
+        // CostMeter counters — readers only sum it.
+        self.hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total hits absorbed so far.
+    pub fn total(&self) -> u64 {
+        // Relaxed: monotonic tally; readers only sum it.
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// One thread's pending hit count for one pool, with the drop guard that
+/// makes the conservation property (`hits + misses == accesses`) hold on
+/// **every** exit path: if the tally is alive, its count either sits in
+/// `pending` or has already landed in the shared [`DeferredCounters`];
+/// dropping it absorbs the remainder.
+///
+/// This is the protocol piece checker harness (c) exhausts: threads
+/// recording hits and exiting at arbitrary points must never lose a
+/// count.
+#[derive(Debug)]
+pub struct PendingTally<S: SyncFacade = RealSync> {
+    /// Absorption target, shared with the owning pool.
+    target: Arc<DeferredCounters<S>>,
+    /// Hits recorded since the last absorption.
+    pending: u64,
+}
+
+impl<S: SyncFacade> PendingTally<S> {
+    /// A fresh tally absorbing into `target`.
+    pub fn new(target: Arc<DeferredCounters<S>>) -> Self {
+        PendingTally { target, pending: 0 }
+    }
+
+    /// Records one deferred hit.
+    pub fn record(&mut self) {
+        self.pending += 1;
+    }
+
+    /// Flushes the pending count into the shared target now.
+    pub fn absorb(&mut self) {
+        if self.pending > 0 {
+            self.target.add(self.pending);
+            self.pending = 0;
+        }
+    }
+}
+
+/// The drop guard: guarantees the deferred counters are absorbed on every
+/// exit path, including thread teardown and pool drop. Do not remove — the
+/// lint policy requires a `Drop` impl wherever per-session deferred
+/// counters live.
+impl<S: SyncFacade> Drop for PendingTally<S> {
+    fn drop(&mut self) {
+        self.absorb();
+    }
 }
 
 /// Outcome of recording an optimistic hit in the calling thread's buffer.
@@ -55,40 +132,19 @@ pub(crate) enum Recorded {
     Unavailable,
 }
 
-/// One thread's deferred state for one pool.
+/// One thread's deferred state for one pool. Counter absorption on every
+/// exit path is delegated to the [`PendingTally`] drop guard.
 struct PoolLocal {
     /// [`crate::BufferPool`] instance id this buffer belongs to.
     pool: u64,
-    counters: Arc<DeferredCounters>,
-    /// Optimistic hits recorded since the last absorption.
-    pending_hits: u64,
+    /// Pending hit count plus its drop guard.
+    tally: PendingTally,
     /// Touched `(key, slot)` pairs in access order, replayed as LRU
     /// promotions on flush. `slot` is where the mirror probe saw the key
     /// at hit time; replay verifies it before splicing so a stale slot
     /// (evicted and re-faulted elsewhere) degrades to a fresh probe, never
     /// to a wrong promotion.
     touches: Vec<(u64, u32)>,
-}
-
-impl PoolLocal {
-    fn absorb_counters(&mut self) {
-        if self.pending_hits > 0 {
-            // Relaxed: an independent monotonic tally, same argument as the
-            // CostMeter counters — readers only sum it.
-            self.counters.hits.fetch_add(self.pending_hits, Ordering::Relaxed);
-            self.pending_hits = 0;
-        }
-    }
-}
-
-/// The drop guard: guarantees the deferred counters are absorbed on every
-/// exit path, including thread teardown and pool drop. Do not remove — the
-/// lint policy requires a `Drop` impl wherever per-session deferred
-/// counters live.
-impl Drop for PoolLocal {
-    fn drop(&mut self) {
-        self.absorb_counters();
-    }
 }
 
 thread_local! {
@@ -116,8 +172,7 @@ pub(crate) fn record_hit(
                 None => {
                     sessions.push(PoolLocal {
                         pool,
-                        counters: Arc::clone(counters),
-                        pending_hits: 0,
+                        tally: PendingTally::new(Arc::clone(counters)),
                         touches: Vec::with_capacity(TOUCH_CAP),
                     });
                     sessions.len() - 1
@@ -129,7 +184,7 @@ pub(crate) fn record_hit(
                 sessions.swap(0, idx);
             }
             let s = &mut sessions[0];
-            s.pending_hits += 1;
+            s.tally.record();
             s.touches.push((key, slot));
             if s.touches.len() >= TOUCH_CAP {
                 Recorded::NeedsFlush
@@ -157,7 +212,7 @@ pub(crate) fn drain(pool: u64, mut apply: impl FnMut(&[(u64, u32)])) {
     let _ = SESSIONS.try_with(|cell| {
         let mut sessions = cell.borrow_mut();
         if let Some(s) = sessions.iter_mut().find(|s| s.pool == pool) {
-            s.absorb_counters();
+            s.tally.absorb();
             if !s.touches.is_empty() {
                 pending = std::mem::replace(&mut s.touches, Vec::with_capacity(TOUCH_CAP));
             }
@@ -195,8 +250,7 @@ mod tests {
         let mut seen = Vec::new();
         drain(9001, |keys| seen.extend_from_slice(keys));
         assert_eq!(seen, vec![(0, 10), (1, 11), (2, 12), (3, 13), (4, 14)]);
-        // Relaxed: test-only read of a monotonic tally.
-        assert_eq!(counters.hits.load(Ordering::Relaxed), 5);
+        assert_eq!(counters.total(), 5);
         // Second drain is a no-op.
         drain(9001, |_| panic!("buffer should be empty"));
         forget(9001);
@@ -213,9 +267,8 @@ mod tests {
             Recorded::NeedsFlush
         ));
         forget(9002);
-        // Relaxed: test-only read of a monotonic tally.
         assert_eq!(
-            counters.hits.load(Ordering::Relaxed),
+            counters.total(),
             TOUCH_CAP as u64,
             "forget's drop guard absorbs the pending tally"
         );
@@ -233,7 +286,6 @@ mod tests {
         })
         .join()
         .expect("worker thread");
-        // Relaxed: test-only read of a monotonic tally.
-        assert_eq!(counters.hits.load(Ordering::Relaxed), 7);
+        assert_eq!(counters.total(), 7);
     }
 }
